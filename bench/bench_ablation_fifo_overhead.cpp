@@ -1,0 +1,82 @@
+// Ablation A7 — cost of strict FIFO ordering (§5's commit-timestamp
+// extension): a FIFO queue zone maintains a sticky version index (one
+// versionstamped entry + header per item) on top of the default schema.
+// This bench measures enqueue and dequeue+complete costs for both schemas.
+
+#include <benchmark/benchmark.h>
+
+#include "cloudkit/queue_zone.h"
+#include "fdb/retry.h"
+
+namespace quick::bench {
+namespace {
+
+void RunEnqueue(benchmark::State& state, bool fifo) {
+  fdb::Database db("fifo-bench");
+  const tup::Subspace subspace(tup::Tuple().AddString("z"));
+  for (auto _ : state) {
+    fdb::Transaction txn = db.CreateTransaction();
+    ck::QueueZone zone(&txn, subspace, SystemClock::Default(), fifo);
+    ck::QueuedItem item;
+    item.job_type = "bench";
+    benchmark::DoNotOptimize(zone.Enqueue(item, 0));
+    (void)txn.Commit();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void RunDequeueComplete(benchmark::State& state, bool fifo) {
+  fdb::Database db("fifo-bench");
+  const tup::Subspace subspace(tup::Tuple().AddString("z"));
+  // Pre-fill a rolling backlog.
+  auto refill = [&](int n) {
+    (void)fdb::RunTransaction(&db, [&](fdb::Transaction& txn) {
+      ck::QueueZone zone(&txn, subspace, SystemClock::Default(), fifo);
+      for (int i = 0; i < n; ++i) {
+        ck::QueuedItem item;
+        item.job_type = "bench";
+        QUICK_RETURN_IF_ERROR(zone.Enqueue(item, 0).status());
+      }
+      return Status::OK();
+    });
+  };
+  refill(256);
+  int since_refill = 0;
+  for (auto _ : state) {
+    fdb::Transaction txn = db.CreateTransaction();
+    ck::QueueZone zone(&txn, subspace, SystemClock::Default(), fifo);
+    auto batch = fifo ? zone.DequeueFifo(1, 10000) : zone.Dequeue(1, 10000);
+    if (batch.ok() && !batch->empty()) {
+      (void)zone.Complete((*batch)[0].item.id, (*batch)[0].lease_id);
+    }
+    (void)txn.Commit();
+    if (++since_refill >= 200) {
+      state.PauseTiming();
+      refill(200);
+      since_refill = 0;
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+
+void BM_A7_EnqueueDefault(benchmark::State& state) {
+  RunEnqueue(state, false);
+}
+void BM_A7_EnqueueFifo(benchmark::State& state) { RunEnqueue(state, true); }
+void BM_A7_DequeueCompleteDefault(benchmark::State& state) {
+  RunDequeueComplete(state, false);
+}
+void BM_A7_DequeueCompleteFifo(benchmark::State& state) {
+  RunDequeueComplete(state, true);
+}
+
+BENCHMARK(BM_A7_EnqueueDefault);
+BENCHMARK(BM_A7_EnqueueFifo);
+BENCHMARK(BM_A7_DequeueCompleteDefault);
+BENCHMARK(BM_A7_DequeueCompleteFifo);
+
+}  // namespace
+}  // namespace quick::bench
+
+BENCHMARK_MAIN();

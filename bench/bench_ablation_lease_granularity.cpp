@@ -1,0 +1,87 @@
+// Ablation A1 — lease granularity: QuiCK's coarse queue-level (pointer)
+// leases vs per-item leases where consumers race to lease individual work
+// items (the ATF-style baseline of §7). With few hot queues and several
+// consumers, item-level leasing makes consumers collide on the same item
+// records at commit time; queue-level leasing resolves contention once per
+// queue visit.
+
+#include "bench_common.h"
+
+namespace quick::bench {
+namespace {
+
+void RunGranularity(benchmark::State& state, bool item_level) {
+  QuietLogs();
+  wl::HarnessOptions hopts;
+  hopts.num_clusters = 1;
+  hopts.work_millis = 1;
+  wl::Harness harness(hopts);
+
+  // Few hot queues: contention is the point.
+  constexpr int kClients = 8;
+  wl::SaturationFeeder feeder(&harness, kClients, /*items_per_enqueue=*/4,
+                              /*num_threads=*/2);
+  feeder.Start(/*backlog_target_per_client=*/8);
+
+  core::ConsumerConfig config = BenchConsumerConfig();
+  config.dequeue_max = 4;
+  config.sequential = false;
+  config.selection_frac = 0.5;  // consumers overlap on purpose
+  config.item_level_leases_only = item_level;
+
+  for (auto _ : state) {
+    std::vector<std::unique_ptr<core::Consumer>> consumers;
+    for (int i = 0; i < 4; ++i) {
+      consumers.push_back(std::make_unique<core::Consumer>(
+          harness.quick(), harness.cluster_names(), harness.registry(),
+          config, "a1-consumer-" + std::to_string(i)));
+      consumers.back()->Start();
+    }
+    SleepMs(500);
+    const int64_t before = harness.WorkExecuted();
+    fdb::Database::Stats db_before =
+        harness.cloudkit()->clusters()->Get("cluster0")->GetStats();
+    const auto t0 = std::chrono::steady_clock::now();
+    SleepMs(2000);
+    const int64_t after = harness.WorkExecuted();
+    fdb::Database::Stats db_after =
+        harness.cloudkit()->clusters()->Get("cluster0")->GetStats();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    PoolStats stats;
+    Collect(consumers, &stats);
+    StopConsumers(consumers);
+
+    state.counters["throughput_items_per_sec"] = (after - before) / secs;
+    state.counters["fdb_conflicts"] =
+        static_cast<double>(db_after.conflicts - db_before.conflicts);
+    state.counters["collisions_read"] =
+        static_cast<double>(stats.collisions_read);
+    state.counters["collisions_commit"] =
+        static_cast<double>(stats.collisions_commit);
+  }
+  feeder.Stop();
+}
+
+void BM_A1_QueueLevelLeases(benchmark::State& state) {
+  RunGranularity(state, /*item_level=*/false);
+}
+
+void BM_A1_ItemLevelLeases(benchmark::State& state) {
+  RunGranularity(state, /*item_level=*/true);
+}
+
+BENCHMARK(BM_A1_QueueLevelLeases)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_A1_ItemLevelLeases)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace quick::bench
+
+BENCHMARK_MAIN();

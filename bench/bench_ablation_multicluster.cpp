@@ -1,0 +1,81 @@
+// Ablation A5 — cluster scaling: the paper evaluates a single FoundationDB
+// cluster and argues the fleet scales because clusters are independent
+// ("Since these clusters are independent, in this evaluation we've focused
+// on QuiCK's performance with one cluster", §8). This bench verifies that
+// independence: a fixed consumer pool spread over N clusters should see
+// aggregate throughput roughly constant (consumer-bound) while per-cluster
+// load — commits, conflicts — divides by N.
+
+#include "bench_common.h"
+
+namespace quick::bench {
+namespace {
+
+void BM_A5_ClusterScaling(benchmark::State& state) {
+  QuietLogs();
+  const int num_clusters = static_cast<int>(state.range(0));
+
+  wl::HarnessOptions hopts;
+  hopts.num_clusters = num_clusters;
+  hopts.work_millis = 1;
+  wl::Harness harness(hopts);
+
+  constexpr int kClients = 128;
+  wl::SaturationFeeder feeder(&harness, kClients, /*items_per_enqueue=*/2,
+                              /*num_threads=*/4);
+  feeder.Start(4);
+
+  core::ConsumerConfig config = BenchConsumerConfig();
+  config.dequeue_max = 2;
+
+  for (auto _ : state) {
+    auto consumers = StartConsumers(&harness, 4, config);
+    SleepMs(500);
+    const int64_t before = harness.WorkExecuted();
+    std::vector<fdb::Database::Stats> before_stats;
+    for (const std::string& name : harness.cluster_names()) {
+      before_stats.push_back(
+          harness.cloudkit()->clusters()->Get(name)->GetStats());
+    }
+    const auto t0 = std::chrono::steady_clock::now();
+    SleepMs(2000);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const int64_t after = harness.WorkExecuted();
+    StopConsumers(consumers);
+
+    int64_t total_commits = 0;
+    int64_t max_cluster_commits = 0;
+    for (size_t i = 0; i < harness.cluster_names().size(); ++i) {
+      fdb::Database::Stats now_stats =
+          harness.cloudkit()
+              ->clusters()
+              ->Get(harness.cluster_names()[i])
+              ->GetStats();
+      const int64_t commits =
+          now_stats.commits_succeeded - before_stats[i].commits_succeeded;
+      total_commits += commits;
+      max_cluster_commits = std::max(max_cluster_commits, commits);
+    }
+    state.counters["clusters"] = num_clusters;
+    state.counters["throughput_items_per_sec"] = (after - before) / secs;
+    state.counters["hottest_cluster_commit_share_pct"] =
+        100.0 * max_cluster_commits / std::max<int64_t>(1, total_commits);
+  }
+  feeder.Stop();
+}
+
+BENCHMARK(BM_A5_ClusterScaling)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace quick::bench
+
+BENCHMARK_MAIN();

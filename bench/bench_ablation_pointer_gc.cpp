@@ -1,0 +1,69 @@
+// Ablation A4 — pointer-GC grace period: QuiCK deletes a pointer only
+// after its queue has been inactive for min_inactive (§6 "Pointer
+// garbage-collection"). With a bursty on/off workload, zero grace causes
+// pointer delete/create churn — every new burst pays a pointer creation
+// (and risks create/delete conflicts) — while a grace period longer than
+// the burst gap lets bursts reuse the standing pointer.
+
+#include "bench_common.h"
+
+namespace quick::bench {
+namespace {
+
+void BM_A4_PointerGcGrace(benchmark::State& state) {
+  QuietLogs();
+  const int64_t min_inactive_ms = state.range(0);
+
+  wl::HarnessOptions hopts;
+  hopts.work_millis = 0;
+  wl::Harness harness(hopts);
+
+  core::ConsumerConfig config = BenchConsumerConfig();
+  config.dequeue_max = 4;
+  config.min_inactive_millis = min_inactive_ms;
+  config.pointer_lease_millis = 30;   // fast revisits so GC can trigger
+  config.item_lease_millis = 100;     // pointer re-vests quickly after drain
+
+  constexpr int kClients = 16;
+  constexpr int kBursts = 12;
+
+  for (auto _ : state) {
+    auto consumers = StartConsumers(&harness, 2, config);
+    fdb::Database* db = harness.cloudkit()->clusters()->Get("cluster0");
+    fdb::Database::Stats before = db->GetStats();
+    // Bursty traffic: a burst to every client, then an idle gap that
+    // exceeds a zero/short grace but not a long one.
+    for (int burst = 0; burst < kBursts; ++burst) {
+      for (int c = 0; c < kClients; ++c) {
+        benchmark::DoNotOptimize(harness.EnqueueSim(c, 2));
+      }
+      SleepMs(300);  // idle gap between bursts (> pointer re-vest time)
+    }
+    SleepMs(300);  // drain
+    fdb::Database::Stats after = db->GetStats();
+    PoolStats stats;
+    Collect(consumers, &stats);
+    StopConsumers(consumers);
+
+    state.counters["min_inactive_ms"] = static_cast<double>(min_inactive_ms);
+    state.counters["pointers_deleted"] =
+        static_cast<double>(stats.pointers_deleted);
+    state.counters["fdb_conflicts"] =
+        static_cast<double>(after.conflicts - before.conflicts);
+    state.counters["items_processed"] =
+        static_cast<double>(stats.items_processed);
+  }
+}
+
+BENCHMARK(BM_A4_PointerGcGrace)
+    ->Arg(0)       // GC immediately on observing empty
+    ->Arg(150)     // shorter than the burst gap: still churns
+    ->Arg(60000)   // longer than the whole run: no churn
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace quick::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Ablation A3 — read-version caching / causal-read-risky: with the
+// paper-like latency model (GRV ~2ms, commit ~13ms), QuiCK uses cached read
+// versions and causal_read_risky for peeks and obtain-lease transactions
+// (§6 "Isolation level"). This bench measures pointer-pickup latency and
+// GRV traffic with the optimization on vs off.
+
+#include "bench_common.h"
+
+namespace quick::bench {
+namespace {
+
+void RunVersionCache(benchmark::State& state, bool relaxed) {
+  QuietLogs();
+  wl::HarnessOptions hopts;
+  hopts.work_millis = 1;
+  hopts.latency = fdb::LatencyModel::PaperLike();
+  hopts.grv_cache_staleness_millis = 50;
+  wl::Harness harness(hopts);
+
+  constexpr int kClients = 64;
+  wl::SaturationFeeder feeder(&harness, kClients, /*items_per_enqueue=*/1,
+                              /*num_threads=*/4);
+  feeder.Start(2);
+
+  core::ConsumerConfig config = BenchConsumerConfig();
+  config.dequeue_max = 1;
+  config.relaxed_reads_for_peek = relaxed;
+
+  for (auto _ : state) {
+    auto consumers = StartConsumers(&harness, 2, config);
+    SleepMs(500);
+    fdb::Database* db = harness.cloudkit()->clusters()->Get("cluster0");
+    fdb::Database::Stats before = db->GetStats();
+    const int64_t work_before = harness.WorkExecuted();
+    for (auto& c : consumers) c->stats().pointer_latency_micros.Reset();
+    const auto t0 = std::chrono::steady_clock::now();
+    SleepMs(2500);
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    fdb::Database::Stats after = db->GetStats();
+    PoolStats stats;
+    Collect(consumers, &stats);
+    StopConsumers(consumers);
+
+    state.counters["pointer_p50_ms"] =
+        stats.pointer_latency_micros.Percentile(0.50) / 1000.0;
+    state.counters["pointer_p999_ms"] =
+        stats.pointer_latency_micros.Percentile(0.999) / 1000.0;
+    state.counters["grv_calls"] =
+        static_cast<double>(after.grv_calls - before.grv_calls);
+    state.counters["grv_cache_hits"] =
+        static_cast<double>(after.grv_cache_hits - before.grv_cache_hits);
+    state.counters["throughput_items_per_sec"] =
+        (harness.WorkExecuted() - work_before) / secs;
+  }
+  feeder.Stop();
+}
+
+void BM_A3_RelaxedReads(benchmark::State& state) {
+  RunVersionCache(state, /*relaxed=*/true);
+}
+
+void BM_A3_StrictGrvEveryTxn(benchmark::State& state) {
+  RunVersionCache(state, /*relaxed=*/false);
+}
+
+BENCHMARK(BM_A3_RelaxedReads)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+BENCHMARK(BM_A3_StrictGrvEveryTxn)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace quick::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,91 @@
+#ifndef QUICK_BENCH_BENCH_COMMON_H_
+#define QUICK_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+#include "workload/harness.h"
+#include "workload/load_generator.h"
+
+namespace quick::bench {
+
+/// Aggregated consumer statistics over a pool.
+struct PoolStats {
+  int64_t items_processed = 0;
+  int64_t items_dequeued = 0;
+  int64_t lease_attempts = 0;
+  int64_t collisions_read = 0;
+  int64_t collisions_commit = 0;
+  int64_t pointers_deleted = 0;
+  Histogram pointer_latency_micros;
+  Histogram item_latency_micros;
+};
+
+inline void Collect(
+    const std::vector<std::unique_ptr<core::Consumer>>& consumers,
+    PoolStats* out_stats) {
+  PoolStats& out = *out_stats;
+  for (const auto& c : consumers) {
+    core::ConsumerStats& s = c->stats();
+    out.items_processed += s.items_processed.Value();
+    out.items_dequeued += s.items_dequeued.Value();
+    out.lease_attempts += s.pointer_lease_attempts.Value();
+    out.collisions_read += s.lease_collisions_read.Value();
+    out.collisions_commit += s.lease_collisions_commit.Value();
+    out.pointers_deleted += s.pointers_deleted.Value();
+    out.pointer_latency_micros.Merge(s.pointer_latency_micros);
+    out.item_latency_micros.Merge(s.item_latency_micros);
+  }
+}
+
+/// Starts `n` consumers over the harness's clusters.
+inline std::vector<std::unique_ptr<core::Consumer>> StartConsumers(
+    wl::Harness* harness, int n, core::ConsumerConfig config) {
+  std::vector<std::unique_ptr<core::Consumer>> out;
+  out.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    out.push_back(
+        harness->MakeConsumer(config, "bench-consumer-" + std::to_string(i)));
+    out.back()->Start();
+  }
+  return out;
+}
+
+inline void StopConsumers(
+    std::vector<std::unique_ptr<core::Consumer>>& consumers) {
+  for (auto& c : consumers) c->Stop();
+}
+
+inline void SleepMs(int64_t ms) {
+  std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+}
+
+/// Benchmarks run with logging quieted.
+inline void QuietLogs() { Logger::Threshold() = LogLevel::kError; }
+
+/// Scaled-down defaults shared by the figure benches. The paper ran 128
+/// manager + 128 worker threads per consumer on server hardware; one laptop
+/// process hosts many consumers, so each gets a small pool. All shapes are
+/// preserved; absolute throughput is not comparable (see EXPERIMENTS.md).
+inline core::ConsumerConfig BenchConsumerConfig() {
+  core::ConsumerConfig config;
+  config.num_manager_threads = 2;
+  config.num_worker_threads = 8;
+  config.pointer_lease_millis = 500;
+  config.item_lease_millis = 3000;
+  config.lease_extension_interval_millis = 500;
+  config.min_inactive_millis = 5000;
+  config.idle_sleep_millis = 1;
+  config.selection_frac = 0.02;
+  config.selection_max = 2000;
+  config.peek_max = 20000;
+  return config;
+}
+
+}  // namespace quick::bench
+
+#endif  // QUICK_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,90 @@
+// Figure 4: saturation throughput vs number of consumers, for 1/2/4 tasks
+// per enqueue. Expected shape (paper §8): throughput scales ~linearly with
+// consumers, and more tasks per enqueue yields higher throughput because
+// the pointer-lease cost is amortized over the dequeued batch (dequeue_max
+// equals tasks per enqueue, as in the paper).
+//
+// Methodology: a large backlog is pre-filled across many tenant queues at
+// full simulator speed, then realistic FDB latencies are switched on and
+// the consumer pool drains the backlog for a fixed window — so consumers,
+// not the load generator, are what saturates.
+
+#include "bench_common.h"
+
+#include <thread>
+
+namespace quick::bench {
+namespace {
+
+constexpr int kClients = 2000;
+constexpr int kEnqueuesPerClient = 30;
+
+void Prefill(wl::Harness* harness, int tasks_per_enqueue) {
+  constexpr int kThreads = 16;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([=] {
+      for (int c = t; c < kClients; c += kThreads) {
+        for (int i = 0; i < kEnqueuesPerClient; ++i) {
+          (void)harness->EnqueueSim(c, tasks_per_enqueue);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+}
+
+void BM_Fig4_SaturationThroughput(benchmark::State& state) {
+  QuietLogs();
+  const int num_consumers = static_cast<int>(state.range(0));
+  const int tasks_per_enqueue = static_cast<int>(state.range(1));
+
+  wl::HarnessOptions hopts;
+  hopts.num_clusters = 1;
+  hopts.work_millis = 2;  // scaled-down ~50ms async work
+  wl::Harness harness(hopts);
+
+  // Pre-fill the backlog with latency injection off, then enable a modest
+  // latency model so per-visit costs are realistic.
+  Prefill(&harness, tasks_per_enqueue);
+  fdb::LatencyModel latency;
+  latency.grv_micros = 300;
+  latency.grv_causal_read_risky_micros = 100;
+  latency.read_micros = 50;
+  latency.commit_micros = 1000;
+  harness.cloudkit()->clusters()->Get("cluster0")->set_latency(latency);
+
+  core::ConsumerConfig config = BenchConsumerConfig();
+  config.dequeue_max = tasks_per_enqueue;
+  config.selection_max = 200;
+
+  for (auto _ : state) {
+    auto consumers = StartConsumers(&harness, num_consumers, config);
+    SleepMs(500);  // warm up
+    const int64_t before = harness.WorkExecuted();
+    const auto t0 = std::chrono::steady_clock::now();
+    SleepMs(2500);
+    const int64_t after = harness.WorkExecuted();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    StopConsumers(consumers);
+    state.counters["items_per_sec"] = (after - before) / secs;
+    state.counters["consumers"] = num_consumers;
+    state.counters["tasks_per_enqueue"] = tasks_per_enqueue;
+    state.counters["backlog_left"] = static_cast<double>(
+        kClients * kEnqueuesPerClient * tasks_per_enqueue -
+        harness.WorkExecuted());
+  }
+}
+
+BENCHMARK(BM_Fig4_SaturationThroughput)
+    ->ArgsProduct({{1, 2, 4, 8, 16}, {1, 2, 4}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace quick::bench
+
+BENCHMARK_MAIN();

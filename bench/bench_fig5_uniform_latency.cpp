@@ -1,0 +1,64 @@
+// Figure 5: pointer-pickup and work-item latency under uniform load with a
+// single consumer processing pointers sequentially and dequeue_max = 1.
+// Expected shape (paper §8): median and tail latencies are low and close;
+// work-item latency ≈ pointer latency + dequeue cost.
+
+#include "bench_common.h"
+
+namespace quick::bench {
+namespace {
+
+void BM_Fig5_UniformLatency(benchmark::State& state) {
+  QuietLogs();
+  wl::HarnessOptions hopts;
+  hopts.num_clusters = 1;
+  hopts.work_millis = 1;
+  wl::Harness harness(hopts);
+
+  // Uniform open-loop load the single consumer can absorb: the paper used
+  // 150K clients at 1/min; this is the scaled equivalent.
+  wl::LoadOptions lopts;
+  lopts.num_clients = 150;
+  lopts.rate_per_client_hz = 0.5;  // aggregate 75 items/s
+  lopts.items_per_enqueue = 1;
+  lopts.skewed = false;
+
+  core::ConsumerConfig config = BenchConsumerConfig();
+  config.dequeue_max = 1;
+  config.sequential = true;
+
+  for (auto _ : state) {
+    wl::OpenLoopGenerator load(&harness, lopts);
+    load.Start();
+    // One consumer, sequential (no contention to avoid, as in the paper).
+    auto consumer = harness.MakeConsumer(config, "fig5-consumer");
+    consumer->Start();
+    SleepMs(1000);  // warm-up
+    consumer->stats().pointer_latency_micros.Reset();
+    consumer->stats().item_latency_micros.Reset();
+    SleepMs(4000);  // measurement window
+    core::ConsumerStats& s = consumer->stats();
+    state.counters["pointer_p50_ms"] =
+        s.pointer_latency_micros.Percentile(0.50) / 1000.0;
+    state.counters["pointer_p999_ms"] =
+        s.pointer_latency_micros.Percentile(0.999) / 1000.0;
+    state.counters["item_p50_ms"] =
+        s.item_latency_micros.Percentile(0.50) / 1000.0;
+    state.counters["item_p999_ms"] =
+        s.item_latency_micros.Percentile(0.999) / 1000.0;
+    state.counters["items_observed"] =
+        static_cast<double>(s.item_latency_micros.Count());
+    consumer->Stop();
+    load.Stop();
+  }
+}
+
+BENCHMARK(BM_Fig5_UniformLatency)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace quick::bench
+
+BENCHMARK_MAIN();

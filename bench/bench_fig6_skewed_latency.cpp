@@ -1,0 +1,62 @@
+// Figure 6: the Figure 5 setup under Pareto-skewed load (α = log₄5).
+// Expected shape (paper §8): pointers are still picked up quickly and
+// work-item medians stay low, but work-item tail latency (p99.9) is much
+// higher — the "water-filling" scheduler spends bounded time per queue and
+// returns to long queues later rather than draining them to completion.
+
+#include "bench_common.h"
+
+namespace quick::bench {
+namespace {
+
+void BM_Fig6_SkewedLatency(benchmark::State& state) {
+  QuietLogs();
+  wl::HarnessOptions hopts;
+  hopts.num_clusters = 1;
+  hopts.work_millis = 1;
+  wl::Harness harness(hopts);
+
+  wl::LoadOptions lopts;
+  lopts.num_clients = 150;
+  lopts.rate_per_client_hz = 0.5;  // same aggregate as Figure 5
+  lopts.items_per_enqueue = 1;
+  lopts.skewed = true;  // Pareto(α = log₄5) per-client rates
+
+  core::ConsumerConfig config = BenchConsumerConfig();
+  config.dequeue_max = 1;
+  config.sequential = true;
+
+  for (auto _ : state) {
+    wl::OpenLoopGenerator load(&harness, lopts);
+    load.Start();
+    auto consumer = harness.MakeConsumer(config, "fig6-consumer");
+    consumer->Start();
+    SleepMs(1000);
+    consumer->stats().pointer_latency_micros.Reset();
+    consumer->stats().item_latency_micros.Reset();
+    SleepMs(4000);
+    core::ConsumerStats& s = consumer->stats();
+    state.counters["pointer_p50_ms"] =
+        s.pointer_latency_micros.Percentile(0.50) / 1000.0;
+    state.counters["pointer_p999_ms"] =
+        s.pointer_latency_micros.Percentile(0.999) / 1000.0;
+    state.counters["item_p50_ms"] =
+        s.item_latency_micros.Percentile(0.50) / 1000.0;
+    state.counters["item_p999_ms"] =
+        s.item_latency_micros.Percentile(0.999) / 1000.0;
+    state.counters["items_observed"] =
+        static_cast<double>(s.item_latency_micros.Count());
+    consumer->Stop();
+    load.Stop();
+  }
+}
+
+BENCHMARK(BM_Fig6_SkewedLatency)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace quick::bench
+
+BENCHMARK_MAIN();

@@ -1,0 +1,174 @@
+// Micro-benchmarks of the substrates: tuple encoding, FDB simulator
+// transactions, record-store operations, and queue-zone primitives. Not a
+// paper figure — operational baselines for the layers everything above
+// depends on.
+
+#include <benchmark/benchmark.h>
+
+#include "cloudkit/queue_zone.h"
+#include "fdb/retry.h"
+#include "reclayer/record_store.h"
+#include "tuple/tuple.h"
+
+namespace quick {
+namespace {
+
+void BM_TupleEncode(benchmark::State& state) {
+  tup::Tuple t;
+  t.AddString("user12345").AddInt(1234567).AddString("zone").AddInt(-42);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(t.Encode());
+  }
+}
+BENCHMARK(BM_TupleEncode);
+
+void BM_TupleDecode(benchmark::State& state) {
+  tup::Tuple t;
+  t.AddString("user12345").AddInt(1234567).AddString("zone").AddInt(-42);
+  const std::string encoded = t.Encode();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tup::Tuple::Decode(encoded));
+  }
+}
+BENCHMARK(BM_TupleDecode);
+
+void BM_FdbSetCommit(benchmark::State& state) {
+  fdb::Database db("bench");
+  int64_t i = 0;
+  for (auto _ : state) {
+    fdb::Transaction txn = db.CreateTransaction();
+    txn.Set("key" + std::to_string(i % 1000), "value");
+    benchmark::DoNotOptimize(txn.Commit());
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FdbSetCommit);
+
+void BM_FdbGet(benchmark::State& state) {
+  fdb::Database db("bench");
+  {
+    fdb::Transaction txn = db.CreateTransaction();
+    for (int i = 0; i < 1000; ++i) {
+      txn.Set("key" + std::to_string(i), "value");
+    }
+    (void)txn.Commit();
+  }
+  int64_t i = 0;
+  for (auto _ : state) {
+    fdb::Transaction txn = db.CreateTransaction();
+    benchmark::DoNotOptimize(txn.Get("key" + std::to_string(i % 1000)));
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FdbGet);
+
+void BM_FdbRangeScan100(benchmark::State& state) {
+  fdb::Database db("bench");
+  {
+    fdb::Transaction txn = db.CreateTransaction();
+    for (int i = 0; i < 1000; ++i) {
+      char key[16];
+      std::snprintf(key, sizeof(key), "key%06d", i);
+      txn.Set(key, "value");
+    }
+    (void)txn.Commit();
+  }
+  for (auto _ : state) {
+    fdb::Transaction txn = db.CreateTransaction();
+    fdb::RangeOptions opts;
+    opts.limit = 100;
+    benchmark::DoNotOptimize(txn.GetRange(KeyRange::Prefix("key"), opts));
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_FdbRangeScan100);
+
+rl::RecordMetadata BenchMetadata() {
+  rl::RecordMetadata meta;
+  rl::RecordTypeDef t;
+  t.name = "Doc";
+  t.fields = {{"id", rl::FieldType::kInt64}, {"rank", rl::FieldType::kInt64}};
+  t.primary_key_fields = {"id"};
+  (void)meta.AddRecordType(std::move(t));
+  rl::IndexDef idx;
+  idx.name = "by_rank";
+  idx.fields = {"rank"};
+  (void)meta.AddIndex(std::move(idx));
+  return meta;
+}
+
+void BM_RecordSave(benchmark::State& state) {
+  static const rl::RecordMetadata* meta = new rl::RecordMetadata(BenchMetadata());
+  fdb::Database db("bench");
+  const tup::Subspace subspace(tup::Tuple().AddString("s"));
+  int64_t i = 0;
+  for (auto _ : state) {
+    fdb::Transaction txn = db.CreateTransaction();
+    rl::RecordStore store(&txn, subspace, meta);
+    rl::Record r("Doc");
+    r.SetInt("id", i % 1000).SetInt("rank", i);
+    benchmark::DoNotOptimize(store.SaveRecord(r));
+    (void)txn.Commit();
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RecordSave);
+
+void BM_QueueZoneEnqueue(benchmark::State& state) {
+  fdb::Database db("bench");
+  const tup::Subspace subspace(tup::Tuple().AddString("qz"));
+  for (auto _ : state) {
+    fdb::Transaction txn = db.CreateTransaction();
+    ck::QueueZone zone(&txn, subspace, SystemClock::Default());
+    ck::QueuedItem item;
+    item.job_type = "bench";
+    benchmark::DoNotOptimize(zone.Enqueue(item, 0));
+    (void)txn.Commit();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueueZoneEnqueue);
+
+void BM_QueueZoneDequeueComplete(benchmark::State& state) {
+  fdb::Database db("bench");
+  const tup::Subspace subspace(tup::Tuple().AddString("qz"));
+  // Pre-fill enough for the measured iterations.
+  {
+    Status st = fdb::RunTransaction(&db, [&](fdb::Transaction& txn) {
+      ck::QueueZone zone(&txn, subspace, SystemClock::Default());
+      for (int i = 0; i < 512; ++i) {
+        ck::QueuedItem item;
+        item.job_type = "bench";
+        QUICK_RETURN_IF_ERROR(zone.Enqueue(item, 0).status());
+      }
+      return Status::OK();
+    });
+    (void)st;
+  }
+  int64_t refill = 0;
+  for (auto _ : state) {
+    fdb::Transaction txn = db.CreateTransaction();
+    ck::QueueZone zone(&txn, subspace, SystemClock::Default());
+    auto batch = zone.Dequeue(1, 10000);
+    if (batch.ok() && !batch->empty()) {
+      (void)zone.Complete((*batch)[0].item.id, (*batch)[0].lease_id);
+    } else {
+      // Refill outside the measured path would be nicer; keep it simple.
+      ck::QueuedItem item;
+      item.job_type = "bench";
+      item.id = "refill" + std::to_string(refill++);
+      (void)zone.Enqueue(item, 0);
+    }
+    (void)txn.Commit();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QueueZoneDequeueComplete);
+
+}  // namespace
+}  // namespace quick
+
+BENCHMARK_MAIN();

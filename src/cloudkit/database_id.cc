@@ -1,0 +1,25 @@
+#include "cloudkit/database_id.h"
+
+namespace quick::ck {
+
+Result<DatabaseId> DatabaseId::FromKeyString(std::string_view s) {
+  const size_t first = s.find('\x1f');
+  if (first == std::string_view::npos) {
+    return Status::InvalidArgument("malformed database key");
+  }
+  const size_t second = s.find('\x1f', first + 1);
+  if (second == std::string_view::npos) {
+    return Status::InvalidArgument("malformed database key");
+  }
+  DatabaseId id;
+  id.app = std::string(s.substr(0, first));
+  id.user = std::string(s.substr(first + 1, second - first - 1));
+  const std::string_view kind_str = s.substr(second + 1);
+  if (kind_str.size() != 1 || kind_str[0] < '0' || kind_str[0] > '2') {
+    return Status::InvalidArgument("bad database kind");
+  }
+  id.kind = static_cast<DatabaseKind>(kind_str[0] - '0');
+  return id;
+}
+
+}  // namespace quick::ck

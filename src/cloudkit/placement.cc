@@ -1,0 +1,37 @@
+#include "cloudkit/placement.h"
+
+#include <functional>
+
+namespace quick::ck {
+
+std::string PlacementDirectory::AssignOrGet(const DatabaseId& id) {
+  // ClusterDBs are pinned to the cluster they name.
+  if (id.kind == DatabaseKind::kCluster) return id.user;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = assignments_.find(id);
+  if (it != assignments_.end()) return it->second;
+  const size_t h = std::hash<std::string>{}(id.ToKeyString());
+  const std::string& cluster = cluster_names_[h % cluster_names_.size()];
+  assignments_.emplace(id, cluster);
+  return cluster;
+}
+
+std::optional<std::string> PlacementDirectory::Get(const DatabaseId& id) const {
+  if (id.kind == DatabaseKind::kCluster) return id.user;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = assignments_.find(id);
+  if (it == assignments_.end()) return std::nullopt;
+  return it->second;
+}
+
+void PlacementDirectory::Set(const DatabaseId& id, const std::string& cluster) {
+  std::lock_guard<std::mutex> lock(mu_);
+  assignments_[id] = cluster;
+}
+
+size_t PlacementDirectory::AssignmentCount() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return assignments_.size();
+}
+
+}  // namespace quick::ck

@@ -1,0 +1,48 @@
+#ifndef QUICK_CLOUDKIT_PLACEMENT_H_
+#define QUICK_CLOUDKIT_PLACEMENT_H_
+
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cloudkit/database_id.h"
+
+namespace quick::ck {
+
+/// Directory mapping logical databases to FoundationDB clusters. CloudKit
+/// assigns each logical database to one cluster and rebalances by moving
+/// databases (§1); this in-process directory models that metadata service.
+/// ClusterDBs are always pinned to their own cluster.
+class PlacementDirectory {
+ public:
+  explicit PlacementDirectory(std::vector<std::string> cluster_names)
+      : cluster_names_(std::move(cluster_names)) {}
+
+  /// Cluster for `id`, assigning one (hash placement) on first sight.
+  std::string AssignOrGet(const DatabaseId& id);
+
+  /// Cluster for `id` if already assigned.
+  std::optional<std::string> Get(const DatabaseId& id) const;
+
+  /// Re-pins a database (tenant migration). The caller is responsible for
+  /// moving the data first.
+  void Set(const DatabaseId& id, const std::string& cluster);
+
+  const std::vector<std::string>& cluster_names() const {
+    return cluster_names_;
+  }
+
+  /// Number of explicit assignments (diagnostics).
+  size_t AssignmentCount() const;
+
+ private:
+  std::vector<std::string> cluster_names_;
+  mutable std::mutex mu_;
+  std::map<DatabaseId, std::string> assignments_;
+};
+
+}  // namespace quick::ck
+
+#endif  // QUICK_CLOUDKIT_PLACEMENT_H_

@@ -1,0 +1,302 @@
+#include "cloudkit/queue_zone.h"
+
+#include "common/random.h"
+
+namespace quick::ck {
+
+namespace {
+
+rl::RecordMetadata BuildMetadata(bool fifo) {
+  rl::RecordMetadata meta(fifo ? 2 : 1);
+  rl::RecordTypeDef item;
+  item.name = QueuedItem::kRecordType;
+  item.fields = {
+      {"id", rl::FieldType::kString},
+      {"job_type", rl::FieldType::kString},
+      {"priority", rl::FieldType::kInt64},
+      {"vesting_time", rl::FieldType::kInt64},
+      {"lease_id", rl::FieldType::kString},
+      {"error_count", rl::FieldType::kInt64},
+      {"payload", rl::FieldType::kBytes},
+      {"enqueue_time", rl::FieldType::kInt64},
+      {"db_key", rl::FieldType::kString},
+      {"last_active_time", rl::FieldType::kInt64},
+  };
+  item.primary_key_fields = {"id"};
+  Status st = meta.AddRecordType(std::move(item));
+  (void)st;
+
+  rl::IndexDef vesting;
+  vesting.name = QueueZone::kVestingIndex;
+  vesting.kind = rl::IndexKind::kValue;
+  vesting.record_types = {QueuedItem::kRecordType};
+  vesting.fields = {"priority", "vesting_time"};
+  st = meta.AddIndex(std::move(vesting));
+
+  rl::IndexDef by_db_key;
+  by_db_key.name = QueueZone::kDbKeyIndex;
+  by_db_key.kind = rl::IndexKind::kValue;
+  by_db_key.record_types = {QueuedItem::kRecordType};
+  by_db_key.fields = {"db_key"};
+  st = meta.AddIndex(std::move(by_db_key));
+
+  rl::IndexDef count;
+  count.name = QueueZone::kCountIndex;
+  count.kind = rl::IndexKind::kCount;
+  count.record_types = {QueuedItem::kRecordType};
+  st = meta.AddIndex(std::move(count));
+
+  if (fifo) {
+    // Sticky version index: each item keeps the commit version of its
+    // enqueue across lease/requeue updates, giving a strict arrival order
+    // immune to clock skew (§5).
+    rl::IndexDef arrival;
+    arrival.name = QueueZone::kArrivalIndex;
+    arrival.kind = rl::IndexKind::kVersion;
+    arrival.sticky_version = true;
+    arrival.record_types = {QueuedItem::kRecordType};
+    st = meta.AddIndex(std::move(arrival));
+  }
+  return meta;
+}
+
+}  // namespace
+
+const rl::RecordMetadata& QueueZone::Metadata() {
+  static const rl::RecordMetadata* meta =
+      new rl::RecordMetadata(BuildMetadata(false));
+  return *meta;
+}
+
+const rl::RecordMetadata& QueueZone::FifoMetadata() {
+  static const rl::RecordMetadata* meta =
+      new rl::RecordMetadata(BuildMetadata(true));
+  return *meta;
+}
+
+QueueZone::QueueZone(fdb::Transaction* txn, tup::Subspace zone_subspace,
+                     Clock* clock, bool fifo)
+    : txn_(txn),
+      store_(txn, std::move(zone_subspace),
+             fifo ? &FifoMetadata() : &Metadata()),
+      clock_(clock) {}
+
+Result<std::string> QueueZone::Enqueue(QueuedItem item,
+                                       int64_t vesting_delay_millis) {
+  if (item.id.empty()) {
+    item.id = Random::ThreadLocal().NextUuid();
+  }
+  const int64_t now = clock_->NowMillis();
+  item.vesting_time = now + vesting_delay_millis;
+  item.enqueue_time = now;
+  item.lease_id.clear();
+  QUICK_RETURN_IF_ERROR(Save(item));
+  return item.id;
+}
+
+Result<QueuedItem> QueueZone::LoadOrNotFound(const std::string& item_id) {
+  QUICK_ASSIGN_OR_RETURN(
+      std::optional<rl::Record> rec,
+      store_.LoadRecord(QueuedItem::kRecordType,
+                        tup::Tuple().AddString(item_id)));
+  if (!rec.has_value()) {
+    return Status::NotFound("queued item " + item_id);
+  }
+  return QueuedItem::FromRecord(*rec);
+}
+
+Status QueueZone::Save(const QueuedItem& item) {
+  return store_.SaveRecord(item.ToRecord());
+}
+
+Result<std::vector<QueuedItem>> QueueZone::Peek(
+    int max_items, const std::function<bool(const QueuedItem&)>& predicate) {
+  const int64_t now = clock_->NowMillis();
+  rl::IndexScanOptions options;
+  options.snapshot = true;
+  QUICK_ASSIGN_OR_RETURN(
+      std::vector<rl::IndexEntry> entries,
+      store_.ScanIndex(kVestingIndex, tup::Tuple(), options));
+  std::vector<QueuedItem> out;
+  for (const rl::IndexEntry& entry : entries) {
+    QUICK_ASSIGN_OR_RETURN(int64_t vesting, entry.indexed_values.GetInt(1));
+    if (vesting > now) continue;  // not vested (or leased into the future)
+    QUICK_ASSIGN_OR_RETURN(std::string id, entry.primary_key.GetString(1));
+    QUICK_ASSIGN_OR_RETURN(
+        std::optional<rl::Record> rec,
+        store_.LoadRecord(QueuedItem::kRecordType,
+                          tup::Tuple().AddString(id)));
+    if (!rec.has_value()) continue;  // raced with a delete; snapshot scan
+    QUICK_ASSIGN_OR_RETURN(QueuedItem item, QueuedItem::FromRecord(*rec));
+    if (predicate && !predicate(item)) continue;
+    out.push_back(std::move(item));
+    if (max_items > 0 && static_cast<int>(out.size()) >= max_items) break;
+  }
+  return out;
+}
+
+Result<std::vector<std::string>> QueueZone::PeekIds(int max_items) {
+  const int64_t now = clock_->NowMillis();
+  rl::IndexScanOptions options;
+  options.snapshot = true;
+  QUICK_ASSIGN_OR_RETURN(
+      std::vector<rl::IndexEntry> entries,
+      store_.ScanIndex(kVestingIndex, tup::Tuple(), options));
+  std::vector<std::string> ids;
+  for (const rl::IndexEntry& entry : entries) {
+    QUICK_ASSIGN_OR_RETURN(int64_t vesting, entry.indexed_values.GetInt(1));
+    if (vesting > now) continue;
+    QUICK_ASSIGN_OR_RETURN(std::string id, entry.primary_key.GetString(1));
+    ids.push_back(std::move(id));
+    if (max_items > 0 && static_cast<int>(ids.size()) >= max_items) break;
+  }
+  return ids;
+}
+
+Result<std::string> QueueZone::ObtainLease(const std::string& item_id,
+                                           int64_t lease_duration_millis) {
+  QUICK_ASSIGN_OR_RETURN(QueuedItem item, LoadOrNotFound(item_id));
+  const int64_t now = clock_->NowMillis();
+  if (item.vesting_time > now) {
+    // Either delayed or under someone else's live lease — the cheap,
+    // read-detected collision of Figure 7(a).
+    return Status::LeaseLost("item not vested until " +
+                             std::to_string(item.vesting_time));
+  }
+  item.lease_id = Random::ThreadLocal().NextUuid();
+  item.vesting_time = now + lease_duration_millis;
+  QUICK_RETURN_IF_ERROR(Save(item));
+  return item.lease_id;
+}
+
+Status QueueZone::Complete(const std::string& item_id,
+                           const std::optional<std::string>& lease_id) {
+  QUICK_ASSIGN_OR_RETURN(QueuedItem item, LoadOrNotFound(item_id));
+  if (lease_id.has_value() && item.lease_id != *lease_id) {
+    return Status::LeaseLost("lease superseded on " + item_id);
+  }
+  QUICK_ASSIGN_OR_RETURN(
+      bool deleted,
+      store_.DeleteRecord(QueuedItem::kRecordType,
+                          tup::Tuple().AddString(item_id)));
+  return deleted ? Status::OK() : Status::NotFound("queued item " + item_id);
+}
+
+Status QueueZone::ExtendLease(const std::string& item_id,
+                              const std::string& lease_id,
+                              int64_t lease_duration_millis) {
+  QUICK_ASSIGN_OR_RETURN(QueuedItem item, LoadOrNotFound(item_id));
+  if (item.lease_id != lease_id) {
+    return Status::LeaseLost("lease superseded on " + item_id);
+  }
+  item.vesting_time = clock_->NowMillis() + lease_duration_millis;
+  return Save(item);
+}
+
+Status QueueZone::Requeue(const std::string& item_id,
+                          int64_t vesting_delay_millis,
+                          bool increment_error_count) {
+  QUICK_ASSIGN_OR_RETURN(QueuedItem item, LoadOrNotFound(item_id));
+  item.vesting_time = clock_->NowMillis() + vesting_delay_millis;
+  if (increment_error_count) ++item.error_count;
+  item.lease_id.clear();
+  return Save(item);
+}
+
+Result<std::vector<LeasedItem>> QueueZone::Dequeue(
+    int max_items, int64_t lease_duration_millis) {
+  QUICK_ASSIGN_OR_RETURN(std::vector<QueuedItem> items, Peek(max_items));
+  const int64_t now = clock_->NowMillis();
+  std::vector<LeasedItem> out;
+  out.reserve(items.size());
+  for (QueuedItem& item : items) {
+    item.lease_id = Random::ThreadLocal().NextUuid();
+    item.vesting_time = now + lease_duration_millis;
+    QUICK_RETURN_IF_ERROR(Save(item));
+    out.push_back({item, item.lease_id});
+  }
+  return out;
+}
+
+Result<std::optional<QueuedItem>> QueueZone::Load(const std::string& item_id) {
+  QUICK_ASSIGN_OR_RETURN(
+      std::optional<rl::Record> rec,
+      store_.LoadRecord(QueuedItem::kRecordType,
+                        tup::Tuple().AddString(item_id)));
+  if (!rec.has_value()) return std::optional<QueuedItem>(std::nullopt);
+  QUICK_ASSIGN_OR_RETURN(QueuedItem item, QueuedItem::FromRecord(*rec));
+  return std::optional<QueuedItem>(std::move(item));
+}
+
+Result<int64_t> QueueZone::Count() {
+  return store_.GetCount(kCountIndex, tup::Tuple(), /*snapshot=*/true);
+}
+
+Result<std::optional<int64_t>> QueueZone::MinVestingTime() {
+  // The index orders by (priority, vesting), so the minimum vesting time
+  // across priorities requires inspecting every priority group; queue
+  // zones are small (they hold one tenant's pending work), so a full
+  // snapshot scan of the index is fine.
+  rl::IndexScanOptions options;
+  options.snapshot = true;
+  QUICK_ASSIGN_OR_RETURN(
+      std::vector<rl::IndexEntry> entries,
+      store_.ScanIndex(kVestingIndex, tup::Tuple(), options));
+  std::optional<int64_t> min_vesting;
+  for (const rl::IndexEntry& entry : entries) {
+    QUICK_ASSIGN_OR_RETURN(int64_t vesting, entry.indexed_values.GetInt(1));
+    if (!min_vesting.has_value() || vesting < *min_vesting) {
+      min_vesting = vesting;
+    }
+  }
+  return min_vesting;
+}
+
+Result<bool> QueueZone::IsEmpty() { return store_.IsEmpty(); }
+
+Result<std::vector<QueuedItem>> QueueZone::PeekFifo(int max_items) {
+  const int64_t now = clock_->NowMillis();
+  rl::IndexScanOptions options;
+  options.snapshot = true;
+  QUICK_ASSIGN_OR_RETURN(std::vector<rl::VersionIndexEntry> entries,
+                         store_.ScanVersionIndex(kArrivalIndex,
+                                                 std::nullopt, options));
+  std::vector<QueuedItem> out;
+  for (const rl::VersionIndexEntry& entry : entries) {
+    QUICK_ASSIGN_OR_RETURN(std::string id, entry.primary_key.GetString(1));
+    QUICK_ASSIGN_OR_RETURN(
+        std::optional<rl::Record> rec,
+        store_.LoadRecord(QueuedItem::kRecordType,
+                          tup::Tuple().AddString(id)));
+    if (!rec.has_value()) continue;
+    QUICK_ASSIGN_OR_RETURN(QueuedItem item, QueuedItem::FromRecord(*rec));
+    if (item.vesting_time > now) continue;  // leased or delayed
+    out.push_back(std::move(item));
+    if (max_items > 0 && static_cast<int>(out.size()) >= max_items) break;
+  }
+  return out;
+}
+
+Result<std::vector<LeasedItem>> QueueZone::DequeueFifo(
+    int max_items, int64_t lease_duration_millis) {
+  QUICK_ASSIGN_OR_RETURN(std::vector<QueuedItem> items, PeekFifo(max_items));
+  const int64_t now = clock_->NowMillis();
+  std::vector<LeasedItem> out;
+  out.reserve(items.size());
+  for (QueuedItem& item : items) {
+    item.lease_id = Random::ThreadLocal().NextUuid();
+    item.vesting_time = now + lease_duration_millis;
+    QUICK_RETURN_IF_ERROR(Save(item));
+    out.push_back({item, item.lease_id});
+  }
+  return out;
+}
+
+Result<std::optional<std::string>> QueueZone::ArrivalStamp(
+    const std::string& item_id) {
+  return store_.GetRecordVersion(
+      kArrivalIndex, QueuedItem::kRecordType,
+      tup::Tuple().AddString(item_id));
+}
+
+}  // namespace quick::ck

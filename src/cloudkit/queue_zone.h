@@ -1,0 +1,154 @@
+#ifndef QUICK_CLOUDKIT_QUEUE_ZONE_H_
+#define QUICK_CLOUDKIT_QUEUE_ZONE_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cloudkit/queued_item.h"
+#include "common/clock.h"
+#include "fdb/transaction.h"
+#include "reclayer/record_store.h"
+#include "tuple/subspace.h"
+
+namespace quick::ck {
+
+/// Job-type name used for QuiCK's top-level-queue pointers.
+inline constexpr const char* kPointerJobType = "__pointer";
+
+/// A CloudKit zone designated as a queue (§5): queued items ordered by
+/// (priority, vesting time) through a Record Layer value index, an atomic
+/// count index for observability, and a value index on db_key — the
+/// pointer index QuiCK's enqueue protocol reads (§6).
+///
+/// Like a RecordStore, a QueueZone is opened per transaction: every method
+/// buffers into the supplied transaction and takes effect when the caller
+/// commits. Multiple operations in one transaction are atomic — e.g.
+/// enqueue a batch, or dequeue + process side effects + complete.
+class QueueZone {
+ public:
+  /// Index/metadata names.
+  static constexpr const char* kVestingIndex = "vesting";
+  static constexpr const char* kDbKeyIndex = "by_db_key";
+  static constexpr const char* kCountIndex = "cnt";
+  static constexpr const char* kArrivalIndex = "arrival";
+
+  /// The shared schema of every queue zone.
+  static const rl::RecordMetadata& Metadata();
+
+  /// Schema for FIFO-ordered queue zones: adds a sticky version index that
+  /// stamps each item with its enqueue commit version — the §5 future-work
+  /// ordering ("we can leverage FoundationDB's commit timestamps to order
+  /// queued items, rather than relying on local server clocks").
+  static const rl::RecordMetadata& FifoMetadata();
+
+  /// `fifo` selects the FIFO schema; a zone must be opened with the same
+  /// choice for its whole lifetime.
+  QueueZone(fdb::Transaction* txn, tup::Subspace zone_subspace, Clock* clock,
+            bool fifo = false);
+
+  /// §5 enqueue: stores the item with vesting time = now + delay. A random
+  /// id is generated unless item.id is set (idempotent enqueue). Returns
+  /// the item id.
+  Result<std::string> Enqueue(QueuedItem item, int64_t vesting_delay_millis);
+
+  /// §5 peek: up to max_items vested items in (priority, vesting) order
+  /// that satisfy `predicate` (when given). Does not lease. The index scan
+  /// is snapshot (never aborts writers); record loads are snapshot too
+  /// since peek makes no decision a conflict must protect.
+  Result<std::vector<QueuedItem>> Peek(
+      int max_items,
+      const std::function<bool(const QueuedItem&)>& predicate = nullptr);
+
+  /// Scanner fast path (§6 optimization): ids of vested items straight from
+  /// the vesting index without touching the records. Also returns the ids'
+  /// priorities' order implicitly (index order).
+  Result<std::vector<std::string>> PeekIds(int max_items);
+
+  /// FIFO-zone peek: vested items in strict enqueue-commit order (ignores
+  /// priority). Requires the FIFO schema.
+  Result<std::vector<QueuedItem>> PeekFifo(int max_items);
+
+  /// Transactional FIFO peek+lease.
+  Result<std::vector<LeasedItem>> DequeueFifo(int max_items,
+                                              int64_t lease_duration_millis);
+
+  /// The 10-byte enqueue-commit stamp of an item in a FIFO zone (its
+  /// position in the strict order); nullopt for unknown items.
+  Result<std::optional<std::string>> ArrivalStamp(const std::string& item_id);
+
+  /// §5 obtain lease: leases the item for `lease_duration_millis` by
+  /// advancing its vesting time; returns the generated lease id. Fails with
+  /// kLeaseLost when the item is not vested (someone else holds a live
+  /// lease or the item is delayed) and kNotFound when it does not exist.
+  Result<std::string> ObtainLease(const std::string& item_id,
+                                  int64_t lease_duration_millis);
+
+  /// §5 complete: deletes the item. With a lease id, succeeds only while
+  /// that lease is still the item's current one (kLeaseLost otherwise);
+  /// without one it cancels unconditionally.
+  Status Complete(const std::string& item_id,
+                  const std::optional<std::string>& lease_id = std::nullopt);
+
+  /// §5 extend lease: pushes the vesting time out again. Succeeds while the
+  /// caller's lease id is still current — including after expiry, provided
+  /// no other consumer has re-leased the item.
+  Status ExtendLease(const std::string& item_id, const std::string& lease_id,
+                     int64_t lease_duration_millis);
+
+  /// §5 requeue: re-vests the item after `vesting_delay_millis`, optionally
+  /// bumping the error count (retry bookkeeping), and releases any lease.
+  Status Requeue(const std::string& item_id, int64_t vesting_delay_millis,
+                 bool increment_error_count = true);
+
+  /// Transactional peek+lease of up to `max_items` vested items (§5
+  /// dequeue, batched as QuiCK's Managers use it).
+  Result<std::vector<LeasedItem>> Dequeue(int max_items,
+                                          int64_t lease_duration_millis);
+
+  /// Loads one item (strong read).
+  Result<std::optional<QueuedItem>> Load(const std::string& item_id);
+
+  /// Current queue length from the atomic count index (snapshot read; never
+  /// conflicts — the per-tenant observability the paper highlights).
+  Result<int64_t> Count();
+
+  /// Earliest vesting time over all items including unvested ones, or
+  /// nullopt when empty. Snapshot index read.
+  Result<std::optional<int64_t>> MinVestingTime();
+
+  /// Strong emptiness check: adds a read conflict over the zone's records
+  /// so a concurrent enqueue aborts this transaction (pointer-GC safety,
+  /// §6 "Correctness").
+  Result<bool> IsEmpty();
+
+  /// Exact key of the db_key-index entry for an item — the "pointer index"
+  /// key QuiCK's enqueue reads (and declares write conflicts on, §6.1).
+  std::string DbKeyIndexEntryKey(const std::string& db_key,
+                                 const std::string& item_id) {
+    return store_.ValueIndexEntryKey(
+        kDbKeyIndex, tup::Tuple().AddString(db_key),
+        tup::Tuple().AddString(QueuedItem::kRecordType).AddString(item_id));
+  }
+
+  /// Low-level save preserving every field as given (QuiCK's pointer
+  /// maintenance: vesting/lease/last_active updates in one write).
+  Status SaveItem(const QueuedItem& item) { return Save(item); }
+
+  /// Direct record-store access (update-in-place of pointers).
+  rl::RecordStore* store() { return &store_; }
+  Clock* clock() const { return clock_; }
+
+ private:
+  Result<QueuedItem> LoadOrNotFound(const std::string& item_id);
+  Status Save(const QueuedItem& item);
+
+  fdb::Transaction* txn_;
+  rl::RecordStore store_;
+  Clock* clock_;
+};
+
+}  // namespace quick::ck
+
+#endif  // QUICK_CLOUDKIT_QUEUE_ZONE_H_

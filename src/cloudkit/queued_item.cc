@@ -1,0 +1,39 @@
+#include "cloudkit/queued_item.h"
+
+namespace quick::ck {
+
+rl::Record QueuedItem::ToRecord() const {
+  rl::Record rec(kRecordType);
+  rec.SetString("id", id)
+      .SetString("job_type", job_type)
+      .SetInt("priority", priority)
+      .SetInt("vesting_time", vesting_time)
+      .SetString("lease_id", lease_id)
+      .SetInt("error_count", error_count)
+      .SetBytes("payload", payload)
+      .SetInt("enqueue_time", enqueue_time)
+      .SetString("db_key", db_key)
+      .SetInt("last_active_time", last_active_time);
+  return rec;
+}
+
+Result<QueuedItem> QueuedItem::FromRecord(const rl::Record& record) {
+  if (record.type() != kRecordType) {
+    return Status::InvalidArgument("record is not a QueuedItem");
+  }
+  QueuedItem item;
+  QUICK_ASSIGN_OR_RETURN(item.id, record.GetString("id"));
+  QUICK_ASSIGN_OR_RETURN(item.job_type, record.GetString("job_type"));
+  QUICK_ASSIGN_OR_RETURN(item.priority, record.GetInt("priority"));
+  QUICK_ASSIGN_OR_RETURN(item.vesting_time, record.GetInt("vesting_time"));
+  QUICK_ASSIGN_OR_RETURN(item.lease_id, record.GetString("lease_id"));
+  QUICK_ASSIGN_OR_RETURN(item.error_count, record.GetInt("error_count"));
+  QUICK_ASSIGN_OR_RETURN(item.payload, record.GetBytes("payload"));
+  QUICK_ASSIGN_OR_RETURN(item.enqueue_time, record.GetInt("enqueue_time"));
+  QUICK_ASSIGN_OR_RETURN(item.db_key, record.GetString("db_key"));
+  QUICK_ASSIGN_OR_RETURN(item.last_active_time,
+                         record.GetInt("last_active_time"));
+  return item;
+}
+
+}  // namespace quick::ck

@@ -1,0 +1,58 @@
+#ifndef QUICK_CLOUDKIT_QUEUED_ITEM_H_
+#define QUICK_CLOUDKIT_QUEUED_ITEM_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "reclayer/record.h"
+
+namespace quick::ck {
+
+/// Metadata CloudKit queue zones keep for every enqueued record (§5):
+/// priority (lower = higher), lease identifier, vesting time, and error
+/// count — plus the fields QuiCK adds for pointers (db_key,
+/// last_active_time) and observability (job_type, enqueue_time).
+struct QueuedItem {
+  /// Record id; randomly generated at enqueue unless the client supplies
+  /// one for idempotency.
+  std::string id;
+  /// Work-item type; selects the handler and retry policy. QuiCK's
+  /// top-level-queue pointers use kPointerJobType.
+  std::string job_type;
+  int64_t priority = 0;
+  /// Wall-clock millis at which the item becomes visible to consumers.
+  /// Leases advance it by the lease duration (fault-tolerant leasing, §5).
+  int64_t vesting_time = 0;
+  /// Empty when unleased; otherwise the random UUID the lease holder must
+  /// present to complete/extend.
+  std::string lease_id;
+  int64_t error_count = 0;
+  /// Opaque application payload (any CloudKit record, serialized).
+  std::string payload;
+  int64_t enqueue_time = 0;
+  /// For pointer items: the canonical key of the logical database whose
+  /// queue zone this pointer references (indexed — the pointer index, §6).
+  std::string db_key;
+  /// For pointer items: the last time work items were observed in the
+  /// referenced queue zone (drives pointer GC grace, §6).
+  int64_t last_active_time = 0;
+
+  /// Record-type name queue zones use.
+  static constexpr const char* kRecordType = "QueuedItem";
+
+  rl::Record ToRecord() const;
+  static Result<QueuedItem> FromRecord(const rl::Record& record);
+
+  bool leased() const { return !lease_id.empty(); }
+};
+
+/// An item a consumer holds a lease on.
+struct LeasedItem {
+  QueuedItem item;
+  std::string lease_id;
+};
+
+}  // namespace quick::ck
+
+#endif  // QUICK_CLOUDKIT_QUEUED_ITEM_H_

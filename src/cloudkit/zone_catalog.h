@@ -1,0 +1,62 @@
+#ifndef QUICK_CLOUDKIT_ZONE_CATALOG_H_
+#define QUICK_CLOUDKIT_ZONE_CATALOG_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "cloudkit/queue_zone.h"
+#include "cloudkit/service.h"
+
+namespace quick::ck {
+
+/// How a zone behaves; fixed at creation ("Designating a zone to act as a
+/// queue is done upon its creation", §5).
+enum class ZoneType : int64_t {
+  /// Plain record zone (directory-like mix of record types, §4).
+  kRegular = 0,
+  /// Queue zone with the §5 API, (priority, vesting) ordering.
+  kQueue = 1,
+  /// Queue zone with the additional strict-FIFO (commit-order) view.
+  kFifoQueue = 2,
+};
+
+/// Per-database registry of zones and their types, stored transactionally
+/// with the database's data. Opening a queue zone through the catalog
+/// guarantees the FIFO/non-FIFO schema choice made at creation is honoured
+/// for the zone's whole lifetime.
+class ZoneCatalog {
+ public:
+  /// Operates within `txn` on `db`'s cluster, like every CloudKit accessor.
+  ZoneCatalog(fdb::Transaction* txn, const DatabaseRef& db, Clock* clock);
+
+  /// Registers a zone. Fails with kAlreadyExists when the name is taken
+  /// (regardless of type — a zone's type can never change).
+  Status CreateZone(const std::string& zone_name, ZoneType type);
+
+  /// The zone's type, or nullopt when it was never created.
+  Result<std::optional<ZoneType>> GetZoneType(const std::string& zone_name);
+
+  /// All registered zones, name-ordered.
+  Result<std::vector<std::pair<std::string, ZoneType>>> ListZones();
+
+  /// Opens a catalogued queue zone with the schema its type dictates.
+  /// Fails with kNotFound for unknown zones and kFailedPrecondition for
+  /// regular (non-queue) zones.
+  Result<QueueZone> OpenQueueZone(const std::string& zone_name);
+
+  /// Unregisters the zone and deletes all its data.
+  Status DeleteZone(const std::string& zone_name);
+
+ private:
+  static const rl::RecordMetadata& Metadata();
+
+  fdb::Transaction* txn_;
+  DatabaseRef db_;
+  Clock* clock_;
+  rl::RecordStore store_;
+};
+
+}  // namespace quick::ck
+
+#endif  // QUICK_CLOUDKIT_ZONE_CATALOG_H_

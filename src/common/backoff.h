@@ -1,0 +1,46 @@
+#ifndef QUICK_COMMON_BACKOFF_H_
+#define QUICK_COMMON_BACKOFF_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace quick {
+
+/// Exponential backoff schedule with full jitter. Used by the FDB retry
+/// loop and by QuiCK's requeue-on-error path ("exponential backoff based on
+/// the error count", §6).
+class ExponentialBackoff {
+ public:
+  ExponentialBackoff(int64_t initial_millis, int64_t max_millis,
+                     double multiplier = 2.0)
+      : initial_millis_(initial_millis),
+        max_millis_(max_millis),
+        multiplier_(multiplier) {}
+
+  /// Deterministic delay for the given zero-based attempt number:
+  /// min(initial * multiplier^attempt, max).
+  int64_t DelayForAttempt(int attempt) const {
+    double d = static_cast<double>(initial_millis_);
+    for (int i = 0; i < attempt && d < static_cast<double>(max_millis_); ++i) {
+      d *= multiplier_;
+    }
+    return std::min<int64_t>(static_cast<int64_t>(d), max_millis_);
+  }
+
+  /// Same schedule with full jitter: uniform in [0, DelayForAttempt].
+  int64_t JitteredDelayForAttempt(int attempt, Random* rng) const {
+    const int64_t cap = DelayForAttempt(attempt);
+    return cap <= 0 ? 0 : static_cast<int64_t>(rng->Uniform(cap + 1));
+  }
+
+ private:
+  int64_t initial_millis_;
+  int64_t max_millis_;
+  double multiplier_;
+};
+
+}  // namespace quick
+
+#endif  // QUICK_COMMON_BACKOFF_H_

@@ -1,0 +1,30 @@
+#include "common/clock.h"
+
+#include <thread>
+
+namespace quick {
+
+namespace {
+int64_t SteadyMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+}  // namespace
+
+int64_t SystemClock::NowMillis() const { return SteadyMicros() / 1000; }
+
+int64_t SystemClock::NowMicros() const { return SteadyMicros(); }
+
+void SystemClock::SleepMillis(int64_t millis) {
+  if (millis > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(millis));
+  }
+}
+
+SystemClock* SystemClock::Default() {
+  static SystemClock* clock = new SystemClock();
+  return clock;
+}
+
+}  // namespace quick

@@ -1,0 +1,69 @@
+#ifndef QUICK_COMMON_CLOCK_H_
+#define QUICK_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+namespace quick {
+
+/// Time source abstraction. All vesting-time and lease arithmetic in the
+/// library goes through a Clock* so unit tests can advance time without
+/// sleeping (ManualClock) while benchmarks use wall time (SystemClock).
+class Clock {
+ public:
+  virtual ~Clock() = default;
+
+  /// Milliseconds since an arbitrary fixed epoch. Values from one Clock
+  /// instance are mutually comparable; the library never mixes clocks.
+  virtual int64_t NowMillis() const = 0;
+
+  /// Microseconds since the same epoch as NowMillis().
+  virtual int64_t NowMicros() const = 0;
+
+  /// Blocks the caller for `millis` of this clock's time.
+  virtual void SleepMillis(int64_t millis) = 0;
+};
+
+/// Wall-clock implementation backed by std::chrono::steady_clock (monotonic,
+/// immune to NTP steps; the paper's vesting times only require a clock all
+/// participants agree on, which a single process trivially has).
+class SystemClock : public Clock {
+ public:
+  int64_t NowMillis() const override;
+  int64_t NowMicros() const override;
+  void SleepMillis(int64_t millis) override;
+
+  /// Process-wide instance.
+  static SystemClock* Default();
+};
+
+/// Deterministic test clock. Sleeping auto-advances the clock by the
+/// requested amount (no real blocking), which keeps retry loops and
+/// backoffs deadlock-free under test while preserving the arithmetic of
+/// vesting times and leases.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(int64_t start_millis = 0)
+      : now_micros_(start_millis * 1000) {}
+
+  int64_t NowMillis() const override { return now_micros_.load() / 1000; }
+  int64_t NowMicros() const override { return now_micros_.load(); }
+
+  /// Advances the clock instead of blocking.
+  void SleepMillis(int64_t millis) override {
+    if (millis > 0) AdvanceMillis(millis);
+  }
+
+  /// Moves time forward.
+  void AdvanceMillis(int64_t millis) {
+    now_micros_.fetch_add(millis * 1000);
+  }
+
+ private:
+  std::atomic<int64_t> now_micros_;
+};
+
+}  // namespace quick
+
+#endif  // QUICK_COMMON_CLOCK_H_

@@ -1,0 +1,107 @@
+#include "common/histogram.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace quick {
+
+Histogram::Histogram()
+    : count_(0), sum_(0), max_(0), buckets_(kBucketCount) {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+}
+
+int Histogram::BucketFor(int64_t value) {
+  if (value < 0) value = 0;
+  if (value < kSubBuckets) return static_cast<int>(value);
+  // Highest set bit selects the power-of-two range; the next 4 bits select
+  // the linear sub-bucket within it.
+  const int log2 = 63 - std::countl_zero(static_cast<uint64_t>(value));
+  const int sub = static_cast<int>((value >> (log2 - 4)) & (kSubBuckets - 1));
+  const int index = (log2 - 3) * kSubBuckets + sub;
+  return std::min(index, kBucketCount - 1);
+}
+
+int64_t Histogram::BucketUpperBound(int index) {
+  if (index < kSubBuckets) return index;
+  const int log2 = index / kSubBuckets + 3;
+  const int sub = index % kSubBuckets;
+  return (int64_t{1} << log2) + (int64_t{sub + 1} << (log2 - 4)) - 1;
+}
+
+void Histogram::Record(int64_t value) {
+  if (value < 0) value = 0;
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  int64_t prev = max_.load(std::memory_order_relaxed);
+  while (value > prev &&
+         !max_.compare_exchange_weak(prev, value, std::memory_order_relaxed)) {
+  }
+}
+
+int64_t Histogram::Percentile(double q) const {
+  const int64_t total = Count();
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const int64_t rank = std::max<int64_t>(
+      1, static_cast<int64_t>(q * static_cast<double>(total) + 0.5));
+  int64_t seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    seen += buckets_[i].load(std::memory_order_relaxed);
+    if (seen >= rank) return BucketUpperBound(i);
+  }
+  return Max();
+}
+
+int64_t Histogram::Min() const {
+  for (int i = 0; i < kBucketCount; ++i) {
+    if (buckets_[i].load(std::memory_order_relaxed) > 0) {
+      return i < kSubBuckets ? i : BucketUpperBound(i - 1) + 1;
+    }
+  }
+  return 0;
+}
+
+double Histogram::Mean() const {
+  const int64_t n = Count();
+  return n == 0 ? 0.0
+                : static_cast<double>(sum_.load(std::memory_order_relaxed)) /
+                      static_cast<double>(n);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kBucketCount; ++i) {
+    const int64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+  count_.fetch_add(other.Count(), std::memory_order_relaxed);
+  sum_.fetch_add(other.sum_.load(std::memory_order_relaxed),
+                 std::memory_order_relaxed);
+  int64_t omax = other.Max();
+  int64_t prev = max_.load(std::memory_order_relaxed);
+  while (omax > prev &&
+         !max_.compare_exchange_weak(prev, omax, std::memory_order_relaxed)) {
+  }
+}
+
+std::string Histogram::Summary() const {
+  char buf[192];
+  std::snprintf(buf, sizeof(buf),
+                "count=%lld mean=%.1f p50=%lld p99=%lld p999=%lld max=%lld",
+                static_cast<long long>(Count()), Mean(),
+                static_cast<long long>(Percentile(0.50)),
+                static_cast<long long>(Percentile(0.99)),
+                static_cast<long long>(Percentile(0.999)),
+                static_cast<long long>(Max()));
+  return buf;
+}
+
+}  // namespace quick

@@ -1,0 +1,55 @@
+#ifndef QUICK_COMMON_HISTOGRAM_H_
+#define QUICK_COMMON_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace quick {
+
+/// Thread-safe log-linear histogram of non-negative int64 samples
+/// (microseconds in this library). Buckets cover [0, ~2^62) with bounded
+/// relative error (each power-of-two range split into 16 linear
+/// sub-buckets), which is accurate enough for the p50/p99.9 numbers the
+/// paper's Figures 5–7 report.
+class Histogram {
+ public:
+  Histogram();
+
+  void Record(int64_t value);
+
+  /// Value at quantile q in [0, 1]; returns an upper bound of the containing
+  /// bucket. Returns 0 when empty.
+  int64_t Percentile(double q) const;
+
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t Min() const;
+  int64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  double Mean() const;
+
+  void Reset();
+
+  /// Adds all samples of `other` into this histogram.
+  void Merge(const Histogram& other);
+
+  /// "count=N mean=X p50=A p99=B p999=C max=D" — values in the unit they
+  /// were recorded in.
+  std::string Summary() const;
+
+ private:
+  static constexpr int kSubBuckets = 16;
+  static constexpr int kBucketCount = 64 * kSubBuckets;
+
+  static int BucketFor(int64_t value);
+  static int64_t BucketUpperBound(int index);
+
+  std::atomic<int64_t> count_;
+  std::atomic<int64_t> sum_;
+  std::atomic<int64_t> max_;
+  std::vector<std::atomic<int64_t>> buckets_;
+};
+
+}  // namespace quick
+
+#endif  // QUICK_COMMON_HISTOGRAM_H_

@@ -1,0 +1,45 @@
+#ifndef QUICK_COMMON_LOGGING_H_
+#define QUICK_COMMON_LOGGING_H_
+
+#include <iostream>
+#include <mutex>
+#include <sstream>
+
+namespace quick {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Minimal leveled logger writing to stderr. Benchmarks raise the level to
+/// kWarn so timing isn't polluted by log I/O.
+class Logger {
+ public:
+  static LogLevel& Threshold() {
+    static LogLevel level = LogLevel::kWarn;
+    return level;
+  }
+
+  static std::mutex& Mutex() {
+    static std::mutex mu;
+    return mu;
+  }
+
+  static void Write(LogLevel level, const std::string& msg) {
+    static constexpr const char* kNames[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+    std::lock_guard<std::mutex> lock(Mutex());
+    std::cerr << "[" << kNames[static_cast<int>(level)] << "] " << msg << "\n";
+  }
+};
+
+#define QUICK_LOG(level, expr)                                             \
+  do {                                                                     \
+    if (static_cast<int>(::quick::LogLevel::level) >=                      \
+        static_cast<int>(::quick::Logger::Threshold())) {                  \
+      std::ostringstream _qlog_os;                                         \
+      _qlog_os << expr;                                                    \
+      ::quick::Logger::Write(::quick::LogLevel::level, _qlog_os.str());    \
+    }                                                                      \
+  } while (false)
+
+}  // namespace quick
+
+#endif  // QUICK_COMMON_LOGGING_H_

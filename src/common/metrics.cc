@@ -1,0 +1,55 @@
+#include "common/metrics.h"
+
+#include <sstream>
+
+namespace quick {
+
+Counter* MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+std::vector<std::pair<std::string, int64_t>> MetricsRegistry::CounterSnapshot()
+    const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    out.emplace_back(name, counter->Value());
+  }
+  return out;
+}
+
+std::string MetricsRegistry::Report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, counter] : counters_) {
+    os << name << " = " << counter->Value() << "\n";
+  }
+  for (const auto& [name, histogram] : histograms_) {
+    os << name << " : " << histogram->Summary() << "\n";
+  }
+  return os.str();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, histogram] : histograms_) histogram->Reset();
+}
+
+MetricsRegistry* MetricsRegistry::Default() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return registry;
+}
+
+}  // namespace quick

@@ -1,0 +1,58 @@
+#ifndef QUICK_COMMON_METRICS_H_
+#define QUICK_COMMON_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/histogram.h"
+
+namespace quick {
+
+/// Monotonic counter.
+class Counter {
+ public:
+  void Increment(int64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Named metric registry. The paper stresses per-tenant observability
+/// (§2 "Operations and monitoring"); consumers and stores register counters
+/// and latency histograms here and the benches/report tooling read them out.
+class MetricsRegistry {
+ public:
+  /// Returns the counter registered under `name`, creating it on first use.
+  Counter* GetCounter(const std::string& name);
+
+  /// Returns the histogram registered under `name`, creating it on first
+  /// use. Samples are by convention microseconds.
+  Histogram* GetHistogram(const std::string& name);
+
+  /// All counters as (name, value), sorted by name.
+  std::vector<std::pair<std::string, int64_t>> CounterSnapshot() const;
+
+  /// Multi-line human-readable dump of all metrics.
+  std::string Report() const;
+
+  void ResetAll();
+
+  /// Process-wide default registry.
+  static MetricsRegistry* Default();
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace quick
+
+#endif  // QUICK_COMMON_METRICS_H_

@@ -1,0 +1,25 @@
+#include "common/random.h"
+
+#include <atomic>
+
+namespace quick {
+
+std::string Random::NextUuid() {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out(32, '0');
+  uint64_t hi = NextU64();
+  uint64_t lo = NextU64();
+  for (int i = 0; i < 16; ++i) {
+    out[i] = kHex[(hi >> (4 * i)) & 0xF];
+    out[16 + i] = kHex[(lo >> (4 * i)) & 0xF];
+  }
+  return out;
+}
+
+Random& Random::ThreadLocal() {
+  static std::atomic<uint64_t> counter{0x9E3779B97F4A7C15ULL};
+  thread_local Random rng(counter.fetch_add(0x9E3779B97F4A7C15ULL));
+  return rng;
+}
+
+}  // namespace quick

@@ -1,0 +1,56 @@
+#ifndef QUICK_COMMON_RANDOM_H_
+#define QUICK_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+
+namespace quick {
+
+/// Seeded pseudo-random source. Each component owns its own Random so
+/// experiments are reproducible given the seeds; not thread-safe (use one
+/// per thread).
+class Random {
+ public:
+  explicit Random(uint64_t seed = 0x5DEECE66DULL) : engine_(seed) {}
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t Uniform(uint64_t n) {
+    return std::uniform_int_distribution<uint64_t>(0, n - 1)(engine_);
+  }
+
+  /// Uniform in [lo, hi].
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  uint64_t NextU64() { return engine_(); }
+
+  /// 32 hex chars; used for item ids and lease ids (the paper's randomly
+  /// generated UUIDs).
+  std::string NextUuid();
+
+  std::mt19937_64& engine() { return engine_; }
+
+  /// Thread-local instance seeded from a global entropy source; convenient
+  /// for code paths where plumbing a Random* is not worth it (uuid
+  /// generation inside operations).
+  static Random& ThreadLocal();
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace quick
+
+#endif  // QUICK_COMMON_RANDOM_H_

@@ -1,0 +1,51 @@
+#include "common/status.h"
+
+namespace quick {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kNotFound:
+      return "NOT_FOUND";
+    case StatusCode::kAlreadyExists:
+      return "ALREADY_EXISTS";
+    case StatusCode::kInvalidArgument:
+      return "INVALID_ARGUMENT";
+    case StatusCode::kFailedPrecondition:
+      return "FAILED_PRECONDITION";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kTimedOut:
+      return "TIMED_OUT";
+    case StatusCode::kInternal:
+      return "INTERNAL";
+    case StatusCode::kPermanent:
+      return "PERMANENT";
+    case StatusCode::kLeaseLost:
+      return "LEASE_LOST";
+    case StatusCode::kNotCommitted:
+      return "NOT_COMMITTED";
+    case StatusCode::kTransactionTooOld:
+      return "TRANSACTION_TOO_OLD";
+    case StatusCode::kTransactionTooLarge:
+      return "TRANSACTION_TOO_LARGE";
+    case StatusCode::kCommitUnknownResult:
+      return "COMMIT_UNKNOWN_RESULT";
+  }
+  return "UNKNOWN";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace quick

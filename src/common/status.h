@@ -1,0 +1,143 @@
+#ifndef QUICK_COMMON_STATUS_H_
+#define QUICK_COMMON_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace quick {
+
+/// Error codes used across the library. The FDB-flavoured codes
+/// (kNotCommitted, kTransactionTooOld, kCommitUnknownResult,
+/// kTransactionTooLarge) mirror the errors a FoundationDB client observes and
+/// drive the retry loop in fdb::RunTransaction.
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound = 1,
+  kAlreadyExists = 2,
+  kInvalidArgument = 3,
+  kFailedPrecondition = 4,
+  kResourceExhausted = 5,
+  kUnavailable = 6,          // transient: downstream unreachable / throttled
+  kTimedOut = 7,
+  kInternal = 8,
+  kPermanent = 9,            // permanent task failure (e.g. user deleted)
+  kLeaseLost = 10,           // lease no longer held by the caller
+  // FoundationDB transaction errors.
+  kNotCommitted = 20,        // optimistic-concurrency conflict
+  kTransactionTooOld = 21,   // read version fell out of the MVCC window
+  kTransactionTooLarge = 22, // exceeded the transaction size limit
+  kCommitUnknownResult = 23, // commit outcome unknown (maybe committed)
+};
+
+/// Returns a stable human-readable name for `code`.
+std::string_view StatusCodeName(StatusCode code);
+
+/// A success-or-error value in the RocksDB/Arrow style. Cheap to copy on the
+/// OK path (no allocation); errors carry a code and a message.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string m = "not found") {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status AlreadyExists(std::string m = "already exists") {
+    return Status(StatusCode::kAlreadyExists, std::move(m));
+  }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status FailedPrecondition(std::string m) {
+    return Status(StatusCode::kFailedPrecondition, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status TimedOut(std::string m) {
+    return Status(StatusCode::kTimedOut, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Permanent(std::string m) {
+    return Status(StatusCode::kPermanent, std::move(m));
+  }
+  static Status LeaseLost(std::string m = "lease lost") {
+    return Status(StatusCode::kLeaseLost, std::move(m));
+  }
+  static Status NotCommitted(std::string m = "transaction conflict") {
+    return Status(StatusCode::kNotCommitted, std::move(m));
+  }
+  static Status TransactionTooOld(std::string m = "transaction too old") {
+    return Status(StatusCode::kTransactionTooOld, std::move(m));
+  }
+  static Status TransactionTooLarge(std::string m = "transaction too large") {
+    return Status(StatusCode::kTransactionTooLarge, std::move(m));
+  }
+  static Status CommitUnknownResult(std::string m = "commit unknown result") {
+    return Status(StatusCode::kCommitUnknownResult, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsNotCommitted() const { return code_ == StatusCode::kNotCommitted; }
+  bool IsLeaseLost() const { return code_ == StatusCode::kLeaseLost; }
+  bool IsPermanent() const { return code_ == StatusCode::kPermanent; }
+  bool IsCommitUnknownResult() const {
+    return code_ == StatusCode::kCommitUnknownResult;
+  }
+
+  /// True for errors that a FoundationDB-style retry loop may retry: the
+  /// transaction can be reset and re-executed. kCommitUnknownResult is
+  /// retryable for idempotent transactions (QuiCK's are; see §2 of the
+  /// paper, "at-least-once").
+  bool retryable() const {
+    switch (code_) {
+      case StatusCode::kNotCommitted:
+      case StatusCode::kTransactionTooOld:
+      case StatusCode::kCommitUnknownResult:
+      case StatusCode::kUnavailable:
+      case StatusCode::kTimedOut:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  /// Renders "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Evaluates `expr`; returns the resulting non-OK Status from the enclosing
+/// function.
+#define QUICK_RETURN_IF_ERROR(expr)                 \
+  do {                                              \
+    ::quick::Status _st = (expr);                   \
+    if (!_st.ok()) return _st;                      \
+  } while (false)
+
+}  // namespace quick
+
+#endif  // QUICK_COMMON_STATUS_H_

@@ -1,0 +1,52 @@
+#include "common/thread_pool.h"
+
+namespace quick {
+
+ThreadPool::ThreadPool(int num_threads, size_t queue_capacity)
+    : queue_(queue_capacity) {
+  threads_.reserve(num_threads);
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { RunLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+bool ThreadPool::Submit(std::function<void()> task) {
+  if (shutdown_.load()) return false;
+  return queue_.Push(std::move(task));
+}
+
+bool ThreadPool::TrySubmit(std::function<void()> task) {
+  if (shutdown_.load()) return false;
+  return queue_.TryPush(std::move(task));
+}
+
+bool ThreadPool::HasIdleThread() const {
+  return active_.load(std::memory_order_relaxed) <
+             static_cast<int>(threads_.size()) &&
+         queue_.Empty();
+}
+
+void ThreadPool::Shutdown() {
+  bool expected = false;
+  if (!shutdown_.compare_exchange_strong(expected, true)) {
+    // Another caller already shut down; still join if needed.
+  }
+  queue_.Close();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void ThreadPool::RunLoop() {
+  while (true) {
+    std::optional<std::function<void()>> task = queue_.Pop();
+    if (!task.has_value()) return;
+    active_.fetch_add(1, std::memory_order_relaxed);
+    (*task)();
+    active_.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace quick

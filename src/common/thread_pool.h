@@ -1,0 +1,55 @@
+#ifndef QUICK_COMMON_THREAD_POOL_H_
+#define QUICK_COMMON_THREAD_POOL_H_
+
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/blocking_queue.h"
+
+namespace quick {
+
+/// Fixed-size pool executing submitted closures FIFO. Shutdown() drains
+/// queued work, then joins.
+class ThreadPool {
+ public:
+  /// `queue_capacity` bounds pending work so producers exert back-pressure
+  /// instead of queueing unboundedly (the paper's Scanner waits until "at
+  /// least one worker has no task to process").
+  explicit ThreadPool(int num_threads, size_t queue_capacity = SIZE_MAX);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Blocks when the queue is full. Returns false after Shutdown().
+  bool Submit(std::function<void()> task);
+
+  /// Non-blocking submit; false when full or shut down.
+  bool TrySubmit(std::function<void()> task);
+
+  /// Number of tasks waiting (excludes running tasks).
+  size_t PendingTasks() const { return queue_.Size(); }
+
+  /// True when some thread is idle and the queue is empty — the Scanner's
+  /// "has a free worker" probe.
+  bool HasIdleThread() const;
+
+  int NumThreads() const { return static_cast<int>(threads_.size()); }
+
+  /// Stops accepting work, drains the queue, joins all threads. Idempotent.
+  void Shutdown();
+
+ private:
+  void RunLoop();
+
+  BlockingQueue<std::function<void()>> queue_;
+  std::vector<std::thread> threads_;
+  std::atomic<int> active_{0};
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace quick
+
+#endif  // QUICK_COMMON_THREAD_POOL_H_

@@ -1,0 +1,228 @@
+#include "external/external_queue.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+#include "fdb/retry.h"
+
+namespace quick::ext {
+
+ExternalQueue::ExternalQueue(ck::CloudKitService* cloudkit,
+                             ExternalStore* store,
+                             core::JobRegistry* registry)
+    : ExternalQueue(cloudkit, store, registry, Options{}) {}
+
+ExternalQueue::ExternalQueue(ck::CloudKitService* cloudkit,
+                             ExternalStore* store,
+                             core::JobRegistry* registry, Options options)
+    : cloudkit_(cloudkit),
+      store_(store),
+      registry_(registry),
+      options_(options) {}
+
+Result<std::string> ExternalQueue::Enqueue(const ck::DatabaseId& db_id,
+                                           const std::string& job_type,
+                                           const std::string& payload) {
+  const std::string queue_key = QueueKey(db_id);
+  ExternalItem item;
+  item.id = Random::ThreadLocal().NextUuid();
+  item.job_type = job_type;
+  item.payload = payload;
+  item.enqueue_time = cloudkit_->clock()->NowMillis();
+
+  // Step 1: the item lands in the external store first.
+  QUICK_RETURN_IF_ERROR(store_->Put(queue_key, item));
+
+  // Step 2: make the pointer findable, transactionally in FDB.
+  const ck::DatabaseRef db = cloudkit_->OpenDatabase(db_id);
+  const ck::DatabaseRef cluster_db =
+      cloudkit_->OpenClusterDb(db.cluster->name());
+  const core::Pointer pointer{db_id, options_.top_zone_name};
+  Status st = fdb::RunTransaction(db.cluster, [&](fdb::Transaction& txn) {
+    ck::QueueZone top_zone = OpenTopZone(cluster_db, &txn);
+    const std::string index_key =
+        top_zone.DbKeyIndexEntryKey(pointer.Key(), pointer.Key());
+    QUICK_ASSIGN_OR_RETURN(std::optional<std::string> entry,
+                           txn.Get(index_key));
+    if (entry.has_value()) {
+      // Read-only transaction + declared write conflict on the index key:
+      // forces resolution against concurrent pointer deletions without
+      // writing anything (§6.1).
+      txn.AddWriteConflictKey(index_key);
+      return Status::OK();
+    }
+    ck::QueuedItem pointer_item = pointer.ToItem();
+    pointer_item.last_active_time = cloudkit_->clock()->NowMillis();
+    return top_zone.Enqueue(std::move(pointer_item), 0).status();
+  });
+  if (!st.ok()) {
+    stats_.enqueue_fdb_aborts.Increment();
+    // The pointer write never committed: garbage-collect the external item
+    // so it cannot be resurrected later. Best effort — a failed delete
+    // leaves an orphan, and the client's enqueue fails either way (§6.1).
+    if (store_->Delete(queue_key, item.id).ok()) {
+      stats_.orphans_garbage_collected.Increment();
+    }
+    return st;
+  }
+  stats_.items_enqueued.Increment();
+  return item.id;
+}
+
+Result<int> ExternalQueue::RunOnePass(const std::string& cluster_name,
+                                      int max_pointers) {
+  fdb::Database* cluster = cloudkit_->clusters()->Get(cluster_name);
+  if (cluster == nullptr) {
+    return Status::InvalidArgument("unknown cluster " + cluster_name);
+  }
+  const ck::DatabaseRef cluster_db = cloudkit_->OpenClusterDb(cluster_name);
+
+  std::vector<std::string> ids;
+  {
+    fdb::Transaction txn = cluster->CreateTransaction();
+    ck::QueueZone top_zone = OpenTopZone(cluster_db, &txn);
+    QUICK_ASSIGN_OR_RETURN(ids, top_zone.PeekIds(max_pointers));
+  }
+  int visited = 0;
+  for (const std::string& id : ids) {
+    fdb::Transaction txn = cluster->CreateTransaction();
+    ck::QueueZone top_zone = OpenTopZone(cluster_db, &txn);
+    Result<std::optional<ck::QueuedItem>> loaded = top_zone.Load(id);
+    QUICK_RETURN_IF_ERROR(loaded.status());
+    if (!loaded->has_value()) continue;
+    Result<std::string> lease =
+        top_zone.ObtainLease(id, options_.pointer_lease_millis);
+    Status commit = lease.ok() ? txn.Commit() : lease.status();
+    if (!commit.ok()) {
+      stats_.lease_collisions.Increment();
+      continue;
+    }
+    ck::QueuedItem pointer_item = **loaded;
+    pointer_item.lease_id = *lease;
+    QUICK_RETURN_IF_ERROR(ProcessPointer(cluster_name, pointer_item));
+    ++visited;
+  }
+  return visited;
+}
+
+Status ExternalQueue::ProcessPointer(const std::string& cluster_name,
+                                     const ck::QueuedItem& pointer_item) {
+  fdb::Database* cluster = cloudkit_->clusters()->Get(cluster_name);
+  const ck::DatabaseRef cluster_db = cloudkit_->OpenClusterDb(cluster_name);
+  QUICK_ASSIGN_OR_RETURN(core::Pointer pointer,
+                         core::Pointer::FromItem(pointer_item));
+  const std::string queue_key = pointer.db_id.ToKeyString();
+  const int64_t now = cloudkit_->clock()->NowMillis();
+
+  // Strong read of the external queue (§6.1's correctness requirement).
+  QUICK_ASSIGN_OR_RETURN(
+      std::vector<ExternalItem> items,
+      store_->List(queue_key, options_.max_items_per_visit,
+                   /*strong=*/options_.strong_reads));
+
+  bool processed_any = false;
+  for (const ExternalItem& item : items) {
+    std::shared_ptr<const core::JobRegistry::Entry> entry =
+        registry_->Find(item.job_type);
+    Status result = Status::Permanent("no handler for " + item.job_type);
+    if (entry != nullptr) {
+      core::WorkContext ctx;
+      ctx.item.id = item.id;
+      ctx.item.job_type = item.job_type;
+      ctx.item.payload = item.payload;
+      ctx.item.enqueue_time = item.enqueue_time;
+      ctx.db_id = pointer.db_id;
+      ctx.zone = options_.top_zone_name;
+      ctx.clock = cloudkit_->clock();
+      ctx.deadline_millis = now + entry->policy.execution_bound_millis;
+      result = entry->handler(ctx);
+    }
+    if (result.ok() || result.IsPermanent()) {
+      // Done (or unretryable): remove from the external store. NotFound is
+      // fine — another consumer got there first (at-least-once).
+      Status st = store_->Delete(queue_key, item.id);
+      if (st.ok() || st.IsNotFound()) {
+        if (result.ok()) {
+          stats_.items_processed.Increment();
+          processed_any = true;
+        } else {
+          stats_.items_failed.Increment();
+        }
+      }
+    } else {
+      stats_.items_failed.Increment();
+      // Leave the item in place; the pointer requeue below retries later.
+    }
+  }
+
+  QUICK_ASSIGN_OR_RETURN(bool empty, store_->IsEmpty(queue_key));
+  if (!empty) {
+    // Requeue the pointer immediately: more work (or retries) pending.
+    return fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
+      ck::QueueZone top_zone = OpenTopZone(cluster_db, &txn);
+      QUICK_ASSIGN_OR_RETURN(std::optional<ck::QueuedItem> current,
+                             top_zone.Load(pointer_item.id));
+      if (!current.has_value() ||
+          current->lease_id != pointer_item.lease_id) {
+        return Status::OK();
+      }
+      ck::QueuedItem updated = *std::move(current);
+      updated.vesting_time = cloudkit_->clock()->NowMillis();
+      updated.lease_id.clear();
+      updated.last_active_time = cloudkit_->clock()->NowMillis();
+      return top_zone.SaveItem(updated);
+    });
+  }
+
+  const int64_t last_active =
+      processed_any ? now : pointer_item.last_active_time;
+  if (now - last_active < options_.min_inactive_millis && !processed_any) {
+    return Status::OK();  // grace period: leave the pointer for reuse
+  }
+  if (processed_any) {
+    // Refresh last_active; GC happens on a later visit after the grace.
+    return fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
+      ck::QueueZone top_zone = OpenTopZone(cluster_db, &txn);
+      QUICK_ASSIGN_OR_RETURN(std::optional<ck::QueuedItem> current,
+                             top_zone.Load(pointer_item.id));
+      if (!current.has_value() ||
+          current->lease_id != pointer_item.lease_id) {
+        return Status::OK();
+      }
+      ck::QueuedItem updated = *std::move(current);
+      updated.lease_id.clear();
+      updated.vesting_time = cloudkit_->clock()->NowMillis();
+      updated.last_active_time = cloudkit_->clock()->NowMillis();
+      return top_zone.SaveItem(updated);
+    });
+  }
+
+  // GC: delete the pointer. The transaction reads the pointer-index key so
+  // any §6.1 enqueue that declared a write conflict on it — or created the
+  // pointer anew — aborts this deletion; the external store is re-checked
+  // strongly just before committing.
+  fdb::Transaction txn = cluster->CreateTransaction();
+  ck::QueueZone top_zone = OpenTopZone(cluster_db, &txn);
+  const std::string index_key =
+      top_zone.DbKeyIndexEntryKey(pointer.Key(), pointer.Key());
+  QUICK_ASSIGN_OR_RETURN(std::optional<std::string> entry,
+                         txn.Get(index_key));
+  if (!entry.has_value()) return Status::OK();  // already gone
+  QUICK_ASSIGN_OR_RETURN(bool still_empty, store_->IsEmpty(queue_key));
+  if (!still_empty) {
+    stats_.gc_aborted.Increment();
+    return Status::OK();
+  }
+  Status st = top_zone.Complete(pointer_item.id, pointer_item.lease_id);
+  if (st.IsNotFound() || st.IsLeaseLost()) return Status::OK();
+  QUICK_RETURN_IF_ERROR(st);
+  Status commit = txn.Commit();
+  if (commit.IsNotCommitted()) {
+    stats_.gc_aborted.Increment();
+    return Status::OK();
+  }
+  if (commit.ok()) stats_.pointers_deleted.Increment();
+  return commit;
+}
+
+}  // namespace quick::ext

@@ -1,0 +1,108 @@
+#ifndef QUICK_EXTERNAL_EXTERNAL_QUEUE_H_
+#define QUICK_EXTERNAL_EXTERNAL_QUEUE_H_
+
+#include <memory>
+#include <string>
+
+#include "external/external_store.h"
+#include "quick/consumer.h"
+#include "quick/quick.h"
+
+namespace quick::ext {
+
+/// Statistics of the external-queue processor.
+struct ExternalStats {
+  Counter items_enqueued;
+  Counter enqueue_fdb_aborts;
+  Counter orphans_garbage_collected;
+  Counter items_processed;
+  Counter items_failed;
+  Counter pointers_deleted;
+  Counter gc_aborted;
+  Counter lease_collisions;
+};
+
+/// QuiCK's support for data stores other than FoundationDB (§6.1). The
+/// top-level queue Q_C and the pointer index stay in FoundationDB; only the
+/// work items live in the external store, so there is no transactionality
+/// between the two. The protocol preserves at-least-once:
+///
+///  - Enqueue writes the item externally first, then runs an FDB
+///    transaction that reads the pointer-index key; when the pointer is
+///    missing it is created (a real write), and when it exists the
+///    otherwise read-only transaction DECLARES a write conflict on the
+///    index key (Transaction::AddWriteConflictKey) — so a concurrent
+///    pointer deletion, which reads that key, aborts.
+///  - If the FDB transaction ultimately fails, the externally written item
+///    is garbage-collected (best effort; an orphan can only resurrect if
+///    the pointer is later re-created, and all §6.1 use-cases are
+///    idempotent).
+///  - The consumer obtains the pointer lease in FDB (a longer lease stands
+///    in for per-item leases the external store cannot provide), STRONG-
+///    reads the external queue, executes and deletes items, and deletes the
+///    pointer only inside a transaction that re-reads the index key and
+///    re-checks external emptiness with a strong read.
+///
+/// External queues use their own top-level queue zone (a second Q_C shard,
+/// as §6 permits) so the regular FDB-zone consumers never race on these
+/// pointers.
+class ExternalQueue {
+ public:
+  struct Options {
+    /// Zone name of the external top-level queue shard in each ClusterDB.
+    std::string top_zone_name = "_quick_q_ext";
+    /// Pointer lease duration; covers item processing since items carry no
+    /// leases of their own.
+    int64_t pointer_lease_millis = 10000;
+    /// Items processed per pointer visit.
+    int max_items_per_visit = 8;
+    /// Pointer GC grace, as for FDB-backed queues.
+    int64_t min_inactive_millis = 60000;
+    /// Use weak external reads in the consumer (deliberately wrong; exists
+    /// so tests can demonstrate the §6.1 strong-read requirement).
+    bool strong_reads = true;
+  };
+
+  ExternalQueue(ck::CloudKitService* cloudkit, ExternalStore* store,
+                core::JobRegistry* registry);
+  ExternalQueue(ck::CloudKitService* cloudkit, ExternalStore* store,
+                core::JobRegistry* registry, Options options);
+
+  /// §6.1 enqueue for tenant `db_id`. Returns the item id.
+  Result<std::string> Enqueue(const ck::DatabaseId& db_id,
+                              const std::string& job_type,
+                              const std::string& payload);
+
+  /// One consumer pass over a cluster's external top-level queue:
+  /// processes up to `max_pointers` vested pointers. Returns the number of
+  /// pointers visited.
+  Result<int> RunOnePass(const std::string& cluster_name,
+                         int max_pointers = 100);
+
+  ExternalStats& stats() { return stats_; }
+
+  /// The external-store queue key for a tenant.
+  std::string QueueKey(const ck::DatabaseId& db_id) const {
+    return db_id.ToKeyString();
+  }
+
+ private:
+  Status ProcessPointer(const std::string& cluster_name,
+                        const ck::QueuedItem& pointer_item);
+
+  ck::QueueZone OpenTopZone(const ck::DatabaseRef& cluster_db,
+                            fdb::Transaction* txn) {
+    return ck::QueueZone(txn, cluster_db.ZoneSubspace(options_.top_zone_name),
+                         cloudkit_->clock());
+  }
+
+  ck::CloudKitService* cloudkit_;
+  ExternalStore* store_;
+  core::JobRegistry* registry_;
+  Options options_;
+  ExternalStats stats_;
+};
+
+}  // namespace quick::ext
+
+#endif  // QUICK_EXTERNAL_EXTERNAL_QUEUE_H_

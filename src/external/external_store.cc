@@ -1,0 +1,92 @@
+#include "external/external_store.h"
+
+#include <algorithm>
+
+#include "common/random.h"
+
+namespace quick::ext {
+
+Status SimExternalStore::Put(const std::string& queue_key,
+                             const ExternalItem& item) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (options_.put_failure_probability > 0) {
+    // Deterministic-ish roll sequence guarded by the store mutex.
+    ++put_rolls_;
+    Random roll(put_rolls_ * 0x9E3779B97F4A7C15ULL);
+    if (roll.NextDouble() < options_.put_failure_probability) {
+      return Status::Unavailable("simulated external-store write failure");
+    }
+  }
+  Versioned v;
+  v.item = item;
+  v.write_time = options_.clock->NowMillis();
+  queues_[queue_key][item.id] = std::move(v);
+  return Status::OK();
+}
+
+Result<std::vector<ExternalItem>> SimExternalStore::List(
+    const std::string& queue_key, int limit, bool strong) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now = options_.clock->NowMillis();
+  const int64_t read_time =
+      strong ? now : now - options_.replication_lag_millis;
+  std::vector<ExternalItem> out;
+  auto it = queues_.find(queue_key);
+  if (it == queues_.end()) return out;
+  // Oldest first by enqueue time, then id.
+  std::vector<const Versioned*> visible;
+  for (const auto& [id, v] : it->second) {
+    if (VisibleAt(v, read_time)) visible.push_back(&v);
+  }
+  std::sort(visible.begin(), visible.end(),
+            [](const Versioned* a, const Versioned* b) {
+              if (a->item.enqueue_time != b->item.enqueue_time) {
+                return a->item.enqueue_time < b->item.enqueue_time;
+              }
+              return a->item.id < b->item.id;
+            });
+  for (const Versioned* v : visible) {
+    out.push_back(v->item);
+    if (limit > 0 && static_cast<int>(out.size()) >= limit) break;
+  }
+  return out;
+}
+
+Status SimExternalStore::Delete(const std::string& queue_key,
+                                const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto qit = queues_.find(queue_key);
+  if (qit == queues_.end()) return Status::NotFound("queue " + queue_key);
+  auto it = qit->second.find(id);
+  if (it == qit->second.end() ||
+      it->second.delete_time != INT64_MAX) {
+    return Status::NotFound("item " + id);
+  }
+  it->second.delete_time = options_.clock->NowMillis();
+  return Status::OK();
+}
+
+Result<bool> SimExternalStore::IsEmpty(const std::string& queue_key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now = options_.clock->NowMillis();
+  auto it = queues_.find(queue_key);
+  if (it == queues_.end()) return true;
+  for (const auto& [id, v] : it->second) {
+    if (VisibleAt(v, now)) return false;
+  }
+  return true;
+}
+
+size_t SimExternalStore::TotalItems() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const int64_t now = options_.clock->NowMillis();
+  size_t n = 0;
+  for (const auto& [key, queue] : queues_) {
+    for (const auto& [id, v] : queue) {
+      if (VisibleAt(v, now)) ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace quick::ext

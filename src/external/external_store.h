@@ -1,0 +1,94 @@
+#ifndef QUICK_EXTERNAL_EXTERNAL_STORE_H_
+#define QUICK_EXTERNAL_EXTERNAL_STORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace quick::ext {
+
+/// A work item stored outside FoundationDB.
+struct ExternalItem {
+  std::string id;
+  std::string job_type;
+  std::string payload;
+  int64_t enqueue_time = 0;
+};
+
+/// Abstraction of a non-FoundationDB data store holding work items (§6.1):
+/// think Cassandra — no cross-keyspace transactions, no secondary indexes,
+/// possibly weak reads. QuiCK keeps the top-level queue and pointer index
+/// in FoundationDB and stores only the items here.
+class ExternalStore {
+ public:
+  virtual ~ExternalStore() = default;
+
+  virtual Status Put(const std::string& queue_key,
+                     const ExternalItem& item) = 0;
+
+  /// Items of a queue, oldest first. `strong` demands read-your-writes
+  /// visibility of every committed Put — the §6.1 requirement for the
+  /// consumer path ("the external data-store read must be a strong read",
+  /// or pointers may be deleted while items exist). Weak reads may lag.
+  virtual Result<std::vector<ExternalItem>> List(const std::string& queue_key,
+                                                 int limit, bool strong) = 0;
+
+  virtual Status Delete(const std::string& queue_key,
+                        const std::string& id) = 0;
+
+  /// Strong emptiness check.
+  virtual Result<bool> IsEmpty(const std::string& queue_key) = 0;
+};
+
+/// In-memory simulated external store with configurable replication lag:
+/// weak reads observe the state as of `lag_millis` ago, modelling an
+/// eventually-consistent replica. Thread-safe.
+class SimExternalStore : public ExternalStore {
+ public:
+  struct Options {
+    Clock* clock = SystemClock::Default();
+    /// Weak reads lag writes by this much; 0 makes weak == strong.
+    int64_t replication_lag_millis = 0;
+    /// Probability a Put fails transiently (for enqueue-GC tests).
+    double put_failure_probability = 0.0;
+  };
+
+  SimExternalStore() : SimExternalStore(Options{}) {}
+  explicit SimExternalStore(const Options& options) : options_(options) {}
+
+  Status Put(const std::string& queue_key, const ExternalItem& item) override;
+  Result<std::vector<ExternalItem>> List(const std::string& queue_key,
+                                         int limit, bool strong) override;
+  Status Delete(const std::string& queue_key, const std::string& id) override;
+  Result<bool> IsEmpty(const std::string& queue_key) override;
+
+  /// Total items across queues (diagnostics).
+  size_t TotalItems() const;
+
+ private:
+  struct Versioned {
+    ExternalItem item;
+    int64_t write_time;
+    int64_t delete_time = INT64_MAX;  // tombstone time, if deleted
+  };
+
+  bool VisibleAt(const Versioned& v, int64_t time) const {
+    return v.write_time <= time && time < v.delete_time;
+  }
+
+  Options options_;
+  mutable std::mutex mu_;
+  std::map<std::string, std::map<std::string, Versioned>> queues_;
+  uint64_t put_rolls_ = 0;
+};
+
+}  // namespace quick::ext
+
+#endif  // QUICK_EXTERNAL_EXTERNAL_STORE_H_

@@ -1,0 +1,55 @@
+#ifndef QUICK_FDB_CLUSTER_SET_H_
+#define QUICK_FDB_CLUSTER_SET_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fdb/database.h"
+
+namespace quick::fdb {
+
+/// The fleet of FoundationDB clusters CloudKit runs on (hundreds in
+/// production, §1; as many as the experiment wants here). Clusters are
+/// fully independent databases; cross-cluster atomicity is intentionally
+/// impossible, exactly as in the paper.
+class ClusterSet {
+ public:
+  explicit ClusterSet(Database::Options default_options = {})
+      : default_options_(default_options) {}
+
+  /// Creates a cluster named `name`; returns the existing one if present.
+  Database* AddCluster(const std::string& name) {
+    return AddCluster(name, default_options_);
+  }
+
+  Database* AddCluster(const std::string& name,
+                       const Database::Options& options) {
+    auto it = clusters_.find(name);
+    if (it != clusters_.end()) return it->second.get();
+    auto db = std::make_unique<Database>(name, options);
+    Database* raw = db.get();
+    clusters_.emplace(name, std::move(db));
+    names_.push_back(name);
+    return raw;
+  }
+
+  /// nullptr when no such cluster exists.
+  Database* Get(const std::string& name) const {
+    auto it = clusters_.find(name);
+    return it == clusters_.end() ? nullptr : it->second.get();
+  }
+
+  const std::vector<std::string>& names() const { return names_; }
+  size_t size() const { return clusters_.size(); }
+
+ private:
+  Database::Options default_options_;
+  std::map<std::string, std::unique_ptr<Database>> clusters_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace quick::fdb
+
+#endif  // QUICK_FDB_CLUSTER_SET_H_

@@ -1,0 +1,33 @@
+#include "fdb/conflict_tracker.h"
+
+namespace quick::fdb {
+
+void ConflictTracker::AddCommit(Version version,
+                                std::vector<KeyRange> write_ranges) {
+  if (write_ranges.empty()) return;
+  commits_.push_back({version, std::move(write_ranges)});
+}
+
+bool ConflictTracker::HasConflict(const std::vector<KeyRange>& read_ranges,
+                                  Version read_version) const {
+  if (read_ranges.empty()) return false;
+  // Scan newest-first and stop at the first commit the reader already saw.
+  for (auto it = commits_.rbegin(); it != commits_.rend(); ++it) {
+    if (it->version <= read_version) break;
+    for (const KeyRange& w : it->write_ranges) {
+      for (const KeyRange& r : read_ranges) {
+        if (w.Intersects(r)) return true;
+      }
+    }
+  }
+  return false;
+}
+
+void ConflictTracker::Prune(Version version) {
+  while (!commits_.empty() && commits_.front().version <= version) {
+    commits_.pop_front();
+  }
+  if (version > min_checkable_) min_checkable_ = version;
+}
+
+}  // namespace quick::fdb

@@ -1,0 +1,48 @@
+#ifndef QUICK_FDB_CONFLICT_TRACKER_H_
+#define QUICK_FDB_CONFLICT_TRACKER_H_
+
+#include <deque>
+#include <vector>
+
+#include "common/bytes.h"
+#include "fdb/types.h"
+
+namespace quick::fdb {
+
+/// The Resolver of the simulated cluster: remembers recent committed write
+/// conflict ranges so a committing transaction can be checked for
+/// read-write conflicts against everything that committed after its read
+/// version. NOT thread-safe; the Database serializes commits.
+class ConflictTracker {
+ public:
+  /// Records a committed (or declared, §6.1) set of write ranges.
+  void AddCommit(Version version, std::vector<KeyRange> write_ranges);
+
+  /// True when any commit with version > read_version wrote a range
+  /// intersecting any of `read_ranges`.
+  bool HasConflict(const std::vector<KeyRange>& read_ranges,
+                   Version read_version) const;
+
+  /// Oldest version against which conflicts can still be checked. Commits
+  /// with read_version older than this must fail with
+  /// kTransactionTooOld.
+  Version MinCheckableVersion() const { return min_checkable_; }
+
+  /// Forgets commits at or below `version`.
+  void Prune(Version version);
+
+  size_t TrackedCommitCount() const { return commits_.size(); }
+
+ private:
+  struct CommitRecord {
+    Version version;
+    std::vector<KeyRange> write_ranges;
+  };
+
+  std::deque<CommitRecord> commits_;  // ascending version order
+  Version min_checkable_ = 0;
+};
+
+}  // namespace quick::fdb
+
+#endif  // QUICK_FDB_CONFLICT_TRACKER_H_

@@ -1,0 +1,153 @@
+#include "fdb/database.h"
+
+#include <thread>
+
+namespace quick::fdb {
+
+Database::Database(std::string name) : Database(std::move(name), Options{}) {}
+
+Database::Database(std::string name, Options options)
+    : name_(std::move(name)),
+      options_(options),
+      faults_(options.faults),
+      latency_(options.latency) {}
+
+void Database::InjectLatency(int64_t micros) {
+  if (micros > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+}
+
+Result<Version> Database::AcquireReadVersion(const TransactionOptions& topts) {
+  if (topts.use_cached_read_version) {
+    std::lock_guard<std::mutex> lock(grv_cache_mu_);
+    if (cached_grv_ != kInvalidVersion &&
+        options_.clock->NowMillis() - cached_grv_time_millis_ <=
+            options_.grv_cache_staleness_millis) {
+      stats_.grv_cache_hits.fetch_add(1, std::memory_order_relaxed);
+      return cached_grv_;
+    }
+  }
+  if (faults_.NextGrvFault()) {
+    return Status::Unavailable("injected GRV failure");
+  }
+  InjectLatency(topts.causal_read_risky
+                    ? latency_.grv_causal_read_risky_micros
+                    : latency_.grv_micros);
+  const Version v = last_version_.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> lock(grv_cache_mu_);
+    cached_grv_ = v;
+    cached_grv_time_millis_ = options_.clock->NowMillis();
+  }
+  stats_.grv_calls.fetch_add(1, std::memory_order_relaxed);
+  return v;
+}
+
+Result<std::optional<std::string>> Database::ReadAt(const std::string& key,
+                                                    Version version) {
+  InjectLatency(latency_.read_micros);
+  if (version < min_read_version_.load(std::memory_order_acquire)) {
+    return Status::TransactionTooOld("read version pruned");
+  }
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return store_.Get(key, version);
+}
+
+Result<std::vector<KeyValue>> Database::ReadRangeAt(
+    const KeyRange& range, Version version, const RangeOptions& options) {
+  InjectLatency(latency_.read_micros);
+  if (version < min_read_version_.load(std::memory_order_acquire)) {
+    return Status::TransactionTooOld("read version pruned");
+  }
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return store_.GetRange(range, version, options);
+}
+
+Result<Version> Database::CommitAt(CommitRequest&& request) {
+  stats_.commits_attempted.fetch_add(1, std::memory_order_relaxed);
+  // Replication latency is paid before entering the critical section so
+  // concurrent commits pipeline rather than serialize.
+  InjectLatency(latency_.commit_micros);
+
+  const FaultInjector::CommitFault fault = faults_.NextCommitFault();
+  if (fault == FaultInjector::CommitFault::kUnavailable) {
+    return Status::Unavailable("injected commit failure");
+  }
+
+  std::unique_lock<std::shared_mutex> lock(mu_);
+  if (!request.read_conflicts.empty()) {
+    if (request.read_version < tracker_.MinCheckableVersion()) {
+      stats_.too_old.fetch_add(1, std::memory_order_relaxed);
+      return Status::TransactionTooOld("read version predates resolver window");
+    }
+    if (tracker_.HasConflict(request.read_conflicts, request.read_version)) {
+      stats_.conflicts.fetch_add(1, std::memory_order_relaxed);
+      return Status::NotCommitted();
+    }
+  }
+
+  if (fault == FaultInjector::CommitFault::kUnknownDropped) {
+    stats_.unknown_results.fetch_add(1, std::memory_order_relaxed);
+    return Status::CommitUnknownResult("injected; not applied");
+  }
+
+  const Version version = last_version_.load(std::memory_order_relaxed) + 1;
+  store_.Apply(request.mutations, version);
+  tracker_.AddCommit(version, std::move(request.write_conflicts));
+  version_times_.emplace_back(version, options_.clock->NowMillis());
+  last_version_.store(version, std::memory_order_release);
+  ++commits_since_prune_;
+  MaybePruneLocked();
+
+  stats_.commits_succeeded.fetch_add(1, std::memory_order_relaxed);
+  if (fault == FaultInjector::CommitFault::kUnknownApplied) {
+    stats_.unknown_results.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (fault == FaultInjector::CommitFault::kUnknownApplied) {
+    return Status::CommitUnknownResult("injected; applied");
+  }
+  return version;
+}
+
+void Database::MaybePruneLocked() {
+  if (commits_since_prune_ < 256) return;
+  commits_since_prune_ = 0;
+  const int64_t cutoff =
+      options_.clock->NowMillis() - options_.mvcc_window_millis;
+  Version pruned = min_read_version_.load(std::memory_order_relaxed);
+  while (!version_times_.empty() && version_times_.front().second < cutoff) {
+    pruned = version_times_.front().first;
+    version_times_.pop_front();
+  }
+  if (pruned > min_read_version_.load(std::memory_order_relaxed)) {
+    tracker_.Prune(pruned);
+    store_.Prune(pruned);
+    min_read_version_.store(pruned, std::memory_order_release);
+  }
+}
+
+Database::Stats Database::GetStats() const {
+  Stats out;
+  out.grv_calls = stats_.grv_calls.load(std::memory_order_relaxed);
+  out.grv_cache_hits = stats_.grv_cache_hits.load(std::memory_order_relaxed);
+  out.commits_attempted =
+      stats_.commits_attempted.load(std::memory_order_relaxed);
+  out.commits_succeeded =
+      stats_.commits_succeeded.load(std::memory_order_relaxed);
+  out.conflicts = stats_.conflicts.load(std::memory_order_relaxed);
+  out.too_old = stats_.too_old.load(std::memory_order_relaxed);
+  out.unknown_results =
+      stats_.unknown_results.load(std::memory_order_relaxed);
+  out.reads = stats_.reads.load(std::memory_order_relaxed);
+  return out;
+}
+
+size_t Database::LiveKeyCount() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return store_.LiveKeyCount();
+}
+
+}  // namespace quick::fdb

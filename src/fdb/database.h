@@ -1,0 +1,153 @@
+#ifndef QUICK_FDB_DATABASE_H_
+#define QUICK_FDB_DATABASE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/result.h"
+#include "fdb/conflict_tracker.h"
+#include "fdb/fault_injector.h"
+#include "fdb/transaction.h"
+#include "fdb/types.h"
+#include "fdb/versioned_store.h"
+
+namespace quick::fdb {
+
+/// One simulated FoundationDB cluster: MVCC storage + resolver + version
+/// authority. Thread-safe; any number of threads may run transactions
+/// concurrently (reads take a shared lock, commits an exclusive one —
+/// injected latencies are paid outside the locks so commits pipeline, as
+/// they do in a real cluster).
+class Database {
+ public:
+  struct Options {
+    Clock* clock = SystemClock::Default();
+    /// FoundationDB's 5-second transaction lifetime; reads/commits on older
+    /// transactions fail with kTransactionTooOld.
+    int64_t transaction_timeout_millis = 5000;
+    /// MVCC retention: versions older than this are pruned.
+    int64_t mvcc_window_millis = 5000;
+    /// Byte budget per transaction (FDB's limit is 10 MB; smaller default
+    /// keeps the simulator honest about batch sizes).
+    int64_t max_transaction_bytes = 1 << 20;
+    /// How stale a cached read version may be before a real GRV is issued.
+    int64_t grv_cache_staleness_millis = 1000;
+    LatencyModel latency;
+    FaultInjector::Config faults;
+  };
+
+  /// Cumulative cluster statistics (observability; Figure 7's collision
+  /// breakdown reads the conflict counter).
+  struct Stats {
+    int64_t grv_calls = 0;
+    int64_t grv_cache_hits = 0;
+    int64_t commits_attempted = 0;
+    int64_t commits_succeeded = 0;
+    int64_t conflicts = 0;
+    int64_t too_old = 0;
+    int64_t unknown_results = 0;
+    int64_t reads = 0;
+  };
+
+  /// Replaces the injected-latency model. NOT thread-safe: call only while
+  /// no transactions are in flight (benchmarks use it to pre-fill data at
+  /// full speed before turning realistic latencies on).
+  void set_latency(const LatencyModel& latency) { latency_ = latency; }
+
+  explicit Database(std::string name);
+  Database(std::string name, Options options);
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  /// Begins a transaction on this cluster.
+  Transaction CreateTransaction(TransactionOptions topts = {}) {
+    return Transaction(this, topts);
+  }
+
+  const std::string& name() const { return name_; }
+  const Options& options() const { return options_; }
+  Clock* clock() const { return options_.clock; }
+  FaultInjector* fault_injector() { return &faults_; }
+
+  /// Latest committed version (no latency; test/diagnostic use).
+  Version LastCommittedVersion() const {
+    return last_version_.load(std::memory_order_acquire);
+  }
+
+  Stats GetStats() const;
+
+  /// Number of live keys (diagnostics).
+  size_t LiveKeyCount() const;
+
+ private:
+  friend class Transaction;
+
+  struct CommitRequest {
+    Version read_version;
+    std::vector<KeyRange> read_conflicts;
+    std::vector<KeyRange> write_conflicts;
+    std::vector<Mutation> mutations;
+  };
+
+  /// getReadVersion with latency, fault injection, and the version cache.
+  Result<Version> AcquireReadVersion(const TransactionOptions& topts);
+
+  Result<std::optional<std::string>> ReadAt(const std::string& key,
+                                            Version version);
+  Result<std::vector<KeyValue>> ReadRangeAt(const KeyRange& range,
+                                            Version version,
+                                            const RangeOptions& options);
+
+  Result<Version> CommitAt(CommitRequest&& request);
+
+  /// Drops MVCC state older than the retention window. Caller holds the
+  /// exclusive lock.
+  void MaybePruneLocked();
+
+  void InjectLatency(int64_t micros);
+
+  const std::string name_;
+  const Options options_;
+  FaultInjector faults_;
+
+  mutable std::shared_mutex mu_;
+  VersionedStore store_;
+  ConflictTracker tracker_;
+  std::deque<std::pair<Version, int64_t>> version_times_;
+  int64_t commits_since_prune_ = 0;
+
+  std::atomic<Version> last_version_{0};
+  std::atomic<Version> min_read_version_{0};
+
+  std::mutex grv_cache_mu_;
+  Version cached_grv_ = kInvalidVersion;
+  int64_t cached_grv_time_millis_ = 0;
+
+  LatencyModel latency_;
+
+  // Lock-free statistic counters: reads/commits from every thread touch
+  // these, so a mutex here would serialize the whole cluster.
+  struct AtomicStats {
+    std::atomic<int64_t> grv_calls{0};
+    std::atomic<int64_t> grv_cache_hits{0};
+    std::atomic<int64_t> commits_attempted{0};
+    std::atomic<int64_t> commits_succeeded{0};
+    std::atomic<int64_t> conflicts{0};
+    std::atomic<int64_t> too_old{0};
+    std::atomic<int64_t> unknown_results{0};
+    std::atomic<int64_t> reads{0};
+  };
+  AtomicStats stats_;
+};
+
+}  // namespace quick::fdb
+
+#endif  // QUICK_FDB_DATABASE_H_

@@ -1,0 +1,77 @@
+#ifndef QUICK_FDB_FAULT_INJECTOR_H_
+#define QUICK_FDB_FAULT_INJECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace quick::fdb {
+
+/// Probabilistic fault injection for the simulated cluster. Used by the
+/// failure-injection tests to exercise QuiCK's at-least-once guarantee:
+/// commit_unknown_result in particular is the FDB failure mode the paper
+/// calls out (§6.1, [11]) — the commit may or may not have applied.
+class FaultInjector {
+ public:
+  struct Config {
+    /// Probability a commit reports kCommitUnknownResult while having
+    /// actually applied.
+    double unknown_result_applied = 0.0;
+    /// Probability a commit reports kCommitUnknownResult without applying.
+    double unknown_result_dropped = 0.0;
+    /// Probability a commit fails with a transient kUnavailable before
+    /// being applied.
+    double commit_unavailable = 0.0;
+    /// Probability getReadVersion fails with transient kUnavailable.
+    double grv_unavailable = 0.0;
+    uint64_t seed = 42;
+  };
+
+  FaultInjector() : FaultInjector(Config{}) {}
+  explicit FaultInjector(const Config& config)
+      : config_(config), rng_(config.seed) {}
+
+  enum class CommitFault { kNone, kUnknownApplied, kUnknownDropped, kUnavailable };
+
+  /// Rolls the dice for one commit attempt. Thread-safe.
+  CommitFault NextCommitFault() {
+    if (config_.unknown_result_applied == 0 &&
+        config_.unknown_result_dropped == 0 && config_.commit_unavailable == 0) {
+      return CommitFault::kNone;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    const double roll = rng_.NextDouble();
+    if (roll < config_.unknown_result_applied) {
+      return CommitFault::kUnknownApplied;
+    }
+    if (roll < config_.unknown_result_applied + config_.unknown_result_dropped) {
+      return CommitFault::kUnknownDropped;
+    }
+    if (roll < config_.unknown_result_applied + config_.unknown_result_dropped +
+                   config_.commit_unavailable) {
+      return CommitFault::kUnavailable;
+    }
+    return CommitFault::kNone;
+  }
+
+  /// True when this GRV call should fail transiently. Thread-safe.
+  bool NextGrvFault() {
+    if (config_.grv_unavailable == 0) return false;
+    std::lock_guard<std::mutex> lock(mu_);
+    return rng_.NextDouble() < config_.grv_unavailable;
+  }
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  std::mutex mu_;
+  Random rng_;
+};
+
+}  // namespace quick::fdb
+
+#endif  // QUICK_FDB_FAULT_INJECTOR_H_

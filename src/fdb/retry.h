@@ -1,0 +1,58 @@
+#ifndef QUICK_FDB_RETRY_H_
+#define QUICK_FDB_RETRY_H_
+
+#include <utility>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "fdb/database.h"
+#include "fdb/transaction.h"
+
+namespace quick::fdb {
+
+inline constexpr int kDefaultMaxAttempts = 25;
+
+/// Canonical FoundationDB retry loop: runs `body` against a fresh
+/// transaction, commits, and on retryable failures (conflicts, too-old,
+/// unknown-result, transient unavailability) backs off and re-executes.
+/// `body` has signature Status(Transaction&). Note kCommitUnknownResult is
+/// retried, so `body` must be idempotent — every QuiCK transaction is, per
+/// the paper's at-least-once contract (§2).
+template <typename Body>
+Status RunTransaction(Database* db, const TransactionOptions& topts, Body&& body,
+                      int max_attempts = kDefaultMaxAttempts) {
+  Transaction txn = db->CreateTransaction(topts);
+  for (int attempt = 0; attempt < max_attempts; ++attempt) {
+    Status st = body(txn);
+    if (st.ok()) st = txn.Commit();
+    if (st.ok()) return st;
+    Status retry = txn.OnError(st);
+    if (!retry.ok()) return retry;  // non-retryable: surface the error
+  }
+  return Status::TimedOut("transaction retry budget exhausted");
+}
+
+template <typename Body>
+Status RunTransaction(Database* db, Body&& body,
+                      int max_attempts = kDefaultMaxAttempts) {
+  return RunTransaction(db, TransactionOptions{}, std::forward<Body>(body),
+                        max_attempts);
+}
+
+/// Runs `body` and returns a value produced inside the transaction.
+/// `body` has signature Status(Transaction&, T*).
+template <typename T, typename Body>
+Result<T> RunTransactionResult(Database* db, const TransactionOptions& topts,
+                               Body&& body,
+                               int max_attempts = kDefaultMaxAttempts) {
+  T out{};
+  Status st = RunTransaction(
+      db, topts, [&](Transaction& txn) { return body(txn, &out); },
+      max_attempts);
+  if (!st.ok()) return st;
+  return out;
+}
+
+}  // namespace quick::fdb
+
+#endif  // QUICK_FDB_RETRY_H_

@@ -1,0 +1,446 @@
+#include "fdb/transaction.h"
+
+#include <algorithm>
+
+#include "common/backoff.h"
+#include "common/random.h"
+#include "fdb/database.h"
+#include "fdb/versioned_store.h"
+
+namespace quick::fdb {
+
+Transaction::Transaction(Database* db, TransactionOptions options)
+    : db_(db),
+      options_(options),
+      start_millis_(db->clock()->NowMillis()) {}
+
+Status Transaction::CheckUsable() {
+  if (committed_) {
+    return Status::FailedPrecondition("transaction already committed");
+  }
+  if (db_->clock()->NowMillis() - start_millis_ >
+      db_->options().transaction_timeout_millis) {
+    return Status::TransactionTooOld("transaction exceeded its lifetime");
+  }
+  return Status::OK();
+}
+
+Result<Version> Transaction::EnsureReadVersion() {
+  if (read_version_ == kInvalidVersion) {
+    QUICK_ASSIGN_OR_RETURN(read_version_, db_->AcquireReadVersion(options_));
+  }
+  return read_version_;
+}
+
+Result<Version> Transaction::GetReadVersion() {
+  QUICK_RETURN_IF_ERROR(CheckUsable());
+  return EnsureReadVersion();
+}
+
+Transaction::LocalView Transaction::ClassifyLocal(
+    const std::string& key, const WriteEntry** entry) const {
+  auto it = writes_.find(key);
+  if (it != writes_.end()) {
+    *entry = &it->second;
+    switch (it->second.kind) {
+      case WriteEntry::Kind::kSet:
+        return LocalView::kSet;
+      case WriteEntry::Kind::kClear:
+        return LocalView::kCleared;
+      case WriteEntry::Kind::kAtomicChain:
+        return LocalView::kAtomic;
+    }
+  }
+  *entry = nullptr;
+  if (CoveredByClearedRange(key)) return LocalView::kCleared;
+  return LocalView::kUnknown;
+}
+
+bool Transaction::CoveredByClearedRange(const std::string& key) const {
+  for (const KeyRange& r : cleared_ranges_) {
+    if (r.Contains(key)) return true;
+  }
+  return false;
+}
+
+Result<std::optional<std::string>> Transaction::Get(const std::string& key,
+                                                    bool snapshot) {
+  QUICK_RETURN_IF_ERROR(CheckUsable());
+  const WriteEntry* entry = nullptr;
+  switch (ClassifyLocal(key, &entry)) {
+    case LocalView::kSet:
+      // Value fully determined locally: no storage read, no read conflict.
+      return std::optional<std::string>(entry->set_value);
+    case LocalView::kCleared:
+      return std::optional<std::string>(std::nullopt);
+    case LocalView::kAtomic: {
+      // Reading a key this transaction atomically mutated turns the op into
+      // a read-modify-write: the base comes from storage and a read
+      // conflict is added (matching FoundationDB's RYW semantics).
+      std::optional<std::string> base;
+      if (!entry->base_cleared) {
+        QUICK_ASSIGN_OR_RETURN(Version rv, EnsureReadVersion());
+        QUICK_ASSIGN_OR_RETURN(base, db_->ReadAt(key, rv));
+      }
+      if (!snapshot) AddReadConflictKey(key);
+      std::optional<std::string> value = std::move(base);
+      for (const auto& [op, operand] : entry->atomics) {
+        value = ApplyAtomicOp(op, value, operand);
+      }
+      return value;
+    }
+    case LocalView::kUnknown:
+      break;
+  }
+  QUICK_ASSIGN_OR_RETURN(Version rv, EnsureReadVersion());
+  QUICK_ASSIGN_OR_RETURN(std::optional<std::string> value,
+                         db_->ReadAt(key, rv));
+  if (!snapshot) AddReadConflictKey(key);
+  return value;
+}
+
+Result<std::vector<KeyValue>> Transaction::GetRange(const KeyRange& range,
+                                                    const RangeOptions& options,
+                                                    bool snapshot) {
+  QUICK_RETURN_IF_ERROR(CheckUsable());
+  QUICK_ASSIGN_OR_RETURN(Version rv, EnsureReadVersion());
+
+  // Determine whether the write buffer overlaps the range; if not we can
+  // pass the limit straight to storage.
+  auto first_write = writes_.lower_bound(range.begin);
+  bool writes_overlap =
+      first_write != writes_.end() && first_write->first < range.end;
+  bool clears_overlap = false;
+  for (const KeyRange& r : cleared_ranges_) {
+    if (r.Intersects(range)) {
+      clears_overlap = true;
+      break;
+    }
+  }
+
+  std::vector<KeyValue> merged;
+  if (!writes_overlap && !clears_overlap) {
+    QUICK_ASSIGN_OR_RETURN(merged, db_->ReadRangeAt(range, rv, options));
+  } else {
+    // Fetch the full range from storage, then overlay the write buffer.
+    QUICK_ASSIGN_OR_RETURN(std::vector<KeyValue> stored,
+                           db_->ReadRangeAt(range, rv, RangeOptions{}));
+    std::map<std::string, std::optional<std::string>> view;
+    for (KeyValue& kv : stored) {
+      if (!CoveredByClearedRange(kv.key)) {
+        view.emplace(std::move(kv.key), std::move(kv.value));
+      }
+    }
+    for (auto it = first_write; it != writes_.end() && it->first < range.end;
+         ++it) {
+      const WriteEntry& e = it->second;
+      switch (e.kind) {
+        case WriteEntry::Kind::kSet:
+          view[it->first] = e.set_value;
+          break;
+        case WriteEntry::Kind::kClear:
+          view[it->first] = std::nullopt;
+          break;
+        case WriteEntry::Kind::kAtomicChain: {
+          std::optional<std::string> base;
+          if (!e.base_cleared) {
+            auto vit = view.find(it->first);
+            if (vit != view.end()) base = vit->second;
+          }
+          for (const auto& [op, operand] : e.atomics) {
+            base = ApplyAtomicOp(op, base, operand);
+          }
+          view[it->first] = std::move(base);
+          break;
+        }
+      }
+    }
+    merged.reserve(view.size());
+    for (auto& [key, value] : view) {
+      if (value.has_value()) merged.push_back({key, *std::move(value)});
+    }
+    if (options.reverse) {
+      std::reverse(merged.begin(), merged.end());
+    }
+    if (options.limit > 0 && static_cast<int>(merged.size()) > options.limit) {
+      merged.resize(options.limit);
+    }
+  }
+
+  if (!snapshot) {
+    // Conservative: conflict on the requested range (a finer implementation
+    // would clip at the last returned key when a limit stopped the scan).
+    AddReadConflictRange(range);
+  }
+  return merged;
+}
+
+Result<std::optional<std::string>> Transaction::GetKey(
+    const KeySelector& selector, bool snapshot) {
+  QUICK_RETURN_IF_ERROR(CheckUsable());
+  // Resolution via a bounded scan around the anchor. `offset` semantics:
+  // with the resolved base being the last key <= anchor (or < anchor when
+  // !or_equal), offset N steps N keys forward in key order.
+  // Implementation strategy: enumerate keys on the relevant side and
+  // index into them; selectors in this codebase use offsets 0 and 1, and
+  // small positive offsets are supported.
+  if (selector.offset >= 1) {
+    // Keys starting at (anchor, ...] / [anchor, ...) depending on or_equal.
+    KeyRange range;
+    range.begin =
+        selector.or_equal ? KeyAfter(selector.key) : selector.key;
+    range.end = KeyRange::All().end;
+    RangeOptions opts;
+    opts.limit = selector.offset;
+    QUICK_ASSIGN_OR_RETURN(std::vector<KeyValue> kvs,
+                           GetRange(range, opts, snapshot));
+    if (static_cast<int>(kvs.size()) < selector.offset) {
+      return std::optional<std::string>(std::nullopt);
+    }
+    return std::optional<std::string>(kvs[selector.offset - 1].key);
+  }
+  // offset <= 0: walk backwards from the anchor.
+  KeyRange range;
+  range.begin = KeyRange::All().begin;
+  range.end = selector.or_equal ? KeyAfter(selector.key) : selector.key;
+  RangeOptions opts;
+  opts.limit = 1 - selector.offset;
+  opts.reverse = true;
+  QUICK_ASSIGN_OR_RETURN(std::vector<KeyValue> kvs,
+                         GetRange(range, opts, snapshot));
+  const int need = 1 - selector.offset;  // 1 for offset 0, 2 for -1, ...
+  if (static_cast<int>(kvs.size()) < need) {
+    return std::optional<std::string>(std::nullopt);
+  }
+  return std::optional<std::string>(kvs[need - 1].key);
+}
+
+Result<std::vector<KeyValue>> Transaction::GetRangeSelector(
+    const KeySelector& begin, const KeySelector& end,
+    const RangeOptions& options, bool snapshot) {
+  QUICK_ASSIGN_OR_RETURN(std::optional<std::string> begin_key,
+                         GetKey(begin, snapshot));
+  QUICK_ASSIGN_OR_RETURN(std::optional<std::string> end_key,
+                         GetKey(end, snapshot));
+  KeyRange range;
+  range.begin = begin_key.value_or(KeyRange::All().end);
+  range.end = end_key.value_or(KeyRange::All().end);
+  if (range.empty()) return std::vector<KeyValue>{};
+  return GetRange(range, options, snapshot);
+}
+
+void Transaction::Set(const std::string& key, const std::string& value) {
+  WriteEntry& e = writes_[key];
+  e = WriteEntry{WriteEntry::Kind::kSet, value, {}, false};
+  AddWriteConflictKey(key);
+  approx_size_ += static_cast<int64_t>(key.size() + value.size());
+}
+
+void Transaction::Clear(const std::string& key) {
+  WriteEntry& e = writes_[key];
+  e = WriteEntry{WriteEntry::Kind::kClear, {}, {}, false};
+  AddWriteConflictKey(key);
+  approx_size_ += static_cast<int64_t>(key.size());
+}
+
+void Transaction::ClearRange(const KeyRange& range) {
+  if (range.empty()) return;
+  cleared_ranges_.push_back(range);
+  for (auto it = writes_.lower_bound(range.begin);
+       it != writes_.end() && it->first < range.end;) {
+    it->second = WriteEntry{WriteEntry::Kind::kClear, {}, {}, false};
+    ++it;
+  }
+  AddWriteConflictRange(range);
+  approx_size_ += static_cast<int64_t>(range.begin.size() + range.end.size());
+}
+
+void Transaction::Atomic(AtomicOp op, const std::string& key,
+                         const std::string& operand) {
+  auto it = writes_.find(key);
+  if (it == writes_.end()) {
+    WriteEntry e;
+    e.kind = WriteEntry::Kind::kAtomicChain;
+    e.base_cleared = CoveredByClearedRange(key);
+    e.atomics.emplace_back(op, operand);
+    writes_.emplace(key, std::move(e));
+  } else {
+    WriteEntry& e = it->second;
+    switch (e.kind) {
+      case WriteEntry::Kind::kSet:
+        // Base fully known: fold the op into the buffered value.
+        e.set_value = ApplyAtomicOp(op, e.set_value, operand);
+        break;
+      case WriteEntry::Kind::kClear:
+        e.kind = WriteEntry::Kind::kAtomicChain;
+        e.base_cleared = true;
+        e.atomics.clear();
+        e.atomics.emplace_back(op, operand);
+        break;
+      case WriteEntry::Kind::kAtomicChain:
+        e.atomics.emplace_back(op, operand);
+        break;
+    }
+  }
+  AddWriteConflictKey(key);
+  approx_size_ += static_cast<int64_t>(key.size() + operand.size());
+}
+
+void Transaction::SetVersionstampedKey(const std::string& prefix,
+                                        const std::string& suffix,
+                                        const std::string& value) {
+  Mutation m;
+  m.type = Mutation::Type::kSetVersionstampedKey;
+  m.key = prefix;
+  m.end_key = suffix;
+  m.value = value;
+  versionstamped_.push_back(std::move(m));
+  // The final key is unknown until commit; conflict on the whole prefix.
+  AddWriteConflictRange(KeyRange::Prefix(prefix));
+  approx_size_ += static_cast<int64_t>(prefix.size() + suffix.size() +
+                                       value.size() + 10);
+}
+
+void Transaction::SetVersionstampedValue(const std::string& key,
+                                         const std::string& value_prefix) {
+  Mutation m;
+  m.type = Mutation::Type::kSetVersionstampedValue;
+  m.key = key;
+  m.value = value_prefix;
+  versionstamped_.push_back(std::move(m));
+  AddWriteConflictKey(key);
+  approx_size_ += static_cast<int64_t>(key.size() + value_prefix.size() + 10);
+}
+
+Result<std::string> Transaction::GetVersionstamp() const {
+  if (!committed_ || committed_version_ == kInvalidVersion) {
+    return Status::FailedPrecondition(
+        "versionstamp only available after a successful data commit");
+  }
+  return VersionstampFor(committed_version_);
+}
+
+void Transaction::AddReadConflictRange(const KeyRange& range) {
+  if (!range.empty()) read_conflicts_.push_back(range);
+}
+
+void Transaction::AddReadConflictKey(const std::string& key) {
+  read_conflicts_.push_back(KeyRange::Single(key));
+}
+
+void Transaction::AddWriteConflictRange(const KeyRange& range) {
+  if (!range.empty()) write_conflicts_.push_back(range);
+}
+
+void Transaction::AddWriteConflictKey(const std::string& key) {
+  write_conflicts_.push_back(KeyRange::Single(key));
+}
+
+Status Transaction::Commit() {
+  QUICK_RETURN_IF_ERROR(CheckUsable());
+
+  // A transaction with nothing to write and nothing declared is a no-op
+  // commit, as in FoundationDB: reads-only commits succeed locally.
+  if (writes_.empty() && cleared_ranges_.empty() && write_conflicts_.empty() &&
+      versionstamped_.empty()) {
+    committed_ = true;
+    committed_version_ = read_version_;
+    return Status::OK();
+  }
+
+  const int64_t limit = options_.size_limit_bytes > 0
+                            ? options_.size_limit_bytes
+                            : db_->options().max_transaction_bytes;
+  if (approx_size_ > limit) {
+    return Status::TransactionTooLarge();
+  }
+
+  // Conflict checking needs a read version whenever read conflicts exist.
+  if (!read_conflicts_.empty() && read_version_ == kInvalidVersion) {
+    QUICK_RETURN_IF_ERROR(EnsureReadVersion().status());
+  }
+
+  Database::CommitRequest request;
+  request.read_version = read_version_;
+  request.read_conflicts = read_conflicts_;
+  request.write_conflicts = write_conflicts_;
+
+  // Range clears first so per-key mutations within the same commit version
+  // supersede them.
+  for (const KeyRange& r : cleared_ranges_) {
+    Mutation m;
+    m.type = Mutation::Type::kClearRange;
+    m.key = r.begin;
+    m.end_key = r.end;
+    request.mutations.push_back(std::move(m));
+  }
+  for (const Mutation& m : versionstamped_) {
+    request.mutations.push_back(m);
+  }
+  for (const auto& [key, e] : writes_) {
+    switch (e.kind) {
+      case WriteEntry::Kind::kSet: {
+        Mutation m;
+        m.type = Mutation::Type::kSet;
+        m.key = key;
+        m.value = e.set_value;
+        request.mutations.push_back(std::move(m));
+        break;
+      }
+      case WriteEntry::Kind::kClear: {
+        Mutation m;
+        m.type = Mutation::Type::kClear;
+        m.key = key;
+        request.mutations.push_back(std::move(m));
+        break;
+      }
+      case WriteEntry::Kind::kAtomicChain: {
+        bool first = true;
+        for (const auto& [op, operand] : e.atomics) {
+          Mutation m;
+          m.type = Mutation::Type::kAtomic;
+          m.key = key;
+          m.op = op;
+          m.value = operand;
+          m.base_cleared = e.base_cleared && first;
+          first = false;
+          request.mutations.push_back(std::move(m));
+        }
+        break;
+      }
+    }
+  }
+
+  Result<Version> result = db_->CommitAt(std::move(request));
+  if (!result.ok()) return result.status();
+  committed_ = true;
+  committed_version_ = *result;
+  return Status::OK();
+}
+
+Status Transaction::OnError(const Status& error) {
+  if (!error.retryable()) return error;
+  static const ExponentialBackoff kBackoff(/*initial_millis=*/2,
+                                           /*max_millis=*/1000);
+  const int64_t delay = kBackoff.JitteredDelayForAttempt(
+      retry_attempt_, &Random::ThreadLocal());
+  ++retry_attempt_;
+  db_->clock()->SleepMillis(delay);
+  Reset();
+  return Status::OK();
+}
+
+void Transaction::Reset() {
+  writes_.clear();
+  versionstamped_.clear();
+  cleared_ranges_.clear();
+  read_conflicts_.clear();
+  write_conflicts_.clear();
+  approx_size_ = 0;
+  read_version_ = kInvalidVersion;
+  committed_version_ = kInvalidVersion;
+  committed_ = false;
+  start_millis_ = db_->clock()->NowMillis();
+}
+
+}  // namespace quick::fdb

@@ -1,0 +1,164 @@
+#ifndef QUICK_FDB_TRANSACTION_H_
+#define QUICK_FDB_TRANSACTION_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "fdb/types.h"
+#include "fdb/versioned_store.h"
+
+namespace quick::fdb {
+
+class Database;
+
+/// A FoundationDB-style transaction: reads observe a snapshot at the
+/// transaction's read version (with read-your-writes over the local write
+/// buffer); writes are buffered and submitted atomically at Commit(), where
+/// the cluster's resolver checks the accumulated read conflict ranges
+/// against writes committed after the read version — strict serializability
+/// via optimistic concurrency (§4 of the paper).
+///
+/// Not thread-safe; a transaction belongs to one thread. Movable.
+class Transaction {
+ public:
+  explicit Transaction(Database* db, TransactionOptions options = {});
+
+  Transaction(Transaction&&) = default;
+  Transaction& operator=(Transaction&&) = default;
+  Transaction(const Transaction&) = delete;
+  Transaction& operator=(const Transaction&) = delete;
+
+  /// Point read. `snapshot` reads skip the read conflict range
+  /// (FoundationDB snapshot isolation reads — never cause this transaction
+  /// to abort on behalf of this key).
+  Result<std::optional<std::string>> Get(const std::string& key,
+                                         bool snapshot = false);
+
+  /// Range read over [range.begin, range.end), merged with the write
+  /// buffer.
+  Result<std::vector<KeyValue>> GetRange(const KeyRange& range,
+                                         const RangeOptions& options = {},
+                                         bool snapshot = false);
+
+  /// Resolves a key selector against the snapshot (merged with the write
+  /// buffer); nullopt when no key satisfies it. Adds a read conflict on
+  /// the range inspected unless `snapshot`.
+  Result<std::optional<std::string>> GetKey(const KeySelector& selector,
+                                            bool snapshot = false);
+
+  /// Range read with selector endpoints, as in the FoundationDB API.
+  Result<std::vector<KeyValue>> GetRangeSelector(const KeySelector& begin,
+                                                 const KeySelector& end,
+                                                 const RangeOptions& options = {},
+                                                 bool snapshot = false);
+
+  void Set(const std::string& key, const std::string& value);
+  void Clear(const std::string& key);
+  void ClearRange(const KeyRange& range);
+
+  /// Atomic read-modify-write: adds a write conflict but no read conflict,
+  /// so concurrent atomics on one key never abort each other.
+  void Atomic(AtomicOp op, const std::string& key, const std::string& operand);
+
+  /// Writes `value` under key = prefix + <10-byte versionstamp> + suffix,
+  /// where the stamp is the commit version (FoundationDB's
+  /// SET_VERSIONSTAMPED_KEY). Keys written this way sort in commit order —
+  /// the mechanism behind Record Layer VERSION indexes and the paper's §5
+  /// suggestion for strict-FIFO queue ordering. The final key is unknown
+  /// until commit, so these writes are invisible to read-your-writes.
+  void SetVersionstampedKey(const std::string& prefix,
+                            const std::string& suffix,
+                            const std::string& value);
+
+  /// Writes value = prefix + <10-byte versionstamp> under `key`.
+  void SetVersionstampedValue(const std::string& key,
+                              const std::string& value_prefix);
+
+  /// The versionstamp assigned to this transaction's writes; only valid
+  /// after a successful Commit of a transaction that wrote data.
+  Result<std::string> GetVersionstamp() const;
+
+  /// Explicit conflict ranges. AddWriteConflictKey on an index key is the
+  /// §6.1 technique: it makes an otherwise read-only transaction behave as
+  /// a writer at resolution time without writing any data.
+  void AddReadConflictRange(const KeyRange& range);
+  void AddReadConflictKey(const std::string& key);
+  void AddWriteConflictRange(const KeyRange& range);
+  void AddWriteConflictKey(const std::string& key);
+
+  /// Submits the transaction. OK, or kNotCommitted on conflict,
+  /// kTransactionTooOld / kTransactionTooLarge / kCommitUnknownResult /
+  /// kUnavailable as applicable. After a failed Commit the transaction must
+  /// be Reset (normally via OnError) before reuse.
+  Status Commit();
+
+  /// Version assigned by a successful Commit; kInvalidVersion otherwise.
+  Version GetCommittedVersion() const { return committed_version_; }
+
+  /// The snapshot version reads run at; acquired lazily on first read (or
+  /// taken from the cluster's cache per TransactionOptions).
+  Result<Version> GetReadVersion();
+
+  /// Pins the read version explicitly (FoundationDB's setReadVersion);
+  /// used to reuse a version across transactions within the 5s window.
+  void SetReadVersion(Version v) { read_version_ = v; }
+
+  /// Standard FDB retry helper: for retryable errors, backs off and resets
+  /// the transaction, returning OK so the caller loops; otherwise returns
+  /// the error.
+  Status OnError(const Status& error);
+
+  /// Clears all buffered state; the transaction can be reused.
+  void Reset();
+
+  /// Approximate byte footprint of buffered mutations (size-limit input).
+  int64_t Size() const { return approx_size_; }
+
+  Database* database() const { return db_; }
+  const TransactionOptions& options() const { return options_; }
+
+ private:
+  struct WriteEntry {
+    enum class Kind { kSet, kClear, kAtomicChain };
+    Kind kind = Kind::kSet;
+    std::string set_value;
+    std::vector<std::pair<AtomicOp, std::string>> atomics;
+    bool base_cleared = false;
+  };
+
+  /// Returns the transaction-local view of `key` if the write buffer fully
+  /// determines it (set or cleared); nullptr when storage must be
+  /// consulted.
+  enum class LocalView { kUnknown, kSet, kCleared, kAtomic };
+  LocalView ClassifyLocal(const std::string& key,
+                          const WriteEntry** entry) const;
+
+  bool CoveredByClearedRange(const std::string& key) const;
+  Status CheckUsable();
+  Result<Version> EnsureReadVersion();
+
+  Database* db_;
+  TransactionOptions options_;
+  int64_t start_millis_;
+  Version read_version_ = kInvalidVersion;
+  Version committed_version_ = kInvalidVersion;
+  bool committed_ = false;
+
+  std::map<std::string, WriteEntry> writes_;
+  std::vector<Mutation> versionstamped_;
+  std::vector<KeyRange> cleared_ranges_;
+  std::vector<KeyRange> read_conflicts_;
+  std::vector<KeyRange> write_conflicts_;
+  int64_t approx_size_ = 0;
+  int retry_attempt_ = 0;
+};
+
+}  // namespace quick::fdb
+
+#endif  // QUICK_FDB_TRANSACTION_H_

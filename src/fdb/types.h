@@ -1,0 +1,111 @@
+#ifndef QUICK_FDB_TYPES_H_
+#define QUICK_FDB_TYPES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.h"
+
+namespace quick::fdb {
+
+/// Database commit version. Monotonically increasing per cluster; read
+/// versions are snapshots named by the version of the latest commit they
+/// observe.
+using Version = int64_t;
+
+constexpr Version kInvalidVersion = -1;
+
+struct KeyValue {
+  std::string key;
+  std::string value;
+
+  bool operator==(const KeyValue&) const = default;
+};
+
+/// Atomic read-modify-write operations (FoundationDB subset). They add a
+/// write conflict but no read conflict, which is what makes the Record
+/// Layer COUNT index — and therefore QuiCK's queue-length observability —
+/// contention-free (§4).
+enum class AtomicOp {
+  kAdd,      // little-endian integer addition with wrap-around
+  kMin,      // unsigned little-endian minimum
+  kMax,      // unsigned little-endian maximum
+  kByteMin,  // lexicographic minimum
+  kByteMax,  // lexicographic maximum
+};
+
+/// Per-transaction knobs mirroring the FoundationDB client options QuiCK
+/// uses (§4, §6 "Isolation level").
+struct TransactionOptions {
+  /// Reuse the cluster's most recent read version when it is fresh enough,
+  /// skipping the getReadVersion round-trip. Read-only transactions may
+  /// observe slightly stale data; read-write transactions stay strictly
+  /// serializable but may abort more.
+  bool use_cached_read_version = false;
+
+  /// FoundationDB's causal_read_risky: skip commit-proxy validation during
+  /// getReadVersion for a faster, slightly risky read version.
+  bool causal_read_risky = false;
+
+  /// Overrides the database's transaction byte budget when non-zero.
+  int64_t size_limit_bytes = 0;
+};
+
+/// FoundationDB key selector: resolves to a key relative to an anchor —
+/// "the first key >= k", "the last key < k", etc., with an optional
+/// offset in key order. Used to express range bounds against keys that
+/// may not exist.
+struct KeySelector {
+  std::string key;
+  /// True: anchor at keys > `key` (or >= with or_equal); false: anchor at
+  /// keys < `key` (or <= with or_equal).
+  bool or_equal = false;
+  /// Offset in resolved-key order; as in FDB, offset 1 with
+  /// (or_equal=false) means "first key >= key".
+  int offset = 1;
+
+  static KeySelector FirstGreaterOrEqual(std::string k) {
+    return {std::move(k), false, 1};
+  }
+  static KeySelector FirstGreaterThan(std::string k) {
+    return {std::move(k), true, 1};
+  }
+  static KeySelector LastLessOrEqual(std::string k) {
+    return {std::move(k), true, 0};
+  }
+  static KeySelector LastLessThan(std::string k) {
+    return {std::move(k), false, 0};
+  }
+};
+
+struct RangeOptions {
+  /// Maximum key-value pairs returned; 0 means unlimited.
+  int limit = 0;
+  bool reverse = false;
+};
+
+/// Injected latencies, in microseconds, modelling the paper's deployment
+/// (two datacenters ~13ms apart plus satellites): GRV and commit pay
+/// cross-proxy/replication cost, reads are local. All zero by default so
+/// unit tests run at full speed.
+struct LatencyModel {
+  int64_t grv_micros = 0;
+  int64_t grv_causal_read_risky_micros = 0;  // cheaper GRV variant
+  int64_t read_micros = 0;
+  int64_t commit_micros = 0;
+
+  /// Roughly the paper's test cluster: ~13ms commit (cross-DC sync
+  /// replication), ~2ms GRV, sub-millisecond reads.
+  static LatencyModel PaperLike() {
+    LatencyModel m;
+    m.grv_micros = 2000;
+    m.grv_causal_read_risky_micros = 300;
+    m.read_micros = 300;
+    m.commit_micros = 13000;
+    return m;
+  }
+};
+
+}  // namespace quick::fdb
+
+#endif  // QUICK_FDB_TYPES_H_

@@ -1,0 +1,204 @@
+#include "fdb/versioned_store.h"
+
+#include <algorithm>
+
+namespace quick::fdb {
+
+namespace {
+
+uint64_t DecodeLEPadded(const std::string& s) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < 8 && i < s.size(); ++i) {
+    v |= static_cast<uint64_t>(static_cast<unsigned char>(s[i])) << (8 * i);
+  }
+  return v;
+}
+
+std::string EncodeLE(uint64_t v, size_t width) {
+  std::string out(width, '\0');
+  for (size_t i = 0; i < width; ++i) {
+    out[i] = static_cast<char>(v & 0xFF);
+    v >>= 8;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string ApplyAtomicOp(AtomicOp op, const std::optional<std::string>& base,
+                          const std::string& operand) {
+  switch (op) {
+    case AtomicOp::kAdd: {
+      const uint64_t a = base.has_value() ? DecodeLEPadded(*base) : 0;
+      const uint64_t b = DecodeLEPadded(operand);
+      // Result width follows the operand, as in FDB.
+      return EncodeLE(a + b, std::min<size_t>(operand.size(), 8));
+    }
+    case AtomicOp::kMin: {
+      if (!base.has_value()) return EncodeLE(0, std::min<size_t>(operand.size(), 8));
+      const uint64_t a = DecodeLEPadded(*base);
+      const uint64_t b = DecodeLEPadded(operand);
+      return EncodeLE(std::min(a, b), std::min<size_t>(operand.size(), 8));
+    }
+    case AtomicOp::kMax: {
+      const uint64_t a = base.has_value() ? DecodeLEPadded(*base) : 0;
+      const uint64_t b = DecodeLEPadded(operand);
+      return EncodeLE(std::max(a, b), std::min<size_t>(operand.size(), 8));
+    }
+    case AtomicOp::kByteMin:
+      if (!base.has_value()) return operand;
+      return std::min(*base, operand);
+    case AtomicOp::kByteMax:
+      if (!base.has_value()) return operand;
+      return std::max(*base, operand);
+  }
+  return operand;
+}
+
+void VersionedStore::Apply(const std::vector<Mutation>& mutations,
+                           Version version) {
+  for (const Mutation& m : mutations) {
+    switch (m.type) {
+      case Mutation::Type::kSet:
+        data_[m.key].push_back({version, m.value});
+        break;
+      case Mutation::Type::kClear: {
+        auto it = data_.find(m.key);
+        if (it != data_.end()) {
+          it->second.push_back({version, std::nullopt});
+        }
+        break;
+      }
+      case Mutation::Type::kClearRange: {
+        for (auto it = data_.lower_bound(m.key);
+             it != data_.end() && it->first < m.end_key; ++it) {
+          // Only append a tombstone when the key is currently live to keep
+          // chains short.
+          if (!it->second.empty() && it->second.back().value.has_value()) {
+            it->second.push_back({version, std::nullopt});
+          }
+        }
+        break;
+      }
+      case Mutation::Type::kAtomic: {
+        std::optional<std::string> base;
+        if (!m.base_cleared) {
+          auto it = data_.find(m.key);
+          if (it != data_.end() && !it->second.empty()) {
+            // Later mutations in the same commit batch see earlier ones:
+            // the chain tail is the freshest value.
+            base = it->second.back().value;
+          }
+        }
+        data_[m.key].push_back({version, ApplyAtomicOp(m.op, base, m.value)});
+        break;
+      }
+      case Mutation::Type::kSetVersionstampedKey: {
+        data_[m.key + VersionstampFor(version) + m.end_key].push_back(
+            {version, m.value});
+        break;
+      }
+      case Mutation::Type::kSetVersionstampedValue: {
+        data_[m.key].push_back({version, m.value + VersionstampFor(version)});
+        break;
+      }
+    }
+  }
+}
+
+std::string VersionstampFor(Version version) {
+  std::string stamp = EncodeBigEndian64(static_cast<uint64_t>(version));
+  stamp.push_back('\x00');
+  stamp.push_back('\x00');
+  return stamp;
+}
+
+const std::optional<std::string>* VersionedStore::GetInChain(
+    const Chain& chain, Version version) const {
+  // Chains are append-only in version order; find the last entry with
+  // entry.version <= version.
+  auto it = std::upper_bound(
+      chain.begin(), chain.end(), version,
+      [](Version v, const Entry& e) { return v < e.version; });
+  if (it == chain.begin()) return nullptr;
+  return &std::prev(it)->value;
+}
+
+std::optional<std::string> VersionedStore::Get(const std::string& key,
+                                               Version version) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  const std::optional<std::string>* v = GetInChain(it->second, version);
+  return v == nullptr ? std::nullopt : *v;
+}
+
+std::vector<KeyValue> VersionedStore::GetRange(const KeyRange& range,
+                                               Version version,
+                                               const RangeOptions& options) const {
+  std::vector<KeyValue> out;
+  auto emit = [&](const std::string& key, const Chain& chain) {
+    const std::optional<std::string>* v = GetInChain(chain, version);
+    if (v != nullptr && v->has_value()) {
+      out.push_back({key, **v});
+      return true;
+    }
+    return false;
+  };
+  if (!options.reverse) {
+    for (auto it = data_.lower_bound(range.begin);
+         it != data_.end() && it->first < range.end; ++it) {
+      emit(it->first, it->second);
+      if (options.limit > 0 && static_cast<int>(out.size()) >= options.limit) {
+        break;
+      }
+    }
+  } else {
+    auto it = data_.lower_bound(range.end);
+    while (it != data_.begin()) {
+      --it;
+      if (it->first < range.begin) break;
+      emit(it->first, it->second);
+      if (options.limit > 0 && static_cast<int>(out.size()) >= options.limit) {
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void VersionedStore::Prune(Version min_version) {
+  for (auto it = data_.begin(); it != data_.end();) {
+    Chain& chain = it->second;
+    // Keep the last entry with version <= min_version and everything later.
+    auto keep_from = chain.begin();
+    for (auto e = chain.begin(); e != chain.end(); ++e) {
+      if (e->version <= min_version) keep_from = e;
+    }
+    if (keep_from != chain.begin()) {
+      chain.erase(chain.begin(), keep_from);
+    }
+    // Drop keys that are a lone old tombstone.
+    if (chain.size() == 1 && !chain[0].value.has_value() &&
+        chain[0].version <= min_version) {
+      it = data_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+size_t VersionedStore::LiveKeyCount() const {
+  size_t n = 0;
+  for (const auto& [key, chain] : data_) {
+    if (!chain.empty() && chain.back().value.has_value()) ++n;
+  }
+  return n;
+}
+
+size_t VersionedStore::TotalEntryCount() const {
+  size_t n = 0;
+  for (const auto& [key, chain] : data_) n += chain.size();
+  return n;
+}
+
+}  // namespace quick::fdb

@@ -1,0 +1,95 @@
+#ifndef QUICK_FDB_VERSIONED_STORE_H_
+#define QUICK_FDB_VERSIONED_STORE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "fdb/types.h"
+
+namespace quick::fdb {
+
+/// One buffered transaction mutation, resolved against storage at apply
+/// time (atomic ops read their base value only when the commit applies, so
+/// they never create read conflicts).
+struct Mutation {
+  enum class Type {
+    kSet,
+    kClear,
+    kClearRange,
+    kAtomic,
+    /// Key = key ("prefix") + 10-byte versionstamp + end_key ("suffix"),
+    /// with the stamp filled in from the commit version at apply time
+    /// (FoundationDB's SET_VERSIONSTAMPED_KEY).
+    kSetVersionstampedKey,
+    /// Value = value ("prefix") + 10-byte versionstamp.
+    kSetVersionstampedValue,
+  };
+
+  Type type = Type::kSet;
+  std::string key;      // begin key for kClearRange; prefix for vs-key
+  std::string end_key;  // kClearRange end; suffix for vs-key
+  std::string value;    // kSet value, atomic operand, or vs-value prefix
+  AtomicOp op = AtomicOp::kAdd;
+  /// For kAtomic: the base value was cleared earlier in the same
+  /// transaction, so the op applies to "missing" regardless of storage.
+  bool base_cleared = false;
+};
+
+/// The 10-byte versionstamp for a commit version: 8 bytes big-endian
+/// version + 2 bytes batch order (always 0 here — the simulator commits one
+/// transaction per version). Lexicographic order == commit order.
+std::string VersionstampFor(Version version);
+
+/// Applies an atomic operation to an optional existing value, FDB-style
+/// (missing values are treated as zero / empty as appropriate).
+std::string ApplyAtomicOp(AtomicOp op, const std::optional<std::string>& base,
+                          const std::string& operand);
+
+/// MVCC storage for one cluster: every key maps to a version chain and
+/// reads are served at an arbitrary retained version. NOT thread-safe; the
+/// Database serializes access (shared lock for reads, exclusive for
+/// commits).
+class VersionedStore {
+ public:
+  /// Applies a committed transaction's mutations at `version` (must exceed
+  /// every previously applied version).
+  void Apply(const std::vector<Mutation>& mutations, Version version);
+
+  /// Value of `key` as of `version`; nullopt when absent or cleared.
+  std::optional<std::string> Get(const std::string& key, Version version) const;
+
+  /// Key-value pairs in [range.begin, range.end) as of `version`, in key
+  /// order (reverse order when options.reverse), up to options.limit.
+  std::vector<KeyValue> GetRange(const KeyRange& range, Version version,
+                                 const RangeOptions& options = {}) const;
+
+  /// Drops version-chain entries no longer visible to any read version
+  /// >= `min_version`. Reads at older versions become incorrect; the
+  /// Database enforces the floor before reading.
+  void Prune(Version min_version);
+
+  /// Number of live keys at the latest version (for tests/stats).
+  size_t LiveKeyCount() const;
+
+  /// Total version-chain entries (for prune tests).
+  size_t TotalEntryCount() const;
+
+ private:
+  struct Entry {
+    Version version;
+    std::optional<std::string> value;  // nullopt == tombstone
+  };
+  using Chain = std::vector<Entry>;
+
+  const std::optional<std::string>* GetInChain(const Chain& chain,
+                                               Version version) const;
+
+  std::map<std::string, Chain> data_;
+};
+
+}  // namespace quick::fdb
+
+#endif  // QUICK_FDB_VERSIONED_STORE_H_

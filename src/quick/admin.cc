@@ -1,0 +1,162 @@
+#include "quick/admin.h"
+
+#include <sstream>
+
+#include "fdb/retry.h"
+
+namespace quick::core {
+
+Result<QuickAdmin::TenantQueueInfo> QuickAdmin::InspectTenant(
+    const ck::DatabaseId& db_id) {
+  ck::CloudKitService* ck = quick_->cloudkit();
+  const ck::DatabaseRef db = ck->OpenDatabase(db_id);
+  const ck::DatabaseRef cluster_db = ck->OpenClusterDb(db.cluster->name());
+  const Pointer pointer{db_id, quick_->config().queue_zone_name};
+
+  TenantQueueInfo info;
+  info.db_id = db_id;
+  info.cluster = db.cluster->name();
+  Status st = fdb::RunTransaction(db.cluster, [&](fdb::Transaction& txn) {
+    ck::QueueZone zone = quick_->OpenTenantZone(db, &txn);
+    QUICK_ASSIGN_OR_RETURN(info.depth, zone.Count());
+    QUICK_ASSIGN_OR_RETURN(info.min_vesting_time, zone.MinVestingTime());
+    // Oldest enqueue time + vested count need the records; peek them all
+    // (snapshot) — inspection is an operator action, not a hot path.
+    QUICK_ASSIGN_OR_RETURN(std::vector<ck::QueuedItem> vested,
+                           zone.Peek(/*max_items=*/0));
+    info.vested_now = static_cast<int64_t>(vested.size());
+    QUICK_ASSIGN_OR_RETURN(std::vector<rl::Record> all,
+                           zone.store()->ScanRecords());
+    for (const rl::Record& rec : all) {
+      QUICK_ASSIGN_OR_RETURN(ck::QueuedItem item,
+                             ck::QueuedItem::FromRecord(rec));
+      if (!info.oldest_enqueue_time.has_value() ||
+          item.enqueue_time < *info.oldest_enqueue_time) {
+        info.oldest_enqueue_time = item.enqueue_time;
+      }
+    }
+
+    ck::QueueZone top = quick_->OpenTopZoneFor(cluster_db, pointer.Key(), &txn);
+    QUICK_ASSIGN_OR_RETURN(std::optional<ck::QueuedItem> ptr,
+                           top.Load(pointer.Key()));
+    if (ptr.has_value()) {
+      info.pointer_exists = true;
+      info.pointer_leased = ptr->leased();
+      info.pointer_vesting_time = ptr->vesting_time;
+      info.pointer_error_count = ptr->error_count;
+    }
+    return Status::OK();
+  });
+  QUICK_RETURN_IF_ERROR(st);
+  return info;
+}
+
+Result<QuickAdmin::ClusterQueueInfo> QuickAdmin::InspectCluster(
+    const std::string& cluster_name) {
+  ck::CloudKitService* ck = quick_->cloudkit();
+  fdb::Database* cluster = ck->clusters()->Get(cluster_name);
+  if (cluster == nullptr) {
+    return Status::InvalidArgument("unknown cluster " + cluster_name);
+  }
+  const ck::DatabaseRef cluster_db = ck->OpenClusterDb(cluster_name);
+  ClusterQueueInfo info;
+  info.cluster = cluster_name;
+  Status st = fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
+    std::vector<rl::Record> all;
+    for (const std::string& shard : quick_->TopZoneNames()) {
+      ck::QueueZone top =
+          quick_->cloudkit()->OpenQueueZone(cluster_db, shard, &txn);
+      QUICK_ASSIGN_OR_RETURN(int64_t n, top.Count());
+      info.top_level_entries += n;
+      QUICK_ASSIGN_OR_RETURN(std::vector<rl::Record> shard_records,
+                             top.store()->ScanRecords());
+      for (rl::Record& rec : shard_records) all.push_back(std::move(rec));
+    }
+    const int64_t now = quick_->clock()->NowMillis();
+    for (const rl::Record& rec : all) {
+      QUICK_ASSIGN_OR_RETURN(ck::QueuedItem item,
+                             ck::QueuedItem::FromRecord(rec));
+      if (item.job_type == ck::kPointerJobType) {
+        ++info.pointers;
+        if (!info.oldest_pointer_last_active.has_value() ||
+            item.last_active_time < *info.oldest_pointer_last_active) {
+          info.oldest_pointer_last_active = item.last_active_time;
+        }
+      } else {
+        ++info.local_items;
+      }
+      if (item.vesting_time <= now) ++info.vested_now;
+      if (item.leased() && item.vesting_time > now) ++info.leased_now;
+    }
+    return Status::OK();
+  });
+  QUICK_RETURN_IF_ERROR(st);
+  return info;
+}
+
+Result<std::vector<QuickAdmin::OutstandingQueue>>
+QuickAdmin::ListOutstandingQueues(const std::string& cluster_name, int limit) {
+  ck::CloudKitService* ck = quick_->cloudkit();
+  fdb::Database* cluster = ck->clusters()->Get(cluster_name);
+  if (cluster == nullptr) {
+    return Status::InvalidArgument("unknown cluster " + cluster_name);
+  }
+  const ck::DatabaseRef cluster_db = ck->OpenClusterDb(cluster_name);
+  std::vector<OutstandingQueue> out;
+  Status st = fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
+    std::vector<rl::Record> all;
+    for (const std::string& shard : quick_->TopZoneNames()) {
+      ck::QueueZone top =
+          quick_->cloudkit()->OpenQueueZone(cluster_db, shard, &txn);
+      QUICK_ASSIGN_OR_RETURN(std::vector<rl::Record> shard_records,
+                             top.store()->ScanRecords());
+      for (rl::Record& rec : shard_records) all.push_back(std::move(rec));
+    }
+    out.clear();
+    for (const rl::Record& rec : all) {
+      QUICK_ASSIGN_OR_RETURN(ck::QueuedItem item,
+                             ck::QueuedItem::FromRecord(rec));
+      if (item.job_type != ck::kPointerJobType) continue;
+      Result<Pointer> pointer = Pointer::FromItem(item);
+      if (!pointer.ok()) continue;  // corrupt pointers are skipped here
+      OutstandingQueue row;
+      row.pointer = *pointer;
+      row.vesting_time = item.vesting_time;
+      row.leased =
+          item.leased() && item.vesting_time > quick_->clock()->NowMillis();
+      // Depth from the referenced zone's count index (same cluster).
+      const tup::Subspace zone_subspace =
+          ck::CloudKitService::DatabaseSubspace(pointer->db_id)
+              .Sub("z")
+              .Sub(pointer->zone);
+      ck::QueueZone zone(&txn, zone_subspace, quick_->clock());
+      QUICK_ASSIGN_OR_RETURN(row.depth, zone.Count());
+      out.push_back(std::move(row));
+      if (limit > 0 && static_cast<int>(out.size()) >= limit) break;
+    }
+    return Status::OK();
+  });
+  QUICK_RETURN_IF_ERROR(st);
+  return out;
+}
+
+Result<std::string> QuickAdmin::RenderFleetReport() {
+  std::ostringstream os;
+  os << "QuiCK fleet report\n";
+  for (const std::string& name : quick_->cloudkit()->clusters()->names()) {
+    QUICK_ASSIGN_OR_RETURN(ClusterQueueInfo info, InspectCluster(name));
+    os << "  cluster " << info.cluster << ": " << info.top_level_entries
+       << " top-level entries (" << info.pointers << " pointers, "
+       << info.local_items << " local items), " << info.vested_now
+       << " vested, " << info.leased_now << " leased\n";
+    QUICK_ASSIGN_OR_RETURN(std::vector<OutstandingQueue> queues,
+                           ListOutstandingQueues(name, 20));
+    for (const OutstandingQueue& q : queues) {
+      os << "    " << q.pointer.db_id.ToString() << " zone=" << q.pointer.zone
+         << " depth=" << q.depth << (q.leased ? " [leased]" : "") << "\n";
+    }
+  }
+  return os.str();
+}
+
+}  // namespace quick::core

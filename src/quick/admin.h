@@ -1,0 +1,72 @@
+#ifndef QUICK_QUICK_ADMIN_H_
+#define QUICK_QUICK_ADMIN_H_
+
+#include <string>
+#include <vector>
+
+#include "quick/quick.h"
+
+namespace quick::core {
+
+/// Operational introspection over QuiCK's state (§2 "Operations and
+/// monitoring", §3 "Querying outstanding work by user is inexpressible"
+/// in external queuing systems — here it is a first-class query). All
+/// reads are snapshot reads: inspection never aborts producers or
+/// consumers.
+class QuickAdmin {
+ public:
+  explicit QuickAdmin(Quick* quick) : quick_(quick) {}
+
+  /// Per-tenant view: queue depth, earliest vesting time, oldest enqueue
+  /// time, and the state of the tenant's pointer in Q_C.
+  struct TenantQueueInfo {
+    ck::DatabaseId db_id;
+    std::string cluster;
+    int64_t depth = 0;
+    std::optional<int64_t> min_vesting_time;
+    std::optional<int64_t> oldest_enqueue_time;
+    int64_t vested_now = 0;
+    bool pointer_exists = false;
+    bool pointer_leased = false;
+    int64_t pointer_vesting_time = 0;
+    int64_t pointer_error_count = 0;
+  };
+
+  /// Per-cluster view of the top-level queue.
+  struct ClusterQueueInfo {
+    std::string cluster;
+    int64_t top_level_entries = 0;
+    int64_t pointers = 0;
+    int64_t local_items = 0;
+    int64_t vested_now = 0;
+    int64_t leased_now = 0;
+    std::optional<int64_t> oldest_pointer_last_active;
+  };
+
+  /// One row of the outstanding-work listing.
+  struct OutstandingQueue {
+    Pointer pointer;
+    int64_t vesting_time = 0;
+    bool leased = false;
+    int64_t depth = 0;  // of the referenced queue zone
+  };
+
+  Result<TenantQueueInfo> InspectTenant(const ck::DatabaseId& db_id);
+
+  Result<ClusterQueueInfo> InspectCluster(const std::string& cluster_name);
+
+  /// The non-empty queues of a cluster (by pointer), with their depths —
+  /// the per-tenant query external queuing systems cannot express (§3).
+  Result<std::vector<OutstandingQueue>> ListOutstandingQueues(
+      const std::string& cluster_name, int limit = 100);
+
+  /// Human-readable multi-line report over every cluster.
+  Result<std::string> RenderFleetReport();
+
+ private:
+  Quick* quick_;
+};
+
+}  // namespace quick::core
+
+#endif  // QUICK_QUICK_ADMIN_H_

@@ -1,0 +1,32 @@
+#include "quick/alerts.h"
+
+#include <sstream>
+
+namespace quick::core {
+
+namespace {
+const char* KindName(Alert::Kind kind) {
+  switch (kind) {
+    case Alert::Kind::kRepeatedFailures:
+      return "REPEATED_FAILURES";
+    case Alert::Kind::kDroppedAfterExhaustion:
+      return "DROPPED_AFTER_EXHAUSTION";
+    case Alert::Kind::kPermanentFailure:
+      return "PERMANENT_FAILURE";
+    case Alert::Kind::kUnknownJobType:
+      return "UNKNOWN_JOB_TYPE";
+  }
+  return "UNKNOWN";
+}
+}  // namespace
+
+std::string Alert::ToString() const {
+  std::ostringstream os;
+  os << KindName(kind) << " db=" << db_id.ToString() << " zone=" << zone
+     << " item=" << item_id << " type=" << job_type
+     << " errors=" << error_count;
+  if (!detail.empty()) os << " detail=" << detail;
+  return os.str();
+}
+
+}  // namespace quick::core

@@ -1,0 +1,74 @@
+#ifndef QUICK_QUICK_ALERTS_H_
+#define QUICK_QUICK_ALERTS_H_
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cloudkit/database_id.h"
+
+namespace quick::core {
+
+/// A work item that keeps failing (§2/§6: jobs retrying indefinitely
+/// "would eventually cause alerts and manual mitigation"). Raised by
+/// consumers when an item's error count crosses the alert threshold of its
+/// retry policy.
+struct Alert {
+  enum class Kind {
+    /// Item error count crossed the policy's alert threshold.
+    kRepeatedFailures,
+    /// Item was dropped after exhausting its attempt budget.
+    kDroppedAfterExhaustion,
+    /// Item deleted due to a permanent error.
+    kPermanentFailure,
+    /// No handler registered for the item's job type.
+    kUnknownJobType,
+  };
+
+  Kind kind;
+  ck::DatabaseId db_id;
+  std::string zone;
+  std::string item_id;
+  std::string job_type;
+  int64_t error_count = 0;
+  std::string detail;
+
+  std::string ToString() const;
+};
+
+/// Destination for alerts. Implementations must be thread-safe; consumers
+/// raise alerts from Worker threads.
+class AlertSink {
+ public:
+  virtual ~AlertSink() = default;
+  virtual void Raise(const Alert& alert) = 0;
+};
+
+/// In-memory sink: collects alerts for tests, examples, and operator polls.
+class CollectingAlertSink : public AlertSink {
+ public:
+  void Raise(const Alert& alert) override {
+    std::lock_guard<std::mutex> lock(mu_);
+    alerts_.push_back(alert);
+  }
+
+  std::vector<Alert> Drain() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<Alert> out;
+    out.swap(alerts_);
+    return out;
+  }
+
+  size_t Count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return alerts_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<Alert> alerts_;
+};
+
+}  // namespace quick::core
+
+#endif  // QUICK_QUICK_ALERTS_H_

@@ -1,0 +1,80 @@
+#ifndef QUICK_QUICK_CONFIG_H_
+#define QUICK_QUICK_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace quick::core {
+
+/// System-wide QuiCK settings.
+struct QuickConfig {
+  /// Zone name used for the per-database work queue Q_DB.
+  std::string queue_zone_name = "_queue";
+  /// Use the strict-FIFO schema for tenant queue zones (§5's commit-order
+  /// extension). Consumers serving these zones must set
+  /// ConsumerConfig::fifo_tenant_zones accordingly.
+  bool fifo_tenant_zones = false;
+  /// Zone name of the top-level queue Q_C inside each ClusterDB.
+  std::string top_zone_name = "_quick_q";
+  /// Number of top-level queue shards per cluster (§6: "more queues can be
+  /// created for scalability by sharding the key-space"). Entries are
+  /// assigned to shards by hashing their item id, so every component —
+  /// enqueuers, consumers, migration, admin — derives the shard
+  /// independently. 1 reproduces the paper's deployed configuration.
+  int top_zone_shards = 1;
+  /// Second-part enqueue optimization (§6 "Reducing contention"): lower the
+  /// pointer's vesting time when it exceeds the new item's vesting by more
+  /// than this slack.
+  int64_t pointer_vesting_slack_millis = 1000;
+};
+
+/// Per-consumer scheduling parameters; names follow Algorithm 1–3 of the
+/// paper. Defaults mirror §8 where given (peek_max=20K, selection_max=2K,
+/// selection_frac=0.02) and are otherwise practical small-scale values.
+struct ConsumerConfig {
+  /// Max pointers peeked from a top-level queue per scan (Alg. 1).
+  int peek_max = 20000;
+  /// Fraction of peeked pointers a randomized Scanner selects (Alg. 1).
+  double selection_frac = 0.02;
+  /// Upper bound on pointers selected per peek (Alg. 1).
+  int selection_max = 2000;
+  /// Max pointers processed per cluster before moving on (Alg. 1).
+  int processing_bound = 10000;
+  /// Max work items dequeued per queue visit (Alg. 2) — the per-queue
+  /// fairness bound.
+  int dequeue_max = 1;
+  /// Pointer lease duration (short: just long enough to dequeue, §6).
+  int64_t pointer_lease_millis = 1000;
+  /// Work-item lease duration.
+  int64_t item_lease_millis = 5000;
+  /// How often the lease extender renews in-flight item leases.
+  int64_t lease_extension_interval_millis = 1000;
+  /// Pointer GC grace (§6): a pointer to an empty queue is deleted only
+  /// after the queue has been inactive this long.
+  int64_t min_inactive_millis = 60000;
+  /// Threads in the Manager pool (128 in the paper's runs).
+  int num_manager_threads = 4;
+  /// Threads in the Worker pool (128 in the paper's runs).
+  int num_worker_threads = 8;
+  /// Scanner sleep when every top-level queue came up empty.
+  int64_t idle_sleep_millis = 20;
+  /// Process pointers in top-level-queue order instead of random selection
+  /// (the elected no-starvation scanner, §6). When a LeaseCache is
+  /// provided, election is dynamic and this field is ignored.
+  bool sequential = false;
+  /// Use cached read versions / causal-read-risky for peeks and leases
+  /// (§6 "Isolation level"); enqueues never do.
+  bool relaxed_reads_for_peek = true;
+  /// Baseline mode for the lease-granularity ablation: consumers lease
+  /// individual work items without first leasing the queue's pointer
+  /// (ATF-style, §7). Leave false for QuiCK behaviour.
+  bool item_level_leases_only = false;
+  /// Dequeue tenant-zone items in strict enqueue-commit order instead of
+  /// (priority, vesting) order. Requires every tenant queue zone to use
+  /// the FIFO schema (ZoneType::kFifoQueue / QueueZone(..., fifo=true)).
+  bool fifo_tenant_zones = false;
+};
+
+}  // namespace quick::core
+
+#endif  // QUICK_QUICK_CONFIG_H_

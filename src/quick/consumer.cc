@@ -1,0 +1,740 @@
+#include "quick/consumer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "fdb/retry.h"
+
+namespace quick::core {
+
+Consumer::Consumer(Quick* quick, std::vector<std::string> cluster_names,
+                   JobRegistry* registry, ConsumerConfig config,
+                   std::string consumer_id, LeaseCache* election_cache)
+    : quick_(quick),
+      registry_(registry),
+      config_(config),
+      id_(consumer_id.empty() ? Random::ThreadLocal().NextUuid()
+                              : std::move(consumer_id)),
+      clusters_(std::move(cluster_names)),
+      election_(election_cache),
+      scanner_rng_(std::hash<std::string>{}(id_)) {}
+
+Consumer::~Consumer() { Stop(); }
+
+fdb::Database* Consumer::Cluster(const std::string& name) {
+  return quick_->cloudkit()->clusters()->Get(name);
+}
+
+void Consumer::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  manager_queue_ = std::make_unique<BlockingQueue<TopJob>>(
+      static_cast<size_t>(config_.num_manager_threads) * 2);
+  worker_queue_ = std::make_unique<BlockingQueue<WorkerJob>>(
+      static_cast<size_t>(config_.num_worker_threads) * 2);
+
+  threads_.emplace_back([this] { ScannerLoop(); });
+  for (int i = 0; i < config_.num_manager_threads; ++i) {
+    threads_.emplace_back([this] {
+      while (auto job = manager_queue_->Pop()) {
+        (void)ProcessTopItemImpl(job->cluster, job->item_id,
+                                 /*inline_processing=*/false);
+      }
+    });
+  }
+  for (int i = 0; i < config_.num_worker_threads; ++i) {
+    threads_.emplace_back([this] {
+      while (auto job = worker_queue_->Pop()) {
+        ProcessWorkItem(*std::move(job));
+      }
+    });
+  }
+  threads_.emplace_back([this] { ExtenderLoop(); });
+}
+
+void Consumer::Stop() {
+  bool expected = true;
+  if (!running_.compare_exchange_strong(expected, false)) return;
+  if (manager_queue_) manager_queue_->Close();
+  if (worker_queue_) worker_queue_->Close();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
+  threads_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 1: Scanner.
+// ---------------------------------------------------------------------------
+
+void Consumer::ScannerLoop() {
+  std::vector<std::string> order = clusters_;
+  while (running_.load()) {
+    // shuffle(CIDS): random visiting order each round.
+    std::shuffle(order.begin(), order.end(), scanner_rng_.engine());
+    int dispatched_this_round = 0;
+    for (const std::string& cluster : order) {
+      if (!running_.load()) break;
+      int processed = 0;
+      while (running_.load() && processed < config_.processing_bound) {
+        Result<int> n = ScanClusterOnce(cluster, /*inline_processing=*/false);
+        if (!n.ok() || *n == 0) break;
+        processed += *n;
+        dispatched_this_round += *n;
+      }
+    }
+    if (dispatched_this_round == 0) {
+      quick_->clock()->SleepMillis(config_.idle_sleep_millis);
+    }
+  }
+}
+
+bool Consumer::IsSequential(const std::string& cluster_name) {
+  if (election_ == nullptr) return config_.sequential;
+  const int64_t ttl =
+      std::max<int64_t>(1000, 4 * config_.idle_sleep_millis);
+  return election_->TryAcquire("quick-seq|" + cluster_name, id_, ttl);
+}
+
+Result<int> Consumer::ScanClusterOnce(const std::string& cluster_name,
+                                      bool inline_processing) {
+  fdb::Database* cluster = Cluster(cluster_name);
+  if (cluster == nullptr) {
+    return Status::InvalidArgument("unknown cluster " + cluster_name);
+  }
+  stats_.scans.Increment();
+
+  // In threaded mode, peek only when Managers and Workers have
+  // insufficient tasks (Alg. 1 line 5): scanning is pointless — and, at
+  // scale, expensive — while the pipeline is still full.
+  if (!inline_processing && worker_queue_ != nullptr) {
+    while (running_.load() &&
+           (!manager_queue_->Empty() ||
+            worker_queue_->Size() >=
+                2 * static_cast<size_t>(config_.num_worker_threads))) {
+      quick_->clock()->SleepMillis(1);
+    }
+    if (!running_.load()) return 0;
+  }
+
+  // Peek: snapshot scan of the vesting index only (ids, not records), with
+  // relaxed read-version handling (§6 optimizations).
+  const ck::DatabaseRef cluster_db =
+      quick_->cloudkit()->OpenClusterDb(cluster_name);
+  // With a sharded top-level queue, peek every shard and merge (the shard
+  // of any id is re-derivable from the id when processing it).
+  std::vector<std::string> peeked;
+  for (const std::string& shard : quick_->TopZoneNames()) {
+    fdb::Transaction txn = cluster->CreateTransaction(PeekOptions());
+    ck::QueueZone top_zone =
+        quick_->cloudkit()->OpenQueueZone(cluster_db, shard, &txn);
+    Result<std::vector<std::string>> ids = top_zone.PeekIds(config_.peek_max);
+    if (!ids.ok()) continue;  // transient; next round will retry
+    peeked.insert(peeked.end(), ids->begin(), ids->end());
+    if (static_cast<int>(peeked.size()) >= config_.peek_max) break;
+  }
+
+  // Filter out entries already being processed by this consumer.
+  {
+    std::lock_guard<std::mutex> lock(inflight_mu_);
+    std::erase_if(peeked, [&](const std::string& id) {
+      return in_flight_.count(InFlightKey(cluster_name, id)) > 0;
+    });
+  }
+  if (peeked.empty()) return 0;
+
+  // Select pointers: the elected scanner takes them in queue order (no
+  // starvation, better tail latency); everyone else samples uniformly at
+  // random to avoid contention (§6).
+  const bool sequential = IsSequential(cluster_name);
+  size_t n_select;
+  if (sequential) {
+    n_select = std::min<size_t>(peeked.size(),
+                                static_cast<size_t>(config_.selection_max));
+  } else {
+    const size_t frac_count = static_cast<size_t>(std::ceil(
+        static_cast<double>(peeked.size()) * config_.selection_frac));
+    n_select = std::min<size_t>(
+        {peeked.size(), static_cast<size_t>(config_.selection_max),
+         std::max<size_t>(frac_count, 1)});
+    // Partial Fisher–Yates: move a random sample to the front.
+    for (size_t i = 0; i < n_select; ++i) {
+      const size_t j = i + scanner_rng_.Uniform(peeked.size() - i);
+      std::swap(peeked[i], peeked[j]);
+    }
+  }
+
+  int dispatched = 0;
+  for (size_t i = 0; i < n_select; ++i) {
+    const std::string key = InFlightKey(cluster_name, peeked[i]);
+    if (!MarkInFlight(key)) continue;
+    ++dispatched;
+    if (inline_processing) {
+      (void)ProcessTopItemImpl(cluster_name, peeked[i], true);
+    } else {
+      if (!manager_queue_->Push(TopJob{cluster_name, peeked[i]})) {
+        UnmarkInFlight(key);
+        --dispatched;
+        break;  // shutting down
+      }
+    }
+  }
+  return dispatched;
+}
+
+Result<int> Consumer::RunOnePass(const std::string& cluster_name) {
+  return ScanClusterOnce(cluster_name, /*inline_processing=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 2: Manager.
+// ---------------------------------------------------------------------------
+
+Status Consumer::ProcessTopItem(const std::string& cluster_name,
+                                const std::string& item_id) {
+  const std::string key = InFlightKey(cluster_name, item_id);
+  if (!MarkInFlight(key)) {
+    return Status::FailedPrecondition("already in flight");
+  }
+  return ProcessTopItemImpl(cluster_name, item_id,
+                            /*inline_processing=*/true);
+}
+
+Result<std::pair<ck::QueuedItem, std::string>> Consumer::LeaseTopItem(
+    fdb::Database* cluster, const ck::DatabaseRef& cluster_db,
+    const std::string& item_id) {
+  // Single attempt, deliberately outside the retry loop: a conflict means
+  // another consumer has the pointer, and retrying would only rediscover
+  // that. The two failure sites match Figure 7's breakdown — (a) the item
+  // is observed leased/unvested at read time, (b) the conditional update
+  // loses at commit.
+  fdb::Transaction txn = cluster->CreateTransaction(PeekOptions());
+  ck::QueueZone top_zone = quick_->OpenTopZoneFor(cluster_db, item_id, &txn);
+  QUICK_ASSIGN_OR_RETURN(std::optional<ck::QueuedItem> loaded,
+                         top_zone.Load(item_id));
+  if (!loaded.has_value()) {
+    return Status::NotFound("top-level item gone");
+  }
+  ck::QueuedItem before = *std::move(loaded);
+  Result<std::string> lease =
+      top_zone.ObtainLease(item_id, config_.pointer_lease_millis);
+  if (!lease.ok()) return lease.status();  // kLeaseLost: read-detected
+  Status commit = txn.Commit();
+  if (!commit.ok()) return commit;  // kNotCommitted: commit-detected
+  return std::make_pair(std::move(before), *std::move(lease));
+}
+
+Status Consumer::ProcessTopItemImpl(const std::string& cluster_name,
+                                    const std::string& item_id,
+                                    bool inline_processing) {
+  const std::string key = InFlightKey(cluster_name, item_id);
+  Status st = [&]() -> Status {
+    fdb::Database* cluster = Cluster(cluster_name);
+    if (cluster == nullptr) {
+      return Status::InvalidArgument("unknown cluster " + cluster_name);
+    }
+    const ck::DatabaseRef cluster_db =
+        quick_->cloudkit()->OpenClusterDb(cluster_name);
+
+    if (config_.item_level_leases_only) {
+      // Ablation A1: skip the pointer lease entirely; consumers contend on
+      // individual work items.
+      fdb::Transaction txn = cluster->CreateTransaction(PeekOptions());
+      ck::QueueZone top_zone =
+          quick_->OpenTopZoneFor(cluster_db, item_id, &txn);
+      QUICK_ASSIGN_OR_RETURN(std::optional<ck::QueuedItem> loaded,
+                             top_zone.Load(item_id));
+      if (!loaded.has_value()) return Status::OK();
+      if (loaded->job_type == ck::kPointerJobType) {
+        return HandlePointerItemLevel(cluster_name, *loaded,
+                                      inline_processing);
+      }
+      // Local items still need a lease even in the ablation.
+    }
+
+    stats_.pointer_lease_attempts.Increment();
+    Result<std::pair<ck::QueuedItem, std::string>> leased =
+        LeaseTopItem(cluster, cluster_db, item_id);
+    if (!leased.ok()) {
+      const Status& err = leased.status();
+      if (err.IsNotFound()) return Status::OK();  // GC'd meanwhile
+      if (err.IsLeaseLost()) {
+        stats_.lease_collisions_read.Increment();
+      } else if (err.IsNotCommitted()) {
+        stats_.lease_collisions_commit.Increment();
+      }
+      return Status::OK();
+    }
+    stats_.pointer_leases_acquired.Increment();
+    const ck::QueuedItem& before = leased->first;
+    const std::string& lease_id = leased->second;
+
+    // Pointer pickup latency: how long it sat vested before a consumer
+    // started serving its queue (Figures 5/6 series (a)).
+    const int64_t waited_ms =
+        quick_->clock()->NowMillis() - before.vesting_time;
+    if (waited_ms >= 0) {
+      stats_.pointer_latency_micros.Record(waited_ms * 1000);
+    }
+
+    if (before.job_type == ck::kPointerJobType) {
+      return HandlePointer(cluster_name, before, lease_id, inline_processing);
+    }
+
+    // Local work item (§6): executed directly off the top-level queue.
+    WorkerJob job;
+    job.cluster = cluster_name;
+    job.db_id = cluster_db.id;
+    job.zone_name = quick_->TopZoneNameFor(before.id);
+    job.zone_subspace = cluster_db.ZoneSubspace(job.zone_name);
+    job.leased.item = before;
+    job.leased.item.lease_id = lease_id;
+    job.leased.item.vesting_time =
+        quick_->clock()->NowMillis() + config_.pointer_lease_millis;
+    job.leased.lease_id = lease_id;
+    const int64_t latency_ms =
+        quick_->clock()->NowMillis() - before.enqueue_time;
+    stats_.item_latency_micros.Record(latency_ms * 1000);
+    stats_.items_dequeued.Increment();
+    DispatchWorkerJob(std::move(job), inline_processing);
+    return Status::OK();
+  }();
+  UnmarkInFlight(key);
+  return st;
+}
+
+Status Consumer::HandlePointer(const std::string& cluster_name,
+                               const ck::QueuedItem& pointer_item,
+                               const std::string& lease_id,
+                               bool inline_processing) {
+  fdb::Database* cluster = Cluster(cluster_name);
+  Result<Pointer> pointer = Pointer::FromItem(pointer_item);
+  if (!pointer.ok()) {
+    // Corrupt pointer: drop it rather than blocking the queue (§2
+    // "Operations and monitoring").
+    stats_.items_dropped_permanent.Increment();
+    const ck::DatabaseRef cluster_db =
+        quick_->cloudkit()->OpenClusterDb(cluster_name);
+    return fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
+      ck::QueueZone top_zone =
+          quick_->OpenTopZoneFor(cluster_db, pointer_item.id, &txn);
+      Status st = top_zone.Complete(pointer_item.id, lease_id);
+      return st.IsNotFound() || st.IsLeaseLost() ? Status::OK() : st;
+    });
+  }
+
+  // The zone lives on this cluster under the database's (cluster-
+  // independent) prefix; placement is irrelevant here, which is what lets
+  // stale pointers at a migration source resolve harmlessly.
+  const tup::Subspace zone_subspace =
+      ck::CloudKitService::DatabaseSubspace(pointer->db_id)
+          .Sub("z")
+          .Sub(pointer->zone);
+
+  // Batch-dequeue up to dequeue_max items (Alg. 2 step ii).
+  std::vector<ck::LeasedItem> items;
+  std::optional<int64_t> min_vesting;
+  Status st = fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
+    ck::QueueZone zone(&txn, zone_subspace, quick_->clock(),
+                       config_.fifo_tenant_zones);
+    items.clear();
+    if (config_.fifo_tenant_zones) {
+      QUICK_ASSIGN_OR_RETURN(items,
+                             zone.DequeueFifo(config_.dequeue_max,
+                                              config_.item_lease_millis));
+    } else {
+      QUICK_ASSIGN_OR_RETURN(
+          items,
+          zone.Dequeue(config_.dequeue_max, config_.item_lease_millis));
+    }
+    QUICK_ASSIGN_OR_RETURN(min_vesting, zone.MinVestingTime());
+    return Status::OK();
+  });
+  QUICK_RETURN_IF_ERROR(st);
+
+  const int64_t now = quick_->clock()->NowMillis();
+  for (ck::LeasedItem& li : items) {
+    stats_.items_dequeued.Increment();
+    stats_.item_latency_micros.Record((now - li.item.enqueue_time) * 1000);
+    WorkerJob job;
+    job.cluster = cluster_name;
+    job.db_id = pointer->db_id;
+    job.zone_name = pointer->zone;
+    job.zone_subspace = zone_subspace;
+    job.fifo_zone = config_.fifo_tenant_zones;
+    job.leased = std::move(li);
+    DispatchWorkerJob(std::move(job), inline_processing);
+  }
+
+  return RequeueOrGcPointer(cluster_name, pointer_item, lease_id,
+                            !items.empty(), min_vesting, zone_subspace);
+}
+
+Status Consumer::RequeueOrGcPointer(const std::string& cluster_name,
+                                    const ck::QueuedItem& pointer_item,
+                                    const std::string& lease_id,
+                                    bool found_items,
+                                    std::optional<int64_t> min_vesting,
+                                    const tup::Subspace& zone_subspace) {
+  fdb::Database* cluster = Cluster(cluster_name);
+  const ck::DatabaseRef cluster_db =
+      quick_->cloudkit()->OpenClusterDb(cluster_name);
+  const bool is_active = found_items || min_vesting.has_value();
+  const int64_t now = quick_->clock()->NowMillis();
+
+  if (is_active) {
+    // Requeue so the pointer reappears when the earliest remaining item
+    // vests (water-filling: long queues come back immediately).
+    const int64_t delay =
+        min_vesting.has_value() ? std::max<int64_t>(0, *min_vesting - now) : 0;
+    Status st = fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
+      ck::QueueZone top_zone =
+          quick_->OpenTopZoneFor(cluster_db, pointer_item.id, &txn);
+      QUICK_ASSIGN_OR_RETURN(std::optional<ck::QueuedItem> loaded,
+                             top_zone.Load(pointer_item.id));
+      if (!loaded.has_value()) return Status::OK();
+      if (loaded->lease_id != lease_id) return Status::OK();  // superseded
+      ck::QueuedItem updated = *std::move(loaded);
+      updated.vesting_time = now + delay;
+      updated.lease_id.clear();
+      updated.last_active_time = now;
+      return top_zone.SaveItem(updated);
+    });
+    if (st.ok()) stats_.pointers_requeued.Increment();
+    return st;
+  }
+
+  // Queue observed empty.
+  if (now - pointer_item.last_active_time < config_.min_inactive_millis) {
+    // Within the GC grace period: do nothing; the pointer re-vests when the
+    // lease expires, and a cheap enqueue can reuse it meanwhile (§6
+    // "Pointer garbage-collection").
+    return Status::OK();
+  }
+
+  // Delete the pointer — transactionally with a strong emptiness check of
+  // the queue zone, so a racing enqueue aborts this transaction (§6
+  // "Correctness").
+  fdb::Transaction txn = cluster->CreateTransaction();
+  ck::QueueZone zone(&txn, zone_subspace, quick_->clock(),
+                     config_.fifo_tenant_zones);
+  Result<bool> empty = zone.IsEmpty();
+  QUICK_RETURN_IF_ERROR(empty.status());
+  if (!*empty) {
+    stats_.pointer_gc_aborted.Increment();
+    return Status::OK();  // item arrived; pointer stays
+  }
+  ck::QueueZone top_zone =
+      quick_->OpenTopZoneFor(cluster_db, pointer_item.id, &txn);
+  Status st = top_zone.Complete(pointer_item.id, lease_id);
+  if (st.IsNotFound() || st.IsLeaseLost()) return Status::OK();
+  QUICK_RETURN_IF_ERROR(st);
+  Status commit = txn.Commit();
+  if (commit.IsNotCommitted()) {
+    stats_.pointer_gc_aborted.Increment();
+    return Status::OK();
+  }
+  if (commit.ok()) stats_.pointers_deleted.Increment();
+  return commit;
+}
+
+Status Consumer::HandlePointerItemLevel(const std::string& cluster_name,
+                                        const ck::QueuedItem& pointer_item,
+                                        bool inline_processing) {
+  // Ablation A1: every consumer that selected this pointer dequeues from
+  // the zone directly; leases are taken per item, so consumers contend on
+  // item records (one wins per item, the rest abort at commit).
+  fdb::Database* cluster = Cluster(cluster_name);
+  Result<Pointer> pointer = Pointer::FromItem(pointer_item);
+  QUICK_RETURN_IF_ERROR(pointer.status());
+  const tup::Subspace zone_subspace =
+      ck::CloudKitService::DatabaseSubspace(pointer->db_id)
+          .Sub("z")
+          .Sub(pointer->zone);
+
+  std::vector<ck::LeasedItem> items;
+  std::optional<int64_t> min_vesting;
+  {
+    stats_.pointer_lease_attempts.Increment();
+    fdb::Transaction txn = cluster->CreateTransaction(PeekOptions());
+    ck::QueueZone zone(&txn, zone_subspace, quick_->clock(),
+                       config_.fifo_tenant_zones);
+    Result<std::vector<ck::LeasedItem>> deq =
+        zone.Dequeue(config_.dequeue_max, config_.item_lease_millis);
+    QUICK_RETURN_IF_ERROR(deq.status());
+    Result<std::optional<int64_t>> mv = zone.MinVestingTime();
+    QUICK_RETURN_IF_ERROR(mv.status());
+    Status commit = txn.Commit();
+    if (commit.IsNotCommitted()) {
+      stats_.lease_collisions_commit.Increment();
+      return Status::OK();
+    }
+    QUICK_RETURN_IF_ERROR(commit);
+    items = *std::move(deq);
+    min_vesting = *mv;
+    if (items.empty() && min_vesting.has_value()) {
+      stats_.lease_collisions_read.Increment();  // everything leased away
+    }
+  }
+
+  const int64_t now = quick_->clock()->NowMillis();
+  for (ck::LeasedItem& li : items) {
+    stats_.items_dequeued.Increment();
+    stats_.item_latency_micros.Record((now - li.item.enqueue_time) * 1000);
+    WorkerJob job;
+    job.cluster = cluster_name;
+    job.db_id = pointer->db_id;
+    job.zone_name = pointer->zone;
+    job.zone_subspace = zone_subspace;
+    job.leased = std::move(li);
+    DispatchWorkerJob(std::move(job), inline_processing);
+  }
+
+  // Pointer maintenance without a lease: requeue if active, GC when cold.
+  return RequeueOrGcPointer(cluster_name, pointer_item, pointer_item.lease_id,
+                            !items.empty(), min_vesting, zone_subspace);
+}
+
+// ---------------------------------------------------------------------------
+// Algorithm 3: Worker.
+// ---------------------------------------------------------------------------
+
+void Consumer::DispatchWorkerJob(WorkerJob job, bool inline_processing) {
+  job.entry = registry_->Find(job.leased.item.job_type);
+  job.lease_lost = std::make_shared<std::atomic<bool>>(false);
+
+  // Per-type throttling (§7: dynamic allocation with per-topic bounds).
+  if (job.entry != nullptr && job.entry->policy.max_concurrent > 0) {
+    if (!TryAcquireThrottle(job.leased.item.job_type,
+                            job.entry->policy.max_concurrent)) {
+      stats_.items_throttled.Increment();
+      // Release the lease so any consumer can pick the item up again.
+      fdb::Database* cluster = Cluster(job.cluster);
+      (void)fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
+        ck::QueueZone zone(&txn, job.zone_subspace, quick_->clock(),
+                           job.fifo_zone);
+        Status st = zone.Requeue(job.leased.item.id, 0,
+                                 /*increment_error_count=*/false);
+        return st.IsNotFound() ? Status::OK() : st;
+      });
+      return;
+    }
+    job.throttle_held = true;
+  }
+
+  if (inline_processing || worker_queue_ == nullptr) {
+    ProcessWorkItem(std::move(job));
+    return;
+  }
+  const std::string job_type = job.leased.item.job_type;
+  const bool throttled = job.throttle_held;
+  if (!worker_queue_->Push(std::move(job)) && throttled) {
+    ReleaseThrottle(job_type);  // shutting down
+  }
+}
+
+void Consumer::ProcessWorkItem(WorkerJob job) {
+  const std::string ext_key = InFlightKey(job.cluster, job.leased.item.id);
+  Status final_status;
+
+  if (job.entry == nullptr) {
+    // No handler for this type: a permanently failing item. Deleting beats
+    // blocking the queue (§2: "a corrupt task should not block the whole
+    // system").
+    final_status = Status::Permanent("no handler for job type " +
+                                     job.leased.item.job_type);
+  } else {
+    // Register with the lease extender for the duration of processing.
+    {
+      std::lock_guard<std::mutex> lock(ext_mu_);
+      extensions_[ext_key] = ExtensionEntry{job.cluster, job.zone_subspace,
+                                            job.fifo_zone,
+                                            job.leased.item.id,
+                                            job.leased.lease_id,
+                                            job.lease_lost};
+    }
+    const RetryPolicy& policy = job.entry->policy;
+    WorkContext ctx;
+    ctx.item = job.leased.item;
+    ctx.db_id = job.db_id;
+    ctx.zone = job.zone_name;
+    ctx.clock = quick_->clock();
+    ctx.lease_lost = job.lease_lost.get();
+
+    for (int attempt = 0; attempt <= policy.max_inline_retries; ++attempt) {
+      ctx.attempt = attempt;
+      ctx.deadline_millis =
+          quick_->clock()->NowMillis() + policy.execution_bound_millis;
+      const int64_t start = quick_->clock()->NowMicros();
+      final_status = job.entry->handler(ctx);
+      stats_.item_exec_micros.Record(quick_->clock()->NowMicros() - start);
+      if (final_status.ok() || final_status.IsPermanent()) break;
+      stats_.items_failed_attempts.Increment();
+      if (job.lease_lost->load()) break;  // processing interrupted
+    }
+    {
+      std::lock_guard<std::mutex> lock(ext_mu_);
+      extensions_.erase(ext_key);
+    }
+  }
+
+  if (job.throttle_held) ReleaseThrottle(job.leased.item.job_type);
+  (void)FinishItem(job, final_status);
+}
+
+void Consumer::RaiseAlert(Alert::Kind kind, const WorkerJob& job,
+                          int64_t error_count, const std::string& detail) {
+  if (alert_sink_ == nullptr) return;
+  Alert alert;
+  alert.kind = kind;
+  alert.db_id = job.db_id;
+  alert.zone = job.zone_name;
+  alert.item_id = job.leased.item.id;
+  alert.job_type = job.leased.item.job_type;
+  alert.error_count = error_count;
+  alert.detail = detail;
+  alert_sink_->Raise(alert);
+}
+
+Status Consumer::FinishItem(const WorkerJob& job, const Status& final_status) {
+  fdb::Database* cluster = Cluster(job.cluster);
+  const bool is_local =
+      StartsWith(job.zone_name, quick_->config().top_zone_name);
+
+  if (final_status.ok()) {
+    Status st = fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
+      ck::QueueZone zone(&txn, job.zone_subspace, quick_->clock(),
+                         job.fifo_zone);
+      Status c = zone.Complete(job.leased.item.id, job.leased.lease_id);
+      if (c.IsNotFound() || c.IsLeaseLost()) {
+        stats_.leases_lost.Increment();
+        return Status::OK();  // someone else finished/retook it
+      }
+      return c;
+    });
+    if (st.ok()) {
+      stats_.items_processed.Increment();
+      if (is_local) stats_.local_items_processed.Increment();
+    }
+    return st;
+  }
+
+  if (final_status.IsPermanent()) {
+    // Permanent errors are not retried: delete immediately (§6).
+    stats_.items_dropped_permanent.Increment();
+    RaiseAlert(job.entry == nullptr ? Alert::Kind::kUnknownJobType
+                                    : Alert::Kind::kPermanentFailure,
+               job, job.leased.item.error_count, final_status.message());
+    return fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
+      ck::QueueZone zone(&txn, job.zone_subspace, quick_->clock(),
+                         job.fifo_zone);
+      Status c = zone.Complete(job.leased.item.id);
+      return c.IsNotFound() ? Status::OK() : c;
+    });
+  }
+
+  // Transient failure: requeue with exponential backoff on the error
+  // count, unless the type's attempt budget is exhausted and it drops.
+  const RetryPolicy policy =
+      job.entry != nullptr ? job.entry->policy : RetryPolicy{};
+  const int64_t next_error_count = job.leased.item.error_count + 1;
+  if (policy.max_attempts > 0 && next_error_count >= policy.max_attempts &&
+      policy.drop_on_exhaust) {
+    stats_.items_dropped_permanent.Increment();
+    RaiseAlert(Alert::Kind::kDroppedAfterExhaustion, job, next_error_count,
+               final_status.message());
+    return fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
+      ck::QueueZone zone(&txn, job.zone_subspace, quick_->clock());
+      Status c = zone.Complete(job.leased.item.id);
+      return c.IsNotFound() ? Status::OK() : c;
+    });
+  }
+  if (policy.alert_after_errors > 0 &&
+      next_error_count >= policy.alert_after_errors) {
+    RaiseAlert(Alert::Kind::kRepeatedFailures, job, next_error_count,
+               final_status.message());
+  }
+  const int64_t delay =
+      policy.BackoffForErrorCount(job.leased.item.error_count);
+  Status st = fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
+    ck::QueueZone zone(&txn, job.zone_subspace, quick_->clock(),
+                       job.fifo_zone);
+    Status c = zone.Requeue(job.leased.item.id, delay,
+                            /*increment_error_count=*/true);
+    return c.IsNotFound() ? Status::OK() : c;
+  });
+  if (st.ok()) stats_.items_requeued.Increment();
+  return st;
+}
+
+// ---------------------------------------------------------------------------
+// Lease extender.
+// ---------------------------------------------------------------------------
+
+void Consumer::ExtenderLoop() {
+  while (running_.load()) {
+    quick_->clock()->SleepMillis(config_.lease_extension_interval_millis);
+    if (!running_.load()) break;
+    ExtendOnce();
+  }
+}
+
+void Consumer::ExtendOnce() {
+  std::vector<ExtensionEntry> entries;
+  {
+    std::lock_guard<std::mutex> lock(ext_mu_);
+    entries.reserve(extensions_.size());
+    for (const auto& [key, e] : extensions_) entries.push_back(e);
+  }
+  for (const ExtensionEntry& e : entries) {
+    fdb::Database* cluster = Cluster(e.cluster);
+    Status st = fdb::RunTransaction(
+        cluster,
+        [&](fdb::Transaction& txn) {
+          ck::QueueZone zone(&txn, e.zone_subspace, quick_->clock(),
+                             e.fifo_zone);
+          return zone.ExtendLease(e.item_id, e.lease_id,
+                                  config_.item_lease_millis);
+        },
+        /*max_attempts=*/3);
+    if (st.ok()) {
+      stats_.lease_extensions.Increment();
+    } else if (st.IsLeaseLost() || st.IsNotFound()) {
+      // Another consumer owns the item now; interrupt processing (Alg. 3).
+      e.lease_lost->store(true);
+      stats_.leases_lost.Increment();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bookkeeping.
+// ---------------------------------------------------------------------------
+
+bool Consumer::MarkInFlight(const std::string& key) {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  return in_flight_.insert(key).second;
+}
+
+void Consumer::UnmarkInFlight(const std::string& key) {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  in_flight_.erase(key);
+}
+
+bool Consumer::TryAcquireThrottle(const std::string& job_type,
+                                  int max_concurrent) {
+  std::lock_guard<std::mutex> lock(throttle_mu_);
+  int& count = throttle_counts_[job_type];
+  if (count >= max_concurrent) return false;
+  ++count;
+  return true;
+}
+
+void Consumer::ReleaseThrottle(const std::string& job_type) {
+  std::lock_guard<std::mutex> lock(throttle_mu_);
+  int& count = throttle_counts_[job_type];
+  if (count > 0) --count;
+}
+
+}  // namespace quick::core

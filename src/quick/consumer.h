@@ -1,0 +1,192 @@
+#ifndef QUICK_QUICK_CONSUMER_H_
+#define QUICK_QUICK_CONSUMER_H_
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/blocking_queue.h"
+#include "common/random.h"
+#include "quick/alerts.h"
+#include "quick/config.h"
+#include "quick/job_registry.h"
+#include "quick/lease_cache.h"
+#include "quick/quick.h"
+#include "quick/stats.h"
+
+namespace quick::core {
+
+/// One QuiCK consumer process (§6): a Scanner thread round-robining over
+/// the top-level queues of its assigned clusters (Algorithm 1), a pool of
+/// Manager threads leasing pointers and batch-dequeuing work items
+/// (Algorithm 2), a pool of Worker threads executing items with dynamic
+/// lease extension and retry policies (Algorithm 3), and a lease-extender
+/// thread.
+///
+/// Two driving modes:
+///  - Start()/Stop(): real threads, used by benchmarks and examples.
+///  - RunOnePass()/ProcessTopItem(): synchronous, single-threaded steps for
+///    deterministic tests (everything, including work items, runs inline on
+///    the calling thread).
+class Consumer {
+ public:
+  /// `election_cache` enables the dynamic election of one sequential
+  /// scanner per top-level queue (§6); pass nullptr to use
+  /// config.sequential statically.
+  Consumer(Quick* quick, std::vector<std::string> cluster_names,
+           JobRegistry* registry, ConsumerConfig config,
+           std::string consumer_id = "", LeaseCache* election_cache = nullptr);
+  ~Consumer();
+
+  Consumer(const Consumer&) = delete;
+  Consumer& operator=(const Consumer&) = delete;
+
+  /// Spawns scanner/manager/worker/extender threads.
+  void Start();
+
+  /// Stops all threads; safe to call twice. In-flight leases are simply
+  /// abandoned (they expire, and other consumers take over — the
+  /// fault-tolerance story of §5).
+  void Stop();
+
+  bool running() const { return running_.load(); }
+
+  /// Synchronous Algorithm 1 body for one cluster: peeks, selects, and
+  /// processes every selected top-level item inline. Returns the number of
+  /// top-level items processed.
+  Result<int> RunOnePass(const std::string& cluster_name);
+
+  /// Synchronous Algorithm 2/3 for one top-level item (pointer or local).
+  Status ProcessTopItem(const std::string& cluster_name,
+                        const std::string& item_id);
+
+  ConsumerStats& stats() { return stats_; }
+  const std::string& id() const { return id_; }
+  const ConsumerConfig& config() const { return config_; }
+
+  /// Routes operational alerts (repeated failures, drops) to `sink`. Call
+  /// before Start(); the sink must outlive the consumer.
+  void SetAlertSink(AlertSink* sink) { alert_sink_ = sink; }
+
+ private:
+  struct TopJob {
+    std::string cluster;
+    std::string item_id;
+  };
+
+  struct WorkerJob {
+    std::string cluster;
+    ck::DatabaseId db_id;
+    std::string zone_name;
+    tup::Subspace zone_subspace;
+    /// The zone's schema (FIFO zones maintain an arrival index that every
+    /// item write must keep consistent).
+    bool fifo_zone = false;
+    ck::LeasedItem leased;
+    std::shared_ptr<std::atomic<bool>> lease_lost;
+    std::shared_ptr<const JobRegistry::Entry> entry;  // may be null
+    bool throttle_held = false;
+  };
+
+  // --- Algorithm 1 ---
+  void ScannerLoop();
+  /// One peek+select+dispatch round; returns number dispatched.
+  Result<int> ScanClusterOnce(const std::string& cluster_name,
+                              bool inline_processing);
+  bool IsSequential(const std::string& cluster_name);
+
+  // --- Algorithm 2 ---
+  Status ProcessTopItemImpl(const std::string& cluster_name,
+                            const std::string& item_id,
+                            bool inline_processing);
+  /// Obtain-lease transaction; returns the lease id or a collision error.
+  Result<std::pair<ck::QueuedItem, std::string>> LeaseTopItem(
+      fdb::Database* cluster, const ck::DatabaseRef& cluster_db,
+      const std::string& item_id);
+  Status HandlePointer(const std::string& cluster_name,
+                       const ck::QueuedItem& pointer_item,
+                       const std::string& lease_id, bool inline_processing);
+  /// A1 ablation: dequeue directly without a pointer lease (item-level
+  /// contention, ATF-style).
+  Status HandlePointerItemLevel(const std::string& cluster_name,
+                                const ck::QueuedItem& pointer_item,
+                                bool inline_processing);
+  Status RequeueOrGcPointer(const std::string& cluster_name,
+                            const ck::QueuedItem& pointer_item,
+                            const std::string& lease_id, bool found_items,
+                            std::optional<int64_t> min_vesting,
+                            const tup::Subspace& zone_subspace);
+
+  // --- Algorithm 3 ---
+  void DispatchWorkerJob(WorkerJob job, bool inline_processing);
+  void ProcessWorkItem(WorkerJob job);
+  Status FinishItem(const WorkerJob& job, const Status& final_status);
+
+  // Lease extender.
+  void ExtenderLoop();
+  void ExtendOnce();
+
+  // Bookkeeping.
+  fdb::Database* Cluster(const std::string& name);
+  std::string InFlightKey(const std::string& cluster,
+                          const std::string& id) const {
+    return cluster + "|" + id;
+  }
+  bool MarkInFlight(const std::string& key);
+  void UnmarkInFlight(const std::string& key);
+  bool TryAcquireThrottle(const std::string& job_type, int max_concurrent);
+  void ReleaseThrottle(const std::string& job_type);
+
+  fdb::TransactionOptions PeekOptions() const {
+    fdb::TransactionOptions topts;
+    if (config_.relaxed_reads_for_peek) {
+      topts.use_cached_read_version = true;
+      topts.causal_read_risky = true;
+    }
+    return topts;
+  }
+
+  void RaiseAlert(Alert::Kind kind, const WorkerJob& job,
+                  int64_t error_count, const std::string& detail);
+
+  Quick* quick_;
+  JobRegistry* registry_;
+  AlertSink* alert_sink_ = nullptr;
+  ConsumerConfig config_;
+  std::string id_;
+  std::vector<std::string> clusters_;
+  LeaseCache* election_;
+  ConsumerStats stats_;
+  Random scanner_rng_;
+
+  std::atomic<bool> running_{false};
+  std::vector<std::thread> threads_;
+  std::unique_ptr<BlockingQueue<TopJob>> manager_queue_;
+  std::unique_ptr<BlockingQueue<WorkerJob>> worker_queue_;
+
+  std::mutex inflight_mu_;
+  std::set<std::string> in_flight_;
+
+  std::mutex throttle_mu_;
+  std::map<std::string, int> throttle_counts_;
+
+  struct ExtensionEntry {
+    std::string cluster;
+    tup::Subspace zone_subspace;
+    bool fifo_zone = false;
+    std::string item_id;
+    std::string lease_id;
+    std::shared_ptr<std::atomic<bool>> lease_lost;
+  };
+  std::mutex ext_mu_;
+  std::map<std::string, ExtensionEntry> extensions_;
+};
+
+}  // namespace quick::core
+
+#endif  // QUICK_QUICK_CONSUMER_H_

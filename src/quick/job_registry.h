@@ -1,0 +1,105 @@
+#ifndef QUICK_QUICK_JOB_REGISTRY_H_
+#define QUICK_QUICK_JOB_REGISTRY_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "cloudkit/database_id.h"
+#include "cloudkit/queued_item.h"
+#include "common/backoff.h"
+#include "common/clock.h"
+#include "common/status.h"
+
+namespace quick::core {
+
+/// Execution context handed to a work-item handler. Handlers should poll
+/// Expired() / LeaseLost() at convenient points and return early — QuiCK
+/// bounds execution time and interrupts processing when the lease extender
+/// loses the lease (Alg. 3).
+struct WorkContext {
+  ck::QueuedItem item;
+  ck::DatabaseId db_id;
+  std::string zone;
+  Clock* clock = nullptr;
+  int64_t deadline_millis = 0;
+  std::atomic<bool>* lease_lost = nullptr;
+  int attempt = 0;
+
+  bool Expired() const {
+    return clock != nullptr && clock->NowMillis() > deadline_millis;
+  }
+  bool LeaseLost() const {
+    return lease_lost != nullptr && lease_lost->load();
+  }
+};
+
+using Handler = std::function<Status(WorkContext&)>;
+
+/// Per-job-type retry/throttle policy (§6: "each type of queued items can
+/// set its own retry policy").
+struct RetryPolicy {
+  /// Immediate re-executions inside the Worker before requeueing (Alg. 3).
+  int max_inline_retries = 1;
+  /// Requeue backoff: initial * 2^error_count, capped (exponential
+  /// backoff on the item's error count, §6).
+  int64_t backoff_initial_millis = 1000;
+  int64_t backoff_max_millis = 60000;
+  /// Total attempts before the drop policy applies; 0 = retry indefinitely
+  /// (which in production "would eventually cause alerts").
+  int max_attempts = 0;
+  /// When attempts are exhausted: true deletes the item, false keeps
+  /// retrying at the max backoff.
+  bool drop_on_exhaust = true;
+  /// Per-consumer cap on concurrently processed items of this type
+  /// (per-topic throttling, §7); 0 = unlimited.
+  int max_concurrent = 0;
+  /// Execution bound for one attempt (execution_bound_t, Alg. 3).
+  int64_t execution_bound_millis = 30000;
+  /// Raise a kRepeatedFailures alert once an item's error count reaches
+  /// this value (0 disables) — the "eventually cause alerts and manual
+  /// mitigation" hook of §6.
+  int64_t alert_after_errors = 0;
+
+  int64_t BackoffForErrorCount(int64_t error_count) const {
+    ExponentialBackoff b(backoff_initial_millis, backoff_max_millis);
+    return b.DelayForAttempt(static_cast<int>(
+        std::min<int64_t>(error_count, 30)));
+  }
+};
+
+/// Maps job types to handlers and policies. Registration happens at
+/// startup; lookups are lock-free afterwards in spirit (a mutex guards the
+/// map but contention is nil).
+class JobRegistry {
+ public:
+  struct Entry {
+    Handler handler;
+    RetryPolicy policy;
+  };
+
+  void Register(const std::string& job_type, Handler handler,
+                RetryPolicy policy = {}) {
+    std::lock_guard<std::mutex> lock(mu_);
+    entries_[job_type] = std::make_shared<Entry>(
+        Entry{std::move(handler), policy});
+  }
+
+  /// nullptr when no handler is registered for `job_type`.
+  std::shared_ptr<const Entry> Find(const std::string& job_type) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(job_type);
+    return it == entries_.end() ? nullptr : it->second;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::shared_ptr<Entry>> entries_;
+};
+
+}  // namespace quick::core
+
+#endif  // QUICK_QUICK_JOB_REGISTRY_H_

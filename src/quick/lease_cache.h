@@ -1,0 +1,68 @@
+#ifndef QUICK_QUICK_LEASE_CACHE_H_
+#define QUICK_QUICK_LEASE_CACHE_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/clock.h"
+
+namespace quick::core {
+
+/// TTL'd named leases on a shared in-memory object — the memcached
+/// substitute used to elect, per top-level queue, the one Scanner that
+/// processes pointers sequentially for tail-latency/no-starvation (§6
+/// "Concurrency between consumers, fairness and leases").
+class LeaseCache {
+ public:
+  explicit LeaseCache(Clock* clock) : clock_(clock) {}
+
+  /// Acquires or renews `key` for `owner` with the given TTL. Returns true
+  /// when `owner` now holds the lease (it was free, expired, or already
+  /// owned by `owner`).
+  bool TryAcquire(const std::string& key, const std::string& owner,
+                  int64_t ttl_millis) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const int64_t now = clock_->NowMillis();
+    auto it = leases_.find(key);
+    if (it == leases_.end() || it->second.expiry <= now ||
+        it->second.owner == owner) {
+      leases_[key] = {owner, now + ttl_millis};
+      return true;
+    }
+    return false;
+  }
+
+  /// Releases `key` if held by `owner`.
+  void Release(const std::string& key, const std::string& owner) {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = leases_.find(key);
+    if (it != leases_.end() && it->second.owner == owner) {
+      leases_.erase(it);
+    }
+  }
+
+  /// Current holder of `key`, or empty when free/expired.
+  std::string Holder(const std::string& key) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = leases_.find(key);
+    if (it == leases_.end() || it->second.expiry <= clock_->NowMillis()) {
+      return "";
+    }
+    return it->second.owner;
+  }
+
+ private:
+  struct Lease {
+    std::string owner;
+    int64_t expiry;
+  };
+
+  Clock* clock_;
+  mutable std::mutex mu_;
+  std::map<std::string, Lease> leases_;
+};
+
+}  // namespace quick::core
+
+#endif  // QUICK_QUICK_LEASE_CACHE_H_

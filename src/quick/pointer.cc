@@ -1,0 +1,38 @@
+#include "quick/pointer.h"
+
+#include "cloudkit/queue_zone.h"
+#include "tuple/tuple.h"
+
+namespace quick::core {
+
+ck::QueuedItem Pointer::ToItem() const {
+  ck::QueuedItem item;
+  item.id = Key();
+  item.job_type = ck::kPointerJobType;
+  item.db_key = Key();
+  item.payload = tup::Tuple()
+                     .AddString(db_id.app)
+                     .AddString(db_id.user)
+                     .AddInt(static_cast<int64_t>(db_id.kind))
+                     .AddString(zone)
+                     .Encode();
+  return item;
+}
+
+Result<Pointer> Pointer::FromItem(const ck::QueuedItem& item) {
+  if (item.job_type != ck::kPointerJobType) {
+    return Status::InvalidArgument("item is not a pointer");
+  }
+  QUICK_ASSIGN_OR_RETURN(tup::Tuple t, tup::Tuple::Decode(item.payload));
+  if (t.size() != 4) return Status::InvalidArgument("malformed pointer");
+  Pointer p;
+  QUICK_ASSIGN_OR_RETURN(p.db_id.app, t.GetString(0));
+  QUICK_ASSIGN_OR_RETURN(p.db_id.user, t.GetString(1));
+  QUICK_ASSIGN_OR_RETURN(int64_t kind, t.GetInt(2));
+  if (kind < 0 || kind > 2) return Status::InvalidArgument("bad kind");
+  p.db_id.kind = static_cast<ck::DatabaseKind>(kind);
+  QUICK_ASSIGN_OR_RETURN(p.zone, t.GetString(3));
+  return p;
+}
+
+}  // namespace quick::core

@@ -1,0 +1,34 @@
+#ifndef QUICK_QUICK_POINTER_H_
+#define QUICK_QUICK_POINTER_H_
+
+#include <string>
+
+#include "cloudkit/database_id.h"
+#include "cloudkit/queued_item.h"
+#include "common/result.h"
+
+namespace quick::core {
+
+/// A top-level-queue entry referencing one queue zone (§6): "the top-level
+/// queue for a FoundationDB cluster C contains pointers to queue zones in
+/// the same cluster". Stored as a QueuedItem whose id — and indexed db_key
+/// — is the canonical key of the (database, zone) pair, making pointer
+/// existence a point lookup on the pointer index.
+struct Pointer {
+  ck::DatabaseId db_id;
+  std::string zone;
+
+  /// Canonical key: one pointer per queue zone.
+  std::string Key() const { return db_id.ToKeyString() + "\x1f" + zone; }
+
+  /// Renders the pointer into a top-level-queue item (caller sets
+  /// last_active_time and enqueues it).
+  ck::QueuedItem ToItem() const;
+
+  /// Parses a pointer item created by ToItem().
+  static Result<Pointer> FromItem(const ck::QueuedItem& item);
+};
+
+}  // namespace quick::core
+
+#endif  // QUICK_QUICK_POINTER_H_

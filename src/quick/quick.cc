@@ -1,0 +1,269 @@
+#include "quick/quick.h"
+
+#include "common/random.h"
+#include "fdb/retry.h"
+
+namespace quick::core {
+
+Result<std::string> Quick::EnqueueInTransaction(fdb::Transaction* txn,
+                                                const ck::DatabaseRef& db,
+                                                const WorkItem& item,
+                                                int64_t vesting_delay_millis,
+                                                EnqueueFollowUp* follow_up) {
+  // Add the work item to the tenant's queue zone Q_DB.
+  ck::QueueZone tenant_zone = OpenTenantZone(db, txn);
+
+  // §5 push-notification hook: detect whether this item will be the new
+  // queue front (snapshot index read; only when a notifier is registered).
+  bool is_front = false;
+  if (notifier_ != nullptr && follow_up != nullptr) {
+    rl::IndexScanOptions head_opts;
+    head_opts.limit = 1;
+    head_opts.snapshot = true;
+    QUICK_ASSIGN_OR_RETURN(
+        std::vector<rl::IndexEntry> head,
+        tenant_zone.store()->ScanIndex(ck::QueueZone::kVestingIndex,
+                                       tup::Tuple(), head_opts));
+    if (head.empty()) {
+      is_front = true;
+    } else {
+      QUICK_ASSIGN_OR_RETURN(int64_t head_priority, head[0].indexed_values.GetInt(0));
+      QUICK_ASSIGN_OR_RETURN(int64_t head_vesting, head[0].indexed_values.GetInt(1));
+      const int64_t item_vesting =
+          clock()->NowMillis() + vesting_delay_millis;
+      is_front = std::make_pair(item.priority, item_vesting) <
+                 std::make_pair(head_priority, head_vesting);
+    }
+  }
+
+  ck::QueuedItem queued;
+  queued.id = item.id;
+  queued.job_type = item.job_type;
+  queued.priority = item.priority;
+  queued.payload = item.payload;
+  QUICK_ASSIGN_OR_RETURN(std::string item_id,
+                         tenant_zone.Enqueue(queued, vesting_delay_millis));
+
+  // Pointer existence is a point read of the pointer-index key in Q_C —
+  // deliberately not the pointer record, whose frequent lease/requeue
+  // updates would otherwise conflict with every enqueue (§6).
+  const Pointer pointer{db.id, config_.queue_zone_name};
+  const ck::DatabaseRef cluster_db = ck_->OpenClusterDb(db.cluster->name());
+  ck::QueueZone top_zone = OpenTopZoneFor(cluster_db, pointer.Key(), txn);
+  const std::string index_key =
+      top_zone.DbKeyIndexEntryKey(pointer.Key(), pointer.Key());
+  QUICK_ASSIGN_OR_RETURN(std::optional<std::string> index_entry,
+                         txn->Get(index_key));
+
+  const int64_t now = clock()->NowMillis();
+  if (follow_up != nullptr) {
+    follow_up->pointer = pointer;
+    follow_up->item_vesting_millis = now + vesting_delay_millis;
+    follow_up->pointer_existed = index_entry.has_value();
+    follow_up->notify_front = is_front;
+    follow_up->item_id = item_id;
+  }
+  if (!index_entry.has_value()) {
+    // Create the pointer; its index entry is written in this transaction,
+    // so a concurrent delete (which reads the zone and clears this index
+    // key) conflicts with us — the §6 correctness argument.
+    ck::QueuedItem pointer_item = pointer.ToItem();
+    pointer_item.last_active_time = now;
+    QUICK_RETURN_IF_ERROR(
+        top_zone.Enqueue(std::move(pointer_item), vesting_delay_millis)
+            .status());
+  }
+  return item_id;
+}
+
+void Quick::ExecuteFollowUp(const ck::DatabaseRef& db,
+                            const EnqueueFollowUp& follow_up) {
+  if (follow_up.notify_front && notifier_ != nullptr) {
+    notifier_(db.id, follow_up.item_id, follow_up.item_vesting_millis);
+  }
+  if (!follow_up.pointer_existed) return;
+  // Best effort, single attempt: if this conflicts with a consumer, the
+  // consumer is touching the queue right now anyway.
+  fdb::Transaction txn = db.cluster->CreateTransaction();
+  const ck::DatabaseRef cluster_db = ck_->OpenClusterDb(db.cluster->name());
+  ck::QueueZone top_zone =
+      OpenTopZoneFor(cluster_db, follow_up.pointer.Key(), &txn);
+  Result<std::optional<ck::QueuedItem>> loaded =
+      top_zone.Load(follow_up.pointer.Key());
+  if (!loaded.ok() || !loaded->has_value()) return;
+  ck::QueuedItem pointer_item = **loaded;
+  if (pointer_item.leased()) return;  // a consumer is on it already
+  if (pointer_item.vesting_time <=
+      follow_up.item_vesting_millis + config_.pointer_vesting_slack_millis) {
+    return;  // pointer vests soon enough
+  }
+  pointer_item.vesting_time = follow_up.item_vesting_millis;
+  if (!top_zone.SaveItem(pointer_item).ok()) return;
+  (void)txn.Commit();  // ignore failures: optimization only
+}
+
+Result<std::string> Quick::Enqueue(const ck::DatabaseId& db_id,
+                                   const WorkItem& item,
+                                   int64_t vesting_delay_millis) {
+  const ck::DatabaseRef db = ck_->OpenDatabase(db_id);
+  std::string item_id;
+  EnqueueFollowUp follow_up;
+  Status st = fdb::RunTransaction(db.cluster, [&](fdb::Transaction& txn) {
+    Result<std::string> r =
+        EnqueueInTransaction(&txn, db, item, vesting_delay_millis, &follow_up);
+    QUICK_RETURN_IF_ERROR(r.status());
+    item_id = *r;
+    return Status::OK();
+  });
+  QUICK_RETURN_IF_ERROR(st);
+  ExecuteFollowUp(db, follow_up);
+  return item_id;
+}
+
+Result<std::vector<std::string>> Quick::EnqueueBatch(
+    const ck::DatabaseId& db_id, const std::vector<WorkItem>& items,
+    int64_t vesting_delay_millis) {
+  const ck::DatabaseRef db = ck_->OpenDatabase(db_id);
+  std::vector<std::string> ids;
+  EnqueueFollowUp follow_up;
+  Status st = fdb::RunTransaction(db.cluster, [&](fdb::Transaction& txn) {
+    ids.clear();
+    for (const WorkItem& item : items) {
+      // Only the first item can create the pointer; later ones see the
+      // buffered index entry through read-your-writes.
+      EnqueueFollowUp item_follow_up;
+      Result<std::string> r = EnqueueInTransaction(
+          &txn, db, item, vesting_delay_millis, &item_follow_up);
+      QUICK_RETURN_IF_ERROR(r.status());
+      ids.push_back(*r);
+      if (ids.size() == 1) follow_up = item_follow_up;
+    }
+    return Status::OK();
+  });
+  QUICK_RETURN_IF_ERROR(st);
+  ExecuteFollowUp(db, follow_up);
+  return ids;
+}
+
+Result<std::string> Quick::EnqueueLocal(const std::string& cluster_name,
+                                        const WorkItem& item,
+                                        int64_t vesting_delay_millis) {
+  const ck::DatabaseRef cluster_db = ck_->OpenClusterDb(cluster_name);
+  if (cluster_db.cluster == nullptr) {
+    return Status::InvalidArgument("unknown cluster " + cluster_name);
+  }
+  // The shard is derived from the item id, so pick the id up front.
+  const std::string local_id =
+      item.id.empty() ? Random::ThreadLocal().NextUuid() : item.id;
+  std::string item_id;
+  Status st =
+      fdb::RunTransaction(cluster_db.cluster, [&](fdb::Transaction& txn) {
+        ck::QueueZone top_zone = OpenTopZoneFor(cluster_db, local_id, &txn);
+        ck::QueuedItem queued;
+        queued.id = local_id;
+        queued.job_type = item.job_type;
+        queued.priority = item.priority;
+        queued.payload = item.payload;
+        Result<std::string> r =
+            top_zone.Enqueue(std::move(queued), vesting_delay_millis);
+        QUICK_RETURN_IF_ERROR(r.status());
+        item_id = *r;
+        return Status::OK();
+      });
+  QUICK_RETURN_IF_ERROR(st);
+  return item_id;
+}
+
+Result<int64_t> Quick::PendingCount(const ck::DatabaseId& db_id) {
+  const ck::DatabaseRef db = ck_->OpenDatabase(db_id);
+  return fdb::RunTransactionResult<int64_t>(
+      db.cluster, fdb::TransactionOptions{},
+      [&](fdb::Transaction& txn, int64_t* out) {
+        ck::QueueZone zone = OpenTenantZone(db, &txn);
+        QUICK_ASSIGN_OR_RETURN(*out, zone.Count());
+        return Status::OK();
+      });
+}
+
+Result<int64_t> Quick::TopLevelCount(const std::string& cluster_name) {
+  const ck::DatabaseRef cluster_db = ck_->OpenClusterDb(cluster_name);
+  if (cluster_db.cluster == nullptr) {
+    return Status::InvalidArgument("unknown cluster " + cluster_name);
+  }
+  return fdb::RunTransactionResult<int64_t>(
+      cluster_db.cluster, fdb::TransactionOptions{},
+      [&](fdb::Transaction& txn, int64_t* out) {
+        *out = 0;
+        for (const std::string& shard : TopZoneNames()) {
+          ck::QueueZone zone = ck_->OpenQueueZone(cluster_db, shard, &txn);
+          QUICK_ASSIGN_OR_RETURN(int64_t n, zone.Count());
+          *out += n;
+        }
+        return Status::OK();
+      });
+}
+
+Status Quick::MoveTenant(const ck::DatabaseId& db_id,
+                         const std::string& dest_cluster) {
+  if (db_id.kind == ck::DatabaseKind::kCluster) {
+    return Status::InvalidArgument("ClusterDBs are pinned and cannot move");
+  }
+  const std::optional<std::string> src_cluster =
+      ck_->placement()->Get(db_id);
+  if (!src_cluster.has_value()) {
+    return Status::NotFound("database " + db_id.ToString() + " not placed");
+  }
+  if (*src_cluster == dest_cluster) return Status::OK();
+  fdb::Database* dst = ck_->clusters()->Get(dest_cluster);
+  if (dst == nullptr) {
+    return Status::InvalidArgument("unknown cluster " + dest_cluster);
+  }
+
+  // 1. Copy the database — including its queue zone and queued items.
+  QUICK_RETURN_IF_ERROR(ck_->CopyDatabaseData(db_id, dest_cluster));
+
+  // 2. Copy the pointer to the destination's top-level queue, after the
+  //    data so a destination consumer finding it early sees a non-empty
+  //    queue rather than GC'ing it (§6).
+  const Pointer pointer{db_id, config_.queue_zone_name};
+  fdb::Database* src = ck_->clusters()->Get(*src_cluster);
+  std::optional<ck::QueuedItem> src_pointer;
+  QUICK_RETURN_IF_ERROR(fdb::RunTransaction(src, [&](fdb::Transaction& txn) {
+    const ck::DatabaseRef src_cluster_db = ck_->OpenClusterDb(*src_cluster);
+    ck::QueueZone top_zone = OpenTopZoneFor(src_cluster_db, pointer.Key(), &txn);
+    QUICK_ASSIGN_OR_RETURN(src_pointer, top_zone.Load(pointer.Key()));
+    return Status::OK();
+  }));
+  if (src_pointer.has_value()) {
+    QUICK_RETURN_IF_ERROR(
+        fdb::RunTransaction(dst, [&](fdb::Transaction& txn) {
+          const ck::DatabaseRef dst_cluster_db =
+              ck_->OpenClusterDb(dest_cluster);
+          ck::QueueZone top_zone =
+              OpenTopZoneFor(dst_cluster_db, pointer.Key(), &txn);
+          ck::QueuedItem copy = *src_pointer;
+          copy.lease_id.clear();
+          return top_zone.Enqueue(std::move(copy), /*vesting_delay=*/0)
+              .status();
+        }));
+  }
+
+  // 3. Flip placement so new enqueues land at the destination.
+  ck_->CommitMove(db_id, dest_cluster);
+
+  // 4. Delete the source data FIRST, then the source pointer. This order
+  //    is crash-safe: a failure in between leaves a pointer to an empty
+  //    zone, which consumers garbage-collect — whereas the reverse order
+  //    could strand still-present items with no pointer, breaking the
+  //    findability invariant.
+  QUICK_RETURN_IF_ERROR(ck_->DeleteDatabaseData(db_id, *src_cluster));
+  return fdb::RunTransaction(src, [&](fdb::Transaction& txn) {
+    const ck::DatabaseRef src_cluster_db = ck_->OpenClusterDb(*src_cluster);
+    ck::QueueZone top_zone = OpenTopZoneFor(src_cluster_db, pointer.Key(), &txn);
+    Status st = top_zone.Complete(pointer.Key());
+    if (st.IsNotFound()) return Status::OK();
+    return st;
+  });
+}
+
+}  // namespace quick::core

@@ -1,0 +1,166 @@
+#ifndef QUICK_QUICK_QUICK_H_
+#define QUICK_QUICK_QUICK_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cloudkit/service.h"
+#include "quick/config.h"
+#include "quick/pointer.h"
+
+namespace quick::core {
+
+/// A client-facing work item.
+struct WorkItem {
+  std::string job_type;
+  std::string payload;
+  int64_t priority = 0;
+  /// Optional idempotency id; random when empty.
+  std::string id;
+};
+
+/// Callback invoked after an enqueue commits an item at the FRONT of its
+/// queue (§5 "Push notifications"): the sketched client-notification path —
+/// CloudKit's daemon would arm a timer for `vesting_time` and wake the app
+/// then, instead of polling. Invoked outside any transaction.
+using FrontOfQueueNotifier =
+    std::function<void(const ck::DatabaseId& db_id, const std::string& item_id,
+                       int64_t vesting_time)>;
+
+/// Deferred follow-up of a two-part enqueue (§6 "Reducing contention
+/// between producers and consumers"): when the pointer already existed,
+/// part two — a separate, best-effort transaction — lowers its vesting
+/// time if the new item would otherwise wait too long. Never fails the
+/// client request.
+struct EnqueueFollowUp {
+  bool pointer_existed = false;
+  Pointer pointer;
+  int64_t item_vesting_millis = 0;
+  /// Set when the new item landed at the front of its queue and a
+  /// FrontOfQueueNotifier is registered; ExecuteFollowUp fires it.
+  bool notify_front = false;
+  std::string item_id;
+};
+
+/// QuiCK's public API: transactional enqueue of deferred work items into
+/// per-tenant queue zones, with the per-cluster top-level queue and pointer
+/// index maintained as the paper describes (§6). Consumers are created via
+/// consumer.h.
+class Quick {
+ public:
+  Quick(ck::CloudKitService* ck, QuickConfig config = {})
+      : ck_(ck), config_(config) {}
+
+  /// Part one of the enqueue protocol, composable with the client's own
+  /// writes in `txn` (which must be on `db`'s cluster): adds the item to
+  /// Q_DB and — reading the exact pointer-index key, never the pointer
+  /// record — creates the Q_C pointer when missing. On success *follow_up
+  /// says whether ExecuteFollowUp should run after commit.
+  Result<std::string> EnqueueInTransaction(fdb::Transaction* txn,
+                                           const ck::DatabaseRef& db,
+                                           const WorkItem& item,
+                                           int64_t vesting_delay_millis,
+                                           EnqueueFollowUp* follow_up);
+
+  /// Part two: best-effort vesting-time fix-up in its own transaction.
+  /// Failures (e.g. conflicts with a consumer leasing the pointer) are
+  /// absorbed — this is an optimization, not a correctness requirement.
+  void ExecuteFollowUp(const ck::DatabaseRef& db,
+                       const EnqueueFollowUp& follow_up);
+
+  /// Convenience: runs part one in its own transaction, then part two.
+  /// Returns the enqueued item id.
+  Result<std::string> Enqueue(const ck::DatabaseId& db_id, const WorkItem& item,
+                              int64_t vesting_delay_millis = 0);
+
+  /// Atomically enqueues several items for one tenant in a single
+  /// transaction (the queue-zone transactional batch §7 contrasts with
+  /// SQS). Returns the item ids, all-or-nothing.
+  Result<std::vector<std::string>> EnqueueBatch(
+      const ck::DatabaseId& db_id, const std::vector<WorkItem>& items,
+      int64_t vesting_delay_millis = 0);
+
+  /// Registers the §5 front-of-queue notification hook. Not thread-safe;
+  /// call during setup.
+  void SetFrontOfQueueNotifier(FrontOfQueueNotifier notifier) {
+    notifier_ = std::move(notifier);
+  }
+
+  /// §6 local work items: enqueued directly into cluster `cluster_name`'s
+  /// top-level queue alongside pointers; they never migrate with a tenant.
+  Result<std::string> EnqueueLocal(const std::string& cluster_name,
+                                   const WorkItem& item,
+                                   int64_t vesting_delay_millis = 0);
+
+  /// Number of pending items in `db_id`'s queue zone (per-tenant
+  /// observability, from the count index; a snapshot read).
+  Result<int64_t> PendingCount(const ck::DatabaseId& db_id);
+
+  /// Number of entries (pointers + local items) in a cluster's top-level
+  /// queue.
+  Result<int64_t> TopLevelCount(const std::string& cluster_name);
+
+  /// Moves a tenant database to another cluster with its queued work
+  /// (§6 "User-move and local work items"): copy data, copy the pointer
+  /// (after the data so destination consumers don't GC it prematurely),
+  /// flip placement, then delete the source data and source pointer.
+  Status MoveTenant(const ck::DatabaseId& db_id,
+                    const std::string& dest_cluster);
+
+  /// Name of the top-level queue shard holding `item_id` (a pointer key or
+  /// local-item id). With one shard this is just top_zone_name.
+  std::string TopZoneNameFor(const std::string& item_id) const {
+    if (config_.top_zone_shards <= 1) return config_.top_zone_name;
+    const size_t shard =
+        std::hash<std::string>{}(item_id) %
+        static_cast<size_t>(config_.top_zone_shards);
+    return config_.top_zone_name + "/" + std::to_string(shard);
+  }
+
+  /// All top-level shard zone names a consumer must scan.
+  std::vector<std::string> TopZoneNames() const {
+    if (config_.top_zone_shards <= 1) return {config_.top_zone_name};
+    std::vector<std::string> names;
+    names.reserve(config_.top_zone_shards);
+    for (int i = 0; i < config_.top_zone_shards; ++i) {
+      names.push_back(config_.top_zone_name + "/" + std::to_string(i));
+    }
+    return names;
+  }
+
+  /// Opens the top-level queue shard that holds `item_id`.
+  ck::QueueZone OpenTopZoneFor(const ck::DatabaseRef& cluster_db,
+                               const std::string& item_id,
+                               fdb::Transaction* txn) {
+    return ck_->OpenQueueZone(cluster_db, TopZoneNameFor(item_id), txn);
+  }
+
+  /// Opens the top-level queue zone Q_C of a cluster within `txn`
+  /// (unsharded configurations only; sharded callers use OpenTopZoneFor).
+  ck::QueueZone OpenTopZone(const ck::DatabaseRef& cluster_db,
+                            fdb::Transaction* txn) {
+    return ck_->OpenQueueZone(cluster_db, config_.top_zone_name, txn);
+  }
+
+  /// Opens a tenant's queue zone Q_DB within `txn`.
+  ck::QueueZone OpenTenantZone(const ck::DatabaseRef& db,
+                               fdb::Transaction* txn) {
+    return ck_->OpenQueueZone(db, config_.queue_zone_name, txn,
+                              config_.fifo_tenant_zones);
+  }
+
+  ck::CloudKitService* cloudkit() { return ck_; }
+  const QuickConfig& config() const { return config_; }
+  Clock* clock() const { return ck_->clock(); }
+
+ private:
+  ck::CloudKitService* ck_;
+  QuickConfig config_;
+  FrontOfQueueNotifier notifier_;
+};
+
+}  // namespace quick::core
+
+#endif  // QUICK_QUICK_QUICK_H_

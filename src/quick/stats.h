@@ -1,0 +1,93 @@
+#ifndef QUICK_QUICK_STATS_H_
+#define QUICK_QUICK_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/histogram.h"
+#include "common/metrics.h"
+
+namespace quick::core {
+
+/// Per-consumer counters and latency distributions. These are the numbers
+/// the paper's evaluation reads out: Figures 5/6 plot the two latency
+/// histograms; Figure 7 plots the lease-collision counters and throughput.
+struct ConsumerStats {
+  // Work items.
+  Counter items_dequeued;
+  Counter items_processed;
+  Counter items_failed_attempts;
+  Counter items_requeued;
+  Counter items_dropped_permanent;
+  Counter items_throttled;
+  Counter local_items_processed;
+
+  // Pointers.
+  Counter pointer_lease_attempts;
+  Counter pointer_leases_acquired;
+  /// Collision detected when reading the pointer (cheap, Fig. 7: "a
+  /// redundant read").
+  Counter lease_collisions_read;
+  /// Collision detected at commit (expensive: resolver work, Fig. 7).
+  Counter lease_collisions_commit;
+  Counter pointers_requeued;
+  Counter pointers_deleted;
+  Counter pointer_gc_aborted;
+
+  Counter scans;
+  Counter lease_extensions;
+  Counter leases_lost;
+
+  /// Vested-pointer pickup latency: pointer became available -> its queue
+  /// starts being processed (Figures 5/6 series (a)). Microseconds.
+  Histogram pointer_latency_micros;
+  /// Work-item latency: enqueue -> picked for processing (series (b)).
+  Histogram item_latency_micros;
+  /// Handler execution time.
+  Histogram item_exec_micros;
+
+  /// Multi-line operator report with every counter and latency summary.
+  std::string FullReport() const {
+    std::string out;
+    auto line = [&out](const char* name, int64_t v) {
+      out += std::string(name) + " = " + std::to_string(v) + "\n";
+    };
+    line("items_dequeued", items_dequeued.Value());
+    line("items_processed", items_processed.Value());
+    line("items_failed_attempts", items_failed_attempts.Value());
+    line("items_requeued", items_requeued.Value());
+    line("items_dropped_permanent", items_dropped_permanent.Value());
+    line("items_throttled", items_throttled.Value());
+    line("local_items_processed", local_items_processed.Value());
+    line("pointer_lease_attempts", pointer_lease_attempts.Value());
+    line("pointer_leases_acquired", pointer_leases_acquired.Value());
+    line("lease_collisions_read", lease_collisions_read.Value());
+    line("lease_collisions_commit", lease_collisions_commit.Value());
+    line("pointers_requeued", pointers_requeued.Value());
+    line("pointers_deleted", pointers_deleted.Value());
+    line("pointer_gc_aborted", pointer_gc_aborted.Value());
+    line("scans", scans.Value());
+    line("lease_extensions", lease_extensions.Value());
+    line("leases_lost", leases_lost.Value());
+    out += "pointer_latency_us : " + pointer_latency_micros.Summary() + "\n";
+    out += "item_latency_us : " + item_latency_micros.Summary() + "\n";
+    out += "item_exec_us : " + item_exec_micros.Summary() + "\n";
+    return out;
+  }
+
+  /// One-line summary for logs.
+  std::string Summary() const {
+    std::string out;
+    out += "items=" + std::to_string(items_processed.Value());
+    out += " deq=" + std::to_string(items_dequeued.Value());
+    out += " ptr_leases=" + std::to_string(pointer_leases_acquired.Value());
+    out += " coll_read=" + std::to_string(lease_collisions_read.Value());
+    out += " coll_commit=" + std::to_string(lease_collisions_commit.Value());
+    out += " ptr_deleted=" + std::to_string(pointers_deleted.Value());
+    return out;
+  }
+};
+
+}  // namespace quick::core
+
+#endif  // QUICK_QUICK_STATS_H_

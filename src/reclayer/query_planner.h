@@ -1,0 +1,83 @@
+#ifndef QUICK_RECLAYER_QUERY_PLANNER_H_
+#define QUICK_RECLAYER_QUERY_PLANNER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "reclayer/record_store.h"
+
+namespace quick::rl {
+
+/// One field comparison; a PlannedQuery ANDs its predicates. Values compare
+/// with the tuple layer's cross-type total order.
+struct FieldPredicate {
+  enum class Op {
+    kEquals,
+    kLess,
+    kLessOrEqual,
+    kGreater,
+    kGreaterOrEqual,
+  };
+  std::string field;
+  Op op = Op::kEquals;
+  tup::Element value;
+};
+
+/// A declarative query over one record type.
+struct PlannedQuery {
+  std::string record_type;
+  std::vector<FieldPredicate> predicates;
+  int limit = 0;
+};
+
+/// The access path the planner chose: a value-index scan with tuple bounds
+/// (preferred) or a full record scan, plus the predicates that must still
+/// be evaluated against each record ("residual filter").
+struct QueryPlan {
+  enum class Kind { kIndexScan, kFullScan };
+  Kind kind = Kind::kFullScan;
+  std::string index_name;
+  std::optional<tup::Tuple> begin;
+  bool begin_inclusive = true;
+  std::optional<tup::Tuple> end;
+  bool end_inclusive = false;
+  /// Number of predicates the chosen index absorbs (planner score).
+  int bound_predicates = 0;
+  std::vector<FieldPredicate> residual;
+
+  /// e.g. "IndexScan(by_age) bounds=[(30), (40)] residual=1" — for tests
+  /// and EXPLAIN-style debugging.
+  std::string Explain() const;
+};
+
+/// Chooses an access path for a PlannedQuery against the store's metadata:
+/// the value index that absorbs the longest prefix of equality predicates
+/// plus at most one range predicate on the next field wins; everything else
+/// becomes a residual filter. This is the (simplified) index-selection core
+/// of the Record Layer's query planner the paper lists among the features
+/// QuiCK builds on (§4: "a rich set of query and indexing facilities").
+class QueryPlanner {
+ public:
+  explicit QueryPlanner(const RecordMetadata* metadata)
+      : metadata_(metadata) {}
+
+  /// Fails on unknown record types or fields.
+  Result<QueryPlan> Plan(const PlannedQuery& query) const;
+
+ private:
+  const RecordMetadata* metadata_;
+};
+
+/// Evaluates `predicate` against a record (absent fields compare as Null).
+bool EvaluatePredicate(const Record& record, const FieldPredicate& predicate);
+
+/// Plans and runs a query against `store`. Results are in index order for
+/// index plans, primary-key order for full scans.
+Result<std::vector<Record>> ExecutePlanned(RecordStore* store,
+                                           const QueryPlanner& planner,
+                                           const PlannedQuery& query);
+
+}  // namespace quick::rl
+
+#endif  // QUICK_RECLAYER_QUERY_PLANNER_H_

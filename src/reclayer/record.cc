@@ -1,0 +1,194 @@
+#include "reclayer/record.h"
+
+#include <sstream>
+
+namespace quick::rl {
+
+Record& Record::SetInt(const std::string& field, int64_t v) {
+  fields_[field] = v;
+  return *this;
+}
+
+Record& Record::SetString(const std::string& field, std::string v) {
+  fields_[field] = tup::Element(std::move(v));
+  return *this;
+}
+
+Record& Record::SetDouble(const std::string& field, double v) {
+  fields_[field] = v;
+  return *this;
+}
+
+Record& Record::SetBool(const std::string& field, bool v) {
+  fields_[field] = v;
+  return *this;
+}
+
+Record& Record::SetBytes(const std::string& field, std::string v) {
+  fields_[field] = tup::Bytes{std::move(v)};
+  return *this;
+}
+
+Record& Record::ClearField(const std::string& field) {
+  fields_.erase(field);
+  return *this;
+}
+
+const tup::Element* Record::Find(const std::string& field) const {
+  auto it = fields_.find(field);
+  return it == fields_.end() ? nullptr : &it->second;
+}
+
+tup::Element Record::ElementOrNull(const std::string& field) const {
+  const tup::Element* e = Find(field);
+  return e == nullptr ? tup::Element(tup::Null{}) : *e;
+}
+
+Result<int64_t> Record::GetInt(const std::string& field) const {
+  const tup::Element* e = Find(field);
+  if (e == nullptr) return Status::NotFound("field " + field);
+  if (const auto* v = std::get_if<int64_t>(e)) return *v;
+  return Status::InvalidArgument("field " + field + " is not an int");
+}
+
+Result<std::string> Record::GetString(const std::string& field) const {
+  const tup::Element* e = Find(field);
+  if (e == nullptr) return Status::NotFound("field " + field);
+  if (const auto* v = std::get_if<std::string>(e)) return *v;
+  return Status::InvalidArgument("field " + field + " is not a string");
+}
+
+Result<double> Record::GetDouble(const std::string& field) const {
+  const tup::Element* e = Find(field);
+  if (e == nullptr) return Status::NotFound("field " + field);
+  if (const auto* v = std::get_if<double>(e)) return *v;
+  return Status::InvalidArgument("field " + field + " is not a double");
+}
+
+Result<bool> Record::GetBool(const std::string& field) const {
+  const tup::Element* e = Find(field);
+  if (e == nullptr) return Status::NotFound("field " + field);
+  if (const auto* v = std::get_if<bool>(e)) return *v;
+  return Status::InvalidArgument("field " + field + " is not a bool");
+}
+
+Result<std::string> Record::GetBytes(const std::string& field) const {
+  const tup::Element* e = Find(field);
+  if (e == nullptr) return Status::NotFound("field " + field);
+  if (const auto* v = std::get_if<tup::Bytes>(e)) return v->data;
+  return Status::InvalidArgument("field " + field + " is not bytes");
+}
+
+namespace {
+
+bool ElementMatchesType(const tup::Element& e, FieldType type) {
+  switch (type) {
+    case FieldType::kInt64:
+      return std::holds_alternative<int64_t>(e);
+    case FieldType::kString:
+      return std::holds_alternative<std::string>(e);
+    case FieldType::kDouble:
+      return std::holds_alternative<double>(e);
+    case FieldType::kBool:
+      return std::holds_alternative<bool>(e);
+    case FieldType::kBytes:
+      return std::holds_alternative<tup::Bytes>(e);
+  }
+  return false;
+}
+
+}  // namespace
+
+Status Record::Validate(const RecordTypeDef& type_def) const {
+  if (type_ != type_def.name) {
+    return Status::InvalidArgument("record type " + type_ +
+                                   " does not match schema " + type_def.name);
+  }
+  for (const auto& [name, element] : fields_) {
+    const FieldDef* def = type_def.FindField(name);
+    if (def == nullptr) {
+      return Status::InvalidArgument("unknown field " + name + " on " +
+                                     type_);
+    }
+    if (!ElementMatchesType(element, def->type)) {
+      return Status::InvalidArgument("field " + name + " has wrong type");
+    }
+  }
+  for (const std::string& pk : type_def.primary_key_fields) {
+    if (!HasField(pk)) {
+      return Status::InvalidArgument("missing primary key field " + pk);
+    }
+  }
+  return Status::OK();
+}
+
+Result<tup::Tuple> Record::PrimaryKey(const RecordTypeDef& type_def) const {
+  tup::Tuple pk;
+  pk.AddString(type_);
+  for (const std::string& field : type_def.primary_key_fields) {
+    const tup::Element* e = Find(field);
+    if (e == nullptr) {
+      return Status::InvalidArgument("missing primary key field " + field);
+    }
+    pk.Add(*e);
+  }
+  return pk;
+}
+
+std::string Record::Serialize() const {
+  // Canonical layout: (type, field_name_1, value_1, field_name_2, ...),
+  // names in sorted order (std::map iteration order).
+  tup::Tuple t;
+  t.AddString(type_);
+  for (const auto& [name, element] : fields_) {
+    t.AddString(name);
+    t.Add(element);
+  }
+  return t.Encode();
+}
+
+Result<Record> Record::Deserialize(std::string_view data) {
+  QUICK_ASSIGN_OR_RETURN(tup::Tuple t, tup::Tuple::Decode(data));
+  if (t.empty()) return Status::InvalidArgument("empty record encoding");
+  if (t.size() % 2 != 1) {
+    return Status::InvalidArgument("malformed record encoding");
+  }
+  QUICK_ASSIGN_OR_RETURN(std::string type, t.GetString(0));
+  Record rec(std::move(type));
+  for (size_t i = 1; i + 1 < t.size(); i += 2) {
+    QUICK_ASSIGN_OR_RETURN(std::string name, t.GetString(i));
+    rec.fields_[std::move(name)] = t.at(i + 1);
+  }
+  return rec;
+}
+
+std::string Record::ToString() const {
+  std::ostringstream os;
+  os << type_ << "{";
+  bool first = true;
+  for (const auto& [name, element] : fields_) {
+    if (!first) os << ", ";
+    first = false;
+    tup::Tuple t;
+    t.Add(element);
+    std::string rendered = t.ToString();  // "(value)"
+    os << name << "=" << rendered.substr(1, rendered.size() - 2);
+  }
+  os << "}";
+  return os.str();
+}
+
+bool Record::operator==(const Record& other) const {
+  if (type_ != other.type_) return false;
+  if (fields_.size() != other.fields_.size()) return false;
+  for (const auto& [name, element] : fields_) {
+    const tup::Element* oe = other.Find(name);
+    if (oe == nullptr) return false;
+    if (tup::CompareElements(element, *oe) != std::strong_ordering::equal) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace quick::rl

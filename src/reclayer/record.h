@@ -1,0 +1,69 @@
+#ifndef QUICK_RECLAYER_RECORD_H_
+#define QUICK_RECLAYER_RECORD_H_
+
+#include <map>
+#include <string>
+
+#include "common/result.h"
+#include "reclayer/metadata.h"
+#include "tuple/tuple.h"
+
+namespace quick::rl {
+
+/// One record instance: a typed bag of named field values. Serialization is
+/// tuple-based (field names sorted, so the encoding is canonical).
+class Record {
+ public:
+  Record() = default;
+  explicit Record(std::string type) : type_(std::move(type)) {}
+
+  const std::string& type() const { return type_; }
+  void set_type(std::string type) { type_ = std::move(type); }
+
+  Record& SetInt(const std::string& field, int64_t v);
+  Record& SetString(const std::string& field, std::string v);
+  Record& SetDouble(const std::string& field, double v);
+  Record& SetBool(const std::string& field, bool v);
+  Record& SetBytes(const std::string& field, std::string v);
+  Record& ClearField(const std::string& field);
+
+  bool HasField(const std::string& field) const {
+    return fields_.count(field) > 0;
+  }
+
+  Result<int64_t> GetInt(const std::string& field) const;
+  Result<std::string> GetString(const std::string& field) const;
+  Result<double> GetDouble(const std::string& field) const;
+  Result<bool> GetBool(const std::string& field) const;
+  Result<std::string> GetBytes(const std::string& field) const;
+
+  /// Raw element access (null when absent).
+  const tup::Element* Find(const std::string& field) const;
+
+  /// Field value as a tuple element for index keys; Null when absent.
+  tup::Element ElementOrNull(const std::string& field) const;
+
+  const std::map<std::string, tup::Element>& fields() const { return fields_; }
+
+  /// Verifies every present field matches the type's schema and all primary
+  /// key fields are present.
+  Status Validate(const RecordTypeDef& type_def) const;
+
+  /// The record's primary key per `type_def`: (type name, pk fields...).
+  Result<tup::Tuple> PrimaryKey(const RecordTypeDef& type_def) const;
+
+  std::string Serialize() const;
+  static Result<Record> Deserialize(std::string_view data);
+
+  std::string ToString() const;
+
+  bool operator==(const Record& other) const;
+
+ private:
+  std::string type_;
+  std::map<std::string, tup::Element> fields_;
+};
+
+}  // namespace quick::rl
+
+#endif  // QUICK_RECLAYER_RECORD_H_

@@ -1,0 +1,486 @@
+#include "reclayer/record_store.h"
+
+#include "common/bytes.h"
+
+namespace quick::rl {
+
+namespace {
+// Child subspace tags. Strings keep keys debuggable; the per-key overhead
+// is a few bytes.
+constexpr std::string_view kRecordsTag = "r";
+constexpr std::string_view kIndexesTag = "i";
+constexpr std::string_view kHeadersTag = "h";
+constexpr std::string_view kStatesTag = "st";
+constexpr size_t kVersionstampBytes = 10;
+}  // namespace
+
+RecordStore::RecordStore(fdb::Transaction* txn, tup::Subspace subspace,
+                         const RecordMetadata* metadata)
+    : txn_(txn),
+      subspace_(std::move(subspace)),
+      records_(subspace_.Sub(kRecordsTag)),
+      indexes_(subspace_.Sub(kIndexesTag)),
+      headers_(subspace_.Sub(kHeadersTag)),
+      states_(subspace_.Sub(kStatesTag)),
+      metadata_(metadata) {}
+
+std::string RecordStore::RecordKey(const tup::Tuple& pk) const {
+  return records_.Pack(pk);
+}
+
+tup::Tuple RecordStore::IndexedValues(const IndexDef& index,
+                                      const Record& record) const {
+  tup::Tuple values;
+  for (const std::string& field : index.fields) {
+    values.Add(record.ElementOrNull(field));
+  }
+  return values;
+}
+
+Status RecordStore::MaintainVersionIndexes(const std::string& record_type,
+                                           const tup::Tuple& pk,
+                                           bool deleting) {
+  const std::string pk_bytes = pk.Encode();
+  for (const IndexDef& index : metadata_->indexes()) {
+    if (index.kind != IndexKind::kVersion || !index.Covers(record_type)) {
+      continue;
+    }
+    // Each version index keeps its own per-record header with the stamp of
+    // the entry it currently holds, so entries can be cleared later even
+    // though their keys embed a commit version.
+    const std::string header_key = VersionHeaderKey(index.name, pk);
+    QUICK_ASSIGN_OR_RETURN(std::optional<std::string> old_stamp,
+                           txn_->Get(header_key));
+    const bool existed =
+        old_stamp.has_value() && old_stamp->size() == kVersionstampBytes;
+    if (deleting) {
+      if (existed) {
+        txn_->Clear(VersionIndexPrefix(index.name) + *old_stamp + pk_bytes);
+        txn_->Clear(header_key);
+      }
+      continue;
+    }
+    if (index.sticky_version && existed) {
+      continue;  // insertion-order index: the original entry stands
+    }
+    if (existed) {
+      txn_->Clear(VersionIndexPrefix(index.name) + *old_stamp + pk_bytes);
+    }
+    txn_->SetVersionstampedKey(VersionIndexPrefix(index.name), pk_bytes, "");
+    txn_->SetVersionstampedValue(header_key, "");
+  }
+  return Status::OK();
+}
+
+Status RecordStore::RemoveIndexEntries(const Record& record,
+                                       const tup::Tuple& pk) {
+  for (const IndexDef& index : metadata_->indexes()) {
+    if (!index.Covers(record.type())) continue;
+    tup::Tuple values = IndexedValues(index, record);
+    switch (index.kind) {
+      case IndexKind::kValue: {
+        tup::Tuple key = tup::Tuple().AddString(index.name);
+        key.Concat(values);
+        key.Concat(pk);
+        txn_->Clear(indexes_.Pack(key));
+        break;
+      }
+      case IndexKind::kCount: {
+        tup::Tuple key = tup::Tuple().AddString(index.name);
+        key.Concat(values);
+        txn_->Atomic(fdb::AtomicOp::kAdd, indexes_.Pack(key),
+                     EncodeLittleEndian64(static_cast<uint64_t>(-1)));
+        break;
+      }
+      case IndexKind::kVersion:
+        break;  // handled by MaintainVersionIndexes
+    }
+  }
+  return MaintainVersionIndexes(record.type(), pk, /*deleting=*/true);
+}
+
+Status RecordStore::SaveRecord(const Record& record) {
+  const RecordTypeDef* type = metadata_->FindRecordType(record.type());
+  if (type == nullptr) {
+    return Status::InvalidArgument("unknown record type " + record.type());
+  }
+  QUICK_RETURN_IF_ERROR(record.Validate(*type));
+  QUICK_ASSIGN_OR_RETURN(tup::Tuple pk, record.PrimaryKey(*type));
+
+  // Index maintenance needs the previous image to clear stale entries.
+  const std::string key = RecordKey(pk);
+  QUICK_ASSIGN_OR_RETURN(std::optional<std::string> old_bytes,
+                         txn_->Get(key));
+  std::optional<Record> old_record;
+  if (old_bytes.has_value()) {
+    QUICK_ASSIGN_OR_RETURN(Record old, Record::Deserialize(*old_bytes));
+    old_record = std::move(old);
+  }
+  txn_->Set(key, record.Serialize());
+
+  // Per-index diff. Entries whose indexed values did not change are left
+  // untouched: updates to a record must not write (and hence not conflict
+  // on) index keys they do not move — QuiCK's pointer index relies on this
+  // ("updated only on pointer creations or deletions, never on updates").
+  for (const IndexDef& index : metadata_->indexes()) {
+    const bool covers_new = index.Covers(record.type());
+    const bool covers_old =
+        old_record.has_value() && index.Covers(old_record->type());
+    std::optional<tup::Tuple> new_values =
+        covers_new ? std::optional<tup::Tuple>(IndexedValues(index, record))
+                   : std::nullopt;
+    std::optional<tup::Tuple> old_values =
+        covers_old
+            ? std::optional<tup::Tuple>(IndexedValues(index, *old_record))
+            : std::nullopt;
+    if (old_values.has_value() && new_values.has_value() &&
+        *old_values == *new_values) {
+      continue;  // unchanged entry / unchanged count group
+    }
+    switch (index.kind) {
+      case IndexKind::kValue: {
+        if (old_values.has_value()) {
+          tup::Tuple old_key = tup::Tuple().AddString(index.name);
+          old_key.Concat(*old_values);
+          old_key.Concat(pk);
+          txn_->Clear(indexes_.Pack(old_key));
+        }
+        if (new_values.has_value()) {
+          tup::Tuple new_key = tup::Tuple().AddString(index.name);
+          new_key.Concat(*new_values);
+          new_key.Concat(pk);
+          txn_->Set(indexes_.Pack(new_key), "");
+        }
+        break;
+      }
+      case IndexKind::kCount: {
+        if (old_values.has_value()) {
+          tup::Tuple old_key = tup::Tuple().AddString(index.name);
+          old_key.Concat(*old_values);
+          txn_->Atomic(fdb::AtomicOp::kAdd, indexes_.Pack(old_key),
+                       EncodeLittleEndian64(static_cast<uint64_t>(-1)));
+        }
+        if (new_values.has_value()) {
+          tup::Tuple new_key = tup::Tuple().AddString(index.name);
+          new_key.Concat(*new_values);
+          txn_->Atomic(fdb::AtomicOp::kAdd, indexes_.Pack(new_key),
+                       EncodeLittleEndian64(1));
+        }
+        break;
+      }
+      case IndexKind::kVersion:
+        break;  // handled below
+    }
+  }
+  return MaintainVersionIndexes(record.type(), pk, /*deleting=*/false);
+}
+
+Result<std::optional<Record>> RecordStore::LoadRecord(const std::string& type,
+                                                      const tup::Tuple& pk) {
+  tup::Tuple full_pk = tup::Tuple().AddString(type);
+  full_pk.Concat(pk);
+  QUICK_ASSIGN_OR_RETURN(std::optional<std::string> bytes,
+                         txn_->Get(RecordKey(full_pk)));
+  if (!bytes.has_value()) return std::optional<Record>(std::nullopt);
+  QUICK_ASSIGN_OR_RETURN(Record record, Record::Deserialize(*bytes));
+  return std::optional<Record>(std::move(record));
+}
+
+Result<bool> RecordStore::DeleteRecord(const std::string& type,
+                                       const tup::Tuple& pk) {
+  tup::Tuple full_pk = tup::Tuple().AddString(type);
+  full_pk.Concat(pk);
+  const std::string key = RecordKey(full_pk);
+  QUICK_ASSIGN_OR_RETURN(std::optional<std::string> bytes, txn_->Get(key));
+  if (!bytes.has_value()) return false;
+  QUICK_ASSIGN_OR_RETURN(Record record, Record::Deserialize(*bytes));
+  QUICK_RETURN_IF_ERROR(RemoveIndexEntries(record, full_pk));
+  txn_->Clear(key);
+  return true;
+}
+
+Result<std::vector<Record>> RecordStore::ScanRecords(int limit) {
+  fdb::RangeOptions opts;
+  opts.limit = limit;
+  QUICK_ASSIGN_OR_RETURN(std::vector<fdb::KeyValue> kvs,
+                         txn_->GetRange(records_.Range(), opts));
+  std::vector<Record> out;
+  out.reserve(kvs.size());
+  for (const fdb::KeyValue& kv : kvs) {
+    QUICK_ASSIGN_OR_RETURN(Record record, Record::Deserialize(kv.value));
+    out.push_back(std::move(record));
+  }
+  return out;
+}
+
+Result<std::vector<IndexEntry>> RecordStore::ScanIndex(
+    const std::string& index_name, const tup::Tuple& prefix,
+    const IndexScanOptions& options) {
+  tup::Tuple scan = tup::Tuple().AddString(index_name);
+  scan.Concat(prefix);
+  const KeyRange range = indexes_.Range(scan);
+  return ScanIndexRangeImplByKeys(index_name, range, options);
+}
+
+Result<std::vector<IndexEntry>> RecordStore::ScanIndexRange(
+    const std::string& index_name, const std::optional<tup::Tuple>& begin,
+    const std::optional<tup::Tuple>& end, const IndexScanOptions& options) {
+  const KeyRange whole = indexes_.Range(tup::Tuple().AddString(index_name));
+  KeyRange range = whole;
+  if (begin.has_value()) {
+    tup::Tuple b = tup::Tuple().AddString(index_name);
+    b.Concat(*begin);
+    range.begin = indexes_.Pack(b);
+  }
+  if (end.has_value()) {
+    tup::Tuple e = tup::Tuple().AddString(index_name);
+    e.Concat(*end);
+    range.end = indexes_.Pack(e);
+  }
+  return ScanIndexRangeImplByKeys(index_name, range, options);
+}
+
+Status RecordStore::CheckIndexReadable(const std::string& index_name) {
+  QUICK_ASSIGN_OR_RETURN(std::optional<std::string> state,
+                         txn_->Get(IndexStateKey(index_name),
+                                   /*snapshot=*/true));
+  if (state.has_value() && DecodeLittleEndian64(*state) != 0) {
+    return Status::FailedPrecondition("index " + index_name +
+                                      " is write-only (still building)");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<StoredRecord>> RecordStore::ScanRecordsPage(
+    const std::optional<tup::Tuple>& after_primary_key, int limit) {
+  KeyRange range = records_.Range();
+  if (after_primary_key.has_value()) {
+    range.begin = KeyAfter(records_.Pack(*after_primary_key));
+  }
+  fdb::RangeOptions opts;
+  opts.limit = limit;
+  QUICK_ASSIGN_OR_RETURN(std::vector<fdb::KeyValue> kvs,
+                         txn_->GetRange(range, opts));
+  std::vector<StoredRecord> out;
+  out.reserve(kvs.size());
+  for (const fdb::KeyValue& kv : kvs) {
+    StoredRecord row;
+    QUICK_ASSIGN_OR_RETURN(row.primary_key, records_.Unpack(kv.key));
+    QUICK_ASSIGN_OR_RETURN(row.record, Record::Deserialize(kv.value));
+    out.push_back(std::move(row));
+  }
+  return out;
+}
+
+Status RecordStore::BackfillIndexEntry(const std::string& index_name,
+                                       const Record& record) {
+  const IndexDef* index = metadata_->FindIndex(index_name);
+  if (index == nullptr) {
+    return Status::InvalidArgument("unknown index " + index_name);
+  }
+  if (index->kind != IndexKind::kValue) {
+    return Status::InvalidArgument("only value indexes can be backfilled");
+  }
+  if (!index->Covers(record.type())) return Status::OK();
+  const RecordTypeDef* type = metadata_->FindRecordType(record.type());
+  if (type == nullptr) {
+    return Status::InvalidArgument("unknown record type " + record.type());
+  }
+  QUICK_ASSIGN_OR_RETURN(tup::Tuple pk, record.PrimaryKey(*type));
+  tup::Tuple key = tup::Tuple().AddString(index->name);
+  key.Concat(IndexedValues(*index, record));
+  key.Concat(pk);
+  txn_->Set(indexes_.Pack(key), "");
+  return Status::OK();
+}
+
+Result<std::vector<IndexEntry>> RecordStore::ScanIndexBounds(
+    const std::string& index_name, const IndexBounds& bounds,
+    const IndexScanOptions& options) {
+  KeyRange range = indexes_.Range(tup::Tuple().AddString(index_name));
+  if (bounds.begin.has_value()) {
+    tup::Tuple b = tup::Tuple().AddString(index_name);
+    b.Concat(*bounds.begin);
+    range.begin = indexes_.Pack(b);
+    if (!bounds.begin_inclusive) {
+      // Skip the bound tuple and all its extensions: primary-key
+      // continuations use tuple type codes < 0xFF.
+      range.begin.push_back('\xFF');
+    }
+  }
+  if (bounds.end.has_value()) {
+    tup::Tuple e = tup::Tuple().AddString(index_name);
+    e.Concat(*bounds.end);
+    range.end = indexes_.Pack(e);
+    if (bounds.end_inclusive) {
+      range.end.push_back('\xFF');
+    }
+  }
+  return ScanIndexRangeImplByKeys(index_name, range, options);
+}
+
+Result<std::optional<Record>> RecordStore::LoadByFullPrimaryKey(
+    const tup::Tuple& full_pk) {
+  QUICK_ASSIGN_OR_RETURN(std::optional<std::string> bytes,
+                         txn_->Get(RecordKey(full_pk)));
+  if (!bytes.has_value()) return std::optional<Record>(std::nullopt);
+  QUICK_ASSIGN_OR_RETURN(Record record, Record::Deserialize(*bytes));
+  return std::optional<Record>(std::move(record));
+}
+
+Result<std::vector<IndexEntry>> RecordStore::ScanIndexRangeImplByKeys(
+    const std::string& index_name, const KeyRange& range,
+    const IndexScanOptions& options) {
+  const IndexDef* index = metadata_->FindIndex(index_name);
+  if (index == nullptr) {
+    return Status::InvalidArgument("unknown index " + index_name);
+  }
+  QUICK_RETURN_IF_ERROR(CheckIndexReadable(index_name));
+  if (index->kind != IndexKind::kValue) {
+    return Status::InvalidArgument("index " + index_name +
+                                   " is not a value index");
+  }
+  fdb::RangeOptions opts;
+  opts.limit = options.limit;
+  opts.reverse = options.reverse;
+  QUICK_ASSIGN_OR_RETURN(std::vector<fdb::KeyValue> kvs,
+                         txn_->GetRange(range, opts, options.snapshot));
+  std::vector<IndexEntry> out;
+  out.reserve(kvs.size());
+  const size_t arity = index->fields.size();
+  for (const fdb::KeyValue& kv : kvs) {
+    QUICK_ASSIGN_OR_RETURN(tup::Tuple t, indexes_.Unpack(kv.key));
+    // Layout: (index name, values..., primary key...).
+    if (t.size() < 1 + arity) {
+      return Status::Internal("corrupt index entry");
+    }
+    IndexEntry entry;
+    for (size_t i = 1; i <= arity; ++i) entry.indexed_values.Add(t.at(i));
+    for (size_t i = 1 + arity; i < t.size(); ++i) {
+      entry.primary_key.Add(t.at(i));
+    }
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+Result<int64_t> RecordStore::GetCount(const std::string& index_name,
+                                      const tup::Tuple& group, bool snapshot) {
+  const IndexDef* index = metadata_->FindIndex(index_name);
+  if (index == nullptr) {
+    return Status::InvalidArgument("unknown index " + index_name);
+  }
+  if (index->kind != IndexKind::kCount) {
+    return Status::InvalidArgument("index " + index_name +
+                                   " is not a count index");
+  }
+  tup::Tuple key = tup::Tuple().AddString(index_name);
+  key.Concat(group);
+  QUICK_ASSIGN_OR_RETURN(std::optional<std::string> v,
+                         txn_->Get(indexes_.Pack(key), snapshot));
+  if (!v.has_value()) return int64_t{0};
+  return static_cast<int64_t>(DecodeLittleEndian64(*v));
+}
+
+Result<std::vector<VersionIndexEntry>> RecordStore::ScanVersionIndex(
+    const std::string& index_name,
+    const std::optional<std::string>& after_versionstamp,
+    const IndexScanOptions& options) {
+  const IndexDef* index = metadata_->FindIndex(index_name);
+  if (index == nullptr) {
+    return Status::InvalidArgument("unknown index " + index_name);
+  }
+  if (index->kind != IndexKind::kVersion) {
+    return Status::InvalidArgument("index " + index_name +
+                                   " is not a version index");
+  }
+  const std::string prefix = VersionIndexPrefix(index_name);
+  KeyRange range = KeyRange::Prefix(prefix);
+  if (after_versionstamp.has_value()) {
+    // Strictly after: increment the fixed-width stamp so every entry at the
+    // given stamp (any primary key) is excluded.
+    std::string next_stamp = *after_versionstamp;
+    next_stamp.resize(kVersionstampBytes, '\x00');
+    for (int i = static_cast<int>(kVersionstampBytes) - 1; i >= 0; --i) {
+      if (static_cast<unsigned char>(next_stamp[i]) != 0xFF) {
+        next_stamp[i] = static_cast<char>(next_stamp[i] + 1);
+        break;
+      }
+      next_stamp[i] = '\x00';
+    }
+    range.begin = prefix + next_stamp;
+  }
+  fdb::RangeOptions opts;
+  opts.limit = options.limit;
+  opts.reverse = options.reverse;
+  QUICK_ASSIGN_OR_RETURN(std::vector<fdb::KeyValue> kvs,
+                         txn_->GetRange(range, opts, options.snapshot));
+  std::vector<VersionIndexEntry> out;
+  out.reserve(kvs.size());
+  for (const fdb::KeyValue& kv : kvs) {
+    if (kv.key.size() < prefix.size() + kVersionstampBytes) {
+      return Status::Internal("corrupt version index entry");
+    }
+    VersionIndexEntry entry;
+    entry.versionstamp = kv.key.substr(prefix.size(), kVersionstampBytes);
+    QUICK_ASSIGN_OR_RETURN(
+        entry.primary_key,
+        tup::Tuple::Decode(std::string_view(kv.key).substr(
+            prefix.size() + kVersionstampBytes)));
+    out.push_back(std::move(entry));
+  }
+  return out;
+}
+
+Result<std::optional<std::string>> RecordStore::GetRecordVersion(
+    const std::string& index_name, const std::string& type,
+    const tup::Tuple& pk) {
+  tup::Tuple full_pk = tup::Tuple().AddString(type);
+  full_pk.Concat(pk);
+  return txn_->Get(VersionHeaderKey(index_name, full_pk));
+}
+
+Result<std::vector<Record>> RecordStore::Execute(const Query& query) {
+  IndexScanOptions options;
+  options.reverse = query.reverse;
+  // The residual predicate may reject entries, so the index scan cannot be
+  // limited when one is present.
+  options.limit = query.predicate ? 0 : query.limit;
+  QUICK_ASSIGN_OR_RETURN(
+      std::vector<IndexEntry> entries,
+      ScanIndexRange(query.index_name, query.begin, query.end, options));
+  std::vector<Record> out;
+  for (const IndexEntry& entry : entries) {
+    QUICK_ASSIGN_OR_RETURN(std::optional<std::string> bytes,
+                           txn_->Get(RecordKey(entry.primary_key)));
+    if (!bytes.has_value()) {
+      return Status::Internal("index entry without record");
+    }
+    QUICK_ASSIGN_OR_RETURN(Record record, Record::Deserialize(*bytes));
+    if (query.predicate && !query.predicate(record)) continue;
+    out.push_back(std::move(record));
+    if (query.limit > 0 && static_cast<int>(out.size()) >= query.limit) break;
+  }
+  return out;
+}
+
+Result<bool> RecordStore::IsEmpty() {
+  fdb::RangeOptions opts;
+  opts.limit = 1;
+  QUICK_ASSIGN_OR_RETURN(std::vector<fdb::KeyValue> kvs,
+                         txn_->GetRange(records_.Range(), opts));
+  return kvs.empty();
+}
+
+Status RecordStore::DeleteAllRecords() {
+  txn_->ClearRange(subspace_.Range());
+  return Status::OK();
+}
+
+Result<int64_t> RecordStore::CountRecords() {
+  QUICK_ASSIGN_OR_RETURN(std::vector<fdb::KeyValue> kvs,
+                         txn_->GetRange(records_.Range()));
+  return static_cast<int64_t>(kvs.size());
+}
+
+}  // namespace quick::rl

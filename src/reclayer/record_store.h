@@ -1,0 +1,218 @@
+#ifndef QUICK_RECLAYER_RECORD_STORE_H_
+#define QUICK_RECLAYER_RECORD_STORE_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fdb/transaction.h"
+#include "reclayer/metadata.h"
+#include "reclayer/record.h"
+#include "tuple/subspace.h"
+
+namespace quick::rl {
+
+/// One entry of a value index: the indexed field values and the primary key
+/// of the record they belong to.
+struct IndexEntry {
+  tup::Tuple indexed_values;
+  tup::Tuple primary_key;
+};
+
+/// A record together with its full primary key (type-name prefix
+/// included) — what paged scans return so callers can resume.
+struct StoredRecord {
+  tup::Tuple primary_key;
+  Record record;
+};
+
+/// One entry of a version index: the 10-byte commit versionstamp of the
+/// record's last write and its primary key, in commit order.
+struct VersionIndexEntry {
+  std::string versionstamp;
+  tup::Tuple primary_key;
+};
+
+/// Tuple bounds for a value-index scan with per-end inclusivity. An
+/// inclusive bound covers every entry extending the bound tuple (the
+/// encoding guarantees primary-key continuations sort before 0xFF).
+struct IndexBounds {
+  std::optional<tup::Tuple> begin;
+  bool begin_inclusive = true;
+  std::optional<tup::Tuple> end;
+  bool end_inclusive = false;
+};
+
+/// Options for index scans.
+struct IndexScanOptions {
+  int limit = 0;
+  bool reverse = false;
+  /// Snapshot scans add no read conflict — QuiCK's Scanner peeks the
+  /// vesting index this way so peeks never abort enqueues (§6).
+  bool snapshot = false;
+};
+
+/// A simple query: scan a value index within [begin, end) tuple bounds and
+/// filter residually. This models the slice of the Record Layer's query
+/// machinery that QuiCK exercises.
+struct Query {
+  std::string index_name;
+  /// Inclusive lower bound on the indexed values (prefix allowed).
+  std::optional<tup::Tuple> begin;
+  /// Exclusive upper bound on the indexed values.
+  std::optional<tup::Tuple> end;
+  int limit = 0;
+  bool reverse = false;
+  std::function<bool(const Record&)> predicate;  // optional residual filter
+};
+
+/// Record-oriented view over a subspace of one FoundationDB cluster,
+/// operating entirely within a caller-supplied transaction (the Record
+/// Layer idiom: a RecordStore is cheap, stateless, and opened per
+/// transaction). Secondary indexes are maintained transactionally with
+/// every save/delete; count indexes use atomic adds and therefore never
+/// conflict.
+class RecordStore {
+ public:
+  RecordStore(fdb::Transaction* txn, tup::Subspace subspace,
+              const RecordMetadata* metadata);
+
+  /// Inserts or replaces by primary key, updating every covering index.
+  Status SaveRecord(const Record& record);
+
+  /// `pk` excludes the type name (it is prefixed internally).
+  Result<std::optional<Record>> LoadRecord(const std::string& type,
+                                           const tup::Tuple& pk);
+
+  /// True when a record was deleted.
+  Result<bool> DeleteRecord(const std::string& type, const tup::Tuple& pk);
+
+  /// All records in primary-key order (limit 0 = unlimited).
+  Result<std::vector<Record>> ScanRecords(int limit = 0);
+
+  /// A page of records strictly after `after_primary_key` (nullopt starts
+  /// from the beginning) — the online index builder's resumable scan.
+  Result<std::vector<StoredRecord>> ScanRecordsPage(
+      const std::optional<tup::Tuple>& after_primary_key, int limit);
+
+  /// Writes the value-index entry `index_name` would hold for `record`
+  /// (online index backfill; no-op semantics are the caller's concern).
+  Status BackfillIndexEntry(const std::string& index_name,
+                            const Record& record);
+
+  /// Key of the per-store index-state record (IndexState as LE64; absent
+  /// means readable). Shared with OnlineIndexBuilder.
+  std::string IndexStateKey(const std::string& index_name) const {
+    return states_.Pack(tup::Tuple().AddString(index_name));
+  }
+
+  /// Entries of a value index whose indexed values start with `prefix`
+  /// (empty prefix scans the whole index), ordered by indexed value.
+  Result<std::vector<IndexEntry>> ScanIndex(const std::string& index_name,
+                                            const tup::Tuple& prefix,
+                                            const IndexScanOptions& options = {});
+
+  /// Index scan between tuple bounds: [begin, end) on indexed values.
+  Result<std::vector<IndexEntry>> ScanIndexRange(
+      const std::string& index_name, const std::optional<tup::Tuple>& begin,
+      const std::optional<tup::Tuple>& end, const IndexScanOptions& options = {});
+
+  /// Index scan with per-end inclusivity (the query planner's access path).
+  Result<std::vector<IndexEntry>> ScanIndexBounds(
+      const std::string& index_name, const IndexBounds& bounds,
+      const IndexScanOptions& options = {});
+
+  /// Loads a record by its full primary key (type-name prefix included),
+  /// as index entries carry it.
+  Result<std::optional<Record>> LoadByFullPrimaryKey(const tup::Tuple& full_pk);
+
+  /// Value of a count index for a grouping tuple. `snapshot` avoids a read
+  /// conflict (monitoring reads, §6 "Isolation level").
+  Result<int64_t> GetCount(const std::string& index_name,
+                           const tup::Tuple& group, bool snapshot = true);
+
+  /// Entries of a version index in commit order, optionally only those
+  /// committed strictly after `after_versionstamp` — the "what changed
+  /// since my last sync token" scan CloudKit sync performs.
+  Result<std::vector<VersionIndexEntry>> ScanVersionIndex(
+      const std::string& index_name,
+      const std::optional<std::string>& after_versionstamp = std::nullopt,
+      const IndexScanOptions& options = {});
+
+  /// The versionstamp `index_name` currently holds for the record (its
+  /// last write, or first write for sticky indexes); nullopt when absent.
+  Result<std::optional<std::string>> GetRecordVersion(
+      const std::string& index_name, const std::string& type,
+      const tup::Tuple& pk);
+
+  /// Runs a query: index scan + record load + residual predicate.
+  Result<std::vector<Record>> Execute(const Query& query);
+
+  /// Exact storage key of one value-index entry. QuiCK's enqueue protocol
+  /// point-reads this key to test pointer existence and declares write
+  /// conflicts on it for external stores (§6.1 of the paper).
+  std::string ValueIndexEntryKey(const std::string& index_name,
+                                 const tup::Tuple& values,
+                                 const tup::Tuple& primary_key) const {
+    tup::Tuple key = tup::Tuple().AddString(index_name);
+    key.Concat(values);
+    key.Concat(primary_key);
+    return indexes_.Pack(key);
+  }
+
+  /// True when the store holds no records. Performs a strong (conflicting)
+  /// read of one key, which is what makes QuiCK's pointer GC safe (§6
+  /// "Correctness": the emptiness check conflicts with concurrent inserts).
+  Result<bool> IsEmpty();
+
+  /// Removes every record, index entry, and counter in the store.
+  Status DeleteAllRecords();
+
+  /// Number of records via full scan (tests/diagnostics).
+  Result<int64_t> CountRecords();
+
+  const tup::Subspace& subspace() const { return subspace_; }
+
+ private:
+  /// Key of the record with primary key `pk` (pk includes the type prefix).
+  std::string RecordKey(const tup::Tuple& pk) const;
+
+  Status RemoveIndexEntries(const Record& record, const tup::Tuple& pk);
+  tup::Tuple IndexedValues(const IndexDef& index, const Record& record) const;
+
+  /// Byte prefix of a version index's entries (stamp + pk follow raw).
+  std::string VersionIndexPrefix(const std::string& index_name) const {
+    return indexes_.Pack(tup::Tuple().AddString(index_name));
+  }
+  std::string VersionHeaderKey(const std::string& index_name,
+                               const tup::Tuple& pk) const {
+    tup::Tuple key = tup::Tuple().AddString(index_name);
+    key.Concat(pk);
+    return headers_.Pack(key);
+  }
+  /// Maintains every covering version index for a record write/delete:
+  /// clears the entry at the old stamp (from the header) and, unless
+  /// `deleting`, writes a fresh versionstamped entry and header.
+  Status MaintainVersionIndexes(const std::string& record_type,
+                                const tup::Tuple& pk, bool deleting);
+  Result<std::vector<IndexEntry>> ScanIndexRangeImplByKeys(
+      const std::string& index_name, const KeyRange& range,
+      const IndexScanOptions& options);
+
+  fdb::Transaction* txn_;
+  tup::Subspace subspace_;
+  tup::Subspace records_;
+  tup::Subspace indexes_;
+  tup::Subspace headers_;  // per-record last-write versionstamps
+  tup::Subspace states_;   // per-index lifecycle state (online builds)
+  const RecordMetadata* metadata_;
+
+  /// Rejects scans of write-only (still building) indexes. Snapshot read:
+  /// never adds conflicts, preserving QuiCK's contention design.
+  Status CheckIndexReadable(const std::string& index_name);
+};
+
+}  // namespace quick::rl
+
+#endif  // QUICK_RECLAYER_RECORD_STORE_H_

@@ -1,0 +1,12 @@
+#include "tuple/subspace.h"
+
+namespace quick::tup {
+
+Result<Tuple> Subspace::Unpack(std::string_view key) const {
+  if (!Contains(key)) {
+    return Status::InvalidArgument("key not in subspace");
+  }
+  return Tuple::Decode(key.substr(prefix_.size()));
+}
+
+}  // namespace quick::tup

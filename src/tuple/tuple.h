@@ -1,0 +1,110 @@
+#ifndef QUICK_TUPLE_TUPLE_H_
+#define QUICK_TUPLE_TUPLE_H_
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace quick::tup {
+
+/// FoundationDB tuple-layer encoding (the subset the Record Layer and
+/// QuiCK need). The defining property — relied on by every index in this
+/// repository and property-tested in tests/tuple — is order preservation:
+/// for tuples a, b:  a < b (element-wise, by type then value)  <=>
+/// Encode(a) < Encode(b) (lexicographic byte order).
+///
+/// Supported element types, in their cross-type sort order:
+///   null < bytes < string < nested tuple < int64 < double < bool < uuid
+
+struct Null {
+  bool operator==(const Null&) const { return true; }
+};
+
+/// Distinguishes raw byte strings from UTF-8 strings (different type codes,
+/// different sort classes).
+struct Bytes {
+  std::string data;
+  bool operator==(const Bytes&) const = default;
+};
+
+struct Uuid {
+  std::array<uint8_t, 16> data{};
+  bool operator==(const Uuid&) const = default;
+
+  /// Parses 32 hex chars (as produced by Random::NextUuid).
+  static Result<Uuid> FromHex(std::string_view hex);
+  std::string ToHex() const;
+};
+
+class Tuple;
+
+using Element = std::variant<Null, Bytes, std::string, Tuple, int64_t, double,
+                             bool, Uuid>;
+
+class Tuple {
+ public:
+  Tuple() = default;
+
+  /// Builder-style appends; return *this for chaining.
+  Tuple& AddNull();
+  Tuple& AddBytes(std::string bytes);
+  Tuple& AddString(std::string s);
+  Tuple& AddInt(int64_t v);
+  Tuple& AddDouble(double v);
+  Tuple& AddBool(bool v);
+  Tuple& AddUuid(const Uuid& u);
+  Tuple& AddTuple(Tuple t);
+  Tuple& Add(Element e);
+
+  /// Appends all elements of `t`.
+  Tuple& Concat(const Tuple& t);
+
+  size_t size() const { return elements_.size(); }
+  bool empty() const { return elements_.empty(); }
+  const Element& at(size_t i) const { return elements_.at(i); }
+  const std::vector<Element>& elements() const { return elements_; }
+
+  /// Typed accessors; return an error Status on index or type mismatch.
+  Result<int64_t> GetInt(size_t i) const;
+  Result<std::string> GetString(size_t i) const;
+  Result<std::string> GetBytes(size_t i) const;
+  Result<double> GetDouble(size_t i) const;
+  Result<bool> GetBool(size_t i) const;
+  Result<Uuid> GetUuid(size_t i) const;
+  Result<Tuple> GetTuple(size_t i) const;
+  bool IsNull(size_t i) const;
+
+  /// Order-preserving serialization.
+  std::string Encode() const;
+
+  /// Inverse of Encode. Fails on malformed input.
+  static Result<Tuple> Decode(std::string_view encoded);
+
+  /// The prefix of this tuple of length `n` elements.
+  Tuple Prefix(size_t n) const;
+
+  /// Debug rendering, e.g. ("user1", 42, null).
+  std::string ToString() const;
+
+  bool operator==(const Tuple& other) const;
+
+  /// Element-wise comparison consistent with encoded-byte comparison.
+  std::strong_ordering operator<=>(const Tuple& other) const;
+
+ private:
+  std::vector<Element> elements_;
+};
+
+/// Compares single elements with the same order the encoding induces.
+std::strong_ordering CompareElements(const Element& a, const Element& b);
+
+}  // namespace quick::tup
+
+#endif  // QUICK_TUPLE_TUPLE_H_

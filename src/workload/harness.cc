@@ -1,0 +1,65 @@
+#include "workload/harness.h"
+
+#include <thread>
+
+#include "fdb/retry.h"
+
+namespace quick::wl {
+
+Harness::Harness(const HarnessOptions& options)
+    : options_(options), election_(SystemClock::Default()) {
+  fdb::Database::Options db_opts;
+  db_opts.clock = SystemClock::Default();
+  db_opts.latency = options.latency;
+  db_opts.grv_cache_staleness_millis = options.grv_cache_staleness_millis;
+  clusters_ = std::make_unique<fdb::ClusterSet>(db_opts);
+  for (int i = 0; i < options.num_clusters; ++i) {
+    const std::string name = "cluster" + std::to_string(i);
+    clusters_->AddCluster(name);
+    names_.push_back(name);
+  }
+  ck_ = std::make_unique<ck::CloudKitService>(clusters_.get(),
+                                              SystemClock::Default());
+  core::QuickConfig qconfig;
+  qconfig.pointer_vesting_slack_millis = options.pointer_vesting_slack_millis;
+  quick_ = std::make_unique<core::Quick>(ck_.get(), qconfig);
+
+  const int64_t work_millis = options.work_millis;
+  registry_.Register(kSimJobType, [this, work_millis](core::WorkContext&) {
+    if (work_millis > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(work_millis));
+    }
+    work_executed_.fetch_add(1, std::memory_order_relaxed);
+    return Status::OK();
+  });
+}
+
+Status Harness::EnqueueSim(int client, int items,
+                           int64_t vesting_delay_millis) {
+  const ck::DatabaseId db_id = ClientDb(client);
+  const ck::DatabaseRef db = ck_->OpenDatabase(db_id);
+  core::EnqueueFollowUp follow_up;
+  Status st = fdb::RunTransaction(db.cluster, [&](fdb::Transaction& txn) {
+    for (int i = 0; i < items; ++i) {
+      core::WorkItem item;
+      item.job_type = kSimJobType;
+      QUICK_RETURN_IF_ERROR(
+          quick_
+              ->EnqueueInTransaction(&txn, db, item, vesting_delay_millis,
+                                     &follow_up)
+              .status());
+    }
+    return Status::OK();
+  });
+  QUICK_RETURN_IF_ERROR(st);
+  quick_->ExecuteFollowUp(db, follow_up);
+  return Status::OK();
+}
+
+std::unique_ptr<core::Consumer> Harness::MakeConsumer(
+    core::ConsumerConfig config, const std::string& id) {
+  return std::make_unique<core::Consumer>(quick_.get(), names_, &registry_,
+                                          config, id, &election_);
+}
+
+}  // namespace quick::wl

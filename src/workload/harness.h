@@ -1,0 +1,80 @@
+#ifndef QUICK_WORKLOAD_HARNESS_H_
+#define QUICK_WORKLOAD_HARNESS_H_
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "quick/consumer.h"
+#include "quick/quick.h"
+
+namespace quick::wl {
+
+/// Simulated-work job type registered by the harness.
+inline constexpr const char* kSimJobType = "sim_work";
+
+struct HarnessOptions {
+  int num_clusters = 1;
+  /// Injected FoundationDB latencies (zero by default; benches that model
+  /// the paper's 2-DC deployment pass LatencyModel::PaperLike()).
+  fdb::LatencyModel latency;
+  /// Service time each simulated work item burns (the paper used ~50 ms;
+  /// benches scale this down).
+  int64_t work_millis = 2;
+  /// GRV cache staleness for relaxed reads.
+  int64_t grv_cache_staleness_millis = 50;
+  /// Enqueue follow-up slack (QuickConfig::pointer_vesting_slack_millis),
+  /// scaled down with the rest of the time base.
+  int64_t pointer_vesting_slack_millis = 50;
+  uint64_t seed = 42;
+  std::string app = "bench";
+};
+
+/// Owns a full QuiCK deployment — clusters, CloudKit, QuiCK, job registry
+/// with a simulated-work handler, and the scanner-election cache — so
+/// benchmarks and examples set up in one line.
+class Harness {
+ public:
+  explicit Harness(const HarnessOptions& options);
+
+  core::Quick* quick() { return quick_.get(); }
+  ck::CloudKitService* cloudkit() { return ck_.get(); }
+  core::JobRegistry* registry() { return &registry_; }
+  core::LeaseCache* election() { return &election_; }
+  const std::vector<std::string>& cluster_names() const { return names_; }
+  const HarnessOptions& options() const { return options_; }
+
+  /// The logical database of simulated client `i` (one queue per client,
+  /// matching the paper's "150K distinct clients and one CloudKit app").
+  ck::DatabaseId ClientDb(int client) const {
+    return ck::DatabaseId::Private(options_.app,
+                                   "client" + std::to_string(client));
+  }
+
+  /// Enqueues `items` simulated work items for `client` in one transaction
+  /// (the paper's 1–4 tasks per enqueue).
+  Status EnqueueSim(int client, int items, int64_t vesting_delay_millis = 0);
+
+  /// New consumer over all clusters, wired to this harness's registry and
+  /// election cache.
+  std::unique_ptr<core::Consumer> MakeConsumer(core::ConsumerConfig config,
+                                               const std::string& id);
+
+  /// Total simulated work items executed so far.
+  int64_t WorkExecuted() const { return work_executed_.load(); }
+
+ private:
+  HarnessOptions options_;
+  std::unique_ptr<fdb::ClusterSet> clusters_;
+  std::vector<std::string> names_;
+  std::unique_ptr<ck::CloudKitService> ck_;
+  std::unique_ptr<core::Quick> quick_;
+  core::JobRegistry registry_;
+  core::LeaseCache election_;
+  std::atomic<int64_t> work_executed_{0};
+};
+
+}  // namespace quick::wl
+
+#endif  // QUICK_WORKLOAD_HARNESS_H_

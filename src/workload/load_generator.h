@@ -1,0 +1,202 @@
+#ifndef QUICK_WORKLOAD_LOAD_GENERATOR_H_
+#define QUICK_WORKLOAD_LOAD_GENERATOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "workload/harness.h"
+#include "workload/pareto.h"
+
+namespace quick::wl {
+
+struct LoadOptions {
+  /// Distinct simulated clients (each with its own queue zone).
+  int num_clients = 150;
+  /// Per-client enqueue rate for uniform load; the paper used one enqueue
+  /// per minute per client — benches compress time.
+  double rate_per_client_hz = 1.0;
+  /// Pareto-skewed per-client rates (Figure 6); aggregate rate unchanged.
+  bool skewed = false;
+  double pareto_alpha = 0.0;  // 0 = paper's log4(5)
+  /// Work items per enqueue transaction (Figure 4 varies 1/2/4).
+  int items_per_enqueue = 1;
+  int num_threads = 4;
+  uint64_t seed = 7;
+};
+
+/// Open-loop client-load generator: each simulated client enqueues on its
+/// own Poisson-ish schedule (fixed intervals with start-phase jitter),
+/// independent of consumer progress — the §8 client pool.
+class OpenLoopGenerator {
+ public:
+  OpenLoopGenerator(Harness* harness, const LoadOptions& options)
+      : harness_(harness), options_(options) {}
+
+  ~OpenLoopGenerator() { Stop(); }
+
+  void Start() {
+    bool expected = false;
+    if (!running_.compare_exchange_strong(expected, true)) return;
+    Random rng(options_.seed);
+    std::vector<double> rates;
+    if (options_.skewed) {
+      const double alpha =
+          options_.pareto_alpha > 0 ? options_.pareto_alpha : PaperAlpha();
+      rates = ParetoClientRates(options_.num_clients, alpha,
+                                options_.rate_per_client_hz, &rng);
+    } else {
+      rates.assign(options_.num_clients, options_.rate_per_client_hz);
+    }
+
+    // Shard clients across generator threads; each thread runs an
+    // earliest-deadline loop over its shard.
+    for (int t = 0; t < options_.num_threads; ++t) {
+      threads_.emplace_back([this, t, rates, seed = options_.seed + t] {
+        RunShard(t, rates, seed);
+      });
+    }
+  }
+
+  void Stop() {
+    running_.store(false);
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+  }
+
+  int64_t EnqueueOps() const { return enqueue_ops_.load(); }
+  int64_t ItemsEnqueued() const { return items_enqueued_.load(); }
+  int64_t Errors() const { return errors_.load(); }
+
+ private:
+  void RunShard(int shard, const std::vector<double>& rates, uint64_t seed) {
+    Random rng(seed);
+    Clock* clock = SystemClock::Default();
+    struct ClientState {
+      int client;
+      double interval_ms;
+      int64_t next_due;
+    };
+    std::vector<ClientState> shard_clients;
+    const int64_t now = clock->NowMillis();
+    for (int c = shard; c < options_.num_clients;
+         c += options_.num_threads) {
+      if (rates[c] <= 0) continue;
+      const double interval_ms = 1000.0 / rates[c];
+      // Random phase so the shard's clients do not fire in lockstep.
+      shard_clients.push_back(
+          {c, interval_ms,
+           now + static_cast<int64_t>(rng.NextDouble() * interval_ms)});
+    }
+    if (shard_clients.empty()) return;
+
+    while (running_.load()) {
+      // Earliest due client.
+      ClientState* next = &shard_clients[0];
+      for (ClientState& cs : shard_clients) {
+        if (cs.next_due < next->next_due) next = &cs;
+      }
+      const int64_t wait = next->next_due - clock->NowMillis();
+      if (wait > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(std::min<int64_t>(wait, 20)));
+        continue;  // re-check running_ regularly
+      }
+      Status st =
+          harness_->EnqueueSim(next->client, options_.items_per_enqueue);
+      if (st.ok()) {
+        enqueue_ops_.fetch_add(1, std::memory_order_relaxed);
+        items_enqueued_.fetch_add(options_.items_per_enqueue,
+                                  std::memory_order_relaxed);
+      } else {
+        errors_.fetch_add(1, std::memory_order_relaxed);
+      }
+      next->next_due += static_cast<int64_t>(next->interval_ms);
+      // If we fell behind, skip forward rather than bursting.
+      const int64_t now2 = clock->NowMillis();
+      if (next->next_due < now2) next->next_due = now2;
+    }
+  }
+
+  Harness* harness_;
+  LoadOptions options_;
+  std::atomic<bool> running_{false};
+  std::vector<std::thread> threads_;
+  std::atomic<int64_t> enqueue_ops_{0};
+  std::atomic<int64_t> items_enqueued_{0};
+  std::atomic<int64_t> errors_{0};
+};
+
+/// Closed-loop saturation feeder (Figure 4): keeps every client queue
+/// backlogged so consumer throughput — not offered load — is the
+/// bottleneck being measured.
+class SaturationFeeder {
+ public:
+  SaturationFeeder(Harness* harness, int num_clients, int items_per_enqueue,
+                   int num_threads = 4)
+      : harness_(harness),
+        num_clients_(num_clients),
+        items_per_enqueue_(items_per_enqueue),
+        num_threads_(num_threads) {}
+
+  ~SaturationFeeder() { Stop(); }
+
+  /// Target backlog per client before the feeder pauses.
+  void Start(int64_t backlog_target_per_client = 4) {
+    bool expected = false;
+    if (!running_.compare_exchange_strong(expected, true)) return;
+    backlog_target_ = backlog_target_per_client;
+    for (int t = 0; t < num_threads_; ++t) {
+      threads_.emplace_back([this, t] { RunShard(t); });
+    }
+  }
+
+  void Stop() {
+    running_.store(false);
+    for (auto& t : threads_) {
+      if (t.joinable()) t.join();
+    }
+    threads_.clear();
+  }
+
+  int64_t ItemsEnqueued() const { return items_enqueued_.load(); }
+
+ private:
+  void RunShard(int shard) {
+    while (running_.load()) {
+      bool fed_any = false;
+      for (int c = shard; c < num_clients_ && running_.load();
+           c += num_threads_) {
+        Result<int64_t> pending =
+            harness_->quick()->PendingCount(harness_->ClientDb(c));
+        if (!pending.ok()) continue;
+        if (*pending >= backlog_target_) continue;
+        if (harness_->EnqueueSim(c, items_per_enqueue_).ok()) {
+          items_enqueued_.fetch_add(items_per_enqueue_,
+                                    std::memory_order_relaxed);
+          fed_any = true;
+        }
+      }
+      if (!fed_any) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    }
+  }
+
+  Harness* harness_;
+  const int num_clients_;
+  const int items_per_enqueue_;
+  const int num_threads_;
+  int64_t backlog_target_ = 4;
+  std::atomic<bool> running_{false};
+  std::vector<std::thread> threads_;
+  std::atomic<int64_t> items_enqueued_{0};
+};
+
+}  // namespace quick::wl
+
+#endif  // QUICK_WORKLOAD_LOAD_GENERATOR_H_

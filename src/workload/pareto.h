@@ -1,0 +1,42 @@
+#ifndef QUICK_WORKLOAD_PARETO_H_
+#define QUICK_WORKLOAD_PARETO_H_
+
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "common/random.h"
+
+namespace quick::wl {
+
+/// The paper's skew parameter: α = log₄5 ≈ 1.161 (§8).
+inline double PaperAlpha() { return std::log(5.0) / std::log(4.0); }
+
+/// One Pareto(α, x_m = 1) sample via inverse transform.
+inline double SamplePareto(double alpha, Random* rng) {
+  double u = rng->NextDouble();
+  if (u <= 0.0) u = 1e-12;
+  return std::pow(u, -1.0 / alpha);
+}
+
+/// Per-client enqueue rates (events per second) for `n` clients whose
+/// frequencies follow a Pareto distribution, normalized so the aggregate
+/// rate equals n * base_rate_hz — the same offered load as a uniform
+/// workload, skewed across clients (§8 "Workload Generation").
+inline std::vector<double> ParetoClientRates(int n, double alpha,
+                                             double base_rate_hz,
+                                             Random* rng) {
+  std::vector<double> weights(n);
+  for (double& w : weights) w = SamplePareto(alpha, rng);
+  const double sum = std::accumulate(weights.begin(), weights.end(), 0.0);
+  std::vector<double> rates(n);
+  const double total_rate = base_rate_hz * n;
+  for (int i = 0; i < n; ++i) {
+    rates[i] = total_rate * weights[i] / sum;
+  }
+  return rates;
+}
+
+}  // namespace quick::wl
+
+#endif  // QUICK_WORKLOAD_PARETO_H_

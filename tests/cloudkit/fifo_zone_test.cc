@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "cloudkit/queue_zone.h"
+#include "fdb/database.h"
+#include "fdb/retry.h"
+
+namespace quick::ck {
+namespace {
+
+class FifoZoneTest : public ::testing::Test {
+ protected:
+  FifoZoneTest() {
+    fdb::Database::Options opts;
+    opts.clock = &clock_;
+    db_ = std::make_unique<fdb::Database>("fifo", opts);
+  }
+
+  Status WithZone(const std::function<Status(QueueZone&)>& body) {
+    return fdb::RunTransaction(db_.get(), [&](fdb::Transaction& txn) {
+      QueueZone zone(&txn, tup::Subspace(tup::Tuple().AddString("fz")),
+                     &clock_, /*fifo=*/true);
+      return body(zone);
+    });
+  }
+
+  std::string MustEnqueue(const std::string& id, int64_t priority = 0,
+                          int64_t delay = 0) {
+    std::string out;
+    Status st = WithZone([&](QueueZone& zone) {
+      QueuedItem item;
+      item.id = id;
+      item.job_type = "t";
+      item.priority = priority;
+      auto r = zone.Enqueue(item, delay);
+      QUICK_RETURN_IF_ERROR(r.status());
+      out = *r;
+      return Status::OK();
+    });
+    EXPECT_TRUE(st.ok()) << st;
+    return out;
+  }
+
+  std::vector<std::string> FifoIds() {
+    std::vector<std::string> ids;
+    EXPECT_TRUE(WithZone([&](QueueZone& zone) {
+                  auto items = zone.PeekFifo(100);
+                  QUICK_RETURN_IF_ERROR(items.status());
+                  ids.clear();
+                  for (const QueuedItem& item : *items) ids.push_back(item.id);
+                  return Status::OK();
+                }).ok());
+    return ids;
+  }
+
+  ManualClock clock_{1000};
+  std::unique_ptr<fdb::Database> db_;
+};
+
+TEST_F(FifoZoneTest, StrictEnqueueOrderIgnoringPriority) {
+  // Higher-priority items would jump the line under (priority, vesting)
+  // order; FIFO order is strictly by enqueue commit.
+  MustEnqueue("first", /*priority=*/9);
+  MustEnqueue("second", /*priority=*/0);
+  MustEnqueue("third", /*priority=*/5);
+  EXPECT_EQ(FifoIds(), (std::vector<std::string>{"first", "second", "third"}));
+}
+
+TEST_F(FifoZoneTest, OrderImmuneToClockSkew) {
+  // The §5 motivation: vesting times come from the enqueueing server's
+  // local clock, which may be skewed. Move the clock BACKWARD between
+  // enqueues: (priority, vesting) order would flip the two items; the
+  // commit-order view must not.
+  MustEnqueue("early");
+  clock_.AdvanceMillis(-500);  // skewed second server
+  MustEnqueue("late-with-skewed-clock");
+  clock_.AdvanceMillis(600);  // both items now vested
+  EXPECT_EQ(FifoIds(),
+            (std::vector<std::string>{"early", "late-with-skewed-clock"}));
+  // The vesting-ordered view is fooled by the skew — that is the point.
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                auto items = zone.Peek(10);
+                QUICK_RETURN_IF_ERROR(items.status());
+                EXPECT_EQ((*items)[0].id, "late-with-skewed-clock");
+                return Status::OK();
+              }).ok());
+}
+
+TEST_F(FifoZoneTest, LeaseDoesNotReorderArrival) {
+  MustEnqueue("a");
+  MustEnqueue("b");
+  // Lease + requeue "a": its vesting changes twice, its arrival stamp not.
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                return zone.ObtainLease("a", 1000).status();
+              }).ok());
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                return zone.Requeue("a", 0);
+              }).ok());
+  EXPECT_EQ(FifoIds(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST_F(FifoZoneTest, LeasedItemsHiddenFromFifoPeek) {
+  MustEnqueue("a");
+  MustEnqueue("b");
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                return zone.ObtainLease("a", 5000).status();
+              }).ok());
+  EXPECT_EQ(FifoIds(), (std::vector<std::string>{"b"}));
+}
+
+TEST_F(FifoZoneTest, DelayedItemsHiddenUntilVesting) {
+  MustEnqueue("now");
+  MustEnqueue("later", 0, /*delay=*/5000);
+  EXPECT_EQ(FifoIds(), (std::vector<std::string>{"now"}));
+  clock_.AdvanceMillis(5001);
+  EXPECT_EQ(FifoIds(), (std::vector<std::string>{"now", "later"}));
+}
+
+TEST_F(FifoZoneTest, DequeueFifoLeasesInOrder) {
+  MustEnqueue("a", 9);
+  MustEnqueue("b", 0);
+  MustEnqueue("c", 5);
+  std::vector<LeasedItem> leased;
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                auto batch = zone.DequeueFifo(2, 1000);
+                QUICK_RETURN_IF_ERROR(batch.status());
+                leased = *batch;
+                return Status::OK();
+              }).ok());
+  ASSERT_EQ(leased.size(), 2u);
+  EXPECT_EQ(leased[0].item.id, "a");
+  EXPECT_EQ(leased[1].item.id, "b");
+  EXPECT_EQ(FifoIds(), (std::vector<std::string>{"c"}));
+}
+
+TEST_F(FifoZoneTest, CompleteRemovesArrivalEntry) {
+  MustEnqueue("a");
+  MustEnqueue("b");
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) { return zone.Complete("a"); })
+                  .ok());
+  EXPECT_EQ(FifoIds(), (std::vector<std::string>{"b"}));
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                auto stamp = zone.ArrivalStamp("a");
+                QUICK_RETURN_IF_ERROR(stamp.status());
+                EXPECT_FALSE(stamp->has_value());
+                return Status::OK();
+              }).ok());
+}
+
+TEST_F(FifoZoneTest, ArrivalStampsAreMonotonic) {
+  MustEnqueue("a");
+  MustEnqueue("b");
+  std::string sa, sb;
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                QUICK_ASSIGN_OR_RETURN(auto a, zone.ArrivalStamp("a"));
+                QUICK_ASSIGN_OR_RETURN(auto b, zone.ArrivalStamp("b"));
+                sa = a.value_or("");
+                sb = b.value_or("");
+                return Status::OK();
+              }).ok());
+  ASSERT_FALSE(sa.empty());
+  ASSERT_FALSE(sb.empty());
+  EXPECT_LT(sa, sb);
+}
+
+TEST_F(FifoZoneTest, VestingOrderApisStillWork) {
+  // A FIFO zone also supports the regular (priority, vesting) API; both
+  // views coexist.
+  MustEnqueue("low", 9);
+  MustEnqueue("high", 0);
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                auto items = zone.Peek(10);
+                QUICK_RETURN_IF_ERROR(items.status());
+                EXPECT_EQ((*items)[0].id, "high");  // priority order
+                return Status::OK();
+              }).ok());
+  EXPECT_EQ(FifoIds()[0], "low");  // arrival order
+}
+
+}  // namespace
+}  // namespace quick::ck

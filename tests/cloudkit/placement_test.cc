@@ -1,0 +1,52 @@
+#include "cloudkit/placement.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace quick::ck {
+namespace {
+
+TEST(PlacementTest, AssignmentIsSticky) {
+  PlacementDirectory dir({"c1", "c2", "c3"});
+  DatabaseId id = DatabaseId::Private("app", "user1");
+  const std::string first = dir.AssignOrGet(id);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(dir.AssignOrGet(id), first);
+  }
+}
+
+TEST(PlacementTest, GetBeforeAssignIsEmpty) {
+  PlacementDirectory dir({"c1"});
+  EXPECT_FALSE(dir.Get(DatabaseId::Private("app", "u")).has_value());
+}
+
+TEST(PlacementTest, ClusterDbAlwaysPinned) {
+  PlacementDirectory dir({"c1", "c2"});
+  EXPECT_EQ(dir.AssignOrGet(DatabaseId::Cluster("c2")), "c2");
+  EXPECT_EQ(dir.Get(DatabaseId::Cluster("c1")).value(), "c1");
+  // Pinning does not consume an assignment slot.
+  EXPECT_EQ(dir.AssignmentCount(), 0u);
+}
+
+TEST(PlacementTest, SpreadsAcrossClusters) {
+  PlacementDirectory dir({"c1", "c2", "c3", "c4"});
+  std::set<std::string> used;
+  for (int i = 0; i < 200; ++i) {
+    used.insert(dir.AssignOrGet(
+        DatabaseId::Private("app", "user" + std::to_string(i))));
+  }
+  EXPECT_EQ(used.size(), 4u) << "hash placement should reach every cluster";
+}
+
+TEST(PlacementTest, SetOverridesAssignment) {
+  PlacementDirectory dir({"c1", "c2"});
+  DatabaseId id = DatabaseId::Private("app", "mover");
+  dir.AssignOrGet(id);
+  dir.Set(id, "c2");
+  EXPECT_EQ(dir.Get(id).value(), "c2");
+  EXPECT_EQ(dir.AssignOrGet(id), "c2");
+}
+
+}  // namespace
+}  // namespace quick::ck

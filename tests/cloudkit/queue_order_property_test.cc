@@ -1,0 +1,108 @@
+// Parameterized property sweep: for random mixes of priorities and vesting
+// delays, Peek returns exactly the vested items sorted by (priority,
+// vesting time), and PeekIds agrees with Peek — the §5 ordering contract.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cloudkit/queue_zone.h"
+#include "common/random.h"
+#include "fdb/database.h"
+#include "fdb/retry.h"
+
+namespace quick::ck {
+namespace {
+
+struct SweepCase {
+  uint64_t seed;
+  int num_items;
+  int priority_levels;
+  int64_t max_delay;
+};
+
+class QueueOrderPropertyTest : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(QueueOrderPropertyTest, PeekOrderMatchesSortedModel) {
+  const SweepCase& param = GetParam();
+  Random rng(param.seed);
+  ManualClock clock(500000);
+  fdb::Database::Options opts;
+  opts.clock = &clock;
+  fdb::Database db("sweep", opts);
+  const tup::Subspace subspace(tup::Tuple().AddString("q"));
+
+  struct Model {
+    std::string id;
+    int64_t priority;
+    int64_t vesting;
+  };
+  std::vector<Model> model;
+
+  for (int i = 0; i < param.num_items; ++i) {
+    const int64_t priority =
+        static_cast<int64_t>(rng.Uniform(param.priority_levels));
+    const int64_t delay = static_cast<int64_t>(rng.Uniform(param.max_delay));
+    std::string id = "item" + std::to_string(i);
+    Status st = fdb::RunTransaction(&db, [&](fdb::Transaction& txn) {
+      QueueZone zone(&txn, subspace, &clock);
+      QueuedItem item;
+      item.id = id;
+      item.job_type = "sweep";
+      item.priority = priority;
+      return zone.Enqueue(item, delay).status();
+    });
+    ASSERT_TRUE(st.ok());
+    model.push_back({id, priority, clock.NowMillis() + delay});
+    // Occasionally advance time so enqueue order and vesting diverge.
+    if (rng.Bernoulli(0.3)) {
+      clock.AdvanceMillis(static_cast<int64_t>(rng.Uniform(50)));
+    }
+  }
+
+  // Advance to a random observation point.
+  clock.AdvanceMillis(static_cast<int64_t>(rng.Uniform(param.max_delay)));
+  const int64_t now = clock.NowMillis();
+
+  // Reference: vested items sorted by (priority, vesting, id-as-tiebreak).
+  std::vector<Model> expected;
+  for (const Model& m : model) {
+    if (m.vesting <= now) expected.push_back(m);
+  }
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const Model& a, const Model& b) {
+                     return std::tie(a.priority, a.vesting, a.id) <
+                            std::tie(b.priority, b.vesting, b.id);
+                   });
+
+  Status st = fdb::RunTransaction(&db, [&](fdb::Transaction& txn) {
+    QueueZone zone(&txn, subspace, &clock);
+    QUICK_ASSIGN_OR_RETURN(std::vector<QueuedItem> peeked, zone.Peek(0));
+    EXPECT_EQ(peeked.size(), expected.size());
+    for (size_t i = 0; i < std::min(peeked.size(), expected.size()); ++i) {
+      EXPECT_EQ(peeked[i].id, expected[i].id) << "position " << i;
+      EXPECT_EQ(peeked[i].priority, expected[i].priority);
+    }
+    // PeekIds agrees with Peek.
+    QUICK_ASSIGN_OR_RETURN(std::vector<std::string> ids, zone.PeekIds(0));
+    EXPECT_EQ(ids.size(), peeked.size());
+    for (size_t i = 0; i < std::min(ids.size(), peeked.size()); ++i) {
+      EXPECT_EQ(ids[i], peeked[i].id);
+    }
+    // Count index equals total items regardless of vesting.
+    QUICK_ASSIGN_OR_RETURN(int64_t count, zone.Count());
+    EXPECT_EQ(count, static_cast<int64_t>(model.size()));
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, QueueOrderPropertyTest,
+    ::testing::Values(SweepCase{1, 20, 1, 100}, SweepCase{2, 20, 3, 100},
+                      SweepCase{3, 50, 5, 1000}, SweepCase{4, 50, 1, 1000},
+                      SweepCase{5, 100, 10, 500}, SweepCase{6, 100, 2, 2000},
+                      SweepCase{7, 5, 5, 10}, SweepCase{8, 200, 4, 300}));
+
+}  // namespace
+}  // namespace quick::ck

@@ -1,0 +1,466 @@
+#include "cloudkit/queue_zone.h"
+
+#include <gtest/gtest.h>
+
+#include "fdb/database.h"
+#include "fdb/retry.h"
+
+namespace quick::ck {
+namespace {
+
+class QueueZoneTest : public ::testing::Test {
+ protected:
+  QueueZoneTest() {
+    fdb::Database::Options opts;
+    opts.clock = &clock_;
+    db_ = std::make_unique<fdb::Database>("qz", opts);
+  }
+
+  /// Runs `body` with a QueueZone in a committed transaction.
+  Status WithZone(const std::function<Status(QueueZone&)>& body) {
+    return fdb::RunTransaction(db_.get(), [&](fdb::Transaction& txn) {
+      QueueZone zone(&txn, tup::Subspace(tup::Tuple().AddString("qz")),
+                     &clock_);
+      return body(zone);
+    });
+  }
+
+  std::string MustEnqueue(int64_t delay_ms, int64_t priority = 0,
+                          const std::string& id = "") {
+    std::string out_id;
+    Status st = WithZone([&](QueueZone& zone) {
+      QueuedItem item;
+      item.id = id;
+      item.job_type = "test";
+      item.priority = priority;
+      item.payload = "payload";
+      auto r = zone.Enqueue(item, delay_ms);
+      QUICK_RETURN_IF_ERROR(r.status());
+      out_id = *r;
+      return Status::OK();
+    });
+    EXPECT_TRUE(st.ok()) << st;
+    return out_id;
+  }
+
+  ManualClock clock_{1000000};
+  std::unique_ptr<fdb::Database> db_;
+};
+
+TEST_F(QueueZoneTest, EnqueueGeneratesIdAndSetsVesting) {
+  const std::string id = MustEnqueue(500);
+  EXPECT_EQ(id.size(), 32u);
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                auto item = zone.Load(id);
+                QUICK_RETURN_IF_ERROR(item.status());
+                EXPECT_TRUE(item->has_value());
+                EXPECT_EQ((*item)->vesting_time, clock_.NowMillis() + 500);
+                EXPECT_EQ((*item)->enqueue_time, clock_.NowMillis());
+                EXPECT_FALSE((*item)->leased());
+                return Status::OK();
+              }).ok());
+}
+
+TEST_F(QueueZoneTest, EnqueueWithClientIdIsIdempotentKey) {
+  EXPECT_EQ(MustEnqueue(0, 0, "my-id"), "my-id");
+  // Re-enqueueing the same id overwrites rather than duplicating.
+  EXPECT_EQ(MustEnqueue(0, 0, "my-id"), "my-id");
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                EXPECT_EQ(zone.Count().value(), 1);
+                return Status::OK();
+              }).ok());
+}
+
+TEST_F(QueueZoneTest, PeekReturnsOnlyVestedItems) {
+  MustEnqueue(0);
+  MustEnqueue(5000);  // delayed
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                auto items = zone.Peek(10);
+                QUICK_RETURN_IF_ERROR(items.status());
+                EXPECT_EQ(items->size(), 1u);
+                return Status::OK();
+              }).ok());
+  clock_.AdvanceMillis(5001);
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                EXPECT_EQ(zone.Peek(10)->size(), 2u);
+                return Status::OK();
+              }).ok());
+}
+
+TEST_F(QueueZoneTest, PeekOrdersByPriorityThenVesting) {
+  const std::string low = MustEnqueue(0, /*priority=*/5, "low");
+  clock_.AdvanceMillis(10);
+  const std::string high_late = MustEnqueue(0, /*priority=*/1, "high_late");
+  clock_.AdvanceMillis(10);
+  const std::string high_early = MustEnqueue(0, /*priority=*/1, "high_early");
+  // high_late enqueued before high_early, so it vests earlier.
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                auto items = zone.Peek(10);
+                QUICK_RETURN_IF_ERROR(items.status());
+                EXPECT_EQ(items->size(), 3u);
+                if (items->size() != 3u) return Status::Internal("unexpected size");
+                EXPECT_EQ((*items)[0].id, "high_late");
+                EXPECT_EQ((*items)[1].id, "high_early");
+                EXPECT_EQ((*items)[2].id, "low");
+                return Status::OK();
+              }).ok());
+}
+
+TEST_F(QueueZoneTest, PeekRespectsMaxItemsAndPredicate) {
+  for (int i = 0; i < 5; ++i) MustEnqueue(0, 0, "item" + std::to_string(i));
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                EXPECT_EQ(zone.Peek(3)->size(), 3u);
+                auto filtered = zone.Peek(10, [](const QueuedItem& item) {
+                  return item.id == "item2";
+                });
+                QUICK_RETURN_IF_ERROR(filtered.status());
+                EXPECT_EQ(filtered->size(), 1u);
+                return Status::OK();
+              }).ok());
+}
+
+TEST_F(QueueZoneTest, PeekIdsMatchesPeek) {
+  MustEnqueue(0, 2, "b");
+  MustEnqueue(0, 1, "a");
+  MustEnqueue(9999, 0, "delayed");
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                auto ids = zone.PeekIds(10);
+                QUICK_RETURN_IF_ERROR(ids.status());
+                EXPECT_EQ(ids->size(), 2u);
+                if (ids->size() != 2u) return Status::Internal("unexpected size");
+                EXPECT_EQ((*ids)[0], "a");
+                EXPECT_EQ((*ids)[1], "b");
+                return Status::OK();
+              }).ok());
+}
+
+TEST_F(QueueZoneTest, ObtainLeaseHidesItem) {
+  const std::string id = MustEnqueue(0);
+  std::string lease;
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                auto l = zone.ObtainLease(id, 1000);
+                QUICK_RETURN_IF_ERROR(l.status());
+                lease = *l;
+                return Status::OK();
+              }).ok());
+  EXPECT_EQ(lease.size(), 32u);
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                EXPECT_TRUE(zone.Peek(10)->empty());
+                auto item = zone.Load(id);
+                EXPECT_EQ((*item)->lease_id, lease);
+                EXPECT_EQ((*item)->vesting_time, clock_.NowMillis() + 1000);
+                return Status::OK();
+              }).ok());
+}
+
+TEST_F(QueueZoneTest, ObtainLeaseFailsWhileLeased) {
+  const std::string id = MustEnqueue(0);
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                return zone.ObtainLease(id, 1000).status();
+              }).ok());
+  Status st = WithZone(
+      [&](QueueZone& zone) { return zone.ObtainLease(id, 1000).status(); });
+  EXPECT_TRUE(st.IsLeaseLost());
+}
+
+TEST_F(QueueZoneTest, ExpiredLeaseCanBeTakenOver) {
+  const std::string id = MustEnqueue(0);
+  std::string lease1;
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                auto l = zone.ObtainLease(id, 1000);
+                QUICK_RETURN_IF_ERROR(l.status());
+                lease1 = *l;
+                return Status::OK();
+              }).ok());
+  clock_.AdvanceMillis(1001);  // lease expires
+  std::string lease2;
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                auto l = zone.ObtainLease(id, 1000);
+                QUICK_RETURN_IF_ERROR(l.status());
+                lease2 = *l;
+                return Status::OK();
+              }).ok());
+  EXPECT_NE(lease1, lease2);
+}
+
+TEST_F(QueueZoneTest, ObtainLeaseOnMissingItemIsNotFound) {
+  Status st = WithZone([&](QueueZone& zone) {
+    return zone.ObtainLease("ghost", 1000).status();
+  });
+  EXPECT_TRUE(st.IsNotFound());
+}
+
+TEST_F(QueueZoneTest, CompleteWithValidLeaseDeletes) {
+  const std::string id = MustEnqueue(0);
+  std::string lease;
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                auto l = zone.ObtainLease(id, 1000);
+                QUICK_RETURN_IF_ERROR(l.status());
+                lease = *l;
+                return Status::OK();
+              }).ok());
+  ASSERT_TRUE(
+      WithZone([&](QueueZone& zone) { return zone.Complete(id, lease); })
+          .ok());
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                EXPECT_FALSE(zone.Load(id)->has_value());
+                EXPECT_EQ(zone.Count().value(), 0);
+                return Status::OK();
+              }).ok());
+}
+
+TEST_F(QueueZoneTest, CompleteWithStaleLeaseFails) {
+  const std::string id = MustEnqueue(0);
+  std::string lease1;
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                auto l = zone.ObtainLease(id, 1000);
+                lease1 = l.value();
+                return Status::OK();
+              }).ok());
+  clock_.AdvanceMillis(1001);
+  // Someone else takes over.
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                return zone.ObtainLease(id, 1000).status();
+              }).ok());
+  Status st =
+      WithZone([&](QueueZone& zone) { return zone.Complete(id, lease1); });
+  EXPECT_TRUE(st.IsLeaseLost());
+}
+
+TEST_F(QueueZoneTest, CompleteWithoutLeaseCancels) {
+  const std::string id = MustEnqueue(0);
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                return zone.ObtainLease(id, 1000).status();
+              }).ok());
+  // Cancellation ignores the lease.
+  ASSERT_TRUE(
+      WithZone([&](QueueZone& zone) { return zone.Complete(id); }).ok());
+}
+
+TEST_F(QueueZoneTest, CompleteMissingIsNotFound) {
+  Status st = WithZone([&](QueueZone& zone) { return zone.Complete("ghost"); });
+  EXPECT_TRUE(st.IsNotFound());
+}
+
+TEST_F(QueueZoneTest, ExtendLeaseWhileHeld) {
+  const std::string id = MustEnqueue(0);
+  std::string lease;
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                lease = zone.ObtainLease(id, 1000).value();
+                return Status::OK();
+              }).ok());
+  clock_.AdvanceMillis(900);
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                return zone.ExtendLease(id, lease, 1000);
+              }).ok());
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                EXPECT_EQ(zone.Load(id).value()->vesting_time,
+                          clock_.NowMillis() + 1000);
+                return Status::OK();
+              }).ok());
+}
+
+TEST_F(QueueZoneTest, ExtendLeaseAfterExpiryIfNotRetaken) {
+  const std::string id = MustEnqueue(0);
+  std::string lease;
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                lease = zone.ObtainLease(id, 1000).value();
+                return Status::OK();
+              }).ok());
+  clock_.AdvanceMillis(5000);  // expired, but nobody re-leased
+  EXPECT_TRUE(WithZone([&](QueueZone& zone) {
+                return zone.ExtendLease(id, lease, 1000);
+              }).ok());
+}
+
+TEST_F(QueueZoneTest, ExtendLeaseFailsAfterTakeover) {
+  const std::string id = MustEnqueue(0);
+  std::string lease1;
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                lease1 = zone.ObtainLease(id, 1000).value();
+                return Status::OK();
+              }).ok());
+  clock_.AdvanceMillis(1001);
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                return zone.ObtainLease(id, 1000).status();
+              }).ok());
+  Status st = WithZone(
+      [&](QueueZone& zone) { return zone.ExtendLease(id, lease1, 1000); });
+  EXPECT_TRUE(st.IsLeaseLost());
+}
+
+TEST_F(QueueZoneTest, RequeueSetsVestingAndErrorCount) {
+  const std::string id = MustEnqueue(0);
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                return zone.ObtainLease(id, 1000).status();
+              }).ok());
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                return zone.Requeue(id, 2000);
+              }).ok());
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                auto item = zone.Load(id);
+                EXPECT_EQ((*item)->error_count, 1);
+                EXPECT_EQ((*item)->vesting_time, clock_.NowMillis() + 2000);
+                EXPECT_FALSE((*item)->leased());  // requeue releases leases
+                return Status::OK();
+              }).ok());
+}
+
+TEST_F(QueueZoneTest, RequeueWithoutErrorIncrement) {
+  const std::string id = MustEnqueue(0);
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                return zone.Requeue(id, 0, /*increment_error_count=*/false);
+              }).ok());
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                EXPECT_EQ(zone.Load(id).value()->error_count, 0);
+                return Status::OK();
+              }).ok());
+}
+
+TEST_F(QueueZoneTest, DequeueLeasesBatch) {
+  for (int i = 0; i < 5; ++i) MustEnqueue(0, 0, "i" + std::to_string(i));
+  std::vector<LeasedItem> leased;
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                auto batch = zone.Dequeue(3, 1000);
+                QUICK_RETURN_IF_ERROR(batch.status());
+                leased = *batch;
+                return Status::OK();
+              }).ok());
+  ASSERT_EQ(leased.size(), 3u);
+  // Leased items hidden; two remain.
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                EXPECT_EQ(zone.Peek(10)->size(), 2u);
+                return Status::OK();
+              }).ok());
+  // Every lease valid for completion.
+  for (const LeasedItem& li : leased) {
+    EXPECT_TRUE(WithZone([&](QueueZone& zone) {
+                  return zone.Complete(li.item.id, li.lease_id);
+                }).ok());
+  }
+}
+
+TEST_F(QueueZoneTest, CountTracksEnqueueAndComplete) {
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                EXPECT_EQ(zone.Count().value(), 0);
+                return Status::OK();
+              }).ok());
+  const std::string a = MustEnqueue(0);
+  MustEnqueue(1000);
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                EXPECT_EQ(zone.Count().value(), 2);
+                return Status::OK();
+              }).ok());
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) { return zone.Complete(a); }).ok());
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                EXPECT_EQ(zone.Count().value(), 1);
+                return Status::OK();
+              }).ok());
+}
+
+TEST_F(QueueZoneTest, MinVestingTimeIncludesUnvested) {
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                EXPECT_FALSE(zone.MinVestingTime().value().has_value());
+                return Status::OK();
+              }).ok());
+  MustEnqueue(5000);
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                EXPECT_EQ(zone.MinVestingTime().value().value(),
+                          clock_.NowMillis() + 5000);
+                return Status::OK();
+              }).ok());
+}
+
+TEST_F(QueueZoneTest, MinVestingTimeIsTrueMinimumAcrossPriorities) {
+  // Regression: the (priority, vesting) index's FIRST entry is not the
+  // minimum vesting when priorities differ — a high-priority leased item
+  // must not hide an already-vested low-priority one.
+  MustEnqueue(/*delay=*/5000, /*priority=*/0, "high-but-late");
+  MustEnqueue(/*delay=*/100, /*priority=*/9, "low-but-soon");
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                EXPECT_EQ(zone.MinVestingTime().value().value(),
+                          clock_.NowMillis() + 100);
+                return Status::OK();
+              }).ok());
+}
+
+TEST_F(QueueZoneTest, IsEmptyReflectsContents) {
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                EXPECT_TRUE(zone.IsEmpty().value());
+                return Status::OK();
+              }).ok());
+  const std::string id = MustEnqueue(0);
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                EXPECT_FALSE(zone.IsEmpty().value());
+                return zone.Complete(id);
+              }).ok());
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                EXPECT_TRUE(zone.IsEmpty().value());
+                return Status::OK();
+              }).ok());
+}
+
+TEST_F(QueueZoneTest, AtomicBatchEnqueue) {
+  // Multiple enqueues in one transaction commit or abort together — the
+  // transactional batch the related-work section contrasts with SQS.
+  Status st = WithZone([&](QueueZone& zone) {
+    for (int i = 0; i < 4; ++i) {
+      QueuedItem item;
+      item.job_type = "batch";
+      QUICK_RETURN_IF_ERROR(zone.Enqueue(item, 0).status());
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  ASSERT_TRUE(WithZone([&](QueueZone& zone) {
+                EXPECT_EQ(zone.Count().value(), 4);
+                return Status::OK();
+              }).ok());
+}
+
+TEST_F(QueueZoneTest, DequeueProcessCompleteInOneTransaction) {
+  // §5: consume an item and write its database side effect atomically —
+  // exactly-once when effects stay in the same cluster.
+  const std::string id = MustEnqueue(0);
+  Status st = fdb::RunTransaction(db_.get(), [&](fdb::Transaction& txn) {
+    QueueZone zone(&txn, tup::Subspace(tup::Tuple().AddString("qz")), &clock_);
+    auto batch = zone.Dequeue(1, 1000);
+    QUICK_RETURN_IF_ERROR(batch.status());
+    if (batch->empty()) return Status::Internal("item missing");
+    txn.Set("side-effect", (*batch)[0].item.id);
+    return zone.Complete((*batch)[0].item.id, (*batch)[0].lease_id);
+  });
+  ASSERT_TRUE(st.ok());
+  // Both the side effect and the deletion are visible.
+  Status check = fdb::RunTransaction(db_.get(), [&](fdb::Transaction& txn) {
+    auto v = txn.Get("side-effect");
+    QUICK_RETURN_IF_ERROR(v.status());
+    EXPECT_EQ(v.value().value(), id);
+    QueueZone zone(&txn, tup::Subspace(tup::Tuple().AddString("qz")), &clock_);
+    EXPECT_TRUE(zone.IsEmpty().value());
+    return Status::OK();
+  });
+  ASSERT_TRUE(check.ok());
+}
+
+TEST_F(QueueZoneTest, ConcurrentEnqueuesDoNotConflict) {
+  // §2 "Low overhead": enqueues write distinct keys, so two enqueue
+  // transactions into the same zone commit without aborting each other.
+  fdb::Transaction t1 = db_->CreateTransaction();
+  fdb::Transaction t2 = db_->CreateTransaction();
+  {
+    QueueZone z1(&t1, tup::Subspace(tup::Tuple().AddString("qz")), &clock_);
+    QueueZone z2(&t2, tup::Subspace(tup::Tuple().AddString("qz")), &clock_);
+    QueuedItem a;
+    a.job_type = "t";
+    QueuedItem b;
+    b.job_type = "t";
+    ASSERT_TRUE(z1.Enqueue(a, 0).ok());
+    ASSERT_TRUE(z2.Enqueue(b, 0).ok());
+  }
+  EXPECT_TRUE(t1.Commit().ok());
+  EXPECT_TRUE(t2.Commit().ok());
+}
+
+}  // namespace
+}  // namespace quick::ck

@@ -1,0 +1,159 @@
+#include "cloudkit/service.h"
+
+#include <gtest/gtest.h>
+
+#include "fdb/retry.h"
+
+namespace quick::ck {
+namespace {
+
+class ServiceTest : public ::testing::Test {
+ protected:
+  ServiceTest() {
+    fdb::Database::Options opts;
+    opts.clock = &clock_;
+    clusters_ = std::make_unique<fdb::ClusterSet>(opts);
+    clusters_->AddCluster("east");
+    clusters_->AddCluster("west");
+    service_ = std::make_unique<CloudKitService>(clusters_.get(), &clock_);
+  }
+
+  ManualClock clock_{5000};
+  std::unique_ptr<fdb::ClusterSet> clusters_;
+  std::unique_ptr<CloudKitService> service_;
+};
+
+TEST_F(ServiceTest, OpenDatabaseAssignsCluster) {
+  DatabaseRef ref = service_->OpenDatabase(DatabaseId::Private("app", "u1"));
+  ASSERT_NE(ref.cluster, nullptr);
+  EXPECT_TRUE(ref.cluster->name() == "east" || ref.cluster->name() == "west");
+  // Sticky.
+  DatabaseRef again = service_->OpenDatabase(DatabaseId::Private("app", "u1"));
+  EXPECT_EQ(again.cluster, ref.cluster);
+}
+
+TEST_F(ServiceTest, ClusterDbPinned) {
+  DatabaseRef ref = service_->OpenClusterDb("west");
+  EXPECT_EQ(ref.cluster->name(), "west");
+  EXPECT_EQ(ref.id.kind, DatabaseKind::kCluster);
+}
+
+TEST_F(ServiceTest, DistinctDatabasesDistinctSubspaces) {
+  DatabaseRef a = service_->OpenDatabase(DatabaseId::Private("app", "u1"));
+  DatabaseRef b = service_->OpenDatabase(DatabaseId::Private("app", "u2"));
+  EXPECT_FALSE(a.subspace.Range().Intersects(b.subspace.Range()));
+  EXPECT_FALSE(a.ZoneSubspace("z").Range().Intersects(
+      b.ZoneSubspace("z").Range()));
+  // Same database, different zones are disjoint too.
+  EXPECT_FALSE(a.ZoneSubspace("z1").Range().Intersects(
+      a.ZoneSubspace("z2").Range()));
+}
+
+TEST_F(ServiceTest, QueueZoneUsableThroughService) {
+  DatabaseRef db = service_->OpenDatabase(DatabaseId::Private("app", "u1"));
+  Status st = fdb::RunTransaction(db.cluster, [&](fdb::Transaction& txn) {
+    QueueZone zone = service_->OpenQueueZone(db, "tasks", &txn);
+    QueuedItem item;
+    item.job_type = "push";
+    return zone.Enqueue(item, 0).status();
+  });
+  ASSERT_TRUE(st.ok());
+  st = fdb::RunTransaction(db.cluster, [&](fdb::Transaction& txn) {
+    QueueZone zone = service_->OpenQueueZone(db, "tasks", &txn);
+    EXPECT_EQ(zone.Count().value(), 1);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+}
+
+TEST_F(ServiceTest, CrossDatabaseTransactionWithinCluster) {
+  // The CloudKit extension QuiCK required: one transaction spanning a user
+  // database and the ClusterDB on the same cluster.
+  DatabaseRef user_db = service_->OpenDatabase(DatabaseId::Private("app", "u1"));
+  DatabaseRef cluster_db = service_->OpenClusterDb(user_db.cluster->name());
+  ASSERT_EQ(user_db.cluster, cluster_db.cluster);
+
+  Status st = fdb::RunTransaction(user_db.cluster, [&](fdb::Transaction& txn) {
+    QueueZone user_zone = service_->OpenQueueZone(user_db, "tasks", &txn);
+    QueueZone top_zone = service_->OpenQueueZone(cluster_db, "q", &txn);
+    QueuedItem work;
+    work.job_type = "w";
+    QUICK_RETURN_IF_ERROR(user_zone.Enqueue(work, 0).status());
+    QueuedItem pointer;
+    pointer.job_type = kPointerJobType;
+    pointer.id = "ptr1";
+    return top_zone.Enqueue(pointer, 0).status();
+  });
+  ASSERT_TRUE(st.ok());
+
+  st = fdb::RunTransaction(user_db.cluster, [&](fdb::Transaction& txn) {
+    QueueZone user_zone = service_->OpenQueueZone(user_db, "tasks", &txn);
+    QueueZone top_zone = service_->OpenQueueZone(cluster_db, "q", &txn);
+    EXPECT_EQ(user_zone.Count().value(), 1);
+    EXPECT_EQ(top_zone.Count().value(), 1);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+}
+
+TEST_F(ServiceTest, CopyDatabaseDataMovesAllKeys) {
+  DatabaseId id = DatabaseId::Private("app", "mover");
+  DatabaseRef src = service_->OpenDatabase(id);
+  const std::string src_cluster = src.cluster->name();
+  const std::string dst_cluster = src_cluster == "east" ? "west" : "east";
+
+  // Write enough data to require several copy pages.
+  Status st = Status::OK();
+  for (int batch = 0; batch < 3 && st.ok(); ++batch) {
+    st = fdb::RunTransaction(src.cluster, [&](fdb::Transaction& txn) {
+      for (int i = 0; i < 200; ++i) {
+        const int n = batch * 200 + i;
+        txn.Set(src.subspace.Pack(tup::Tuple().AddInt(n)),
+                "v" + std::to_string(n));
+      }
+      return Status::OK();
+    });
+  }
+  ASSERT_TRUE(st.ok());
+
+  ASSERT_TRUE(service_->CopyDatabaseData(id, dst_cluster).ok());
+
+  fdb::Database* dst = clusters_->Get(dst_cluster);
+  st = fdb::RunTransaction(dst, [&](fdb::Transaction& txn) {
+    auto kvs = txn.GetRange(src.subspace.Range());
+    QUICK_RETURN_IF_ERROR(kvs.status());
+    EXPECT_EQ(kvs->size(), 600u);
+    EXPECT_EQ((*kvs)[0].value, "v0");
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+
+  // Source untouched until deletion.
+  st = fdb::RunTransaction(src.cluster, [&](fdb::Transaction& txn) {
+    auto kvs = txn.GetRange(src.subspace.Range());
+    EXPECT_EQ(kvs->size(), 600u);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+
+  ASSERT_TRUE(service_->DeleteDatabaseData(id, src_cluster).ok());
+  st = fdb::RunTransaction(src.cluster, [&](fdb::Transaction& txn) {
+    auto kvs = txn.GetRange(src.subspace.Range());
+    EXPECT_TRUE(kvs->empty());
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+
+  service_->CommitMove(id, dst_cluster);
+  EXPECT_EQ(service_->OpenDatabase(id).cluster, dst);
+}
+
+TEST_F(ServiceTest, CopyUnplacedDatabaseFails) {
+  EXPECT_TRUE(service_
+                  ->CopyDatabaseData(DatabaseId::Private("app", "ghost"),
+                                     "west")
+                  .IsNotFound());
+}
+
+}  // namespace
+}  // namespace quick::ck

@@ -1,0 +1,166 @@
+#include "cloudkit/zone_catalog.h"
+
+#include <gtest/gtest.h>
+
+#include "fdb/retry.h"
+
+namespace quick::ck {
+namespace {
+
+class ZoneCatalogTest : public ::testing::Test {
+ protected:
+  ZoneCatalogTest() {
+    fdb::Database::Options opts;
+    opts.clock = &clock_;
+    clusters_ = std::make_unique<fdb::ClusterSet>(opts);
+    clusters_->AddCluster("c1");
+    ck_ = std::make_unique<CloudKitService>(clusters_.get(), &clock_);
+    db_ = ck_->OpenDatabase(DatabaseId::Private("app", "u1"));
+  }
+
+  Status WithCatalog(const std::function<Status(ZoneCatalog&)>& body) {
+    return fdb::RunTransaction(db_.cluster, [&](fdb::Transaction& txn) {
+      ZoneCatalog catalog(&txn, db_, &clock_);
+      return body(catalog);
+    });
+  }
+
+  ManualClock clock_{3000};
+  std::unique_ptr<fdb::ClusterSet> clusters_;
+  std::unique_ptr<CloudKitService> ck_;
+  DatabaseRef db_;
+};
+
+TEST_F(ZoneCatalogTest, CreateAndLookup) {
+  ASSERT_TRUE(WithCatalog([](ZoneCatalog& c) {
+                return c.CreateZone("docs", ZoneType::kRegular);
+              }).ok());
+  ASSERT_TRUE(WithCatalog([](ZoneCatalog& c) {
+                EXPECT_EQ(c.GetZoneType("docs").value().value(),
+                          ZoneType::kRegular);
+                EXPECT_FALSE(c.GetZoneType("ghost").value().has_value());
+                return Status::OK();
+              }).ok());
+}
+
+TEST_F(ZoneCatalogTest, DuplicateCreateRejected) {
+  ASSERT_TRUE(WithCatalog([](ZoneCatalog& c) {
+                return c.CreateZone("tasks", ZoneType::kQueue);
+              }).ok());
+  // Same name, same or different type: a zone's designation is permanent.
+  EXPECT_TRUE(WithCatalog([](ZoneCatalog& c) {
+                return c.CreateZone("tasks", ZoneType::kQueue);
+              }).IsAlreadyExists());
+  EXPECT_TRUE(WithCatalog([](ZoneCatalog& c) {
+                return c.CreateZone("tasks", ZoneType::kRegular);
+              }).IsAlreadyExists());
+}
+
+TEST_F(ZoneCatalogTest, EmptyNameRejected) {
+  EXPECT_FALSE(WithCatalog([](ZoneCatalog& c) {
+                 return c.CreateZone("", ZoneType::kQueue);
+               }).ok());
+}
+
+TEST_F(ZoneCatalogTest, ListZonesOrdered) {
+  ASSERT_TRUE(WithCatalog([](ZoneCatalog& c) {
+                QUICK_RETURN_IF_ERROR(c.CreateZone("b", ZoneType::kQueue));
+                QUICK_RETURN_IF_ERROR(c.CreateZone("a", ZoneType::kRegular));
+                return c.CreateZone("c", ZoneType::kFifoQueue);
+              }).ok());
+  ASSERT_TRUE(WithCatalog([](ZoneCatalog& c) {
+                auto zones = c.ListZones();
+                QUICK_RETURN_IF_ERROR(zones.status());
+                EXPECT_EQ(zones->size(), 3u);
+                EXPECT_EQ((*zones)[0].first, "a");
+                EXPECT_EQ((*zones)[1].first, "b");
+                EXPECT_EQ((*zones)[2].first, "c");
+                EXPECT_EQ((*zones)[2].second, ZoneType::kFifoQueue);
+                return Status::OK();
+              }).ok());
+}
+
+TEST_F(ZoneCatalogTest, OpenQueueZoneHonoursType) {
+  ASSERT_TRUE(WithCatalog([](ZoneCatalog& c) {
+                QUICK_RETURN_IF_ERROR(c.CreateZone("plain", ZoneType::kQueue));
+                QUICK_RETURN_IF_ERROR(
+                    c.CreateZone("ordered", ZoneType::kFifoQueue));
+                return c.CreateZone("docs", ZoneType::kRegular);
+              }).ok());
+
+  // FIFO zones opened through the catalog support the FIFO view; plain
+  // queue zones are the default schema. (Enqueue and peek run in separate
+  // transactions: versionstamped arrival entries only materialize at
+  // commit, so they are invisible to read-your-writes.)
+  ASSERT_TRUE(WithCatalog([&](ZoneCatalog& c) {
+                QUICK_ASSIGN_OR_RETURN(QueueZone zone,
+                                       c.OpenQueueZone("ordered"));
+                QueuedItem item;
+                item.id = "x";
+                item.job_type = "t";
+                return zone.Enqueue(item, 0).status();
+              }).ok());
+  ASSERT_TRUE(WithCatalog([&](ZoneCatalog& c) {
+                QUICK_ASSIGN_OR_RETURN(QueueZone zone,
+                                       c.OpenQueueZone("ordered"));
+                auto fifo = zone.PeekFifo(10);
+                QUICK_RETURN_IF_ERROR(fifo.status());
+                EXPECT_EQ(fifo->size(), 1u);
+                return Status::OK();
+              }).ok());
+
+  EXPECT_TRUE(WithCatalog([](ZoneCatalog& c) {
+                return c.OpenQueueZone("ghost").status();
+              }).IsNotFound());
+  EXPECT_EQ(WithCatalog([](ZoneCatalog& c) {
+              return c.OpenQueueZone("docs").status();
+            }).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ZoneCatalogTest, DeleteZoneRemovesDataAndEntry) {
+  ASSERT_TRUE(WithCatalog([&](ZoneCatalog& c) {
+                QUICK_RETURN_IF_ERROR(c.CreateZone("tasks", ZoneType::kQueue));
+                QUICK_ASSIGN_OR_RETURN(QueueZone zone,
+                                       c.OpenQueueZone("tasks"));
+                QueuedItem item;
+                item.job_type = "t";
+                return zone.Enqueue(item, 0).status();
+              }).ok());
+  ASSERT_TRUE(
+      WithCatalog([](ZoneCatalog& c) { return c.DeleteZone("tasks"); }).ok());
+  ASSERT_TRUE(WithCatalog([&](ZoneCatalog& c) {
+                EXPECT_FALSE(c.GetZoneType("tasks").value().has_value());
+                return Status::OK();
+              }).ok());
+  // Zone data is gone.
+  Status st = fdb::RunTransaction(db_.cluster, [&](fdb::Transaction& txn) {
+    auto kvs = txn.GetRange(db_.ZoneSubspace("tasks").Range());
+    QUICK_RETURN_IF_ERROR(kvs.status());
+    EXPECT_TRUE(kvs->empty());
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_TRUE(
+      WithCatalog([](ZoneCatalog& c) { return c.DeleteZone("tasks"); })
+          .IsNotFound());
+}
+
+TEST_F(ZoneCatalogTest, ConcurrentCreationsConflict) {
+  // Two transactions both observe "no zone" and create it: the catalog
+  // record write makes exactly one win.
+  fdb::Transaction t1 = db_.cluster->CreateTransaction();
+  fdb::Transaction t2 = db_.cluster->CreateTransaction();
+  {
+    ZoneCatalog c1(&t1, db_, &clock_);
+    ZoneCatalog c2(&t2, db_, &clock_);
+    ASSERT_TRUE(c1.CreateZone("z", ZoneType::kQueue).ok());
+    ASSERT_TRUE(c2.CreateZone("z", ZoneType::kFifoQueue).ok());
+  }
+  const bool ok1 = t1.Commit().ok();
+  const bool ok2 = t2.Commit().ok();
+  EXPECT_TRUE(ok1 != ok2);
+}
+
+}  // namespace
+}  // namespace quick::ck

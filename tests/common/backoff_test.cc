@@ -1,0 +1,49 @@
+#include "common/backoff.h"
+
+#include <gtest/gtest.h>
+
+namespace quick {
+namespace {
+
+TEST(BackoffTest, GrowsExponentially) {
+  ExponentialBackoff b(10, 10000, 2.0);
+  EXPECT_EQ(b.DelayForAttempt(0), 10);
+  EXPECT_EQ(b.DelayForAttempt(1), 20);
+  EXPECT_EQ(b.DelayForAttempt(2), 40);
+  EXPECT_EQ(b.DelayForAttempt(3), 80);
+}
+
+TEST(BackoffTest, CapsAtMax) {
+  ExponentialBackoff b(10, 100, 2.0);
+  EXPECT_EQ(b.DelayForAttempt(10), 100);
+  EXPECT_EQ(b.DelayForAttempt(100), 100);
+}
+
+TEST(BackoffTest, CustomMultiplier) {
+  ExponentialBackoff b(1, 1000000, 10.0);
+  EXPECT_EQ(b.DelayForAttempt(3), 1000);
+}
+
+TEST(BackoffTest, JitterWithinBounds) {
+  ExponentialBackoff b(100, 10000, 2.0);
+  Random rng(7);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const int64_t cap = b.DelayForAttempt(attempt);
+    for (int i = 0; i < 100; ++i) {
+      const int64_t d = b.JitteredDelayForAttempt(attempt, &rng);
+      EXPECT_GE(d, 0);
+      EXPECT_LE(d, cap);
+    }
+  }
+}
+
+TEST(BackoffTest, ZeroInitialStaysZero) {
+  ExponentialBackoff b(0, 100, 2.0);
+  EXPECT_EQ(b.DelayForAttempt(0), 0);
+  EXPECT_EQ(b.DelayForAttempt(5), 0);
+  Random rng(1);
+  EXPECT_EQ(b.JitteredDelayForAttempt(3, &rng), 0);
+}
+
+}  // namespace
+}  // namespace quick

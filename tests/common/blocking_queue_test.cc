@@ -1,0 +1,120 @@
+#include "common/blocking_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace quick {
+namespace {
+
+TEST(BlockingQueueTest, PushPopFifo) {
+  BlockingQueue<int> q;
+  q.Push(1);
+  q.Push(2);
+  q.Push(3);
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_EQ(q.Pop().value(), 3);
+}
+
+TEST(BlockingQueueTest, TryPopEmptyReturnsNullopt) {
+  BlockingQueue<int> q;
+  EXPECT_FALSE(q.TryPop().has_value());
+}
+
+TEST(BlockingQueueTest, TryPushRespectsCapacity) {
+  BlockingQueue<int> q(2);
+  EXPECT_TRUE(q.TryPush(1));
+  EXPECT_TRUE(q.TryPush(2));
+  EXPECT_FALSE(q.TryPush(3));
+  q.Pop();
+  EXPECT_TRUE(q.TryPush(3));
+}
+
+TEST(BlockingQueueTest, PopBlocksUntilPush) {
+  BlockingQueue<int> q;
+  std::atomic<int> got{0};
+  std::thread consumer([&] { got.store(q.Pop().value()); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(got.load(), 0);
+  q.Push(42);
+  consumer.join();
+  EXPECT_EQ(got.load(), 42);
+}
+
+TEST(BlockingQueueTest, CloseWakesBlockedPop) {
+  BlockingQueue<int> q;
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    EXPECT_FALSE(q.Pop().has_value());
+    returned.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.Close();
+  consumer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+TEST(BlockingQueueTest, CloseDrainsRemainingItems) {
+  BlockingQueue<int> q;
+  q.Push(1);
+  q.Push(2);
+  q.Close();
+  EXPECT_EQ(q.Pop().value(), 1);
+  EXPECT_EQ(q.Pop().value(), 2);
+  EXPECT_FALSE(q.Pop().has_value());
+}
+
+TEST(BlockingQueueTest, PushAfterCloseFails) {
+  BlockingQueue<int> q;
+  q.Close();
+  EXPECT_FALSE(q.Push(1));
+  EXPECT_FALSE(q.TryPush(1));
+}
+
+TEST(BlockingQueueTest, ManyProducersManyConsumers) {
+  BlockingQueue<int> q(64);
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 2500;
+  std::atomic<int64_t> sum{0};
+  std::atomic<int> count{0};
+
+  std::vector<std::thread> consumers;
+  for (int i = 0; i < 4; ++i) {
+    consumers.emplace_back([&] {
+      while (auto v = q.Pop()) {
+        sum.fetch_add(*v);
+        count.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&q] {
+      for (int i = 1; i <= kPerProducer; ++i) q.Push(i);
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : consumers) t.join();
+
+  EXPECT_EQ(count.load(), kProducers * kPerProducer);
+  EXPECT_EQ(sum.load(),
+            int64_t{kProducers} * kPerProducer * (kPerProducer + 1) / 2);
+}
+
+TEST(BlockingQueueTest, SizeTracksContents) {
+  BlockingQueue<int> q;
+  EXPECT_EQ(q.Size(), 0u);
+  EXPECT_TRUE(q.Empty());
+  q.Push(1);
+  q.Push(2);
+  EXPECT_EQ(q.Size(), 2u);
+  q.Pop();
+  EXPECT_EQ(q.Size(), 1u);
+}
+
+}  // namespace
+}  // namespace quick

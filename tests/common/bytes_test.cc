@@ -1,0 +1,127 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace quick {
+namespace {
+
+TEST(BytesTest, StrincSimple) {
+  EXPECT_EQ(Strinc("a").value(), "b");
+  EXPECT_EQ(Strinc("abc").value(), "abd");
+}
+
+TEST(BytesTest, StrincStripsTrailingFF) {
+  std::string key = "a";
+  key.push_back('\xFF');
+  EXPECT_EQ(Strinc(key).value(), "b");
+}
+
+TEST(BytesTest, StrincUndefinedCases) {
+  EXPECT_FALSE(Strinc("").has_value());
+  EXPECT_FALSE(Strinc("\xFF").has_value());
+  EXPECT_FALSE(Strinc("\xFF\xFF").has_value());
+}
+
+TEST(BytesTest, StrincBoundsAllPrefixedKeys) {
+  // Every key starting with "ab" is >= "ab" and < Strinc("ab").
+  std::string inc = Strinc("ab").value();
+  EXPECT_LT(std::string("ab"), inc);
+  EXPECT_LT(std::string("ab\xFF\xFF\xFF"), inc);
+  EXPECT_LT(std::string("abzzzz"), inc);
+  EXPECT_GE(std::string("ac"), inc);
+}
+
+TEST(BytesTest, KeyAfterIsImmediateSuccessor) {
+  EXPECT_EQ(KeyAfter("a"), std::string("a\0", 2));
+  EXPECT_LT(std::string("a"), KeyAfter("a"));
+  // Nothing fits between key and KeyAfter(key).
+  EXPECT_GE(std::string("a\0", 2), KeyAfter("a"));
+}
+
+TEST(BytesTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("abcdef", "abc"));
+  EXPECT_TRUE(StartsWith("abc", "abc"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_FALSE(StartsWith("ab", "abc"));
+  EXPECT_FALSE(StartsWith("xbc", "abc"));
+}
+
+TEST(BytesTest, EscapeBytes) {
+  EXPECT_EQ(EscapeBytes("abc"), "abc");
+  EXPECT_EQ(EscapeBytes(std::string("\x00\x01", 2)), "\\x00\\x01");
+  EXPECT_EQ(EscapeBytes("a\\b"), "a\\x5Cb");
+}
+
+TEST(BytesTest, BigEndian64RoundTrip) {
+  for (uint64_t v : {0ULL, 1ULL, 255ULL, 256ULL, 0xDEADBEEFULL,
+                     ~0ULL, 1ULL << 63}) {
+    EXPECT_EQ(DecodeBigEndian64(EncodeBigEndian64(v)), v);
+  }
+}
+
+TEST(BytesTest, BigEndian64PreservesOrder) {
+  EXPECT_LT(EncodeBigEndian64(1), EncodeBigEndian64(2));
+  EXPECT_LT(EncodeBigEndian64(255), EncodeBigEndian64(256));
+  EXPECT_LT(EncodeBigEndian64(0), EncodeBigEndian64(~0ULL));
+}
+
+TEST(BytesTest, LittleEndian64RoundTrip) {
+  for (uint64_t v : {0ULL, 1ULL, 0x0102030405060708ULL, ~0ULL}) {
+    EXPECT_EQ(DecodeLittleEndian64(EncodeLittleEndian64(v)), v);
+  }
+}
+
+TEST(BytesTest, LittleEndianDecodeShortInput) {
+  EXPECT_EQ(DecodeLittleEndian64("\x05"), 5u);
+  EXPECT_EQ(DecodeLittleEndian64(""), 0u);
+}
+
+TEST(KeyRangeTest, Contains) {
+  KeyRange r{"b", "d"};
+  EXPECT_TRUE(r.Contains("b"));
+  EXPECT_TRUE(r.Contains("c"));
+  EXPECT_TRUE(r.Contains("czzz"));
+  EXPECT_FALSE(r.Contains("d"));
+  EXPECT_FALSE(r.Contains("a"));
+}
+
+TEST(KeyRangeTest, Intersects) {
+  KeyRange ab{"a", "b"};
+  KeyRange bc{"b", "c"};
+  KeyRange ac{"a", "c"};
+  EXPECT_FALSE(ab.Intersects(bc));  // half-open: touching is disjoint
+  EXPECT_TRUE(ab.Intersects(ac));
+  EXPECT_TRUE(bc.Intersects(ac));
+  EXPECT_TRUE(ac.Intersects(ac));
+}
+
+TEST(KeyRangeTest, SingleCoversExactlyOneKey) {
+  KeyRange r = KeyRange::Single("abc");
+  EXPECT_TRUE(r.Contains("abc"));
+  EXPECT_FALSE(r.Contains(KeyAfter("abc")));
+  EXPECT_FALSE(r.Contains("abd"));
+  EXPECT_FALSE(r.Contains("ab"));
+}
+
+TEST(KeyRangeTest, PrefixCoversAllPrefixedKeys) {
+  KeyRange r = KeyRange::Prefix("ab");
+  EXPECT_TRUE(r.Contains("ab"));
+  EXPECT_TRUE(r.Contains("abz"));
+  EXPECT_TRUE(r.Contains(std::string("ab\xFF")));
+  EXPECT_FALSE(r.Contains("ac"));
+  EXPECT_FALSE(r.Contains("aa"));
+}
+
+TEST(KeyRangeTest, PrefixOfUnincrementableIsEmpty) {
+  KeyRange r = KeyRange::Prefix("\xFF");
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(KeyRangeTest, EmptyRange) {
+  EXPECT_TRUE((KeyRange{"b", "b"}.empty()));
+  EXPECT_TRUE((KeyRange{"c", "b"}.empty()));
+  EXPECT_FALSE((KeyRange{"b", "c"}.empty()));
+}
+
+}  // namespace
+}  // namespace quick

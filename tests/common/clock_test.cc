@@ -1,0 +1,52 @@
+#include "common/clock.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace quick {
+namespace {
+
+TEST(SystemClockTest, MonotonicAndConsistent) {
+  SystemClock* clock = SystemClock::Default();
+  const int64_t a_ms = clock->NowMillis();
+  const int64_t a_us = clock->NowMicros();
+  const int64_t b_ms = clock->NowMillis();
+  EXPECT_LE(a_ms, b_ms);
+  EXPECT_GE(a_us, a_ms * 1000 - 1000);
+}
+
+TEST(SystemClockTest, SleepAdvances) {
+  SystemClock* clock = SystemClock::Default();
+  const int64_t before = clock->NowMillis();
+  clock->SleepMillis(10);
+  EXPECT_GE(clock->NowMillis() - before, 9);
+}
+
+TEST(ManualClockTest, StartsAtGivenTime) {
+  ManualClock clock(1000);
+  EXPECT_EQ(clock.NowMillis(), 1000);
+  EXPECT_EQ(clock.NowMicros(), 1000000);
+}
+
+TEST(ManualClockTest, AdvanceMoves) {
+  ManualClock clock;
+  clock.AdvanceMillis(250);
+  EXPECT_EQ(clock.NowMillis(), 250);
+}
+
+TEST(ManualClockTest, SleepAutoAdvances) {
+  ManualClock clock(100);
+  clock.SleepMillis(50);
+  EXPECT_EQ(clock.NowMillis(), 150);
+}
+
+TEST(ManualClockTest, SleepZeroOrNegativeIsNoOp) {
+  ManualClock clock;
+  clock.SleepMillis(0);
+  clock.SleepMillis(-5);
+  EXPECT_EQ(clock.NowMillis(), 0);
+}
+
+}  // namespace
+}  // namespace quick

@@ -1,0 +1,114 @@
+#include "common/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace quick {
+namespace {
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.Count(), 0);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+  EXPECT_EQ(h.Max(), 0);
+  EXPECT_DOUBLE_EQ(h.Mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Record(100);
+  EXPECT_EQ(h.Count(), 1);
+  EXPECT_EQ(h.Max(), 100);
+  // Log-linear buckets: percentile returns the bucket's upper bound, which
+  // must be within ~7% of the recorded value at this scale.
+  EXPECT_NEAR(h.Percentile(0.5), 100, 8);
+  EXPECT_NEAR(h.Mean(), 100.0, 0.01);
+}
+
+TEST(HistogramTest, SmallValuesExact) {
+  Histogram h;
+  for (int i = 0; i < 16; ++i) h.Record(i);
+  // Values below 16 land in exact unit buckets; the lowest rank maps to the
+  // bucket holding value 0.
+  EXPECT_EQ(h.Percentile(0.0), 0);
+  EXPECT_EQ(h.Max(), 15);
+  EXPECT_EQ(h.Count(), 16);
+}
+
+TEST(HistogramTest, PercentilesOrdered) {
+  Histogram h;
+  for (int i = 1; i <= 10000; ++i) h.Record(i);
+  const int64_t p50 = h.Percentile(0.50);
+  const int64_t p90 = h.Percentile(0.90);
+  const int64_t p99 = h.Percentile(0.99);
+  const int64_t p999 = h.Percentile(0.999);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_LE(p99, p999);
+  // Bounded relative error (1/16 within a power of two).
+  EXPECT_NEAR(p50, 5000, 5000 / 14.0);
+  EXPECT_NEAR(p99, 9900, 9900 / 14.0);
+}
+
+TEST(HistogramTest, NegativeClampedToZero) {
+  Histogram h;
+  h.Record(-5);
+  EXPECT_EQ(h.Count(), 1);
+  EXPECT_EQ(h.Percentile(1.0), 0);
+}
+
+TEST(HistogramTest, LargeValues) {
+  Histogram h;
+  const int64_t big = int64_t{1} << 40;
+  h.Record(big);
+  EXPECT_EQ(h.Max(), big);
+  const int64_t p = h.Percentile(0.99);
+  EXPECT_GE(p, big);
+  EXPECT_LE(p, big + big / 14);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Record(42);
+  h.Reset();
+  EXPECT_EQ(h.Count(), 0);
+  EXPECT_EQ(h.Max(), 0);
+}
+
+TEST(HistogramTest, MergeCombines) {
+  Histogram a, b;
+  a.Record(10);
+  b.Record(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.Count(), 2);
+  EXPECT_EQ(a.Max(), 1000);
+  EXPECT_NEAR(a.Mean(), 505.0, 0.01);
+}
+
+TEST(HistogramTest, ConcurrentRecording) {
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.Record(i % 1000);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.Count(), kThreads * kPerThread);
+}
+
+TEST(HistogramTest, SummaryMentionsFields) {
+  Histogram h;
+  h.Record(5);
+  std::string s = h.Summary();
+  EXPECT_NE(s.find("count=1"), std::string::npos);
+  EXPECT_NE(s.find("p50="), std::string::npos);
+  EXPECT_NE(s.find("p999="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace quick

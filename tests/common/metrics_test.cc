@@ -1,0 +1,82 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace quick {
+namespace {
+
+TEST(MetricsTest, CounterStartsAtZero) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.GetCounter("a")->Value(), 0);
+}
+
+TEST(MetricsTest, CounterIncrements) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("ops");
+  c->Increment();
+  c->Increment(4);
+  EXPECT_EQ(c->Value(), 5);
+}
+
+TEST(MetricsTest, SameNameSameCounter) {
+  MetricsRegistry registry;
+  registry.GetCounter("x")->Increment();
+  EXPECT_EQ(registry.GetCounter("x")->Value(), 1);
+  EXPECT_EQ(registry.GetCounter("y")->Value(), 0);
+}
+
+TEST(MetricsTest, HistogramRegistered) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram("lat");
+  h->Record(10);
+  EXPECT_EQ(registry.GetHistogram("lat")->Count(), 1);
+}
+
+TEST(MetricsTest, SnapshotSortedByName) {
+  MetricsRegistry registry;
+  registry.GetCounter("b")->Increment(2);
+  registry.GetCounter("a")->Increment(1);
+  auto snap = registry.CounterSnapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].first, "a");
+  EXPECT_EQ(snap[0].second, 1);
+  EXPECT_EQ(snap[1].first, "b");
+  EXPECT_EQ(snap[1].second, 2);
+}
+
+TEST(MetricsTest, ReportContainsEntries) {
+  MetricsRegistry registry;
+  registry.GetCounter("enqueues")->Increment(3);
+  registry.GetHistogram("latency")->Record(7);
+  std::string report = registry.Report();
+  EXPECT_NE(report.find("enqueues = 3"), std::string::npos);
+  EXPECT_NE(report.find("latency :"), std::string::npos);
+}
+
+TEST(MetricsTest, ResetAllZeroes) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Increment(9);
+  registry.GetHistogram("h")->Record(1);
+  registry.ResetAll();
+  EXPECT_EQ(registry.GetCounter("c")->Value(), 0);
+  EXPECT_EQ(registry.GetHistogram("h")->Count(), 0);
+}
+
+TEST(MetricsTest, ConcurrentGetAndIncrement) {
+  MetricsRegistry registry;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 1000; ++i) {
+        registry.GetCounter("shared")->Increment();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("shared")->Value(), 8000);
+}
+
+}  // namespace
+}  // namespace quick

@@ -1,0 +1,77 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include <set>
+
+namespace quick {
+namespace {
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+  }
+}
+
+TEST(RandomTest, UniformRangeInclusive) {
+  Random rng(2);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = rng.UniformRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, DeterministicGivenSeed) {
+  Random a(99), b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextU64(), b.NextU64());
+  }
+}
+
+TEST(RandomTest, DoubleInUnitInterval) {
+  Random rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, BernoulliExtremes) {
+  Random rng(4);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RandomTest, UuidFormatAndUniqueness) {
+  Random rng(5);
+  std::set<std::string> seen;
+  for (int i = 0; i < 1000; ++i) {
+    std::string id = rng.NextUuid();
+    EXPECT_EQ(id.size(), 32u);
+    EXPECT_EQ(id.find_first_not_of("0123456789abcdef"), std::string::npos);
+    EXPECT_TRUE(seen.insert(id).second) << "duplicate uuid " << id;
+  }
+}
+
+TEST(RandomTest, ThreadLocalInstancesDiffer) {
+  std::string a = Random::ThreadLocal().NextUuid();
+  std::string b;
+  std::thread t([&] { b = Random::ThreadLocal().NextUuid(); });
+  t.join();
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace quick

@@ -1,0 +1,109 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace quick {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("no such record");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "no such record");
+  EXPECT_EQ(s.ToString(), "NOT_FOUND: no such record");
+}
+
+TEST(StatusTest, RetryableClassification) {
+  EXPECT_TRUE(Status::NotCommitted().retryable());
+  EXPECT_TRUE(Status::TransactionTooOld().retryable());
+  EXPECT_TRUE(Status::CommitUnknownResult().retryable());
+  EXPECT_TRUE(Status::Unavailable("x").retryable());
+  EXPECT_TRUE(Status::TimedOut("x").retryable());
+
+  EXPECT_FALSE(Status::OK().retryable());
+  EXPECT_FALSE(Status::NotFound().retryable());
+  EXPECT_FALSE(Status::InvalidArgument("x").retryable());
+  EXPECT_FALSE(Status::Permanent("x").retryable());
+  EXPECT_FALSE(Status::LeaseLost().retryable());
+  EXPECT_FALSE(Status::TransactionTooLarge().retryable());
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kNotCommitted), "NOT_COMMITTED");
+  EXPECT_EQ(StatusCodeName(StatusCode::kCommitUnknownResult),
+            "COMMIT_UNKNOWN_RESULT");
+  EXPECT_EQ(StatusCodeName(StatusCode::kLeaseLost), "LEASE_LOST");
+}
+
+TEST(StatusTest, EqualityComparesCodeOnly) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound() == Status::OK());
+}
+
+Status FailWhen(bool fail) {
+  if (fail) return Status::Internal("boom");
+  return Status::OK();
+}
+
+Status Chained(bool fail) {
+  QUICK_RETURN_IF_ERROR(FailWhen(fail));
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(Chained(false).ok());
+  EXPECT_EQ(Chained(true).code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 7;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+Result<int> HalfOf(int v) {
+  if (v % 2 != 0) return Status::InvalidArgument("odd");
+  return v / 2;
+}
+
+Result<int> QuarterOf(int v) {
+  QUICK_ASSIGN_OR_RETURN(int half, HalfOf(v));
+  return HalfOf(half);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  Result<int> ok = QuarterOf(8);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 2);
+
+  Result<int> err = QuarterOf(6);  // 6/2 == 3, odd
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 5);
+}
+
+}  // namespace
+}  // namespace quick

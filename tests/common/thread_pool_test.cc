@@ -1,0 +1,100 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+
+namespace quick {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.Submit([&done] { done.fetch_add(1); }));
+  }
+  pool.Shutdown();
+  EXPECT_EQ(done.load(), 100);
+}
+
+TEST(ThreadPoolTest, ShutdownDrainsQueue) {
+  ThreadPool pool(1);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&done] {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      done.fetch_add(1);
+    });
+  }
+  pool.Shutdown();
+  EXPECT_EQ(done.load(), 10);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownFails) {
+  ThreadPool pool(1);
+  pool.Shutdown();
+  EXPECT_FALSE(pool.Submit([] {}));
+}
+
+TEST(ThreadPoolTest, HasIdleThreadReflectsLoad) {
+  ThreadPool pool(2);
+  EXPECT_TRUE(pool.HasIdleThread());
+
+  std::atomic<bool> release{false};
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&release] {
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    });
+  }
+  // Both threads busy soon.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pool.HasIdleThread());
+  release.store(true);
+  pool.Shutdown();
+}
+
+TEST(ThreadPoolTest, TrySubmitRespectsCapacity) {
+  ThreadPool pool(1, /*queue_capacity=*/1);
+  std::atomic<bool> release{false};
+  pool.Submit([&release] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  // Worker busy; one slot in queue.
+  EXPECT_TRUE(pool.TrySubmit([] {}));
+  EXPECT_FALSE(pool.TrySubmit([] {}));
+  release.store(true);
+  pool.Shutdown();
+}
+
+TEST(ThreadPoolTest, TasksRunConcurrently) {
+  ThreadPool pool(4);
+  std::atomic<int> running{0};
+  std::atomic<int> peak{0};
+  for (int i = 0; i < 4; ++i) {
+    pool.Submit([&] {
+      int now = running.fetch_add(1) + 1;
+      int prev = peak.load();
+      while (now > prev && !peak.compare_exchange_weak(prev, now)) {
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(30));
+      running.fetch_sub(1);
+    });
+  }
+  pool.Shutdown();
+  EXPECT_GE(peak.load(), 2);
+}
+
+TEST(ThreadPoolTest, DoubleShutdownIsSafe) {
+  ThreadPool pool(2);
+  pool.Shutdown();
+  pool.Shutdown();
+}
+
+}  // namespace
+}  // namespace quick

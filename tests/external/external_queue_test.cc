@@ -1,0 +1,228 @@
+#include "external/external_queue.h"
+
+#include <gtest/gtest.h>
+
+#include "fdb/retry.h"
+
+namespace quick::ext {
+namespace {
+
+class ExternalQueueTest : public ::testing::Test {
+ protected:
+  ExternalQueueTest() {
+    fdb::Database::Options opts;
+    opts.clock = &clock_;
+    clusters_ = std::make_unique<fdb::ClusterSet>(opts);
+    clusters_->AddCluster("c1");
+    ck_ = std::make_unique<ck::CloudKitService>(clusters_.get(), &clock_);
+
+    SimExternalStore::Options sopts;
+    sopts.clock = &clock_;
+    store_ = std::make_unique<SimExternalStore>(sopts);
+
+    registry_.Register("ext_job", [this](core::WorkContext& ctx) {
+      processed_.push_back(ctx.item.payload);
+      return Status::OK();
+    });
+  }
+
+  ExternalQueue MakeQueue(ExternalQueue::Options options = {}) {
+    return ExternalQueue(ck_.get(), store_.get(), &registry_, options);
+  }
+
+  ManualClock clock_{50000};
+  std::unique_ptr<fdb::ClusterSet> clusters_;
+  std::unique_ptr<ck::CloudKitService> ck_;
+  std::unique_ptr<SimExternalStore> store_;
+  core::JobRegistry registry_;
+  std::vector<std::string> processed_;
+};
+
+TEST_F(ExternalQueueTest, EnqueueStoresExternallyAndCreatesPointer) {
+  ExternalQueue q = MakeQueue();
+  const ck::DatabaseId db = ck::DatabaseId::Private("app", "u1");
+  auto id = q.Enqueue(db, "ext_job", "hello");
+  ASSERT_TRUE(id.ok()) << id.status();
+  EXPECT_EQ(store_->TotalItems(), 1u);
+  EXPECT_FALSE(store_->IsEmpty(q.QueueKey(db)).value());
+  EXPECT_EQ(q.stats().items_enqueued.Value(), 1);
+}
+
+TEST_F(ExternalQueueTest, EndToEndProcessing) {
+  ExternalQueue q = MakeQueue();
+  const ck::DatabaseId db = ck::DatabaseId::Private("app", "u1");
+  ASSERT_TRUE(q.Enqueue(db, "ext_job", "one").ok());
+  ASSERT_TRUE(q.Enqueue(db, "ext_job", "two").ok());
+
+  Result<int> visited = q.RunOnePass("c1");
+  ASSERT_TRUE(visited.ok()) << visited.status();
+  EXPECT_EQ(*visited, 1);  // one pointer covers both items
+  EXPECT_EQ(processed_.size(), 2u);
+  EXPECT_EQ(q.stats().items_processed.Value(), 2);
+  EXPECT_TRUE(store_->IsEmpty(q.QueueKey(db)).value());
+}
+
+TEST_F(ExternalQueueTest, PointerGcAfterGrace) {
+  ExternalQueue::Options options;
+  options.min_inactive_millis = 1000;
+  options.pointer_lease_millis = 100;
+  ExternalQueue q = MakeQueue(options);
+  const ck::DatabaseId db = ck::DatabaseId::Private("app", "u1");
+  ASSERT_TRUE(q.Enqueue(db, "ext_job", "x").ok());
+
+  // First pass drains; pointer stays (active just now).
+  ASSERT_TRUE(q.RunOnePass("c1").ok());
+  EXPECT_EQ(q.stats().pointers_deleted.Value(), 0);
+
+  // After grace + lease expiry, the pointer is collected.
+  clock_.AdvanceMillis(2000);
+  ASSERT_TRUE(q.RunOnePass("c1").ok());
+  EXPECT_EQ(q.stats().pointers_deleted.Value(), 1);
+
+  // Nothing left to find.
+  clock_.AdvanceMillis(2000);
+  EXPECT_EQ(q.RunOnePass("c1").value(), 0);
+}
+
+TEST_F(ExternalQueueTest, GcRecheckKeepsPointerWhenItemAppears) {
+  ExternalQueue::Options options;
+  options.min_inactive_millis = 0;  // aggressive GC
+  options.pointer_lease_millis = 100;
+  ExternalQueue q = MakeQueue(options);
+  const ck::DatabaseId db = ck::DatabaseId::Private("app", "u1");
+  ASSERT_TRUE(q.Enqueue(db, "ext_job", "first").ok());
+  ASSERT_TRUE(q.RunOnePass("c1").ok());
+
+  // Put an item directly (simulating an enqueue racing the GC between the
+  // consumer's list and its delete transaction).
+  clock_.AdvanceMillis(200);
+  ExternalItem sneaky;
+  sneaky.id = "sneaky";
+  sneaky.job_type = "ext_job";
+  sneaky.payload = "raced";
+  sneaky.enqueue_time = clock_.NowMillis();
+  ASSERT_TRUE(store_->Put(q.QueueKey(db), sneaky).ok());
+
+  // The GC pass re-checks emptiness strongly and must keep the pointer,
+  // then the item is processed on a later visit.
+  ASSERT_TRUE(q.RunOnePass("c1").ok());
+  clock_.AdvanceMillis(200);
+  ASSERT_TRUE(q.RunOnePass("c1").ok());
+  EXPECT_TRUE(std::find(processed_.begin(), processed_.end(), "raced") !=
+              processed_.end());
+}
+
+TEST_F(ExternalQueueTest, EnqueueGarbageCollectsOnFdbFailure) {
+  // Make the FDB side fail every commit: the externally written item must
+  // be cleaned up and the enqueue must surface the error.
+  fdb::Database::Options opts;
+  opts.clock = &clock_;
+  opts.faults.commit_unavailable = 1.0;
+  fdb::ClusterSet flaky_clusters(opts);
+  flaky_clusters.AddCluster("c1");
+  ck::CloudKitService flaky_ck(&flaky_clusters, &clock_);
+  ExternalQueue q(&flaky_ck, store_.get(), &registry_,
+                  ExternalQueue::Options{});
+
+  const ck::DatabaseId db = ck::DatabaseId::Private("app", "u1");
+  auto id = q.Enqueue(db, "ext_job", "doomed");
+  EXPECT_FALSE(id.ok());
+  EXPECT_EQ(q.stats().enqueue_fdb_aborts.Value(), 1);
+  EXPECT_EQ(q.stats().orphans_garbage_collected.Value(), 1);
+  EXPECT_TRUE(store_->IsEmpty(q.QueueKey(db)).value());
+}
+
+TEST_F(ExternalQueueTest, DeclaredWriteConflictAbortsConcurrentGc) {
+  // The §6.1 conflict dance: a GC transaction that read the pointer-index
+  // key must abort when an enqueue (which only DECLARED a write on that
+  // key) commits first.
+  ExternalQueue q = MakeQueue();
+  const ck::DatabaseId db = ck::DatabaseId::Private("app", "u1");
+  ASSERT_TRUE(q.Enqueue(db, "ext_job", "a").ok());  // pointer exists now
+
+  const ck::DatabaseRef cluster_db = ck_->OpenClusterDb("c1");
+  const core::Pointer pointer{db, "_quick_q_ext"};
+
+  // GC-style transaction: read the index key, then delete the pointer.
+  fdb::Transaction gc = cluster_db.cluster->CreateTransaction();
+  {
+    ck::QueueZone top(&gc, cluster_db.ZoneSubspace("_quick_q_ext"), &clock_);
+    const std::string index_key =
+        top.DbKeyIndexEntryKey(pointer.Key(), pointer.Key());
+    ASSERT_TRUE(gc.Get(index_key).ok());
+    ASSERT_TRUE(top.Complete(pointer.Key()).ok());
+  }
+
+  // Concurrent enqueue: pointer exists, so its FDB transaction is
+  // read-only with a declared write conflict on the index key.
+  ASSERT_TRUE(q.Enqueue(db, "ext_job", "b").ok());
+
+  EXPECT_TRUE(gc.Commit().IsNotCommitted());
+}
+
+TEST_F(ExternalQueueTest, WeakReadsLoseItemsStrongReadsDoNot) {
+  // Demonstrates WHY §6.1 requires strong reads: with lagged weak reads
+  // and aggressive GC, a freshly enqueued item is invisible to the
+  // consumer, the queue looks empty, and the pointer gets deleted with the
+  // item stranded. Strong reads close the hole.
+  SimExternalStore::Options sopts;
+  sopts.clock = &clock_;
+  sopts.replication_lag_millis = 1000;
+  SimExternalStore lagged(sopts);
+
+  for (bool strong : {false, true}) {
+    ExternalQueue::Options options;
+    options.min_inactive_millis = 0;
+    options.pointer_lease_millis = 10;
+    options.strong_reads = strong;
+    ExternalQueue q(ck_.get(), &lagged, &registry_, options);
+    const ck::DatabaseId db = ck::DatabaseId::Private(
+        "app", strong ? "strong-user" : "weak-user");
+    ASSERT_TRUE(q.Enqueue(db, "ext_job", "fresh").ok());
+    // The consumer runs before replication catches up.
+    ASSERT_TRUE(q.RunOnePass("c1").ok());
+    if (strong) {
+      // Strong reads saw and processed the item (and, incidentally, the
+      // one the weak pass stranded — both pointers share the top zone).
+      EXPECT_GE(q.stats().items_processed.Value(), 1);
+      EXPECT_TRUE(lagged.IsEmpty(q.QueueKey(db)).value());
+    } else {
+      // Weak reads missed it; worse, the pointer may already be gone while
+      // the item is stranded externally.
+      EXPECT_EQ(q.stats().items_processed.Value(), 0);
+      EXPECT_FALSE(lagged.IsEmpty(q.QueueKey(db)).value());
+    }
+  }
+}
+
+TEST_F(ExternalQueueTest, FailedHandlerLeavesItemForRetry) {
+  int attempts = 0;
+  registry_.Register("flaky_ext", [&](core::WorkContext&) {
+    ++attempts;
+    return attempts < 3 ? Status::Unavailable("x") : Status::OK();
+  });
+  ExternalQueue::Options options;
+  options.pointer_lease_millis = 50;
+  ExternalQueue q = MakeQueue(options);
+  const ck::DatabaseId db = ck::DatabaseId::Private("app", "u1");
+  ASSERT_TRUE(q.Enqueue(db, "flaky_ext", "x").ok());
+
+  ASSERT_TRUE(q.RunOnePass("c1").ok());  // attempt 1 fails; item stays
+  EXPECT_FALSE(store_->IsEmpty(q.QueueKey(db)).value());
+  ASSERT_TRUE(q.RunOnePass("c1").ok());  // attempt 2 fails
+  ASSERT_TRUE(q.RunOnePass("c1").ok());  // attempt 3 succeeds
+  EXPECT_EQ(attempts, 3);
+  EXPECT_TRUE(store_->IsEmpty(q.QueueKey(db)).value());
+}
+
+TEST_F(ExternalQueueTest, UnknownJobTypeDroppedAsPermanent) {
+  ExternalQueue q = MakeQueue();
+  const ck::DatabaseId db = ck::DatabaseId::Private("app", "u1");
+  ASSERT_TRUE(q.Enqueue(db, "mystery", "x").ok());
+  ASSERT_TRUE(q.RunOnePass("c1").ok());
+  EXPECT_EQ(q.stats().items_failed.Value(), 1);
+  EXPECT_TRUE(store_->IsEmpty(q.QueueKey(db)).value());
+}
+
+}  // namespace
+}  // namespace quick::ext

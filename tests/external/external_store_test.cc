@@ -1,0 +1,98 @@
+#include "external/external_store.h"
+
+#include <gtest/gtest.h>
+
+namespace quick::ext {
+namespace {
+
+ExternalItem Item(const std::string& id, int64_t enqueue_time = 0) {
+  ExternalItem item;
+  item.id = id;
+  item.job_type = "t";
+  item.payload = "p-" + id;
+  item.enqueue_time = enqueue_time;
+  return item;
+}
+
+TEST(SimExternalStoreTest, PutListDelete) {
+  SimExternalStore store;
+  ASSERT_TRUE(store.Put("q1", Item("a")).ok());
+  ASSERT_TRUE(store.Put("q1", Item("b")).ok());
+  auto items = store.List("q1", 10, /*strong=*/true);
+  ASSERT_TRUE(items.ok());
+  EXPECT_EQ(items->size(), 2u);
+  ASSERT_TRUE(store.Delete("q1", "a").ok());
+  EXPECT_EQ(store.List("q1", 10, true)->size(), 1u);
+  EXPECT_EQ((*store.List("q1", 10, true))[0].id, "b");
+}
+
+TEST(SimExternalStoreTest, ListOrdersByEnqueueTime) {
+  SimExternalStore store;
+  ASSERT_TRUE(store.Put("q", Item("late", 200)).ok());
+  ASSERT_TRUE(store.Put("q", Item("early", 100)).ok());
+  auto items = store.List("q", 10, true);
+  ASSERT_EQ(items->size(), 2u);
+  EXPECT_EQ((*items)[0].id, "early");
+  EXPECT_EQ((*items)[1].id, "late");
+}
+
+TEST(SimExternalStoreTest, ListRespectsLimit) {
+  SimExternalStore store;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store.Put("q", Item("i" + std::to_string(i), i)).ok());
+  }
+  EXPECT_EQ(store.List("q", 3, true)->size(), 3u);
+  EXPECT_EQ(store.List("q", 0, true)->size(), 5u);
+}
+
+TEST(SimExternalStoreTest, QueuesAreIsolated) {
+  SimExternalStore store;
+  ASSERT_TRUE(store.Put("q1", Item("a")).ok());
+  EXPECT_TRUE(store.List("q2", 10, true)->empty());
+  EXPECT_TRUE(store.IsEmpty("q2").value());
+  EXPECT_FALSE(store.IsEmpty("q1").value());
+}
+
+TEST(SimExternalStoreTest, DeleteMissingIsNotFound) {
+  SimExternalStore store;
+  EXPECT_TRUE(store.Delete("q", "ghost").IsNotFound());
+  ASSERT_TRUE(store.Put("q", Item("a")).ok());
+  ASSERT_TRUE(store.Delete("q", "a").ok());
+  EXPECT_TRUE(store.Delete("q", "a").IsNotFound());
+}
+
+TEST(SimExternalStoreTest, WeakReadsLagBehindWrites) {
+  ManualClock clock(1000);
+  SimExternalStore::Options options;
+  options.clock = &clock;
+  options.replication_lag_millis = 500;
+  SimExternalStore store(options);
+
+  ASSERT_TRUE(store.Put("q", Item("fresh")).ok());
+  // Strong read sees the write immediately; weak read lags.
+  EXPECT_EQ(store.List("q", 10, /*strong=*/true)->size(), 1u);
+  EXPECT_TRUE(store.List("q", 10, /*strong=*/false)->empty());
+
+  clock.AdvanceMillis(500);
+  EXPECT_EQ(store.List("q", 10, /*strong=*/false)->size(), 1u);
+}
+
+TEST(SimExternalStoreTest, InjectedPutFailures) {
+  SimExternalStore::Options options;
+  options.put_failure_probability = 1.0;
+  SimExternalStore store(options);
+  EXPECT_EQ(store.Put("q", Item("a")).code(), StatusCode::kUnavailable);
+  EXPECT_TRUE(store.IsEmpty("q").value());
+}
+
+TEST(SimExternalStoreTest, TotalItemsCountsLiveOnly) {
+  SimExternalStore store;
+  ASSERT_TRUE(store.Put("q1", Item("a")).ok());
+  ASSERT_TRUE(store.Put("q2", Item("b")).ok());
+  EXPECT_EQ(store.TotalItems(), 2u);
+  ASSERT_TRUE(store.Delete("q1", "a").ok());
+  EXPECT_EQ(store.TotalItems(), 1u);
+}
+
+}  // namespace
+}  // namespace quick::ext

@@ -1,0 +1,84 @@
+#include "fdb/conflict_tracker.h"
+
+#include <gtest/gtest.h>
+
+namespace quick::fdb {
+namespace {
+
+TEST(ConflictTrackerTest, NoCommitsNoConflict) {
+  ConflictTracker t;
+  EXPECT_FALSE(t.HasConflict({KeyRange::All()}, 0));
+}
+
+TEST(ConflictTrackerTest, ConflictWhenCommitAfterReadVersionIntersects) {
+  ConflictTracker t;
+  t.AddCommit(5, {KeyRange::Single("k")});
+  EXPECT_TRUE(t.HasConflict({KeyRange::Single("k")}, 4));
+  EXPECT_TRUE(t.HasConflict({KeyRange::Single("k")}, 0));
+}
+
+TEST(ConflictTrackerTest, NoConflictWhenReaderSawTheCommit) {
+  ConflictTracker t;
+  t.AddCommit(5, {KeyRange::Single("k")});
+  EXPECT_FALSE(t.HasConflict({KeyRange::Single("k")}, 5));
+  EXPECT_FALSE(t.HasConflict({KeyRange::Single("k")}, 6));
+}
+
+TEST(ConflictTrackerTest, NoConflictOnDisjointKeys) {
+  ConflictTracker t;
+  t.AddCommit(5, {KeyRange::Single("a")});
+  EXPECT_FALSE(t.HasConflict({KeyRange::Single("b")}, 0));
+}
+
+TEST(ConflictTrackerTest, RangeIntersection) {
+  ConflictTracker t;
+  t.AddCommit(5, {KeyRange{"m", "p"}});
+  EXPECT_TRUE(t.HasConflict({KeyRange{"a", "n"}}, 0));
+  EXPECT_FALSE(t.HasConflict({KeyRange{"a", "m"}}, 0));  // half-open
+  EXPECT_TRUE(t.HasConflict({KeyRange{"o", "z"}}, 0));
+  EXPECT_FALSE(t.HasConflict({KeyRange{"p", "z"}}, 0));
+}
+
+TEST(ConflictTrackerTest, EmptyReadSetNeverConflicts) {
+  ConflictTracker t;
+  t.AddCommit(5, {KeyRange::All()});
+  EXPECT_FALSE(t.HasConflict({}, 0));
+}
+
+TEST(ConflictTrackerTest, EmptyWriteSetNotTracked) {
+  ConflictTracker t;
+  t.AddCommit(5, {});
+  EXPECT_EQ(t.TrackedCommitCount(), 0u);
+  EXPECT_FALSE(t.HasConflict({KeyRange::All()}, 0));
+}
+
+TEST(ConflictTrackerTest, MultipleCommitsAnyMatchConflicts) {
+  ConflictTracker t;
+  t.AddCommit(3, {KeyRange::Single("a")});
+  t.AddCommit(5, {KeyRange::Single("b")});
+  t.AddCommit(7, {KeyRange::Single("c")});
+  EXPECT_TRUE(t.HasConflict({KeyRange::Single("b")}, 4));
+  EXPECT_FALSE(t.HasConflict({KeyRange::Single("b")}, 5));
+  EXPECT_TRUE(t.HasConflict({KeyRange::Single("c")}, 5));
+}
+
+TEST(ConflictTrackerTest, PruneForgetsOldAndRaisesFloor) {
+  ConflictTracker t;
+  t.AddCommit(3, {KeyRange::Single("a")});
+  t.AddCommit(6, {KeyRange::Single("b")});
+  t.Prune(4);
+  EXPECT_EQ(t.MinCheckableVersion(), 4);
+  EXPECT_EQ(t.TrackedCommitCount(), 1u);
+  // Commit at 6 still conflicts for read versions in the valid window.
+  EXPECT_TRUE(t.HasConflict({KeyRange::Single("b")}, 5));
+}
+
+TEST(ConflictTrackerTest, PruneNeverLowersFloor) {
+  ConflictTracker t;
+  t.Prune(10);
+  t.Prune(5);
+  EXPECT_EQ(t.MinCheckableVersion(), 10);
+}
+
+}  // namespace
+}  // namespace quick::fdb

@@ -1,0 +1,195 @@
+// Edge cases across the FDB simulator: pagination idioms, boundary keys,
+// retry escalation, and GRV-cache interactions that the main suites don't
+// pin down.
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "fdb/database.h"
+#include "fdb/retry.h"
+
+namespace quick::fdb {
+namespace {
+
+TEST(FdbEdgeTest, PagedScanWithKeyAfterSeesEveryKeyOnce) {
+  Database db("page");
+  {
+    Transaction txn = db.CreateTransaction();
+    for (int i = 0; i < 97; ++i) {
+      char key[16];
+      std::snprintf(key, sizeof(key), "k%03d", i);
+      txn.Set(key, std::to_string(i));
+    }
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  // The CopyDatabaseData paging idiom: resume from KeyAfter(last).
+  std::vector<std::string> seen;
+  std::string cursor = "k";
+  while (true) {
+    Transaction txn = db.CreateTransaction();
+    RangeOptions opts;
+    opts.limit = 10;
+    auto kvs = txn.GetRange(KeyRange{cursor, "l"}, opts);
+    ASSERT_TRUE(kvs.ok());
+    if (kvs->empty()) break;
+    for (const KeyValue& kv : *kvs) seen.push_back(kv.key);
+    cursor = KeyAfter(kvs->back().key);
+  }
+  ASSERT_EQ(seen.size(), 97u);
+  for (size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_LT(seen[i - 1], seen[i]);
+  }
+}
+
+TEST(FdbEdgeTest, EmptyKeyAndEmptyValue) {
+  Database db("empty");
+  Transaction txn = db.CreateTransaction();
+  txn.Set("", "empty-key-value");
+  txn.Set("k", "");
+  ASSERT_TRUE(txn.Commit().ok());
+  Transaction probe = db.CreateTransaction();
+  EXPECT_EQ(probe.Get("").value().value(), "empty-key-value");
+  auto v = probe.Get("k");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v.value().has_value());
+  EXPECT_TRUE(v.value()->empty());
+}
+
+TEST(FdbEdgeTest, ClearRangeOnEmptyDatabaseIsNoOp) {
+  Database db("noop");
+  Transaction txn = db.CreateTransaction();
+  txn.ClearRange(KeyRange::All());
+  EXPECT_TRUE(txn.Commit().ok());
+}
+
+TEST(FdbEdgeTest, OverlappingClearRangesCompose) {
+  Database db("overlap");
+  {
+    Transaction txn = db.CreateTransaction();
+    for (char c = 'a'; c <= 'f'; ++c) {
+      txn.Set(std::string(1, c), "v");
+    }
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  Transaction txn = db.CreateTransaction();
+  txn.ClearRange(KeyRange{"a", "d"});
+  txn.ClearRange(KeyRange{"c", "f"});
+  txn.Set("b", "resurrected");
+  ASSERT_TRUE(txn.Commit().ok());
+  Transaction probe = db.CreateTransaction();
+  auto kvs = probe.GetRange(KeyRange::All());
+  ASSERT_TRUE(kvs.ok());
+  ASSERT_EQ(kvs->size(), 2u);
+  EXPECT_EQ((*kvs)[0].key, "b");
+  EXPECT_EQ((*kvs)[1].key, "f");
+}
+
+TEST(FdbEdgeTest, RetryBackoffEscalates) {
+  ManualClock clock;
+  Database::Options opts;
+  opts.clock = &clock;
+  Database db("backoff", opts);
+  Transaction txn = db.CreateTransaction();
+  // Repeated retryable errors must keep succeeding at OnError and the
+  // transaction must stay usable afterwards.
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_TRUE(txn.OnError(Status::NotCommitted()).ok()) << "attempt " << i;
+  }
+  txn.Set("k", "v");
+  EXPECT_TRUE(txn.Commit().ok());
+}
+
+TEST(FdbEdgeTest, CausalReadRiskyStillReturnsLatestVersion) {
+  Database db("risky");
+  {
+    Transaction txn = db.CreateTransaction();
+    txn.Set("k", "v1");
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  TransactionOptions topts;
+  topts.causal_read_risky = true;
+  Transaction txn = db.CreateTransaction(topts);
+  EXPECT_EQ(txn.Get("k").value().value(), "v1");
+}
+
+TEST(FdbEdgeTest, SnapshotRangeReadIgnoresLaterInserts) {
+  Database db("snap");
+  {
+    Transaction txn = db.CreateTransaction();
+    txn.Set("m1", "x");
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  Transaction reader = db.CreateTransaction();
+  ASSERT_TRUE(reader.GetRange(KeyRange{"m", "n"}, {}, /*snapshot=*/true).ok());
+  reader.Set("out", "1");
+  {
+    Transaction txn = db.CreateTransaction();
+    txn.Set("m2", "new");
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  EXPECT_TRUE(reader.Commit().ok());  // snapshot scan: no conflict
+}
+
+TEST(FdbEdgeTest, WriteThenReadRangeSeesBufferedWriteOnly) {
+  Database db("ryw");
+  Transaction txn = db.CreateTransaction();
+  txn.Set("p1", "buffered");
+  auto kvs = txn.GetRange(KeyRange::Prefix("p"));
+  ASSERT_TRUE(kvs.ok());
+  ASSERT_EQ(kvs->size(), 1u);
+  EXPECT_EQ((*kvs)[0].value, "buffered");
+}
+
+TEST(FdbEdgeTest, TransactionSizeAccumulatesAcrossOps) {
+  Database db("size");
+  Transaction txn = db.CreateTransaction();
+  const int64_t s0 = txn.Size();
+  txn.Set("abc", "0123456789");
+  EXPECT_GE(txn.Size() - s0, 13);
+  txn.Atomic(AtomicOp::kAdd, "ctr", EncodeLittleEndian64(1));
+  txn.ClearRange(KeyRange{"x", "y"});
+  EXPECT_GT(txn.Size(), s0 + 13);
+}
+
+TEST(FdbEdgeTest, ConflictAfterResetIsIndependent) {
+  Database db("reset");
+  {
+    Transaction t = db.CreateTransaction();
+    t.Set("k", "v0");
+    ASSERT_TRUE(t.Commit().ok());
+  }
+  Transaction t1 = db.CreateTransaction();
+  ASSERT_TRUE(t1.Get("k").ok());
+  t1.Set("out", "1");
+  {
+    Transaction t2 = db.CreateTransaction();
+    t2.Set("k", "v1");
+    ASSERT_TRUE(t2.Commit().ok());
+  }
+  ASSERT_TRUE(t1.Commit().IsNotCommitted());
+  // After OnError + fresh read, the same logic commits.
+  ASSERT_TRUE(t1.OnError(Status::NotCommitted()).ok());
+  ASSERT_TRUE(t1.Get("k").ok());
+  t1.Set("out", "2");
+  EXPECT_TRUE(t1.Commit().ok());
+}
+
+TEST(FdbEdgeTest, ManyVersionsOfOneKeyReadCorrectly) {
+  Database db("versions");
+  std::vector<Version> versions;
+  for (int i = 0; i < 50; ++i) {
+    Transaction txn = db.CreateTransaction();
+    txn.Set("hot", "v" + std::to_string(i));
+    ASSERT_TRUE(txn.Commit().ok());
+    versions.push_back(txn.GetCommittedVersion());
+  }
+  // Each historical version returns its own value.
+  for (int i = 0; i < 50; i += 7) {
+    Transaction txn = db.CreateTransaction();
+    txn.SetReadVersion(versions[i]);
+    EXPECT_EQ(txn.Get("hot").value().value(), "v" + std::to_string(i));
+  }
+}
+
+}  // namespace
+}  // namespace quick::fdb

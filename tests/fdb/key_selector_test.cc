@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "fdb/database.h"
+
+namespace quick::fdb {
+namespace {
+
+class KeySelectorTest : public ::testing::Test {
+ protected:
+  KeySelectorTest() : db_("sel") {
+    Transaction txn = db_.CreateTransaction();
+    for (const char* key : {"b", "d", "f", "h"}) {
+      txn.Set(key, key);
+    }
+    EXPECT_TRUE(txn.Commit().ok());
+  }
+
+  std::optional<std::string> Resolve(const KeySelector& selector) {
+    Transaction txn = db_.CreateTransaction();
+    auto r = txn.GetKey(selector);
+    EXPECT_TRUE(r.ok());
+    return r.ok() ? *r : std::nullopt;
+  }
+
+  Database db_;
+};
+
+TEST_F(KeySelectorTest, FirstGreaterOrEqual) {
+  EXPECT_EQ(Resolve(KeySelector::FirstGreaterOrEqual("d")).value(), "d");
+  EXPECT_EQ(Resolve(KeySelector::FirstGreaterOrEqual("c")).value(), "d");
+  EXPECT_EQ(Resolve(KeySelector::FirstGreaterOrEqual("a")).value(), "b");
+  EXPECT_FALSE(Resolve(KeySelector::FirstGreaterOrEqual("z")).has_value());
+}
+
+TEST_F(KeySelectorTest, FirstGreaterThan) {
+  EXPECT_EQ(Resolve(KeySelector::FirstGreaterThan("d")).value(), "f");
+  EXPECT_EQ(Resolve(KeySelector::FirstGreaterThan("c")).value(), "d");
+  EXPECT_FALSE(Resolve(KeySelector::FirstGreaterThan("h")).has_value());
+}
+
+TEST_F(KeySelectorTest, LastLessOrEqual) {
+  EXPECT_EQ(Resolve(KeySelector::LastLessOrEqual("d")).value(), "d");
+  EXPECT_EQ(Resolve(KeySelector::LastLessOrEqual("e")).value(), "d");
+  EXPECT_EQ(Resolve(KeySelector::LastLessOrEqual("z")).value(), "h");
+  EXPECT_FALSE(Resolve(KeySelector::LastLessOrEqual("a")).has_value());
+}
+
+TEST_F(KeySelectorTest, LastLessThan) {
+  EXPECT_EQ(Resolve(KeySelector::LastLessThan("d")).value(), "b");
+  EXPECT_EQ(Resolve(KeySelector::LastLessThan("e")).value(), "d");
+  EXPECT_FALSE(Resolve(KeySelector::LastLessThan("b")).has_value());
+}
+
+TEST_F(KeySelectorTest, PositiveOffsetsStepForward) {
+  KeySelector sel = KeySelector::FirstGreaterOrEqual("b");
+  sel.offset = 3;
+  EXPECT_EQ(Resolve(sel).value(), "f");
+  sel.offset = 4;
+  EXPECT_EQ(Resolve(sel).value(), "h");
+  sel.offset = 5;
+  EXPECT_FALSE(Resolve(sel).has_value());
+}
+
+TEST_F(KeySelectorTest, NegativeOffsetsStepBackward) {
+  // Offset counts from the resolved base: LastLessOrEqual("h") is "h", so
+  // -1 is one key before it.
+  KeySelector sel = KeySelector::LastLessOrEqual("h");
+  sel.offset = -1;
+  EXPECT_EQ(Resolve(sel).value(), "f");
+  sel.offset = -2;
+  EXPECT_EQ(Resolve(sel).value(), "d");
+  sel.offset = -3;
+  EXPECT_EQ(Resolve(sel).value(), "b");
+  sel.offset = -4;
+  EXPECT_FALSE(Resolve(sel).has_value());
+}
+
+TEST_F(KeySelectorTest, ResolvesAgainstWriteBuffer) {
+  Transaction txn = db_.CreateTransaction();
+  txn.Set("e", "buffered");
+  auto r = txn.GetKey(KeySelector::FirstGreaterThan("d"));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().value(), "e");
+}
+
+TEST_F(KeySelectorTest, GetRangeSelectorHalfOpen) {
+  Transaction txn = db_.CreateTransaction();
+  auto kvs = txn.GetRangeSelector(KeySelector::FirstGreaterOrEqual("c"),
+                                  KeySelector::FirstGreaterOrEqual("g"));
+  ASSERT_TRUE(kvs.ok());
+  ASSERT_EQ(kvs->size(), 2u);
+  EXPECT_EQ((*kvs)[0].key, "d");
+  EXPECT_EQ((*kvs)[1].key, "f");
+}
+
+TEST_F(KeySelectorTest, GetRangeSelectorInclusiveEnd) {
+  Transaction txn = db_.CreateTransaction();
+  auto kvs = txn.GetRangeSelector(KeySelector::FirstGreaterOrEqual("d"),
+                                  KeySelector::FirstGreaterThan("f"));
+  ASSERT_TRUE(kvs.ok());
+  ASSERT_EQ(kvs->size(), 2u);
+  EXPECT_EQ((*kvs)[1].key, "f");
+}
+
+TEST_F(KeySelectorTest, EmptySelectorRangeIsEmpty) {
+  Transaction txn = db_.CreateTransaction();
+  auto kvs = txn.GetRangeSelector(KeySelector::FirstGreaterOrEqual("z"),
+                                  KeySelector::FirstGreaterOrEqual("g"));
+  ASSERT_TRUE(kvs.ok());
+  EXPECT_TRUE(kvs->empty());
+}
+
+TEST_F(KeySelectorTest, StrongResolutionConflictsWithInserts) {
+  // Resolving a selector reads a key range; an insert into that range by
+  // another transaction must abort this one.
+  Transaction t1 = db_.CreateTransaction();
+  ASSERT_TRUE(t1.GetKey(KeySelector::FirstGreaterOrEqual("c")).ok());  // "d"
+  t1.Set("out", "x");
+
+  Transaction t2 = db_.CreateTransaction();
+  t2.Set("c2", "inserted before d");
+  ASSERT_TRUE(t2.Commit().ok());
+
+  EXPECT_TRUE(t1.Commit().IsNotCommitted());
+}
+
+TEST_F(KeySelectorTest, SnapshotResolutionDoesNotConflict) {
+  Transaction t1 = db_.CreateTransaction();
+  ASSERT_TRUE(
+      t1.GetKey(KeySelector::FirstGreaterOrEqual("c"), /*snapshot=*/true)
+          .ok());
+  t1.Set("out", "x");
+  Transaction t2 = db_.CreateTransaction();
+  t2.Set("c2", "inserted");
+  ASSERT_TRUE(t2.Commit().ok());
+  EXPECT_TRUE(t1.Commit().ok());
+}
+
+}  // namespace
+}  // namespace quick::fdb

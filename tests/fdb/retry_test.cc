@@ -1,0 +1,168 @@
+#include "fdb/retry.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace quick::fdb {
+namespace {
+
+TEST(RetryTest, CommitsOnFirstAttempt) {
+  Database db("r");
+  int attempts = 0;
+  Status st = RunTransaction(&db, [&](Transaction& txn) {
+    ++attempts;
+    txn.Set("k", "v");
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(attempts, 1);
+}
+
+TEST(RetryTest, RetriesConflictsUntilSuccess) {
+  ManualClock clock;
+  Database::Options opts;
+  opts.clock = &clock;
+  Database db("r", opts);
+  {
+    Transaction t = db.CreateTransaction();
+    t.Set("counter", "0");
+    ASSERT_TRUE(t.Commit().ok());
+  }
+
+  // Body reads "counter" and conflicts with an external write on the first
+  // two attempts.
+  int attempts = 0;
+  Status st = RunTransaction(&db, [&](Transaction& txn) {
+    ++attempts;
+    auto v = txn.Get("counter");
+    QUICK_RETURN_IF_ERROR(v.status());
+    if (attempts <= 2) {
+      Transaction interferer = db.CreateTransaction();
+      interferer.Set("counter", std::to_string(attempts));
+      QUICK_RETURN_IF_ERROR(interferer.Commit());
+    }
+    txn.Set("out", v.value().value_or(""));
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_EQ(attempts, 3);
+}
+
+TEST(RetryTest, NonRetryableErrorSurfacesImmediately) {
+  Database db("r");
+  int attempts = 0;
+  Status st = RunTransaction(&db, [&](Transaction&) {
+    ++attempts;
+    return Status::InvalidArgument("bad input");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(attempts, 1);
+}
+
+TEST(RetryTest, RetriesTransientCommitFaults) {
+  ManualClock clock;
+  Database::Options opts;
+  opts.clock = &clock;
+  opts.faults.commit_unavailable = 0.5;
+  opts.faults.seed = 7;
+  Database db("r", opts);
+  for (int i = 0; i < 50; ++i) {
+    Status st = RunTransaction(&db, [&](Transaction& txn) {
+      txn.Set("k" + std::to_string(i), "v");
+      return Status::OK();
+    });
+    ASSERT_TRUE(st.ok()) << st;
+  }
+  EXPECT_EQ(db.LiveKeyCount(), 50u);
+}
+
+TEST(RetryTest, UnknownResultRetriedIdempotently) {
+  ManualClock clock;
+  Database::Options opts;
+  opts.clock = &clock;
+  opts.faults.unknown_result_applied = 0.3;
+  opts.faults.unknown_result_dropped = 0.2;
+  opts.faults.seed = 11;
+  Database db("r", opts);
+  for (int i = 0; i < 50; ++i) {
+    const std::string key = "k" + std::to_string(i);
+    Status st = RunTransaction(&db, [&](Transaction& txn) {
+      txn.Set(key, "v");  // idempotent body
+      return Status::OK();
+    });
+    ASSERT_TRUE(st.ok()) << st;
+    Transaction probe = db.CreateTransaction();
+    EXPECT_EQ(probe.Get(key).value().value(), "v");
+  }
+}
+
+TEST(RetryTest, BudgetExhaustedReturnsTimedOut) {
+  ManualClock clock;
+  Database::Options opts;
+  opts.clock = &clock;
+  opts.faults.commit_unavailable = 1.0;
+  Database db("r", opts);
+  Status st = RunTransaction(
+      &db,
+      [&](Transaction& txn) {
+        txn.Set("k", "v");
+        return Status::OK();
+      },
+      /*max_attempts=*/3);
+  EXPECT_EQ(st.code(), StatusCode::kTimedOut);
+}
+
+TEST(RetryTest, RunTransactionResultReturnsValue) {
+  Database db("r");
+  {
+    Transaction t = db.CreateTransaction();
+    t.Set("k", "hello");
+    ASSERT_TRUE(t.Commit().ok());
+  }
+  Result<std::string> r = RunTransactionResult<std::string>(
+      &db, TransactionOptions{}, [](Transaction& txn, std::string* out) {
+        auto v = txn.Get("k");
+        QUICK_RETURN_IF_ERROR(v.status());
+        *out = v.value().value_or("");
+        return Status::OK();
+      });
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "hello");
+}
+
+TEST(RetryTest, ConcurrentIncrementsSerializeCorrectly) {
+  // Classic lost-update check: N threads read-modify-write one counter
+  // through the retry loop; the final value must be exactly N * K.
+  Database db("r");
+  {
+    Transaction t = db.CreateTransaction();
+    t.Set("counter", "0");
+    ASSERT_TRUE(t.Commit().ok());
+  }
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 50;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&db] {
+      for (int j = 0; j < kIncrements; ++j) {
+        Status st = RunTransaction(&db, [](Transaction& txn) {
+          auto v = txn.Get("counter");
+          QUICK_RETURN_IF_ERROR(v.status());
+          int n = std::stoi(v.value().value_or("0"));
+          txn.Set("counter", std::to_string(n + 1));
+          return Status::OK();
+        }, /*max_attempts=*/1000);
+        ASSERT_TRUE(st.ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  Transaction probe = db.CreateTransaction();
+  EXPECT_EQ(probe.Get("counter").value().value(),
+            std::to_string(kThreads * kIncrements));
+}
+
+}  // namespace
+}  // namespace quick::fdb

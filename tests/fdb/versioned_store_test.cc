@@ -1,0 +1,229 @@
+#include "fdb/versioned_store.h"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+
+namespace quick::fdb {
+namespace {
+
+Mutation SetMut(std::string key, std::string value) {
+  Mutation m;
+  m.type = Mutation::Type::kSet;
+  m.key = std::move(key);
+  m.value = std::move(value);
+  return m;
+}
+
+Mutation ClearMut(std::string key) {
+  Mutation m;
+  m.type = Mutation::Type::kClear;
+  m.key = std::move(key);
+  return m;
+}
+
+Mutation ClearRangeMut(std::string begin, std::string end) {
+  Mutation m;
+  m.type = Mutation::Type::kClearRange;
+  m.key = std::move(begin);
+  m.end_key = std::move(end);
+  return m;
+}
+
+Mutation AtomicMut(AtomicOp op, std::string key, std::string operand,
+                   bool base_cleared = false) {
+  Mutation m;
+  m.type = Mutation::Type::kAtomic;
+  m.key = std::move(key);
+  m.value = std::move(operand);
+  m.op = op;
+  m.base_cleared = base_cleared;
+  return m;
+}
+
+TEST(VersionedStoreTest, GetMissingKey) {
+  VersionedStore store;
+  EXPECT_FALSE(store.Get("nope", 100).has_value());
+}
+
+TEST(VersionedStoreTest, SetVisibleAtAndAfterVersion) {
+  VersionedStore store;
+  store.Apply({SetMut("k", "v")}, 5);
+  EXPECT_FALSE(store.Get("k", 4).has_value());
+  EXPECT_EQ(store.Get("k", 5).value(), "v");
+  EXPECT_EQ(store.Get("k", 100).value(), "v");
+}
+
+TEST(VersionedStoreTest, MvccReadsOldVersions) {
+  VersionedStore store;
+  store.Apply({SetMut("k", "v1")}, 1);
+  store.Apply({SetMut("k", "v2")}, 2);
+  store.Apply({ClearMut("k")}, 3);
+  store.Apply({SetMut("k", "v4")}, 4);
+  EXPECT_EQ(store.Get("k", 1).value(), "v1");
+  EXPECT_EQ(store.Get("k", 2).value(), "v2");
+  EXPECT_FALSE(store.Get("k", 3).has_value());
+  EXPECT_EQ(store.Get("k", 4).value(), "v4");
+}
+
+TEST(VersionedStoreTest, ClearRangeTombstonesLiveKeys) {
+  VersionedStore store;
+  store.Apply({SetMut("a", "1"), SetMut("b", "2"), SetMut("c", "3")}, 1);
+  store.Apply({ClearRangeMut("a", "c")}, 2);
+  EXPECT_FALSE(store.Get("a", 2).has_value());
+  EXPECT_FALSE(store.Get("b", 2).has_value());
+  EXPECT_EQ(store.Get("c", 2).value(), "3");
+  // Old snapshot unaffected.
+  EXPECT_EQ(store.Get("a", 1).value(), "1");
+}
+
+TEST(VersionedStoreTest, SetAfterClearRangeSameVersionWins) {
+  VersionedStore store;
+  store.Apply({SetMut("b", "old")}, 1);
+  // One commit clearing a range then re-setting a key inside it.
+  store.Apply({ClearRangeMut("a", "z"), SetMut("b", "new")}, 2);
+  EXPECT_EQ(store.Get("b", 2).value(), "new");
+}
+
+TEST(VersionedStoreTest, GetRangeBasic) {
+  VersionedStore store;
+  store.Apply({SetMut("a", "1"), SetMut("b", "2"), SetMut("d", "4")}, 1);
+  auto kvs = store.GetRange(KeyRange{"a", "d"}, 1);
+  ASSERT_EQ(kvs.size(), 2u);
+  EXPECT_EQ(kvs[0].key, "a");
+  EXPECT_EQ(kvs[1].key, "b");
+}
+
+TEST(VersionedStoreTest, GetRangeRespectsVersion) {
+  VersionedStore store;
+  store.Apply({SetMut("a", "1")}, 1);
+  store.Apply({SetMut("b", "2")}, 2);
+  EXPECT_EQ(store.GetRange(KeyRange::All(), 1).size(), 1u);
+  EXPECT_EQ(store.GetRange(KeyRange::All(), 2).size(), 2u);
+}
+
+TEST(VersionedStoreTest, GetRangeSkipsTombstones) {
+  VersionedStore store;
+  store.Apply({SetMut("a", "1"), SetMut("b", "2")}, 1);
+  store.Apply({ClearMut("a")}, 2);
+  auto kvs = store.GetRange(KeyRange::All(), 2);
+  ASSERT_EQ(kvs.size(), 1u);
+  EXPECT_EQ(kvs[0].key, "b");
+}
+
+TEST(VersionedStoreTest, GetRangeLimitAndReverse) {
+  VersionedStore store;
+  store.Apply({SetMut("a", "1"), SetMut("b", "2"), SetMut("c", "3")}, 1);
+  RangeOptions fwd;
+  fwd.limit = 2;
+  auto kvs = store.GetRange(KeyRange::All(), 1, fwd);
+  ASSERT_EQ(kvs.size(), 2u);
+  EXPECT_EQ(kvs[0].key, "a");
+
+  RangeOptions rev;
+  rev.limit = 2;
+  rev.reverse = true;
+  kvs = store.GetRange(KeyRange::All(), 1, rev);
+  ASSERT_EQ(kvs.size(), 2u);
+  EXPECT_EQ(kvs[0].key, "c");
+  EXPECT_EQ(kvs[1].key, "b");
+}
+
+TEST(VersionedStoreTest, AtomicAddFromMissing) {
+  VersionedStore store;
+  store.Apply({AtomicMut(AtomicOp::kAdd, "n", EncodeLittleEndian64(5))}, 1);
+  EXPECT_EQ(DecodeLittleEndian64(store.Get("n", 1).value()), 5u);
+}
+
+TEST(VersionedStoreTest, AtomicAddAccumulates) {
+  VersionedStore store;
+  store.Apply({AtomicMut(AtomicOp::kAdd, "n", EncodeLittleEndian64(5))}, 1);
+  store.Apply({AtomicMut(AtomicOp::kAdd, "n", EncodeLittleEndian64(7))}, 2);
+  EXPECT_EQ(DecodeLittleEndian64(store.Get("n", 2).value()), 12u);
+  EXPECT_EQ(DecodeLittleEndian64(store.Get("n", 1).value()), 5u);
+}
+
+TEST(VersionedStoreTest, AtomicAddNegativeWraps) {
+  VersionedStore store;
+  store.Apply({AtomicMut(AtomicOp::kAdd, "n", EncodeLittleEndian64(5))}, 1);
+  // Two's-complement -2.
+  store.Apply({AtomicMut(AtomicOp::kAdd, "n",
+                         EncodeLittleEndian64(static_cast<uint64_t>(-2)))},
+              2);
+  EXPECT_EQ(DecodeLittleEndian64(store.Get("n", 2).value()), 3u);
+}
+
+TEST(VersionedStoreTest, AtomicMinMax) {
+  VersionedStore store;
+  store.Apply({AtomicMut(AtomicOp::kMax, "m", EncodeLittleEndian64(10))}, 1);
+  store.Apply({AtomicMut(AtomicOp::kMax, "m", EncodeLittleEndian64(3))}, 2);
+  EXPECT_EQ(DecodeLittleEndian64(store.Get("m", 2).value()), 10u);
+  store.Apply({AtomicMut(AtomicOp::kMin, "m", EncodeLittleEndian64(4))}, 3);
+  EXPECT_EQ(DecodeLittleEndian64(store.Get("m", 3).value()), 4u);
+}
+
+TEST(VersionedStoreTest, AtomicByteMinMax) {
+  VersionedStore store;
+  store.Apply({AtomicMut(AtomicOp::kByteMax, "b", "mango")}, 1);
+  store.Apply({AtomicMut(AtomicOp::kByteMax, "b", "apple")}, 2);
+  EXPECT_EQ(store.Get("b", 2).value(), "mango");
+  store.Apply({AtomicMut(AtomicOp::kByteMin, "b", "kiwi")}, 3);
+  EXPECT_EQ(store.Get("b", 3).value(), "kiwi");
+}
+
+TEST(VersionedStoreTest, AtomicBaseClearedIgnoresStorage) {
+  VersionedStore store;
+  store.Apply({SetMut("n", EncodeLittleEndian64(100))}, 1);
+  store.Apply({AtomicMut(AtomicOp::kAdd, "n", EncodeLittleEndian64(5),
+                         /*base_cleared=*/true)},
+              2);
+  EXPECT_EQ(DecodeLittleEndian64(store.Get("n", 2).value()), 5u);
+}
+
+TEST(VersionedStoreTest, AtomicSeesEarlierMutationInSameCommit) {
+  VersionedStore store;
+  store.Apply({SetMut("n", EncodeLittleEndian64(10)),
+               AtomicMut(AtomicOp::kAdd, "n", EncodeLittleEndian64(1))},
+              1);
+  EXPECT_EQ(DecodeLittleEndian64(store.Get("n", 1).value()), 11u);
+}
+
+TEST(VersionedStoreTest, PruneDropsOldVersionsKeepsVisible) {
+  VersionedStore store;
+  store.Apply({SetMut("k", "v1")}, 1);
+  store.Apply({SetMut("k", "v2")}, 5);
+  store.Apply({SetMut("k", "v3")}, 9);
+  store.Prune(5);
+  // Reads at or above the prune floor still correct.
+  EXPECT_EQ(store.Get("k", 5).value(), "v2");
+  EXPECT_EQ(store.Get("k", 9).value(), "v3");
+  EXPECT_EQ(store.TotalEntryCount(), 2u);
+}
+
+TEST(VersionedStoreTest, PruneRemovesDeadTombstones) {
+  VersionedStore store;
+  store.Apply({SetMut("k", "v")}, 1);
+  store.Apply({ClearMut("k")}, 2);
+  store.Prune(10);
+  EXPECT_EQ(store.TotalEntryCount(), 0u);
+  EXPECT_EQ(store.LiveKeyCount(), 0u);
+}
+
+TEST(VersionedStoreTest, LiveKeyCount) {
+  VersionedStore store;
+  store.Apply({SetMut("a", "1"), SetMut("b", "2")}, 1);
+  EXPECT_EQ(store.LiveKeyCount(), 2u);
+  store.Apply({ClearMut("a")}, 2);
+  EXPECT_EQ(store.LiveKeyCount(), 1u);
+}
+
+TEST(ApplyAtomicOpTest, AddResultWidthFollowsOperand) {
+  // 4-byte operand produces a 4-byte result, as in FDB.
+  std::string operand("\x05\x00\x00\x00", 4);
+  std::string result = ApplyAtomicOp(AtomicOp::kAdd, std::nullopt, operand);
+  EXPECT_EQ(result.size(), 4u);
+  EXPECT_EQ(DecodeLittleEndian64(result), 5u);
+}
+
+}  // namespace
+}  // namespace quick::fdb

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "common/bytes.h"
+#include "fdb/database.h"
+
+namespace quick::fdb {
+namespace {
+
+TEST(VersionstampTest, StampEncodesCommitVersionBigEndian) {
+  const std::string stamp = VersionstampFor(0x0102030405060708);
+  ASSERT_EQ(stamp.size(), 10u);
+  EXPECT_EQ(DecodeBigEndian64(stamp.substr(0, 8)), 0x0102030405060708u);
+  EXPECT_EQ(stamp[8], '\x00');
+  EXPECT_EQ(stamp[9], '\x00');
+}
+
+TEST(VersionstampTest, StampsSortByCommitOrder) {
+  EXPECT_LT(VersionstampFor(1), VersionstampFor(2));
+  EXPECT_LT(VersionstampFor(255), VersionstampFor(256));
+}
+
+TEST(VersionstampTest, SetVersionstampedKeyLandsAtCommitVersion) {
+  Database db("vs");
+  Transaction txn = db.CreateTransaction();
+  txn.SetVersionstampedKey("log/", "/suffix", "payload");
+  ASSERT_TRUE(txn.Commit().ok());
+  const std::string stamp = txn.GetVersionstamp().value();
+
+  Transaction probe = db.CreateTransaction();
+  auto v = probe.Get("log/" + stamp + "/suffix");
+  ASSERT_TRUE(v.ok());
+  ASSERT_TRUE(v.value().has_value());
+  EXPECT_EQ(*v.value(), "payload");
+}
+
+TEST(VersionstampTest, KeysFromSuccessiveCommitsAreOrdered) {
+  Database db("vs");
+  for (int i = 0; i < 5; ++i) {
+    Transaction txn = db.CreateTransaction();
+    txn.SetVersionstampedKey("log/", "", "item" + std::to_string(i));
+    ASSERT_TRUE(txn.Commit().ok());
+  }
+  Transaction probe = db.CreateTransaction();
+  auto kvs = probe.GetRange(KeyRange::Prefix("log/"));
+  ASSERT_TRUE(kvs.ok());
+  ASSERT_EQ(kvs->size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ((*kvs)[i].value, "item" + std::to_string(i));
+  }
+}
+
+TEST(VersionstampTest, SetVersionstampedValue) {
+  Database db("vs");
+  Transaction txn = db.CreateTransaction();
+  txn.SetVersionstampedValue("header", "pre-");
+  ASSERT_TRUE(txn.Commit().ok());
+  const std::string stamp = txn.GetVersionstamp().value();
+
+  Transaction probe = db.CreateTransaction();
+  EXPECT_EQ(probe.Get("header").value().value(), "pre-" + stamp);
+}
+
+TEST(VersionstampTest, GetVersionstampBeforeCommitFails) {
+  Database db("vs");
+  Transaction txn = db.CreateTransaction();
+  txn.SetVersionstampedKey("log/", "", "x");
+  EXPECT_FALSE(txn.GetVersionstamp().ok());
+}
+
+TEST(VersionstampTest, MultipleStampedWritesShareOneStamp) {
+  Database db("vs");
+  Transaction txn = db.CreateTransaction();
+  txn.SetVersionstampedKey("a/", "1", "");
+  txn.SetVersionstampedKey("b/", "2", "");
+  ASSERT_TRUE(txn.Commit().ok());
+  const std::string stamp = txn.GetVersionstamp().value();
+  Transaction probe = db.CreateTransaction();
+  EXPECT_TRUE(probe.Get("a/" + stamp + "1").value().has_value());
+  EXPECT_TRUE(probe.Get("b/" + stamp + "2").value().has_value());
+}
+
+TEST(VersionstampTest, StampedWriteConflictsWithPrefixReaders) {
+  Database db("vs");
+  // Reader scans the prefix strongly.
+  Transaction reader = db.CreateTransaction();
+  ASSERT_TRUE(reader.GetRange(KeyRange::Prefix("log/")).ok());
+  reader.Set("out", "x");
+
+  Transaction writer = db.CreateTransaction();
+  writer.SetVersionstampedKey("log/", "", "new");
+  ASSERT_TRUE(writer.Commit().ok());
+
+  EXPECT_TRUE(reader.Commit().IsNotCommitted());
+}
+
+TEST(VersionstampTest, ResetDropsStampedWrites) {
+  Database db("vs");
+  Transaction txn = db.CreateTransaction();
+  txn.SetVersionstampedKey("log/", "", "x");
+  txn.Reset();
+  EXPECT_TRUE(txn.Commit().ok());  // no-op commit now
+  Transaction probe = db.CreateTransaction();
+  EXPECT_TRUE(probe.GetRange(KeyRange::Prefix("log/")).value().empty());
+}
+
+}  // namespace
+}  // namespace quick::fdb

@@ -1,0 +1,148 @@
+#include "quick/alerts.h"
+
+#include <gtest/gtest.h>
+
+#include "quick/consumer.h"
+
+namespace quick::core {
+namespace {
+
+class AlertsTest : public ::testing::Test {
+ protected:
+  AlertsTest() {
+    fdb::Database::Options opts;
+    opts.clock = &clock_;
+    clusters_ = std::make_unique<fdb::ClusterSet>(opts);
+    clusters_->AddCluster("c1");
+    ck_ = std::make_unique<ck::CloudKitService>(clusters_.get(), &clock_);
+    quick_ = std::make_unique<Quick>(ck_.get());
+  }
+
+  // Consumer is pinned (threads, atomics): construct in place and attach
+  // the sink afterwards.
+  ConsumerConfig TestConfig() {
+    ConsumerConfig config;
+    config.sequential = true;
+    config.relaxed_reads_for_peek = false;
+    return config;
+  }
+
+  std::string MustEnqueue(const std::string& type) {
+    WorkItem item;
+    item.job_type = type;
+    auto id = quick_->Enqueue(ck::DatabaseId::Private("app", "u1"), item, 0);
+    EXPECT_TRUE(id.ok());
+    return id.value_or("");
+  }
+
+  ManualClock clock_{44000};
+  std::unique_ptr<fdb::ClusterSet> clusters_;
+  std::unique_ptr<ck::CloudKitService> ck_;
+  std::unique_ptr<Quick> quick_;
+  JobRegistry registry_;
+  CollectingAlertSink sink_;
+};
+
+TEST_F(AlertsTest, PermanentFailureRaisesAlert) {
+  registry_.Register("doomed", [](WorkContext&) {
+    return Status::Permanent("user deleted");
+  });
+  const std::string id = MustEnqueue("doomed");
+  Consumer consumer(quick_.get(), {"c1"}, &registry_, TestConfig(), "a");
+  consumer.SetAlertSink(&sink_);
+  ASSERT_TRUE(consumer.RunOnePass("c1").ok());
+  auto alerts = sink_.Drain();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, Alert::Kind::kPermanentFailure);
+  EXPECT_EQ(alerts[0].item_id, id);
+  EXPECT_EQ(alerts[0].job_type, "doomed");
+  EXPECT_NE(alerts[0].ToString().find("PERMANENT_FAILURE"),
+            std::string::npos);
+  EXPECT_NE(alerts[0].ToString().find("user deleted"), std::string::npos);
+}
+
+TEST_F(AlertsTest, UnknownJobTypeRaisesAlert) {
+  MustEnqueue("mystery");
+  Consumer consumer(quick_.get(), {"c1"}, &registry_, TestConfig(), "a");
+  consumer.SetAlertSink(&sink_);
+  ASSERT_TRUE(consumer.RunOnePass("c1").ok());
+  auto alerts = sink_.Drain();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, Alert::Kind::kUnknownJobType);
+}
+
+TEST_F(AlertsTest, RepeatedFailuresAlertAtThreshold) {
+  RetryPolicy policy;
+  policy.max_inline_retries = 0;
+  policy.backoff_initial_millis = 10;
+  policy.alert_after_errors = 2;
+  registry_.Register(
+      "flaky", [](WorkContext&) { return Status::Unavailable("down"); },
+      policy);
+  MustEnqueue("flaky");
+  Consumer consumer(quick_.get(), {"c1"}, &registry_, TestConfig(), "a");
+  consumer.SetAlertSink(&sink_);
+
+  ASSERT_TRUE(consumer.RunOnePass("c1").ok());  // error_count -> 1: no alert
+  EXPECT_EQ(sink_.Count(), 0u);
+
+  clock_.AdvanceMillis(6000);  // past the pointer's lease-derived re-vest
+  ASSERT_TRUE(consumer.RunOnePass("c1").ok());  // error_count -> 2: alert
+  auto alerts = sink_.Drain();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, Alert::Kind::kRepeatedFailures);
+  EXPECT_EQ(alerts[0].error_count, 2);
+}
+
+TEST_F(AlertsTest, ExhaustionDropRaisesAlert) {
+  RetryPolicy policy;
+  policy.max_inline_retries = 0;
+  policy.max_attempts = 1;
+  policy.drop_on_exhaust = true;
+  registry_.Register(
+      "hopeless", [](WorkContext&) { return Status::Unavailable("down"); },
+      policy);
+  MustEnqueue("hopeless");
+  Consumer consumer(quick_.get(), {"c1"}, &registry_, TestConfig(), "a");
+  consumer.SetAlertSink(&sink_);
+  ASSERT_TRUE(consumer.RunOnePass("c1").ok());
+  auto alerts = sink_.Drain();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, Alert::Kind::kDroppedAfterExhaustion);
+}
+
+TEST_F(AlertsTest, NoSinkNoCrash) {
+  registry_.Register("doomed", [](WorkContext&) {
+    return Status::Permanent("x");
+  });
+  MustEnqueue("doomed");
+  ConsumerConfig config;
+  config.sequential = true;
+  config.relaxed_reads_for_peek = false;
+  Consumer consumer(quick_.get(), {"c1"}, &registry_, config, "no-sink");
+  EXPECT_TRUE(consumer.RunOnePass("c1").ok());
+}
+
+TEST_F(AlertsTest, SuccessRaisesNothing) {
+  registry_.Register("fine", [](WorkContext&) { return Status::OK(); });
+  MustEnqueue("fine");
+  Consumer consumer(quick_.get(), {"c1"}, &registry_, TestConfig(), "a");
+  consumer.SetAlertSink(&sink_);
+  ASSERT_TRUE(consumer.RunOnePass("c1").ok());
+  EXPECT_EQ(sink_.Count(), 0u);
+}
+
+TEST_F(AlertsTest, FullReportListsCounters) {
+  registry_.Register("fine", [](WorkContext&) { return Status::OK(); });
+  MustEnqueue("fine");
+  Consumer consumer(quick_.get(), {"c1"}, &registry_, TestConfig(), "a");
+  consumer.SetAlertSink(&sink_);
+  ASSERT_TRUE(consumer.RunOnePass("c1").ok());
+  const std::string report = consumer.stats().FullReport();
+  EXPECT_NE(report.find("items_processed = 1"), std::string::npos);
+  EXPECT_NE(report.find("pointer_leases_acquired = 1"), std::string::npos);
+  EXPECT_NE(report.find("pointer_latency_us :"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace quick::core

@@ -1,0 +1,165 @@
+// Randomized end-to-end "chaos" property test: a scripted interleaving of
+// enqueues, consumer passes, clock advances, tenant migrations, and
+// injected FDB faults, driven synchronously from one thread with a manual
+// clock (fully deterministic per seed). After the dust settles the
+// invariants of DESIGN.md §4 are checked:
+//   1. findability — every enqueued-and-not-yet-executed item is reachable
+//      via a pointer in some cluster's top-level queue;
+//   2. eventual execution — draining afterwards executes everything
+//      exactly the expected number of distinct items (at-least-once);
+//   3. no stray pointers — after a full drain plus GC grace, top-level
+//      queues hold nothing.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/random.h"
+#include "fdb/retry.h"
+#include "quick/admin.h"
+#include "quick/consumer.h"
+
+namespace quick::core {
+namespace {
+
+class ChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChaosTest, InvariantsHoldUnderRandomInterleavings) {
+  Random rng(GetParam());
+  ManualClock clock(1000000);
+
+  fdb::Database::Options opts;
+  opts.clock = &clock;
+  // Mild fault injection on every cluster (deterministic per seed).
+  opts.faults.unknown_result_applied = 0.01;
+  opts.faults.unknown_result_dropped = 0.01;
+  opts.faults.commit_unavailable = 0.02;
+  opts.faults.seed = GetParam();
+  fdb::ClusterSet clusters(opts);
+  clusters.AddCluster("c1");
+  clusters.AddCluster("c2");
+  ck::CloudKitService cloudkit(&clusters, &clock);
+  Quick quick(&cloudkit);
+
+  std::set<std::string> executed;
+  JobRegistry registry;
+  registry.Register("chaos", [&](WorkContext& ctx) {
+    executed.insert(ctx.item.id);
+    return Status::OK();
+  });
+
+  ConsumerConfig config;
+  config.sequential = true;
+  config.relaxed_reads_for_peek = false;
+  config.dequeue_max = 2;
+  config.pointer_lease_millis = 500;
+  config.item_lease_millis = 1000;
+  config.min_inactive_millis = 2000;
+  Consumer consumer(&quick, {"c1", "c2"}, &registry, config, "chaos-consumer");
+
+  constexpr int kTenants = 6;
+  auto tenant = [&](int i) {
+    return ck::DatabaseId::Private("chaos-app", "user" + std::to_string(i));
+  };
+  std::set<std::string> enqueued;
+
+  for (int step = 0; step < 400; ++step) {
+    const uint64_t action = rng.Uniform(100);
+    if (action < 45) {
+      // Enqueue (sometimes delayed) for a random tenant.
+      WorkItem item;
+      item.job_type = "chaos";
+      const int64_t delay =
+          rng.Bernoulli(0.3) ? static_cast<int64_t>(rng.Uniform(3000)) : 0;
+      auto id = quick.Enqueue(tenant(static_cast<int>(rng.Uniform(kTenants))),
+                              item, delay);
+      if (id.ok()) enqueued.insert(*id);
+      // Enqueues may fail under injected faults — that is fine; the client
+      // saw the failure.
+    } else if (action < 80) {
+      // Consumer pass over a random cluster.
+      (void)consumer.RunOnePass(rng.Bernoulli(0.5) ? "c1" : "c2");
+    } else if (action < 95) {
+      clock.AdvanceMillis(1 + static_cast<int64_t>(rng.Uniform(800)));
+    } else {
+      // Migrate a random tenant to the other cluster.
+      const ck::DatabaseId db = tenant(static_cast<int>(rng.Uniform(kTenants)));
+      auto placed = cloudkit.placement()->Get(db);
+      if (placed.has_value()) {
+        const std::string dest = *placed == "c1" ? "c2" : "c1";
+        // Migration may fail under injected faults; retry once later is
+        // not modeled — a failed move can leave the tenant mid-move, so
+        // only chaos-test it with faults disabled on the copy path. Here
+        // we simply tolerate a failed move by skipping.
+        (void)quick.MoveTenant(db, dest);
+      }
+    }
+  }
+
+  // Findability check on the final state: every pending (non-executed)
+  // enqueued item must be reachable via some pointer.
+  QuickAdmin admin(&quick);
+  std::set<std::string> reachable;
+  for (const std::string& cluster : {std::string("c1"), std::string("c2")}) {
+    auto rows = admin.ListOutstandingQueues(cluster, 0);
+    ASSERT_TRUE(rows.ok());
+    for (const QuickAdmin::OutstandingQueue& row : *rows) {
+      fdb::Database* db = clusters.Get(cluster);
+      Status st = fdb::RunTransaction(db, [&](fdb::Transaction& txn) {
+        const tup::Subspace zone_subspace =
+            ck::CloudKitService::DatabaseSubspace(row.pointer.db_id)
+                .Sub("z")
+                .Sub(row.pointer.zone);
+        ck::QueueZone zone(&txn, zone_subspace, &clock);
+        QUICK_ASSIGN_OR_RETURN(std::vector<rl::Record> all,
+                               zone.store()->ScanRecords());
+        for (const rl::Record& rec : all) {
+          QUICK_ASSIGN_OR_RETURN(ck::QueuedItem item,
+                                 ck::QueuedItem::FromRecord(rec));
+          reachable.insert(item.id);
+        }
+        return Status::OK();
+      });
+      ASSERT_TRUE(st.ok());
+    }
+  }
+  for (const std::string& id : enqueued) {
+    if (executed.count(id)) continue;
+    EXPECT_TRUE(reachable.count(id))
+        << "pending item " << id << " unreachable: its pointer was lost";
+  }
+
+  // Drain: advance time and run passes until everything executes.
+  // (executed may contain extra ids from enqueues that failed with
+  // commit-unknown-result yet actually landed; compare as a superset.)
+  auto all_executed = [&] {
+    for (const std::string& id : enqueued) {
+      if (!executed.count(id)) return false;
+    }
+    return true;
+  };
+  for (int round = 0; round < 300 && !all_executed(); ++round) {
+    clock.AdvanceMillis(400);
+    (void)consumer.RunOnePass("c1");
+    (void)consumer.RunOnePass("c2");
+  }
+  for (const std::string& id : enqueued) {
+    EXPECT_TRUE(executed.count(id)) << "item " << id << " never executed";
+  }
+
+  // GC: after the grace period every pointer disappears.
+  for (int round = 0; round < 30; ++round) {
+    clock.AdvanceMillis(1000);
+    (void)consumer.RunOnePass("c1");
+    (void)consumer.RunOnePass("c2");
+  }
+  EXPECT_EQ(quick.TopLevelCount("c1").value_or(-1), 0);
+  EXPECT_EQ(quick.TopLevelCount("c2").value_or(-1), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
+                         ::testing::Values(1, 7, 42, 1234, 20260705));
+
+}  // namespace
+}  // namespace quick::core

@@ -1,0 +1,257 @@
+// End-to-end at-least-once tests: threaded consumers + concurrent
+// enqueuers, with and without injected FoundationDB faults. The invariant
+// under test is the paper's §6 "Correctness" claim — once an enqueue
+// commits, consumers eventually find and execute the item (the pointer to
+// a non-empty queue is never lost).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <set>
+#include <thread>
+
+#include "quick/consumer.h"
+#include "fdb/retry.h"
+#include "quick/quick.h"
+
+namespace quick::core {
+namespace {
+
+class CorrectnessTest : public ::testing::Test {
+ protected:
+  void Build(const fdb::FaultInjector::Config& faults = {}) {
+    fdb::Database::Options opts;
+    opts.clock = clock_;
+    opts.faults = faults;
+    opts.grv_cache_staleness_millis = 20;
+    clusters_ = std::make_unique<fdb::ClusterSet>(opts);
+    clusters_->AddCluster("c1");
+    clusters_->AddCluster("c2");
+    ck_ = std::make_unique<ck::CloudKitService>(clusters_.get(), clock_);
+    quick_ = std::make_unique<Quick>(ck_.get());
+    registry_.Register("track", [this](WorkContext& ctx) {
+      std::lock_guard<std::mutex> lock(mu_);
+      executed_.insert(ctx.item.id);
+      ++executions_;
+      return Status::OK();
+    });
+  }
+
+  ConsumerConfig FastConfig() {
+    ConsumerConfig config;
+    config.dequeue_max = 4;
+    config.pointer_lease_millis = 200;
+    config.item_lease_millis = 1000;
+    config.lease_extension_interval_millis = 100;
+    config.min_inactive_millis = 100;
+    config.idle_sleep_millis = 2;
+    config.selection_frac = 0.5;
+    config.num_manager_threads = 2;
+    config.num_worker_threads = 4;
+    return config;
+  }
+
+  /// Waits until all `expected` item ids executed or the deadline passes.
+  bool WaitForExecutions(const std::set<std::string>& expected,
+                         int64_t timeout_ms) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(timeout_ms);
+    while (std::chrono::steady_clock::now() < deadline) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        bool all = true;
+        for (const std::string& id : expected) {
+          if (!executed_.count(id)) {
+            all = false;
+            break;
+          }
+        }
+        if (all) return true;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    return executed_.size() >= expected.size();
+  }
+
+  Clock* clock_ = SystemClock::Default();
+  std::unique_ptr<fdb::ClusterSet> clusters_;
+  std::unique_ptr<ck::CloudKitService> ck_;
+  std::unique_ptr<Quick> quick_;
+  JobRegistry registry_;
+  std::mutex mu_;
+  std::set<std::string> executed_;
+  int64_t executions_ = 0;
+};
+
+TEST_F(CorrectnessTest, EveryCommittedEnqueueExecutes) {
+  Build();
+  Consumer consumer(quick_.get(), {"c1", "c2"}, &registry_, FastConfig(),
+                    "consumer-1");
+  consumer.Start();
+
+  std::set<std::string> expected;
+  constexpr int kUsers = 20;
+  constexpr int kItemsPerUser = 5;
+  for (int u = 0; u < kUsers; ++u) {
+    const ck::DatabaseId db =
+        ck::DatabaseId::Private("app", "user" + std::to_string(u));
+    for (int i = 0; i < kItemsPerUser; ++i) {
+      WorkItem item;
+      item.job_type = "track";
+      auto id = quick_->Enqueue(db, item, 0);
+      ASSERT_TRUE(id.ok()) << id.status();
+      expected.insert(*id);
+    }
+  }
+
+  EXPECT_TRUE(WaitForExecutions(expected, 15000))
+      << "executed " << executed_.size() << "/" << expected.size();
+  consumer.Stop();
+}
+
+TEST_F(CorrectnessTest, MultipleConsumersNoLostItems) {
+  Build();
+  std::vector<std::unique_ptr<Consumer>> consumers;
+  LeaseCache election(clock_);
+  for (int i = 0; i < 3; ++i) {
+    consumers.push_back(std::make_unique<Consumer>(
+        quick_.get(), std::vector<std::string>{"c1", "c2"}, &registry_,
+        FastConfig(), "consumer-" + std::to_string(i), &election));
+    consumers.back()->Start();
+  }
+
+  // Enqueue concurrently with consumption.
+  std::set<std::string> expected;
+  std::mutex expected_mu;
+  std::vector<std::thread> enqueuers;
+  for (int t = 0; t < 4; ++t) {
+    enqueuers.emplace_back([&, t] {
+      for (int i = 0; i < 25; ++i) {
+        const ck::DatabaseId db = ck::DatabaseId::Private(
+            "app", "t" + std::to_string(t) + "u" + std::to_string(i % 7));
+        WorkItem item;
+        item.job_type = "track";
+        auto id = quick_->Enqueue(db, item, 0);
+        ASSERT_TRUE(id.ok());
+        std::lock_guard<std::mutex> lock(expected_mu);
+        expected.insert(*id);
+      }
+    });
+  }
+  for (auto& t : enqueuers) t.join();
+
+  EXPECT_TRUE(WaitForExecutions(expected, 20000))
+      << "executed " << executed_.size() << "/" << expected.size();
+  for (auto& c : consumers) c->Stop();
+
+  // Work was actually shared: a consumer pool, not one hero.
+  int64_t total_leases = 0;
+  for (auto& c : consumers) {
+    total_leases += c->stats().pointer_leases_acquired.Value();
+  }
+  EXPECT_GT(total_leases, 0);
+}
+
+TEST_F(CorrectnessTest, SurvivesInjectedFaults) {
+  fdb::FaultInjector::Config faults;
+  faults.unknown_result_applied = 0.02;
+  faults.unknown_result_dropped = 0.02;
+  faults.commit_unavailable = 0.03;
+  faults.seed = 20260705;
+  Build(faults);
+
+  Consumer consumer(quick_.get(), {"c1", "c2"}, &registry_, FastConfig(),
+                    "faulty-world-consumer");
+  consumer.Start();
+
+  std::set<std::string> expected;
+  for (int u = 0; u < 10; ++u) {
+    const ck::DatabaseId db =
+        ck::DatabaseId::Private("app", "user" + std::to_string(u));
+    for (int i = 0; i < 5; ++i) {
+      WorkItem item;
+      item.job_type = "track";
+      auto id = quick_->Enqueue(db, item, 0);
+      ASSERT_TRUE(id.ok()) << id.status();
+      expected.insert(*id);
+    }
+  }
+
+  EXPECT_TRUE(WaitForExecutions(expected, 20000))
+      << "executed " << executed_.size() << "/" << expected.size();
+  consumer.Stop();
+}
+
+TEST_F(CorrectnessTest, AbandonedLeasesAreTakenOver) {
+  Build();
+  // Simulate a consumer that leased the pointer and several items, then
+  // crashed: take the leases directly and abandon them.
+  std::set<std::string> expected;
+  const ck::DatabaseId db_id = ck::DatabaseId::Private("app", "crashy");
+  for (int i = 0; i < 3; ++i) {
+    WorkItem item;
+    item.job_type = "track";
+    auto id = quick_->Enqueue(db_id, item, 0);
+    ASSERT_TRUE(id.ok());
+    expected.insert(*id);
+  }
+  const ck::DatabaseRef db = ck_->OpenDatabase(db_id);
+  const ck::DatabaseRef cluster_db = ck_->OpenClusterDb(db.cluster->name());
+  const Pointer pointer{db_id, quick_->config().queue_zone_name};
+  Status st = fdb::RunTransaction(db.cluster, [&](fdb::Transaction& txn) {
+    ck::QueueZone top = quick_->OpenTopZone(cluster_db, &txn);
+    QUICK_RETURN_IF_ERROR(top.ObtainLease(pointer.Key(), 400).status());
+    ck::QueueZone zone = quick_->OpenTenantZone(db, &txn);
+    auto leased = zone.Dequeue(3, 400);
+    QUICK_RETURN_IF_ERROR(leased.status());
+    EXPECT_EQ(leased->size(), 3u);
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st;
+
+  // A healthy consumer takes over once the abandoned leases expire.
+  Consumer rescuer(quick_.get(), {"c1", "c2"}, &registry_, FastConfig(),
+                   "rescuer");
+  rescuer.Start();
+  EXPECT_TRUE(WaitForExecutions(expected, 20000))
+      << "executed " << executed_.size() << "/" << expected.size();
+  rescuer.Stop();
+}
+
+TEST_F(CorrectnessTest, ThrottledTypeProcessesEventually) {
+  Build();
+  RetryPolicy policy;
+  policy.max_concurrent = 1;
+  registry_.Register(
+      "throttled_track",
+      [this](WorkContext& ctx) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+        std::lock_guard<std::mutex> lock(mu_);
+        executed_.insert(ctx.item.id);
+        return Status::OK();
+      },
+      policy);
+
+  Consumer consumer(quick_.get(), {"c1", "c2"}, &registry_, FastConfig(),
+                    "throttle-consumer");
+  consumer.Start();
+  std::set<std::string> expected;
+  for (int u = 0; u < 8; ++u) {
+    const ck::DatabaseId db =
+        ck::DatabaseId::Private("app", "tuser" + std::to_string(u));
+    WorkItem item;
+    item.job_type = "throttled_track";
+    auto id = quick_->Enqueue(db, item, 0);
+    ASSERT_TRUE(id.ok());
+    expected.insert(*id);
+  }
+  EXPECT_TRUE(WaitForExecutions(expected, 20000))
+      << "executed " << executed_.size() << "/" << expected.size();
+  consumer.Stop();
+}
+
+}  // namespace
+}  // namespace quick::core

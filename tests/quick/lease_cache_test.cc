@@ -1,0 +1,62 @@
+#include "quick/lease_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace quick::core {
+namespace {
+
+TEST(LeaseCacheTest, AcquireFreeLease) {
+  ManualClock clock;
+  LeaseCache cache(&clock);
+  EXPECT_TRUE(cache.TryAcquire("k", "alice", 1000));
+  EXPECT_EQ(cache.Holder("k"), "alice");
+}
+
+TEST(LeaseCacheTest, HeldLeaseExcludesOthers) {
+  ManualClock clock;
+  LeaseCache cache(&clock);
+  ASSERT_TRUE(cache.TryAcquire("k", "alice", 1000));
+  EXPECT_FALSE(cache.TryAcquire("k", "bob", 1000));
+}
+
+TEST(LeaseCacheTest, OwnerCanRenew) {
+  ManualClock clock;
+  LeaseCache cache(&clock);
+  ASSERT_TRUE(cache.TryAcquire("k", "alice", 1000));
+  clock.AdvanceMillis(900);
+  EXPECT_TRUE(cache.TryAcquire("k", "alice", 1000));
+  clock.AdvanceMillis(900);
+  // Renewal pushed the expiry out.
+  EXPECT_FALSE(cache.TryAcquire("k", "bob", 1000));
+}
+
+TEST(LeaseCacheTest, ExpiredLeaseIsUpForGrabs) {
+  ManualClock clock;
+  LeaseCache cache(&clock);
+  ASSERT_TRUE(cache.TryAcquire("k", "alice", 1000));
+  clock.AdvanceMillis(1000);
+  EXPECT_EQ(cache.Holder("k"), "");
+  EXPECT_TRUE(cache.TryAcquire("k", "bob", 1000));
+  EXPECT_EQ(cache.Holder("k"), "bob");
+}
+
+TEST(LeaseCacheTest, ReleaseOnlyByOwner) {
+  ManualClock clock;
+  LeaseCache cache(&clock);
+  ASSERT_TRUE(cache.TryAcquire("k", "alice", 1000));
+  cache.Release("k", "bob");
+  EXPECT_EQ(cache.Holder("k"), "alice");
+  cache.Release("k", "alice");
+  EXPECT_EQ(cache.Holder("k"), "");
+  EXPECT_TRUE(cache.TryAcquire("k", "bob", 1000));
+}
+
+TEST(LeaseCacheTest, IndependentKeys) {
+  ManualClock clock;
+  LeaseCache cache(&clock);
+  EXPECT_TRUE(cache.TryAcquire("k1", "alice", 1000));
+  EXPECT_TRUE(cache.TryAcquire("k2", "bob", 1000));
+}
+
+}  // namespace
+}  // namespace quick::core

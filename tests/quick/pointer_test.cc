@@ -1,0 +1,58 @@
+#include "quick/pointer.h"
+
+#include <gtest/gtest.h>
+
+#include "cloudkit/queue_zone.h"
+
+namespace quick::core {
+namespace {
+
+TEST(PointerTest, KeyIsUniquePerDatabaseAndZone) {
+  Pointer a{ck::DatabaseId::Private("app", "u1"), "q"};
+  Pointer b{ck::DatabaseId::Private("app", "u2"), "q"};
+  Pointer c{ck::DatabaseId::Private("app", "u1"), "other"};
+  EXPECT_NE(a.Key(), b.Key());
+  EXPECT_NE(a.Key(), c.Key());
+  EXPECT_EQ(a.Key(), (Pointer{ck::DatabaseId::Private("app", "u1"), "q"}.Key()));
+}
+
+TEST(PointerTest, ToItemSetsPointerFields) {
+  Pointer p{ck::DatabaseId::Private("photos", "alice"), "tasks"};
+  ck::QueuedItem item = p.ToItem();
+  EXPECT_EQ(item.job_type, ck::kPointerJobType);
+  EXPECT_EQ(item.id, p.Key());
+  EXPECT_EQ(item.db_key, p.Key());
+  EXPECT_FALSE(item.payload.empty());
+}
+
+TEST(PointerTest, RoundTripThroughItem) {
+  const Pointer cases[] = {
+      {ck::DatabaseId::Private("photos", "alice"), "tasks"},
+      {ck::DatabaseId::Public("news"), "z"},
+      {ck::DatabaseId::Cluster("east-1"), "local"},
+  };
+  for (const Pointer& p : cases) {
+    auto back = Pointer::FromItem(p.ToItem());
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back->db_id, p.db_id);
+    EXPECT_EQ(back->zone, p.zone);
+  }
+}
+
+TEST(PointerTest, FromItemRejectsNonPointer) {
+  ck::QueuedItem item;
+  item.job_type = "push";
+  EXPECT_FALSE(Pointer::FromItem(item).ok());
+}
+
+TEST(PointerTest, FromItemRejectsCorruptPayload) {
+  Pointer p{ck::DatabaseId::Private("a", "u"), "z"};
+  ck::QueuedItem item = p.ToItem();
+  item.payload = "garbage\xFF";
+  EXPECT_FALSE(Pointer::FromItem(item).ok());
+  item.payload = tup::Tuple().AddString("only-one").Encode();
+  EXPECT_FALSE(Pointer::FromItem(item).ok());
+}
+
+}  // namespace
+}  // namespace quick::core

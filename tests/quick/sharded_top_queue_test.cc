@@ -1,0 +1,172 @@
+// Tests for sharded top-level queues (§6: "While currently a single
+// top-level queue per cluster is sufficient for our use-cases, more queues
+// can be created for scalability by sharding the key-space").
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fdb/retry.h"
+#include "quick/admin.h"
+#include "quick/consumer.h"
+
+namespace quick::core {
+namespace {
+
+class ShardedTopQueueTest : public ::testing::Test {
+ protected:
+  ShardedTopQueueTest() {
+    fdb::Database::Options opts;
+    opts.clock = &clock_;
+    clusters_ = std::make_unique<fdb::ClusterSet>(opts);
+    clusters_->AddCluster("c1");
+    clusters_->AddCluster("c2");
+    ck_ = std::make_unique<ck::CloudKitService>(clusters_.get(), &clock_);
+    QuickConfig config;
+    config.top_zone_shards = 4;
+    quick_ = std::make_unique<Quick>(ck_.get(), config);
+    registry_.Register("t", [this](WorkContext& ctx) {
+      processed_.insert(ctx.item.id);
+      return Status::OK();
+    });
+  }
+
+  ConsumerConfig TestConfig() {
+    ConsumerConfig config;
+    config.sequential = true;
+    config.relaxed_reads_for_peek = false;
+    config.dequeue_max = 4;
+    return config;
+  }
+
+  std::string MustEnqueue(const ck::DatabaseId& db) {
+    WorkItem item;
+    item.job_type = "t";
+    auto id = quick_->Enqueue(db, item, 0);
+    EXPECT_TRUE(id.ok()) << id.status();
+    return id.value_or("");
+  }
+
+  ManualClock clock_{60000};
+  std::unique_ptr<fdb::ClusterSet> clusters_;
+  std::unique_ptr<ck::CloudKitService> ck_;
+  std::unique_ptr<Quick> quick_;
+  JobRegistry registry_;
+  std::set<std::string> processed_;
+};
+
+TEST_F(ShardedTopQueueTest, ShardNamesStableAndComplete) {
+  EXPECT_EQ(quick_->TopZoneNames().size(), 4u);
+  // Assignment is deterministic and within the shard set.
+  const std::string name = quick_->TopZoneNameFor("some-pointer-key");
+  EXPECT_EQ(name, quick_->TopZoneNameFor("some-pointer-key"));
+  bool found = false;
+  for (const std::string& shard : quick_->TopZoneNames()) {
+    if (shard == name) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(ShardedTopQueueTest, PointersSpreadAcrossShards) {
+  std::set<std::string> used_shards;
+  for (int i = 0; i < 40; ++i) {
+    const ck::DatabaseId db =
+        ck::DatabaseId::Private("app", "user" + std::to_string(i));
+    MustEnqueue(db);
+    Pointer p{db, quick_->config().queue_zone_name};
+    used_shards.insert(quick_->TopZoneNameFor(p.Key()));
+  }
+  // 40 hashed keys into 4 shards: all shards essentially surely hit.
+  EXPECT_GE(used_shards.size(), 3u);
+  // TopLevelCount sums across shards.
+  int64_t total = 0;
+  for (const std::string& cluster : {"c1", "c2"}) {
+    total += quick_->TopLevelCount(cluster).value_or(0);
+  }
+  EXPECT_EQ(total, 40);
+}
+
+TEST_F(ShardedTopQueueTest, ConsumerDrainsAllShards) {
+  std::set<std::string> expected;
+  for (int i = 0; i < 25; ++i) {
+    expected.insert(MustEnqueue(
+        ck::DatabaseId::Private("app", "user" + std::to_string(i))));
+  }
+  Consumer consumer(quick_.get(), {"c1", "c2"}, &registry_, TestConfig(),
+                    "shard-consumer");
+  for (int pass = 0; pass < 4; ++pass) {
+    ASSERT_TRUE(consumer.RunOnePass("c1").ok());
+    ASSERT_TRUE(consumer.RunOnePass("c2").ok());
+  }
+  EXPECT_EQ(processed_, expected);
+}
+
+TEST_F(ShardedTopQueueTest, LocalItemsShardedAndProcessed) {
+  std::set<std::string> expected;
+  for (int i = 0; i < 12; ++i) {
+    WorkItem item;
+    item.job_type = "t";
+    auto id = quick_->EnqueueLocal("c1", item, 0);
+    ASSERT_TRUE(id.ok());
+    expected.insert(*id);
+  }
+  EXPECT_EQ(quick_->TopLevelCount("c1").value_or(-1), 12);
+  Consumer consumer(quick_.get(), {"c1"}, &registry_, TestConfig(), "local");
+  for (int pass = 0; pass < 4; ++pass) {
+    ASSERT_TRUE(consumer.RunOnePass("c1").ok());
+  }
+  EXPECT_EQ(processed_, expected);
+  EXPECT_EQ(consumer.stats().local_items_processed.Value(), 12);
+}
+
+TEST_F(ShardedTopQueueTest, AdminSeesAllShards) {
+  for (int i = 0; i < 10; ++i) {
+    MustEnqueue(ck::DatabaseId::Private("app", "user" + std::to_string(i)));
+  }
+  QuickAdmin admin(quick_.get());
+  int64_t pointers = 0;
+  for (const std::string& cluster : {"c1", "c2"}) {
+    auto info = admin.InspectCluster(cluster);
+    ASSERT_TRUE(info.ok());
+    pointers += info->pointers;
+  }
+  EXPECT_EQ(pointers, 10);
+}
+
+TEST_F(ShardedTopQueueTest, MigrationPreservesShardAssignment) {
+  const ck::DatabaseId db = ck::DatabaseId::Private("app", "mover");
+  const std::string id = MustEnqueue(db);
+  const std::string src = ck_->placement()->Get(db).value();
+  const std::string dst = src == "c1" ? "c2" : "c1";
+  ASSERT_TRUE(quick_->MoveTenant(db, dst).ok());
+  EXPECT_EQ(quick_->TopLevelCount(dst).value_or(-1), 1);
+  EXPECT_EQ(quick_->TopLevelCount(src).value_or(-1), 0);
+
+  Consumer consumer(quick_.get(), {dst}, &registry_, TestConfig(), "m");
+  for (int pass = 0; pass < 2; ++pass) {
+    ASSERT_TRUE(consumer.RunOnePass(dst).ok());
+  }
+  EXPECT_TRUE(processed_.count(id));
+}
+
+TEST_F(ShardedTopQueueTest, GcWorksPerShard) {
+  ConsumerConfig config = TestConfig();
+  config.min_inactive_millis = 100;
+  config.pointer_lease_millis = 50;
+  Consumer consumer(quick_.get(), {"c1", "c2"}, &registry_, config, "gc");
+  for (int i = 0; i < 10; ++i) {
+    MustEnqueue(ck::DatabaseId::Private("app", "user" + std::to_string(i)));
+  }
+  // Drain, then let leases and grace expire, then GC everything.
+  for (int round = 0; round < 30; ++round) {
+    clock_.AdvanceMillis(3000);
+    ASSERT_TRUE(consumer.RunOnePass("c1").ok());
+    ASSERT_TRUE(consumer.RunOnePass("c2").ok());
+  }
+  EXPECT_EQ(processed_.size(), 10u);
+  EXPECT_EQ(quick_->TopLevelCount("c1").value_or(-1), 0);
+  EXPECT_EQ(quick_->TopLevelCount("c2").value_or(-1), 0);
+}
+
+}  // namespace
+}  // namespace quick::core

@@ -1,0 +1,115 @@
+#include "reclayer/metadata.h"
+
+#include <gtest/gtest.h>
+
+namespace quick::rl {
+namespace {
+
+RecordTypeDef UserType() {
+  RecordTypeDef t;
+  t.name = "User";
+  t.fields = {{"id", FieldType::kString},
+              {"age", FieldType::kInt64},
+              {"name", FieldType::kString}};
+  t.primary_key_fields = {"id"};
+  return t;
+}
+
+TEST(MetadataTest, AddAndFindRecordType) {
+  RecordMetadata meta;
+  ASSERT_TRUE(meta.AddRecordType(UserType()).ok());
+  const RecordTypeDef* t = meta.FindRecordType("User");
+  ASSERT_NE(t, nullptr);
+  EXPECT_EQ(t->fields.size(), 3u);
+  EXPECT_EQ(meta.FindRecordType("Nope"), nullptr);
+}
+
+TEST(MetadataTest, RejectDuplicateType) {
+  RecordMetadata meta;
+  ASSERT_TRUE(meta.AddRecordType(UserType()).ok());
+  EXPECT_TRUE(meta.AddRecordType(UserType()).IsAlreadyExists());
+}
+
+TEST(MetadataTest, RejectEmptyName) {
+  RecordMetadata meta;
+  RecordTypeDef t = UserType();
+  t.name.clear();
+  EXPECT_FALSE(meta.AddRecordType(t).ok());
+}
+
+TEST(MetadataTest, RejectMissingPrimaryKey) {
+  RecordMetadata meta;
+  RecordTypeDef t = UserType();
+  t.primary_key_fields.clear();
+  EXPECT_FALSE(meta.AddRecordType(t).ok());
+  t.primary_key_fields = {"no_such_field"};
+  EXPECT_FALSE(meta.AddRecordType(t).ok());
+}
+
+TEST(MetadataTest, AddValueIndex) {
+  RecordMetadata meta;
+  ASSERT_TRUE(meta.AddRecordType(UserType()).ok());
+  IndexDef idx;
+  idx.name = "by_age";
+  idx.kind = IndexKind::kValue;
+  idx.record_types = {"User"};
+  idx.fields = {"age"};
+  ASSERT_TRUE(meta.AddIndex(idx).ok());
+  EXPECT_NE(meta.FindIndex("by_age"), nullptr);
+}
+
+TEST(MetadataTest, RejectValueIndexWithoutFields) {
+  RecordMetadata meta;
+  ASSERT_TRUE(meta.AddRecordType(UserType()).ok());
+  IndexDef idx;
+  idx.name = "bad";
+  idx.kind = IndexKind::kValue;
+  EXPECT_FALSE(meta.AddIndex(idx).ok());
+}
+
+TEST(MetadataTest, RejectIndexOnUnknownTypeOrField) {
+  RecordMetadata meta;
+  ASSERT_TRUE(meta.AddRecordType(UserType()).ok());
+  IndexDef idx;
+  idx.name = "bad";
+  idx.record_types = {"Ghost"};
+  idx.fields = {"age"};
+  EXPECT_FALSE(meta.AddIndex(idx).ok());
+
+  idx.record_types = {"User"};
+  idx.fields = {"ghost_field"};
+  EXPECT_FALSE(meta.AddIndex(idx).ok());
+}
+
+TEST(MetadataTest, CountIndexWithoutFieldsAllowed) {
+  RecordMetadata meta;
+  ASSERT_TRUE(meta.AddRecordType(UserType()).ok());
+  IndexDef idx;
+  idx.name = "total";
+  idx.kind = IndexKind::kCount;
+  idx.record_types = {"User"};
+  EXPECT_TRUE(meta.AddIndex(idx).ok());
+}
+
+TEST(MetadataTest, IndexCoversExplicitAndImplicit) {
+  IndexDef all;
+  EXPECT_TRUE(all.Covers("Anything"));
+  IndexDef some;
+  some.record_types = {"A", "B"};
+  EXPECT_TRUE(some.Covers("A"));
+  EXPECT_FALSE(some.Covers("C"));
+}
+
+TEST(MetadataTest, RejectDuplicateIndex) {
+  RecordMetadata meta;
+  ASSERT_TRUE(meta.AddRecordType(UserType()).ok());
+  IndexDef idx;
+  idx.name = "by_age";
+  idx.record_types = {"User"};
+  idx.fields = {"age"};
+  ASSERT_TRUE(meta.AddIndex(idx).ok());
+  EXPECT_TRUE(meta.AddIndex(idx).IsAlreadyExists());
+}
+
+}  // namespace
+}  // namespace quick::rl

@@ -1,0 +1,222 @@
+#include "reclayer/query_planner.h"
+
+#include <gtest/gtest.h>
+
+#include "fdb/database.h"
+#include "fdb/retry.h"
+
+namespace quick::rl {
+namespace {
+
+RecordMetadata PlannerMetadata() {
+  RecordMetadata meta;
+  RecordTypeDef user;
+  user.name = "User";
+  user.fields = {{"id", FieldType::kString},
+                 {"city", FieldType::kString},
+                 {"age", FieldType::kInt64},
+                 {"score", FieldType::kInt64}};
+  user.primary_key_fields = {"id"};
+  EXPECT_TRUE(meta.AddRecordType(std::move(user)).ok());
+
+  IndexDef by_city_age;
+  by_city_age.name = "by_city_age";
+  by_city_age.record_types = {"User"};
+  by_city_age.fields = {"city", "age"};
+  EXPECT_TRUE(meta.AddIndex(std::move(by_city_age)).ok());
+
+  IndexDef by_age;
+  by_age.name = "by_age";
+  by_age.record_types = {"User"};
+  by_age.fields = {"age"};
+  EXPECT_TRUE(meta.AddIndex(std::move(by_age)).ok());
+
+  IndexDef total;
+  total.name = "total";
+  total.kind = IndexKind::kCount;
+  EXPECT_TRUE(meta.AddIndex(std::move(total)).ok());
+  return meta;
+}
+
+FieldPredicate Eq(const std::string& field, tup::Element value) {
+  return {field, FieldPredicate::Op::kEquals, std::move(value)};
+}
+FieldPredicate Cmp(const std::string& field, FieldPredicate::Op op,
+                   tup::Element value) {
+  return {field, op, std::move(value)};
+}
+
+class QueryPlannerTest : public ::testing::Test {
+ protected:
+  QueryPlannerTest()
+      : meta_(PlannerMetadata()), planner_(&meta_), db_("planner") {
+    // Ten users across two cities, ages 20..29, score = age * 10.
+    Status st = fdb::RunTransaction(&db_, [&](fdb::Transaction& txn) {
+      RecordStore store(&txn, tup::Subspace(tup::Tuple().AddString("p")),
+                        &meta_);
+      for (int i = 0; i < 10; ++i) {
+        Record r("User");
+        r.SetString("id", "u" + std::to_string(i))
+            .SetString("city", i % 2 == 0 ? "sf" : "nyc")
+            .SetInt("age", 20 + i)
+            .SetInt("score", (20 + i) * 10);
+        QUICK_RETURN_IF_ERROR(store.SaveRecord(r));
+      }
+      return Status::OK();
+    });
+    EXPECT_TRUE(st.ok());
+  }
+
+  std::vector<Record> Run(const PlannedQuery& q) {
+    std::vector<Record> out;
+    Status st = fdb::RunTransaction(&db_, [&](fdb::Transaction& txn) {
+      RecordStore store(&txn, tup::Subspace(tup::Tuple().AddString("p")),
+                        &meta_);
+      QUICK_ASSIGN_OR_RETURN(out, ExecutePlanned(&store, planner_, q));
+      return Status::OK();
+    });
+    EXPECT_TRUE(st.ok()) << st;
+    return out;
+  }
+
+  RecordMetadata meta_;
+  QueryPlanner planner_;
+  fdb::Database db_;
+};
+
+TEST_F(QueryPlannerTest, EqualityPicksCompositeIndex) {
+  PlannedQuery q;
+  q.record_type = "User";
+  q.predicates = {Eq("city", std::string("sf")), Eq("age", int64_t{24})};
+  QueryPlan plan = planner_.Plan(q).value();
+  EXPECT_EQ(plan.kind, QueryPlan::Kind::kIndexScan);
+  EXPECT_EQ(plan.index_name, "by_city_age");
+  EXPECT_EQ(plan.bound_predicates, 2);
+  EXPECT_TRUE(plan.residual.empty());
+  EXPECT_NE(plan.Explain().find("IndexScan(by_city_age)"), std::string::npos);
+
+  auto rows = Run(q);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].GetString("id").value(), "u4");
+}
+
+TEST_F(QueryPlannerTest, RangeOnSingleFieldIndex) {
+  PlannedQuery q;
+  q.record_type = "User";
+  q.predicates = {Cmp("age", FieldPredicate::Op::kGreaterOrEqual,
+                      int64_t{26})};
+  QueryPlan plan = planner_.Plan(q).value();
+  EXPECT_EQ(plan.index_name, "by_age");
+  auto rows = Run(q);
+  ASSERT_EQ(rows.size(), 4u);  // ages 26..29
+  EXPECT_EQ(rows[0].GetInt("age").value(), 26);  // index order
+  EXPECT_EQ(rows[3].GetInt("age").value(), 29);
+}
+
+TEST_F(QueryPlannerTest, ExclusiveAndInclusiveBounds) {
+  PlannedQuery gt;
+  gt.record_type = "User";
+  gt.predicates = {Cmp("age", FieldPredicate::Op::kGreater, int64_t{26})};
+  EXPECT_EQ(Run(gt).size(), 3u);  // 27,28,29
+
+  PlannedQuery le;
+  le.record_type = "User";
+  le.predicates = {Cmp("age", FieldPredicate::Op::kLessOrEqual, int64_t{22})};
+  EXPECT_EQ(Run(le).size(), 3u);  // 20,21,22
+
+  PlannedQuery lt;
+  lt.record_type = "User";
+  lt.predicates = {Cmp("age", FieldPredicate::Op::kLess, int64_t{22})};
+  EXPECT_EQ(Run(lt).size(), 2u);  // 20,21
+}
+
+TEST_F(QueryPlannerTest, EqualityPlusRangeUsesCompositePrefix) {
+  PlannedQuery q;
+  q.record_type = "User";
+  q.predicates = {Eq("city", std::string("sf")),
+                  Cmp("age", FieldPredicate::Op::kLess, int64_t{26})};
+  QueryPlan plan = planner_.Plan(q).value();
+  EXPECT_EQ(plan.index_name, "by_city_age");
+  EXPECT_EQ(plan.bound_predicates, 2);
+  auto rows = Run(q);
+  ASSERT_EQ(rows.size(), 3u);  // sf ages 20, 22, 24
+  for (const Record& r : rows) {
+    EXPECT_EQ(r.GetString("city").value(), "sf");
+    EXPECT_LT(r.GetInt("age").value(), 26);
+  }
+}
+
+TEST_F(QueryPlannerTest, UnindexedPredicateBecomesResidual) {
+  PlannedQuery q;
+  q.record_type = "User";
+  q.predicates = {Eq("city", std::string("nyc")),
+                  Cmp("score", FieldPredicate::Op::kGreater, int64_t{250})};
+  QueryPlan plan = planner_.Plan(q).value();
+  EXPECT_EQ(plan.index_name, "by_city_age");
+  EXPECT_EQ(plan.residual.size(), 1u);
+  EXPECT_EQ(plan.residual[0].field, "score");
+  auto rows = Run(q);
+  ASSERT_EQ(rows.size(), 2u);  // nyc ages 27, 29 -> scores 270, 290
+}
+
+TEST_F(QueryPlannerTest, NoUsableIndexFallsBackToFullScan) {
+  PlannedQuery q;
+  q.record_type = "User";
+  q.predicates = {Cmp("score", FieldPredicate::Op::kGreaterOrEqual,
+                      int64_t{280})};
+  QueryPlan plan = planner_.Plan(q).value();
+  EXPECT_EQ(plan.kind, QueryPlan::Kind::kFullScan);
+  EXPECT_EQ(plan.residual.size(), 1u);
+  EXPECT_EQ(Run(q).size(), 2u);  // scores 280, 290
+}
+
+TEST_F(QueryPlannerTest, NoPredicatesFullScanReturnsAll) {
+  PlannedQuery q;
+  q.record_type = "User";
+  EXPECT_EQ(Run(q).size(), 10u);
+}
+
+TEST_F(QueryPlannerTest, LimitApplies) {
+  PlannedQuery q;
+  q.record_type = "User";
+  q.predicates = {Cmp("age", FieldPredicate::Op::kGreaterOrEqual,
+                      int64_t{20})};
+  q.limit = 3;
+  EXPECT_EQ(Run(q).size(), 3u);
+}
+
+TEST_F(QueryPlannerTest, RejectsUnknownTypeAndField) {
+  PlannedQuery bad_type;
+  bad_type.record_type = "Ghost";
+  EXPECT_FALSE(planner_.Plan(bad_type).ok());
+
+  PlannedQuery bad_field;
+  bad_field.record_type = "User";
+  bad_field.predicates = {Eq("ghost_field", int64_t{1})};
+  EXPECT_FALSE(planner_.Plan(bad_field).ok());
+}
+
+TEST_F(QueryPlannerTest, PrefersIndexAbsorbingMorePredicates) {
+  // city+age hits by_city_age (2 bound) over by_age (1 bound).
+  PlannedQuery q;
+  q.record_type = "User";
+  q.predicates = {Eq("age", int64_t{25}), Eq("city", std::string("nyc"))};
+  QueryPlan plan = planner_.Plan(q).value();
+  EXPECT_EQ(plan.index_name, "by_city_age");
+  EXPECT_EQ(plan.bound_predicates, 2);
+  auto rows = Run(q);
+  ASSERT_EQ(rows.size(), 1u);
+  EXPECT_EQ(rows[0].GetString("id").value(), "u5");
+}
+
+TEST_F(QueryPlannerTest, EvaluatePredicateHandlesMissingFieldAsNull) {
+  Record r("User");
+  r.SetString("id", "x");
+  // Missing "age" compares as Null, which sorts below every int.
+  EXPECT_TRUE(EvaluatePredicate(
+      r, Cmp("age", FieldPredicate::Op::kLess, int64_t{0})));
+  EXPECT_FALSE(EvaluatePredicate(r, Eq("age", int64_t{0})));
+}
+
+}  // namespace
+}  // namespace quick::rl

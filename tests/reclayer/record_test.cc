@@ -1,0 +1,125 @@
+#include "reclayer/record.h"
+
+#include <gtest/gtest.h>
+
+namespace quick::rl {
+namespace {
+
+RecordTypeDef ItemType() {
+  RecordTypeDef t;
+  t.name = "Item";
+  t.fields = {{"id", FieldType::kString},
+              {"count", FieldType::kInt64},
+              {"score", FieldType::kDouble},
+              {"active", FieldType::kBool},
+              {"blob", FieldType::kBytes}};
+  t.primary_key_fields = {"id"};
+  return t;
+}
+
+TEST(RecordTest, SettersAndGetters) {
+  Record r("Item");
+  r.SetString("id", "a1").SetInt("count", 5).SetDouble("score", 2.5);
+  r.SetBool("active", true).SetBytes("blob", std::string("\x00\x01", 2));
+  EXPECT_EQ(r.GetString("id").value(), "a1");
+  EXPECT_EQ(r.GetInt("count").value(), 5);
+  EXPECT_DOUBLE_EQ(r.GetDouble("score").value(), 2.5);
+  EXPECT_TRUE(r.GetBool("active").value());
+  EXPECT_EQ(r.GetBytes("blob").value(), std::string("\x00\x01", 2));
+}
+
+TEST(RecordTest, MissingFieldIsNotFound) {
+  Record r("Item");
+  EXPECT_TRUE(r.GetInt("count").status().IsNotFound());
+  EXPECT_FALSE(r.HasField("count"));
+}
+
+TEST(RecordTest, WrongTypeIsInvalidArgument) {
+  Record r("Item");
+  r.SetString("id", "a1");
+  EXPECT_EQ(r.GetInt("id").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RecordTest, ClearFieldRemoves) {
+  Record r("Item");
+  r.SetInt("count", 1);
+  r.ClearField("count");
+  EXPECT_FALSE(r.HasField("count"));
+}
+
+TEST(RecordTest, SerializeRoundTrip) {
+  Record r("Item");
+  r.SetString("id", "a1").SetInt("count", -42).SetDouble("score", 1.5);
+  r.SetBool("active", false).SetBytes("blob", "xyz");
+  auto back = Record::Deserialize(r.Serialize());
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(*back == r);
+}
+
+TEST(RecordTest, DeserializeRejectsJunk) {
+  EXPECT_FALSE(Record::Deserialize("").ok());
+  EXPECT_FALSE(Record::Deserialize("garbage\xFF").ok());
+}
+
+TEST(RecordTest, ValidateAcceptsConformingRecord) {
+  Record r("Item");
+  r.SetString("id", "a1").SetInt("count", 1);
+  EXPECT_TRUE(r.Validate(ItemType()).ok());
+}
+
+TEST(RecordTest, ValidateRejectsUnknownField) {
+  Record r("Item");
+  r.SetString("id", "a1").SetInt("mystery", 1);
+  EXPECT_FALSE(r.Validate(ItemType()).ok());
+}
+
+TEST(RecordTest, ValidateRejectsWrongFieldType) {
+  Record r("Item");
+  r.SetString("id", "a1").SetString("count", "not-an-int");
+  EXPECT_FALSE(r.Validate(ItemType()).ok());
+}
+
+TEST(RecordTest, ValidateRejectsMissingPrimaryKey) {
+  Record r("Item");
+  r.SetInt("count", 1);
+  EXPECT_FALSE(r.Validate(ItemType()).ok());
+}
+
+TEST(RecordTest, ValidateRejectsTypeMismatch) {
+  Record r("Other");
+  r.SetString("id", "a1");
+  EXPECT_FALSE(r.Validate(ItemType()).ok());
+}
+
+TEST(RecordTest, PrimaryKeyIncludesTypePrefix) {
+  Record r("Item");
+  r.SetString("id", "a1");
+  tup::Tuple pk = r.PrimaryKey(ItemType()).value();
+  ASSERT_EQ(pk.size(), 2u);
+  EXPECT_EQ(pk.GetString(0).value(), "Item");
+  EXPECT_EQ(pk.GetString(1).value(), "a1");
+}
+
+TEST(RecordTest, ElementOrNullForMissing) {
+  Record r("Item");
+  tup::Element e = r.ElementOrNull("count");
+  EXPECT_TRUE(std::holds_alternative<tup::Null>(e));
+}
+
+TEST(RecordTest, EqualityIgnoresInsertionOrder) {
+  Record a("Item"), b("Item");
+  a.SetString("id", "x").SetInt("count", 1);
+  b.SetInt("count", 1).SetString("id", "x");
+  EXPECT_TRUE(a == b);
+  b.SetInt("count", 2);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(RecordTest, ToStringReadable) {
+  Record r("Item");
+  r.SetString("id", "a1").SetInt("count", 3);
+  EXPECT_EQ(r.ToString(), "Item{count=3, id=\"a1\"}");
+}
+
+}  // namespace
+}  // namespace quick::rl

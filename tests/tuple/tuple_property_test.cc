@@ -1,0 +1,174 @@
+// Property tests for the tuple layer: for randomly generated tuples,
+// (1) Decode(Encode(t)) == t, and (2) element-wise comparison agrees with
+// lexicographic comparison of the encodings. Both properties are what the
+// Record Layer indexes rely on.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/random.h"
+#include "tuple/tuple.h"
+
+namespace quick::tup {
+namespace {
+
+Element RandomElement(Random* rng, int depth);
+
+Tuple RandomTuple(Random* rng, int max_len, int depth) {
+  Tuple t;
+  const int n = static_cast<int>(rng->Uniform(max_len + 1));
+  for (int i = 0; i < n; ++i) {
+    t.Add(RandomElement(rng, depth));
+  }
+  return t;
+}
+
+std::string RandomBytesValue(Random* rng, int max_len) {
+  const int n = static_cast<int>(rng->Uniform(max_len + 1));
+  std::string s(n, '\0');
+  for (int i = 0; i < n; ++i) {
+    // Bias towards interesting bytes: 0x00, 0xFF, and a narrow alphabet so
+    // shared prefixes and escape sequences happen often.
+    switch (rng->Uniform(4)) {
+      case 0:
+        s[i] = '\x00';
+        break;
+      case 1:
+        s[i] = '\xFF';
+        break;
+      default:
+        s[i] = static_cast<char>('a' + rng->Uniform(3));
+    }
+  }
+  return s;
+}
+
+int64_t RandomInt(Random* rng) {
+  // Mix of magnitudes so every byte-width branch is exercised.
+  const int bits = 1 + static_cast<int>(rng->Uniform(63));
+  const uint64_t mask = bits >= 64 ? ~uint64_t{0} : (uint64_t{1} << bits) - 1;
+  int64_t v = static_cast<int64_t>(rng->NextU64() & mask);
+  if (rng->Bernoulli(0.5)) v = -v;
+  if (rng->Bernoulli(0.01)) v = std::numeric_limits<int64_t>::min();
+  if (rng->Bernoulli(0.01)) v = std::numeric_limits<int64_t>::max();
+  return v;
+}
+
+double RandomDouble(Random* rng) {
+  switch (rng->Uniform(5)) {
+    case 0:
+      return 0.0;
+    case 1:
+      return -0.0;
+    case 2:
+      return (rng->NextDouble() - 0.5) * 10;
+    case 3:
+      return (rng->NextDouble() - 0.5) * 1e300;
+    default:
+      return static_cast<double>(RandomInt(rng));
+  }
+}
+
+Element RandomElement(Random* rng, int depth) {
+  const int kinds = depth > 0 ? 8 : 7;  // nested tuples only while depth > 0
+  switch (rng->Uniform(kinds)) {
+    case 0:
+      return Null{};
+    case 1:
+      return Bytes{RandomBytesValue(rng, 6)};
+    case 2:
+      return RandomBytesValue(rng, 6);  // string
+    case 3:
+      return RandomInt(rng);
+    case 4:
+      return RandomDouble(rng);
+    case 5:
+      return rng->Bernoulli(0.5);
+    case 6: {
+      Uuid u;
+      for (auto& b : u.data) b = static_cast<uint8_t>(rng->Uniform(4));
+      return u;
+    }
+    default:
+      return RandomTuple(rng, 3, depth - 1);
+  }
+}
+
+TEST(TuplePropertyTest, EncodeDecodeRoundTrip) {
+  Random rng(20260705);
+  for (int iter = 0; iter < 5000; ++iter) {
+    Tuple t = RandomTuple(&rng, 5, 2);
+    const std::string encoded = t.Encode();
+    auto back = Tuple::Decode(encoded);
+    ASSERT_TRUE(back.ok()) << "iter " << iter << " tuple " << t.ToString();
+    EXPECT_TRUE(t == *back)
+        << "iter " << iter << ": " << t.ToString() << " != "
+        << back->ToString();
+    // Re-encoding is byte-identical (canonical encoding).
+    EXPECT_EQ(back->Encode(), encoded);
+  }
+}
+
+TEST(TuplePropertyTest, EncodingPreservesOrder) {
+  Random rng(77);
+  for (int iter = 0; iter < 5000; ++iter) {
+    Tuple a = RandomTuple(&rng, 4, 2);
+    Tuple b = RandomTuple(&rng, 4, 2);
+    const auto semantic = a <=> b;
+    const std::string ea = a.Encode();
+    const std::string eb = b.Encode();
+    if (semantic == std::strong_ordering::less) {
+      EXPECT_LT(ea, eb) << a.ToString() << " vs " << b.ToString();
+    } else if (semantic == std::strong_ordering::greater) {
+      EXPECT_GT(ea, eb) << a.ToString() << " vs " << b.ToString();
+    } else {
+      EXPECT_EQ(ea, eb) << a.ToString() << " vs " << b.ToString();
+    }
+  }
+}
+
+TEST(TuplePropertyTest, IntRoundTripSweep) {
+  Random rng(99);
+  for (int iter = 0; iter < 20000; ++iter) {
+    const int64_t v = RandomInt(&rng);
+    Tuple t;
+    t.AddInt(v);
+    auto back = Tuple::Decode(t.Encode());
+    ASSERT_TRUE(back.ok());
+    ASSERT_EQ(back->GetInt(0).value(), v);
+  }
+}
+
+TEST(TuplePropertyTest, IntOrderSweep) {
+  Random rng(100);
+  for (int iter = 0; iter < 20000; ++iter) {
+    const int64_t a = RandomInt(&rng);
+    const int64_t b = RandomInt(&rng);
+    Tuple ta, tb;
+    ta.AddInt(a);
+    tb.AddInt(b);
+    ASSERT_EQ(a < b, ta.Encode() < tb.Encode()) << a << " vs " << b;
+  }
+}
+
+TEST(TuplePropertyTest, DecodeNeverCrashesOnRandomBytes) {
+  Random rng(123);
+  for (int iter = 0; iter < 20000; ++iter) {
+    const int n = static_cast<int>(rng.Uniform(20));
+    std::string junk(n, '\0');
+    for (int i = 0; i < n; ++i) {
+      junk[i] = static_cast<char>(rng.Uniform(256));
+    }
+    // Must either decode or return an error; never crash or hang.
+    auto result = Tuple::Decode(junk);
+    if (result.ok()) {
+      // If it decoded, re-encoding must reproduce a decodable string.
+      auto again = Tuple::Decode(result->Encode());
+      EXPECT_TRUE(again.ok());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace quick::tup

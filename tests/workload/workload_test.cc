@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "workload/harness.h"
+#include "workload/load_generator.h"
+#include "workload/pareto.h"
+
+namespace quick::wl {
+namespace {
+
+TEST(ParetoTest, PaperAlphaValue) {
+  // α = log₄5 ≈ 1.1609.
+  EXPECT_NEAR(PaperAlpha(), 1.1609, 0.001);
+}
+
+TEST(ParetoTest, SamplesAreAtLeastScale) {
+  Random rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(SamplePareto(PaperAlpha(), &rng), 1.0);
+  }
+}
+
+TEST(ParetoTest, RatesPreserveAggregate) {
+  Random rng(2);
+  const std::vector<double> rates =
+      ParetoClientRates(500, PaperAlpha(), /*base_rate_hz=*/2.0, &rng);
+  ASSERT_EQ(rates.size(), 500u);
+  const double total = std::accumulate(rates.begin(), rates.end(), 0.0);
+  EXPECT_NEAR(total, 500 * 2.0, 1e-6);
+  for (double r : rates) EXPECT_GT(r, 0.0);
+}
+
+TEST(ParetoTest, RatesAreHeavyTailed) {
+  Random rng(3);
+  std::vector<double> rates =
+      ParetoClientRates(1000, PaperAlpha(), 1.0, &rng);
+  std::sort(rates.begin(), rates.end());
+  // The top 10% of clients should carry far more than 10% of the load —
+  // the skew Figure 6 is about.
+  const double total = std::accumulate(rates.begin(), rates.end(), 0.0);
+  const double top_decile =
+      std::accumulate(rates.end() - 100, rates.end(), 0.0);
+  EXPECT_GT(top_decile / total, 0.3);
+}
+
+TEST(HarnessTest, SetsUpClusterFleet) {
+  HarnessOptions options;
+  options.num_clusters = 3;
+  options.work_millis = 0;
+  Harness harness(options);
+  EXPECT_EQ(harness.cluster_names().size(), 3u);
+  EXPECT_NE(harness.cloudkit()->clusters()->Get("cluster1"), nullptr);
+}
+
+TEST(HarnessTest, EnqueueSimCreatesBacklog) {
+  HarnessOptions options;
+  options.work_millis = 0;
+  Harness harness(options);
+  ASSERT_TRUE(harness.EnqueueSim(/*client=*/0, /*items=*/3).ok());
+  ASSERT_TRUE(harness.EnqueueSim(/*client=*/1, /*items=*/2).ok());
+  EXPECT_EQ(harness.quick()->PendingCount(harness.ClientDb(0)).value_or(-1),
+            3);
+  EXPECT_EQ(harness.quick()->PendingCount(harness.ClientDb(1)).value_or(-1),
+            2);
+}
+
+TEST(HarnessTest, ConsumerExecutesSimWork) {
+  HarnessOptions options;
+  options.work_millis = 0;
+  Harness harness(options);
+  ASSERT_TRUE(harness.EnqueueSim(0, 2).ok());
+  core::ConsumerConfig config;
+  config.sequential = true;
+  config.relaxed_reads_for_peek = false;
+  config.dequeue_max = 2;
+  auto consumer = harness.MakeConsumer(config, "wl-test");
+  ASSERT_TRUE(consumer->RunOnePass("cluster0").ok());
+  EXPECT_EQ(harness.WorkExecuted(), 2);
+}
+
+TEST(LoadGeneratorTest, OpenLoopProducesApproximateRate) {
+  HarnessOptions hopts;
+  hopts.work_millis = 0;
+  Harness harness(hopts);
+  LoadOptions lopts;
+  lopts.num_clients = 20;
+  lopts.rate_per_client_hz = 20.0;  // aggregate 400/s
+  lopts.num_threads = 2;
+  lopts.seed = 5;
+  OpenLoopGenerator generator(&harness, lopts);
+  generator.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  generator.Stop();
+  // ~200 expected in 0.5s; allow wide tolerance for CI noise.
+  EXPECT_GT(generator.ItemsEnqueued(), 60);
+  EXPECT_LT(generator.ItemsEnqueued(), 400);
+  EXPECT_EQ(generator.Errors(), 0);
+}
+
+TEST(LoadGeneratorTest, SkewedLoadStillEnqueues) {
+  HarnessOptions hopts;
+  hopts.work_millis = 0;
+  Harness harness(hopts);
+  LoadOptions lopts;
+  lopts.num_clients = 30;
+  lopts.rate_per_client_hz = 10.0;
+  lopts.skewed = true;
+  lopts.num_threads = 2;
+  OpenLoopGenerator generator(&harness, lopts);
+  generator.Start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(400));
+  generator.Stop();
+  EXPECT_GT(generator.ItemsEnqueued(), 10);
+}
+
+TEST(LoadGeneratorTest, StopIsIdempotentAndRestartSafe) {
+  HarnessOptions hopts;
+  hopts.work_millis = 0;
+  Harness harness(hopts);
+  LoadOptions lopts;
+  lopts.num_clients = 4;
+  lopts.rate_per_client_hz = 5.0;
+  OpenLoopGenerator generator(&harness, lopts);
+  generator.Start();
+  generator.Start();  // no-op
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  generator.Stop();
+  generator.Stop();  // no-op
+}
+
+TEST(SaturationFeederTest, MaintainsBacklogTarget) {
+  HarnessOptions hopts;
+  hopts.work_millis = 0;
+  Harness harness(hopts);
+  SaturationFeeder feeder(&harness, /*num_clients=*/8,
+                          /*items_per_enqueue=*/2, /*num_threads=*/2);
+  feeder.Start(/*backlog_target_per_client=*/4);
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  feeder.Stop();
+  // Every client should be at (or above, in 2-item steps) the target.
+  for (int c = 0; c < 8; ++c) {
+    const int64_t pending =
+        harness.quick()->PendingCount(harness.ClientDb(c)).value_or(-1);
+    EXPECT_GE(pending, 4) << "client " << c;
+    EXPECT_LE(pending, 6) << "client " << c;
+  }
+  EXPECT_GE(feeder.ItemsEnqueued(), 8 * 4);
+}
+
+}  // namespace
+}  // namespace quick::wl
