@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_multicluster.dir/bench_ablation_multicluster.cpp.o"
+  "CMakeFiles/bench_ablation_multicluster.dir/bench_ablation_multicluster.cpp.o.d"
+  "bench_ablation_multicluster"
+  "bench_ablation_multicluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_multicluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

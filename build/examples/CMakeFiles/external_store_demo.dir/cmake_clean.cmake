@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/external_store_demo.dir/external_store_demo.cpp.o"
+  "CMakeFiles/external_store_demo.dir/external_store_demo.cpp.o.d"
+  "external_store_demo"
+  "external_store_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/external_store_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

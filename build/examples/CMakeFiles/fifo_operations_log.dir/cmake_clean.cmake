@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fifo_operations_log.dir/fifo_operations_log.cpp.o"
+  "CMakeFiles/fifo_operations_log.dir/fifo_operations_log.cpp.o.d"
+  "fifo_operations_log"
+  "fifo_operations_log.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fifo_operations_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/index_builder.dir/index_builder.cpp.o"
+  "CMakeFiles/index_builder.dir/index_builder.cpp.o.d"
+  "index_builder"
+  "index_builder.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/index_builder.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_sync.dir/record_sync.cpp.o"
+  "CMakeFiles/record_sync.dir/record_sync.cpp.o.d"
+  "record_sync"
+  "record_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

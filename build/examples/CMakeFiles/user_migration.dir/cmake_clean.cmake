@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/user_migration.dir/user_migration.cpp.o"
+  "CMakeFiles/user_migration.dir/user_migration.cpp.o.d"
+  "user_migration"
+  "user_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/user_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloudkit/database_id.cc" "src/cloudkit/CMakeFiles/quick_cloudkit.dir/database_id.cc.o" "gcc" "src/cloudkit/CMakeFiles/quick_cloudkit.dir/database_id.cc.o.d"
+  "/root/repo/src/cloudkit/placement.cc" "src/cloudkit/CMakeFiles/quick_cloudkit.dir/placement.cc.o" "gcc" "src/cloudkit/CMakeFiles/quick_cloudkit.dir/placement.cc.o.d"
+  "/root/repo/src/cloudkit/queue_zone.cc" "src/cloudkit/CMakeFiles/quick_cloudkit.dir/queue_zone.cc.o" "gcc" "src/cloudkit/CMakeFiles/quick_cloudkit.dir/queue_zone.cc.o.d"
+  "/root/repo/src/cloudkit/queued_item.cc" "src/cloudkit/CMakeFiles/quick_cloudkit.dir/queued_item.cc.o" "gcc" "src/cloudkit/CMakeFiles/quick_cloudkit.dir/queued_item.cc.o.d"
+  "/root/repo/src/cloudkit/service.cc" "src/cloudkit/CMakeFiles/quick_cloudkit.dir/service.cc.o" "gcc" "src/cloudkit/CMakeFiles/quick_cloudkit.dir/service.cc.o.d"
+  "/root/repo/src/cloudkit/zone_catalog.cc" "src/cloudkit/CMakeFiles/quick_cloudkit.dir/zone_catalog.cc.o" "gcc" "src/cloudkit/CMakeFiles/quick_cloudkit.dir/zone_catalog.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/reclayer/CMakeFiles/quick_reclayer.dir/DependInfo.cmake"
+  "/root/repo/build/src/fdb/CMakeFiles/quick_fdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuple/CMakeFiles/quick_tuple.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/quick_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

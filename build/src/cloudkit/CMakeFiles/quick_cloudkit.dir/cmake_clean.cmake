@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quick_cloudkit.dir/database_id.cc.o"
+  "CMakeFiles/quick_cloudkit.dir/database_id.cc.o.d"
+  "CMakeFiles/quick_cloudkit.dir/placement.cc.o"
+  "CMakeFiles/quick_cloudkit.dir/placement.cc.o.d"
+  "CMakeFiles/quick_cloudkit.dir/queue_zone.cc.o"
+  "CMakeFiles/quick_cloudkit.dir/queue_zone.cc.o.d"
+  "CMakeFiles/quick_cloudkit.dir/queued_item.cc.o"
+  "CMakeFiles/quick_cloudkit.dir/queued_item.cc.o.d"
+  "CMakeFiles/quick_cloudkit.dir/service.cc.o"
+  "CMakeFiles/quick_cloudkit.dir/service.cc.o.d"
+  "CMakeFiles/quick_cloudkit.dir/zone_catalog.cc.o"
+  "CMakeFiles/quick_cloudkit.dir/zone_catalog.cc.o.d"
+  "libquick_cloudkit.a"
+  "libquick_cloudkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quick_cloudkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

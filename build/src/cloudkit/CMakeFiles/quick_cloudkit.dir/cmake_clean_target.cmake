@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libquick_cloudkit.a"
+)

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quick_common.dir/bytes.cc.o"
+  "CMakeFiles/quick_common.dir/bytes.cc.o.d"
+  "CMakeFiles/quick_common.dir/clock.cc.o"
+  "CMakeFiles/quick_common.dir/clock.cc.o.d"
+  "CMakeFiles/quick_common.dir/histogram.cc.o"
+  "CMakeFiles/quick_common.dir/histogram.cc.o.d"
+  "CMakeFiles/quick_common.dir/metrics.cc.o"
+  "CMakeFiles/quick_common.dir/metrics.cc.o.d"
+  "CMakeFiles/quick_common.dir/random.cc.o"
+  "CMakeFiles/quick_common.dir/random.cc.o.d"
+  "CMakeFiles/quick_common.dir/status.cc.o"
+  "CMakeFiles/quick_common.dir/status.cc.o.d"
+  "CMakeFiles/quick_common.dir/thread_pool.cc.o"
+  "CMakeFiles/quick_common.dir/thread_pool.cc.o.d"
+  "libquick_common.a"
+  "libquick_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quick_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/external/external_queue.cc" "src/external/CMakeFiles/quick_external.dir/external_queue.cc.o" "gcc" "src/external/CMakeFiles/quick_external.dir/external_queue.cc.o.d"
+  "/root/repo/src/external/external_store.cc" "src/external/CMakeFiles/quick_external.dir/external_store.cc.o" "gcc" "src/external/CMakeFiles/quick_external.dir/external_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quick/CMakeFiles/quick_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloudkit/CMakeFiles/quick_cloudkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/reclayer/CMakeFiles/quick_reclayer.dir/DependInfo.cmake"
+  "/root/repo/build/src/fdb/CMakeFiles/quick_fdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuple/CMakeFiles/quick_tuple.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/quick_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

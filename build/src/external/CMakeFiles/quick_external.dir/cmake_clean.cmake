@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quick_external.dir/external_queue.cc.o"
+  "CMakeFiles/quick_external.dir/external_queue.cc.o.d"
+  "CMakeFiles/quick_external.dir/external_store.cc.o"
+  "CMakeFiles/quick_external.dir/external_store.cc.o.d"
+  "libquick_external.a"
+  "libquick_external.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quick_external.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fdb/conflict_tracker.cc" "src/fdb/CMakeFiles/quick_fdb.dir/conflict_tracker.cc.o" "gcc" "src/fdb/CMakeFiles/quick_fdb.dir/conflict_tracker.cc.o.d"
+  "/root/repo/src/fdb/database.cc" "src/fdb/CMakeFiles/quick_fdb.dir/database.cc.o" "gcc" "src/fdb/CMakeFiles/quick_fdb.dir/database.cc.o.d"
+  "/root/repo/src/fdb/transaction.cc" "src/fdb/CMakeFiles/quick_fdb.dir/transaction.cc.o" "gcc" "src/fdb/CMakeFiles/quick_fdb.dir/transaction.cc.o.d"
+  "/root/repo/src/fdb/versioned_store.cc" "src/fdb/CMakeFiles/quick_fdb.dir/versioned_store.cc.o" "gcc" "src/fdb/CMakeFiles/quick_fdb.dir/versioned_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/quick_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quick_fdb.dir/conflict_tracker.cc.o"
+  "CMakeFiles/quick_fdb.dir/conflict_tracker.cc.o.d"
+  "CMakeFiles/quick_fdb.dir/database.cc.o"
+  "CMakeFiles/quick_fdb.dir/database.cc.o.d"
+  "CMakeFiles/quick_fdb.dir/transaction.cc.o"
+  "CMakeFiles/quick_fdb.dir/transaction.cc.o.d"
+  "CMakeFiles/quick_fdb.dir/versioned_store.cc.o"
+  "CMakeFiles/quick_fdb.dir/versioned_store.cc.o.d"
+  "libquick_fdb.a"
+  "libquick_fdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quick_fdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for quick_fdb.
+# This may be replaced when dependencies are built.

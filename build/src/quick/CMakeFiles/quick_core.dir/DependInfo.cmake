@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quick/admin.cc" "src/quick/CMakeFiles/quick_core.dir/admin.cc.o" "gcc" "src/quick/CMakeFiles/quick_core.dir/admin.cc.o.d"
+  "/root/repo/src/quick/alerts.cc" "src/quick/CMakeFiles/quick_core.dir/alerts.cc.o" "gcc" "src/quick/CMakeFiles/quick_core.dir/alerts.cc.o.d"
+  "/root/repo/src/quick/consumer.cc" "src/quick/CMakeFiles/quick_core.dir/consumer.cc.o" "gcc" "src/quick/CMakeFiles/quick_core.dir/consumer.cc.o.d"
+  "/root/repo/src/quick/pointer.cc" "src/quick/CMakeFiles/quick_core.dir/pointer.cc.o" "gcc" "src/quick/CMakeFiles/quick_core.dir/pointer.cc.o.d"
+  "/root/repo/src/quick/quick.cc" "src/quick/CMakeFiles/quick_core.dir/quick.cc.o" "gcc" "src/quick/CMakeFiles/quick_core.dir/quick.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloudkit/CMakeFiles/quick_cloudkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/reclayer/CMakeFiles/quick_reclayer.dir/DependInfo.cmake"
+  "/root/repo/build/src/fdb/CMakeFiles/quick_fdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuple/CMakeFiles/quick_tuple.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/quick_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

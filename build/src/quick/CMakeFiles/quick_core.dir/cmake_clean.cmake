@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quick_core.dir/admin.cc.o"
+  "CMakeFiles/quick_core.dir/admin.cc.o.d"
+  "CMakeFiles/quick_core.dir/alerts.cc.o"
+  "CMakeFiles/quick_core.dir/alerts.cc.o.d"
+  "CMakeFiles/quick_core.dir/consumer.cc.o"
+  "CMakeFiles/quick_core.dir/consumer.cc.o.d"
+  "CMakeFiles/quick_core.dir/pointer.cc.o"
+  "CMakeFiles/quick_core.dir/pointer.cc.o.d"
+  "CMakeFiles/quick_core.dir/quick.cc.o"
+  "CMakeFiles/quick_core.dir/quick.cc.o.d"
+  "libquick_core.a"
+  "libquick_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quick_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reclayer/metadata.cc" "src/reclayer/CMakeFiles/quick_reclayer.dir/metadata.cc.o" "gcc" "src/reclayer/CMakeFiles/quick_reclayer.dir/metadata.cc.o.d"
+  "/root/repo/src/reclayer/online_index_builder.cc" "src/reclayer/CMakeFiles/quick_reclayer.dir/online_index_builder.cc.o" "gcc" "src/reclayer/CMakeFiles/quick_reclayer.dir/online_index_builder.cc.o.d"
+  "/root/repo/src/reclayer/query_planner.cc" "src/reclayer/CMakeFiles/quick_reclayer.dir/query_planner.cc.o" "gcc" "src/reclayer/CMakeFiles/quick_reclayer.dir/query_planner.cc.o.d"
+  "/root/repo/src/reclayer/record.cc" "src/reclayer/CMakeFiles/quick_reclayer.dir/record.cc.o" "gcc" "src/reclayer/CMakeFiles/quick_reclayer.dir/record.cc.o.d"
+  "/root/repo/src/reclayer/record_store.cc" "src/reclayer/CMakeFiles/quick_reclayer.dir/record_store.cc.o" "gcc" "src/reclayer/CMakeFiles/quick_reclayer.dir/record_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fdb/CMakeFiles/quick_fdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuple/CMakeFiles/quick_tuple.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/quick_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

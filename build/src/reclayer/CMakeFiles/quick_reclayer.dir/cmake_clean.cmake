@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quick_reclayer.dir/metadata.cc.o"
+  "CMakeFiles/quick_reclayer.dir/metadata.cc.o.d"
+  "CMakeFiles/quick_reclayer.dir/online_index_builder.cc.o"
+  "CMakeFiles/quick_reclayer.dir/online_index_builder.cc.o.d"
+  "CMakeFiles/quick_reclayer.dir/query_planner.cc.o"
+  "CMakeFiles/quick_reclayer.dir/query_planner.cc.o.d"
+  "CMakeFiles/quick_reclayer.dir/record.cc.o"
+  "CMakeFiles/quick_reclayer.dir/record.cc.o.d"
+  "CMakeFiles/quick_reclayer.dir/record_store.cc.o"
+  "CMakeFiles/quick_reclayer.dir/record_store.cc.o.d"
+  "libquick_reclayer.a"
+  "libquick_reclayer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quick_reclayer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

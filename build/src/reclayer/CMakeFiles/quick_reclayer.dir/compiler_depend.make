@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for quick_reclayer.
+# This may be replaced when dependencies are built.

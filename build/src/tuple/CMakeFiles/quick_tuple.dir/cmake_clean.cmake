@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quick_tuple.dir/subspace.cc.o"
+  "CMakeFiles/quick_tuple.dir/subspace.cc.o.d"
+  "CMakeFiles/quick_tuple.dir/tuple.cc.o"
+  "CMakeFiles/quick_tuple.dir/tuple.cc.o.d"
+  "libquick_tuple.a"
+  "libquick_tuple.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quick_tuple.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quick_workload.dir/harness.cc.o"
+  "CMakeFiles/quick_workload.dir/harness.cc.o.d"
+  "libquick_workload.a"
+  "libquick_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quick_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for quick_workload.
+# This may be replaced when dependencies are built.

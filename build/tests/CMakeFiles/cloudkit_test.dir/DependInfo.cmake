@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cloudkit/database_id_test.cc" "tests/CMakeFiles/cloudkit_test.dir/cloudkit/database_id_test.cc.o" "gcc" "tests/CMakeFiles/cloudkit_test.dir/cloudkit/database_id_test.cc.o.d"
+  "/root/repo/tests/cloudkit/fifo_zone_test.cc" "tests/CMakeFiles/cloudkit_test.dir/cloudkit/fifo_zone_test.cc.o" "gcc" "tests/CMakeFiles/cloudkit_test.dir/cloudkit/fifo_zone_test.cc.o.d"
+  "/root/repo/tests/cloudkit/placement_test.cc" "tests/CMakeFiles/cloudkit_test.dir/cloudkit/placement_test.cc.o" "gcc" "tests/CMakeFiles/cloudkit_test.dir/cloudkit/placement_test.cc.o.d"
+  "/root/repo/tests/cloudkit/queue_order_property_test.cc" "tests/CMakeFiles/cloudkit_test.dir/cloudkit/queue_order_property_test.cc.o" "gcc" "tests/CMakeFiles/cloudkit_test.dir/cloudkit/queue_order_property_test.cc.o.d"
+  "/root/repo/tests/cloudkit/queue_zone_test.cc" "tests/CMakeFiles/cloudkit_test.dir/cloudkit/queue_zone_test.cc.o" "gcc" "tests/CMakeFiles/cloudkit_test.dir/cloudkit/queue_zone_test.cc.o.d"
+  "/root/repo/tests/cloudkit/service_test.cc" "tests/CMakeFiles/cloudkit_test.dir/cloudkit/service_test.cc.o" "gcc" "tests/CMakeFiles/cloudkit_test.dir/cloudkit/service_test.cc.o.d"
+  "/root/repo/tests/cloudkit/zone_catalog_test.cc" "tests/CMakeFiles/cloudkit_test.dir/cloudkit/zone_catalog_test.cc.o" "gcc" "tests/CMakeFiles/cloudkit_test.dir/cloudkit/zone_catalog_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cloudkit/CMakeFiles/quick_cloudkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/reclayer/CMakeFiles/quick_reclayer.dir/DependInfo.cmake"
+  "/root/repo/build/src/fdb/CMakeFiles/quick_fdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuple/CMakeFiles/quick_tuple.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/quick_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

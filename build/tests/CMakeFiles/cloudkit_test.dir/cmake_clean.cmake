@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cloudkit_test.dir/cloudkit/database_id_test.cc.o"
+  "CMakeFiles/cloudkit_test.dir/cloudkit/database_id_test.cc.o.d"
+  "CMakeFiles/cloudkit_test.dir/cloudkit/fifo_zone_test.cc.o"
+  "CMakeFiles/cloudkit_test.dir/cloudkit/fifo_zone_test.cc.o.d"
+  "CMakeFiles/cloudkit_test.dir/cloudkit/placement_test.cc.o"
+  "CMakeFiles/cloudkit_test.dir/cloudkit/placement_test.cc.o.d"
+  "CMakeFiles/cloudkit_test.dir/cloudkit/queue_order_property_test.cc.o"
+  "CMakeFiles/cloudkit_test.dir/cloudkit/queue_order_property_test.cc.o.d"
+  "CMakeFiles/cloudkit_test.dir/cloudkit/queue_zone_test.cc.o"
+  "CMakeFiles/cloudkit_test.dir/cloudkit/queue_zone_test.cc.o.d"
+  "CMakeFiles/cloudkit_test.dir/cloudkit/service_test.cc.o"
+  "CMakeFiles/cloudkit_test.dir/cloudkit/service_test.cc.o.d"
+  "CMakeFiles/cloudkit_test.dir/cloudkit/zone_catalog_test.cc.o"
+  "CMakeFiles/cloudkit_test.dir/cloudkit/zone_catalog_test.cc.o.d"
+  "cloudkit_test"
+  "cloudkit_test.pdb"
+  "cloudkit_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cloudkit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/external_test.dir/external/external_queue_test.cc.o"
+  "CMakeFiles/external_test.dir/external/external_queue_test.cc.o.d"
+  "CMakeFiles/external_test.dir/external/external_store_test.cc.o"
+  "CMakeFiles/external_test.dir/external/external_store_test.cc.o.d"
+  "external_test"
+  "external_test.pdb"
+  "external_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/external_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fdb/conflict_matrix_test.cc" "tests/CMakeFiles/fdb_test.dir/fdb/conflict_matrix_test.cc.o" "gcc" "tests/CMakeFiles/fdb_test.dir/fdb/conflict_matrix_test.cc.o.d"
+  "/root/repo/tests/fdb/conflict_tracker_test.cc" "tests/CMakeFiles/fdb_test.dir/fdb/conflict_tracker_test.cc.o" "gcc" "tests/CMakeFiles/fdb_test.dir/fdb/conflict_tracker_test.cc.o.d"
+  "/root/repo/tests/fdb/database_test.cc" "tests/CMakeFiles/fdb_test.dir/fdb/database_test.cc.o" "gcc" "tests/CMakeFiles/fdb_test.dir/fdb/database_test.cc.o.d"
+  "/root/repo/tests/fdb/edge_cases_test.cc" "tests/CMakeFiles/fdb_test.dir/fdb/edge_cases_test.cc.o" "gcc" "tests/CMakeFiles/fdb_test.dir/fdb/edge_cases_test.cc.o.d"
+  "/root/repo/tests/fdb/key_selector_test.cc" "tests/CMakeFiles/fdb_test.dir/fdb/key_selector_test.cc.o" "gcc" "tests/CMakeFiles/fdb_test.dir/fdb/key_selector_test.cc.o.d"
+  "/root/repo/tests/fdb/retry_test.cc" "tests/CMakeFiles/fdb_test.dir/fdb/retry_test.cc.o" "gcc" "tests/CMakeFiles/fdb_test.dir/fdb/retry_test.cc.o.d"
+  "/root/repo/tests/fdb/serializability_property_test.cc" "tests/CMakeFiles/fdb_test.dir/fdb/serializability_property_test.cc.o" "gcc" "tests/CMakeFiles/fdb_test.dir/fdb/serializability_property_test.cc.o.d"
+  "/root/repo/tests/fdb/transaction_test.cc" "tests/CMakeFiles/fdb_test.dir/fdb/transaction_test.cc.o" "gcc" "tests/CMakeFiles/fdb_test.dir/fdb/transaction_test.cc.o.d"
+  "/root/repo/tests/fdb/versioned_store_test.cc" "tests/CMakeFiles/fdb_test.dir/fdb/versioned_store_test.cc.o" "gcc" "tests/CMakeFiles/fdb_test.dir/fdb/versioned_store_test.cc.o.d"
+  "/root/repo/tests/fdb/versionstamp_test.cc" "tests/CMakeFiles/fdb_test.dir/fdb/versionstamp_test.cc.o" "gcc" "tests/CMakeFiles/fdb_test.dir/fdb/versionstamp_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fdb/CMakeFiles/quick_fdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuple/CMakeFiles/quick_tuple.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/quick_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

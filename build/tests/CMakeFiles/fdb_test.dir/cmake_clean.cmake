@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fdb_test.dir/fdb/conflict_matrix_test.cc.o"
+  "CMakeFiles/fdb_test.dir/fdb/conflict_matrix_test.cc.o.d"
+  "CMakeFiles/fdb_test.dir/fdb/conflict_tracker_test.cc.o"
+  "CMakeFiles/fdb_test.dir/fdb/conflict_tracker_test.cc.o.d"
+  "CMakeFiles/fdb_test.dir/fdb/database_test.cc.o"
+  "CMakeFiles/fdb_test.dir/fdb/database_test.cc.o.d"
+  "CMakeFiles/fdb_test.dir/fdb/edge_cases_test.cc.o"
+  "CMakeFiles/fdb_test.dir/fdb/edge_cases_test.cc.o.d"
+  "CMakeFiles/fdb_test.dir/fdb/key_selector_test.cc.o"
+  "CMakeFiles/fdb_test.dir/fdb/key_selector_test.cc.o.d"
+  "CMakeFiles/fdb_test.dir/fdb/retry_test.cc.o"
+  "CMakeFiles/fdb_test.dir/fdb/retry_test.cc.o.d"
+  "CMakeFiles/fdb_test.dir/fdb/serializability_property_test.cc.o"
+  "CMakeFiles/fdb_test.dir/fdb/serializability_property_test.cc.o.d"
+  "CMakeFiles/fdb_test.dir/fdb/transaction_test.cc.o"
+  "CMakeFiles/fdb_test.dir/fdb/transaction_test.cc.o.d"
+  "CMakeFiles/fdb_test.dir/fdb/versioned_store_test.cc.o"
+  "CMakeFiles/fdb_test.dir/fdb/versioned_store_test.cc.o.d"
+  "CMakeFiles/fdb_test.dir/fdb/versionstamp_test.cc.o"
+  "CMakeFiles/fdb_test.dir/fdb/versionstamp_test.cc.o.d"
+  "fdb_test"
+  "fdb_test.pdb"
+  "fdb_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fdb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/quick/admin_test.cc" "tests/CMakeFiles/quick_test.dir/quick/admin_test.cc.o" "gcc" "tests/CMakeFiles/quick_test.dir/quick/admin_test.cc.o.d"
+  "/root/repo/tests/quick/alerts_test.cc" "tests/CMakeFiles/quick_test.dir/quick/alerts_test.cc.o" "gcc" "tests/CMakeFiles/quick_test.dir/quick/alerts_test.cc.o.d"
+  "/root/repo/tests/quick/api_extensions_test.cc" "tests/CMakeFiles/quick_test.dir/quick/api_extensions_test.cc.o" "gcc" "tests/CMakeFiles/quick_test.dir/quick/api_extensions_test.cc.o.d"
+  "/root/repo/tests/quick/chaos_property_test.cc" "tests/CMakeFiles/quick_test.dir/quick/chaos_property_test.cc.o" "gcc" "tests/CMakeFiles/quick_test.dir/quick/chaos_property_test.cc.o.d"
+  "/root/repo/tests/quick/consumer_test.cc" "tests/CMakeFiles/quick_test.dir/quick/consumer_test.cc.o" "gcc" "tests/CMakeFiles/quick_test.dir/quick/consumer_test.cc.o.d"
+  "/root/repo/tests/quick/correctness_test.cc" "tests/CMakeFiles/quick_test.dir/quick/correctness_test.cc.o" "gcc" "tests/CMakeFiles/quick_test.dir/quick/correctness_test.cc.o.d"
+  "/root/repo/tests/quick/enqueue_test.cc" "tests/CMakeFiles/quick_test.dir/quick/enqueue_test.cc.o" "gcc" "tests/CMakeFiles/quick_test.dir/quick/enqueue_test.cc.o.d"
+  "/root/repo/tests/quick/fifo_consumer_test.cc" "tests/CMakeFiles/quick_test.dir/quick/fifo_consumer_test.cc.o" "gcc" "tests/CMakeFiles/quick_test.dir/quick/fifo_consumer_test.cc.o.d"
+  "/root/repo/tests/quick/lease_cache_test.cc" "tests/CMakeFiles/quick_test.dir/quick/lease_cache_test.cc.o" "gcc" "tests/CMakeFiles/quick_test.dir/quick/lease_cache_test.cc.o.d"
+  "/root/repo/tests/quick/migration_test.cc" "tests/CMakeFiles/quick_test.dir/quick/migration_test.cc.o" "gcc" "tests/CMakeFiles/quick_test.dir/quick/migration_test.cc.o.d"
+  "/root/repo/tests/quick/pointer_test.cc" "tests/CMakeFiles/quick_test.dir/quick/pointer_test.cc.o" "gcc" "tests/CMakeFiles/quick_test.dir/quick/pointer_test.cc.o.d"
+  "/root/repo/tests/quick/sharded_top_queue_test.cc" "tests/CMakeFiles/quick_test.dir/quick/sharded_top_queue_test.cc.o" "gcc" "tests/CMakeFiles/quick_test.dir/quick/sharded_top_queue_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/quick/CMakeFiles/quick_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloudkit/CMakeFiles/quick_cloudkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/reclayer/CMakeFiles/quick_reclayer.dir/DependInfo.cmake"
+  "/root/repo/build/src/fdb/CMakeFiles/quick_fdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuple/CMakeFiles/quick_tuple.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/quick_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quick_test.dir/quick/admin_test.cc.o"
+  "CMakeFiles/quick_test.dir/quick/admin_test.cc.o.d"
+  "CMakeFiles/quick_test.dir/quick/alerts_test.cc.o"
+  "CMakeFiles/quick_test.dir/quick/alerts_test.cc.o.d"
+  "CMakeFiles/quick_test.dir/quick/api_extensions_test.cc.o"
+  "CMakeFiles/quick_test.dir/quick/api_extensions_test.cc.o.d"
+  "CMakeFiles/quick_test.dir/quick/chaos_property_test.cc.o"
+  "CMakeFiles/quick_test.dir/quick/chaos_property_test.cc.o.d"
+  "CMakeFiles/quick_test.dir/quick/consumer_test.cc.o"
+  "CMakeFiles/quick_test.dir/quick/consumer_test.cc.o.d"
+  "CMakeFiles/quick_test.dir/quick/correctness_test.cc.o"
+  "CMakeFiles/quick_test.dir/quick/correctness_test.cc.o.d"
+  "CMakeFiles/quick_test.dir/quick/enqueue_test.cc.o"
+  "CMakeFiles/quick_test.dir/quick/enqueue_test.cc.o.d"
+  "CMakeFiles/quick_test.dir/quick/fifo_consumer_test.cc.o"
+  "CMakeFiles/quick_test.dir/quick/fifo_consumer_test.cc.o.d"
+  "CMakeFiles/quick_test.dir/quick/lease_cache_test.cc.o"
+  "CMakeFiles/quick_test.dir/quick/lease_cache_test.cc.o.d"
+  "CMakeFiles/quick_test.dir/quick/migration_test.cc.o"
+  "CMakeFiles/quick_test.dir/quick/migration_test.cc.o.d"
+  "CMakeFiles/quick_test.dir/quick/pointer_test.cc.o"
+  "CMakeFiles/quick_test.dir/quick/pointer_test.cc.o.d"
+  "CMakeFiles/quick_test.dir/quick/sharded_top_queue_test.cc.o"
+  "CMakeFiles/quick_test.dir/quick/sharded_top_queue_test.cc.o.d"
+  "quick_test"
+  "quick_test.pdb"
+  "quick_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quick_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

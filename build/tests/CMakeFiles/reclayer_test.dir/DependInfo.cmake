@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/reclayer/index_property_test.cc" "tests/CMakeFiles/reclayer_test.dir/reclayer/index_property_test.cc.o" "gcc" "tests/CMakeFiles/reclayer_test.dir/reclayer/index_property_test.cc.o.d"
+  "/root/repo/tests/reclayer/metadata_test.cc" "tests/CMakeFiles/reclayer_test.dir/reclayer/metadata_test.cc.o" "gcc" "tests/CMakeFiles/reclayer_test.dir/reclayer/metadata_test.cc.o.d"
+  "/root/repo/tests/reclayer/online_index_builder_test.cc" "tests/CMakeFiles/reclayer_test.dir/reclayer/online_index_builder_test.cc.o" "gcc" "tests/CMakeFiles/reclayer_test.dir/reclayer/online_index_builder_test.cc.o.d"
+  "/root/repo/tests/reclayer/query_planner_test.cc" "tests/CMakeFiles/reclayer_test.dir/reclayer/query_planner_test.cc.o" "gcc" "tests/CMakeFiles/reclayer_test.dir/reclayer/query_planner_test.cc.o.d"
+  "/root/repo/tests/reclayer/record_store_test.cc" "tests/CMakeFiles/reclayer_test.dir/reclayer/record_store_test.cc.o" "gcc" "tests/CMakeFiles/reclayer_test.dir/reclayer/record_store_test.cc.o.d"
+  "/root/repo/tests/reclayer/record_test.cc" "tests/CMakeFiles/reclayer_test.dir/reclayer/record_test.cc.o" "gcc" "tests/CMakeFiles/reclayer_test.dir/reclayer/record_test.cc.o.d"
+  "/root/repo/tests/reclayer/version_index_test.cc" "tests/CMakeFiles/reclayer_test.dir/reclayer/version_index_test.cc.o" "gcc" "tests/CMakeFiles/reclayer_test.dir/reclayer/version_index_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/reclayer/CMakeFiles/quick_reclayer.dir/DependInfo.cmake"
+  "/root/repo/build/src/fdb/CMakeFiles/quick_fdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/tuple/CMakeFiles/quick_tuple.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/quick_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reclayer_test.dir/reclayer/index_property_test.cc.o"
+  "CMakeFiles/reclayer_test.dir/reclayer/index_property_test.cc.o.d"
+  "CMakeFiles/reclayer_test.dir/reclayer/metadata_test.cc.o"
+  "CMakeFiles/reclayer_test.dir/reclayer/metadata_test.cc.o.d"
+  "CMakeFiles/reclayer_test.dir/reclayer/online_index_builder_test.cc.o"
+  "CMakeFiles/reclayer_test.dir/reclayer/online_index_builder_test.cc.o.d"
+  "CMakeFiles/reclayer_test.dir/reclayer/query_planner_test.cc.o"
+  "CMakeFiles/reclayer_test.dir/reclayer/query_planner_test.cc.o.d"
+  "CMakeFiles/reclayer_test.dir/reclayer/record_store_test.cc.o"
+  "CMakeFiles/reclayer_test.dir/reclayer/record_store_test.cc.o.d"
+  "CMakeFiles/reclayer_test.dir/reclayer/record_test.cc.o"
+  "CMakeFiles/reclayer_test.dir/reclayer/record_test.cc.o.d"
+  "CMakeFiles/reclayer_test.dir/reclayer/version_index_test.cc.o"
+  "CMakeFiles/reclayer_test.dir/reclayer/version_index_test.cc.o.d"
+  "reclayer_test"
+  "reclayer_test.pdb"
+  "reclayer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reclayer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
