@@ -41,6 +41,38 @@ class ExponentialBackoff {
   double multiplier_;
 };
 
+/// Stateful companion to ExponentialBackoff: tracks the attempt number
+/// across calls and resets when the protected operation recovers. Used by
+/// the consumer's per-cluster circuit breaker (open-duration growth) and by
+/// callers that retry an operation over time rather than in one loop.
+class RetryBackoff {
+ public:
+  RetryBackoff(int64_t initial_millis, int64_t max_millis,
+               double multiplier = 2.0)
+      : schedule_(initial_millis, max_millis, multiplier) {}
+  explicit RetryBackoff(const ExponentialBackoff& schedule)
+      : schedule_(schedule) {}
+
+  /// Deterministic delay for the current attempt; advances the attempt
+  /// counter.
+  int64_t NextDelayMillis() { return schedule_.DelayForAttempt(attempt_++); }
+
+  /// Jittered delay for the current attempt; advances the attempt counter.
+  int64_t NextJitteredDelayMillis(Random* rng) {
+    return schedule_.JitteredDelayForAttempt(attempt_++, rng);
+  }
+
+  /// Attempts handed out since construction or the last Reset().
+  int attempt() const { return attempt_; }
+
+  /// Back to the initial delay (call after a success).
+  void Reset() { attempt_ = 0; }
+
+ private:
+  ExponentialBackoff schedule_;
+  int attempt_ = 0;
+};
+
 }  // namespace quick
 
 #endif  // QUICK_COMMON_BACKOFF_H_

@@ -9,12 +9,19 @@ Database::Database(std::string name) : Database(std::move(name), Options{}) {}
 Database::Database(std::string name, Options options)
     : name_(std::move(name)),
       options_(options),
-      faults_(options.faults),
+      faults_(options.faults, options.fault_plan, options.clock),
       latency_(options.latency) {}
 
 void Database::InjectLatency(int64_t micros) {
   if (micros > 0) {
     std::this_thread::sleep_for(std::chrono::microseconds(micros));
+  }
+  // Scheduled latency spikes are paid on the cluster's Clock so that a
+  // ManualClock advances deterministically (and transactions age) instead
+  // of the test blocking in real time.
+  const int64_t spike_millis = faults_.ExtraLatencyMillis();
+  if (spike_millis > 0) {
+    options_.clock->SleepMillis(spike_millis);
   }
 }
 
@@ -47,6 +54,7 @@ Result<Version> Database::AcquireReadVersion(const TransactionOptions& topts) {
 Result<std::optional<std::string>> Database::ReadAt(const std::string& key,
                                                     Version version) {
   InjectLatency(latency_.read_micros);
+  QUICK_RETURN_IF_ERROR(faults_.NextReadFault());
   if (version < min_read_version_.load(std::memory_order_acquire)) {
     return Status::TransactionTooOld("read version pruned");
   }
@@ -58,6 +66,7 @@ Result<std::optional<std::string>> Database::ReadAt(const std::string& key,
 Result<std::vector<KeyValue>> Database::ReadRangeAt(
     const KeyRange& range, Version version, const RangeOptions& options) {
   InjectLatency(latency_.read_micros);
+  QUICK_RETURN_IF_ERROR(faults_.NextReadFault());
   if (version < min_read_version_.load(std::memory_order_acquire)) {
     return Status::TransactionTooOld("read version pruned");
   }
@@ -75,6 +84,10 @@ Result<Version> Database::CommitAt(CommitRequest&& request) {
   const FaultInjector::CommitFault fault = faults_.NextCommitFault();
   if (fault == FaultInjector::CommitFault::kUnavailable) {
     return Status::Unavailable("injected commit failure");
+  }
+  if (fault == FaultInjector::CommitFault::kTooOld) {
+    stats_.too_old.fetch_add(1, std::memory_order_relaxed);
+    return Status::TransactionTooOld("injected transaction_too_old");
   }
 
   std::unique_lock<std::shared_mutex> lock(mu_);

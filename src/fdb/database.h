@@ -41,6 +41,9 @@ class Database {
     int64_t grv_cache_staleness_millis = 1000;
     LatencyModel latency;
     FaultInjector::Config faults;
+    /// Scheduled fault windows (outages, failure-rate spikes, latency
+    /// spikes) layered on the probabilistic config; see fault_plan.h.
+    FaultPlan fault_plan;
   };
 
   /// Cumulative cluster statistics (observability; Figure 7's collision

@@ -4,16 +4,29 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <utility>
 
+#include "common/clock.h"
 #include "common/random.h"
 #include "common/status.h"
+#include "fdb/fault_plan.h"
 
 namespace quick::fdb {
 
-/// Probabilistic fault injection for the simulated cluster. Used by the
-/// failure-injection tests to exercise QuiCK's at-least-once guarantee:
-/// commit_unknown_result in particular is the FDB failure mode the paper
-/// calls out (§6.1, [11]) — the commit may or may not have applied.
+/// Fault injection for the simulated cluster, combining two layers:
+///
+///  - a base probabilistic config (coin-flip per operation), exercising
+///    QuiCK's at-least-once guarantee — commit_unknown_result in particular
+///    is the FDB failure mode the paper calls out (§6.1, [11]): the commit
+///    may or may not have applied;
+///  - an optional time-windowed FaultPlan layering scheduled cluster
+///    outages, elevated failure rates, forced transaction_too_old, and
+///    latency spikes on top (the adversarial schedules the chaos suites
+///    drive).
+///
+/// Evaluation is deterministic given (config.seed, plan, clock): windows
+/// are a pure function of Clock time and all rolls come from one seeded
+/// RNG.
 class FaultInjector {
  public:
   struct Config {
@@ -30,46 +43,142 @@ class FaultInjector {
     uint64_t seed = 42;
   };
 
-  FaultInjector() : FaultInjector(Config{}) {}
-  explicit FaultInjector(const Config& config)
-      : config_(config), rng_(config.seed) {}
+  /// Cumulative injected-fault counters (observability for chaos tests).
+  struct Counts {
+    int64_t outage_rejections = 0;
+    int64_t read_faults = 0;
+    int64_t forced_too_old = 0;
+    int64_t latency_spike_millis = 0;
+  };
 
-  enum class CommitFault { kNone, kUnknownApplied, kUnknownDropped, kUnavailable };
+  FaultInjector() : FaultInjector(Config{}) {}
+  explicit FaultInjector(const Config& config, FaultPlan plan = {},
+                         Clock* clock = nullptr)
+      : config_(config),
+        plan_(std::move(plan)),
+        clock_(clock),
+        rng_(config.seed) {}
+
+  enum class CommitFault {
+    kNone,
+    kUnknownApplied,
+    kUnknownDropped,
+    kUnavailable,
+    kTooOld,
+  };
 
   /// Rolls the dice for one commit attempt. Thread-safe.
   CommitFault NextCommitFault() {
+    const FaultWindow effect = ActiveEffect();
+    if (effect.full_outage) {
+      outage_rejections_.fetch_add(1, std::memory_order_relaxed);
+      return CommitFault::kUnavailable;
+    }
+    const double p_unavailable =
+        config_.commit_unavailable + effect.commit_unavailable;
     if (config_.unknown_result_applied == 0 &&
-        config_.unknown_result_dropped == 0 && config_.commit_unavailable == 0) {
+        config_.unknown_result_dropped == 0 && p_unavailable == 0 &&
+        effect.transaction_too_old == 0) {
       return CommitFault::kNone;
     }
     std::lock_guard<std::mutex> lock(mu_);
     const double roll = rng_.NextDouble();
-    if (roll < config_.unknown_result_applied) {
-      return CommitFault::kUnknownApplied;
-    }
-    if (roll < config_.unknown_result_applied + config_.unknown_result_dropped) {
-      return CommitFault::kUnknownDropped;
-    }
-    if (roll < config_.unknown_result_applied + config_.unknown_result_dropped +
-                   config_.commit_unavailable) {
-      return CommitFault::kUnavailable;
+    double threshold = config_.unknown_result_applied;
+    if (roll < threshold) return CommitFault::kUnknownApplied;
+    threshold += config_.unknown_result_dropped;
+    if (roll < threshold) return CommitFault::kUnknownDropped;
+    threshold += p_unavailable;
+    if (roll < threshold) return CommitFault::kUnavailable;
+    threshold += effect.transaction_too_old;
+    if (roll < threshold) {
+      forced_too_old_.fetch_add(1, std::memory_order_relaxed);
+      return CommitFault::kTooOld;
     }
     return CommitFault::kNone;
   }
 
   /// True when this GRV call should fail transiently. Thread-safe.
   bool NextGrvFault() {
-    if (config_.grv_unavailable == 0) return false;
+    const FaultWindow effect = ActiveEffect();
+    if (effect.full_outage) {
+      outage_rejections_.fetch_add(1, std::memory_order_relaxed);
+      return true;
+    }
+    const double p = config_.grv_unavailable + effect.grv_unavailable;
+    if (p == 0) return false;
     std::lock_guard<std::mutex> lock(mu_);
-    return rng_.NextDouble() < config_.grv_unavailable;
+    return rng_.NextDouble() < p;
+  }
+
+  /// Fault decision for one read (point or range): OK, kUnavailable, or
+  /// kTransactionTooOld. Thread-safe.
+  Status NextReadFault() {
+    const FaultWindow effect = ActiveEffect();
+    if (effect.full_outage) {
+      outage_rejections_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("injected outage: cluster unreachable");
+    }
+    if (effect.read_unavailable == 0 && effect.transaction_too_old == 0) {
+      return Status::OK();
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    const double roll = rng_.NextDouble();
+    if (roll < effect.read_unavailable) {
+      read_faults_.fetch_add(1, std::memory_order_relaxed);
+      return Status::Unavailable("injected read failure");
+    }
+    if (roll < effect.read_unavailable + effect.transaction_too_old) {
+      forced_too_old_.fetch_add(1, std::memory_order_relaxed);
+      return Status::TransactionTooOld("injected transaction_too_old");
+    }
+    return Status::OK();
+  }
+
+  /// Milliseconds of scheduled latency spike currently in effect; the
+  /// caller pays them on its Clock (ManualClock advances, SystemClock
+  /// blocks). Thread-safe.
+  int64_t ExtraLatencyMillis() {
+    if (plan_.empty() || clock_ == nullptr) return 0;
+    const int64_t extra =
+        plan_.EffectAt(clock_->NowMillis()).extra_latency_millis;
+    if (extra > 0) {
+      latency_spike_millis_.fetch_add(extra, std::memory_order_relaxed);
+    }
+    return extra;
   }
 
   const Config& config() const { return config_; }
+  const FaultPlan& plan() const { return plan_; }
+
+  Counts counts() const {
+    Counts out;
+    out.outage_rejections =
+        outage_rejections_.load(std::memory_order_relaxed);
+    out.read_faults = read_faults_.load(std::memory_order_relaxed);
+    out.forced_too_old = forced_too_old_.load(std::memory_order_relaxed);
+    out.latency_spike_millis =
+        latency_spike_millis_.load(std::memory_order_relaxed);
+    return out;
+  }
 
  private:
+  /// The plan's aggregate effect at the cluster's current time; zero-effect
+  /// when no plan or no clock was supplied.
+  FaultWindow ActiveEffect() const {
+    if (plan_.empty() || clock_ == nullptr) return FaultWindow{};
+    return plan_.EffectAt(clock_->NowMillis());
+  }
+
   Config config_;
+  FaultPlan plan_;
+  Clock* clock_;
   std::mutex mu_;
   Random rng_;
+
+  std::atomic<int64_t> outage_rejections_{0};
+  std::atomic<int64_t> read_faults_{0};
+  std::atomic<int64_t> forced_too_old_{0};
+  std::atomic<int64_t> latency_spike_millis_{0};
 };
 
 }  // namespace quick::fdb

@@ -1,0 +1,118 @@
+#ifndef QUICK_FDB_FAULT_PLAN_H_
+#define QUICK_FDB_FAULT_PLAN_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace quick::fdb {
+
+/// One scheduled fault window: between `start_millis` (inclusive) and
+/// `end_millis` (exclusive) of the cluster clock, the listed effects apply
+/// on top of the cluster's base probabilistic fault config. Windows model
+/// the failure scenarios the paper's fault-tolerance story (§5–§6) must
+/// survive: a whole cluster going dark, elevated transient failure rates,
+/// forced transaction_too_old storms, and latency spikes.
+struct FaultWindow {
+  int64_t start_millis = 0;
+  int64_t end_millis = 0;
+
+  /// Cluster fully dark: every GRV, read, and commit fails kUnavailable.
+  bool full_outage = false;
+
+  /// Elevated transient-failure probabilities, additive with the base
+  /// FaultInjector::Config while the window is active.
+  double commit_unavailable = 0.0;
+  double grv_unavailable = 0.0;
+  /// Probability a point read or range read fails kUnavailable.
+  double read_unavailable = 0.0;
+  /// Probability a read or commit fails kTransactionTooOld (models the MVCC
+  /// window collapsing under storage-server lag).
+  double transaction_too_old = 0.0;
+
+  /// Latency spike: every operation additionally sleeps this many
+  /// milliseconds of the cluster's *Clock* time. Under ManualClock the
+  /// sleep advances the clock deterministically instead of blocking, so a
+  /// spike makes simulated time pass — long enough spikes age transactions
+  /// past their 5s lifetime, exactly as a real degraded cluster would.
+  int64_t extra_latency_millis = 0;
+
+  bool Contains(int64_t now_millis) const {
+    return now_millis >= start_millis && now_millis < end_millis;
+  }
+
+  /// A window during which the cluster is completely unreachable.
+  static FaultWindow Outage(int64_t start_millis, int64_t end_millis) {
+    FaultWindow w;
+    w.start_millis = start_millis;
+    w.end_millis = end_millis;
+    w.full_outage = true;
+    return w;
+  }
+
+  /// A window during which every operation pays `extra_millis` more.
+  static FaultWindow LatencySpike(int64_t start_millis, int64_t end_millis,
+                                  int64_t extra_millis) {
+    FaultWindow w;
+    w.start_millis = start_millis;
+    w.end_millis = end_millis;
+    w.extra_latency_millis = extra_millis;
+    return w;
+  }
+};
+
+/// A time-windowed fault schedule for one cluster. Immutable once handed to
+/// a Database; evaluation is a pure function of the clock, so a chaos run
+/// is fully deterministic given (plan, ManualClock, fault seed).
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+
+  FaultPlan& Add(FaultWindow window) {
+    windows_.push_back(window);
+    return *this;
+  }
+
+  bool empty() const { return windows_.empty(); }
+  const std::vector<FaultWindow>& windows() const { return windows_; }
+
+  /// The aggregate effect active at `now_millis`: probabilities of
+  /// overlapping windows add, outages OR, latency spikes add. Returns a
+  /// zero-effect window when nothing is scheduled.
+  FaultWindow EffectAt(int64_t now_millis) const {
+    FaultWindow effect;
+    for (const FaultWindow& w : windows_) {
+      if (!w.Contains(now_millis)) continue;
+      effect.full_outage = effect.full_outage || w.full_outage;
+      effect.commit_unavailable += w.commit_unavailable;
+      effect.grv_unavailable += w.grv_unavailable;
+      effect.read_unavailable += w.read_unavailable;
+      effect.transaction_too_old += w.transaction_too_old;
+      effect.extra_latency_millis += w.extra_latency_millis;
+    }
+    return effect;
+  }
+
+  /// True when any window (of any effect) is active at `now_millis`.
+  bool ActiveAt(int64_t now_millis) const {
+    return std::any_of(windows_.begin(), windows_.end(),
+                       [&](const FaultWindow& w) {
+                         return w.Contains(now_millis);
+                       });
+  }
+
+  /// End of the last scheduled window; 0 when the plan is empty. Chaos
+  /// tests advance the clock past this before checking final invariants.
+  int64_t EndMillis() const {
+    int64_t end = 0;
+    for (const FaultWindow& w : windows_) end = std::max(end, w.end_millis);
+    return end;
+  }
+
+ private:
+  std::vector<FaultWindow> windows_;
+};
+
+}  // namespace quick::fdb
+
+#endif  // QUICK_FDB_FAULT_PLAN_H_

@@ -1,8 +1,10 @@
 #ifndef QUICK_FDB_RETRY_H_
 #define QUICK_FDB_RETRY_H_
 
+#include <string>
 #include <utility>
 
+#include "common/metrics.h"
 #include "common/result.h"
 #include "common/status.h"
 #include "fdb/database.h"
@@ -12,24 +14,46 @@ namespace quick::fdb {
 
 inline constexpr int kDefaultMaxAttempts = 25;
 
+/// Registry counter names for the retry loop. Every retry (txn reset and
+/// re-executed after a retryable error) and every budget exhaustion is
+/// counted, so chaos runs can tell "healthy" from "burning retry budget".
+inline constexpr const char* kRetryCounterName = "fdb.txn.retries";
+inline constexpr const char* kRetryExhaustedCounterName =
+    "fdb.txn.retries_exhausted";
+
 /// Canonical FoundationDB retry loop: runs `body` against a fresh
 /// transaction, commits, and on retryable failures (conflicts, too-old,
 /// unknown-result, transient unavailability) backs off and re-executes.
 /// `body` has signature Status(Transaction&). Note kCommitUnknownResult is
 /// retried, so `body` must be idempotent — every QuiCK transaction is, per
 /// the paper's at-least-once contract (§2).
+///
+/// On budget exhaustion the returned kTimedOut status carries the last
+/// underlying error (code + message), so a failure under fault injection
+/// is diagnosable instead of a bare "budget exhausted".
 template <typename Body>
 Status RunTransaction(Database* db, const TransactionOptions& topts, Body&& body,
                       int max_attempts = kDefaultMaxAttempts) {
+  static Counter* const retries =
+      MetricsRegistry::Default()->GetCounter(kRetryCounterName);
   Transaction txn = db->CreateTransaction(topts);
+  Status last;
   for (int attempt = 0; attempt < max_attempts; ++attempt) {
     Status st = body(txn);
     if (st.ok()) st = txn.Commit();
     if (st.ok()) return st;
+    last = st;
     Status retry = txn.OnError(st);
     if (!retry.ok()) return retry;  // non-retryable: surface the error
+    retries->Increment();
   }
-  return Status::TimedOut("transaction retry budget exhausted");
+  MetricsRegistry::Default()
+      ->GetCounter(kRetryExhaustedCounterName)
+      ->Increment();
+  return Status::TimedOut(
+      "transaction retry budget exhausted after " +
+      std::to_string(max_attempts) + " attempts; last error: " +
+      last.ToString());
 }
 
 template <typename Body>

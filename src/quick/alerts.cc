@@ -15,6 +15,10 @@ const char* KindName(Alert::Kind kind) {
       return "PERMANENT_FAILURE";
     case Alert::Kind::kUnknownJobType:
       return "UNKNOWN_JOB_TYPE";
+    case Alert::Kind::kBreakerOpened:
+      return "BREAKER_OPENED";
+    case Alert::Kind::kBreakerClosed:
+      return "BREAKER_CLOSED";
   }
   return "UNKNOWN";
 }
@@ -22,9 +26,10 @@ const char* KindName(Alert::Kind kind) {
 
 std::string Alert::ToString() const {
   std::ostringstream os;
-  os << KindName(kind) << " db=" << db_id.ToString() << " zone=" << zone
-     << " item=" << item_id << " type=" << job_type
-     << " errors=" << error_count;
+  os << KindName(kind);
+  if (!cluster.empty()) os << " cluster=" << cluster;
+  os << " db=" << db_id.ToString() << " zone=" << zone << " item=" << item_id
+     << " type=" << job_type << " errors=" << error_count;
   if (!detail.empty()) os << " detail=" << detail;
   return os.str();
 }

@@ -9,10 +9,11 @@
 
 namespace quick::core {
 
-/// A work item that keeps failing (§2/§6: jobs retrying indefinitely
-/// "would eventually cause alerts and manual mitigation"). Raised by
-/// consumers when an item's error count crosses the alert threshold of its
-/// retry policy.
+/// An operational event needing attention (§2/§6: jobs retrying
+/// indefinitely "would eventually cause alerts and manual mitigation").
+/// Raised by consumers when an item's error count crosses the alert
+/// threshold of its retry policy, and by the per-cluster health tracker
+/// when a cluster's circuit breaker changes state.
 struct Alert {
   enum class Kind {
     /// Item error count crossed the policy's alert threshold.
@@ -23,6 +24,10 @@ struct Alert {
     kPermanentFailure,
     /// No handler registered for the item's job type.
     kUnknownJobType,
+    /// A cluster's circuit breaker tripped open (cluster looks down).
+    kBreakerOpened,
+    /// A cluster's circuit breaker closed again (cluster recovered).
+    kBreakerClosed,
   };
 
   Kind kind;
@@ -32,6 +37,8 @@ struct Alert {
   std::string job_type;
   int64_t error_count = 0;
   std::string detail;
+  /// Set on breaker alerts: the affected cluster.
+  std::string cluster;
 
   std::string ToString() const;
 };

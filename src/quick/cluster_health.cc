@@ -1,0 +1,80 @@
+#include "quick/cluster_health.h"
+
+namespace quick::core {
+
+ClusterHealth::Entry* ClusterHealth::GetEntryLocked(
+    const std::string& cluster) {
+  auto& slot = entries_[cluster];
+  if (!slot) slot = std::make_unique<Entry>(config_, clock_);
+  return slot.get();
+}
+
+Counter* ClusterHealth::BreakerCounter(const std::string& cluster,
+                                       const char* event) {
+  return metrics_->GetCounter("quick.breaker." + cluster + "." + event);
+}
+
+bool ClusterHealth::ShouldSkip(const std::string& cluster) {
+  if (!config_.enabled) return false;
+  bool skip;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    skip = !GetEntryLocked(cluster)->breaker.AllowRequest();
+  }
+  if (skip) BreakerCounter(cluster, "skipped")->Increment();
+  return skip;
+}
+
+void ClusterHealth::Observe(const std::string& cluster, const Status& status) {
+  if (!config_.enabled) return;
+  const bool failure = !status.ok() && IsInfraFailure(status);
+  if (!status.ok() && !failure) return;  // contention: not a health signal
+
+  CircuitBreaker::Transition transition;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    CircuitBreaker& breaker = GetEntryLocked(cluster)->breaker;
+    transition =
+        failure ? breaker.RecordFailure() : breaker.RecordSuccess();
+  }
+  switch (transition) {
+    case CircuitBreaker::Transition::kNone:
+      return;
+    case CircuitBreaker::Transition::kOpened:
+      BreakerCounter(cluster, "opened")->Increment();
+      break;
+    case CircuitBreaker::Transition::kReopened:
+      BreakerCounter(cluster, "reopened")->Increment();
+      return;  // probe failed: still the same outage, no fresh alert
+    case CircuitBreaker::Transition::kClosed:
+      BreakerCounter(cluster, "closed")->Increment();
+      break;
+  }
+  RaiseTransitionAlert(cluster, transition, status);
+}
+
+CircuitBreaker::State ClusterHealth::StateOf(const std::string& cluster) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(cluster);
+  if (it == entries_.end()) return CircuitBreaker::State::kClosed;
+  return it->second->breaker.state();
+}
+
+void ClusterHealth::RaiseTransitionAlert(
+    const std::string& cluster, CircuitBreaker::Transition transition,
+    const Status& status) {
+  if (alert_sink_ == nullptr) return;
+  Alert alert;
+  alert.kind = transition == CircuitBreaker::Transition::kOpened
+                   ? Alert::Kind::kBreakerOpened
+                   : Alert::Kind::kBreakerClosed;
+  alert.cluster = cluster;
+  alert.detail = transition == CircuitBreaker::Transition::kOpened
+                     ? "consumer " + consumer_id_ +
+                           " opened breaker; last error: " + status.ToString()
+                     : "consumer " + consumer_id_ +
+                           " closed breaker after successful probes";
+  alert_sink_->Raise(alert);
+}
+
+}  // namespace quick::core

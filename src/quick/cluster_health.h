@@ -1,0 +1,187 @@
+#ifndef QUICK_QUICK_CLUSTER_HEALTH_H_
+#define QUICK_QUICK_CLUSTER_HEALTH_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/backoff.h"
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "common/status.h"
+#include "quick/alerts.h"
+#include "quick/config.h"
+
+namespace quick::core {
+
+/// Circuit breaker over one downstream cluster. Standard three-state
+/// machine:
+///
+///   closed ──(failure_threshold consecutive infra failures)──▶ open
+///   open ──(open duration elapses; next request is the probe)──▶ half-open
+///   half-open ──(success_threshold successes)──▶ closed
+///   half-open ──(any failure)──▶ open, with exponentially longer duration
+///
+/// The open duration grows via RetryBackoff and resets when the breaker
+/// closes. Not thread-safe on its own; ClusterHealth serializes access.
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  /// State-machine transition triggered by an observation; the caller
+  /// raises alerts / bumps metrics on kOpened and kClosed.
+  enum class Transition { kNone, kOpened, kReopened, kClosed };
+
+  CircuitBreaker(const CircuitBreakerConfig& config, Clock* clock)
+      : config_(config),
+        clock_(clock),
+        open_backoff_(config.open_initial_millis, config.open_max_millis,
+                      config.open_backoff_multiplier) {}
+
+  /// True when a request against the cluster may proceed. While open,
+  /// returns false until the open duration has elapsed, then moves to
+  /// half-open and lets probes through.
+  bool AllowRequest() {
+    switch (state_) {
+      case State::kClosed:
+      case State::kHalfOpen:
+        return true;
+      case State::kOpen:
+        if (clock_->NowMillis() >= open_until_millis_) {
+          state_ = State::kHalfOpen;
+          probe_successes_ = 0;
+          return true;
+        }
+        return false;
+    }
+    return true;
+  }
+
+  Transition RecordSuccess() {
+    switch (state_) {
+      case State::kClosed:
+        consecutive_failures_ = 0;
+        return Transition::kNone;
+      case State::kHalfOpen:
+        if (++probe_successes_ >= config_.success_threshold) {
+          state_ = State::kClosed;
+          consecutive_failures_ = 0;
+          open_backoff_.Reset();
+          return Transition::kClosed;
+        }
+        return Transition::kNone;
+      case State::kOpen:
+        // A request that started before the breaker opened finished fine;
+        // the breaker stays open until a scheduled probe says otherwise.
+        return Transition::kNone;
+    }
+    return Transition::kNone;
+  }
+
+  Transition RecordFailure() {
+    switch (state_) {
+      case State::kClosed:
+        if (++consecutive_failures_ >= config_.failure_threshold) {
+          Open();
+          return Transition::kOpened;
+        }
+        return Transition::kNone;
+      case State::kHalfOpen:
+        Open();
+        return Transition::kReopened;
+      case State::kOpen:
+        return Transition::kNone;
+    }
+    return Transition::kNone;
+  }
+
+  State state() const { return state_; }
+  int64_t open_until_millis() const { return open_until_millis_; }
+  int consecutive_failures() const { return consecutive_failures_; }
+
+ private:
+  void Open() {
+    state_ = State::kOpen;
+    open_until_millis_ = clock_->NowMillis() + open_backoff_.NextDelayMillis();
+    probe_successes_ = 0;
+  }
+
+  CircuitBreakerConfig config_;
+  Clock* clock_;
+  RetryBackoff open_backoff_;
+  State state_ = State::kClosed;
+  int consecutive_failures_ = 0;
+  int probe_successes_ = 0;
+  int64_t open_until_millis_ = 0;
+};
+
+/// Per-cluster health tracking for one consumer: a circuit breaker per
+/// cluster, alert raising on open/close transitions, and breaker metrics
+/// in the metrics registry (names: quick.breaker.<cluster>.{opened,
+/// reopened, closed, skipped, probes}). Thread-safe; Scanner, Manager and
+/// Worker threads all report through it.
+class ClusterHealth {
+ public:
+  ClusterHealth(const CircuitBreakerConfig& config, Clock* clock,
+                std::string consumer_id,
+                MetricsRegistry* metrics = MetricsRegistry::Default())
+      : config_(config),
+        clock_(clock),
+        consumer_id_(std::move(consumer_id)),
+        metrics_(metrics) {}
+
+  void SetAlertSink(AlertSink* sink) { alert_sink_ = sink; }
+
+  /// True when the Scanner should skip this cluster this round (breaker
+  /// open, probe not yet due). Returning false while open-circuit means the
+  /// caller's next request is the half-open probe.
+  bool ShouldSkip(const std::string& cluster);
+
+  /// Classifies a transaction/scan outcome against `cluster` and feeds the
+  /// breaker: OK resets it, infrastructure failures advance it, contention
+  /// outcomes (conflicts, lost leases, not-found) are ignored.
+  void Observe(const std::string& cluster, const Status& status);
+
+  CircuitBreaker::State StateOf(const std::string& cluster) const;
+
+  /// True for errors that indicate cluster trouble rather than normal
+  /// inter-consumer contention: kUnavailable, kTimedOut (retry budget
+  /// exhausted), kTransactionTooOld.
+  static bool IsInfraFailure(const Status& status) {
+    switch (status.code()) {
+      case StatusCode::kUnavailable:
+      case StatusCode::kTimedOut:
+      case StatusCode::kTransactionTooOld:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+ private:
+  struct Entry {
+    explicit Entry(const CircuitBreakerConfig& config, Clock* clock)
+        : breaker(config, clock) {}
+    CircuitBreaker breaker;
+  };
+
+  Entry* GetEntryLocked(const std::string& cluster);
+  void RaiseTransitionAlert(const std::string& cluster,
+                            CircuitBreaker::Transition transition,
+                            const Status& status);
+  Counter* BreakerCounter(const std::string& cluster, const char* event);
+
+  CircuitBreakerConfig config_;
+  Clock* clock_;
+  std::string consumer_id_;
+  MetricsRegistry* metrics_;
+  AlertSink* alert_sink_ = nullptr;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace quick::core
+
+#endif  // QUICK_QUICK_CLUSTER_HEALTH_H_

@@ -28,6 +28,27 @@ struct QuickConfig {
   int64_t pointer_vesting_slack_millis = 1000;
 };
 
+/// Per-cluster circuit breaker (closed → open → half-open) guarding the
+/// consumer against clusters that have gone dark: instead of burning FDB
+/// retry budgets against an unreachable cluster every scan round, the
+/// Scanner skips open-circuit clusters and probes them with exponentially
+/// backed-off half-open attempts until they recover.
+struct CircuitBreakerConfig {
+  bool enabled = true;
+  /// Consecutive infrastructure failures (unavailable / timed-out /
+  /// transaction-too-old) that trip the breaker open. Contention outcomes
+  /// (conflicts, lost leases) never count.
+  int failure_threshold = 5;
+  /// Consecutive half-open probe successes required to close again.
+  int success_threshold = 2;
+  /// How long the breaker stays open before the first half-open probe;
+  /// doubles (times `open_backoff_multiplier`) on every failed probe, up
+  /// to `open_max_millis`.
+  int64_t open_initial_millis = 500;
+  int64_t open_max_millis = 30000;
+  double open_backoff_multiplier = 2.0;
+};
+
 /// Per-consumer scheduling parameters; names follow Algorithm 1–3 of the
 /// paper. Defaults mirror §8 where given (peek_max=20K, selection_max=2K,
 /// selection_frac=0.02) and are otherwise practical small-scale values.
@@ -73,6 +94,9 @@ struct ConsumerConfig {
   /// (priority, vesting) order. Requires every tenant queue zone to use
   /// the FIFO schema (ZoneType::kFifoQueue / QueueZone(..., fifo=true)).
   bool fifo_tenant_zones = false;
+  /// Per-cluster health tracking / circuit breaking (see
+  /// CircuitBreakerConfig).
+  CircuitBreakerConfig breaker;
 };
 
 }  // namespace quick::core

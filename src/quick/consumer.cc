@@ -18,6 +18,7 @@ Consumer::Consumer(Quick* quick, std::vector<std::string> cluster_names,
                               : std::move(consumer_id)),
       clusters_(std::move(cluster_names)),
       election_(election_cache),
+      health_(config_.breaker, quick->clock(), id_),
       scanner_rng_(std::hash<std::string>{}(id_)) {}
 
 Consumer::~Consumer() { Stop(); }
@@ -99,9 +100,17 @@ bool Consumer::IsSequential(const std::string& cluster_name) {
 
 Result<int> Consumer::ScanClusterOnce(const std::string& cluster_name,
                                       bool inline_processing) {
+  if (crashed_.load()) return 0;
   fdb::Database* cluster = Cluster(cluster_name);
   if (cluster == nullptr) {
     return Status::InvalidArgument("unknown cluster " + cluster_name);
+  }
+  // Open-circuit cluster: skip instead of burning retry budgets against a
+  // cluster that looks down; ShouldSkip lets the half-open probe through
+  // when the breaker's open duration has elapsed.
+  if (health_.ShouldSkip(cluster_name)) {
+    stats_.scans_skipped_breaker.Increment();
+    return 0;
   }
   stats_.scans.Increment();
 
@@ -130,6 +139,7 @@ Result<int> Consumer::ScanClusterOnce(const std::string& cluster_name,
     ck::QueueZone top_zone =
         quick_->cloudkit()->OpenQueueZone(cluster_db, shard, &txn);
     Result<std::vector<std::string>> ids = top_zone.PeekIds(config_.peek_max);
+    health_.Observe(cluster_name, ids.status());
     if (!ids.ok()) continue;  // transient; next round will retry
     peeked.insert(peeked.end(), ids->begin(), ids->end());
     if (static_cast<int>(peeked.size()) >= config_.peek_max) break;
@@ -228,6 +238,7 @@ Result<std::pair<ck::QueuedItem, std::string>> Consumer::LeaseTopItem(
 Status Consumer::ProcessTopItemImpl(const std::string& cluster_name,
                                     const std::string& item_id,
                                     bool inline_processing) {
+  if (crashed_.load()) return Status::OK();
   const std::string key = InFlightKey(cluster_name, item_id);
   Status st = [&]() -> Status {
     fdb::Database* cluster = Cluster(cluster_name);
@@ -256,6 +267,7 @@ Status Consumer::ProcessTopItemImpl(const std::string& cluster_name,
     stats_.pointer_lease_attempts.Increment();
     Result<std::pair<ck::QueuedItem, std::string>> leased =
         LeaseTopItem(cluster, cluster_db, item_id);
+    health_.Observe(cluster_name, leased.status());
     if (!leased.ok()) {
       const Status& err = leased.status();
       if (err.IsNotFound()) return Status::OK();  // GC'd meanwhile
@@ -351,7 +363,11 @@ Status Consumer::HandlePointer(const std::string& cluster_name,
     QUICK_ASSIGN_OR_RETURN(min_vesting, zone.MinVestingTime());
     return Status::OK();
   });
+  health_.Observe(cluster_name, st);
   QUICK_RETURN_IF_ERROR(st);
+  // Crash chaos: the process "died" after dequeuing — item and pointer
+  // leases are abandoned and must be recovered by another consumer.
+  if (crashed_.load()) return Status::OK();
 
   const int64_t now = quick_->clock()->NowMillis();
   for (ck::LeasedItem& li : items) {
@@ -377,6 +393,7 @@ Status Consumer::RequeueOrGcPointer(const std::string& cluster_name,
                                     bool found_items,
                                     std::optional<int64_t> min_vesting,
                                     const tup::Subspace& zone_subspace) {
+  if (crashed_.load()) return Status::OK();  // pointer lease abandoned
   fdb::Database* cluster = Cluster(cluster_name);
   const ck::DatabaseRef cluster_db =
       quick_->cloudkit()->OpenClusterDb(cluster_name);
@@ -535,6 +552,7 @@ void Consumer::DispatchWorkerJob(WorkerJob job, bool inline_processing) {
 }
 
 void Consumer::ProcessWorkItem(WorkerJob job) {
+  if (crashed_.load()) return;  // item lease abandoned, never executed
   const std::string ext_key = InFlightKey(job.cluster, job.leased.item.id);
   Status final_status;
 
@@ -598,6 +616,9 @@ void Consumer::RaiseAlert(Alert::Kind kind, const WorkerJob& job,
 }
 
 Status Consumer::FinishItem(const WorkerJob& job, const Status& final_status) {
+  // Crash chaos: completion never lands; the item's lease expires and
+  // another consumer re-executes it (at-least-once, §5).
+  if (crashed_.load()) return Status::OK();
   fdb::Database* cluster = Cluster(job.cluster);
   const bool is_local =
       StartsWith(job.zone_name, quick_->config().top_zone_name);
@@ -613,6 +634,7 @@ Status Consumer::FinishItem(const WorkerJob& job, const Status& final_status) {
       }
       return c;
     });
+    health_.Observe(job.cluster, st);
     if (st.ok()) {
       stats_.items_processed.Increment();
       if (is_local) stats_.local_items_processed.Increment();
@@ -681,6 +703,7 @@ void Consumer::ExtenderLoop() {
 }
 
 void Consumer::ExtendOnce() {
+  if (crashed_.load()) return;  // held leases run out and expire
   std::vector<ExtensionEntry> entries;
   {
     std::lock_guard<std::mutex> lock(ext_mu_);

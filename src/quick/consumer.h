@@ -13,6 +13,7 @@
 #include "common/blocking_queue.h"
 #include "common/random.h"
 #include "quick/alerts.h"
+#include "quick/cluster_health.h"
 #include "quick/config.h"
 #include "quick/job_registry.h"
 #include "quick/lease_cache.h"
@@ -69,9 +70,27 @@ class Consumer {
   const std::string& id() const { return id_; }
   const ConsumerConfig& config() const { return config_; }
 
-  /// Routes operational alerts (repeated failures, drops) to `sink`. Call
-  /// before Start(); the sink must outlive the consumer.
-  void SetAlertSink(AlertSink* sink) { alert_sink_ = sink; }
+  /// Per-cluster health tracking (circuit breakers); the Scanner consults
+  /// it to skip clusters that look down (§5's graceful degradation under
+  /// partial outages).
+  ClusterHealth& health() { return health_; }
+
+  /// Routes operational alerts (repeated failures, drops, breaker
+  /// transitions) to `sink`. Call before Start(); the sink must outlive
+  /// the consumer.
+  void SetAlertSink(AlertSink* sink) {
+    alert_sink_ = sink;
+    health_.SetAlertSink(sink);
+  }
+
+  /// Chaos hook: freezes this consumer as if its process died — every
+  /// subsequent scan, dequeue, execution, completion, and lease extension
+  /// becomes a no-op, so leases it holds are simply abandoned and expire
+  /// (the §5 fault-tolerance story: other consumers take over). Unlike
+  /// Stop() this can fire mid-item from a handler, leaving work genuinely
+  /// half-done. Irreversible for this instance.
+  void SimulateCrash() { crashed_.store(true); }
+  bool crashed() const { return crashed_.load(); }
 
  private:
   struct TopJob {
@@ -162,9 +181,11 @@ class Consumer {
   std::vector<std::string> clusters_;
   LeaseCache* election_;
   ConsumerStats stats_;
+  ClusterHealth health_;
   Random scanner_rng_;
 
   std::atomic<bool> running_{false};
+  std::atomic<bool> crashed_{false};
   std::vector<std::thread> threads_;
   std::unique_ptr<BlockingQueue<TopJob>> manager_queue_;
   std::unique_ptr<BlockingQueue<WorkerJob>> worker_queue_;

@@ -35,6 +35,8 @@ struct ConsumerStats {
   Counter pointer_gc_aborted;
 
   Counter scans;
+  /// Scans short-circuited because the cluster's circuit breaker was open.
+  Counter scans_skipped_breaker;
   Counter lease_extensions;
   Counter leases_lost;
 
@@ -67,6 +69,7 @@ struct ConsumerStats {
     line("pointers_deleted", pointers_deleted.Value());
     line("pointer_gc_aborted", pointer_gc_aborted.Value());
     line("scans", scans.Value());
+    line("scans_skipped_breaker", scans_skipped_breaker.Value());
     line("lease_extensions", lease_extensions.Value());
     line("leases_lost", leases_lost.Value());
     out += "pointer_latency_us : " + pointer_latency_micros.Summary() + "\n";

@@ -45,5 +45,37 @@ TEST(BackoffTest, ZeroInitialStaysZero) {
   EXPECT_EQ(b.JitteredDelayForAttempt(3, &rng), 0);
 }
 
+TEST(RetryBackoffTest, AdvancesAcrossCallsAndResets) {
+  RetryBackoff b(10, 10000, 2.0);
+  EXPECT_EQ(b.NextDelayMillis(), 10);
+  EXPECT_EQ(b.NextDelayMillis(), 20);
+  EXPECT_EQ(b.NextDelayMillis(), 40);
+  EXPECT_EQ(b.attempt(), 3);
+  b.Reset();
+  EXPECT_EQ(b.attempt(), 0);
+  EXPECT_EQ(b.NextDelayMillis(), 10);
+}
+
+TEST(RetryBackoffTest, CapsAtMax) {
+  RetryBackoff b(10, 100, 2.0);
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_LE(b.NextDelayMillis(), 100);
+  }
+  EXPECT_EQ(b.NextDelayMillis(), 100);
+}
+
+TEST(RetryBackoffTest, JitteredDelaysStayWithinSchedule) {
+  ExponentialBackoff schedule(100, 10000, 2.0);
+  RetryBackoff b(schedule);
+  Random rng(7);
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    const int64_t cap = schedule.DelayForAttempt(attempt);
+    const int64_t d = b.NextJitteredDelayMillis(&rng);
+    EXPECT_GE(d, 0);
+    EXPECT_LE(d, cap);
+  }
+  EXPECT_EQ(b.attempt(), 8);
+}
+
 }  // namespace
 }  // namespace quick

@@ -1,0 +1,191 @@
+#include "fdb/fault_plan.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "fdb/database.h"
+#include "fdb/fault_injector.h"
+
+namespace quick::fdb {
+namespace {
+
+TEST(FaultPlanTest, EmptyPlanHasNoEffect) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  EXPECT_FALSE(plan.ActiveAt(0));
+  EXPECT_EQ(plan.EndMillis(), 0);
+  const FaultWindow effect = plan.EffectAt(12345);
+  EXPECT_FALSE(effect.full_outage);
+  EXPECT_EQ(effect.commit_unavailable, 0.0);
+  EXPECT_EQ(effect.extra_latency_millis, 0);
+}
+
+TEST(FaultPlanTest, WindowBoundsAreHalfOpen) {
+  const FaultWindow w = FaultWindow::Outage(100, 200);
+  EXPECT_FALSE(w.Contains(99));
+  EXPECT_TRUE(w.Contains(100));
+  EXPECT_TRUE(w.Contains(199));
+  EXPECT_FALSE(w.Contains(200));
+}
+
+TEST(FaultPlanTest, OverlappingWindowsAggregate) {
+  FaultWindow elevated;
+  elevated.start_millis = 100;
+  elevated.end_millis = 200;
+  elevated.commit_unavailable = 0.2;
+  elevated.extra_latency_millis = 10;
+
+  FaultWindow more;
+  more.start_millis = 150;
+  more.end_millis = 250;
+  more.commit_unavailable = 0.3;
+  more.extra_latency_millis = 5;
+
+  FaultPlan plan;
+  plan.Add(elevated).Add(more).Add(FaultWindow::Outage(150, 160));
+
+  // Probabilities add, latencies add, outages OR.
+  const FaultWindow mid = plan.EffectAt(155);
+  EXPECT_TRUE(mid.full_outage);
+  EXPECT_DOUBLE_EQ(mid.commit_unavailable, 0.5);
+  EXPECT_EQ(mid.extra_latency_millis, 15);
+
+  const FaultWindow early = plan.EffectAt(120);
+  EXPECT_FALSE(early.full_outage);
+  EXPECT_DOUBLE_EQ(early.commit_unavailable, 0.2);
+  EXPECT_EQ(early.extra_latency_millis, 10);
+
+  EXPECT_FALSE(plan.ActiveAt(99));
+  EXPECT_TRUE(plan.ActiveAt(225));
+  EXPECT_FALSE(plan.ActiveAt(250));
+  EXPECT_EQ(plan.EndMillis(), 250);
+}
+
+TEST(FaultPlanTest, OutageBlocksCommitsReadsAndGrv) {
+  ManualClock clock(1000);
+  Database::Options opts;
+  opts.clock = &clock;
+  opts.fault_plan.Add(FaultWindow::Outage(2000, 5000));
+  Database db("c", opts);
+
+  // Before the window everything works.
+  {
+    Transaction t = db.CreateTransaction();
+    t.Set("k", "v");
+    ASSERT_TRUE(t.Commit().ok());
+  }
+
+  clock.AdvanceMillis(1500);  // now = 2500: inside the window
+  {
+    Transaction t = db.CreateTransaction();
+    Result<std::optional<std::string>> read = t.Get("k");
+    EXPECT_EQ(read.status().code(), StatusCode::kUnavailable);
+  }
+  {
+    Transaction t = db.CreateTransaction();
+    t.Set("k2", "v");
+    EXPECT_EQ(t.Commit().code(), StatusCode::kUnavailable);
+  }
+  EXPECT_GT(db.fault_injector()->counts().outage_rejections, 0);
+
+  clock.AdvanceMillis(3000);  // now = 5500: window over
+  {
+    Transaction t = db.CreateTransaction();
+    EXPECT_EQ(t.Get("k").value().value_or(""), "v");
+    t.Set("k2", "v");
+    EXPECT_TRUE(t.Commit().ok());
+  }
+}
+
+TEST(FaultPlanTest, ForcedTransactionTooOldAtCommit) {
+  ManualClock clock(1000);
+  FaultWindow w;
+  w.start_millis = 0;
+  w.end_millis = 100000;
+  w.transaction_too_old = 1.0;
+  Database::Options opts;
+  opts.clock = &clock;
+  opts.fault_plan.Add(w);
+  Database db("c", opts);
+
+  Transaction t = db.CreateTransaction();
+  t.Set("k", "v");
+  EXPECT_EQ(t.Commit().code(), StatusCode::kTransactionTooOld);
+  EXPECT_GT(db.fault_injector()->counts().forced_too_old, 0);
+  EXPECT_GT(db.GetStats().too_old, 0);
+}
+
+TEST(FaultPlanTest, InjectedReadFaults) {
+  ManualClock clock(1000);
+  FaultWindow w;
+  w.start_millis = 0;
+  w.end_millis = 100000;
+  w.read_unavailable = 1.0;
+  Database::Options opts;
+  opts.clock = &clock;
+  opts.fault_plan.Add(w);
+  Database db("c", opts);
+
+  Transaction t = db.CreateTransaction();
+  EXPECT_EQ(t.Get("k").status().code(), StatusCode::kUnavailable);
+  EXPECT_GT(db.fault_injector()->counts().read_faults, 0);
+}
+
+TEST(FaultPlanTest, LatencySpikeAdvancesManualClock) {
+  ManualClock clock(1000);
+  Database::Options opts;
+  opts.clock = &clock;
+  opts.fault_plan.Add(FaultWindow::LatencySpike(0, 100000, 250));
+  Database db("c", opts);
+
+  const int64_t before = clock.NowMillis();
+  Transaction t = db.CreateTransaction();
+  (void)t.Get("k");
+  EXPECT_GE(clock.NowMillis(), before + 250);
+  EXPECT_GT(db.fault_injector()->counts().latency_spike_millis, 0);
+}
+
+TEST(FaultPlanTest, LongSpikeAgesTransactionsPastLifetime) {
+  // A 6s spike exceeds the 5s transaction lifetime: a transaction started
+  // before paying the spike comes back too old, exactly like a real
+  // degraded cluster.
+  ManualClock clock(1000);
+  Database::Options opts;
+  opts.clock = &clock;
+  opts.fault_plan.Add(FaultWindow::LatencySpike(2000, 100000, 6000));
+  Database db("c", opts);
+
+  Transaction t = db.CreateTransaction();
+  ASSERT_TRUE(t.Get("k").ok());   // started at now = 1000
+  clock.AdvanceMillis(1500);      // now = 2500: spike window active
+  ASSERT_TRUE(t.Get("k2").ok());  // pays the 6s spike; now = 8500
+  EXPECT_EQ(t.Get("k3").status().code(), StatusCode::kTransactionTooOld);
+}
+
+TEST(FaultPlanTest, DeterministicUnderSameSeed) {
+  FaultWindow w;
+  w.start_millis = 0;
+  w.end_millis = 1000000;
+  w.commit_unavailable = 0.4;
+  w.transaction_too_old = 0.2;
+  auto roll_sequence = [&](uint64_t seed) {
+    ManualClock clock(1000);
+    FaultInjector::Config config;
+    config.seed = seed;
+    FaultPlan plan;
+    plan.Add(w);
+    FaultInjector injector(config, plan, &clock);
+    std::vector<FaultInjector::CommitFault> rolls;
+    for (int i = 0; i < 100; ++i) {
+      rolls.push_back(injector.NextCommitFault());
+      clock.AdvanceMillis(10);
+    }
+    return rolls;
+  };
+  EXPECT_EQ(roll_sequence(7), roll_sequence(7));
+  EXPECT_NE(roll_sequence(7), roll_sequence(8));
+}
+
+}  // namespace
+}  // namespace quick::fdb

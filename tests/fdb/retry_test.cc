@@ -114,6 +114,48 @@ TEST(RetryTest, BudgetExhaustedReturnsTimedOut) {
   EXPECT_EQ(st.code(), StatusCode::kTimedOut);
 }
 
+TEST(RetryTest, ExhaustionSurfacesLastUnderlyingError) {
+  ManualClock clock;
+  Database::Options opts;
+  opts.clock = &clock;
+  opts.faults.commit_unavailable = 1.0;
+  Database db("r", opts);
+  Status st = RunTransaction(
+      &db,
+      [&](Transaction& txn) {
+        txn.Set("k", "v");
+        return Status::OK();
+      },
+      /*max_attempts=*/3);
+  ASSERT_EQ(st.code(), StatusCode::kTimedOut);
+  // Not a bare "budget exhausted": the final underlying error rides along.
+  EXPECT_NE(st.message().find("UNAVAILABLE"), std::string::npos) << st;
+}
+
+TEST(RetryTest, RetriesAndExhaustionsAreCounted) {
+  Counter* retries =
+      MetricsRegistry::Default()->GetCounter(kRetryCounterName);
+  Counter* exhausted =
+      MetricsRegistry::Default()->GetCounter(kRetryExhaustedCounterName);
+  const int64_t retries_before = retries->Value();
+  const int64_t exhausted_before = exhausted->Value();
+
+  ManualClock clock;
+  Database::Options opts;
+  opts.clock = &clock;
+  opts.faults.commit_unavailable = 1.0;
+  Database db("r", opts);
+  (void)RunTransaction(
+      &db,
+      [&](Transaction& txn) {
+        txn.Set("k", "v");
+        return Status::OK();
+      },
+      /*max_attempts=*/3);
+  EXPECT_EQ(retries->Value(), retries_before + 3);
+  EXPECT_EQ(exhausted->Value(), exhausted_before + 1);
+}
+
 TEST(RetryTest, RunTransactionResultReturnsValue) {
   Database db("r");
   {

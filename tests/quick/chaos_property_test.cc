@@ -36,6 +36,17 @@ TEST_P(ChaosTest, InvariantsHoldUnderRandomInterleavings) {
   opts.faults.unknown_result_dropped = 0.01;
   opts.faults.commit_unavailable = 0.02;
   opts.faults.seed = GetParam();
+  // Scheduled fault windows layered on top: a full outage, an
+  // elevated-failure window, and a latency spike, placed inside the time
+  // range the 400-step script typically covers.
+  opts.fault_plan.Add(fdb::FaultWindow::Outage(1003000, 1006000));
+  fdb::FaultWindow elevated;
+  elevated.start_millis = 1008000;
+  elevated.end_millis = 1012000;
+  elevated.commit_unavailable = 0.2;
+  elevated.read_unavailable = 0.05;
+  opts.fault_plan.Add(elevated);
+  opts.fault_plan.Add(fdb::FaultWindow::LatencySpike(1014000, 1016000, 50));
   fdb::ClusterSet clusters(opts);
   clusters.AddCluster("c1");
   clusters.AddCluster("c2");
@@ -95,6 +106,12 @@ TEST_P(ChaosTest, InvariantsHoldUnderRandomInterleavings) {
         (void)quick.MoveTenant(db, dest);
       }
     }
+  }
+
+  // Let every scheduled fault window expire before checking invariants:
+  // findability is only promised of a reachable cluster.
+  if (clock.NowMillis() <= opts.fault_plan.EndMillis()) {
+    clock.AdvanceMillis(opts.fault_plan.EndMillis() - clock.NowMillis() + 1);
   }
 
   // Findability check on the final state: every pending (non-executed)

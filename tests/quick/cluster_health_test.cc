@@ -1,0 +1,194 @@
+#include "quick/cluster_health.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+
+namespace quick::core {
+namespace {
+
+CircuitBreakerConfig TestConfig() {
+  CircuitBreakerConfig config;
+  config.failure_threshold = 3;
+  config.success_threshold = 2;
+  config.open_initial_millis = 1000;
+  config.open_max_millis = 8000;
+  config.open_backoff_multiplier = 2.0;
+  return config;
+}
+
+Status Infra() { return Status::Unavailable("cluster down"); }
+
+TEST(CircuitBreakerTest, OpensAfterConsecutiveFailures) {
+  ManualClock clock(1000);
+  CircuitBreaker breaker(TestConfig(), &clock);
+  EXPECT_EQ(breaker.RecordFailure(), CircuitBreaker::Transition::kNone);
+  EXPECT_EQ(breaker.RecordFailure(), CircuitBreaker::Transition::kNone);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(breaker.RecordFailure(), CircuitBreaker::Transition::kOpened);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kOpen);
+  EXPECT_FALSE(breaker.AllowRequest());
+}
+
+TEST(CircuitBreakerTest, SuccessResetsFailureStreak) {
+  ManualClock clock(1000);
+  CircuitBreaker breaker(TestConfig(), &clock);
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  breaker.RecordSuccess();  // streak broken
+  breaker.RecordFailure();
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+}
+
+TEST(CircuitBreakerTest, HalfOpenProbeAfterOpenDuration) {
+  ManualClock clock(1000);
+  CircuitBreaker breaker(TestConfig(), &clock);
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  EXPECT_FALSE(breaker.AllowRequest());
+  clock.AdvanceMillis(999);
+  EXPECT_FALSE(breaker.AllowRequest());
+  clock.AdvanceMillis(1);  // open_initial_millis elapsed
+  EXPECT_TRUE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kHalfOpen);
+}
+
+TEST(CircuitBreakerTest, ClosesAfterEnoughProbeSuccesses) {
+  ManualClock clock(1000);
+  CircuitBreaker breaker(TestConfig(), &clock);
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  clock.AdvanceMillis(1000);
+  ASSERT_TRUE(breaker.AllowRequest());
+  EXPECT_EQ(breaker.RecordSuccess(), CircuitBreaker::Transition::kNone);
+  EXPECT_EQ(breaker.RecordSuccess(), CircuitBreaker::Transition::kClosed);
+  EXPECT_EQ(breaker.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(breaker.AllowRequest());
+}
+
+TEST(CircuitBreakerTest, FailedProbeReopensWithLongerDuration) {
+  ManualClock clock(1000);
+  CircuitBreaker breaker(TestConfig(), &clock);
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  const int64_t first_open_until = breaker.open_until_millis();
+  EXPECT_EQ(first_open_until, 1000 + 1000);
+
+  clock.AdvanceMillis(1000);
+  ASSERT_TRUE(breaker.AllowRequest());  // half-open
+  EXPECT_EQ(breaker.RecordFailure(), CircuitBreaker::Transition::kReopened);
+  // Second open period doubles: 2000ms from now (2000).
+  EXPECT_EQ(breaker.open_until_millis(), 2000 + 2000);
+
+  clock.AdvanceMillis(2000);
+  ASSERT_TRUE(breaker.AllowRequest());
+  breaker.RecordFailure();
+  EXPECT_EQ(breaker.open_until_millis(), 4000 + 4000);
+}
+
+TEST(CircuitBreakerTest, ClosingResetsOpenBackoff) {
+  ManualClock clock(1000);
+  CircuitBreaker breaker(TestConfig(), &clock);
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  clock.AdvanceMillis(1000);
+  ASSERT_TRUE(breaker.AllowRequest());
+  breaker.RecordFailure();  // reopened: next duration would be 2000
+  clock.AdvanceMillis(2000);
+  ASSERT_TRUE(breaker.AllowRequest());
+  breaker.RecordSuccess();
+  breaker.RecordSuccess();  // closed: backoff resets
+  for (int i = 0; i < 3; ++i) breaker.RecordFailure();
+  // Fresh outage starts back at the initial duration.
+  EXPECT_EQ(breaker.open_until_millis(), clock.NowMillis() + 1000);
+}
+
+TEST(ClusterHealthTest, InfraFailureClassification) {
+  EXPECT_TRUE(ClusterHealth::IsInfraFailure(Status::Unavailable("x")));
+  EXPECT_TRUE(ClusterHealth::IsInfraFailure(Status::TimedOut("x")));
+  EXPECT_TRUE(ClusterHealth::IsInfraFailure(Status::TransactionTooOld()));
+  EXPECT_FALSE(ClusterHealth::IsInfraFailure(Status::NotCommitted()));
+  EXPECT_FALSE(ClusterHealth::IsInfraFailure(Status::NotFound("x")));
+  EXPECT_FALSE(ClusterHealth::IsInfraFailure(Status::InvalidArgument("x")));
+}
+
+TEST(ClusterHealthTest, OpensRaisesAlertAndSkips) {
+  ManualClock clock(1000);
+  MetricsRegistry metrics;
+  ClusterHealth health(TestConfig(), &clock, "consumer-1", &metrics);
+  CollectingAlertSink sink;
+  health.SetAlertSink(&sink);
+
+  EXPECT_FALSE(health.ShouldSkip("c1"));
+  for (int i = 0; i < 3; ++i) health.Observe("c1", Infra());
+  EXPECT_EQ(health.StateOf("c1"), CircuitBreaker::State::kOpen);
+
+  auto alerts = sink.Drain();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, Alert::Kind::kBreakerOpened);
+  EXPECT_EQ(alerts[0].cluster, "c1");
+  EXPECT_NE(alerts[0].detail.find("consumer-1"), std::string::npos);
+
+  EXPECT_TRUE(health.ShouldSkip("c1"));
+  EXPECT_TRUE(health.ShouldSkip("c1"));
+  EXPECT_EQ(metrics.GetCounter("quick.breaker.c1.skipped")->Value(), 2);
+  EXPECT_EQ(metrics.GetCounter("quick.breaker.c1.opened")->Value(), 1);
+  // Other clusters are unaffected.
+  EXPECT_FALSE(health.ShouldSkip("c2"));
+  EXPECT_EQ(health.StateOf("c2"), CircuitBreaker::State::kClosed);
+}
+
+TEST(ClusterHealthTest, ContentionOutcomesAreIgnored) {
+  ManualClock clock(1000);
+  MetricsRegistry metrics;
+  ClusterHealth health(TestConfig(), &clock, "consumer-1", &metrics);
+  for (int i = 0; i < 20; ++i) {
+    health.Observe("c1", Status::NotCommitted());
+    health.Observe("c1", Status::NotFound("gone"));
+  }
+  EXPECT_EQ(health.StateOf("c1"), CircuitBreaker::State::kClosed);
+  EXPECT_FALSE(health.ShouldSkip("c1"));
+}
+
+TEST(ClusterHealthTest, RecoveryClosesAndAlerts) {
+  ManualClock clock(1000);
+  MetricsRegistry metrics;
+  ClusterHealth health(TestConfig(), &clock, "consumer-1", &metrics);
+  CollectingAlertSink sink;
+  health.SetAlertSink(&sink);
+
+  for (int i = 0; i < 3; ++i) health.Observe("c1", Infra());
+  (void)sink.Drain();
+
+  // Probe due after the open duration; a failed probe reopens silently
+  // (same outage), successes close with a fresh alert.
+  clock.AdvanceMillis(1000);
+  EXPECT_FALSE(health.ShouldSkip("c1"));  // half-open: probe allowed
+  health.Observe("c1", Infra());          // probe failed
+  EXPECT_EQ(health.StateOf("c1"), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(sink.Count(), 0u);
+  EXPECT_EQ(metrics.GetCounter("quick.breaker.c1.reopened")->Value(), 1);
+
+  clock.AdvanceMillis(2000);
+  EXPECT_FALSE(health.ShouldSkip("c1"));
+  health.Observe("c1", Status::OK());
+  health.Observe("c1", Status::OK());
+  EXPECT_EQ(health.StateOf("c1"), CircuitBreaker::State::kClosed);
+  auto alerts = sink.Drain();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, Alert::Kind::kBreakerClosed);
+  EXPECT_EQ(alerts[0].cluster, "c1");
+  EXPECT_EQ(metrics.GetCounter("quick.breaker.c1.closed")->Value(), 1);
+}
+
+TEST(ClusterHealthTest, DisabledConfigNeverTrips) {
+  ManualClock clock(1000);
+  MetricsRegistry metrics;
+  CircuitBreakerConfig config = TestConfig();
+  config.enabled = false;
+  ClusterHealth health(config, &clock, "consumer-1", &metrics);
+  for (int i = 0; i < 50; ++i) health.Observe("c1", Infra());
+  EXPECT_FALSE(health.ShouldSkip("c1"));
+  EXPECT_EQ(health.StateOf("c1"), CircuitBreaker::State::kClosed);
+}
+
+}  // namespace
+}  // namespace quick::core

@@ -1,0 +1,229 @@
+// Multi-consumer crash/takeover chaos suite (§5 fault tolerance): two
+// consumers share two clusters; one "crashes" mid-lease (its process
+// freezes, abandoning pointer and item leases), then a scheduled
+// full-cluster outage hits one cluster. Verified, per seed:
+//   - the survivor recovers every abandoned pointer and item lease after
+//     expiry, and every enqueued item executes at least once;
+//   - the survivor's circuit breaker opens during the outage (alert +
+//     breaker metrics + scans skipped) and it keeps draining the healthy
+//     cluster meanwhile;
+//   - after the outage the breaker's half-open probes close it again
+//     (alert), the backlog drains, and pointer GC leaves both top-level
+//     queues empty.
+// Everything runs synchronously on a ManualClock, so each seed is
+// deterministic.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/metrics.h"
+#include "common/random.h"
+#include "fdb/cluster_set.h"
+#include "fdb/fault_plan.h"
+#include "quick/consumer.h"
+
+namespace quick::core {
+namespace {
+
+class CrashChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CrashChaosTest, SurvivorRecoversAbandonedLeasesUnderOutage) {
+  const uint64_t seed = GetParam();
+  constexpr int64_t kT0 = 1000000;
+  constexpr int64_t kOutageStart = kT0 + 30000;
+  constexpr int64_t kOutageEnd = kT0 + 90000;
+  ManualClock clock(kT0);
+
+  fdb::Database::Options base;
+  base.clock = &clock;
+  base.faults.seed = seed;
+  fdb::ClusterSet clusters(base);
+  fdb::Database::Options c1_opts = base;
+  c1_opts.fault_plan.Add(fdb::FaultWindow::Outage(kOutageStart, kOutageEnd));
+  clusters.AddCluster("c1", c1_opts);
+  clusters.AddCluster("c2");
+  ck::CloudKitService cloudkit(&clusters, &clock);
+  Quick quick(&cloudkit);
+
+  // Pin tenants deterministically: even tenants on the cluster that will
+  // suffer the outage, odd tenants on the healthy one.
+  constexpr int kTenants = 8;
+  auto tenant = [&](int i) {
+    return ck::DatabaseId::Private("crash-app", "user" + std::to_string(i));
+  };
+  for (int i = 0; i < kTenants; ++i) {
+    cloudkit.placement()->Set(tenant(i), i % 2 == 0 ? "c1" : "c2");
+  }
+
+  ConsumerConfig config;
+  config.sequential = true;
+  config.relaxed_reads_for_peek = false;
+  config.dequeue_max = 3;
+  config.pointer_lease_millis = 500;
+  config.item_lease_millis = 1000;
+  config.min_inactive_millis = 2000;
+  config.breaker.failure_threshold = 3;
+  config.breaker.success_threshold = 2;
+  config.breaker.open_initial_millis = 2000;
+  config.breaker.open_max_millis = 16000;
+
+  // Consumer A dies from inside its own handler on the third execution —
+  // mid-batch, holding a pointer lease and item leases.
+  std::set<std::string> executed;
+  std::set<std::string> executed_by_b;
+  Consumer* a_ptr = nullptr;
+  int a_runs = 0;
+  JobRegistry registry_a;
+  registry_a.Register("crash", [&](WorkContext& ctx) {
+    executed.insert(ctx.item.id);
+    if (++a_runs == 3) a_ptr->SimulateCrash();
+    return Status::OK();
+  });
+  JobRegistry registry_b;
+  registry_b.Register("crash", [&](WorkContext& ctx) {
+    executed.insert(ctx.item.id);
+    executed_by_b.insert(ctx.item.id);
+    return Status::OK();
+  });
+
+  Consumer a(&quick, {"c1", "c2"}, &registry_a, config, "consumer-a");
+  a_ptr = &a;
+  Consumer b(&quick, {"c1", "c2"}, &registry_b, config, "consumer-b");
+  CollectingAlertSink sink_b;
+  b.SetAlertSink(&sink_b);
+
+  // Breaker metrics live in the process-wide registry; assert on deltas.
+  MetricsRegistry* metrics = MetricsRegistry::Default();
+  const int64_t opened_before =
+      metrics->GetCounter("quick.breaker.c1.opened")->Value();
+  const int64_t reopened_before =
+      metrics->GetCounter("quick.breaker.c1.reopened")->Value();
+  const int64_t closed_before =
+      metrics->GetCounter("quick.breaker.c1.closed")->Value();
+
+  // --- Phase 1: enqueue work for tenants on both clusters. ---
+  Random rng(seed);
+  std::set<std::string> enqueued;
+  std::map<std::string, std::string> item_cluster;
+  for (int i = 0; i < 24; ++i) {
+    const int t = static_cast<int>(rng.Uniform(kTenants));
+    WorkItem item;
+    item.job_type = "crash";
+    auto id = quick.Enqueue(tenant(t), item, 0);
+    ASSERT_TRUE(id.ok()) << id.status();
+    enqueued.insert(*id);
+    item_cluster[*id] = t % 2 == 0 ? "c1" : "c2";
+  }
+  ASSERT_GT(quick.TopLevelCount("c1").value_or(0), 0);
+  ASSERT_GT(quick.TopLevelCount("c2").value_or(0), 0);
+
+  // --- Phase 2: drive A until its handler kills it mid-lease. ---
+  for (int round = 0; round < 50 && !a.crashed(); ++round) {
+    (void)a.RunOnePass("c1");
+    (void)a.RunOnePass("c2");
+    clock.AdvanceMillis(50);
+  }
+  ASSERT_TRUE(a.crashed());
+  ASSERT_LT(executed.size(), enqueued.size()) << "no work left to abandon";
+  // A is frozen: further passes execute nothing.
+  const size_t executed_at_crash = executed.size();
+  (void)a.RunOnePass("c1");
+  (void)a.RunOnePass("c2");
+  EXPECT_EQ(executed.size(), executed_at_crash);
+
+  // --- Phase 3: the outage hits c1 while B is taking over. ---
+  ASSERT_LT(clock.NowMillis(), kOutageStart);
+  clock.AdvanceMillis(kOutageStart + 10 - clock.NowMillis());
+  for (int i = 0;
+       i < 10 && b.health().StateOf("c1") != CircuitBreaker::State::kOpen;
+       ++i) {
+    (void)b.RunOnePass("c1");  // peeks fail kUnavailable; breaker counts them
+  }
+  EXPECT_EQ(b.health().StateOf("c1"), CircuitBreaker::State::kOpen);
+  EXPECT_GT(metrics->GetCounter("quick.breaker.c1.opened")->Value(),
+            opened_before);
+  bool saw_opened_alert = false;
+  for (const Alert& alert : sink_b.Drain()) {
+    if (alert.kind == Alert::Kind::kBreakerOpened && alert.cluster == "c1") {
+      saw_opened_alert = true;
+    }
+  }
+  EXPECT_TRUE(saw_opened_alert);
+
+  // Open breaker: scans of c1 are skipped without touching the cluster.
+  const int64_t skipped_before = b.stats().scans_skipped_breaker.Value();
+  (void)b.RunOnePass("c1");
+  EXPECT_GT(b.stats().scans_skipped_breaker.Value(), skipped_before);
+
+  // B keeps serving the healthy cluster through the outage; half-open
+  // probes against c1 fail and reopen the breaker with growing backoff.
+  for (int round = 0; round < 40; ++round) {
+    clock.AdvanceMillis(300);  // stays well inside the 60s outage window
+    (void)b.RunOnePass("c1");
+    (void)b.RunOnePass("c2");
+  }
+  ASSERT_LT(clock.NowMillis(), kOutageEnd);
+  for (const auto& [id, cluster] : item_cluster) {
+    if (cluster == "c2") {
+      EXPECT_TRUE(executed.count(id))
+          << "healthy-cluster item " << id << " starved during the outage";
+    }
+  }
+  EXPECT_GT(metrics->GetCounter("quick.breaker.c1.reopened")->Value(),
+            reopened_before);
+  EXPECT_EQ(b.health().StateOf("c1"), CircuitBreaker::State::kOpen);
+
+  // --- Phase 4: cluster recovers; probes close the breaker. ---
+  clock.AdvanceMillis(kOutageEnd + config.breaker.open_max_millis + 10 -
+                      clock.NowMillis());
+  for (int i = 0;
+       i < 10 && b.health().StateOf("c1") != CircuitBreaker::State::kClosed;
+       ++i) {
+    (void)b.RunOnePass("c1");
+  }
+  EXPECT_EQ(b.health().StateOf("c1"), CircuitBreaker::State::kClosed);
+  EXPECT_GT(metrics->GetCounter("quick.breaker.c1.closed")->Value(),
+            closed_before);
+  bool saw_closed_alert = false;
+  for (const Alert& alert : sink_b.Drain()) {
+    if (alert.kind == Alert::Kind::kBreakerClosed && alert.cluster == "c1") {
+      saw_closed_alert = true;
+    }
+  }
+  EXPECT_TRUE(saw_closed_alert);
+
+  // --- Phase 5: full drain — at-least-once across the crash + outage. ---
+  auto all_executed = [&] {
+    for (const std::string& id : enqueued) {
+      if (!executed.count(id)) return false;
+    }
+    return true;
+  };
+  for (int round = 0; round < 300 && !all_executed(); ++round) {
+    clock.AdvanceMillis(400);
+    (void)b.RunOnePass("c1");
+    (void)b.RunOnePass("c2");
+  }
+  for (const std::string& id : enqueued) {
+    EXPECT_TRUE(executed.count(id)) << "item " << id << " never executed";
+  }
+  EXPECT_FALSE(executed_by_b.empty());  // the survivor did the recovery
+
+  // --- Phase 6: pointer GC drains the top-level queues completely. ---
+  for (int round = 0; round < 30; ++round) {
+    clock.AdvanceMillis(1000);
+    (void)b.RunOnePass("c1");
+    (void)b.RunOnePass("c2");
+  }
+  EXPECT_EQ(quick.TopLevelCount("c1").value_or(-1), 0);
+  EXPECT_EQ(quick.TopLevelCount("c2").value_or(-1), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrashChaosTest,
+                         ::testing::Values(1, 7, 42, 1234, 20260705));
+
+}  // namespace
+}  // namespace quick::core
