@@ -60,6 +60,41 @@ rl::RecordMetadata BuildMetadata(bool fifo) {
   return meta;
 }
 
+rl::RecordMetadata BuildDeadLetterMetadata() {
+  rl::RecordMetadata meta(1);
+  rl::RecordTypeDef item;
+  item.name = DeadLetterItem::kRecordType;
+  item.fields = {
+      {"id", rl::FieldType::kString},
+      {"job_type", rl::FieldType::kString},
+      {"priority", rl::FieldType::kInt64},
+      {"payload", rl::FieldType::kBytes},
+      {"enqueue_time", rl::FieldType::kInt64},
+      {"db_key", rl::FieldType::kString},
+      {"attempts", rl::FieldType::kInt64},
+      {"reason", rl::FieldType::kString},
+      {"final_error", rl::FieldType::kString},
+      {"quarantine_time", rl::FieldType::kInt64},
+  };
+  item.primary_key_fields = {"id"};
+  Status st = meta.AddRecordType(std::move(item));
+  (void)st;
+
+  rl::IndexDef by_qtime;
+  by_qtime.name = QueueZone::kQuarantineTimeIndex;
+  by_qtime.kind = rl::IndexKind::kValue;
+  by_qtime.record_types = {DeadLetterItem::kRecordType};
+  by_qtime.fields = {"quarantine_time"};
+  st = meta.AddIndex(std::move(by_qtime));
+
+  rl::IndexDef count;
+  count.name = QueueZone::kDeadLetterCountIndex;
+  count.kind = rl::IndexKind::kCount;
+  count.record_types = {DeadLetterItem::kRecordType};
+  st = meta.AddIndex(std::move(count));
+  return meta;
+}
+
 }  // namespace
 
 const rl::RecordMetadata& QueueZone::Metadata() {
@@ -74,11 +109,17 @@ const rl::RecordMetadata& QueueZone::FifoMetadata() {
   return *meta;
 }
 
+const rl::RecordMetadata& QueueZone::DeadLetterMetadata() {
+  static const rl::RecordMetadata* meta =
+      new rl::RecordMetadata(BuildDeadLetterMetadata());
+  return *meta;
+}
+
 QueueZone::QueueZone(fdb::Transaction* txn, tup::Subspace zone_subspace,
                      Clock* clock, bool fifo)
     : txn_(txn),
-      store_(txn, std::move(zone_subspace),
-             fifo ? &FifoMetadata() : &Metadata()),
+      store_(txn, zone_subspace, fifo ? &FifoMetadata() : &Metadata()),
+      dl_store_(txn, zone_subspace.Sub(kDeadLetterTag), &DeadLetterMetadata()),
       clock_(clock) {}
 
 Result<std::string> QueueZone::Enqueue(QueuedItem item,
@@ -195,12 +236,105 @@ Status QueueZone::ExtendLease(const std::string& item_id,
 
 Status QueueZone::Requeue(const std::string& item_id,
                           int64_t vesting_delay_millis,
-                          bool increment_error_count) {
+                          bool increment_error_count,
+                          const std::optional<std::string>& lease_id) {
   QUICK_ASSIGN_OR_RETURN(QueuedItem item, LoadOrNotFound(item_id));
+  if (lease_id.has_value() && item.lease_id != *lease_id) {
+    return Status::LeaseLost("lease superseded on " + item_id);
+  }
   item.vesting_time = clock_->NowMillis() + vesting_delay_millis;
   if (increment_error_count) ++item.error_count;
   item.lease_id.clear();
   return Save(item);
+}
+
+Status QueueZone::Quarantine(const std::string& item_id,
+                             const std::optional<std::string>& lease_id,
+                             const std::string& reason,
+                             const std::string& final_error) {
+  QUICK_ASSIGN_OR_RETURN(QueuedItem item, LoadOrNotFound(item_id));
+  if (lease_id.has_value() && item.lease_id != *lease_id) {
+    return Status::LeaseLost("lease superseded on " + item_id);
+  }
+  QUICK_ASSIGN_OR_RETURN(
+      bool deleted,
+      store_.DeleteRecord(QueuedItem::kRecordType,
+                          tup::Tuple().AddString(item_id)));
+  if (!deleted) return Status::NotFound("queued item " + item_id);
+  DeadLetterItem dl;
+  dl.id = item.id;
+  dl.job_type = item.job_type;
+  dl.priority = item.priority;
+  dl.payload = item.payload;
+  dl.enqueue_time = item.enqueue_time;
+  dl.db_key = item.db_key;
+  dl.attempts = item.error_count + 1;
+  dl.reason = reason;
+  dl.final_error = final_error;
+  dl.quarantine_time = clock_->NowMillis();
+  return dl_store_.SaveRecord(dl.ToRecord());
+}
+
+Result<std::vector<DeadLetterItem>> QueueZone::ListDeadLetters(int max_items) {
+  rl::IndexScanOptions options;
+  options.snapshot = true;
+  QUICK_ASSIGN_OR_RETURN(
+      std::vector<rl::IndexEntry> entries,
+      dl_store_.ScanIndex(kQuarantineTimeIndex, tup::Tuple(), options));
+  std::vector<DeadLetterItem> out;
+  for (const rl::IndexEntry& entry : entries) {
+    QUICK_ASSIGN_OR_RETURN(std::string id, entry.primary_key.GetString(1));
+    QUICK_ASSIGN_OR_RETURN(
+        std::optional<rl::Record> rec,
+        dl_store_.LoadRecord(DeadLetterItem::kRecordType,
+                             tup::Tuple().AddString(id)));
+    if (!rec.has_value()) continue;  // raced with a purge; snapshot scan
+    QUICK_ASSIGN_OR_RETURN(DeadLetterItem item,
+                           DeadLetterItem::FromRecord(*rec));
+    out.push_back(std::move(item));
+    if (max_items > 0 && static_cast<int>(out.size()) >= max_items) break;
+  }
+  return out;
+}
+
+Result<std::optional<DeadLetterItem>> QueueZone::LoadDeadLetter(
+    const std::string& item_id) {
+  QUICK_ASSIGN_OR_RETURN(
+      std::optional<rl::Record> rec,
+      dl_store_.LoadRecord(DeadLetterItem::kRecordType,
+                           tup::Tuple().AddString(item_id)));
+  if (!rec.has_value()) return std::optional<DeadLetterItem>(std::nullopt);
+  QUICK_ASSIGN_OR_RETURN(DeadLetterItem item,
+                         DeadLetterItem::FromRecord(*rec));
+  return std::optional<DeadLetterItem>(std::move(item));
+}
+
+Result<DeadLetterItem> QueueZone::TakeDeadLetter(const std::string& item_id) {
+  QUICK_ASSIGN_OR_RETURN(std::optional<DeadLetterItem> item,
+                         LoadDeadLetter(item_id));
+  if (!item.has_value()) {
+    return Status::NotFound("dead-lettered item " + item_id);
+  }
+  QUICK_ASSIGN_OR_RETURN(
+      bool deleted,
+      dl_store_.DeleteRecord(DeadLetterItem::kRecordType,
+                             tup::Tuple().AddString(item_id)));
+  if (!deleted) return Status::NotFound("dead-lettered item " + item_id);
+  return *std::move(item);
+}
+
+Status QueueZone::PurgeDeadLetter(const std::string& item_id) {
+  QUICK_ASSIGN_OR_RETURN(
+      bool deleted,
+      dl_store_.DeleteRecord(DeadLetterItem::kRecordType,
+                             tup::Tuple().AddString(item_id)));
+  return deleted ? Status::OK()
+                 : Status::NotFound("dead-lettered item " + item_id);
+}
+
+Result<int64_t> QueueZone::DeadLetterCount() {
+  return dl_store_.GetCount(kDeadLetterCountIndex, tup::Tuple(),
+                            /*snapshot=*/true);
 }
 
 Result<std::vector<LeasedItem>> QueueZone::Dequeue(

@@ -33,9 +33,16 @@ class QueueZone {
   static constexpr const char* kDbKeyIndex = "by_db_key";
   static constexpr const char* kCountIndex = "cnt";
   static constexpr const char* kArrivalIndex = "arrival";
+  /// Dead-letter store: child-subspace tag and index names.
+  static constexpr const char* kDeadLetterTag = "dl";
+  static constexpr const char* kDeadLetterCountIndex = "dl_cnt";
+  static constexpr const char* kQuarantineTimeIndex = "by_qtime";
 
   /// The shared schema of every queue zone.
   static const rl::RecordMetadata& Metadata();
+
+  /// Schema of the per-zone dead-letter quarantine (see Quarantine()).
+  static const rl::RecordMetadata& DeadLetterMetadata();
 
   /// Schema for FIFO-ordered queue zones: adds a sticky version index that
   /// stamps each item with its enqueue commit version — the §5 future-work
@@ -99,8 +106,48 @@ class QueueZone {
 
   /// §5 requeue: re-vests the item after `vesting_delay_millis`, optionally
   /// bumping the error count (retry bookkeeping), and releases any lease.
+  /// With a lease id the requeue is fenced: it succeeds only while that
+  /// lease is still the item's current one (kLeaseLost otherwise), so an
+  /// expired-lease consumer cannot clear a lease another consumer took.
   Status Requeue(const std::string& item_id, int64_t vesting_delay_millis,
-                 bool increment_error_count = true);
+                 bool increment_error_count = true,
+                 const std::optional<std::string>& lease_id = std::nullopt);
+
+  /// Dead-letter quarantine: atomically (within the caller's transaction)
+  /// removes the item from the queue and records it in the zone's
+  /// dead-letter subspace with the final error, attempt count (the item's
+  /// error count plus the final failing attempt), and quarantine time.
+  /// With a lease id the transition is fenced like Complete: kLeaseLost
+  /// when the lease was superseded, kNotFound when the item is gone —
+  /// an expired-lease ("zombie") consumer can never quarantine an item
+  /// another consumer has retaken. The dead-letter subspace is a sibling
+  /// of the queue's record store, so IsEmpty()/Count() — and therefore
+  /// pointer GC — ignore quarantined items, while the zone's keyspace
+  /// prefix still covers them (they migrate with the tenant).
+  Status Quarantine(const std::string& item_id,
+                    const std::optional<std::string>& lease_id,
+                    const std::string& reason, const std::string& final_error);
+
+  /// Dead-lettered items in quarantine-time order (limit 0 = all).
+  /// Snapshot reads: inspection never aborts producers or consumers.
+  Result<std::vector<DeadLetterItem>> ListDeadLetters(int max_items = 0);
+
+  /// Loads one dead-lettered item; nullopt when absent.
+  Result<std::optional<DeadLetterItem>> LoadDeadLetter(
+      const std::string& item_id);
+
+  /// Removes and returns a dead-lettered item (kNotFound when absent) —
+  /// the first half of an operator requeue; the caller re-enqueues the
+  /// returned item in the same transaction.
+  Result<DeadLetterItem> TakeDeadLetter(const std::string& item_id);
+
+  /// Permanently discards a dead-lettered item (operator decision; the
+  /// only deliberate data-loss path, and it is explicit).
+  Status PurgeDeadLetter(const std::string& item_id);
+
+  /// Number of quarantined items, from the dead-letter count index
+  /// (snapshot read).
+  Result<int64_t> DeadLetterCount();
 
   /// Transactional peek+lease of up to `max_items` vested items (§5
   /// dequeue, batched as QuiCK's Managers use it).
@@ -146,6 +193,10 @@ class QueueZone {
 
   fdb::Transaction* txn_;
   rl::RecordStore store_;
+  /// Dead-letter quarantine, rooted at a child tag of the zone subspace —
+  /// disjoint from the queue store's records/indexes, inside the zone's
+  /// keyspace prefix.
+  rl::RecordStore dl_store_;
   Clock* clock_;
 };
 

@@ -36,4 +36,38 @@ Result<QueuedItem> QueuedItem::FromRecord(const rl::Record& record) {
   return item;
 }
 
+rl::Record DeadLetterItem::ToRecord() const {
+  rl::Record rec(kRecordType);
+  rec.SetString("id", id)
+      .SetString("job_type", job_type)
+      .SetInt("priority", priority)
+      .SetBytes("payload", payload)
+      .SetInt("enqueue_time", enqueue_time)
+      .SetString("db_key", db_key)
+      .SetInt("attempts", attempts)
+      .SetString("reason", reason)
+      .SetString("final_error", final_error)
+      .SetInt("quarantine_time", quarantine_time);
+  return rec;
+}
+
+Result<DeadLetterItem> DeadLetterItem::FromRecord(const rl::Record& record) {
+  if (record.type() != kRecordType) {
+    return Status::InvalidArgument("record is not a DeadLetterItem");
+  }
+  DeadLetterItem item;
+  QUICK_ASSIGN_OR_RETURN(item.id, record.GetString("id"));
+  QUICK_ASSIGN_OR_RETURN(item.job_type, record.GetString("job_type"));
+  QUICK_ASSIGN_OR_RETURN(item.priority, record.GetInt("priority"));
+  QUICK_ASSIGN_OR_RETURN(item.payload, record.GetBytes("payload"));
+  QUICK_ASSIGN_OR_RETURN(item.enqueue_time, record.GetInt("enqueue_time"));
+  QUICK_ASSIGN_OR_RETURN(item.db_key, record.GetString("db_key"));
+  QUICK_ASSIGN_OR_RETURN(item.attempts, record.GetInt("attempts"));
+  QUICK_ASSIGN_OR_RETURN(item.reason, record.GetString("reason"));
+  QUICK_ASSIGN_OR_RETURN(item.final_error, record.GetString("final_error"));
+  QUICK_ASSIGN_OR_RETURN(item.quarantine_time,
+                         record.GetInt("quarantine_time"));
+  return item;
+}
+
 }  // namespace quick::ck

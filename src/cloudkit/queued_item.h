@@ -53,6 +53,37 @@ struct LeasedItem {
   std::string lease_id;
 };
 
+/// A terminally-failed item moved into a zone's dead-letter quarantine
+/// instead of being deleted (§2: "a corrupt task should not block the
+/// whole system" — without silently losing it). Preserves everything an
+/// operator needs to diagnose and requeue the original item.
+struct DeadLetterItem {
+  /// The original item's id (primary key here too, so requeue restores the
+  /// item under its idempotency id).
+  std::string id;
+  std::string job_type;
+  int64_t priority = 0;
+  std::string payload;
+  /// Original enqueue time of the failed item.
+  int64_t enqueue_time = 0;
+  /// Preserved for quarantined pointer items.
+  std::string db_key;
+  /// Total attempts made, including the final failing one.
+  int64_t attempts = 0;
+  /// Why the item was quarantined: "permanent", "exhausted",
+  /// "unknown_job_type", or "corrupt_pointer".
+  std::string reason;
+  /// Message of the final error.
+  std::string final_error;
+  /// Wall-clock millis at which the item was quarantined.
+  int64_t quarantine_time = 0;
+
+  static constexpr const char* kRecordType = "DeadLetterItem";
+
+  rl::Record ToRecord() const;
+  static Result<DeadLetterItem> FromRecord(const rl::Record& record);
+};
+
 }  // namespace quick::ck
 
 #endif  // QUICK_CLOUDKIT_QUEUED_ITEM_H_

@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/metrics.h"
 #include "fdb/retry.h"
 
 namespace quick::core {
@@ -20,6 +21,7 @@ Result<QuickAdmin::TenantQueueInfo> QuickAdmin::InspectTenant(
     ck::QueueZone zone = quick_->OpenTenantZone(db, &txn);
     QUICK_ASSIGN_OR_RETURN(info.depth, zone.Count());
     QUICK_ASSIGN_OR_RETURN(info.min_vesting_time, zone.MinVestingTime());
+    QUICK_ASSIGN_OR_RETURN(info.dead_letters, zone.DeadLetterCount());
     // Oldest enqueue time + vested count need the records; peek them all
     // (snapshot) — inspection is an operator action, not a hot path.
     QUICK_ASSIGN_OR_RETURN(std::vector<ck::QueuedItem> vested,
@@ -153,10 +155,167 @@ Result<std::string> QuickAdmin::RenderFleetReport() {
                            ListOutstandingQueues(name, 20));
     for (const OutstandingQueue& q : queues) {
       os << "    " << q.pointer.db_id.ToString() << " zone=" << q.pointer.zone
-         << " depth=" << q.depth << (q.leased ? " [leased]" : "") << "\n";
+         << " depth=" << q.depth << (q.leased ? " [leased]" : "");
+      QUICK_ASSIGN_OR_RETURN(TenantQueueInfo tenant,
+                             InspectTenant(q.pointer.db_id));
+      if (tenant.dead_letters > 0) {
+        os << " dead_letters=" << tenant.dead_letters;
+      }
+      os << "\n";
     }
   }
   return os.str();
+}
+
+Result<std::vector<ck::DeadLetterItem>> QuickAdmin::ListDeadLetters(
+    const ck::DatabaseId& db_id, int limit) {
+  const ck::DatabaseRef db = quick_->cloudkit()->OpenDatabase(db_id);
+  std::vector<ck::DeadLetterItem> out;
+  Status st = fdb::RunTransaction(db.cluster, [&](fdb::Transaction& txn) {
+    ck::QueueZone zone = quick_->OpenTenantZone(db, &txn);
+    QUICK_ASSIGN_OR_RETURN(out, zone.ListDeadLetters(limit));
+    return Status::OK();
+  });
+  QUICK_RETURN_IF_ERROR(st);
+  return out;
+}
+
+Result<int64_t> QuickAdmin::DeadLetterCount(const ck::DatabaseId& db_id) {
+  const ck::DatabaseRef db = quick_->cloudkit()->OpenDatabase(db_id);
+  return fdb::RunTransactionResult<int64_t>(
+      db.cluster, fdb::TransactionOptions{},
+      [&](fdb::Transaction& txn, int64_t* out) {
+        ck::QueueZone zone = quick_->OpenTenantZone(db, &txn);
+        QUICK_ASSIGN_OR_RETURN(*out, zone.DeadLetterCount());
+        return Status::OK();
+      });
+}
+
+Status QuickAdmin::RequeueDeadLetter(const ck::DatabaseId& db_id,
+                                     const std::string& item_id) {
+  const ck::DatabaseRef db = quick_->cloudkit()->OpenDatabase(db_id);
+  EnqueueFollowUp follow_up;
+  Status st = fdb::RunTransaction(db.cluster, [&](fdb::Transaction& txn) {
+    ck::QueueZone zone = quick_->OpenTenantZone(db, &txn);
+    QUICK_ASSIGN_OR_RETURN(ck::DeadLetterItem dl,
+                           zone.TakeDeadLetter(item_id));
+    WorkItem item;
+    item.id = dl.id;
+    item.job_type = dl.job_type;
+    item.payload = dl.payload;
+    item.priority = dl.priority;
+    return quick_
+        ->EnqueueInTransaction(&txn, db, item, /*vesting_delay_millis=*/0,
+                               &follow_up)
+        .status();
+  });
+  QUICK_RETURN_IF_ERROR(st);
+  quick_->ExecuteFollowUp(db, follow_up);
+  MetricsRegistry::Default()->GetCounter("quick.deadletter.requeued")
+      ->Increment();
+  return Status::OK();
+}
+
+Result<int> QuickAdmin::RequeueAllDeadLetters(const ck::DatabaseId& db_id) {
+  // Snapshot the ids first, then requeue each in its own bounded
+  // transaction; items quarantined while the drain runs are picked up by
+  // the operator's next drain.
+  QUICK_ASSIGN_OR_RETURN(std::vector<ck::DeadLetterItem> items,
+                         ListDeadLetters(db_id));
+  int requeued = 0;
+  for (const ck::DeadLetterItem& item : items) {
+    Status st = RequeueDeadLetter(db_id, item.id);
+    if (st.IsNotFound()) continue;  // purged/requeued concurrently
+    QUICK_RETURN_IF_ERROR(st);
+    ++requeued;
+  }
+  return requeued;
+}
+
+Status QuickAdmin::PurgeDeadLetter(const ck::DatabaseId& db_id,
+                                   const std::string& item_id) {
+  const ck::DatabaseRef db = quick_->cloudkit()->OpenDatabase(db_id);
+  Status st = fdb::RunTransaction(db.cluster, [&](fdb::Transaction& txn) {
+    ck::QueueZone zone = quick_->OpenTenantZone(db, &txn);
+    return zone.PurgeDeadLetter(item_id);
+  });
+  QUICK_RETURN_IF_ERROR(st);
+  MetricsRegistry::Default()->GetCounter("quick.deadletter.purged")
+      ->Increment();
+  return Status::OK();
+}
+
+Result<std::vector<ck::DeadLetterItem>> QuickAdmin::ListClusterDeadLetters(
+    const std::string& cluster_name, int limit) {
+  ck::CloudKitService* ck = quick_->cloudkit();
+  fdb::Database* cluster = ck->clusters()->Get(cluster_name);
+  if (cluster == nullptr) {
+    return Status::InvalidArgument("unknown cluster " + cluster_name);
+  }
+  const ck::DatabaseRef cluster_db = ck->OpenClusterDb(cluster_name);
+  std::vector<ck::DeadLetterItem> out;
+  Status st = fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
+    out.clear();
+    for (const std::string& shard : quick_->TopZoneNames()) {
+      ck::QueueZone top = ck->OpenQueueZone(cluster_db, shard, &txn);
+      QUICK_ASSIGN_OR_RETURN(std::vector<ck::DeadLetterItem> shard_items,
+                             top.ListDeadLetters(limit));
+      for (ck::DeadLetterItem& item : shard_items) {
+        out.push_back(std::move(item));
+        if (limit > 0 && static_cast<int>(out.size()) >= limit) {
+          return Status::OK();
+        }
+      }
+    }
+    return Status::OK();
+  });
+  QUICK_RETURN_IF_ERROR(st);
+  return out;
+}
+
+Status QuickAdmin::RequeueClusterDeadLetter(const std::string& cluster_name,
+                                            const std::string& item_id) {
+  ck::CloudKitService* ck = quick_->cloudkit();
+  fdb::Database* cluster = ck->clusters()->Get(cluster_name);
+  if (cluster == nullptr) {
+    return Status::InvalidArgument("unknown cluster " + cluster_name);
+  }
+  const ck::DatabaseRef cluster_db = ck->OpenClusterDb(cluster_name);
+  Status st = fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
+    // Quarantine keeps a local item in its own shard, so the shard of the
+    // dead letter is re-derivable from the id, like any top-level entry.
+    ck::QueueZone top = quick_->OpenTopZoneFor(cluster_db, item_id, &txn);
+    QUICK_ASSIGN_OR_RETURN(ck::DeadLetterItem dl, top.TakeDeadLetter(item_id));
+    ck::QueuedItem item;
+    item.id = dl.id;
+    item.job_type = dl.job_type;
+    item.payload = dl.payload;
+    item.priority = dl.priority;
+    item.db_key = dl.db_key;
+    return top.Enqueue(std::move(item), /*vesting_delay_millis=*/0).status();
+  });
+  QUICK_RETURN_IF_ERROR(st);
+  MetricsRegistry::Default()->GetCounter("quick.deadletter.requeued")
+      ->Increment();
+  return Status::OK();
+}
+
+Status QuickAdmin::PurgeClusterDeadLetter(const std::string& cluster_name,
+                                          const std::string& item_id) {
+  ck::CloudKitService* ck = quick_->cloudkit();
+  fdb::Database* cluster = ck->clusters()->Get(cluster_name);
+  if (cluster == nullptr) {
+    return Status::InvalidArgument("unknown cluster " + cluster_name);
+  }
+  const ck::DatabaseRef cluster_db = ck->OpenClusterDb(cluster_name);
+  Status st = fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
+    ck::QueueZone top = quick_->OpenTopZoneFor(cluster_db, item_id, &txn);
+    return top.PurgeDeadLetter(item_id);
+  });
+  QUICK_RETURN_IF_ERROR(st);
+  MetricsRegistry::Default()->GetCounter("quick.deadletter.purged")
+      ->Increment();
+  return Status::OK();
 }
 
 }  // namespace quick::core

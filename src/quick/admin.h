@@ -30,6 +30,8 @@ class QuickAdmin {
     bool pointer_leased = false;
     int64_t pointer_vesting_time = 0;
     int64_t pointer_error_count = 0;
+    /// Items in the zone's dead-letter quarantine.
+    int64_t dead_letters = 0;
   };
 
   /// Per-cluster view of the top-level queue.
@@ -62,6 +64,46 @@ class QuickAdmin {
 
   /// Human-readable multi-line report over every cluster.
   Result<std::string> RenderFleetReport();
+
+  // --- Dead-letter quarantine (operator drain; "no item is ever silently
+  // lost" — every terminal failure lands here, and leaves only through
+  // these explicit requeue/purge decisions). ---
+
+  /// Dead-lettered items of a tenant's queue zone, oldest first.
+  Result<std::vector<ck::DeadLetterItem>> ListDeadLetters(
+      const ck::DatabaseId& db_id, int limit = 0);
+
+  /// Number of dead-lettered items in a tenant's queue zone.
+  Result<int64_t> DeadLetterCount(const ck::DatabaseId& db_id);
+
+  /// Moves a dead-lettered item back into the tenant's live queue under
+  /// its original id, payload, and priority — through the full enqueue
+  /// protocol, so the Q_C pointer is recreated when missing and the item
+  /// is immediately findable. Removal from the quarantine and re-enqueue
+  /// commit in one transaction; the error count restarts at zero.
+  Status RequeueDeadLetter(const ck::DatabaseId& db_id,
+                           const std::string& item_id);
+
+  /// Requeues every dead-lettered item of the tenant; returns how many.
+  Result<int> RequeueAllDeadLetters(const ck::DatabaseId& db_id);
+
+  /// Permanently discards a dead-lettered item (the only deliberate
+  /// data-loss path, and it is explicit and logged in metrics).
+  Status PurgeDeadLetter(const ck::DatabaseId& db_id,
+                         const std::string& item_id);
+
+  /// Dead-lettered local items (and corrupt pointers) across a cluster's
+  /// top-level queue shards, oldest first per shard.
+  Result<std::vector<ck::DeadLetterItem>> ListClusterDeadLetters(
+      const std::string& cluster_name, int limit = 0);
+
+  /// Requeues a dead-lettered local item into its top-level queue shard.
+  Status RequeueClusterDeadLetter(const std::string& cluster_name,
+                                  const std::string& item_id);
+
+  /// Permanently discards a dead-lettered local item.
+  Status PurgeClusterDeadLetter(const std::string& cluster_name,
+                                const std::string& item_id);
 
  private:
   Quick* quick_;

@@ -15,6 +15,8 @@ const char* KindName(Alert::Kind kind) {
       return "PERMANENT_FAILURE";
     case Alert::Kind::kUnknownJobType:
       return "UNKNOWN_JOB_TYPE";
+    case Alert::Kind::kQuarantined:
+      return "QUARANTINED";
     case Alert::Kind::kBreakerOpened:
       return "BREAKER_OPENED";
     case Alert::Kind::kBreakerClosed:

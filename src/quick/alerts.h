@@ -24,6 +24,10 @@ struct Alert {
     kPermanentFailure,
     /// No handler registered for the item's job type.
     kUnknownJobType,
+    /// Item moved into the zone's dead-letter quarantine after a terminal
+    /// failure (permanent error, retry exhaustion, or unknown job type);
+    /// detail carries the reason and final error.
+    kQuarantined,
     /// A cluster's circuit breaker tripped open (cluster looks down).
     kBreakerOpened,
     /// A cluster's circuit breaker closed again (cluster recovered).

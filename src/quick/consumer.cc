@@ -323,17 +323,34 @@ Status Consumer::HandlePointer(const std::string& cluster_name,
   fdb::Database* cluster = Cluster(cluster_name);
   Result<Pointer> pointer = Pointer::FromItem(pointer_item);
   if (!pointer.ok()) {
-    // Corrupt pointer: drop it rather than blocking the queue (§2
-    // "Operations and monitoring").
-    stats_.items_dropped_permanent.Increment();
+    // Corrupt pointer: move it out of the queue rather than blocking it
+    // (§2 "Operations and monitoring") — into the top-level zone's
+    // dead-letter quarantine, not the void, so operators can inspect it.
     const ck::DatabaseRef cluster_db =
         quick_->cloudkit()->OpenClusterDb(cluster_name);
-    return fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
+    bool fenced = false;
+    Status st = fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
       ck::QueueZone top_zone =
           quick_->OpenTopZoneFor(cluster_db, pointer_item.id, &txn);
-      Status st = top_zone.Complete(pointer_item.id, lease_id);
-      return st.IsNotFound() || st.IsLeaseLost() ? Status::OK() : st;
+      Status c = top_zone.Quarantine(pointer_item.id, lease_id,
+                                     "corrupt_pointer",
+                                     pointer.status().message());
+      if (c.IsNotFound() || c.IsLeaseLost()) {
+        fenced = true;
+        return Status::OK();
+      }
+      fenced = false;
+      return c;
     });
+    QUICK_RETURN_IF_ERROR(st);
+    if (fenced) {
+      stats_.terminal_fenced.Increment();
+      return Status::OK();
+    }
+    stats_.items_quarantined.Increment();
+    MetricsRegistry::Default()->GetCounter("quick.deadletter.quarantined")
+        ->Increment();
+    return Status::OK();
   }
 
   // The zone lives on this cluster under the database's (cluster-
@@ -532,8 +549,9 @@ void Consumer::DispatchWorkerJob(WorkerJob job, bool inline_processing) {
         ck::QueueZone zone(&txn, job.zone_subspace, quick_->clock(),
                            job.fifo_zone);
         Status st = zone.Requeue(job.leased.item.id, 0,
-                                 /*increment_error_count=*/false);
-        return st.IsNotFound() ? Status::OK() : st;
+                                 /*increment_error_count=*/false,
+                                 job.leased.lease_id);
+        return st.IsNotFound() || st.IsLeaseLost() ? Status::OK() : st;
       });
       return;
     }
@@ -577,6 +595,7 @@ void Consumer::ProcessWorkItem(WorkerJob job) {
     ctx.item = job.leased.item;
     ctx.db_id = job.db_id;
     ctx.zone = job.zone_name;
+    ctx.consumer_id = id_;
     ctx.clock = quick_->clock();
     ctx.lease_lost = job.lease_lost.get();
 
@@ -624,54 +643,45 @@ Status Consumer::FinishItem(const WorkerJob& job, const Status& final_status) {
       StartsWith(job.zone_name, quick_->config().top_zone_name);
 
   if (final_status.ok()) {
+    bool fenced = false;
     Status st = fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
       ck::QueueZone zone(&txn, job.zone_subspace, quick_->clock(),
                          job.fifo_zone);
       Status c = zone.Complete(job.leased.item.id, job.leased.lease_id);
       if (c.IsNotFound() || c.IsLeaseLost()) {
-        stats_.leases_lost.Increment();
-        return Status::OK();  // someone else finished/retook it
+        fenced = true;  // someone else finished/retook it
+        return Status::OK();
       }
+      fenced = false;
       return c;
     });
     health_.Observe(job.cluster, st);
-    if (st.ok()) {
-      stats_.items_processed.Increment();
-      if (is_local) stats_.local_items_processed.Increment();
+    QUICK_RETURN_IF_ERROR(st);
+    if (fenced) {
+      stats_.leases_lost.Increment();
+      stats_.terminal_fenced.Increment();
+      return Status::OK();
     }
+    stats_.items_processed.Increment();
+    if (is_local) stats_.local_items_processed.Increment();
     return st;
   }
 
-  if (final_status.IsPermanent()) {
-    // Permanent errors are not retried: delete immediately (§6).
-    stats_.items_dropped_permanent.Increment();
-    RaiseAlert(job.entry == nullptr ? Alert::Kind::kUnknownJobType
-                                    : Alert::Kind::kPermanentFailure,
-               job, job.leased.item.error_count, final_status.message());
-    return fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
-      ck::QueueZone zone(&txn, job.zone_subspace, quick_->clock(),
-                         job.fifo_zone);
-      Status c = zone.Complete(job.leased.item.id);
-      return c.IsNotFound() ? Status::OK() : c;
-    });
-  }
-
-  // Transient failure: requeue with exponential backoff on the error
-  // count, unless the type's attempt budget is exhausted and it drops.
+  // Terminal failures — permanent errors (§6: never retried) and exhausted
+  // attempt budgets — leave the queue through one fenced transition.
   const RetryPolicy policy =
       job.entry != nullptr ? job.entry->policy : RetryPolicy{};
   const int64_t next_error_count = job.leased.item.error_count + 1;
-  if (policy.max_attempts > 0 && next_error_count >= policy.max_attempts &&
-      policy.drop_on_exhaust) {
-    stats_.items_dropped_permanent.Increment();
-    RaiseAlert(Alert::Kind::kDroppedAfterExhaustion, job, next_error_count,
-               final_status.message());
-    return fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
-      ck::QueueZone zone(&txn, job.zone_subspace, quick_->clock());
-      Status c = zone.Complete(job.leased.item.id);
-      return c.IsNotFound() ? Status::OK() : c;
-    });
+  const bool exhausted = policy.max_attempts > 0 &&
+                         next_error_count >= policy.max_attempts &&
+                         policy.drop_on_exhaust;
+  if (final_status.IsPermanent() || exhausted) {
+    return FinishTerminalFailure(job, final_status, policy);
   }
+
+  // Transient failure: requeue with exponential backoff on the error
+  // count. Fenced like every other transition out of processing — a
+  // zombie's requeue must not clear a lease another consumer now holds.
   if (policy.alert_after_errors > 0 &&
       next_error_count >= policy.alert_after_errors) {
     RaiseAlert(Alert::Kind::kRepeatedFailures, job, next_error_count,
@@ -679,15 +689,83 @@ Status Consumer::FinishItem(const WorkerJob& job, const Status& final_status) {
   }
   const int64_t delay =
       policy.BackoffForErrorCount(job.leased.item.error_count);
+  bool fenced = false;
   Status st = fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
     ck::QueueZone zone(&txn, job.zone_subspace, quick_->clock(),
                        job.fifo_zone);
     Status c = zone.Requeue(job.leased.item.id, delay,
-                            /*increment_error_count=*/true);
-    return c.IsNotFound() ? Status::OK() : c;
+                            /*increment_error_count=*/true,
+                            job.leased.lease_id);
+    if (c.IsNotFound() || c.IsLeaseLost()) {
+      fenced = true;
+      return Status::OK();
+    }
+    fenced = false;
+    return c;
   });
-  if (st.ok()) stats_.items_requeued.Increment();
+  QUICK_RETURN_IF_ERROR(st);
+  if (fenced) {
+    stats_.leases_lost.Increment();
+    stats_.terminal_fenced.Increment();
+    return Status::OK();
+  }
+  stats_.items_requeued.Increment();
   return st;
+}
+
+Status Consumer::FinishTerminalFailure(const WorkerJob& job,
+                                       const Status& final_status,
+                                       const RetryPolicy& policy) {
+  fdb::Database* cluster = Cluster(job.cluster);
+  const int64_t final_attempts = job.leased.item.error_count + 1;
+  const char* reason;
+  Alert::Kind legacy_kind;
+  if (!final_status.IsPermanent()) {
+    reason = "exhausted";
+    legacy_kind = Alert::Kind::kDroppedAfterExhaustion;
+  } else if (job.entry == nullptr) {
+    reason = "unknown_job_type";
+    legacy_kind = Alert::Kind::kUnknownJobType;
+  } else {
+    reason = "permanent";
+    legacy_kind = Alert::Kind::kPermanentFailure;
+  }
+
+  bool fenced = false;
+  Status st = fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
+    ck::QueueZone zone(&txn, job.zone_subspace, quick_->clock(),
+                       job.fifo_zone);
+    Status c = policy.quarantine_on_failure
+                   ? zone.Quarantine(job.leased.item.id, job.leased.lease_id,
+                                     reason, final_status.message())
+                   : zone.Complete(job.leased.item.id, job.leased.lease_id);
+    if (c.IsNotFound() || c.IsLeaseLost()) {
+      fenced = true;  // retaken by a live consumer, or already terminal
+      return Status::OK();
+    }
+    fenced = false;
+    return c;
+  });
+  health_.Observe(job.cluster, st);
+  QUICK_RETURN_IF_ERROR(st);
+  if (fenced) {
+    stats_.leases_lost.Increment();
+    stats_.terminal_fenced.Increment();
+    return Status::OK();
+  }
+  if (policy.quarantine_on_failure) {
+    stats_.items_quarantined.Increment();
+    MetricsRegistry::Default()->GetCounter("quick.deadletter.quarantined")
+        ->Increment();
+    RaiseAlert(Alert::Kind::kQuarantined, job, final_attempts,
+               std::string(reason) + ": " + final_status.message());
+  } else {
+    stats_.items_dropped_permanent.Increment();
+    MetricsRegistry::Default()->GetCounter("quick.deadletter.dropped_legacy")
+        ->Increment();
+    RaiseAlert(legacy_kind, job, final_attempts, final_status.message());
+  }
+  return Status::OK();
 }
 
 // ---------------------------------------------------------------------------

@@ -145,6 +145,13 @@ class Consumer {
   void DispatchWorkerJob(WorkerJob job, bool inline_processing);
   void ProcessWorkItem(WorkerJob job);
   Status FinishItem(const WorkerJob& job, const Status& final_status);
+  /// Terminal failure (permanent error, retry exhaustion, unknown job
+  /// type): quarantines or — legacy mode — deletes the item, fenced by the
+  /// job's lease so an expired-lease consumer can never perform a terminal
+  /// transition on an item another consumer has retaken.
+  Status FinishTerminalFailure(const WorkerJob& job,
+                               const Status& final_status,
+                               const RetryPolicy& policy);
 
   // Lease extender.
   void ExtenderLoop();

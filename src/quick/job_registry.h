@@ -24,6 +24,9 @@ struct WorkContext {
   ck::QueuedItem item;
   ck::DatabaseId db_id;
   std::string zone;
+  /// Id of the consumer executing this attempt (handlers use it for
+  /// logging and per-consumer behaviour in tests).
+  std::string consumer_id;
   Clock* clock = nullptr;
   int64_t deadline_millis = 0;
   std::atomic<bool>* lease_lost = nullptr;
@@ -51,9 +54,17 @@ struct RetryPolicy {
   /// Total attempts before the drop policy applies; 0 = retry indefinitely
   /// (which in production "would eventually cause alerts").
   int max_attempts = 0;
-  /// When attempts are exhausted: true deletes the item, false keeps
-  /// retrying at the max backoff.
+  /// When attempts are exhausted: true removes the item from the queue
+  /// (see quarantine_on_failure for where it goes), false keeps retrying
+  /// at the max backoff.
   bool drop_on_exhaust = true;
+  /// Terminal-failure disposition. True (the default) moves permanently-
+  /// failed, retry-exhausted, and unknown-job-type items into the zone's
+  /// dead-letter quarantine — transactionally with the queue removal — so
+  /// no item is ever silently lost; operators drain the quarantine via
+  /// QuickAdmin. False reproduces the legacy behaviour of deleting the
+  /// item outright, leaving only an alert as a trace.
+  bool quarantine_on_failure = true;
   /// Per-consumer cap on concurrently processed items of this type
   /// (per-topic throttling, §7); 0 = unlimited.
   int max_concurrent = 0;

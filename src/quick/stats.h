@@ -19,6 +19,13 @@ struct ConsumerStats {
   Counter items_failed_attempts;
   Counter items_requeued;
   Counter items_dropped_permanent;
+  /// Terminally-failed items moved into the dead-letter quarantine instead
+  /// of being deleted (RetryPolicy::quarantine_on_failure).
+  Counter items_quarantined;
+  /// Terminal transitions (complete/drop/quarantine/requeue) fenced off
+  /// because this consumer's lease had been superseded or the item was
+  /// already gone — the zombie-consumer safety net.
+  Counter terminal_fenced;
   Counter items_throttled;
   Counter local_items_processed;
 
@@ -59,6 +66,8 @@ struct ConsumerStats {
     line("items_failed_attempts", items_failed_attempts.Value());
     line("items_requeued", items_requeued.Value());
     line("items_dropped_permanent", items_dropped_permanent.Value());
+    line("items_quarantined", items_quarantined.Value());
+    line("terminal_fenced", terminal_fenced.Value());
     line("items_throttled", items_throttled.Value());
     line("local_items_processed", local_items_processed.Value());
     line("pointer_lease_attempts", pointer_lease_attempts.Value());

@@ -44,9 +44,11 @@ class AlertsTest : public ::testing::Test {
 };
 
 TEST_F(AlertsTest, PermanentFailureRaisesAlert) {
-  registry_.Register("doomed", [](WorkContext&) {
-    return Status::Permanent("user deleted");
-  });
+  RetryPolicy policy;
+  policy.quarantine_on_failure = false;  // legacy delete path
+  registry_.Register(
+      "doomed",
+      [](WorkContext&) { return Status::Permanent("user deleted"); }, policy);
   const std::string id = MustEnqueue("doomed");
   Consumer consumer(quick_.get(), {"c1"}, &registry_, TestConfig(), "a");
   consumer.SetAlertSink(&sink_);
@@ -61,14 +63,17 @@ TEST_F(AlertsTest, PermanentFailureRaisesAlert) {
   EXPECT_NE(alerts[0].ToString().find("user deleted"), std::string::npos);
 }
 
-TEST_F(AlertsTest, UnknownJobTypeRaisesAlert) {
+TEST_F(AlertsTest, UnknownJobTypeRaisesQuarantineAlert) {
+  // Unknown types take the default policy, so they quarantine rather than
+  // drop; the alert kind reflects the actual transition.
   MustEnqueue("mystery");
   Consumer consumer(quick_.get(), {"c1"}, &registry_, TestConfig(), "a");
   consumer.SetAlertSink(&sink_);
   ASSERT_TRUE(consumer.RunOnePass("c1").ok());
   auto alerts = sink_.Drain();
   ASSERT_EQ(alerts.size(), 1u);
-  EXPECT_EQ(alerts[0].kind, Alert::Kind::kUnknownJobType);
+  EXPECT_EQ(alerts[0].kind, Alert::Kind::kQuarantined);
+  EXPECT_NE(alerts[0].detail.find("unknown_job_type"), std::string::npos);
 }
 
 TEST_F(AlertsTest, RepeatedFailuresAlertAtThreshold) {
@@ -99,16 +104,51 @@ TEST_F(AlertsTest, ExhaustionDropRaisesAlert) {
   policy.max_inline_retries = 0;
   policy.max_attempts = 1;
   policy.drop_on_exhaust = true;
+  policy.quarantine_on_failure = false;  // legacy delete path
   registry_.Register(
       "hopeless", [](WorkContext&) { return Status::Unavailable("down"); },
       policy);
-  MustEnqueue("hopeless");
+  const std::string id = MustEnqueue("hopeless");
   Consumer consumer(quick_.get(), {"c1"}, &registry_, TestConfig(), "a");
   consumer.SetAlertSink(&sink_);
   ASSERT_TRUE(consumer.RunOnePass("c1").ok());
   auto alerts = sink_.Drain();
   ASSERT_EQ(alerts.size(), 1u);
   EXPECT_EQ(alerts[0].kind, Alert::Kind::kDroppedAfterExhaustion);
+  EXPECT_EQ(alerts[0].item_id, id);
+  EXPECT_EQ(alerts[0].job_type, "hopeless");
+  EXPECT_EQ(alerts[0].error_count, 1);  // the single exhausted attempt
+  EXPECT_NE(alerts[0].detail.find("down"), std::string::npos);
+  EXPECT_NE(alerts[0].ToString().find("DROPPED_AFTER_EXHAUSTION"),
+            std::string::npos);
+}
+
+TEST_F(AlertsTest, QuarantineAlertCarriesAttemptsAndReason) {
+  RetryPolicy policy;
+  policy.max_inline_retries = 0;
+  policy.max_attempts = 2;
+  policy.drop_on_exhaust = true;
+  policy.backoff_initial_millis = 10;
+  registry_.Register(
+      "sick", [](WorkContext&) { return Status::Unavailable("db down"); },
+      policy);
+  const std::string id = MustEnqueue("sick");
+  Consumer consumer(quick_.get(), {"c1"}, &registry_, TestConfig(), "a");
+  consumer.SetAlertSink(&sink_);
+
+  ASSERT_TRUE(consumer.RunOnePass("c1").ok());  // error_count -> 1, requeued
+  EXPECT_EQ(sink_.Count(), 0u);
+  clock_.AdvanceMillis(6000);
+  ASSERT_TRUE(consumer.RunOnePass("c1").ok());  // budget hit -> quarantined
+  auto alerts = sink_.Drain();
+  ASSERT_EQ(alerts.size(), 1u);
+  EXPECT_EQ(alerts[0].kind, Alert::Kind::kQuarantined);
+  EXPECT_EQ(alerts[0].item_id, id);
+  EXPECT_EQ(alerts[0].job_type, "sick");
+  EXPECT_EQ(alerts[0].error_count, 2);  // both attempts counted
+  EXPECT_NE(alerts[0].detail.find("exhausted"), std::string::npos);
+  EXPECT_NE(alerts[0].detail.find("db down"), std::string::npos);
+  EXPECT_NE(alerts[0].ToString().find("QUARANTINED"), std::string::npos);
 }
 
 TEST_F(AlertsTest, NoSinkNoCrash) {

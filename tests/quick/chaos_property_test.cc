@@ -8,7 +8,12 @@
 //   2. eventual execution — draining afterwards executes everything
 //      exactly the expected number of distinct items (at-least-once);
 //   3. no stray pointers — after a full drain plus GC grace, top-level
-//      queues hold nothing.
+//      queues hold nothing;
+//   4. loss accounting — with poison (permanently failing) and doomed
+//      (retry-exhausting) job types in the mix, every enqueued item ends
+//      either executed or dead-lettered, never silently lost; and after an
+//      operator requeue of every dead letter (handlers healed), everything
+//      executes and the quarantines are empty.
 
 #include <gtest/gtest.h>
 
@@ -54,11 +59,33 @@ TEST_P(ChaosTest, InvariantsHoldUnderRandomInterleavings) {
   Quick quick(&cloudkit);
 
   std::set<std::string> executed;
+  bool healed = false;  // flips after the operator requeues dead letters
   JobRegistry registry;
   registry.Register("chaos", [&](WorkContext& ctx) {
     executed.insert(ctx.item.id);
     return Status::OK();
   });
+  // Poison: fails permanently until "the bug is fixed" — quarantined on
+  // first terminal attempt (default policy).
+  registry.Register("poison", [&](WorkContext& ctx) {
+    if (!healed) return Status::Permanent("poison");
+    executed.insert(ctx.item.id);
+    return Status::OK();
+  });
+  // Doomed: transient failures that exhaust a 2-attempt budget.
+  RetryPolicy doom_policy;
+  doom_policy.max_inline_retries = 0;
+  doom_policy.max_attempts = 2;
+  doom_policy.drop_on_exhaust = true;
+  doom_policy.backoff_initial_millis = 10;
+  registry.Register(
+      "doom",
+      [&](WorkContext& ctx) {
+        if (!healed) return Status::Unavailable("doomed");
+        executed.insert(ctx.item.id);
+        return Status::OK();
+      },
+      doom_policy);
 
   ConsumerConfig config;
   config.sequential = true;
@@ -78,9 +105,11 @@ TEST_P(ChaosTest, InvariantsHoldUnderRandomInterleavings) {
   for (int step = 0; step < 400; ++step) {
     const uint64_t action = rng.Uniform(100);
     if (action < 45) {
-      // Enqueue (sometimes delayed) for a random tenant.
+      // Enqueue (sometimes delayed) for a random tenant; mostly healthy
+      // items, with a poison/doomed minority that must end up quarantined.
       WorkItem item;
-      item.job_type = "chaos";
+      const uint64_t kind = rng.Uniform(100);
+      item.job_type = kind < 80 ? "chaos" : (kind < 90 ? "poison" : "doom");
       const int64_t delay =
           rng.Bernoulli(0.3) ? static_cast<int64_t>(rng.Uniform(3000)) : 0;
       auto id = quick.Enqueue(tenant(static_cast<int>(rng.Uniform(kTenants))),
@@ -141,15 +170,61 @@ TEST_P(ChaosTest, InvariantsHoldUnderRandomInterleavings) {
       ASSERT_TRUE(st.ok());
     }
   }
+  // Dead-letter snapshot across every tenant quarantine (reads can fail
+  // under the residual probabilistic faults; callers retry).
+  auto dead_lettered = [&]() -> std::set<std::string> {
+    std::set<std::string> dl;
+    for (int i = 0; i < kTenants; ++i) {
+      for (int tries = 0; tries < 10; ++tries) {
+        auto items = admin.ListDeadLetters(tenant(i));
+        if (!items.ok()) continue;
+        for (const ck::DeadLetterItem& item : *items) dl.insert(item.id);
+        break;
+      }
+    }
+    return dl;
+  };
+
+  std::set<std::string> quarantined = dead_lettered();
   for (const std::string& id : enqueued) {
     if (executed.count(id)) continue;
-    EXPECT_TRUE(reachable.count(id))
-        << "pending item " << id << " unreachable: its pointer was lost";
+    EXPECT_TRUE(reachable.count(id) || quarantined.count(id))
+        << "pending item " << id
+        << " neither reachable nor dead-lettered: silently lost";
   }
 
-  // Drain: advance time and run passes until everything executes.
+  // Drain to a terminal state: every enqueued item either executes or
+  // lands in a quarantine — the "no item is ever silently lost" invariant.
   // (executed may contain extra ids from enqueues that failed with
   // commit-unknown-result yet actually landed; compare as a superset.)
+  auto all_accounted = [&] {
+    quarantined = dead_lettered();
+    for (const std::string& id : enqueued) {
+      if (!executed.count(id) && !quarantined.count(id)) return false;
+    }
+    return true;
+  };
+  for (int round = 0; round < 300 && !all_accounted(); ++round) {
+    clock.AdvanceMillis(400);
+    (void)consumer.RunOnePass("c1");
+    (void)consumer.RunOnePass("c2");
+  }
+  for (const std::string& id : enqueued) {
+    EXPECT_TRUE(executed.count(id) || quarantined.count(id))
+        << "item " << id << " neither executed nor dead-lettered";
+    EXPECT_FALSE(executed.count(id) && quarantined.count(id))
+        << "item " << id << " both executed and dead-lettered";
+  }
+
+  // Operator drain: fix the handlers, requeue every dead letter, and run
+  // to completion — requeued items go through the full enqueue protocol,
+  // so their pointers reappear and they execute like fresh work.
+  healed = true;
+  for (int round = 0; round < 50 && !dead_lettered().empty(); ++round) {
+    for (int i = 0; i < kTenants; ++i) {
+      (void)admin.RequeueAllDeadLetters(tenant(i));
+    }
+  }
   auto all_executed = [&] {
     for (const std::string& id : enqueued) {
       if (!executed.count(id)) return false;
@@ -164,6 +239,8 @@ TEST_P(ChaosTest, InvariantsHoldUnderRandomInterleavings) {
   for (const std::string& id : enqueued) {
     EXPECT_TRUE(executed.count(id)) << "item " << id << " never executed";
   }
+  EXPECT_TRUE(dead_lettered().empty())
+      << "quarantines not empty after operator requeue";
 
   // GC: after the grace period every pointer disappears.
   for (int round = 0; round < 30; ++round) {

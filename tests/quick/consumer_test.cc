@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "fdb/retry.h"
+#include "quick/admin.h"
 
 namespace quick::core {
 namespace {
@@ -258,6 +259,23 @@ TEST_F(ConsumerTest, InlineRetriesHappenBeforeRequeue) {
 }
 
 TEST_F(ConsumerTest, PermanentFailureDeletesImmediately) {
+  RetryPolicy policy;
+  policy.quarantine_on_failure = false;  // legacy delete path
+  registry_.Register(
+      "doomed",
+      [](WorkContext&) { return Status::Permanent("user was deleted"); },
+      policy);
+  const ck::DatabaseId db = ck::DatabaseId::Private("app", "u1");
+  MustEnqueue(db, "doomed", "x");
+  Consumer consumer = MakeConsumer();
+  ASSERT_TRUE(consumer.RunOnePass("c1").ok());
+  EXPECT_EQ(consumer.stats().items_dropped_permanent.Value(), 1);
+  EXPECT_EQ(consumer.stats().items_quarantined.Value(), 0);
+  EXPECT_EQ(consumer.stats().items_requeued.Value(), 0);
+  EXPECT_EQ(quick_->PendingCount(db).value(), 0);
+}
+
+TEST_F(ConsumerTest, PermanentFailureQuarantinesByDefault) {
   registry_.Register("doomed", [](WorkContext&) {
     return Status::Permanent("user was deleted");
   });
@@ -265,9 +283,16 @@ TEST_F(ConsumerTest, PermanentFailureDeletesImmediately) {
   MustEnqueue(db, "doomed", "x");
   Consumer consumer = MakeConsumer();
   ASSERT_TRUE(consumer.RunOnePass("c1").ok());
-  EXPECT_EQ(consumer.stats().items_dropped_permanent.Value(), 1);
-  EXPECT_EQ(consumer.stats().items_requeued.Value(), 0);
+  EXPECT_EQ(consumer.stats().items_quarantined.Value(), 1);
+  EXPECT_EQ(consumer.stats().items_dropped_permanent.Value(), 0);
   EXPECT_EQ(quick_->PendingCount(db).value(), 0);
+  QuickAdmin admin(quick_.get());
+  ASSERT_EQ(admin.DeadLetterCount(db).value(), 1);
+  auto dls = admin.ListDeadLetters(db).value();
+  ASSERT_EQ(dls.size(), 1u);
+  EXPECT_EQ(dls[0].job_type, "doomed");
+  EXPECT_EQ(dls[0].reason, "permanent");
+  EXPECT_EQ(dls[0].attempts, 1);
 }
 
 TEST_F(ConsumerTest, AttemptBudgetExhaustionDrops) {
@@ -276,6 +301,7 @@ TEST_F(ConsumerTest, AttemptBudgetExhaustionDrops) {
   policy.max_attempts = 2;
   policy.drop_on_exhaust = true;
   policy.backoff_initial_millis = 10;
+  policy.quarantine_on_failure = false;  // legacy delete path
   registry_.Register(
       "always_fails", [](WorkContext&) { return Status::Unavailable("x"); },
       policy);
@@ -291,13 +317,21 @@ TEST_F(ConsumerTest, AttemptBudgetExhaustionDrops) {
   EXPECT_EQ(consumer.stats().items_dropped_permanent.Value(), 1);
 }
 
-TEST_F(ConsumerTest, UnknownJobTypeDropped) {
+TEST_F(ConsumerTest, UnknownJobTypeQuarantined) {
   const ck::DatabaseId db = ck::DatabaseId::Private("app", "u1");
   MustEnqueue(db, "no_such_handler", "x");
   Consumer consumer = MakeConsumer();
   ASSERT_TRUE(consumer.RunOnePass("c1").ok());
-  EXPECT_EQ(consumer.stats().items_dropped_permanent.Value(), 1);
+  // Unknown types have no registered policy, so the default (quarantine)
+  // applies: the payload is preserved for the operator, not deleted.
+  EXPECT_EQ(consumer.stats().items_quarantined.Value(), 1);
+  EXPECT_EQ(consumer.stats().items_dropped_permanent.Value(), 0);
   EXPECT_EQ(quick_->PendingCount(db).value(), 0);
+  QuickAdmin admin(quick_.get());
+  auto dls = admin.ListDeadLetters(db).value();
+  ASSERT_EQ(dls.size(), 1u);
+  EXPECT_EQ(dls[0].reason, "unknown_job_type");
+  EXPECT_EQ(dls[0].payload, "x");
 }
 
 TEST_F(ConsumerTest, ThrottleBoundsConcurrentItemsOfType) {

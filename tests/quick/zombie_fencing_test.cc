@@ -1,0 +1,218 @@
+// Zombie-consumer fencing: a consumer that stalls past its item lease and
+// then resumes ("zombie") must not be able to complete, quarantine, drop,
+// or requeue an item that another consumer has since retaken — every
+// transition out of processing is fenced by the lease id (§5: leases make
+// takeover safe; the fence makes the takeover exclusive).
+//
+// Driven deterministically: consumer A's handler advances the ManualClock
+// past item_lease_millis mid-execution and runs consumer B's pass inline —
+// exactly a process that froze (GC pause, VM migration) and woke up after
+// its lease expired.
+
+#include <gtest/gtest.h>
+
+#include "fdb/retry.h"
+#include "quick/admin.h"
+#include "quick/consumer.h"
+
+namespace quick::core {
+namespace {
+
+class ZombieFencingTest : public ::testing::Test {
+ protected:
+  ZombieFencingTest() {
+    fdb::Database::Options opts;
+    opts.clock = &clock_;
+    clusters_ = std::make_unique<fdb::ClusterSet>(opts);
+    clusters_->AddCluster("c1");
+    ck_ = std::make_unique<ck::CloudKitService>(clusters_.get(), &clock_);
+    quick_ = std::make_unique<Quick>(ck_.get());
+  }
+
+  ConsumerConfig TestConfig() {
+    ConsumerConfig config;
+    config.sequential = true;
+    config.relaxed_reads_for_peek = false;
+    return config;
+  }
+
+  std::unique_ptr<Consumer> MakeConsumer(const std::string& id) {
+    return std::make_unique<Consumer>(quick_.get(),
+                                      std::vector<std::string>{"c1"},
+                                      &registry_, TestConfig(), id);
+  }
+
+  std::string MustEnqueue(const std::string& type) {
+    WorkItem item;
+    item.job_type = type;
+    item.payload = "w";
+    auto id = quick_->Enqueue(ck::DatabaseId::Private("app", "u1"), item, 0);
+    EXPECT_TRUE(id.ok()) << id.status();
+    return id.value_or("");
+  }
+
+  /// Advances past the item lease (default 5000ms) and the pointer's
+  /// re-vest so a second consumer can retake both pointer and item.
+  void ExpireLeases() { clock_.AdvanceMillis(6000); }
+
+  const ck::DatabaseId db_ = ck::DatabaseId::Private("app", "u1");
+  ManualClock clock_{60000};
+  std::unique_ptr<fdb::ClusterSet> clusters_;
+  std::unique_ptr<ck::CloudKitService> ck_;
+  std::unique_ptr<Quick> quick_;
+  JobRegistry registry_;
+};
+
+TEST_F(ZombieFencingTest, ZombieCannotDoubleCompleteRetakenItem) {
+  auto zombie = MakeConsumer("zombie");
+  auto taker = MakeConsumer("taker");
+  int executions = 0;
+  registry_.Register("job", [&](WorkContext&) {
+    ++executions;
+    if (executions == 1) {
+      // Stall past the lease; the takeover consumer processes the item to
+      // completion while we are "frozen".
+      ExpireLeases();
+      EXPECT_TRUE(taker->RunOnePass("c1").ok());
+      EXPECT_EQ(taker->stats().items_processed.Value(), 1);
+    }
+    return Status::OK();
+  });
+  MustEnqueue("job");
+
+  ASSERT_TRUE(zombie->RunOnePass("c1").ok());
+  EXPECT_EQ(executions, 2);  // at-least-once: the takeover re-executed it
+
+  // The zombie's completion was fenced: not counted as processed, counted
+  // as a lost lease, and the item was completed exactly once.
+  EXPECT_EQ(zombie->stats().items_processed.Value(), 0);
+  EXPECT_EQ(zombie->stats().terminal_fenced.Value(), 1);
+  EXPECT_EQ(zombie->stats().leases_lost.Value(), 1);
+  EXPECT_EQ(quick_->PendingCount(db_).value(), 0);
+}
+
+TEST_F(ZombieFencingTest, ZombieCannotDoubleQuarantineRetakenItem) {
+  auto zombie = MakeConsumer("zombie");
+  auto taker = MakeConsumer("taker");
+  CollectingAlertSink zombie_sink, taker_sink;
+  zombie->SetAlertSink(&zombie_sink);
+  taker->SetAlertSink(&taker_sink);
+  RetryPolicy policy;
+  policy.max_inline_retries = 0;
+  registry_.Register(
+      "job",
+      [&](WorkContext& ctx) {
+        if (ctx.consumer_id == "zombie") {
+          ExpireLeases();
+          EXPECT_TRUE(taker->RunOnePass("c1").ok());
+        }
+        return Status::Permanent("poison");
+      },
+      policy);
+  MustEnqueue("job");
+
+  ASSERT_TRUE(zombie->RunOnePass("c1").ok());
+
+  // Exactly one quarantine record despite two terminal attempts; only the
+  // live consumer's transition (and alert) landed.
+  QuickAdmin admin(quick_.get());
+  EXPECT_EQ(admin.DeadLetterCount(db_).value(), 1);
+  EXPECT_EQ(taker->stats().items_quarantined.Value(), 1);
+  EXPECT_EQ(taker_sink.Count(), 1u);
+  EXPECT_EQ(zombie->stats().items_quarantined.Value(), 0);
+  EXPECT_EQ(zombie->stats().terminal_fenced.Value(), 1);
+  EXPECT_EQ(zombie->stats().leases_lost.Value(), 1);
+  EXPECT_EQ(zombie_sink.Count(), 0u);  // zombies raise no alerts
+}
+
+TEST_F(ZombieFencingTest, ZombieCompleteCannotClearAFreshLeaseState) {
+  // Strongest variant: the takeover consumer fails transiently and
+  // REQUEUES the item — so when the zombie resumes, the item still exists
+  // but under different lease state. The zombie's success-complete must
+  // hit the lease fence (kLeaseLost, not kNotFound) and leave the item
+  // queued for its retry.
+  auto zombie = MakeConsumer("zombie");
+  auto taker = MakeConsumer("taker");
+  RetryPolicy policy;
+  policy.max_inline_retries = 0;
+  policy.backoff_initial_millis = 1000;
+  registry_.Register(
+      "job",
+      [&](WorkContext& ctx) {
+        if (ctx.consumer_id == "zombie") {
+          ExpireLeases();
+          EXPECT_TRUE(taker->RunOnePass("c1").ok());
+          EXPECT_EQ(taker->stats().items_requeued.Value(), 1);
+          return Status::OK();  // zombie "succeeds" — but too late
+        }
+        return Status::Unavailable("transient");  // taker requeues
+      },
+      policy);
+  MustEnqueue("job");
+
+  ASSERT_TRUE(zombie->RunOnePass("c1").ok());
+
+  // The item survived the zombie's completion attempt.
+  EXPECT_EQ(zombie->stats().items_processed.Value(), 0);
+  EXPECT_EQ(zombie->stats().terminal_fenced.Value(), 1);
+  EXPECT_EQ(zombie->stats().leases_lost.Value(), 1);
+  EXPECT_EQ(quick_->PendingCount(db_).value(), 1);
+  EXPECT_EQ(quick_->TopLevelCount("c1").value(), 1);  // pointer intact
+}
+
+TEST_F(ZombieFencingTest, ZombieRequeueCannotResetAnotherConsumersLease) {
+  // The zombie fails transiently after the stall: its REQUEUE must also be
+  // fenced, or it would clear the lease the takeover consumer still holds
+  // mid-processing. Here the taker completes first, so the zombie's
+  // requeue would resurrect-delay a finished item if unfenced.
+  auto zombie = MakeConsumer("zombie");
+  auto taker = MakeConsumer("taker");
+  RetryPolicy policy;
+  policy.max_inline_retries = 0;
+  registry_.Register(
+      "job",
+      [&](WorkContext& ctx) {
+        if (ctx.consumer_id == "zombie") {
+          ExpireLeases();
+          EXPECT_TRUE(taker->RunOnePass("c1").ok());
+          return Status::Unavailable("zombie fails late");
+        }
+        return Status::OK();
+      },
+      policy);
+  MustEnqueue("job");
+
+  ASSERT_TRUE(zombie->RunOnePass("c1").ok());
+  EXPECT_EQ(taker->stats().items_processed.Value(), 1);
+  EXPECT_EQ(zombie->stats().items_requeued.Value(), 0);
+  EXPECT_EQ(zombie->stats().terminal_fenced.Value(), 1);
+  EXPECT_EQ(quick_->PendingCount(db_).value(), 0);  // stays completed
+}
+
+TEST_F(ZombieFencingTest, CrashedConsumersLeaseExpiresAndWorkCompletes) {
+  // SimulateCrash mid-item: the crashed consumer never reaches FinishItem;
+  // the item's lease simply expires and a healthy consumer finishes the
+  // work (§5 fault tolerance) — no item lost, no double-processing.
+  auto crasher = MakeConsumer("crasher");
+  auto taker = MakeConsumer("taker");
+  int completions = 0;
+  registry_.Register("job", [&](WorkContext& ctx) {
+    if (ctx.consumer_id == "crasher") crasher->SimulateCrash();
+    ++completions;
+    return Status::OK();
+  });
+  MustEnqueue("job");
+
+  ASSERT_TRUE(crasher->RunOnePass("c1").ok());
+  EXPECT_EQ(crasher->stats().items_processed.Value(), 0);
+  EXPECT_EQ(quick_->PendingCount(db_).value(), 1);  // still leased-out
+
+  ExpireLeases();
+  ASSERT_TRUE(taker->RunOnePass("c1").ok());
+  EXPECT_EQ(taker->stats().items_processed.Value(), 1);
+  EXPECT_EQ(completions, 2);
+  EXPECT_EQ(quick_->PendingCount(db_).value(), 0);
+}
+
+}  // namespace
+}  // namespace quick::core
