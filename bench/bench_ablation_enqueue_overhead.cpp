@@ -33,6 +33,8 @@ void BM_A6_ClientTransactionAlone(benchmark::State& state) {
     ++i;
   }
   state.SetItemsProcessed(state.iterations());
+  BenchReportCollector::Global()->ReportRun(
+      "BM_A6_ClientTransactionAlone", state);
 }
 
 void BM_A6_ClientTransactionWithEnqueue(benchmark::State& state) {
@@ -72,6 +74,8 @@ void BM_A6_ClientTransactionWithEnqueue(benchmark::State& state) {
   state.counters["reads_per_txn"] =
       static_cast<double>(after.reads - before.reads) /
       static_cast<double>(std::max<int64_t>(1, state.iterations()));
+  BenchReportCollector::Global()->ReportRun(
+      "BM_A6_ClientTransactionWithEnqueue", state);
 }
 
 BENCHMARK(BM_A6_ClientTransactionAlone)->Unit(benchmark::kMillisecond);
@@ -80,4 +84,4 @@ BENCHMARK(BM_A6_ClientTransactionWithEnqueue)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace quick::bench
 
-BENCHMARK_MAIN();
+QUICK_BENCH_MAIN("ablation_enqueue_overhead")

@@ -100,6 +100,9 @@ void RunProtocol(benchmark::State& state, bool naive) {
     state.counters["enqueue_attempts"] = static_cast<double>(attempts.load());
     state.counters["enqueue_abort_pct"] =
         100.0 * aborts.load() / std::max<int64_t>(1, attempts.load());
+    BenchReportCollector::Global()->ReportRun(
+        naive ? "BM_A2_NaivePointerRewrite" : "BM_A2_QuickEnqueueProtocol",
+        state);
   }
 }
 
@@ -123,4 +126,4 @@ BENCHMARK(BM_A2_NaivePointerRewrite)
 }  // namespace
 }  // namespace quick::bench
 
-BENCHMARK_MAIN();
+QUICK_BENCH_MAIN("ablation_enqueue_protocol")

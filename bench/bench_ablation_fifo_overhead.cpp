@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
+
 #include "cloudkit/queue_zone.h"
 #include "fdb/retry.h"
 
@@ -79,4 +81,4 @@ BENCHMARK(BM_A7_DequeueCompleteFifo);
 }  // namespace
 }  // namespace quick::bench
 
-BENCHMARK_MAIN();
+QUICK_BENCH_MAIN("ablation_fifo_overhead")

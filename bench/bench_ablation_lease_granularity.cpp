@@ -60,6 +60,9 @@ void RunGranularity(benchmark::State& state, bool item_level) {
         static_cast<double>(stats.collisions_read);
     state.counters["collisions_commit"] =
         static_cast<double>(stats.collisions_commit);
+    BenchReportCollector::Global()->ReportRun(
+        item_level ? "BM_A1_ItemLevelLeases" : "BM_A1_QueueLevelLeases",
+        state);
   }
   feeder.Stop();
 }
@@ -84,4 +87,4 @@ BENCHMARK(BM_A1_ItemLevelLeases)
 }  // namespace
 }  // namespace quick::bench
 
-BENCHMARK_MAIN();
+QUICK_BENCH_MAIN("ablation_lease_granularity")

@@ -62,6 +62,8 @@ void BM_A5_ClusterScaling(benchmark::State& state) {
     state.counters["throughput_items_per_sec"] = (after - before) / secs;
     state.counters["hottest_cluster_commit_share_pct"] =
         100.0 * max_cluster_commits / std::max<int64_t>(1, total_commits);
+    BenchReportCollector::Global()->ReportRun(
+        "BM_A5_ClusterScaling/" + std::to_string(num_clusters), state);
   }
   feeder.Stop();
 }
@@ -78,4 +80,4 @@ BENCHMARK(BM_A5_ClusterScaling)
 }  // namespace
 }  // namespace quick::bench
 
-BENCHMARK_MAIN();
+QUICK_BENCH_MAIN("ablation_multicluster")

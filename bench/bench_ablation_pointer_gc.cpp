@@ -52,6 +52,8 @@ void BM_A4_PointerGcGrace(benchmark::State& state) {
         static_cast<double>(after.conflicts - before.conflicts);
     state.counters["items_processed"] =
         static_cast<double>(stats.items_processed);
+    BenchReportCollector::Global()->ReportRun(
+        "BM_A4_PointerGcGrace/" + std::to_string(min_inactive_ms), state);
   }
 }
 
@@ -66,4 +68,4 @@ BENCHMARK(BM_A4_PointerGcGrace)
 }  // namespace
 }  // namespace quick::bench
 
-BENCHMARK_MAIN();
+QUICK_BENCH_MAIN("ablation_pointer_gc")

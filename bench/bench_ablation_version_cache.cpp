@@ -53,6 +53,8 @@ void RunVersionCache(benchmark::State& state, bool relaxed) {
         static_cast<double>(after.grv_cache_hits - before.grv_cache_hits);
     state.counters["throughput_items_per_sec"] =
         (harness.WorkExecuted() - work_before) / secs;
+    BenchReportCollector::Global()->ReportRun(
+        relaxed ? "BM_A3_RelaxedReads" : "BM_A3_StrictGrvEveryTxn", state, {{"pointer_latency_us", &stats.pointer_latency_micros}});
   }
   feeder.Stop();
 }
@@ -77,4 +79,4 @@ BENCHMARK(BM_A3_StrictGrvEveryTxn)
 }  // namespace
 }  // namespace quick::bench
 
-BENCHMARK_MAIN();
+QUICK_BENCH_MAIN("ablation_version_cache")

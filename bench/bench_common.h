@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_report.h"
 #include "common/logging.h"
 #include "workload/harness.h"
 #include "workload/load_generator.h"

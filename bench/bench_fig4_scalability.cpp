@@ -75,6 +75,10 @@ void BM_Fig4_SaturationThroughput(benchmark::State& state) {
     state.counters["backlog_left"] = static_cast<double>(
         kClients * kEnqueuesPerClient * tasks_per_enqueue -
         harness.WorkExecuted());
+    BenchReportCollector::Global()->ReportRun(
+        "BM_Fig4_SaturationThroughput/" + std::to_string(num_consumers) +
+            "/" + std::to_string(tasks_per_enqueue),
+        state);
   }
 }
 
@@ -87,4 +91,4 @@ BENCHMARK(BM_Fig4_SaturationThroughput)
 }  // namespace
 }  // namespace quick::bench
 
-BENCHMARK_MAIN();
+QUICK_BENCH_MAIN("fig4_scalability")

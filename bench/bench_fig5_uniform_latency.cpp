@@ -48,6 +48,10 @@ void BM_Fig5_UniformLatency(benchmark::State& state) {
         s.item_latency_micros.Percentile(0.999) / 1000.0;
     state.counters["items_observed"] =
         static_cast<double>(s.item_latency_micros.Count());
+    BenchReportCollector::Global()->ReportRun(
+        "BM_Fig5_UniformLatency", state,
+        {{"pointer_latency_us", &s.pointer_latency_micros},
+         {"item_latency_us", &s.item_latency_micros}});
     consumer->Stop();
     load.Stop();
   }
@@ -61,4 +65,4 @@ BENCHMARK(BM_Fig5_UniformLatency)
 }  // namespace
 }  // namespace quick::bench
 
-BENCHMARK_MAIN();
+QUICK_BENCH_MAIN("fig5_uniform_latency")

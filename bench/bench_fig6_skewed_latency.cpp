@@ -46,6 +46,10 @@ void BM_Fig6_SkewedLatency(benchmark::State& state) {
         s.item_latency_micros.Percentile(0.999) / 1000.0;
     state.counters["items_observed"] =
         static_cast<double>(s.item_latency_micros.Count());
+    BenchReportCollector::Global()->ReportRun(
+        "BM_Fig6_SkewedLatency", state,
+        {{"pointer_latency_us", &s.pointer_latency_micros},
+         {"item_latency_us", &s.item_latency_micros}});
     consumer->Stop();
     load.Stop();
   }
@@ -59,4 +63,4 @@ BENCHMARK(BM_Fig6_SkewedLatency)
 }  // namespace
 }  // namespace quick::bench
 
-BENCHMARK_MAIN();
+QUICK_BENCH_MAIN("fig6_skewed_latency")

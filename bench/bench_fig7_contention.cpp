@@ -96,6 +96,10 @@ void BM_Fig7_SelectionFrac(benchmark::State& state) {
     state.counters["collision_pct_commit"] =
         100.0 * stats.collisions_commit / attempts;
     state.counters["throughput_items_per_sec"] = (after - before) / secs;
+    BenchReportCollector::Global()->ReportRun(
+        "BM_Fig7_SelectionFrac/" + std::to_string(state.range(0)), state,
+        {{"pointer_latency_us", &stats.pointer_latency_micros},
+         {"item_latency_us", &stats.item_latency_micros}});
   }
   feeder.Stop();
 }
@@ -115,4 +119,4 @@ BENCHMARK(BM_Fig7_SelectionFrac)
 }  // namespace
 }  // namespace quick::bench
 
-BENCHMARK_MAIN();
+QUICK_BENCH_MAIN("fig7_contention")

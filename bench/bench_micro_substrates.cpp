@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
+
 #include "cloudkit/queue_zone.h"
 #include "fdb/retry.h"
 #include "reclayer/record_store.h"
@@ -171,4 +173,4 @@ BENCHMARK(BM_QueueZoneDequeueComplete);
 }  // namespace
 }  // namespace quick
 
-BENCHMARK_MAIN();
+QUICK_BENCH_MAIN("micro_substrates")

@@ -1,0 +1,131 @@
+#ifndef QUICK_BENCH_BENCH_REPORT_H_
+#define QUICK_BENCH_BENCH_REPORT_H_
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/metrics.h"
+
+namespace quick::bench {
+
+/// One benchmark run, captured for the machine-readable report: the
+/// google-benchmark counters (throughput, collision percentages, ...) plus
+/// optional latency histogram summaries keyed by series name.
+struct BenchRun {
+  std::string name;
+  std::vector<std::pair<std::string, double>> counters;
+  std::vector<std::pair<std::string, HistogramStats>> latencies;
+};
+
+/// Process-wide collector behind the BENCH_<name>.json artifacts CI
+/// uploads. Benchmarks call ReportRun() once per run (after setting their
+/// state.counters); QUICK_BENCH_MAIN writes the file on exit.
+class BenchReportCollector {
+ public:
+  static BenchReportCollector* Global() {
+    static BenchReportCollector* collector = new BenchReportCollector();
+    return collector;
+  }
+
+  /// Records `state`'s counters under `run_name` (the installed
+  /// google-benchmark has no State name accessor, so call sites name their
+  /// runs), with optional latency series (summarized immediately, so the
+  /// histograms may be reset or destroyed afterwards).
+  void ReportRun(
+      std::string run_name, const benchmark::State& state,
+      const std::vector<std::pair<std::string, const Histogram*>>& latencies =
+          {}) {
+    BenchRun run;
+    run.name = std::move(run_name);
+    for (const auto& [name, counter] : state.counters) {
+      run.counters.emplace_back(name, counter.value);
+    }
+    for (const auto& [name, histogram] : latencies) {
+      run.latencies.emplace_back(name, histogram->Stats());
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    runs_.push_back(std::move(run));
+  }
+
+  /// The whole report as one JSON object:
+  /// {"bench": <name>, "runs": [{"name", "counters": {..}, "latencies":
+  /// {series: {count,sum,mean,min,max,p50,p95,p99,p999}}}]}.
+  std::string ToJson(const std::string& bench_name) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::string out = "{\"bench\":\"" + JsonEscape(bench_name) +
+                      "\",\"runs\":[";
+    for (size_t i = 0; i < runs_.size(); ++i) {
+      const BenchRun& run = runs_[i];
+      if (i > 0) out += ",";
+      out += "{\"name\":\"" + JsonEscape(run.name) + "\",\"counters\":{";
+      for (size_t j = 0; j < run.counters.size(); ++j) {
+        if (j > 0) out += ",";
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "%.6g", run.counters[j].second);
+        out += "\"" + JsonEscape(run.counters[j].first) + "\":" + buf;
+      }
+      out += "},\"latencies\":{";
+      for (size_t j = 0; j < run.latencies.size(); ++j) {
+        if (j > 0) out += ",";
+        out += "\"" + JsonEscape(run.latencies[j].first) +
+               "\":" + HistogramStatsJson(run.latencies[j].second);
+      }
+      out += "}}";
+    }
+    out += "]}";
+    return out;
+  }
+
+  /// Writes BENCH_<bench_name>.json into $QUICK_BENCH_REPORT_DIR (or the
+  /// working directory). Returns false when the file cannot be opened.
+  bool WriteFile(const std::string& bench_name) const {
+    std::string dir = ".";
+    if (const char* env = std::getenv("QUICK_BENCH_REPORT_DIR");
+        env != nullptr && env[0] != '\0') {
+      dir = env;
+    }
+    const std::string path = dir + "/BENCH_" + bench_name + ".json";
+    std::ofstream file(path);
+    if (!file) return false;
+    file << ToJson(bench_name) << "\n";
+    return static_cast<bool>(file);
+  }
+
+  size_t RunCount() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return runs_.size();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<BenchRun> runs_;
+};
+
+}  // namespace quick::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN(): runs the registered
+/// benchmarks, then dumps the collected runs as BENCH_<name>.json so CI
+/// can upload and validate them.
+#define QUICK_BENCH_MAIN(bench_name)                                       \
+  int main(int argc, char** argv) {                                        \
+    ::benchmark::Initialize(&argc, argv);                                  \
+    if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;    \
+    ::benchmark::RunSpecifiedBenchmarks();                                 \
+    ::benchmark::Shutdown();                                               \
+    if (!::quick::bench::BenchReportCollector::Global()->WriteFile(        \
+            bench_name)) {                                                 \
+      std::fprintf(stderr, "failed to write BENCH_%s.json\n", bench_name); \
+      return 1;                                                            \
+    }                                                                      \
+    return 0;                                                              \
+  }
+
+#endif  // QUICK_BENCH_BENCH_REPORT_H_

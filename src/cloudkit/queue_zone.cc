@@ -1,10 +1,20 @@
 #include "cloudkit/queue_zone.h"
 
+#include "common/metrics.h"
 #include "common/random.h"
 
 namespace quick::ck {
 
 namespace {
+
+/// Storage-layer operation counters (ck.zone.*). They count attempts at
+/// this layer, including ones whose enclosing transaction later aborts —
+/// the delta against the consumer-level counters is itself a useful
+/// signal (retry amplification). Counter pointers are cached per call
+/// site so the hot paths never touch the registry mutex.
+Counter* ZoneCounter(const char* name) {
+  return MetricsRegistry::Default()->GetCounter(name);
+}
 
 rl::RecordMetadata BuildMetadata(bool fifo) {
   rl::RecordMetadata meta(fifo ? 2 : 1);
@@ -132,6 +142,8 @@ Result<std::string> QueueZone::Enqueue(QueuedItem item,
   item.enqueue_time = now;
   item.lease_id.clear();
   QUICK_RETURN_IF_ERROR(Save(item));
+  static Counter* counter = ZoneCounter("ck.zone.enqueues");
+  counter->Increment();
   return item.id;
 }
 
@@ -201,12 +213,16 @@ Result<std::string> QueueZone::ObtainLease(const std::string& item_id,
   if (item.vesting_time > now) {
     // Either delayed or under someone else's live lease — the cheap,
     // read-detected collision of Figure 7(a).
+    static Counter* unvested = ZoneCounter("ck.zone.lease_unvested");
+    unvested->Increment();
     return Status::LeaseLost("item not vested until " +
                              std::to_string(item.vesting_time));
   }
   item.lease_id = Random::ThreadLocal().NextUuid();
   item.vesting_time = now + lease_duration_millis;
   QUICK_RETURN_IF_ERROR(Save(item));
+  static Counter* obtained = ZoneCounter("ck.zone.leases_obtained");
+  obtained->Increment();
   return item.lease_id;
 }
 
@@ -220,7 +236,10 @@ Status QueueZone::Complete(const std::string& item_id,
       bool deleted,
       store_.DeleteRecord(QueuedItem::kRecordType,
                           tup::Tuple().AddString(item_id)));
-  return deleted ? Status::OK() : Status::NotFound("queued item " + item_id);
+  if (!deleted) return Status::NotFound("queued item " + item_id);
+  static Counter* counter = ZoneCounter("ck.zone.completes");
+  counter->Increment();
+  return Status::OK();
 }
 
 Status QueueZone::ExtendLease(const std::string& item_id,
@@ -245,7 +264,10 @@ Status QueueZone::Requeue(const std::string& item_id,
   item.vesting_time = clock_->NowMillis() + vesting_delay_millis;
   if (increment_error_count) ++item.error_count;
   item.lease_id.clear();
-  return Save(item);
+  QUICK_RETURN_IF_ERROR(Save(item));
+  static Counter* counter = ZoneCounter("ck.zone.requeues");
+  counter->Increment();
+  return Status::OK();
 }
 
 Status QueueZone::Quarantine(const std::string& item_id,
@@ -272,7 +294,10 @@ Status QueueZone::Quarantine(const std::string& item_id,
   dl.reason = reason;
   dl.final_error = final_error;
   dl.quarantine_time = clock_->NowMillis();
-  return dl_store_.SaveRecord(dl.ToRecord());
+  QUICK_RETURN_IF_ERROR(dl_store_.SaveRecord(dl.ToRecord()));
+  static Counter* counter = ZoneCounter("ck.zone.quarantines");
+  counter->Increment();
+  return Status::OK();
 }
 
 Result<std::vector<DeadLetterItem>> QueueZone::ListDeadLetters(int max_items) {
@@ -349,6 +374,8 @@ Result<std::vector<LeasedItem>> QueueZone::Dequeue(
     QUICK_RETURN_IF_ERROR(Save(item));
     out.push_back({item, item.lease_id});
   }
+  static Counter* counter = ZoneCounter("ck.zone.dequeued_items");
+  counter->Increment(static_cast<int64_t>(out.size()));
   return out;
 }
 
@@ -423,6 +450,8 @@ Result<std::vector<LeasedItem>> QueueZone::DequeueFifo(
     QUICK_RETURN_IF_ERROR(Save(item));
     out.push_back({item, item.lease_id});
   }
+  static Counter* counter = ZoneCounter("ck.zone.dequeued_items");
+  counter->Increment(static_cast<int64_t>(out.size()));
   return out;
 }
 

@@ -92,6 +92,20 @@ void Histogram::Merge(const Histogram& other) {
   }
 }
 
+HistogramStats Histogram::Stats() const {
+  HistogramStats stats;
+  stats.count = Count();
+  stats.sum = Sum();
+  stats.mean = Mean();
+  stats.min = Min();
+  stats.max = Max();
+  stats.p50 = Percentile(0.50);
+  stats.p95 = Percentile(0.95);
+  stats.p99 = Percentile(0.99);
+  stats.p999 = Percentile(0.999);
+  return stats;
+}
+
 std::string Histogram::Summary() const {
   char buf[192];
   std::snprintf(buf, sizeof(buf),

@@ -8,6 +8,20 @@
 
 namespace quick {
 
+/// Point-in-time summary of a histogram: the percentile block the
+/// machine-readable exporters (Prometheus text, JSON, BENCH_*.json) emit.
+struct HistogramStats {
+  int64_t count = 0;
+  int64_t sum = 0;
+  double mean = 0.0;
+  int64_t min = 0;
+  int64_t max = 0;
+  int64_t p50 = 0;
+  int64_t p95 = 0;
+  int64_t p99 = 0;
+  int64_t p999 = 0;
+};
+
 /// Thread-safe log-linear histogram of non-negative int64 samples
 /// (microseconds in this library). Buckets cover [0, ~2^62) with bounded
 /// relative error (each power-of-two range split into 16 linear
@@ -24,9 +38,15 @@ class Histogram {
   int64_t Percentile(double q) const;
 
   int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
   int64_t Min() const;
   int64_t Max() const { return max_.load(std::memory_order_relaxed); }
   double Mean() const;
+
+  /// Snapshot of count/sum/mean/min/max and the p50/p95/p99/p999 block.
+  /// Each field is read atomically; a concurrent Record may land between
+  /// field reads (the summary is advisory, like every sample here).
+  HistogramStats Stats() const;
 
   void Reset();
 

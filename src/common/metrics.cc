@@ -1,8 +1,77 @@
 #include "common/metrics.h"
 
+#include <cctype>
+#include <cstdio>
 #include <sstream>
 
 namespace quick {
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; we map everything else
+/// (the registry's dots in particular) to '_'.
+std::string PrometheusName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string HistogramStatsJson(const HistogramStats& stats) {
+  std::ostringstream os;
+  os << "{\"count\":" << stats.count << ",\"sum\":" << stats.sum
+     << ",\"mean\":" << FormatDouble(stats.mean) << ",\"min\":" << stats.min
+     << ",\"max\":" << stats.max << ",\"p50\":" << stats.p50
+     << ",\"p95\":" << stats.p95 << ",\"p99\":" << stats.p99
+     << ",\"p999\":" << stats.p999 << "}";
+  return os.str();
+}
 
 Counter* MetricsRegistry::GetCounter(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -11,11 +80,35 @@ Counter* MetricsRegistry::GetCounter(const std::string& name) {
   return slot.get();
 }
 
+Gauge* MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
 Histogram* MetricsRegistry::GetHistogram(const std::string& name) {
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return slot.get();
+}
+
+MetricsSnapshot MetricsRegistry::SnapshotLocked() const {
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    snap.counters.emplace_back(name, counter->Value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->Value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.emplace_back(name, histogram->Stats());
+  }
+  return snap;
 }
 
 std::vector<std::pair<std::string, int64_t>> MetricsRegistry::CounterSnapshot()
@@ -29,21 +122,127 @@ std::vector<std::pair<std::string, int64_t>> MetricsRegistry::CounterSnapshot()
   return out;
 }
 
-std::string MetricsRegistry::Report() const {
+std::vector<std::pair<std::string, int64_t>> MetricsRegistry::GaugeSnapshot()
+    const {
   std::lock_guard<std::mutex> lock(mu_);
-  std::ostringstream os;
-  for (const auto& [name, counter] : counters_) {
-    os << name << " = " << counter->Value() << "\n";
+  std::vector<std::pair<std::string, int64_t>> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    out.emplace_back(name, gauge->Value());
   }
+  return out;
+}
+
+std::vector<std::pair<std::string, HistogramStats>>
+MetricsRegistry::HistogramSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, HistogramStats>> out;
+  out.reserve(histograms_.size());
   for (const auto& [name, histogram] : histograms_) {
-    os << name << " : " << histogram->Summary() << "\n";
+    out.emplace_back(name, histogram->Stats());
   }
+  return out;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return SnapshotLocked();
+}
+
+MetricsSnapshot MetricsRegistry::SnapshotAndReset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, counter] : counters_) {
+    // Take, not Value+Reset: increments racing the scrape are handed to
+    // exactly one epoch.
+    snap.counters.emplace_back(name, counter->Take());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges.emplace_back(name, gauge->Value());  // gauges are not reset
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, histogram] : histograms_) {
+    snap.histograms.emplace_back(name, histogram->Stats());
+    histogram->Reset();
+  }
+  return snap;
+}
+
+std::string MetricsRegistry::Report() const {
+  const MetricsSnapshot snap = Snapshot();
+  std::ostringstream os;
+  for (const auto& [name, value] : snap.counters) {
+    os << name << " = " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    os << name << " = " << value << " (gauge)\n";
+  }
+  for (const auto& [name, stats] : snap.histograms) {
+    os << name << " : count=" << stats.count << " mean=" << stats.mean
+       << " p50=" << stats.p50 << " p99=" << stats.p99
+       << " p999=" << stats.p999 << " max=" << stats.max << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::ExportPrometheusText() const {
+  const MetricsSnapshot snap = Snapshot();
+  std::ostringstream os;
+  for (const auto& [name, value] : snap.counters) {
+    const std::string prom = PrometheusName(name);
+    os << "# TYPE " << prom << " counter\n";
+    os << prom << " " << value << "\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string prom = PrometheusName(name);
+    os << "# TYPE " << prom << " gauge\n";
+    os << prom << " " << value << "\n";
+  }
+  for (const auto& [name, stats] : snap.histograms) {
+    const std::string prom = PrometheusName(name);
+    os << "# TYPE " << prom << " summary\n";
+    os << prom << "{quantile=\"0.5\"} " << stats.p50 << "\n";
+    os << prom << "{quantile=\"0.95\"} " << stats.p95 << "\n";
+    os << prom << "{quantile=\"0.99\"} " << stats.p99 << "\n";
+    os << prom << "{quantile=\"0.999\"} " << stats.p999 << "\n";
+    os << prom << "_sum " << stats.sum << "\n";
+    os << prom << "_count " << stats.count << "\n";
+    os << prom << "_max " << stats.max << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::ExportJson() const {
+  const MetricsSnapshot snap = Snapshot();
+  std::ostringstream os;
+  os << "{\"counters\":{";
+  for (size_t i = 0; i < snap.counters.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << JsonEscape(snap.counters[i].first)
+       << "\":" << snap.counters[i].second;
+  }
+  os << "},\"gauges\":{";
+  for (size_t i = 0; i < snap.gauges.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << JsonEscape(snap.gauges[i].first)
+       << "\":" << snap.gauges[i].second;
+  }
+  os << "},\"histograms\":{";
+  for (size_t i = 0; i < snap.histograms.size(); ++i) {
+    if (i > 0) os << ",";
+    os << "\"" << JsonEscape(snap.histograms[i].first)
+       << "\":" << HistogramStatsJson(snap.histograms[i].second);
+  }
+  os << "}}";
   return os.str();
 }
 
 void MetricsRegistry::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, counter] : counters_) counter->Reset();
+  for (auto& [name, gauge] : gauges_) gauge->Set(0);
   for (auto& [name, histogram] : histograms_) histogram->Reset();
 }
 

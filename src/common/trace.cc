@@ -1,0 +1,121 @@
+#include "common/trace.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace quick {
+
+Tracer::Tracer() : Tracer(Options()) {}
+
+Tracer::Tracer(Options options)
+    : options_(options), enabled_(options.enabled) {
+  if (options_.shards < 1) options_.shards = 1;
+  if (options_.max_traces < 1) options_.max_traces = 1;
+  if (options_.max_spans_per_trace < 1) options_.max_spans_per_trace = 1;
+  per_shard_cap_ = std::max<size_t>(
+      1, options_.max_traces / static_cast<size_t>(options_.shards));
+  shards_.reserve(static_cast<size_t>(options_.shards));
+  for (int i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+Tracer::~Tracer() = default;
+
+void Tracer::Record(Span span) {
+  if (!enabled()) return;
+  Shard& shard = *shards_[ShardFor(span.trace_id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  span.seq = next_seq_.fetch_add(1, std::memory_order_relaxed) + 1;
+  auto it = shard.chains.find(span.trace_id);
+  if (it == shard.chains.end()) {
+    // Make room: evict the least recently updated chain(s) of this shard.
+    while (shard.chains.size() >= per_shard_cap_) {
+      auto victim = shard.chains.find(shard.lru.front());
+      if (victim != shard.chains.end()) {
+        span_count_.fetch_sub(victim->second.spans.size(),
+                              std::memory_order_relaxed);
+        shard.chains.erase(victim);
+      }
+      shard.lru.pop_front();
+      evicted_traces_.fetch_add(1, std::memory_order_relaxed);
+    }
+    shard.lru.push_back(span.trace_id);
+    it = shard.chains.emplace(span.trace_id, Chain{}).first;
+    it->second.lru_pos = std::prev(shard.lru.end());
+  } else {
+    // Touch: active chains move to the back of the eviction order.
+    shard.lru.splice(shard.lru.end(), shard.lru, it->second.lru_pos);
+  }
+  Chain& chain = it->second;
+  if (chain.spans.size() >= options_.max_spans_per_trace) {
+    dropped_spans_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  chain.spans.push_back(std::move(span));
+  span_count_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<Span> Tracer::TraceOf(const std::string& trace_id) const {
+  const Shard& shard = *shards_[ShardFor(trace_id)];
+  std::vector<Span> out;
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.chains.find(trace_id);
+    if (it == shard.chains.end()) return out;
+    out = it->second.spans;
+  }
+  // Seq is taken from the global counter before the append lands, so two
+  // racing recorders can append slightly out of order; normalize here.
+  std::sort(out.begin(), out.end(),
+            [](const Span& a, const Span& b) { return a.seq < b.seq; });
+  return out;
+}
+
+bool Tracer::Has(const std::string& trace_id) const {
+  const Shard& shard = *shards_[ShardFor(trace_id)];
+  std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.chains.count(trace_id) > 0;
+}
+
+std::vector<std::string> Tracer::TraceIds() const {
+  std::vector<std::string> out;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    for (const auto& [id, chain] : shard->chains) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+size_t Tracer::TraceCount() const {
+  size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    n += shard->chains.size();
+  }
+  return n;
+}
+
+void Tracer::Clear() {
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->chains.clear();
+    shard->lru.clear();
+  }
+  span_count_.store(0);
+  evicted_traces_.store(0);
+  dropped_spans_.store(0);
+}
+
+Tracer* Tracer::Default() {
+  static Tracer* tracer = [] {
+    Options options;
+    const char* env = std::getenv("QUICK_TRACE");
+    options.enabled = env != nullptr && env[0] != '\0' && env[0] != '0';
+    return new Tracer(options);
+  }();
+  return tracer;
+}
+
+}  // namespace quick

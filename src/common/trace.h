@@ -1,0 +1,126 @@
+#ifndef QUICK_COMMON_TRACE_H_
+#define QUICK_COMMON_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace quick {
+
+/// One timed event in a trace (Dapper-style span): a named, timed lifecycle
+/// stage attributed to an actor. Spans with the same `trace_id` form an
+/// item's lifecycle chain; `parent_trace` links causally-related chains
+/// (e.g. a work item's dequeue span points at the pointer trace whose lease
+/// made the dequeue happen).
+struct Span {
+  std::string trace_id;
+  /// Stage name (quick/trace_hooks.h defines QuiCK's taxonomy).
+  std::string name;
+  /// Who recorded it: a consumer id, "producer", or "admin".
+  std::string actor;
+  /// Free-form stage detail (collision kind, quarantine reason, ...).
+  std::string detail;
+  /// Optional link to a related trace chain.
+  std::string parent_trace;
+  int64_t start_micros = 0;
+  int64_t end_micros = 0;
+  /// Store-global record order: a span with a larger seq was recorded
+  /// later. Assigned by the Tracer.
+  uint64_t seq = 0;
+};
+
+/// In-process span store: lock-sharded, bounded memory, queryable per-item
+/// span chains. The paper's per-tenant observability story (§2) needs the
+/// lifecycle of any single item to be reconstructable; this store keeps the
+/// most recently active `max_traces` chains and evicts the least recently
+/// updated chain when the bound is hit (active chains are never evicted
+/// before idle ones). Recording is wait-free apart from one shard mutex;
+/// disabled tracers cost a single relaxed atomic load per call site.
+class Tracer {
+ public:
+  struct Options {
+    /// Maximum chains kept across all shards (split evenly per shard).
+    size_t max_traces = 16384;
+    /// Further spans of a chain at this cap are counted in
+    /// dropped_spans() and discarded.
+    size_t max_spans_per_trace = 4096;
+    int shards = 16;
+    bool enabled = true;
+  };
+
+  Tracer();
+  explicit Tracer(Options options);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Appends `span` to its trace chain (span.seq is assigned here).
+  /// No-op while disabled.
+  void Record(Span span);
+
+  /// The chain recorded under `trace_id`, in seq order; empty when unknown
+  /// (never traced, or evicted).
+  std::vector<Span> TraceOf(const std::string& trace_id) const;
+
+  /// True when a chain exists for `trace_id`.
+  bool Has(const std::string& trace_id) const;
+
+  /// Every live trace id, sorted.
+  std::vector<std::string> TraceIds() const;
+
+  /// Live chains / spans currently stored.
+  size_t TraceCount() const;
+  size_t SpanCount() const { return span_count_.load(); }
+
+  /// Chains evicted by the memory bound since construction/Clear().
+  uint64_t EvictedTraces() const { return evicted_traces_.load(); }
+  /// Spans discarded by the per-chain cap since construction/Clear().
+  uint64_t DroppedSpans() const { return dropped_spans_.load(); }
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool enabled) { enabled_.store(enabled); }
+
+  /// Drops every chain and zeroes the eviction/drop counters (seq keeps
+  /// advancing, so ordering comparisons stay valid across Clear).
+  void Clear();
+
+  /// Process-wide default tracer. Starts disabled unless the QUICK_TRACE
+  /// environment variable is set to a non-empty, non-"0" value; callers
+  /// (tests, benches) flip it with set_enabled().
+  static Tracer* Default();
+
+ private:
+  struct Chain {
+    std::vector<Span> spans;
+    std::list<std::string>::iterator lru_pos;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, Chain> chains;
+    /// Eviction order: front = least recently updated.
+    std::list<std::string> lru;
+  };
+
+  size_t ShardFor(const std::string& trace_id) const {
+    return std::hash<std::string>{}(trace_id) % shards_.size();
+  }
+
+  Options options_;
+  size_t per_shard_cap_;
+  std::atomic<bool> enabled_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<uint64_t> next_seq_{0};
+  std::atomic<size_t> span_count_{0};
+  std::atomic<uint64_t> evicted_traces_{0};
+  std::atomic<uint64_t> dropped_spans_{0};
+};
+
+}  // namespace quick
+
+#endif  // QUICK_COMMON_TRACE_H_

@@ -4,6 +4,7 @@
 
 #include "common/metrics.h"
 #include "fdb/retry.h"
+#include "quick/trace_hooks.h"
 
 namespace quick::core {
 
@@ -194,6 +195,8 @@ Result<int64_t> QuickAdmin::DeadLetterCount(const ck::DatabaseId& db_id) {
 Status QuickAdmin::RequeueDeadLetter(const ck::DatabaseId& db_id,
                                      const std::string& item_id) {
   const ck::DatabaseRef db = quick_->cloudkit()->OpenDatabase(db_id);
+  const TraceHooks hooks(quick_->tracer(), quick_->clock(), "admin");
+  const int64_t start_micros = hooks.enabled() ? hooks.NowMicros() : 0;
   EnqueueFollowUp follow_up;
   Status st = fdb::RunTransaction(db.cluster, [&](fdb::Transaction& txn) {
     ck::QueueZone zone = quick_->OpenTenantZone(db, &txn);
@@ -210,6 +213,12 @@ Status QuickAdmin::RequeueDeadLetter(const ck::DatabaseId& db_id,
         .status();
   });
   QUICK_RETURN_IF_ERROR(st);
+  if (hooks.enabled()) {
+    // A birth stage: the item re-enters the live queue; its chain opens a
+    // new incarnation that must reach its own terminal span.
+    hooks.Record(item_id, stage::kDeadLetterRequeued, start_micros,
+                 hooks.NowMicros(), "db=" + db_id.ToString());
+  }
   quick_->ExecuteFollowUp(db, follow_up);
   MetricsRegistry::Default()->GetCounter("quick.deadletter.requeued")
       ->Increment();
@@ -295,6 +304,8 @@ Status QuickAdmin::RequeueClusterDeadLetter(const std::string& cluster_name,
     return top.Enqueue(std::move(item), /*vesting_delay_millis=*/0).status();
   });
   QUICK_RETURN_IF_ERROR(st);
+  const TraceHooks hooks(quick_->tracer(), quick_->clock(), "admin");
+  hooks.Mark(item_id, stage::kDeadLetterRequeued, "cluster=" + cluster_name);
   MetricsRegistry::Default()->GetCounter("quick.deadletter.requeued")
       ->Increment();
   return Status::OK();
@@ -316,6 +327,30 @@ Status QuickAdmin::PurgeClusterDeadLetter(const std::string& cluster_name,
   MetricsRegistry::Default()->GetCounter("quick.deadletter.purged")
       ->Increment();
   return Status::OK();
+}
+
+std::vector<Span> QuickAdmin::ItemTrace(const std::string& item_id) const {
+  Tracer* tracer = quick_->tracer();
+  if (tracer == nullptr) return {};
+  return tracer->TraceOf(item_id);
+}
+
+std::string QuickAdmin::RenderTrace(const std::string& item_id) const {
+  const std::vector<Span> spans = ItemTrace(item_id);
+  std::ostringstream os;
+  os << "trace " << item_id << " (" << spans.size() << " spans)\n";
+  if (spans.empty()) return os.str();
+  const int64_t t0 = spans.front().start_micros;
+  for (const Span& s : spans) {
+    os << "  +" << (s.start_micros - t0) << "us " << s.name << " ["
+       << s.actor << "]";
+    const int64_t dur = s.end_micros - s.start_micros;
+    if (dur > 0) os << " dur=" << dur << "us";
+    if (!s.detail.empty()) os << " " << s.detail;
+    if (!s.parent_trace.empty()) os << " parent=" << s.parent_trace;
+    os << "\n";
+  }
+  return os.str();
 }
 
 }  // namespace quick::core

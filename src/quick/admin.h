@@ -105,6 +105,18 @@ class QuickAdmin {
   Status PurgeClusterDeadLetter(const std::string& cluster_name,
                                 const std::string& item_id);
 
+  // --- Item-lifecycle traces (the per-item "where did my task go" query;
+  // answers come from the in-process Tracer, so they cover items this
+  // process and its consumers touched while tracing was enabled). ---
+
+  /// The recorded span chain of a work item (or pointer key), in recording
+  /// order. Empty when tracing is off or the trace was evicted.
+  std::vector<Span> ItemTrace(const std::string& item_id) const;
+
+  /// Human-readable rendering of ItemTrace: one line per span with
+  /// relative timestamps, durations, actors, and details.
+  std::string RenderTrace(const std::string& item_id) const;
+
  private:
   Quick* quick_;
 };

@@ -19,6 +19,7 @@ Consumer::Consumer(Quick* quick, std::vector<std::string> cluster_names,
       clusters_(std::move(cluster_names)),
       election_(election_cache),
       health_(config_.breaker, quick->clock(), id_),
+      hooks_(quick->tracer(), quick->clock(), id_),
       scanner_rng_(std::hash<std::string>{}(id_)) {}
 
 Consumer::~Consumer() { Stop(); }
@@ -129,6 +130,7 @@ Result<int> Consumer::ScanClusterOnce(const std::string& cluster_name,
 
   // Peek: snapshot scan of the vesting index only (ids, not records), with
   // relaxed read-version handling (§6 optimizations).
+  const int64_t scan_start = quick_->clock()->NowMicros();
   const ck::DatabaseRef cluster_db =
       quick_->cloudkit()->OpenClusterDb(cluster_name);
   // With a sharded top-level queue, peek every shard and merge (the shard
@@ -152,7 +154,10 @@ Result<int> Consumer::ScanClusterOnce(const std::string& cluster_name,
       return in_flight_.count(InFlightKey(cluster_name, id)) > 0;
     });
   }
-  if (peeked.empty()) return 0;
+  if (peeked.empty()) {
+    stats_.scan_micros.Record(quick_->clock()->NowMicros() - scan_start);
+    return 0;
+  }
 
   // Select pointers: the elected scanner takes them in queue order (no
   // starvation, better tail latency); everyone else samples uniformly at
@@ -174,6 +179,8 @@ Result<int> Consumer::ScanClusterOnce(const std::string& cluster_name,
       std::swap(peeked[i], peeked[j]);
     }
   }
+
+  stats_.scan_micros.Record(quick_->clock()->NowMicros() - scan_start);
 
   int dispatched = 0;
   for (size_t i = 0; i < n_select; ++i) {
@@ -265,20 +272,28 @@ Status Consumer::ProcessTopItemImpl(const std::string& cluster_name,
     }
 
     stats_.pointer_lease_attempts.Increment();
+    const int64_t lease_start = quick_->clock()->NowMicros();
     Result<std::pair<ck::QueuedItem, std::string>> leased =
         LeaseTopItem(cluster, cluster_db, item_id);
+    const int64_t lease_end = quick_->clock()->NowMicros();
+    stats_.lease_txn_micros.Record(lease_end - lease_start);
     health_.Observe(cluster_name, leased.status());
     if (!leased.ok()) {
       const Status& err = leased.status();
       if (err.IsNotFound()) return Status::OK();  // GC'd meanwhile
       if (err.IsLeaseLost()) {
         stats_.lease_collisions_read.Increment();
+        hooks_.Record(item_id, stage::kLeaseCollision, lease_start, lease_end,
+                      "read");
       } else if (err.IsNotCommitted()) {
         stats_.lease_collisions_commit.Increment();
+        hooks_.Record(item_id, stage::kLeaseCollision, lease_start, lease_end,
+                      "commit");
       }
       return Status::OK();
     }
     stats_.pointer_leases_acquired.Increment();
+    hooks_.Record(item_id, stage::kTopLeased, lease_start, lease_end);
     const ck::QueuedItem& before = leased->first;
     const std::string& lease_id = leased->second;
 
@@ -345,11 +360,13 @@ Status Consumer::HandlePointer(const std::string& cluster_name,
     QUICK_RETURN_IF_ERROR(st);
     if (fenced) {
       stats_.terminal_fenced.Increment();
+      hooks_.Mark(pointer_item.id, stage::kFenced, "corrupt_pointer");
       return Status::OK();
     }
     stats_.items_quarantined.Increment();
     MetricsRegistry::Default()->GetCounter("quick.deadletter.quarantined")
         ->Increment();
+    hooks_.Mark(pointer_item.id, stage::kQuarantined, "corrupt_pointer");
     return Status::OK();
   }
 
@@ -364,6 +381,7 @@ Status Consumer::HandlePointer(const std::string& cluster_name,
   // Batch-dequeue up to dequeue_max items (Alg. 2 step ii).
   std::vector<ck::LeasedItem> items;
   std::optional<int64_t> min_vesting;
+  const int64_t deq_start = quick_->clock()->NowMicros();
   Status st = fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
     ck::QueueZone zone(&txn, zone_subspace, quick_->clock(),
                        config_.fifo_tenant_zones);
@@ -380,6 +398,8 @@ Status Consumer::HandlePointer(const std::string& cluster_name,
     QUICK_ASSIGN_OR_RETURN(min_vesting, zone.MinVestingTime());
     return Status::OK();
   });
+  const int64_t deq_end = quick_->clock()->NowMicros();
+  stats_.dequeue_txn_micros.Record(deq_end - deq_start);
   health_.Observe(cluster_name, st);
   QUICK_RETURN_IF_ERROR(st);
   // Crash chaos: the process "died" after dequeuing — item and pointer
@@ -390,6 +410,9 @@ Status Consumer::HandlePointer(const std::string& cluster_name,
   for (ck::LeasedItem& li : items) {
     stats_.items_dequeued.Increment();
     stats_.item_latency_micros.Record((now - li.item.enqueue_time) * 1000);
+    hooks_.Record(li.item.id, stage::kDequeued, deq_start, deq_end,
+                  "batch=" + std::to_string(items.size()),
+                  /*parent=*/pointer_item.id);
     WorkerJob job;
     job.cluster = cluster_name;
     job.db_id = pointer->db_id;
@@ -435,7 +458,11 @@ Status Consumer::RequeueOrGcPointer(const std::string& cluster_name,
       updated.last_active_time = now;
       return top_zone.SaveItem(updated);
     });
-    if (st.ok()) stats_.pointers_requeued.Increment();
+    if (st.ok()) {
+      stats_.pointers_requeued.Increment();
+      hooks_.Mark(pointer_item.id, stage::kRequeued,
+                  "pointer delay_ms=" + std::to_string(delay));
+    }
     return st;
   }
 
@@ -469,7 +496,10 @@ Status Consumer::RequeueOrGcPointer(const std::string& cluster_name,
     stats_.pointer_gc_aborted.Increment();
     return Status::OK();
   }
-  if (commit.ok()) stats_.pointers_deleted.Increment();
+  if (commit.ok()) {
+    stats_.pointers_deleted.Increment();
+    hooks_.Mark(pointer_item.id, stage::kCompleted, "gc");
+  }
   return commit;
 }
 
@@ -489,6 +519,7 @@ Status Consumer::HandlePointerItemLevel(const std::string& cluster_name,
 
   std::vector<ck::LeasedItem> items;
   std::optional<int64_t> min_vesting;
+  const int64_t deq_start = quick_->clock()->NowMicros();
   {
     stats_.pointer_lease_attempts.Increment();
     fdb::Transaction txn = cluster->CreateTransaction(PeekOptions());
@@ -500,6 +531,7 @@ Status Consumer::HandlePointerItemLevel(const std::string& cluster_name,
     Result<std::optional<int64_t>> mv = zone.MinVestingTime();
     QUICK_RETURN_IF_ERROR(mv.status());
     Status commit = txn.Commit();
+    stats_.dequeue_txn_micros.Record(quick_->clock()->NowMicros() - deq_start);
     if (commit.IsNotCommitted()) {
       stats_.lease_collisions_commit.Increment();
       return Status::OK();
@@ -513,9 +545,13 @@ Status Consumer::HandlePointerItemLevel(const std::string& cluster_name,
   }
 
   const int64_t now = quick_->clock()->NowMillis();
+  const int64_t deq_end = quick_->clock()->NowMicros();
   for (ck::LeasedItem& li : items) {
     stats_.items_dequeued.Increment();
     stats_.item_latency_micros.Record((now - li.item.enqueue_time) * 1000);
+    hooks_.Record(li.item.id, stage::kDequeued, deq_start, deq_end,
+                  "item_level batch=" + std::to_string(items.size()),
+                  /*parent=*/pointer_item.id);
     WorkerJob job;
     job.cluster = cluster_name;
     job.db_id = pointer->db_id;
@@ -545,14 +581,17 @@ void Consumer::DispatchWorkerJob(WorkerJob job, bool inline_processing) {
       stats_.items_throttled.Increment();
       // Release the lease so any consumer can pick the item up again.
       fdb::Database* cluster = Cluster(job.cluster);
-      (void)fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
+      Status st = fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
         ck::QueueZone zone(&txn, job.zone_subspace, quick_->clock(),
                            job.fifo_zone);
-        Status st = zone.Requeue(job.leased.item.id, 0,
-                                 /*increment_error_count=*/false,
-                                 job.leased.lease_id);
-        return st.IsNotFound() || st.IsLeaseLost() ? Status::OK() : st;
+        Status s = zone.Requeue(job.leased.item.id, 0,
+                                /*increment_error_count=*/false,
+                                job.leased.lease_id);
+        return s.IsNotFound() || s.IsLeaseLost() ? Status::OK() : s;
       });
+      if (st.ok()) {
+        hooks_.Mark(job.leased.item.id, stage::kRequeued, "throttle");
+      }
       return;
     }
     job.throttle_held = true;
@@ -605,7 +644,11 @@ void Consumer::ProcessWorkItem(WorkerJob job) {
           quick_->clock()->NowMillis() + policy.execution_bound_millis;
       const int64_t start = quick_->clock()->NowMicros();
       final_status = job.entry->handler(ctx);
-      stats_.item_exec_micros.Record(quick_->clock()->NowMicros() - start);
+      const int64_t end = quick_->clock()->NowMicros();
+      stats_.item_exec_micros.Record(end - start);
+      hooks_.Record(job.leased.item.id, stage::kExecute, start, end,
+                    "attempt=" + std::to_string(attempt) + " status=" +
+                        std::string(StatusCodeName(final_status.code())));
       if (final_status.ok() || final_status.IsPermanent()) break;
       stats_.items_failed_attempts.Increment();
       if (job.lease_lost->load()) break;  // processing interrupted
@@ -644,6 +687,7 @@ Status Consumer::FinishItem(const WorkerJob& job, const Status& final_status) {
 
   if (final_status.ok()) {
     bool fenced = false;
+    const int64_t fin_start = quick_->clock()->NowMicros();
     Status st = fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
       ck::QueueZone zone(&txn, job.zone_subspace, quick_->clock(),
                          job.fifo_zone);
@@ -655,15 +699,21 @@ Status Consumer::FinishItem(const WorkerJob& job, const Status& final_status) {
       fenced = false;
       return c;
     });
+    const int64_t fin_end = quick_->clock()->NowMicros();
+    stats_.finish_txn_micros.Record(fin_end - fin_start);
     health_.Observe(job.cluster, st);
     QUICK_RETURN_IF_ERROR(st);
     if (fenced) {
       stats_.leases_lost.Increment();
       stats_.terminal_fenced.Increment();
+      hooks_.Record(job.leased.item.id, stage::kFenced, fin_start, fin_end,
+                    "complete");
       return Status::OK();
     }
     stats_.items_processed.Increment();
     if (is_local) stats_.local_items_processed.Increment();
+    hooks_.Record(job.leased.item.id, stage::kCompleted, fin_start, fin_end,
+                  is_local ? "local" : "");
     return st;
   }
 
@@ -690,6 +740,7 @@ Status Consumer::FinishItem(const WorkerJob& job, const Status& final_status) {
   const int64_t delay =
       policy.BackoffForErrorCount(job.leased.item.error_count);
   bool fenced = false;
+  const int64_t fin_start = quick_->clock()->NowMicros();
   Status st = fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
     ck::QueueZone zone(&txn, job.zone_subspace, quick_->clock(),
                        job.fifo_zone);
@@ -703,13 +754,20 @@ Status Consumer::FinishItem(const WorkerJob& job, const Status& final_status) {
     fenced = false;
     return c;
   });
+  const int64_t fin_end = quick_->clock()->NowMicros();
+  stats_.finish_txn_micros.Record(fin_end - fin_start);
   QUICK_RETURN_IF_ERROR(st);
   if (fenced) {
     stats_.leases_lost.Increment();
     stats_.terminal_fenced.Increment();
+    hooks_.Record(job.leased.item.id, stage::kFenced, fin_start, fin_end,
+                  "requeue");
     return Status::OK();
   }
   stats_.items_requeued.Increment();
+  hooks_.Record(job.leased.item.id, stage::kRequeued, fin_start, fin_end,
+                "delay_ms=" + std::to_string(delay) +
+                    " errors=" + std::to_string(next_error_count));
   return st;
 }
 
@@ -732,6 +790,7 @@ Status Consumer::FinishTerminalFailure(const WorkerJob& job,
   }
 
   bool fenced = false;
+  const int64_t fin_start = quick_->clock()->NowMicros();
   Status st = fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
     ck::QueueZone zone(&txn, job.zone_subspace, quick_->clock(),
                        job.fifo_zone);
@@ -746,23 +805,31 @@ Status Consumer::FinishTerminalFailure(const WorkerJob& job,
     fenced = false;
     return c;
   });
+  const int64_t fin_end = quick_->clock()->NowMicros();
+  stats_.finish_txn_micros.Record(fin_end - fin_start);
   health_.Observe(job.cluster, st);
   QUICK_RETURN_IF_ERROR(st);
   if (fenced) {
     stats_.leases_lost.Increment();
     stats_.terminal_fenced.Increment();
+    hooks_.Record(job.leased.item.id, stage::kFenced, fin_start, fin_end,
+                  reason);
     return Status::OK();
   }
   if (policy.quarantine_on_failure) {
     stats_.items_quarantined.Increment();
     MetricsRegistry::Default()->GetCounter("quick.deadletter.quarantined")
         ->Increment();
+    hooks_.Record(job.leased.item.id, stage::kQuarantined, fin_start, fin_end,
+                  reason);
     RaiseAlert(Alert::Kind::kQuarantined, job, final_attempts,
                std::string(reason) + ": " + final_status.message());
   } else {
     stats_.items_dropped_permanent.Increment();
     MetricsRegistry::Default()->GetCounter("quick.deadletter.dropped_legacy")
         ->Increment();
+    hooks_.Record(job.leased.item.id, stage::kDropped, fin_start, fin_end,
+                  reason);
     RaiseAlert(legacy_kind, job, final_attempts, final_status.message());
   }
   return Status::OK();

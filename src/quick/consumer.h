@@ -19,6 +19,7 @@
 #include "quick/lease_cache.h"
 #include "quick/quick.h"
 #include "quick/stats.h"
+#include "quick/trace_hooks.h"
 
 namespace quick::core {
 
@@ -189,6 +190,9 @@ class Consumer {
   LeaseCache* election_;
   ConsumerStats stats_;
   ClusterHealth health_;
+  /// Span recorder bound to this consumer's id; captures quick_->tracer()
+  /// at construction (set_tracer is setup-time only).
+  TraceHooks hooks_;
   Random scanner_rng_;
 
   std::atomic<bool> running_{false};

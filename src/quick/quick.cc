@@ -2,6 +2,7 @@
 
 #include "common/random.h"
 #include "fdb/retry.h"
+#include "quick/trace_hooks.h"
 
 namespace quick::core {
 
@@ -106,6 +107,8 @@ Result<std::string> Quick::Enqueue(const ck::DatabaseId& db_id,
                                    const WorkItem& item,
                                    int64_t vesting_delay_millis) {
   const ck::DatabaseRef db = ck_->OpenDatabase(db_id);
+  const TraceHooks hooks(tracer_, clock(), "producer");
+  const int64_t start_micros = hooks.enabled() ? hooks.NowMicros() : 0;
   std::string item_id;
   EnqueueFollowUp follow_up;
   Status st = fdb::RunTransaction(db.cluster, [&](fdb::Transaction& txn) {
@@ -116,6 +119,19 @@ Result<std::string> Quick::Enqueue(const ck::DatabaseId& db_id,
     return Status::OK();
   });
   QUICK_RETURN_IF_ERROR(st);
+  // Enqueue-commit span: the trace id is the item id EnqueueInTransaction
+  // assigned; spans are recorded only for committed enqueues (an aborted
+  // client transaction never produced an item).
+  if (hooks.enabled()) {
+    hooks.Record(item_id, stage::kEnqueued, start_micros, hooks.NowMicros(),
+                 "db=" + db_id.ToString() +
+                     " delay_ms=" + std::to_string(vesting_delay_millis));
+    if (!follow_up.pointer_existed) {
+      hooks.Record(follow_up.pointer.Key(), stage::kPointerCreated,
+                   start_micros, hooks.NowMicros(), std::string(),
+                   /*parent=*/item_id);
+    }
+  }
   ExecuteFollowUp(db, follow_up);
   return item_id;
 }
@@ -124,6 +140,8 @@ Result<std::vector<std::string>> Quick::EnqueueBatch(
     const ck::DatabaseId& db_id, const std::vector<WorkItem>& items,
     int64_t vesting_delay_millis) {
   const ck::DatabaseRef db = ck_->OpenDatabase(db_id);
+  const TraceHooks hooks(tracer_, clock(), "producer");
+  const int64_t start_micros = hooks.enabled() ? hooks.NowMicros() : 0;
   std::vector<std::string> ids;
   EnqueueFollowUp follow_up;
   Status st = fdb::RunTransaction(db.cluster, [&](fdb::Transaction& txn) {
@@ -141,6 +159,20 @@ Result<std::vector<std::string>> Quick::EnqueueBatch(
     return Status::OK();
   });
   QUICK_RETURN_IF_ERROR(st);
+  if (hooks.enabled()) {
+    const int64_t end_micros = hooks.NowMicros();
+    for (const std::string& id : ids) {
+      hooks.Record(id, stage::kEnqueued, start_micros, end_micros,
+                   "db=" + db_id.ToString() + " batch=" +
+                       std::to_string(ids.size()) +
+                       " delay_ms=" + std::to_string(vesting_delay_millis));
+    }
+    if (!follow_up.pointer_existed && !ids.empty()) {
+      hooks.Record(follow_up.pointer.Key(), stage::kPointerCreated,
+                   start_micros, end_micros, std::string(),
+                   /*parent=*/ids.front());
+    }
+  }
   ExecuteFollowUp(db, follow_up);
   return ids;
 }
@@ -155,6 +187,8 @@ Result<std::string> Quick::EnqueueLocal(const std::string& cluster_name,
   // The shard is derived from the item id, so pick the id up front.
   const std::string local_id =
       item.id.empty() ? Random::ThreadLocal().NextUuid() : item.id;
+  const TraceHooks hooks(tracer_, clock(), "producer");
+  const int64_t start_micros = hooks.enabled() ? hooks.NowMicros() : 0;
   std::string item_id;
   Status st =
       fdb::RunTransaction(cluster_db.cluster, [&](fdb::Transaction& txn) {
@@ -171,6 +205,11 @@ Result<std::string> Quick::EnqueueLocal(const std::string& cluster_name,
         return Status::OK();
       });
   QUICK_RETURN_IF_ERROR(st);
+  if (hooks.enabled()) {
+    hooks.Record(item_id, stage::kEnqueued, start_micros, hooks.NowMicros(),
+                 "local cluster=" + cluster_name +
+                     " delay_ms=" + std::to_string(vesting_delay_millis));
+  }
   return item_id;
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "cloudkit/service.h"
+#include "common/trace.h"
 #include "quick/config.h"
 #include "quick/pointer.h"
 
@@ -155,10 +156,20 @@ class Quick {
   const QuickConfig& config() const { return config_; }
   Clock* clock() const { return ck_->clock(); }
 
+  /// Item-lifecycle span store. Producers record the enqueue-commit span
+  /// here; consumers created over this Quick record the rest of the
+  /// chain. Defaults to the process-wide Tracer::Default() (disabled
+  /// unless QUICK_TRACE is set).
+  Tracer* tracer() const { return tracer_; }
+  /// Not thread-safe; call during setup, before creating consumers (they
+  /// capture the tracer at construction).
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
  private:
   ck::CloudKitService* ck_;
   QuickConfig config_;
   FrontOfQueueNotifier notifier_;
+  Tracer* tracer_ = Tracer::Default();
 };
 
 }  // namespace quick::core

@@ -55,6 +55,17 @@ struct ConsumerStats {
   /// Handler execution time.
   Histogram item_exec_micros;
 
+  // Per-stage pipeline latencies (Algorithm 1/2/3 hot-path transactions),
+  // so a perf regression can be pinned to the stage that moved.
+  /// Scanner peek+select phase of one cluster pass.
+  Histogram scan_micros;
+  /// Obtain-lease transaction (LeaseTopItem), success or collision.
+  Histogram lease_txn_micros;
+  /// Batch-dequeue transaction of a pointed-to queue zone.
+  Histogram dequeue_txn_micros;
+  /// Transition out of processing: complete/requeue/quarantine commit.
+  Histogram finish_txn_micros;
+
   /// Multi-line operator report with every counter and latency summary.
   std::string FullReport() const {
     std::string out;
@@ -84,7 +95,54 @@ struct ConsumerStats {
     out += "pointer_latency_us : " + pointer_latency_micros.Summary() + "\n";
     out += "item_latency_us : " + item_latency_micros.Summary() + "\n";
     out += "item_exec_us : " + item_exec_micros.Summary() + "\n";
+    out += "scan_us : " + scan_micros.Summary() + "\n";
+    out += "lease_txn_us : " + lease_txn_micros.Summary() + "\n";
+    out += "dequeue_txn_us : " + dequeue_txn_micros.Summary() + "\n";
+    out += "finish_txn_us : " + finish_txn_micros.Summary() + "\n";
     return out;
+  }
+
+  /// Publishes every counter (as a gauge — the registry value mirrors this
+  /// struct, it does not accumulate) and latency histogram into `registry`
+  /// under `prefix` (e.g. "quick.consumer"), so the exporters and the
+  /// bench reports can read consumer state in one place. Idempotent:
+  /// calling again overwrites gauges and republishes histograms.
+  void PublishTo(MetricsRegistry* registry, const std::string& prefix) const {
+    auto gauge = [&](const char* name, const Counter& c) {
+      registry->GetGauge(prefix + "." + name)->Set(c.Value());
+    };
+    gauge("items_dequeued", items_dequeued);
+    gauge("items_processed", items_processed);
+    gauge("items_failed_attempts", items_failed_attempts);
+    gauge("items_requeued", items_requeued);
+    gauge("items_dropped_permanent", items_dropped_permanent);
+    gauge("items_quarantined", items_quarantined);
+    gauge("terminal_fenced", terminal_fenced);
+    gauge("items_throttled", items_throttled);
+    gauge("local_items_processed", local_items_processed);
+    gauge("pointer_lease_attempts", pointer_lease_attempts);
+    gauge("pointer_leases_acquired", pointer_leases_acquired);
+    gauge("lease_collisions_read", lease_collisions_read);
+    gauge("lease_collisions_commit", lease_collisions_commit);
+    gauge("pointers_requeued", pointers_requeued);
+    gauge("pointers_deleted", pointers_deleted);
+    gauge("pointer_gc_aborted", pointer_gc_aborted);
+    gauge("scans", scans);
+    gauge("scans_skipped_breaker", scans_skipped_breaker);
+    gauge("lease_extensions", lease_extensions);
+    gauge("leases_lost", leases_lost);
+    auto hist = [&](const char* name, const Histogram& h) {
+      Histogram* out = registry->GetHistogram(prefix + "." + name);
+      out->Reset();
+      out->Merge(h);
+    };
+    hist("pointer_latency_us", pointer_latency_micros);
+    hist("item_latency_us", item_latency_micros);
+    hist("item_exec_us", item_exec_micros);
+    hist("scan_us", scan_micros);
+    hist("lease_txn_us", lease_txn_micros);
+    hist("dequeue_txn_us", dequeue_txn_micros);
+    hist("finish_txn_us", finish_txn_micros);
   }
 
   /// One-line summary for logs.

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
 
 namespace quick {
@@ -76,6 +77,156 @@ TEST(MetricsTest, ConcurrentGetAndIncrement) {
   }
   for (auto& t : threads) t.join();
   EXPECT_EQ(registry.GetCounter("shared")->Value(), 8000);
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  MetricsRegistry registry;
+  Gauge* g = registry.GetGauge("depth");
+  EXPECT_EQ(g->Value(), 0);
+  g->Set(7);
+  EXPECT_EQ(g->Value(), 7);
+  g->Add(-2);
+  EXPECT_EQ(g->Value(), 5);
+  g->Set(3);  // last write wins, no accumulation
+  EXPECT_EQ(registry.GetGauge("depth")->Value(), 3);
+}
+
+TEST(MetricsTest, CounterTakeDrains) {
+  Counter c;
+  c.Increment(42);
+  EXPECT_EQ(c.Take(), 42);
+  EXPECT_EQ(c.Value(), 0);
+  EXPECT_EQ(c.Take(), 0);
+}
+
+TEST(MetricsTest, HistogramSnapshotSortedWithStats) {
+  MetricsRegistry registry;
+  registry.GetHistogram("b.lat")->Record(100);
+  registry.GetHistogram("a.lat")->Record(10);
+  registry.GetHistogram("a.lat")->Record(30);
+  auto snap = registry.HistogramSnapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].first, "a.lat");
+  EXPECT_EQ(snap[0].second.count, 2);
+  EXPECT_EQ(snap[0].second.sum, 40);
+  EXPECT_EQ(snap[1].first, "b.lat");
+  EXPECT_EQ(snap[1].second.count, 1);
+}
+
+TEST(MetricsTest, SnapshotCapturesAllThreeKinds) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Increment(3);
+  registry.GetGauge("g")->Set(-5);
+  registry.GetHistogram("h")->Record(12);
+  MetricsSnapshot snap = registry.Snapshot();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].second, 3);
+  ASSERT_EQ(snap.gauges.size(), 1u);
+  EXPECT_EQ(snap.gauges[0].second, -5);
+  ASSERT_EQ(snap.histograms.size(), 1u);
+  EXPECT_EQ(snap.histograms[0].second.count, 1);
+  // Snapshot() does not reset.
+  EXPECT_EQ(registry.GetCounter("c")->Value(), 3);
+}
+
+TEST(MetricsTest, SnapshotAndResetDrains) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Increment(9);
+  registry.GetHistogram("h")->Record(1);
+  MetricsSnapshot snap = registry.SnapshotAndReset();
+  ASSERT_EQ(snap.counters.size(), 1u);
+  EXPECT_EQ(snap.counters[0].second, 9);
+  EXPECT_EQ(snap.histograms[0].second.count, 1);
+  EXPECT_EQ(registry.GetCounter("c")->Value(), 0);
+  EXPECT_EQ(registry.GetHistogram("h")->Count(), 0);
+}
+
+TEST(MetricsTest, SnapshotAndResetLosesNoIncrementsUnderConcurrency) {
+  // The scrape-epoch contract: with writers racing periodic
+  // SnapshotAndReset() scrapes, every increment lands in exactly one
+  // epoch — sum(scrapes) + residue == total written.
+  MetricsRegistry registry;
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 20000;
+  std::atomic<bool> done{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&registry] {
+      for (int i = 0; i < kIncrements; ++i) {
+        registry.GetCounter("racy")->Increment();
+      }
+    });
+  }
+  int64_t scraped = 0;
+  std::thread scraper([&] {
+    while (!done.load()) {
+      for (const auto& [name, value] : registry.SnapshotAndReset().counters) {
+        if (name == "racy") scraped += value;
+      }
+    }
+  });
+  for (auto& t : writers) t.join();
+  done.store(true);
+  scraper.join();
+  scraped += registry.GetCounter("racy")->Take();
+  EXPECT_EQ(scraped, int64_t{kThreads} * kIncrements);
+}
+
+TEST(MetricsTest, PrometheusExportSanitizesNamesAndEmitsQuantiles) {
+  MetricsRegistry registry;
+  registry.GetCounter("quick.enqueues")->Increment(3);
+  registry.GetGauge("quick.depth")->Set(11);
+  for (int i = 1; i <= 100; ++i) {
+    registry.GetHistogram("ck.lat.us")->Record(i);
+  }
+  std::string text = registry.ExportPrometheusText();
+  // Dots become underscores; counters/gauges are single samples.
+  EXPECT_NE(text.find("# TYPE quick_enqueues counter"), std::string::npos);
+  EXPECT_NE(text.find("quick_enqueues 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE quick_depth gauge"), std::string::npos);
+  EXPECT_NE(text.find("quick_depth 11"), std::string::npos);
+  // Histograms export as summaries with quantile labels plus _sum/_count.
+  EXPECT_NE(text.find("# TYPE ck_lat_us summary"), std::string::npos);
+  EXPECT_NE(text.find("ck_lat_us{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("ck_lat_us{quantile=\"0.999\"}"), std::string::npos);
+  EXPECT_NE(text.find("ck_lat_us_count 100"), std::string::npos);
+  EXPECT_NE(text.find("ck_lat_us_sum 5050"), std::string::npos);
+  // No raw dotted names survive.
+  EXPECT_EQ(text.find("quick.enqueues"), std::string::npos);
+}
+
+// Pulls `"key":<number>` out of a flat JSON object chunk — enough of a
+// parser to round-trip the exporter's own output.
+int64_t JsonInt(const std::string& json, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t at = json.find(needle);
+  EXPECT_NE(at, std::string::npos) << "missing " << key << " in " << json;
+  if (at == std::string::npos) return -1;
+  return std::stoll(json.substr(at + needle.size()));
+}
+
+TEST(MetricsTest, JsonExportRoundTripsSnapshot) {
+  MetricsRegistry registry;
+  registry.GetCounter("quick.enqueues")->Increment(17);
+  registry.GetGauge("quick.consumer.depth")->Set(4);
+  registry.GetHistogram("lat")->Record(10);
+  registry.GetHistogram("lat")->Record(20);
+  std::string json = registry.ExportJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+  EXPECT_EQ(JsonInt(json, "quick.enqueues"), 17);
+  EXPECT_EQ(JsonInt(json, "quick.consumer.depth"), 4);
+  const size_t lat = json.find("\"lat\":{");
+  ASSERT_NE(lat, std::string::npos);
+  const std::string lat_obj = json.substr(lat);
+  EXPECT_EQ(JsonInt(lat_obj, "count"), 2);
+  EXPECT_EQ(JsonInt(lat_obj, "sum"), 30);
+}
+
+TEST(MetricsTest, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(JsonEscape("line\nbreak\ttab"), "line\\nbreak\\ttab");
 }
 
 }  // namespace

@@ -1,0 +1,189 @@
+#include "common/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace quick {
+namespace {
+
+Span MakeSpan(const std::string& trace_id, const std::string& name,
+              int64_t start = 0, int64_t end = 0) {
+  Span span;
+  span.trace_id = trace_id;
+  span.name = name;
+  span.actor = "test";
+  span.start_micros = start;
+  span.end_micros = end;
+  return span;
+}
+
+TEST(TracerTest, RecordAndQueryRoundTrip) {
+  Tracer tracer;
+  Span span = MakeSpan("item-1", "enqueued", 10, 20);
+  span.detail = "db=x";
+  span.parent_trace = "pointer-1";
+  tracer.Record(span);
+  tracer.Record(MakeSpan("item-1", "completed", 30, 40));
+  tracer.Record(MakeSpan("item-2", "enqueued"));
+
+  EXPECT_TRUE(tracer.Has("item-1"));
+  EXPECT_TRUE(tracer.Has("item-2"));
+  EXPECT_FALSE(tracer.Has("item-3"));
+  EXPECT_EQ(tracer.TraceCount(), 2u);
+  EXPECT_EQ(tracer.SpanCount(), 3u);
+
+  std::vector<Span> chain = tracer.TraceOf("item-1");
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0].name, "enqueued");
+  EXPECT_EQ(chain[0].actor, "test");
+  EXPECT_EQ(chain[0].detail, "db=x");
+  EXPECT_EQ(chain[0].parent_trace, "pointer-1");
+  EXPECT_EQ(chain[0].start_micros, 10);
+  EXPECT_EQ(chain[0].end_micros, 20);
+  EXPECT_EQ(chain[1].name, "completed");
+  EXPECT_TRUE(tracer.TraceOf("unknown").empty());
+}
+
+TEST(TracerTest, SeqReflectsGlobalRecordOrder) {
+  Tracer tracer;
+  // Interleave two chains; seq must be store-global and strictly
+  // increasing in record order, so cross-chain ordering is recoverable.
+  tracer.Record(MakeSpan("a", "s1"));
+  tracer.Record(MakeSpan("b", "s2"));
+  tracer.Record(MakeSpan("a", "s3"));
+  tracer.Record(MakeSpan("b", "s4"));
+
+  std::vector<Span> a = tracer.TraceOf("a");
+  std::vector<Span> b = tracer.TraceOf("b");
+  ASSERT_EQ(a.size(), 2u);
+  ASSERT_EQ(b.size(), 2u);
+  EXPECT_LT(a[0].seq, b[0].seq);
+  EXPECT_LT(b[0].seq, a[1].seq);
+  EXPECT_LT(a[1].seq, b[1].seq);
+}
+
+TEST(TracerTest, TraceIdsSorted) {
+  Tracer tracer;
+  tracer.Record(MakeSpan("c", "s"));
+  tracer.Record(MakeSpan("a", "s"));
+  tracer.Record(MakeSpan("b", "s"));
+  EXPECT_EQ(tracer.TraceIds(),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(TracerTest, EvictsLeastRecentlyUpdatedChain) {
+  Tracer::Options options;
+  options.max_traces = 2;
+  options.shards = 1;  // deterministic: all chains share one LRU
+  Tracer tracer(options);
+  tracer.Record(MakeSpan("a", "s"));
+  tracer.Record(MakeSpan("b", "s"));
+  tracer.Record(MakeSpan("c", "s"));  // evicts a (least recently updated)
+
+  EXPECT_FALSE(tracer.Has("a"));
+  EXPECT_TRUE(tracer.Has("b"));
+  EXPECT_TRUE(tracer.Has("c"));
+  EXPECT_EQ(tracer.TraceCount(), 2u);
+  EXPECT_EQ(tracer.EvictedTraces(), 1u);
+}
+
+TEST(TracerTest, RecordingTouchesChainSoActiveChainsSurvive) {
+  Tracer::Options options;
+  options.max_traces = 2;
+  options.shards = 1;
+  Tracer tracer(options);
+  tracer.Record(MakeSpan("a", "s1"));
+  tracer.Record(MakeSpan("b", "s1"));
+  tracer.Record(MakeSpan("a", "s2"));  // a becomes most recently updated
+  tracer.Record(MakeSpan("c", "s1"));  // evicts b, not the active a
+
+  EXPECT_TRUE(tracer.Has("a"));
+  EXPECT_FALSE(tracer.Has("b"));
+  EXPECT_TRUE(tracer.Has("c"));
+}
+
+TEST(TracerTest, PerChainSpanCapDropsExcessSpans) {
+  Tracer::Options options;
+  options.max_spans_per_trace = 2;
+  Tracer tracer(options);
+  tracer.Record(MakeSpan("a", "s1"));
+  tracer.Record(MakeSpan("a", "s2"));
+  tracer.Record(MakeSpan("a", "s3"));  // over the cap: dropped
+
+  std::vector<Span> chain = tracer.TraceOf("a");
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0].name, "s1");
+  EXPECT_EQ(chain[1].name, "s2");
+  EXPECT_EQ(tracer.DroppedSpans(), 1u);
+  EXPECT_EQ(tracer.SpanCount(), 2u);
+}
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer::Options options;
+  options.enabled = false;
+  Tracer tracer(options);
+  EXPECT_FALSE(tracer.enabled());
+  tracer.Record(MakeSpan("a", "s"));
+  EXPECT_EQ(tracer.TraceCount(), 0u);
+  EXPECT_EQ(tracer.SpanCount(), 0u);
+
+  tracer.set_enabled(true);
+  tracer.Record(MakeSpan("a", "s"));
+  EXPECT_EQ(tracer.SpanCount(), 1u);
+}
+
+TEST(TracerTest, ClearDropsChainsButSeqKeepsAdvancing) {
+  Tracer tracer;
+  tracer.Record(MakeSpan("a", "s"));
+  const uint64_t seq_before = tracer.TraceOf("a")[0].seq;
+  tracer.Clear();
+  EXPECT_EQ(tracer.TraceCount(), 0u);
+  EXPECT_EQ(tracer.SpanCount(), 0u);
+  EXPECT_EQ(tracer.EvictedTraces(), 0u);
+  EXPECT_EQ(tracer.DroppedSpans(), 0u);
+
+  tracer.Record(MakeSpan("a", "s"));
+  EXPECT_GT(tracer.TraceOf("a")[0].seq, seq_before);
+}
+
+TEST(TracerTest, ConcurrentRecordingKeepsEveryChainOrdered) {
+  Tracer tracer;
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer, t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        // Chains are shared across threads: every thread appends to the
+        // same 16 trace ids.
+        tracer.Record(MakeSpan("item-" + std::to_string(i % 16),
+                               "t" + std::to_string(t), i, i + 1));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  EXPECT_EQ(tracer.SpanCount(),
+            static_cast<size_t>(kThreads * kSpansPerThread));
+  EXPECT_EQ(tracer.TraceCount(), 16u);
+  EXPECT_EQ(tracer.EvictedTraces(), 0u);
+  EXPECT_EQ(tracer.DroppedSpans(), 0u);
+  std::set<uint64_t> seqs;
+  for (const std::string& id : tracer.TraceIds()) {
+    std::vector<Span> chain = tracer.TraceOf(id);
+    for (size_t i = 1; i < chain.size(); ++i) {
+      EXPECT_LT(chain[i - 1].seq, chain[i].seq) << "chain " << id;
+    }
+    for (const Span& span : chain) seqs.insert(span.seq);
+  }
+  // Seqs are store-global and unique.
+  EXPECT_EQ(seqs.size(), static_cast<size_t>(kThreads * kSpansPerThread));
+}
+
+}  // namespace
+}  // namespace quick

@@ -18,12 +18,17 @@
 #include <gtest/gtest.h>
 
 #include <map>
+#include <memory>
 #include <set>
+#include <string>
+#include <vector>
 
 #include "common/random.h"
+#include "common/trace.h"
 #include "fdb/retry.h"
 #include "quick/admin.h"
 #include "quick/consumer.h"
+#include "quick/trace_hooks.h"
 
 namespace quick::core {
 namespace {
@@ -253,6 +258,239 @@ TEST_P(ChaosTest, InvariantsHoldUnderRandomInterleavings) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ChaosTest,
+                         ::testing::Values(1, 7, 42, 1234, 20260705));
+
+// Span-chain completeness under chaos: randomized enqueues (healthy,
+// transiently flaky, and poison items), a consumer crash with a takeover
+// replacement, a scheduled cluster outage, and probabilistic commit
+// failures — then, after the system drains to empty queues and empty
+// quarantines, every client-confirmed enqueue must have a complete trace:
+//   - the chain starts with a birth span (enqueued);
+//   - split at birth spans (operator dead-letter requeues open new
+//     incarnations), every incarnation ends in exactly one terminal span
+//     (completed/quarantined/dropped), recorded by whichever consumer's
+//     transition actually committed — crashes and fences never double- or
+//     zero-count a terminal;
+//   - every dequeue span links to a live pointer chain;
+//   - the span store dropped and evicted nothing.
+// Unknown-result faults are deliberately excluded: under those a consumer
+// can see an error for a transition that landed, so the true terminal
+// span is legitimately missing (the chain ends on a fence instead) and
+// exactly-one-terminal is not a theorem.
+class SpanChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SpanChaosTest, EveryIncarnationEndsInExactlyOneTerminalSpan) {
+  const uint64_t seed = GetParam();
+  Random rng(seed);
+  ManualClock clock(1000000);
+
+  fdb::Database::Options base;
+  base.clock = &clock;
+  base.faults.commit_unavailable = 0.02;
+  base.faults.seed = seed;
+  fdb::ClusterSet clusters(base);
+  fdb::Database::Options c1_opts = base;
+  c1_opts.fault_plan.Add(fdb::FaultWindow::Outage(1004000, 1007000));
+  clusters.AddCluster("c1", c1_opts);
+  clusters.AddCluster("c2");
+  ck::CloudKitService cloudkit(&clusters, &clock);
+  Quick quick(&cloudkit);
+
+  // A span store big enough that nothing is evicted or dropped — the
+  // completeness property needs every chain intact.
+  Tracer::Options topts;
+  topts.max_traces = 1 << 16;
+  topts.max_spans_per_trace = 1 << 12;
+  Tracer tracer(topts);
+  quick.set_tracer(&tracer);  // before consumers capture it
+
+  std::set<std::string> executed;
+  std::map<std::string, int> flaky_attempts;
+  bool healed = false;
+  JobRegistry registry;
+  registry.Register("chaos", [&](WorkContext& ctx) {
+    executed.insert(ctx.item.id);
+    return Status::OK();
+  });
+  RetryPolicy flaky_policy;
+  flaky_policy.max_inline_retries = 0;
+  flaky_policy.max_attempts = 100;
+  flaky_policy.backoff_initial_millis = 50;
+  registry.Register(
+      "flaky",
+      [&](WorkContext& ctx) {
+        if (flaky_attempts[ctx.item.id]++ == 0) {
+          return Status::Unavailable("first attempt flaps");
+        }
+        executed.insert(ctx.item.id);
+        return Status::OK();
+      },
+      flaky_policy);
+  registry.Register("poison", [&](WorkContext& ctx) {
+    if (!healed) return Status::Permanent("poison");
+    executed.insert(ctx.item.id);
+    return Status::OK();
+  });
+
+  ConsumerConfig config;
+  config.sequential = true;
+  config.relaxed_reads_for_peek = false;
+  config.dequeue_max = 2;
+  config.pointer_lease_millis = 500;
+  config.item_lease_millis = 1000;
+  config.min_inactive_millis = 2000;
+  std::vector<std::unique_ptr<Consumer>> consumers;
+  for (int i = 0; i < 2; ++i) {
+    consumers.push_back(std::make_unique<Consumer>(
+        &quick, std::vector<std::string>{"c1", "c2"}, &registry, config,
+        "chaos-consumer-" + std::to_string(i)));
+  }
+
+  constexpr int kTenants = 6;
+  auto tenant = [&](int i) {
+    return ck::DatabaseId::Private("span-app", "user" + std::to_string(i));
+  };
+  std::set<std::string> enqueued;
+
+  for (int step = 0; step < 300; ++step) {
+    if (step == 150) {
+      // Crash/takeover: consumer 0 freezes mid-lease (its pointer and
+      // item leases are abandoned and expire); a replacement joins.
+      consumers[0]->SimulateCrash();
+      consumers.push_back(std::make_unique<Consumer>(
+          &quick, std::vector<std::string>{"c1", "c2"}, &registry, config,
+          "chaos-consumer-2"));
+    }
+    const uint64_t action = rng.Uniform(100);
+    if (action < 45) {
+      WorkItem item;
+      const uint64_t kind = rng.Uniform(100);
+      item.job_type = kind < 70 ? "chaos" : (kind < 85 ? "flaky" : "poison");
+      const int64_t delay =
+          rng.Bernoulli(0.3) ? static_cast<int64_t>(rng.Uniform(2000)) : 0;
+      auto id = quick.Enqueue(tenant(static_cast<int>(rng.Uniform(kTenants))),
+                              item, delay);
+      if (id.ok()) enqueued.insert(*id);
+    } else if (action < 85) {
+      Consumer& c = *consumers[rng.Uniform(consumers.size())];
+      if (!c.crashed()) {
+        (void)c.RunOnePass(rng.Bernoulli(0.5) ? "c1" : "c2");
+      }
+    } else {
+      clock.AdvanceMillis(1 + static_cast<int64_t>(rng.Uniform(600)));
+    }
+  }
+  ASSERT_FALSE(enqueued.empty());
+
+  // Let the outage window expire, then drain: everything executes or
+  // lands in a quarantine.
+  if (clock.NowMillis() <= 1007000) {
+    clock.AdvanceMillis(1007000 - clock.NowMillis() + 1);
+  }
+  QuickAdmin admin(&quick);
+  auto dead_lettered = [&]() -> std::set<std::string> {
+    std::set<std::string> dl;
+    for (int i = 0; i < kTenants; ++i) {
+      for (int tries = 0; tries < 10; ++tries) {
+        auto items = admin.ListDeadLetters(tenant(i));
+        if (!items.ok()) continue;
+        for (const ck::DeadLetterItem& item : *items) dl.insert(item.id);
+        break;
+      }
+    }
+    return dl;
+  };
+  auto run_all = [&] {
+    for (auto& c : consumers) {
+      if (c->crashed()) continue;
+      (void)c->RunOnePass("c1");
+      (void)c->RunOnePass("c2");
+    }
+  };
+  auto all_accounted = [&] {
+    const std::set<std::string> dl = dead_lettered();
+    for (const std::string& id : enqueued) {
+      if (!executed.count(id) && !dl.count(id)) return false;
+    }
+    return true;
+  };
+  for (int round = 0; round < 300 && !all_accounted(); ++round) {
+    clock.AdvanceMillis(400);
+    run_all();
+  }
+  ASSERT_TRUE(all_accounted());
+
+  // Heal the poison handler and requeue every dead letter; requeued items
+  // open a second incarnation that must complete.
+  healed = true;
+  for (int round = 0; round < 50 && !dead_lettered().empty(); ++round) {
+    for (int i = 0; i < kTenants; ++i) {
+      (void)admin.RequeueAllDeadLetters(tenant(i));
+    }
+    clock.AdvanceMillis(400);
+    run_all();
+  }
+  ASSERT_TRUE(dead_lettered().empty());
+
+  // Drain to empty top-level queues: only then has every item's terminal
+  // transition actually committed (a completed handler whose commit kept
+  // failing would otherwise still hold a span-less lease).
+  for (int round = 0; round < 60; ++round) {
+    clock.AdvanceMillis(1000);
+    run_all();
+  }
+  ASSERT_EQ(quick.TopLevelCount("c1").value_or(-1), 0);
+  ASSERT_EQ(quick.TopLevelCount("c2").value_or(-1), 0);
+
+  // --- The completeness property. ---
+  EXPECT_EQ(tracer.EvictedTraces(), 0u);
+  EXPECT_EQ(tracer.DroppedSpans(), 0u);
+  for (const std::string& id : enqueued) {
+    const std::vector<Span> chain = tracer.TraceOf(id);
+    ASSERT_FALSE(chain.empty()) << "no trace for enqueued item " << id;
+    EXPECT_TRUE(IsBirthStage(chain.front().name))
+        << "chain of " << id << " starts with " << chain.front().name;
+
+    std::vector<std::vector<const Span*>> incarnations;
+    for (const Span& span : chain) {
+      if (IsBirthStage(span.name) || incarnations.empty()) {
+        incarnations.emplace_back();
+      }
+      incarnations.back().push_back(&span);
+    }
+    for (size_t i = 0; i < incarnations.size(); ++i) {
+      int terminals = 0;
+      for (const Span* span : incarnations[i]) {
+        if (IsTerminalStage(span->name)) ++terminals;
+      }
+      EXPECT_EQ(terminals, 1)
+          << "item " << id << " incarnation " << i << " has " << terminals
+          << " terminal spans";
+      EXPECT_TRUE(IsTerminalStage(incarnations[i].back()->name))
+          << "item " << id << " incarnation " << i << " ends on "
+          << incarnations[i].back()->name;
+    }
+
+    if (executed.count(id)) {
+      bool has_execute = false;
+      for (const Span& span : chain) {
+        if (span.name == stage::kExecute) has_execute = true;
+      }
+      EXPECT_TRUE(has_execute) << "executed item " << id << " has no "
+                               << "execute span";
+    }
+    for (const Span& span : chain) {
+      if (span.name == stage::kDequeued) {
+        EXPECT_FALSE(span.parent_trace.empty());
+        EXPECT_TRUE(tracer.Has(span.parent_trace))
+            << "dequeue of " << id << " links to unknown pointer trace "
+            << span.parent_trace;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SpanChaosTest,
                          ::testing::Values(1, 7, 42, 1234, 20260705));
 
 }  // namespace

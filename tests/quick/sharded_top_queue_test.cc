@@ -80,7 +80,7 @@ TEST_F(ShardedTopQueueTest, PointersSpreadAcrossShards) {
   EXPECT_GE(used_shards.size(), 3u);
   // TopLevelCount sums across shards.
   int64_t total = 0;
-  for (const std::string& cluster : {"c1", "c2"}) {
+  for (const char* cluster : {"c1", "c2"}) {
     total += quick_->TopLevelCount(cluster).value_or(0);
   }
   EXPECT_EQ(total, 40);
@@ -125,7 +125,7 @@ TEST_F(ShardedTopQueueTest, AdminSeesAllShards) {
   }
   QuickAdmin admin(quick_.get());
   int64_t pointers = 0;
-  for (const std::string& cluster : {"c1", "c2"}) {
+  for (const char* cluster : {"c1", "c2"}) {
     auto info = admin.InspectCluster(cluster);
     ASSERT_TRUE(info.ok());
     pointers += info->pointers;

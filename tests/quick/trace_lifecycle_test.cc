@@ -1,0 +1,238 @@
+// Item-lifecycle tracing end-to-end: a Quick + Consumer driven
+// synchronously over a custom Tracer, asserting the exact span chains the
+// observability layer promises — birth at the producer, dequeue linked to
+// the pointer chain, handler attempts, and exactly one terminal stage per
+// incarnation (DESIGN.md "Observability").
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/trace.h"
+#include "fdb/retry.h"
+#include "quick/admin.h"
+#include "quick/consumer.h"
+#include "quick/trace_hooks.h"
+
+namespace quick::core {
+namespace {
+
+class TraceLifecycleTest : public ::testing::Test {
+ protected:
+  TraceLifecycleTest() {
+    fdb::Database::Options opts;
+    opts.clock = &clock_;
+    clusters_ = std::make_unique<fdb::ClusterSet>(opts);
+    clusters_->AddCluster("c1");
+    ck_ = std::make_unique<ck::CloudKitService>(clusters_.get(), &clock_);
+    quick_ = std::make_unique<Quick>(ck_.get());
+    quick_->set_tracer(&tracer_);  // before any consumer captures it
+
+    registry_.Register("ok_job",
+                       [](WorkContext&) { return Status::OK(); });
+  }
+
+  Consumer MakeConsumer(ConsumerConfig config = {}) {
+    config.sequential = true;
+    config.relaxed_reads_for_peek = false;
+    return Consumer(quick_.get(), {"c1"}, &registry_, config,
+                    "test-consumer");
+  }
+
+  std::string MustEnqueue(const ck::DatabaseId& db, const std::string& type,
+                          int64_t delay = 0) {
+    WorkItem item;
+    item.job_type = type;
+    item.payload = "p";
+    auto id = quick_->Enqueue(db, item, delay);
+    EXPECT_TRUE(id.ok()) << id.status();
+    return id.value_or("");
+  }
+
+  std::vector<std::string> StageNames(const std::string& trace_id) {
+    std::vector<std::string> names;
+    for (const Span& span : tracer_.TraceOf(trace_id)) {
+      names.push_back(span.name);
+    }
+    return names;
+  }
+
+  ManualClock clock_{1000000};
+  Tracer tracer_;
+  std::unique_ptr<fdb::ClusterSet> clusters_;
+  std::unique_ptr<ck::CloudKitService> ck_;
+  std::unique_ptr<Quick> quick_;
+  JobRegistry registry_;
+};
+
+TEST_F(TraceLifecycleTest, HappyPathChainHasExactStages) {
+  const ck::DatabaseId db = ck::DatabaseId::Private("app", "u1");
+  Consumer consumer = MakeConsumer();
+  const std::string id = MustEnqueue(db, "ok_job");
+  ASSERT_TRUE(consumer.RunOnePass("c1").ok());
+
+  EXPECT_EQ(StageNames(id),
+            (std::vector<std::string>{stage::kEnqueued, stage::kDequeued,
+                                      stage::kExecute, stage::kCompleted}));
+  std::vector<Span> chain = tracer_.TraceOf(id);
+  EXPECT_EQ(chain[0].actor, "producer");
+  for (size_t i = 1; i < chain.size(); ++i) {
+    EXPECT_EQ(chain[i].actor, "test-consumer");
+  }
+  EXPECT_NE(chain[0].detail.find("db="), std::string::npos);
+  EXPECT_NE(chain[2].detail.find("attempt=0"), std::string::npos);
+  EXPECT_NE(chain[2].detail.find("status=OK"), std::string::npos);
+
+  // The dequeue span links the item to the pointer chain whose lease
+  // caused it; that chain was born at the producer and leased here.
+  const std::string pointer_key = chain[1].parent_trace;
+  ASSERT_FALSE(pointer_key.empty());
+  ASSERT_TRUE(tracer_.Has(pointer_key));
+  std::vector<std::string> pointer_stages = StageNames(pointer_key);
+  EXPECT_EQ(pointer_stages[0], stage::kPointerCreated);
+  EXPECT_NE(std::find(pointer_stages.begin(), pointer_stages.end(),
+                      stage::kTopLeased),
+            pointer_stages.end());
+  // And the pointer chain points back at the enqueue that created it.
+  EXPECT_EQ(tracer_.TraceOf(pointer_key)[0].parent_trace, id);
+}
+
+TEST_F(TraceLifecycleTest, PerStageHistogramsObserveThePass) {
+  const ck::DatabaseId db = ck::DatabaseId::Private("app", "u1");
+  Consumer consumer = MakeConsumer();
+  MustEnqueue(db, "ok_job");
+  ASSERT_TRUE(consumer.RunOnePass("c1").ok());
+  EXPECT_GT(consumer.stats().scan_micros.Count(), 0);
+  EXPECT_GT(consumer.stats().lease_txn_micros.Count(), 0);
+  EXPECT_GT(consumer.stats().dequeue_txn_micros.Count(), 0);
+  EXPECT_GT(consumer.stats().finish_txn_micros.Count(), 0);
+}
+
+TEST_F(TraceLifecycleTest, TransientFailureRecordsRequeueThenCompletes) {
+  int calls = 0;
+  RetryPolicy policy;
+  policy.max_inline_retries = 0;
+  policy.max_attempts = 10;
+  policy.backoff_initial_millis = 100;
+  registry_.Register(
+      "flaky",
+      [&](WorkContext&) {
+        return ++calls == 1 ? Status::Unavailable("first try") : Status::OK();
+      },
+      policy);
+
+  const ck::DatabaseId db = ck::DatabaseId::Private("app", "u1");
+  Consumer consumer = MakeConsumer();
+  const std::string id = MustEnqueue(db, "flaky");
+  for (int round = 0; round < 20 && calls < 2; ++round) {
+    ASSERT_TRUE(consumer.RunOnePass("c1").ok());
+    clock_.AdvanceMillis(500);
+  }
+  ASSERT_EQ(calls, 2);
+
+  std::vector<std::string> names = StageNames(id);
+  int requeues = 0;
+  int terminals = 0;
+  for (const std::string& name : names) {
+    if (name == stage::kRequeued) ++requeues;
+    if (IsTerminalStage(name)) ++terminals;
+  }
+  EXPECT_EQ(requeues, 1);
+  EXPECT_EQ(terminals, 1);
+  EXPECT_EQ(names.back(), stage::kCompleted);
+  for (const Span& span : tracer_.TraceOf(id)) {
+    if (span.name == stage::kRequeued) {
+      EXPECT_NE(span.detail.find("errors=1"), std::string::npos);
+      EXPECT_NE(span.detail.find("delay_ms="), std::string::npos);
+    }
+  }
+}
+
+TEST_F(TraceLifecycleTest, QuarantineAndOperatorRequeueSplitIncarnations) {
+  bool healed = false;
+  registry_.Register("poison", [&](WorkContext&) {
+    return healed ? Status::OK() : Status::Permanent("bug");
+  });
+
+  const ck::DatabaseId db = ck::DatabaseId::Private("app", "u1");
+  Consumer consumer = MakeConsumer();
+  const std::string id = MustEnqueue(db, "poison");
+  ASSERT_TRUE(consumer.RunOnePass("c1").ok());
+
+  std::vector<std::string> names = StageNames(id);
+  ASSERT_FALSE(names.empty());
+  EXPECT_EQ(names.back(), stage::kQuarantined);
+  for (const Span& span : tracer_.TraceOf(id)) {
+    if (span.name == stage::kQuarantined) {
+      EXPECT_EQ(span.detail, "permanent");
+    }
+  }
+
+  // Operator requeue opens a second incarnation that then completes.
+  healed = true;
+  QuickAdmin admin(quick_.get());
+  ASSERT_TRUE(admin.RequeueDeadLetter(db, id).ok());
+  for (int round = 0; round < 10; ++round) {
+    ASSERT_TRUE(consumer.RunOnePass("c1").ok());
+    clock_.AdvanceMillis(500);
+  }
+
+  names = StageNames(id);
+  std::vector<std::vector<std::string>> incarnations;
+  for (const std::string& name : names) {
+    if (IsBirthStage(name) || incarnations.empty()) {
+      incarnations.emplace_back();
+    }
+    incarnations.back().push_back(name);
+  }
+  ASSERT_EQ(incarnations.size(), 2u);
+  EXPECT_EQ(incarnations[0].front(), stage::kEnqueued);
+  EXPECT_EQ(incarnations[0].back(), stage::kQuarantined);
+  EXPECT_EQ(incarnations[1].front(), stage::kDeadLetterRequeued);
+  EXPECT_EQ(incarnations[1].back(), stage::kCompleted);
+  for (const Span& span : tracer_.TraceOf(id)) {
+    if (span.name == stage::kDeadLetterRequeued) {
+      EXPECT_EQ(span.actor, "admin");
+    }
+  }
+}
+
+TEST_F(TraceLifecycleTest, AdminExposesAndRendersTheChain) {
+  const ck::DatabaseId db = ck::DatabaseId::Private("app", "u1");
+  Consumer consumer = MakeConsumer();
+  const std::string id = MustEnqueue(db, "ok_job");
+  ASSERT_TRUE(consumer.RunOnePass("c1").ok());
+
+  QuickAdmin admin(quick_.get());
+  std::vector<Span> chain = admin.ItemTrace(id);
+  ASSERT_EQ(chain.size(), 4u);
+  EXPECT_EQ(chain.front().name, stage::kEnqueued);
+  EXPECT_EQ(chain.back().name, stage::kCompleted);
+
+  const std::string rendered = admin.RenderTrace(id);
+  EXPECT_NE(rendered.find("trace " + id), std::string::npos);
+  EXPECT_NE(rendered.find("(4 spans)"), std::string::npos);
+  EXPECT_NE(rendered.find(stage::kEnqueued), std::string::npos);
+  EXPECT_NE(rendered.find(stage::kCompleted), std::string::npos);
+  EXPECT_NE(rendered.find("[test-consumer]"), std::string::npos);
+  // The dequeue span's pointer link is rendered too.
+  EXPECT_NE(rendered.find("parent="), std::string::npos);
+  EXPECT_NE(admin.RenderTrace("no-such-item").find("(0 spans)"),
+            std::string::npos);
+}
+
+TEST_F(TraceLifecycleTest, DisabledTracerRecordsNothing) {
+  tracer_.set_enabled(false);
+  const ck::DatabaseId db = ck::DatabaseId::Private("app", "u1");
+  Consumer consumer = MakeConsumer();
+  MustEnqueue(db, "ok_job");
+  ASSERT_TRUE(consumer.RunOnePass("c1").ok());
+  EXPECT_EQ(tracer_.TraceCount(), 0u);
+  EXPECT_EQ(tracer_.SpanCount(), 0u);
+}
+
+}  // namespace
+}  // namespace quick::core
