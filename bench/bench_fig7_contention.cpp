@@ -17,12 +17,16 @@ namespace {
 
 void BM_Fig7_SelectionFrac(benchmark::State& state) {
   QuietLogs();
-  // selection_frac passed scaled by 1e4 through the integer arg.
+  // selection_frac passed scaled by 1e4 through the integer arg; second
+  // arg toggles group commit so the commit-path batching win shows up as
+  // end-to-end throughput on the same contended shape.
   const double selection_frac = state.range(0) / 10000.0;
+  const bool group_commit = state.range(1) != 0;
 
   wl::HarnessOptions hopts;
   hopts.num_clusters = 1;
   hopts.work_millis = 1;
+  hopts.enable_group_commit = group_commit;
   // Modest injected FDB latencies: without them, lease transactions finish
   // so fast that racing consumers almost never overlap and the collision
   // signal the paper measures disappears.
@@ -72,19 +76,35 @@ void BM_Fig7_SelectionFrac(benchmark::State& state) {
       c->stats().lease_collisions_read.Reset();
       c->stats().lease_collisions_commit.Reset();
     }
+    fdb::Database* cluster =
+        harness.clusters()->Get(harness.cluster_names()[0]);
+    const fdb::Database::Stats fdb_before = cluster->GetStats();
     const auto t0 = std::chrono::steady_clock::now();
     SleepMs(2500);
     const int64_t after = harness.WorkExecuted();
     const double secs =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
+    const fdb::Database::Stats fdb_after = cluster->GetStats();
     PoolStats stats;
     Collect(consumers, &stats);
     StopConsumers(consumers);
 
     const double attempts =
         std::max<double>(1.0, static_cast<double>(stats.lease_attempts));
+    const int64_t window_commits =
+        fdb_after.commits_succeeded - fdb_before.commits_succeeded;
+    const int64_t window_batches =
+        fdb_after.commit_batches - fdb_before.commit_batches;
     state.counters["selection_frac"] = selection_frac;
+    state.counters["group_commit"] = group_commit ? 1 : 0;
+    state.counters["commits_per_sec"] = window_commits / secs;
+    state.counters["commit_conflicts_per_sec"] =
+        (fdb_after.conflicts - fdb_before.conflicts) / secs;
+    state.counters["avg_batch_size"] =
+        window_batches > 0
+            ? static_cast<double>(window_commits) / window_batches
+            : 0.0;
     state.counters["pointer_p50_ms"] =
         stats.pointer_latency_micros.Percentile(0.50) / 1000.0;
     state.counters["pointer_p999_ms"] =
@@ -97,7 +117,9 @@ void BM_Fig7_SelectionFrac(benchmark::State& state) {
         100.0 * stats.collisions_commit / attempts;
     state.counters["throughput_items_per_sec"] = (after - before) / secs;
     BenchReportCollector::Global()->ReportRun(
-        "BM_Fig7_SelectionFrac/" + std::to_string(state.range(0)), state,
+        "BM_Fig7_SelectionFrac/" + std::to_string(state.range(0)) +
+            (group_commit ? "/group" : "/single"),
+        state,
         {{"pointer_latency_us", &stats.pointer_latency_micros},
          {"item_latency_us", &stats.item_latency_micros}});
   }
@@ -105,13 +127,11 @@ void BM_Fig7_SelectionFrac(benchmark::State& state) {
 }
 
 BENCHMARK(BM_Fig7_SelectionFrac)
-    // 0.001, 0.005, 0.01, 0.05, 0.1, 0.5 (scaled by 1e4).
-    ->Arg(10)
-    ->Arg(50)
-    ->Arg(100)
-    ->Arg(500)
-    ->Arg(1000)
-    ->Arg(5000)
+    // selection_frac 0.001, 0.005, 0.01, 0.05, 0.1, 0.5 (scaled by 1e4),
+    // each with group commit off (0) and on (1). The CI smoke shape
+    // (--benchmark_filter='/500/') runs both commit modes at 0.05.
+    ->ArgNames({"frac", "group"})
+    ->ArgsProduct({{10, 50, 100, 500, 1000, 5000}, {0, 1}})
     ->Iterations(1)
     ->Unit(benchmark::kMillisecond)
     ->UseRealTime();

@@ -1,0 +1,151 @@
+// Micro-benchmarks of the two Resolver implementations: the legacy
+// linear-scan ConflictTracker and the default interval-map
+// IntervalResolver. The headline case is a conflict check by an old
+// reader against a large tracked window — O(tracked commits) for the
+// linear scan, O(log n) for the interval map — which is exactly the
+// shape the QuiCK scanner produces (long-lived peeks over a hot commit
+// stream). Not a paper figure; feeds the committed
+// bench/baseline/BENCH_micro_resolver.json regression baseline.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_report.h"
+#include "fdb/conflict_tracker.h"
+#include "fdb/interval_resolver.h"
+#include "fdb/resolver.h"
+
+namespace quick::bench {
+namespace {
+
+// state.range(0): 0 = legacy linear ConflictTracker, 1 = IntervalResolver.
+std::unique_ptr<fdb::Resolver> MakeResolver(int64_t kind) {
+  if (kind == 0) return std::make_unique<fdb::ConflictTracker>();
+  return std::make_unique<fdb::IntervalResolver>();
+}
+
+const char* KindName(int64_t kind) { return kind == 0 ? "linear" : "interval"; }
+
+std::string BenchKey(int i) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "key%08d", i);
+  return buf;
+}
+
+KeyRange SingleKey(int i) {
+  std::string k = BenchKey(i);
+  std::string end = k;
+  end.push_back('\0');
+  return KeyRange{std::move(k), std::move(end)};
+}
+
+// One single-key commit per version, distinct keys: the tracked window a
+// cluster holds after `n` disjoint writes (queue enqueues land like this).
+void Populate(fdb::Resolver* resolver, int n) {
+  for (int i = 0; i < n; ++i) {
+    resolver->AddCommit(i + 1, {SingleKey(i)});
+  }
+}
+
+double SecondsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+// Old reader, no overlap: the check must consider every commit newer than
+// the read version. The linear scan walks all of them; the interval map
+// answers from the (empty) overlap set.
+void BM_ResolverStaleMiss(benchmark::State& state) {
+  auto resolver = MakeResolver(state.range(0));
+  const int tracked = static_cast<int>(state.range(1));
+  Populate(resolver.get(), tracked);
+  const std::vector<KeyRange> reads = {SingleKey(tracked + 1000)};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(resolver->HasConflict(reads, /*read_version=*/1));
+  }
+  const double secs = SecondsSince(t0);
+
+  state.SetItemsProcessed(state.iterations());
+  state.counters["tracked"] = tracked;
+  state.counters["checks_per_sec"] =
+      static_cast<double>(state.iterations()) / secs;
+  BenchReportCollector::Global()->ReportRun(
+      std::string("BM_ResolverStaleMiss/") + KindName(state.range(0)) + "/" +
+          std::to_string(tracked),
+      state);
+}
+BENCHMARK(BM_ResolverStaleMiss)
+    ->ArgNames({"kind", "tracked"})
+    ->ArgsProduct({{0, 1}, {1000, 10000}});
+
+// Fresh reader, overlapping range: both implementations early-exit — the
+// common no-contention commit. Guards against the interval map winning
+// the stale case by losing the hot one.
+void BM_ResolverFreshHit(benchmark::State& state) {
+  auto resolver = MakeResolver(state.range(0));
+  const int tracked = static_cast<int>(state.range(1));
+  Populate(resolver.get(), tracked);
+  const std::vector<KeyRange> reads = {SingleKey(tracked - 1)};
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        resolver->HasConflict(reads, /*read_version=*/tracked - 4));
+  }
+  const double secs = SecondsSince(t0);
+
+  state.SetItemsProcessed(state.iterations());
+  state.counters["tracked"] = tracked;
+  state.counters["checks_per_sec"] =
+      static_cast<double>(state.iterations()) / secs;
+  BenchReportCollector::Global()->ReportRun(
+      std::string("BM_ResolverFreshHit/") + KindName(state.range(0)) + "/" +
+          std::to_string(tracked),
+      state);
+}
+BENCHMARK(BM_ResolverFreshHit)
+    ->ArgNames({"kind", "tracked"})
+    ->ArgsProduct({{0, 1}, {10000}});
+
+// Steady state: keep committing single-key writes over a bounded key
+// space while pruning a trailing window, as the Database does — measures
+// AddCommit plus incremental Prune together.
+void BM_ResolverAddCommitPrune(benchmark::State& state) {
+  auto resolver = MakeResolver(state.range(0));
+  const int window = static_cast<int>(state.range(1));
+  Populate(resolver.get(), window);
+  fdb::Version version = window;
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    ++version;
+    resolver->AddCommit(version, {SingleKey(static_cast<int>(version) %
+                                            (2 * window))});
+    if (version % 256 == 0) resolver->Prune(version - window);
+  }
+  const double secs = SecondsSince(t0);
+
+  state.SetItemsProcessed(state.iterations());
+  state.counters["window"] = window;
+  state.counters["commits_per_sec"] =
+      static_cast<double>(state.iterations()) / secs;
+  BenchReportCollector::Global()->ReportRun(
+      std::string("BM_ResolverAddCommitPrune/") + KindName(state.range(0)) +
+          "/" + std::to_string(window),
+      state);
+}
+BENCHMARK(BM_ResolverAddCommitPrune)
+    ->ArgNames({"kind", "window"})
+    ->ArgsProduct({{0, 1}, {10000}});
+
+}  // namespace
+}  // namespace quick::bench
+
+QUICK_BENCH_MAIN("micro_resolver")

@@ -5,6 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <thread>
+#include <vector>
+
 #include "bench_report.h"
 
 #include "cloudkit/queue_zone.h"
@@ -86,6 +90,62 @@ void BM_FdbRangeScan100(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 100);
 }
 BENCHMARK(BM_FdbRangeScan100);
+
+// Commit-path breakdown under concurrency: 8 blind writers against one
+// cluster with a realistic replication latency, group commit on vs off.
+// With batching the leader pays the latency once per batch, so throughput
+// should rise well past 1/commit_micros per thread; avg_batch_size and
+// commit_batches expose how much amortization actually happened.
+void BM_FdbConcurrentCommit(benchmark::State& state) {
+  const bool group = state.range(0) != 0;
+  fdb::Database::Options opts;
+  opts.enable_group_commit = group;
+  opts.latency.commit_micros = 200;  // modeled replication round trip
+  fdb::Database db("bench", opts);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 100;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&db, t] {
+        for (int i = 0; i < kPerThread; ++i) {
+          fdb::Transaction txn = db.CreateTransaction();
+          txn.Set("k" + std::to_string(t) + "/" + std::to_string(i % 50), "v");
+          benchmark::DoNotOptimize(txn.Commit());
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const fdb::Database::Stats stats = db.GetStats();
+  const int64_t commits = state.iterations() * kThreads * kPerThread;
+  state.SetItemsProcessed(commits);
+  state.counters["group_commit"] = group ? 1 : 0;
+  state.counters["throughput_commits_per_sec"] =
+      static_cast<double>(commits) / secs;
+  state.counters["commit_batches"] =
+      static_cast<double>(stats.commit_batches);
+  state.counters["avg_batch_size"] =
+      stats.commit_batches > 0
+          ? static_cast<double>(stats.commits_succeeded) / stats.commit_batches
+          : 0.0;
+  bench::BenchReportCollector::Global()->ReportRun(
+      std::string("BM_FdbConcurrentCommit/") + (group ? "group" : "single"),
+      state);
+}
+BENCHMARK(BM_FdbConcurrentCommit)
+    ->ArgNames({"group"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
 
 rl::RecordMetadata BenchMetadata() {
   rl::RecordMetadata meta;

@@ -1,0 +1,177 @@
+#!/usr/bin/env python3
+"""Threshold checks over BENCH_*.json reports.
+
+Two kinds of checks:
+
+1. Ratio invariants (always run, machine-independent): structural
+   performance properties this repo promises, asserted within a single
+   report so they hold on any hardware —
+     - micro_resolver: the interval resolver beats the legacy linear scan
+       by >= 5x on the stale-miss conflict check at 10k tracked commits.
+     - micro_substrates: group commit beats per-commit log rounds by
+       >= 1.5x on concurrent commit throughput.
+     - fig7_contention: end-to-end throughput at the CI shape
+       (selection_frac 0.05) improves with group commit on vs off.
+
+2. Baseline regression (with --baseline): every throughput counter shared
+   by a baseline run and the current run must not drop by more than
+   --threshold (default 25%). Baselines live in bench/baseline and are
+   machine-relative; regenerate with --update after an intentional change:
+
+     QUICK_BENCH_REPORT_DIR=bench/baseline ./build/bench/bench_micro_resolver
+     ... (see bench/README.md)
+
+Exit status is non-zero when any check fails.
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+# Counters treated as higher-is-better throughput for baseline comparison.
+THROUGHPUT_KEYS = (
+    "throughput_items_per_sec",
+    "throughput_commits_per_sec",
+    "checks_per_sec",
+    "commits_per_sec",
+)
+
+failures = []
+
+
+def fail(msg):
+    failures.append(msg)
+    print(f"FAIL: {msg}")
+
+
+def note(msg):
+    print(f"  ok: {msg}")
+
+
+def load_reports(directory):
+    """{bench_name: {run_name: {counter: value}}} for BENCH_*.json in dir."""
+    reports = {}
+    for path in sorted(glob.glob(os.path.join(directory, "BENCH_*.json"))):
+        with open(path) as f:
+            report = json.load(f)
+        runs = {}
+        for run in report.get("runs", []):
+            runs[run["name"]] = run.get("counters", {})
+        reports[report["bench"]] = runs
+    return reports
+
+
+def find_counter(runs, run_substr, counter):
+    """The counter value of the first run whose name contains run_substr."""
+    for name, counters in runs.items():
+        if run_substr in name and counter in counters:
+            return name, counters[counter]
+    return None, None
+
+
+def check_ratio(runs, bench, numer_substr, denom_substr, counter, min_ratio):
+    n_name, numer = find_counter(runs, numer_substr, counter)
+    d_name, denom = find_counter(runs, denom_substr, counter)
+    if numer is None or denom is None:
+        fail(f"{bench}: missing runs for ratio check "
+             f"({numer_substr!r} and/or {denom_substr!r} with {counter!r})")
+        return
+    if denom <= 0:
+        fail(f"{bench}: {d_name} has non-positive {counter} ({denom})")
+        return
+    ratio = numer / denom
+    if ratio < min_ratio:
+        fail(f"{bench}: {n_name} / {d_name} {counter} ratio {ratio:.2f} "
+             f"< required {min_ratio}x")
+    else:
+        note(f"{bench}: {n_name} vs {d_name}: {ratio:.1f}x "
+             f"(required {min_ratio}x)")
+
+
+def ratio_invariants(current):
+    if "micro_resolver" in current:
+        check_ratio(current["micro_resolver"], "micro_resolver",
+                    "BM_ResolverStaleMiss/interval/10000",
+                    "BM_ResolverStaleMiss/linear/10000",
+                    "checks_per_sec", 5.0)
+    if "micro_substrates" in current:
+        check_ratio(current["micro_substrates"], "micro_substrates",
+                    "BM_FdbConcurrentCommit/group",
+                    "BM_FdbConcurrentCommit/single",
+                    "throughput_commits_per_sec", 1.5)
+    if "fig7_contention" in current:
+        check_ratio(current["fig7_contention"], "fig7_contention",
+                    "BM_Fig7_SelectionFrac/500/group",
+                    "BM_Fig7_SelectionFrac/500/single",
+                    "throughput_items_per_sec", 1.2)
+
+
+def baseline_regressions(baseline, current, threshold):
+    compared = 0
+    for bench, base_runs in sorted(baseline.items()):
+        cur_runs = current.get(bench)
+        if cur_runs is None:
+            fail(f"{bench}: baseline exists but no current report was found")
+            continue
+        for run_name, base_counters in sorted(base_runs.items()):
+            cur_counters = cur_runs.get(run_name)
+            if cur_counters is None:
+                fail(f"{bench}: baseline run {run_name!r} missing from "
+                     f"current report")
+                continue
+            for key in THROUGHPUT_KEYS:
+                if key not in base_counters or key not in cur_counters:
+                    continue
+                base, cur = base_counters[key], cur_counters[key]
+                if base <= 0:
+                    continue
+                compared += 1
+                drop = 1.0 - cur / base
+                if drop > threshold:
+                    fail(f"{bench}: {run_name} {key} regressed "
+                         f"{100 * drop:.1f}% ({base:.6g} -> {cur:.6g}, "
+                         f"limit {100 * threshold:.0f}%)")
+                else:
+                    note(f"{bench}: {run_name} {key} {base:.6g} -> "
+                         f"{cur:.6g} ({-100 * drop:+.1f}%)")
+    if compared == 0:
+        fail("baseline comparison matched zero throughput counters")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True,
+                        help="directory holding the just-produced "
+                             "BENCH_*.json reports")
+    parser.add_argument("--baseline", default=None,
+                        help="directory holding committed baseline "
+                             "BENCH_*.json reports")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="maximum tolerated fractional throughput drop "
+                             "vs baseline (default 0.25)")
+    args = parser.parse_args()
+
+    current = load_reports(args.current)
+    if not current:
+        print(f"no BENCH_*.json reports in {args.current}", file=sys.stderr)
+        return 1
+
+    ratio_invariants(current)
+    if args.baseline:
+        baseline = load_reports(args.baseline)
+        if not baseline:
+            fail(f"no BENCH_*.json baselines in {args.baseline}")
+        else:
+            baseline_regressions(baseline, current, args.threshold)
+
+    if failures:
+        print(f"\n{len(failures)} bench check(s) failed")
+        return 1
+    print("\nall bench checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -175,10 +175,13 @@ Result<std::vector<QueuedItem>> QueueZone::Peek(
     QUICK_ASSIGN_OR_RETURN(int64_t vesting, entry.indexed_values.GetInt(1));
     if (vesting > now) continue;  // not vested (or leased into the future)
     QUICK_ASSIGN_OR_RETURN(std::string id, entry.primary_key.GetString(1));
+    // Snapshot load: peek makes no decision a conflict must protect, and a
+    // dequeue that acts on the item conflicts via SaveRecord's
+    // previous-image read — so peeking never feeds the resolver.
     QUICK_ASSIGN_OR_RETURN(
         std::optional<rl::Record> rec,
         store_.LoadRecord(QueuedItem::kRecordType,
-                          tup::Tuple().AddString(id)));
+                          tup::Tuple().AddString(id), /*snapshot=*/true));
     if (!rec.has_value()) continue;  // raced with a delete; snapshot scan
     QUICK_ASSIGN_OR_RETURN(QueuedItem item, QueuedItem::FromRecord(*rec));
     if (predicate && !predicate(item)) continue;
@@ -312,7 +315,7 @@ Result<std::vector<DeadLetterItem>> QueueZone::ListDeadLetters(int max_items) {
     QUICK_ASSIGN_OR_RETURN(
         std::optional<rl::Record> rec,
         dl_store_.LoadRecord(DeadLetterItem::kRecordType,
-                             tup::Tuple().AddString(id)));
+                             tup::Tuple().AddString(id), /*snapshot=*/true));
     if (!rec.has_value()) continue;  // raced with a purge; snapshot scan
     QUICK_ASSIGN_OR_RETURN(DeadLetterItem item,
                            DeadLetterItem::FromRecord(*rec));
@@ -425,10 +428,11 @@ Result<std::vector<QueuedItem>> QueueZone::PeekFifo(int max_items) {
   std::vector<QueuedItem> out;
   for (const rl::VersionIndexEntry& entry : entries) {
     QUICK_ASSIGN_OR_RETURN(std::string id, entry.primary_key.GetString(1));
+    // Snapshot load, as in Peek: leasing paths conflict via SaveRecord.
     QUICK_ASSIGN_OR_RETURN(
         std::optional<rl::Record> rec,
         store_.LoadRecord(QueuedItem::kRecordType,
-                          tup::Tuple().AddString(id)));
+                          tup::Tuple().AddString(id), /*snapshot=*/true));
     if (!rec.has_value()) continue;
     QUICK_ASSIGN_OR_RETURN(QueuedItem item, QueuedItem::FromRecord(*rec));
     if (item.vesting_time > now) continue;  // leased or delayed

@@ -74,7 +74,7 @@ class QueueZone {
   Result<std::vector<std::string>> PeekIds(int max_items);
 
   /// FIFO-zone peek: vested items in strict enqueue-commit order (ignores
-  /// priority). Requires the FIFO schema.
+  /// priority). Requires the FIFO schema. Fully snapshot, like Peek.
   Result<std::vector<QueuedItem>> PeekFifo(int max_items);
 
   /// Transactional FIFO peek+lease.

@@ -5,32 +5,33 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "fdb/resolver.h"
 #include "fdb/types.h"
 
 namespace quick::fdb {
 
-/// The Resolver of the simulated cluster: remembers recent committed write
-/// conflict ranges so a committing transaction can be checked for
-/// read-write conflicts against everything that committed after its read
-/// version. NOT thread-safe; the Database serializes commits.
-class ConflictTracker {
+/// Legacy linear-scan Resolver: a deque of commit records scanned
+/// newest-first on every check, O(tracked commits × read ranges) per
+/// HasConflict. Kept behind Database::Options::resolver = kLegacyLinear
+/// for differential testing against the IntervalResolver that replaced it
+/// on the hot path; see bench_micro_resolver for the gap.
+///
+/// Retention is whatever the caller prunes to: the Database prunes it at
+/// the MVCC read floor (the 5s window), so the tracked set is bounded by
+/// the commits of the last window — not by a commit count.
+class ConflictTracker : public Resolver {
  public:
-  /// Records a committed (or declared, §6.1) set of write ranges.
-  void AddCommit(Version version, std::vector<KeyRange> write_ranges);
+  void AddCommit(Version version, std::vector<KeyRange> write_ranges) override;
 
-  /// True when any commit with version > read_version wrote a range
-  /// intersecting any of `read_ranges`.
   bool HasConflict(const std::vector<KeyRange>& read_ranges,
-                   Version read_version) const;
+                   Version read_version) const override;
 
-  /// Oldest version against which conflicts can still be checked. Commits
-  /// with read_version older than this must fail with
-  /// kTransactionTooOld.
-  Version MinCheckableVersion() const { return min_checkable_; }
+  Version MinCheckableVersion() const override { return min_checkable_; }
 
   /// Forgets commits at or below `version`.
-  void Prune(Version version);
+  void Prune(Version version) override;
 
+  size_t TrackedCount() const override { return commits_.size(); }
   size_t TrackedCommitCount() const { return commits_.size(); }
 
  private:

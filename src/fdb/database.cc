@@ -1,8 +1,24 @@
 #include "fdb/database.h"
 
+#include <algorithm>
+#include <iterator>
 #include <thread>
 
+#include "fdb/conflict_tracker.h"
+#include "fdb/interval_resolver.h"
+
 namespace quick::fdb {
+
+namespace {
+
+std::unique_ptr<Resolver> MakeResolver(Database::ResolverKind kind) {
+  if (kind == Database::ResolverKind::kLegacyLinear) {
+    return std::make_unique<ConflictTracker>();
+  }
+  return std::make_unique<IntervalResolver>();
+}
+
+}  // namespace
 
 Database::Database(std::string name) : Database(std::move(name), Options{}) {}
 
@@ -10,7 +26,16 @@ Database::Database(std::string name, Options options)
     : name_(std::move(name)),
       options_(options),
       faults_(options.faults, options.fault_plan, options.clock),
-      latency_(options.latency) {}
+      resolver_(MakeResolver(options.resolver)),
+      latency_(options.latency),
+      batch_size_hist_(
+          MetricsRegistry::Default()->GetHistogram("fdb.commit.batch_size")),
+      tracked_commits_gauge_(
+          MetricsRegistry::Default()->GetGauge("fdb.resolver.tracked_commits")),
+      read_ranges_checked_counter_(MetricsRegistry::Default()->GetCounter(
+          "fdb.resolver.read_ranges_checked")),
+      resolver_conflicts_counter_(
+          MetricsRegistry::Default()->GetCounter("fdb.resolver.conflicts")) {}
 
 void Database::InjectLatency(int64_t micros) {
   if (micros > 0) {
@@ -75,70 +100,182 @@ Result<std::vector<KeyValue>> Database::ReadRangeAt(
   return store_.GetRange(range, version, options);
 }
 
-Result<Version> Database::CommitAt(CommitRequest&& request) {
-  stats_.commits_attempted.fetch_add(1, std::memory_order_relaxed);
-  // Replication latency is paid before entering the critical section so
-  // concurrent commits pipeline rather than serialize.
-  InjectLatency(latency_.commit_micros);
+Status Database::ScanRangeAt(const KeyRange& range, Version version,
+                             const RangeOptions& options,
+                             const RangeSink& sink) {
+  InjectLatency(latency_.read_micros);
+  QUICK_RETURN_IF_ERROR(faults_.NextReadFault());
+  if (version < min_read_version_.load(std::memory_order_acquire)) {
+    return Status::TransactionTooOld("read version pruned");
+  }
+  stats_.reads.fetch_add(1, std::memory_order_relaxed);
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  store_.ScanRange(range, version, options, sink);
+  return Status::OK();
+}
 
-  const FaultInjector::CommitFault fault = faults_.NextCommitFault();
-  if (fault == FaultInjector::CommitFault::kUnavailable) {
+Result<Database::CommitOutcome> Database::CommitAt(CommitRequest&& request) {
+  stats_.commits_attempted.fetch_add(1, std::memory_order_relaxed);
+
+  PendingCommit pc;
+  pc.request = std::move(request);
+  pc.fault = faults_.NextCommitFault();
+  if (pc.fault == FaultInjector::CommitFault::kUnavailable) {
     return Status::Unavailable("injected commit failure");
   }
-  if (fault == FaultInjector::CommitFault::kTooOld) {
+  if (pc.fault == FaultInjector::CommitFault::kTooOld) {
     stats_.too_old.fetch_add(1, std::memory_order_relaxed);
     return Status::TransactionTooOld("injected transaction_too_old");
   }
 
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  if (!request.read_conflicts.empty()) {
-    if (request.read_version < tracker_.MinCheckableVersion()) {
-      stats_.too_old.fetch_add(1, std::memory_order_relaxed);
-      return Status::TransactionTooOld("read version predates resolver window");
-    }
-    if (tracker_.HasConflict(request.read_conflicts, request.read_version)) {
-      stats_.conflicts.fetch_add(1, std::memory_order_relaxed);
-      return Status::NotCommitted();
-    }
-  }
+  // Every commit flows through the log pipeline: the replication /
+  // log-force round (latency.commit_micros) is a SERIALIZED resource —
+  // one round is in flight at a time, led by whichever committer holds
+  // the baton. With group commit the leader's round doubles as the
+  // batching window: commits arriving during it pile into the queue and
+  // are resolved and applied together at one version, so the round is
+  // amortized across the batch. With group commit disabled the pipeline
+  // degrades to batches of exactly one — every commit pays its own
+  // round, which is what a commit log without batching costs.
+  const size_t max_batch =
+      options_.enable_group_commit
+          ? static_cast<size_t>(std::clamp(options_.max_commit_batch, 1, 65535))
+          : 1;
 
-  if (fault == FaultInjector::CommitFault::kUnknownDropped) {
-    stats_.unknown_results.fetch_add(1, std::memory_order_relaxed);
-    return Status::CommitUnknownResult("injected; not applied");
+  std::unique_lock<std::mutex> qlock(commit_queue_mu_);
+  commit_queue_.push_back(&pc);
+  while (!pc.done) {
+    if (commit_leader_active_) {
+      // A leader is mid-round; wait to be resolved by it (or to inherit
+      // the baton if it retires before reaching this commit).
+      commit_cv_.wait(
+          qlock, [&] { return pc.done || !commit_leader_active_; });
+      continue;
+    }
+    // Lead one round: pay the replication latency with the queue
+    // unlocked (the batching window), then drain and process one batch.
+    commit_leader_active_ = true;
+    qlock.unlock();
+    InjectLatency(latency_.commit_micros);
+    qlock.lock();
+    std::vector<PendingCommit*> batch;
+    const size_t n = std::min(commit_queue_.size(), max_batch);
+    batch.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+      batch.push_back(commit_queue_.front());
+      commit_queue_.pop_front();
+    }
+    qlock.unlock();
+    {
+      std::unique_lock<std::shared_mutex> lock(mu_);
+      ProcessBatchLocked(batch);
+    }
+    qlock.lock();
+    // Once `done` flips and the queue mutex is released a follower may
+    // return and destroy its PendingCommit — no touching batch members
+    // beyond this point. Retiring after a single batch passes the baton:
+    // a still-undone waiter wakes on !commit_leader_active_ and leads the
+    // next round, so no thread is stuck serving others after its own
+    // commit completed.
+    for (PendingCommit* p : batch) p->done = true;
+    commit_leader_active_ = false;
+    commit_cv_.notify_all();
   }
+  qlock.unlock();
 
+  if (!pc.status.ok()) return pc.status;
+  return pc.outcome;
+}
+
+void Database::ProcessBatchLocked(const std::vector<PendingCommit*>& batch) {
   const Version version = last_version_.load(std::memory_order_relaxed) + 1;
-  store_.Apply(request.mutations, version);
-  tracker_.AddCommit(version, std::move(request.write_conflicts));
-  version_times_.emplace_back(version, options_.clock->NowMillis());
-  last_version_.store(version, std::memory_order_release);
-  ++commits_since_prune_;
-  MaybePruneLocked();
+  // Write ranges of members already accepted in this batch: a later
+  // arrival whose reads overlap them must conflict (its read version
+  // necessarily predates the shared batch version).
+  IntervalResolver batch_writes;
+  std::vector<KeyRange> combined_writes;
+  uint16_t order = 0;
 
-  stats_.commits_succeeded.fetch_add(1, std::memory_order_relaxed);
-  if (fault == FaultInjector::CommitFault::kUnknownApplied) {
-    stats_.unknown_results.fetch_add(1, std::memory_order_relaxed);
+  for (PendingCommit* pc : batch) {
+    CommitRequest& req = pc->request;
+    if (!req.read_conflicts.empty()) {
+      read_ranges_checked_counter_->Increment(
+          static_cast<int64_t>(req.read_conflicts.size()));
+      if (req.read_version < resolver_->MinCheckableVersion()) {
+        stats_.too_old.fetch_add(1, std::memory_order_relaxed);
+        pc->status =
+            Status::TransactionTooOld("read version predates resolver window");
+        continue;
+      }
+      if (resolver_->HasConflict(req.read_conflicts, req.read_version) ||
+          batch_writes.HasConflict(req.read_conflicts, req.read_version)) {
+        stats_.conflicts.fetch_add(1, std::memory_order_relaxed);
+        resolver_conflicts_counter_->Increment();
+        pc->status = Status::NotCommitted();
+        continue;
+      }
+    }
+    if (pc->fault == FaultInjector::CommitFault::kUnknownDropped) {
+      stats_.unknown_results.fetch_add(1, std::memory_order_relaxed);
+      pc->status = Status::CommitUnknownResult("injected; not applied");
+      continue;
+    }
+
+    store_.Apply(req.mutations, version, order);
+    if (!req.write_conflicts.empty()) {
+      batch_writes.AddCommit(version, req.write_conflicts);
+      combined_writes.insert(
+          combined_writes.end(),
+          std::make_move_iterator(req.write_conflicts.begin()),
+          std::make_move_iterator(req.write_conflicts.end()));
+    }
+    pc->outcome = CommitOutcome{version, order};
+    ++order;
+    stats_.commits_succeeded.fetch_add(1, std::memory_order_relaxed);
+    if (pc->fault == FaultInjector::CommitFault::kUnknownApplied) {
+      stats_.unknown_results.fetch_add(1, std::memory_order_relaxed);
+      pc->status = Status::CommitUnknownResult("injected; applied");
+    }
   }
-  if (fault == FaultInjector::CommitFault::kUnknownApplied) {
-    return Status::CommitUnknownResult("injected; applied");
+
+  batch_size_hist_->Record(static_cast<int64_t>(batch.size()));
+  stats_.commit_batches.fetch_add(1, std::memory_order_relaxed);
+  if (order > 0) {
+    resolver_->AddCommit(version, std::move(combined_writes));
+    version_times_.emplace_back(version, options_.clock->NowMillis());
+    last_version_.store(version, std::memory_order_release);
+    tracked_commits_gauge_->Set(
+        static_cast<int64_t>(resolver_->TrackedCount()));
   }
-  return version;
+  MaybePruneLocked();
 }
 
 void Database::MaybePruneLocked() {
-  if (commits_since_prune_ < 256) return;
-  commits_since_prune_ = 0;
-  const int64_t cutoff =
-      options_.clock->NowMillis() - options_.mvcc_window_millis;
+  if (version_times_.empty()) return;
+  const int64_t now = options_.clock->NowMillis();
+  const int64_t cutoff = now - options_.mvcc_window_millis;
+  // O(1) staleness probe: pruning is driven by the MVCC window, not by a
+  // commit count — the oldest retained version going stale is what arms
+  // the sweep.
+  if (version_times_.front().second >= cutoff) return;
+  // The store sweep walks every key; rate-limit it to once per quarter
+  // window so a high commit rate cannot turn pruning into a per-commit
+  // full scan.
+  if (now - last_prune_sweep_millis_ < options_.mvcc_window_millis / 4) {
+    return;
+  }
+  last_prune_sweep_millis_ = now;
   Version pruned = min_read_version_.load(std::memory_order_relaxed);
   while (!version_times_.empty() && version_times_.front().second < cutoff) {
     pruned = version_times_.front().first;
     version_times_.pop_front();
   }
   if (pruned > min_read_version_.load(std::memory_order_relaxed)) {
-    tracker_.Prune(pruned);
+    resolver_->Prune(pruned);
     store_.Prune(pruned);
     min_read_version_.store(pruned, std::memory_order_release);
+    tracked_commits_gauge_->Set(
+        static_cast<int64_t>(resolver_->TrackedCount()));
   }
 }
 
@@ -150,6 +287,7 @@ Database::Stats Database::GetStats() const {
       stats_.commits_attempted.load(std::memory_order_relaxed);
   out.commits_succeeded =
       stats_.commits_succeeded.load(std::memory_order_relaxed);
+  out.commit_batches = stats_.commit_batches.load(std::memory_order_relaxed);
   out.conflicts = stats_.conflicts.load(std::memory_order_relaxed);
   out.too_old = stats_.too_old.load(std::memory_order_relaxed);
   out.unknown_results =
@@ -161,6 +299,16 @@ Database::Stats Database::GetStats() const {
 size_t Database::LiveKeyCount() const {
   std::shared_lock<std::shared_mutex> lock(mu_);
   return store_.LiveKeyCount();
+}
+
+size_t Database::TotalEntryCount() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return store_.TotalEntryCount();
+}
+
+size_t Database::ResolverTrackedCount() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return resolver_->TrackedCount();
 }
 
 }  // namespace quick::fdb

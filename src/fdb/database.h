@@ -2,6 +2,7 @@
 #define QUICK_FDB_DATABASE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <memory>
@@ -11,9 +12,10 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "common/metrics.h"
 #include "common/result.h"
-#include "fdb/conflict_tracker.h"
 #include "fdb/fault_injector.h"
+#include "fdb/resolver.h"
 #include "fdb/transaction.h"
 #include "fdb/types.h"
 #include "fdb/versioned_store.h"
@@ -22,11 +24,23 @@ namespace quick::fdb {
 
 /// One simulated FoundationDB cluster: MVCC storage + resolver + version
 /// authority. Thread-safe; any number of threads may run transactions
-/// concurrently (reads take a shared lock, commits an exclusive one —
-/// injected latencies are paid outside the locks so commits pipeline, as
-/// they do in a real cluster).
+/// concurrently (reads take a shared lock; commits are group-committed —
+/// concurrently arriving commits are resolved and applied as one batch at a
+/// single storage version under one exclusive lock acquisition, as a real
+/// cluster's commit proxies batch transactions. Injected latencies are paid
+/// outside the locks so commits pipeline).
 class Database {
  public:
+  /// Which conflict-resolution structure the cluster uses.
+  enum class ResolverKind {
+    /// Sorted interval map with max-commit-version annotations; O(log n)
+    /// conflict checks and incremental pruning (interval_resolver.h).
+    kInterval,
+    /// The original linear-scan commit list (conflict_tracker.h); retained
+    /// for differential testing and comparison benchmarks.
+    kLegacyLinear,
+  };
+
   struct Options {
     Clock* clock = SystemClock::Default();
     /// FoundationDB's 5-second transaction lifetime; reads/commits on older
@@ -39,6 +53,14 @@ class Database {
     int64_t max_transaction_bytes = 1 << 20;
     /// How stale a cached read version may be before a real GRV is issued.
     int64_t grv_cache_staleness_millis = 1000;
+    /// Batch concurrently arriving commits into one resolution + apply pass
+    /// at a single storage version (members get distinct versionstamp
+    /// batch-order bytes). Off = every commit is a batch of one.
+    bool enable_group_commit = true;
+    /// Most transactions resolved and applied per commit batch (capped at
+    /// 65535, the versionstamp batch-order range).
+    int max_commit_batch = 128;
+    ResolverKind resolver = ResolverKind::kInterval;
     LatencyModel latency;
     FaultInjector::Config faults;
     /// Scheduled fault windows (outages, failure-rate spikes, latency
@@ -53,6 +75,9 @@ class Database {
     int64_t grv_cache_hits = 0;
     int64_t commits_attempted = 0;
     int64_t commits_succeeded = 0;
+    /// Commit batches applied; commits_attempted / commit_batches is the
+    /// mean group-commit batch size.
+    int64_t commit_batches = 0;
     int64_t conflicts = 0;
     int64_t too_old = 0;
     int64_t unknown_results = 0;
@@ -90,6 +115,13 @@ class Database {
   /// Number of live keys (diagnostics).
   size_t LiveKeyCount() const;
 
+  /// Total version-chain entries in storage (prune/churn diagnostics).
+  size_t TotalEntryCount() const;
+
+  /// Commit records / interval nodes currently retained by the resolver
+  /// (diagnostics; also exported as fdb.resolver.tracked_commits).
+  size_t ResolverTrackedCount() const;
+
  private:
   friend class Transaction;
 
@@ -98,6 +130,25 @@ class Database {
     std::vector<KeyRange> read_conflicts;
     std::vector<KeyRange> write_conflicts;
     std::vector<Mutation> mutations;
+  };
+
+  /// What a successful commit learns: the storage version shared by the
+  /// whole commit batch plus this transaction's order within it — together
+  /// the transaction's versionstamp.
+  struct CommitOutcome {
+    Version version = kInvalidVersion;
+    uint16_t batch_order = 0;
+  };
+
+  /// One commit waiting in (or being processed from) the group-commit
+  /// queue. Owned by the committing thread's stack; the leader fills in the
+  /// outcome and flips `done` under commit_queue_mu_.
+  struct PendingCommit {
+    CommitRequest request;
+    FaultInjector::CommitFault fault;
+    Status status = Status::OK();
+    CommitOutcome outcome;
+    bool done = false;
   };
 
   /// getReadVersion with latency, fault injection, and the version cache.
@@ -109,10 +160,20 @@ class Database {
                                             Version version,
                                             const RangeOptions& options);
 
-  Result<Version> CommitAt(CommitRequest&& request);
+  /// Streaming range read: sink is invoked under the shared lock with
+  /// views into storage — the copy-light path behind Transaction::GetRange.
+  Status ScanRangeAt(const KeyRange& range, Version version,
+                     const RangeOptions& options, const RangeSink& sink);
 
-  /// Drops MVCC state older than the retention window. Caller holds the
-  /// exclusive lock.
+  Result<CommitOutcome> CommitAt(CommitRequest&& request);
+
+  /// Resolves and applies one batch at a single new version. Caller holds
+  /// the exclusive lock.
+  void ProcessBatchLocked(const std::vector<PendingCommit*>& batch);
+
+  /// Drops MVCC state older than the retention window: an O(1) staleness
+  /// probe on every batch, with the sweep itself rate-limited. Caller holds
+  /// the exclusive lock.
   void MaybePruneLocked();
 
   void InjectLatency(int64_t micros);
@@ -123,9 +184,16 @@ class Database {
 
   mutable std::shared_mutex mu_;
   VersionedStore store_;
-  ConflictTracker tracker_;
+  std::unique_ptr<Resolver> resolver_;
   std::deque<std::pair<Version, int64_t>> version_times_;
-  int64_t commits_since_prune_ = 0;
+  int64_t last_prune_sweep_millis_ = 0;
+
+  /// Group-commit queue: committers enqueue, the first becomes leader and
+  /// drains the queue in max_commit_batch-sized batches; the rest wait.
+  std::mutex commit_queue_mu_;
+  std::condition_variable commit_cv_;
+  std::deque<PendingCommit*> commit_queue_;
+  bool commit_leader_active_ = false;
 
   std::atomic<Version> last_version_{0};
   std::atomic<Version> min_read_version_{0};
@@ -136,6 +204,12 @@ class Database {
 
   LatencyModel latency_;
 
+  // Process-wide instruments (MetricsRegistry::Default()), resolved once.
+  Histogram* batch_size_hist_;
+  Gauge* tracked_commits_gauge_;
+  Counter* read_ranges_checked_counter_;
+  Counter* resolver_conflicts_counter_;
+
   // Lock-free statistic counters: reads/commits from every thread touch
   // these, so a mutex here would serialize the whole cluster.
   struct AtomicStats {
@@ -143,6 +217,7 @@ class Database {
     std::atomic<int64_t> grv_cache_hits{0};
     std::atomic<int64_t> commits_attempted{0};
     std::atomic<int64_t> commits_succeeded{0};
+    std::atomic<int64_t> commit_batches{0};
     std::atomic<int64_t> conflicts{0};
     std::atomic<int64_t> too_old{0};
     std::atomic<int64_t> unknown_results{0};

@@ -1,0 +1,56 @@
+#ifndef QUICK_FDB_RESOLVER_H_
+#define QUICK_FDB_RESOLVER_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/bytes.h"
+#include "fdb/types.h"
+
+namespace quick::fdb {
+
+/// Interface of the simulated cluster's Resolver: remembers which key
+/// ranges recent commits wrote so a committing transaction can be checked
+/// for read-write conflicts against everything that committed after its
+/// read version. NOT thread-safe; the Database serializes commits (the
+/// group-commit leader calls it with the cluster lock held).
+///
+/// Two implementations exist: the legacy linear-scan ConflictTracker
+/// (conflict_tracker.h) and the default IntervalResolver
+/// (interval_resolver.h), selected by Database::Options::resolver. Both
+/// must give identical verdicts for read versions at or above the prune
+/// floor (differentially tested).
+class Resolver {
+ public:
+  virtual ~Resolver() = default;
+
+  /// Records a committed (or declared, §6.1) set of write ranges. With
+  /// group commit several transactions share one `version`; AddCommit is
+  /// then called once with their combined ranges.
+  virtual void AddCommit(Version version,
+                         std::vector<KeyRange> write_ranges) = 0;
+
+  /// True when any commit with version > read_version wrote a range
+  /// intersecting any of `read_ranges`.
+  virtual bool HasConflict(const std::vector<KeyRange>& read_ranges,
+                           Version read_version) const = 0;
+
+  /// Oldest version against which conflicts can still be checked. Commits
+  /// with read_version older than this must fail with kTransactionTooOld.
+  virtual Version MinCheckableVersion() const = 0;
+
+  /// Forgets conflict state at or below `version`. The Database calls this
+  /// with the same version floor it enforces for reads (the MVCC-window
+  /// floor), so the resolver window and the readable-version window move
+  /// together.
+  virtual void Prune(Version version) = 0;
+
+  /// Number of retained units — commit records for the linear tracker,
+  /// interval nodes for the interval resolver. Exported as the
+  /// fdb.resolver.tracked gauge so the retention bound is observable.
+  virtual size_t TrackedCount() const = 0;
+};
+
+}  // namespace quick::fdb
+
+#endif  // QUICK_FDB_RESOLVER_H_

@@ -1,6 +1,7 @@
 #include "fdb/transaction.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "common/backoff.h"
 #include "common/random.h"
@@ -122,49 +123,100 @@ Result<std::vector<KeyValue>> Transaction::GetRange(const KeyRange& range,
   if (!writes_overlap && !clears_overlap) {
     QUICK_ASSIGN_OR_RETURN(merged, db_->ReadRangeAt(range, rv, options));
   } else {
-    // Fetch the full range from storage, then overlay the write buffer.
-    QUICK_ASSIGN_OR_RETURN(std::vector<KeyValue> stored,
-                           db_->ReadRangeAt(range, rv, RangeOptions{}));
-    std::map<std::string, std::optional<std::string>> view;
-    for (KeyValue& kv : stored) {
-      if (!CoveredByClearedRange(kv.key)) {
-        view.emplace(std::move(kv.key), std::move(kv.value));
-      }
-    }
-    for (auto it = first_write; it != writes_.end() && it->first < range.end;
-         ++it) {
-      const WriteEntry& e = it->second;
+    // One-pass ordered merge of the storage stream with the write buffer:
+    // no full-range materialization, and the scan stops as soon as `limit`
+    // results exist. The storage limit cannot be pushed down (buffered
+    // clears may drop stored keys), so the early-stopping sink is what
+    // bounds the work.
+    const int limit = options.limit;
+    auto full = [&] {
+      return limit > 0 && static_cast<int>(merged.size()) >= limit;
+    };
+    // Emits the merged view of one write-buffer entry; `stored` is the
+    // storage value at the same key when the merge aligned one.
+    auto apply_entry = [&](const std::string& key, const WriteEntry& e,
+                           std::optional<std::string> stored) {
       switch (e.kind) {
         case WriteEntry::Kind::kSet:
-          view[it->first] = e.set_value;
+          merged.push_back({key, e.set_value});
           break;
         case WriteEntry::Kind::kClear:
-          view[it->first] = std::nullopt;
           break;
         case WriteEntry::Kind::kAtomicChain: {
-          std::optional<std::string> base;
-          if (!e.base_cleared) {
-            auto vit = view.find(it->first);
-            if (vit != view.end()) base = vit->second;
-          }
+          std::optional<std::string> v;
+          if (!e.base_cleared) v = std::move(stored);
           for (const auto& [op, operand] : e.atomics) {
-            base = ApplyAtomicOp(op, base, operand);
+            v = ApplyAtomicOp(op, v, operand);
           }
-          view[it->first] = std::move(base);
+          if (v.has_value()) merged.push_back({key, *std::move(v)});
           break;
         }
       }
+    };
+
+    RangeOptions scan_opts;
+    scan_opts.reverse = options.reverse;
+    Status scan_status;
+    if (!options.reverse) {
+      auto wit = first_write;
+      const auto wend = writes_.end();
+      auto flush_before = [&](const std::string* bound) {
+        while (wit != wend && wit->first < range.end &&
+               (bound == nullptr || wit->first < *bound)) {
+          apply_entry(wit->first, wit->second, std::nullopt);
+          ++wit;
+          if (full()) return false;
+        }
+        return true;
+      };
+      scan_status = db_->ScanRangeAt(
+          range, rv, scan_opts,
+          [&](std::string_view k, std::string_view v) {
+            const std::string key(k);
+            if (!flush_before(&key)) return false;
+            if (wit != wend && wit->first == key) {
+              apply_entry(key, wit->second,
+                          CoveredByClearedRange(key)
+                              ? std::nullopt
+                              : std::optional<std::string>(std::string(v)));
+              ++wit;
+            } else if (!CoveredByClearedRange(key)) {
+              merged.push_back({key, std::string(v)});
+            }
+            return !full();
+          });
+      if (scan_status.ok() && !full()) flush_before(nullptr);
+    } else {
+      auto wit = std::make_reverse_iterator(writes_.lower_bound(range.end));
+      const auto wend = writes_.rend();
+      auto in_range = [&] { return wit != wend && wit->first >= range.begin; };
+      auto flush_after = [&](const std::string* bound) {
+        while (in_range() && (bound == nullptr || wit->first > *bound)) {
+          apply_entry(wit->first, wit->second, std::nullopt);
+          ++wit;
+          if (full()) return false;
+        }
+        return true;
+      };
+      scan_status = db_->ScanRangeAt(
+          range, rv, scan_opts,
+          [&](std::string_view k, std::string_view v) {
+            const std::string key(k);
+            if (!flush_after(&key)) return false;
+            if (in_range() && wit->first == key) {
+              apply_entry(key, wit->second,
+                          CoveredByClearedRange(key)
+                              ? std::nullopt
+                              : std::optional<std::string>(std::string(v)));
+              ++wit;
+            } else if (!CoveredByClearedRange(key)) {
+              merged.push_back({key, std::string(v)});
+            }
+            return !full();
+          });
+      if (scan_status.ok() && !full()) flush_after(nullptr);
     }
-    merged.reserve(view.size());
-    for (auto& [key, value] : view) {
-      if (value.has_value()) merged.push_back({key, *std::move(value)});
-    }
-    if (options.reverse) {
-      std::reverse(merged.begin(), merged.end());
-    }
-    if (options.limit > 0 && static_cast<int>(merged.size()) > options.limit) {
-      merged.resize(options.limit);
-    }
+    QUICK_RETURN_IF_ERROR(scan_status);
   }
 
   if (!snapshot) {
@@ -317,7 +369,7 @@ Result<std::string> Transaction::GetVersionstamp() const {
     return Status::FailedPrecondition(
         "versionstamp only available after a successful data commit");
   }
-  return VersionstampFor(committed_version_);
+  return VersionstampFor(committed_version_, committed_batch_order_);
 }
 
 void Transaction::AddReadConflictRange(const KeyRange& range) {
@@ -411,10 +463,11 @@ Status Transaction::Commit() {
     }
   }
 
-  Result<Version> result = db_->CommitAt(std::move(request));
+  Result<Database::CommitOutcome> result = db_->CommitAt(std::move(request));
   if (!result.ok()) return result.status();
   committed_ = true;
-  committed_version_ = *result;
+  committed_version_ = result->version;
+  committed_batch_order_ = result->batch_order;
   return Status::OK();
 }
 
@@ -439,6 +492,7 @@ void Transaction::Reset() {
   approx_size_ = 0;
   read_version_ = kInvalidVersion;
   committed_version_ = kInvalidVersion;
+  committed_batch_order_ = 0;
   committed_ = false;
   start_millis_ = db_->clock()->NowMillis();
 }

@@ -41,7 +41,9 @@ class Transaction {
                                          bool snapshot = false);
 
   /// Range read over [range.begin, range.end), merged with the write
-  /// buffer.
+  /// buffer. Served as a streaming merge over the cluster's version chains
+  /// (no intermediate full-range materialization); limit/reverse stop the
+  /// scan early.
   Result<std::vector<KeyValue>> GetRange(const KeyRange& range,
                                          const RangeOptions& options = {},
                                          bool snapshot = false);
@@ -80,8 +82,9 @@ class Transaction {
   void SetVersionstampedValue(const std::string& key,
                               const std::string& value_prefix);
 
-  /// The versionstamp assigned to this transaction's writes; only valid
-  /// after a successful Commit of a transaction that wrote data.
+  /// The versionstamp assigned to this transaction's writes (commit
+  /// version + group-commit batch order); only valid after a successful
+  /// Commit of a transaction that wrote data.
   Result<std::string> GetVersionstamp() const;
 
   /// Explicit conflict ranges. AddWriteConflictKey on an index key is the
@@ -148,6 +151,7 @@ class Transaction {
   int64_t start_millis_;
   Version read_version_ = kInvalidVersion;
   Version committed_version_ = kInvalidVersion;
+  uint16_t committed_batch_order_ = 0;
   bool committed_ = false;
 
   std::map<std::string, WriteEntry> writes_;

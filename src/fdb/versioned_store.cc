@@ -56,7 +56,7 @@ std::string ApplyAtomicOp(AtomicOp op, const std::optional<std::string>& base,
 }
 
 void VersionedStore::Apply(const std::vector<Mutation>& mutations,
-                           Version version) {
+                           Version version, uint16_t batch_order) {
   for (const Mutation& m : mutations) {
     switch (m.type) {
       case Mutation::Type::kSet:
@@ -94,29 +94,37 @@ void VersionedStore::Apply(const std::vector<Mutation>& mutations,
         break;
       }
       case Mutation::Type::kSetVersionstampedKey: {
-        data_[m.key + VersionstampFor(version) + m.end_key].push_back(
-            {version, m.value});
+        data_[m.key + VersionstampFor(version, batch_order) + m.end_key]
+            .push_back({version, m.value});
         break;
       }
       case Mutation::Type::kSetVersionstampedValue: {
-        data_[m.key].push_back({version, m.value + VersionstampFor(version)});
+        data_[m.key].push_back(
+            {version, m.value + VersionstampFor(version, batch_order)});
         break;
       }
     }
   }
 }
 
-std::string VersionstampFor(Version version) {
+std::string VersionstampFor(Version version, uint16_t batch_order) {
   std::string stamp = EncodeBigEndian64(static_cast<uint64_t>(version));
-  stamp.push_back('\x00');
-  stamp.push_back('\x00');
+  stamp.push_back(static_cast<char>(batch_order >> 8));
+  stamp.push_back(static_cast<char>(batch_order & 0xFF));
   return stamp;
 }
 
 const std::optional<std::string>* VersionedStore::GetInChain(
     const Chain& chain, Version version) const {
+  if (chain.empty()) return nullptr;
+  // Read-version-floor fast path: most reads run at a recent snapshot, so
+  // the tail entry usually already satisfies version <= read version —
+  // skip the binary search entirely.
+  if (chain.back().version <= version) return &chain.back().value;
   // Chains are append-only in version order; find the last entry with
-  // entry.version <= version.
+  // entry.version <= version. Entries sharing a version (one commit batch)
+  // sort stably in apply order, and upper_bound lands past the last of
+  // them — the batch's final write wins, matching intra-batch order.
   auto it = std::upper_bound(
       chain.begin(), chain.end(), version,
       [](Version v, const Entry& e) { return v < e.version; });
@@ -132,43 +140,52 @@ std::optional<std::string> VersionedStore::Get(const std::string& key,
   return v == nullptr ? std::nullopt : *v;
 }
 
-std::vector<KeyValue> VersionedStore::GetRange(const KeyRange& range,
-                                               Version version,
-                                               const RangeOptions& options) const {
-  std::vector<KeyValue> out;
-  auto emit = [&](const std::string& key, const Chain& chain) {
+void VersionedStore::ScanRange(const KeyRange& range, Version version,
+                               const RangeOptions& options,
+                               const RangeSink& sink) const {
+  int emitted = 0;
+  auto visit = [&](const std::string& key, const Chain& chain) {
     const std::optional<std::string>* v = GetInChain(chain, version);
-    if (v != nullptr && v->has_value()) {
-      out.push_back({key, **v});
-      return true;
-    }
-    return false;
+    if (v == nullptr || !v->has_value()) return true;  // dead here; continue
+    ++emitted;
+    if (!sink(key, **v)) return false;
+    return options.limit <= 0 || emitted < options.limit;
   };
   if (!options.reverse) {
     for (auto it = data_.lower_bound(range.begin);
          it != data_.end() && it->first < range.end; ++it) {
-      emit(it->first, it->second);
-      if (options.limit > 0 && static_cast<int>(out.size()) >= options.limit) {
-        break;
-      }
+      if (!visit(it->first, it->second)) return;
     }
   } else {
     auto it = data_.lower_bound(range.end);
     while (it != data_.begin()) {
       --it;
       if (it->first < range.begin) break;
-      emit(it->first, it->second);
-      if (options.limit > 0 && static_cast<int>(out.size()) >= options.limit) {
-        break;
-      }
+      if (!visit(it->first, it->second)) return;
     }
   }
+}
+
+std::vector<KeyValue> VersionedStore::GetRange(const KeyRange& range,
+                                               Version version,
+                                               const RangeOptions& options) const {
+  std::vector<KeyValue> out;
+  ScanRange(range, version, options,
+            [&out](std::string_view key, std::string_view value) {
+              out.push_back({std::string(key), std::string(value)});
+              return true;
+            });
   return out;
 }
 
 void VersionedStore::Prune(Version min_version) {
   for (auto it = data_.begin(); it != data_.end();) {
     Chain& chain = it->second;
+    // Fast path: nothing at or below the floor means nothing to compact.
+    if (!chain.empty() && chain.front().version > min_version) {
+      ++it;
+      continue;
+    }
     // Keep the last entry with version <= min_version and everything later.
     auto keep_from = chain.begin();
     for (auto e = chain.begin(); e != chain.end(); ++e) {
@@ -177,9 +194,10 @@ void VersionedStore::Prune(Version min_version) {
     if (keep_from != chain.begin()) {
       chain.erase(chain.begin(), keep_from);
     }
-    // Drop keys that are a lone old tombstone.
-    if (chain.size() == 1 && !chain[0].value.has_value() &&
-        chain[0].version <= min_version) {
+    // A chain reduced to a lone tombstone is indistinguishable from an
+    // absent key at every version — drop it so write-then-clear churn
+    // (QuiCK's queue workload) cannot grow the key map without bound.
+    if (chain.size() == 1 && !chain[0].value.has_value()) {
       it = data_.erase(it);
     } else {
       ++it;

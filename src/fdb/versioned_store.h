@@ -1,9 +1,12 @@
 #ifndef QUICK_FDB_VERSIONED_STORE_H_
 #define QUICK_FDB_VERSIONED_STORE_H_
 
+#include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/bytes.h"
@@ -38,15 +41,23 @@ struct Mutation {
   bool base_cleared = false;
 };
 
-/// The 10-byte versionstamp for a commit version: 8 bytes big-endian
-/// version + 2 bytes batch order (always 0 here — the simulator commits one
-/// transaction per version). Lexicographic order == commit order.
-std::string VersionstampFor(Version version);
+/// The 10-byte versionstamp of a commit: 8 bytes big-endian version + 2
+/// bytes big-endian batch order. With group commit the batch order
+/// distinguishes the transactions that share one storage version (in their
+/// intra-batch commit order); a batch of one gets order 0. Lexicographic
+/// order == commit order, within and across batches.
+std::string VersionstampFor(Version version, uint16_t batch_order = 0);
 
 /// Applies an atomic operation to an optional existing value, FDB-style
 /// (missing values are treated as zero / empty as appropriate).
 std::string ApplyAtomicOp(AtomicOp op, const std::optional<std::string>& base,
                           const std::string& operand);
+
+/// Streaming range-read sink: receives each live key-value pair in scan
+/// order; return false to stop the scan early. Views are only valid for
+/// the duration of the call.
+using RangeSink =
+    std::function<bool(std::string_view key, std::string_view value)>;
 
 /// MVCC storage for one cluster: every key maps to a version chain and
 /// reads are served at an arbitrary retained version. NOT thread-safe; the
@@ -54,21 +65,35 @@ std::string ApplyAtomicOp(AtomicOp op, const std::optional<std::string>& base,
 /// commits).
 class VersionedStore {
  public:
-  /// Applies a committed transaction's mutations at `version` (must exceed
-  /// every previously applied version).
-  void Apply(const std::vector<Mutation>& mutations, Version version);
+  /// Applies a committed transaction's mutations at `version` (must be >=
+  /// every previously applied version; members of one commit batch share a
+  /// version and are applied in batch order, later members superseding
+  /// earlier ones). `batch_order` feeds the versionstamp of
+  /// versionstamped mutations.
+  void Apply(const std::vector<Mutation>& mutations, Version version,
+             uint16_t batch_order = 0);
 
   /// Value of `key` as of `version`; nullopt when absent or cleared.
   std::optional<std::string> Get(const std::string& key, Version version) const;
 
-  /// Key-value pairs in [range.begin, range.end) as of `version`, in key
-  /// order (reverse order when options.reverse), up to options.limit.
+  /// Streams key-value pairs in [range.begin, range.end) as of `version`
+  /// to `sink`, in key order (reverse order when options.reverse), up to
+  /// options.limit. This is the copy-light hot path: values are handed out
+  /// as views into the version chains, with no intermediate
+  /// materialization, and limit/reverse are honored during iteration.
+  void ScanRange(const KeyRange& range, Version version,
+                 const RangeOptions& options, const RangeSink& sink) const;
+
+  /// Key-value pairs in [range.begin, range.end) as of `version`
+  /// (materializing convenience wrapper over ScanRange).
   std::vector<KeyValue> GetRange(const KeyRange& range, Version version,
                                  const RangeOptions& options = {}) const;
 
   /// Drops version-chain entries no longer visible to any read version
-  /// >= `min_version`. Reads at older versions become incorrect; the
-  /// Database enforces the floor before reading.
+  /// >= `min_version`, and erases keys whose chain is dead (a lone
+  /// tombstone — invisible at every version) so sustained write-then-clear
+  /// churn cannot grow the key map without bound. Reads at older versions
+  /// become incorrect; the Database enforces the floor before reading.
   void Prune(Version min_version);
 
   /// Number of live keys at the latest version (for tests/stats).

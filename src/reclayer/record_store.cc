@@ -176,11 +176,12 @@ Status RecordStore::SaveRecord(const Record& record) {
 }
 
 Result<std::optional<Record>> RecordStore::LoadRecord(const std::string& type,
-                                                      const tup::Tuple& pk) {
+                                                      const tup::Tuple& pk,
+                                                      bool snapshot) {
   tup::Tuple full_pk = tup::Tuple().AddString(type);
   full_pk.Concat(pk);
   QUICK_ASSIGN_OR_RETURN(std::optional<std::string> bytes,
-                         txn_->Get(RecordKey(full_pk)));
+                         txn_->Get(RecordKey(full_pk), snapshot));
   if (!bytes.has_value()) return std::optional<Record>(std::nullopt);
   QUICK_ASSIGN_OR_RETURN(Record record, Record::Deserialize(*bytes));
   return std::optional<Record>(std::move(record));
@@ -320,9 +321,9 @@ Result<std::vector<IndexEntry>> RecordStore::ScanIndexBounds(
 }
 
 Result<std::optional<Record>> RecordStore::LoadByFullPrimaryKey(
-    const tup::Tuple& full_pk) {
+    const tup::Tuple& full_pk, bool snapshot) {
   QUICK_ASSIGN_OR_RETURN(std::optional<std::string> bytes,
-                         txn_->Get(RecordKey(full_pk)));
+                         txn_->Get(RecordKey(full_pk), snapshot));
   if (!bytes.has_value()) return std::optional<Record>(std::nullopt);
   QUICK_ASSIGN_OR_RETURN(Record record, Record::Deserialize(*bytes));
   return std::optional<Record>(std::move(record));

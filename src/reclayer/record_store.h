@@ -81,9 +81,14 @@ class RecordStore {
   /// Inserts or replaces by primary key, updating every covering index.
   Status SaveRecord(const Record& record);
 
-  /// `pk` excludes the type name (it is prefixed internally).
+  /// `pk` excludes the type name (it is prefixed internally). `snapshot`
+  /// loads add no read conflict — observational scans (QuiCK's peeks) use
+  /// them so looking at an item never aborts its writers; any path that
+  /// acts on the record must load strongly (or SaveRecord's own
+  /// previous-image read supplies the conflict).
   Result<std::optional<Record>> LoadRecord(const std::string& type,
-                                           const tup::Tuple& pk);
+                                           const tup::Tuple& pk,
+                                           bool snapshot = false);
 
   /// True when a record was deleted.
   Result<bool> DeleteRecord(const std::string& type, const tup::Tuple& pk);
@@ -124,8 +129,9 @@ class RecordStore {
       const IndexScanOptions& options = {});
 
   /// Loads a record by its full primary key (type-name prefix included),
-  /// as index entries carry it.
-  Result<std::optional<Record>> LoadByFullPrimaryKey(const tup::Tuple& full_pk);
+  /// as index entries carry it. `snapshot` as in LoadRecord.
+  Result<std::optional<Record>> LoadByFullPrimaryKey(const tup::Tuple& full_pk,
+                                                     bool snapshot = false);
 
   /// Value of a count index for a grouping tuple. `snapshot` avoids a read
   /// conflict (monitoring reads, §6 "Isolation level").

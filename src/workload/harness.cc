@@ -12,6 +12,7 @@ Harness::Harness(const HarnessOptions& options)
   db_opts.clock = SystemClock::Default();
   db_opts.latency = options.latency;
   db_opts.grv_cache_staleness_millis = options.grv_cache_staleness_millis;
+  db_opts.enable_group_commit = options.enable_group_commit;
   clusters_ = std::make_unique<fdb::ClusterSet>(db_opts);
   for (int i = 0; i < options.num_clusters; ++i) {
     const std::string name = "cluster" + std::to_string(i);

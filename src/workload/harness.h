@@ -24,6 +24,9 @@ struct HarnessOptions {
   int64_t work_millis = 2;
   /// GRV cache staleness for relaxed reads.
   int64_t grv_cache_staleness_millis = 50;
+  /// Group-commit on the simulated clusters (benches toggle it to measure
+  /// the commit-path batching win).
+  bool enable_group_commit = true;
   /// Enqueue follow-up slack (QuickConfig::pointer_vesting_slack_millis),
   /// scaled down with the rest of the time base.
   int64_t pointer_vesting_slack_millis = 50;
@@ -40,6 +43,9 @@ class Harness {
 
   core::Quick* quick() { return quick_.get(); }
   ck::CloudKitService* cloudkit() { return ck_.get(); }
+  /// The simulated clusters, exposed so benches can read commit-path
+  /// stats (batch sizes, conflicts) off each Database.
+  fdb::ClusterSet* clusters() { return clusters_.get(); }
   core::JobRegistry* registry() { return &registry_; }
   core::LeaseCache* election() { return &election_; }
   const std::vector<std::string>& cluster_names() const { return names_; }

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/metrics.h"
 #include "fdb/database.h"
 #include "fdb/retry.h"
 
@@ -441,6 +442,42 @@ TEST_F(QueueZoneTest, DequeueProcessCompleteInOneTransaction) {
     return Status::OK();
   });
   ASSERT_TRUE(check.ok());
+}
+
+TEST_F(QueueZoneTest, PeekContributesNoReadConflictWork) {
+  // Scanner peeks are fully snapshot: a transaction that only peeks (plus
+  // a blind marker write so the commit is non-trivial) hands the resolver
+  // zero read-conflict ranges, so top-level queue polling costs the commit
+  // path nothing.
+  MustEnqueue(0);
+  MustEnqueue(0);
+  Counter* checked = MetricsRegistry::Default()->GetCounter(
+      "fdb.resolver.read_ranges_checked");
+  const int64_t before = checked->Value();
+  Status st = fdb::RunTransaction(db_.get(), [&](fdb::Transaction& txn) {
+    QueueZone zone(&txn, tup::Subspace(tup::Tuple().AddString("qz")), &clock_);
+    auto items = zone.Peek(10);
+    QUICK_RETURN_IF_ERROR(items.status());
+    EXPECT_EQ(items->size(), 2u);
+    txn.Set("peek-marker", "x");
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok()) << st;
+  EXPECT_EQ(checked->Value(), before)
+      << "peek-only transaction fed read-conflict ranges to the resolver";
+
+  // Control: an acting path (dequeue leases the item via SaveRecord's
+  // previous-image read) must still feed the resolver — that read conflict
+  // is what makes concurrent leases mutually exclusive.
+  Status act = WithZone([&](QueueZone& zone) {
+    auto batch = zone.Dequeue(1, 1000);
+    QUICK_RETURN_IF_ERROR(batch.status());
+    EXPECT_EQ(batch->size(), 1u);
+    return Status::OK();
+  });
+  ASSERT_TRUE(act.ok()) << act;
+  EXPECT_GT(checked->Value(), before)
+      << "dequeue lost its lease-exclusivity read conflicts";
 }
 
 TEST_F(QueueZoneTest, ConcurrentEnqueuesDoNotConflict) {

@@ -64,8 +64,8 @@ TEST(DatabaseTest, MvccPruningRaisesReadFloor) {
   Transaction old_reader = db.CreateTransaction();
   ASSERT_TRUE(old_reader.GetReadVersion().ok());
 
-  // 300 commits over 2 simulated seconds so the prune pass (every 256
-  // commits) runs with old versions out of the window.
+  // 300 commits over 3 simulated seconds so the window-driven prune pass
+  // runs with old versions out of the window.
   for (int i = 0; i < 300; ++i) {
     Transaction t = db.CreateTransaction();
     t.Set("k" + std::to_string(i % 10), "v");
@@ -137,6 +137,97 @@ TEST(DatabaseTest, ConcurrentBlindWritesAllSucceed) {
   for (auto& t : threads) t.join();
   EXPECT_EQ(db.LiveKeyCount(), static_cast<size_t>(kThreads * kPerThread));
   EXPECT_EQ(db.GetStats().commits_succeeded, kThreads * kPerThread);
+}
+
+// Pruning is driven by the MVCC window, not a commit count: a handful of
+// commits spread across simulated time must still raise the read floor
+// (the old implementation waited for 256 commits regardless of age).
+TEST(DatabaseTest, PruningIsWindowDrivenNotCommitCountDriven) {
+  ManualClock clock;
+  Database::Options opts;
+  opts.clock = &clock;
+  opts.mvcc_window_millis = 1000;
+  Database db("window", opts);
+
+  Transaction old_reader = db.CreateTransaction();
+  ASSERT_TRUE(old_reader.GetReadVersion().ok());
+  {
+    Transaction t = db.CreateTransaction();
+    t.Set("k", "v1");
+    ASSERT_TRUE(t.Commit().ok());
+  }
+  clock.AdvanceMillis(3000);
+  // Far fewer than 256 commits — the stale window alone must arm the sweep.
+  for (int i = 0; i < 3; ++i) {
+    Transaction t = db.CreateTransaction();
+    t.Set("k", "v" + std::to_string(i + 2));
+    ASSERT_TRUE(t.Commit().ok());
+    clock.AdvanceMillis(500);
+  }
+  EXPECT_EQ(old_reader.Get("k").status().code(),
+            StatusCode::kTransactionTooOld);
+}
+
+// Regression: sustained enqueue/dequeue-style churn (write then clear) must
+// converge — dead chains are erased once the window passes, so the key map
+// does not grow without bound under a queue workload.
+TEST(DatabaseTest, ChurnConvergesUnderWindowDrivenPruning) {
+  ManualClock clock;
+  Database::Options opts;
+  opts.clock = &clock;
+  opts.mvcc_window_millis = 1000;
+  Database db("churn", opts);
+
+  for (int round = 0; round < 20; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      Transaction t = db.CreateTransaction();
+      t.Set("item" + std::to_string(round * 10 + i), "payload");
+      ASSERT_TRUE(t.Commit().ok());
+    }
+    for (int i = 0; i < 10; ++i) {
+      Transaction t = db.CreateTransaction();
+      t.Clear("item" + std::to_string(round * 10 + i));
+      ASSERT_TRUE(t.Commit().ok());
+    }
+    clock.AdvanceMillis(300);
+  }
+
+  // Let every churn version fall out of the window; the next commits carry
+  // the sweep (pruning piggybacks on the commit path).
+  for (int i = 0; i < 3; ++i) {
+    clock.AdvanceMillis(2000);
+    Transaction t = db.CreateTransaction();
+    t.Set("tick", std::to_string(i));
+    ASSERT_TRUE(t.Commit().ok());
+  }
+
+  EXPECT_EQ(db.LiveKeyCount(), 1u);  // just "tick"
+  // All 200 churned chains were erased; only "tick"'s short chain remains.
+  EXPECT_LE(db.TotalEntryCount(), 3u);
+}
+
+TEST(DatabaseTest, ResolverKindLegacyGivesSameOutcomes) {
+  for (auto kind : {Database::ResolverKind::kInterval,
+                    Database::ResolverKind::kLegacyLinear}) {
+    Database::Options opts;
+    opts.resolver = kind;
+    Database db("res", opts);
+    {
+      Transaction t = db.CreateTransaction();
+      t.Set("k", "v0");
+      ASSERT_TRUE(t.Commit().ok());
+    }
+    Transaction loser = db.CreateTransaction();
+    ASSERT_TRUE(loser.Get("k").ok());
+    loser.Set("out", "x");
+    {
+      Transaction winner = db.CreateTransaction();
+      winner.Set("k", "v1");
+      ASSERT_TRUE(winner.Commit().ok());
+    }
+    EXPECT_TRUE(loser.Commit().IsNotCommitted());
+    EXPECT_GE(db.ResolverTrackedCount(), 1u);
+  }
 }
 
 TEST(ClusterSetTest, AddAndGet) {

@@ -2,6 +2,10 @@
 // validate the exact property QuiCK's correctness argument leans on (§6
 // "Isolation level"): committed read-write transactions behave as if
 // executed sequentially in commit-version order.
+//
+// The whole suite runs twice — with group commit on and off — because the
+// batched commit pipeline must be observationally identical to one-at-a-
+// time commits (same serializable outcomes, only cheaper).
 
 #include <gtest/gtest.h>
 
@@ -19,10 +23,19 @@
 namespace quick::fdb {
 namespace {
 
+class SerializabilityTest : public ::testing::TestWithParam<bool> {
+ protected:
+  Database::Options Opts() const {
+    Database::Options opts;
+    opts.enable_group_commit = GetParam();
+    return opts;
+  }
+};
+
 // Bank-transfer invariant: the sum across accounts is conserved by
 // concurrent randomized transfers.
-TEST(SerializabilityTest, BankTransfersConserveTotal) {
-  Database db("bank");
+TEST_P(SerializabilityTest, BankTransfersConserveTotal) {
+  Database db("bank", Opts());
   constexpr int kAccounts = 10;
   constexpr int64_t kInitial = 1000;
   {
@@ -78,8 +91,8 @@ TEST(SerializabilityTest, BankTransfersConserveTotal) {
 // Write-skew detection: two transactions each read both keys and write one.
 // Under strict serializability at most one of two overlapping ones commits;
 // the invariant x + y >= 1 must hold if every writer preserves it.
-TEST(SerializabilityTest, NoWriteSkew) {
-  Database db("skew");
+TEST_P(SerializabilityTest, NoWriteSkew) {
+  Database db("skew", Opts());
   {
     Transaction t = db.CreateTransaction();
     t.Set("x", "1");
@@ -89,7 +102,8 @@ TEST(SerializabilityTest, NoWriteSkew) {
 
   // Two concurrent transactions, each zeroing a different key if the sum
   // allows. Snapshot isolation would let both commit (classic write skew);
-  // serializability must abort one.
+  // serializability must abort one. With group commit the two may land in
+  // one batch — intra-batch resolution must still abort the later one.
   Transaction t1 = db.CreateTransaction();
   Transaction t2 = db.CreateTransaction();
   auto sum = [](Transaction& t) {
@@ -114,8 +128,8 @@ TEST(SerializabilityTest, NoWriteSkew) {
 // commit; concurrent readers must never observe x != y at any read
 // version, proving reads are instantaneous snapshots rather than
 // key-by-key latest values.
-TEST(SerializabilityTest, SnapshotReadsSeeConsistentPairs) {
-  Database db("pairs");
+TEST_P(SerializabilityTest, SnapshotReadsSeeConsistentPairs) {
+  Database db("pairs", Opts());
   {
     Transaction t = db.CreateTransaction();
     t.Set("x", "0");
@@ -155,9 +169,11 @@ TEST(SerializabilityTest, SnapshotReadsSeeConsistentPairs) {
 }
 
 // Atomic increments from many threads: no lost updates without any retries
-// beyond transient faults (atomics never conflict).
-TEST(SerializabilityTest, AtomicIncrementsNeverLost) {
-  Database db("atomic");
+// beyond transient faults (atomics never conflict). Under group commit,
+// increments sharing one batch fold into one version chain — the total
+// must still be exact.
+TEST_P(SerializabilityTest, AtomicIncrementsNeverLost) {
+  Database db("atomic", Opts());
   constexpr int kThreads = 8;
   constexpr int kIncrements = 500;
   std::atomic<int> conflicts{0};
@@ -179,6 +195,12 @@ TEST(SerializabilityTest, AtomicIncrementsNeverLost) {
   EXPECT_EQ(DecodeLittleEndian64(probe.Get("n").value().value()),
             static_cast<uint64_t>(kThreads * kIncrements));
 }
+
+INSTANTIATE_TEST_SUITE_P(GroupCommit, SerializabilityTest,
+                         ::testing::Bool(),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "batched" : "single";
+                         });
 
 }  // namespace
 }  // namespace quick::fdb

@@ -225,5 +225,105 @@ TEST(ApplyAtomicOpTest, AddResultWidthFollowsOperand) {
   EXPECT_EQ(DecodeLittleEndian64(result), 5u);
 }
 
+TEST(VersionedStoreTest, ScanRangeStreamsInOrderAndHonorsLimit) {
+  VersionedStore store;
+  store.Apply({SetMut("a", "1"), SetMut("b", "2"), SetMut("c", "3"),
+               SetMut("d", "4")},
+              1);
+  store.Apply({ClearMut("b")}, 2);
+
+  std::vector<std::string> keys;
+  RangeOptions opts;
+  opts.limit = 2;
+  store.ScanRange(KeyRange{"a", "z"}, 2, opts,
+                  [&](std::string_view k, std::string_view) {
+                    keys.emplace_back(k);
+                    return true;
+                  });
+  // Tombstoned "b" is skipped during iteration; limit counts emitted pairs.
+  EXPECT_EQ(keys, (std::vector<std::string>{"a", "c"}));
+}
+
+TEST(VersionedStoreTest, ScanRangeReverse) {
+  VersionedStore store;
+  store.Apply({SetMut("a", "1"), SetMut("b", "2"), SetMut("c", "3")}, 1);
+  std::vector<std::string> keys;
+  RangeOptions opts;
+  opts.reverse = true;
+  opts.limit = 2;
+  store.ScanRange(KeyRange{"a", "z"}, 1, opts,
+                  [&](std::string_view k, std::string_view) {
+                    keys.emplace_back(k);
+                    return true;
+                  });
+  EXPECT_EQ(keys, (std::vector<std::string>{"c", "b"}));
+}
+
+TEST(VersionedStoreTest, ScanRangeSinkCanStopEarly) {
+  VersionedStore store;
+  for (char c = 'a'; c <= 'j'; ++c) {
+    store.Apply({SetMut(std::string(1, c), "v")}, 1);
+  }
+  int visited = 0;
+  store.ScanRange(KeyRange{"a", "z"}, 1, RangeOptions{},
+                  [&](std::string_view, std::string_view) {
+                    ++visited;
+                    return visited < 3;
+                  });
+  EXPECT_EQ(visited, 3);
+}
+
+TEST(VersionedStoreTest, BatchOrderLastMemberWinsAtSharedVersion) {
+  VersionedStore store;
+  // Two commit-batch members share version 7; member 1 overwrites what
+  // member 0 wrote. A reader at 7 must see member 1's value; a reader at 6
+  // must see neither.
+  store.Apply({SetMut("k", "first")}, 7, /*batch_order=*/0);
+  store.Apply({SetMut("k", "second")}, 7, /*batch_order=*/1);
+  EXPECT_EQ(store.Get("k", 7).value(), "second");
+  EXPECT_FALSE(store.Get("k", 6).has_value());
+}
+
+TEST(VersionedStoreTest, VersionstampBatchOrderBytes) {
+  EXPECT_EQ(VersionstampFor(1, 0).size(), 10u);
+  // Batch order is the low 2 bytes: same version, increasing order sorts
+  // between the version and its successor.
+  EXPECT_LT(VersionstampFor(1, 0), VersionstampFor(1, 1));
+  EXPECT_LT(VersionstampFor(1, 65535), VersionstampFor(2, 0));
+
+  VersionedStore store;
+  Mutation m;
+  m.type = Mutation::Type::kSetVersionstampedKey;
+  m.key = "q/";
+  m.value = "a";
+  store.Apply({m}, 3, 0);
+  m.value = "b";
+  store.Apply({m}, 3, 1);
+  // Distinct batch orders produce distinct keys even at a shared version.
+  EXPECT_EQ(store.GetRange(KeyRange::Prefix("q/"), 3).size(), 2u);
+}
+
+// Regression: sustained enqueue/dequeue churn (write then clear) must not
+// grow the key map or the version chains without bound once pruning passes
+// the clears — the store converges back to its live size.
+TEST(VersionedStoreTest, ChurnConvergesAfterPrune) {
+  VersionedStore store;
+  Version v = 0;
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 10; ++i) {
+      store.Apply({SetMut("item" + std::to_string(round * 10 + i), "x")}, ++v);
+    }
+    for (int i = 0; i < 10; ++i) {
+      store.Apply({ClearMut("item" + std::to_string(round * 10 + i))}, ++v);
+    }
+    // Periodic pruning as the Database performs it (monotone floors).
+    if (round % 7 == 6) store.Prune(v - 15);
+  }
+  store.Apply({SetMut("survivor", "s")}, ++v);
+  store.Prune(v);
+  EXPECT_EQ(store.LiveKeyCount(), 1u);
+  EXPECT_EQ(store.TotalEntryCount(), 1u);
+}
+
 }  // namespace
 }  // namespace quick::fdb
