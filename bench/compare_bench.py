@@ -12,6 +12,8 @@ Two kinds of checks:
        >= 1.5x on concurrent commit throughput.
      - fig7_contention: end-to-end throughput at the CI shape
        (selection_frac 0.05) improves with group commit on vs off.
+     - admission_noisy_neighbor: admission control halves (>= 2x) the
+       victim tenant's p99 latency under a flooding neighbor.
 
 2. Baseline regression (with --baseline): every throughput counter shared
    by a baseline run and the current run must not drop by more than
@@ -106,6 +108,12 @@ def ratio_invariants(current):
                     "BM_Fig7_SelectionFrac/500/group",
                     "BM_Fig7_SelectionFrac/500/single",
                     "throughput_items_per_sec", 1.2)
+    if "admission_noisy_neighbor" in current:
+        check_ratio(current["admission_noisy_neighbor"],
+                    "admission_noisy_neighbor",
+                    "BM_NoisyNeighbor/admission_off",
+                    "BM_NoisyNeighbor/admission_on",
+                    "victim_p99_ms", 2.0)
 
 
 def baseline_regressions(baseline, current, threshold):

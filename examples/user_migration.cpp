@@ -8,7 +8,9 @@
 
 #include <cstdio>
 
+#include "control/balancer.h"
 #include "fdb/retry.h"
+#include "quick/admin.h"
 #include "quick/consumer.h"
 #include "quick/quick.h"
 
@@ -48,8 +50,13 @@ int main() {
               static_cast<long long>(quick.PendingCount(user).value_or(-1)),
               source.c_str());
 
-  // Rebalance: move dana — data AND queued tasks — to the other cluster.
-  Status st = quick.MoveTenant(user, destination);
+  // Rebalance: move dana — data AND queued tasks — to the other cluster,
+  // through the orchestrated state machine (copy -> catch-up -> fenced
+  // flip). Raw CommitMove would refuse the flip with work still queued.
+  control::TenantBalancer balancer(&quick);
+  core::QuickAdmin admin(&quick);
+  admin.SetMoveOrchestrator(&balancer);
+  Status st = admin.MoveTenant(user, destination);
   std::printf("[move] %s -> %s : %s\n", source.c_str(), destination.c_str(),
               st.ToString().c_str());
   if (!st.ok()) return 1;

@@ -191,6 +191,27 @@ Result<std::vector<QueuedItem>> QueueZone::Peek(
   return out;
 }
 
+Result<std::vector<QueuedItem>> QueueZone::SnapshotAll(int max_items) {
+  rl::IndexScanOptions options;
+  options.snapshot = true;
+  QUICK_ASSIGN_OR_RETURN(
+      std::vector<rl::IndexEntry> entries,
+      store_.ScanIndex(kVestingIndex, tup::Tuple(), options));
+  std::vector<QueuedItem> out;
+  for (const rl::IndexEntry& entry : entries) {
+    QUICK_ASSIGN_OR_RETURN(std::string id, entry.primary_key.GetString(1));
+    QUICK_ASSIGN_OR_RETURN(
+        std::optional<rl::Record> rec,
+        store_.LoadRecord(QueuedItem::kRecordType,
+                          tup::Tuple().AddString(id), /*snapshot=*/true));
+    if (!rec.has_value()) continue;  // raced with a delete; snapshot scan
+    QUICK_ASSIGN_OR_RETURN(QueuedItem item, QueuedItem::FromRecord(*rec));
+    out.push_back(std::move(item));
+    if (max_items > 0 && static_cast<int>(out.size()) >= max_items) break;
+  }
+  return out;
+}
+
 Result<std::vector<std::string>> QueueZone::PeekIds(int max_items) {
   const int64_t now = clock_->NowMillis();
   rl::IndexScanOptions options;

@@ -149,6 +149,12 @@ class QueueZone {
   /// (snapshot read).
   Result<int64_t> DeadLetterCount();
 
+  /// Every item in the zone regardless of vesting state — leased, delayed,
+  /// and vested alike (limit 0 = all). Fully snapshot like Peek; the
+  /// migration orchestrator uses it to audit lease drain before the fenced
+  /// final copy, when the fence already guarantees quiescence.
+  Result<std::vector<QueuedItem>> SnapshotAll(int max_items = 0);
+
   /// Transactional peek+lease of up to `max_items` vested items (§5
   /// dequeue, batched as QuiCK's Managers use it).
   Result<std::vector<LeasedItem>> Dequeue(int max_items,

@@ -1,5 +1,6 @@
 #include "cloudkit/service.h"
 
+#include "cloudkit/migration_state.h"
 #include "fdb/retry.h"
 
 namespace quick::ck {
@@ -55,6 +56,50 @@ Status CloudKitService::CopyDatabaseData(const DatabaseId& id,
     cursor = KeyAfter(page.back().key);
     if (static_cast<int>(page.size()) < kPageSize) break;
   }
+  return Status::OK();
+}
+
+Status CloudKitService::CommitMove(const DatabaseId& id,
+                                   const std::string& dest_cluster,
+                                   const std::string& queue_zone_name) {
+  if (id.kind == DatabaseKind::kCluster) {
+    return Status::InvalidArgument("cannot move a ClusterDB: " +
+                                   id.ToString());
+  }
+  const std::optional<std::string> src_cluster = placement_.Get(id);
+  if (!src_cluster.has_value()) {
+    return Status::NotFound("database " + id.ToString() + " not placed");
+  }
+  if (*src_cluster == dest_cluster) return Status::OK();
+  fdb::Database* src = clusters_->Get(*src_cluster);
+  fdb::Database* dst = clusters_->Get(dest_cluster);
+  if (src == nullptr || dst == nullptr) {
+    return Status::InvalidArgument("unknown cluster");
+  }
+  Status st = fdb::RunTransaction(src, [&](fdb::Transaction& txn) {
+    // A sealed migration fence on the source means an orchestrator has
+    // frozen the tenant and owns carrying the queue contents across.
+    auto fence = txn.Get(MoveState::Key(id));
+    QUICK_RETURN_IF_ERROR(fence.status());
+    if (fence->has_value()) {
+      std::optional<MoveState> state = MoveState::Decode(**fence);
+      if (state.has_value() && state->FencesEnqueues()) return Status::OK();
+    }
+    QueueZone zone(&txn, DatabaseSubspace(id).Sub("z").Sub(queue_zone_name),
+                   clock_);
+    QUICK_ASSIGN_OR_RETURN(int64_t count, zone.Count());
+    QUICK_ASSIGN_OR_RETURN(int64_t dl_count, zone.DeadLetterCount());
+    if (count > 0 || dl_count > 0) {
+      return Status::FailedPrecondition(
+          "refusing placement flip for " + id.ToString() + ": source has " +
+          std::to_string(count) + " queued and " + std::to_string(dl_count) +
+          " dead-lettered item(s); move them through the orchestrator "
+          "(QuickAdmin::MoveTenant) instead");
+    }
+    return Status::OK();
+  });
+  QUICK_RETURN_IF_ERROR(st);
+  placement_.Set(id, dest_cluster);
   return Status::OK();
 }
 

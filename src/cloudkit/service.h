@@ -69,10 +69,14 @@ class CloudKitService {
                             const std::string& cluster_name);
 
   /// Re-points the placement directory at `dest_cluster` (metadata flip of
-  /// a tenant move).
-  void CommitMove(const DatabaseId& id, const std::string& dest_cluster) {
-    placement_.Set(id, dest_cluster);
-  }
+  /// a tenant move). Guarded: when the source still has queue items (live
+  /// or dead-lettered) in `queue_zone_name`, the flip is refused unless a
+  /// sealed MoveState fence is up on the source — i.e. the caller is the
+  /// migration orchestrator, which has frozen the source and will carry
+  /// the items over. A bare flip with queued work would strand (and later
+  /// delete) that work on the source.
+  Status CommitMove(const DatabaseId& id, const std::string& dest_cluster,
+                    const std::string& queue_zone_name = "_queue");
 
   PlacementDirectory* placement() { return &placement_; }
   fdb::ClusterSet* clusters() { return clusters_; }

@@ -26,6 +26,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "PERMANENT";
     case StatusCode::kLeaseLost:
       return "LEASE_LOST";
+    case StatusCode::kThrottled:
+      return "THROTTLED";
+    case StatusCode::kTenantMoving:
+      return "TENANT_MOVING";
     case StatusCode::kNotCommitted:
       return "NOT_COMMITTED";
     case StatusCode::kTransactionTooOld:

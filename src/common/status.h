@@ -24,6 +24,10 @@ enum class StatusCode : int {
   kInternal = 8,
   kPermanent = 9,            // permanent task failure (e.g. user deleted)
   kLeaseLost = 10,           // lease no longer held by the caller
+  kThrottled = 11,           // admission control: retry after the indicated
+                             // delay (message carries "retry_after_ms=N")
+  kTenantMoving = 12,        // tenant fenced mid-migration; re-resolve
+                             // placement and retry at the new home
   // FoundationDB transaction errors.
   kNotCommitted = 20,        // optimistic-concurrency conflict
   kTransactionTooOld = 21,   // read version fell out of the MVCC window
@@ -73,6 +77,12 @@ class Status {
   static Status LeaseLost(std::string m = "lease lost") {
     return Status(StatusCode::kLeaseLost, std::move(m));
   }
+  static Status Throttled(std::string m = "throttled") {
+    return Status(StatusCode::kThrottled, std::move(m));
+  }
+  static Status TenantMoving(std::string m = "tenant moving") {
+    return Status(StatusCode::kTenantMoving, std::move(m));
+  }
   static Status NotCommitted(std::string m = "transaction conflict") {
     return Status(StatusCode::kNotCommitted, std::move(m));
   }
@@ -92,6 +102,8 @@ class Status {
 
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsThrottled() const { return code_ == StatusCode::kThrottled; }
+  bool IsTenantMoving() const { return code_ == StatusCode::kTenantMoving; }
   bool IsNotCommitted() const { return code_ == StatusCode::kNotCommitted; }
   bool IsLeaseLost() const { return code_ == StatusCode::kLeaseLost; }
   bool IsPermanent() const { return code_ == StatusCode::kPermanent; }

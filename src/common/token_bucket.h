@@ -1,0 +1,81 @@
+#ifndef QUICK_COMMON_TOKEN_BUCKET_H_
+#define QUICK_COMMON_TOKEN_BUCKET_H_
+
+#include <algorithm>
+#include <cstdint>
+
+#include "common/clock.h"
+
+namespace quick {
+
+/// A classic token bucket on the Clock abstraction: `burst` tokens of
+/// capacity refilled at `rate_per_sec`. Deterministic under ManualClock.
+///
+/// Not thread-safe: callers (AdmissionController) serialize access under
+/// their own mutex so a hierarchy of buckets is charged atomically.
+class TokenBucket {
+ public:
+  TokenBucket(double burst, double rate_per_sec, Clock* clock)
+      : burst_(burst),
+        rate_per_sec_(rate_per_sec),
+        tokens_(burst),
+        clock_(clock),
+        last_refill_micros_(clock->NowMicros()) {}
+
+  /// Takes `n` tokens if available. A non-positive rate disables the
+  /// bucket (always admits), so a hierarchy level can be left unlimited.
+  bool TryAcquire(double n = 1.0) {
+    if (rate_per_sec_ <= 0) return true;
+    Refill();
+    if (tokens_ + 1e-9 >= n) {
+      tokens_ -= n;
+      return true;
+    }
+    return false;
+  }
+
+  /// Milliseconds until `n` tokens will have accumulated, suitable as a
+  /// retry-after hint. Zero when the tokens are already there.
+  int64_t RetryAfterMillis(double n = 1.0) {
+    if (rate_per_sec_ <= 0) return 0;
+    Refill();
+    const double missing = n - tokens_;
+    if (missing <= 0) return 0;
+    return static_cast<int64_t>(missing * 1000.0 / rate_per_sec_) + 1;
+  }
+
+  /// Returns tokens taken by a speculative TryAcquire that was rolled back
+  /// (e.g. the tenant bucket admitted but the cluster bucket refused).
+  void Return(double n) {
+    if (rate_per_sec_ <= 0) return;
+    tokens_ = std::min(burst_, tokens_ + n);
+  }
+
+  double Available() {
+    if (rate_per_sec_ <= 0) return burst_;
+    Refill();
+    return tokens_;
+  }
+
+  double rate_per_sec() const { return rate_per_sec_; }
+  double burst() const { return burst_; }
+
+ private:
+  void Refill() {
+    const int64_t now = clock_->NowMicros();
+    if (now <= last_refill_micros_) return;
+    const double elapsed_sec = (now - last_refill_micros_) * 1e-6;
+    tokens_ = std::min(burst_, tokens_ + elapsed_sec * rate_per_sec_);
+    last_refill_micros_ = now;
+  }
+
+  double burst_;
+  double rate_per_sec_;
+  double tokens_;
+  Clock* clock_;
+  int64_t last_refill_micros_;
+};
+
+}  // namespace quick
+
+#endif  // QUICK_COMMON_TOKEN_BUCKET_H_

@@ -1,0 +1,168 @@
+#include "control/admission.h"
+
+#include <algorithm>
+
+namespace quick::control {
+
+AdmissionController::AdmissionController(AdmissionConfig config, Clock* clock,
+                                         MetricsRegistry* registry)
+    : config_(config),
+      clock_(clock),
+      registry_(registry),
+      admitted_(registry->GetCounter("quick.admission.admitted")),
+      throttled_tenant_(
+          registry->GetCounter("quick.admission.throttled.tenant")),
+      throttled_app_(registry->GetCounter("quick.admission.throttled.app")),
+      throttled_cluster_(
+          registry->GetCounter("quick.admission.throttled.cluster")),
+      shed_(registry->GetCounter("quick.admission.shed")),
+      dispatch_admitted_(
+          registry->GetCounter("quick.admission.dispatch_admitted")),
+      dispatch_throttled_(
+          registry->GetCounter("quick.admission.dispatch_throttled")) {}
+
+AdmissionController::TenantState* AdmissionController::Tenant(
+    const std::string& key) {
+  auto it = tenants_.find(key);
+  if (it == tenants_.end()) {
+    it = tenants_
+             .emplace(key,
+                      TenantState{
+                          TokenBucket(config_.tenant.burst,
+                                      config_.tenant.rate_per_sec, clock_),
+                          TokenBucket(config_.dispatch_tenant.burst,
+                                      config_.dispatch_tenant.rate_per_sec,
+                                      clock_),
+                          /*debt=*/0,
+                          /*last_decay_micros=*/clock_->NowMicros()})
+             .first;
+  }
+  return &it->second;
+}
+
+TokenBucket* AdmissionController::Shared(
+    std::unordered_map<std::string, TokenBucket>* map, const std::string& key,
+    const AdmissionLimits& limits) {
+  auto it = map->find(key);
+  if (it == map->end()) {
+    it = map->emplace(key, TokenBucket(limits.burst, limits.rate_per_sec,
+                                       clock_))
+             .first;
+  }
+  return &it->second;
+}
+
+void AdmissionController::DecayDebt(TenantState* t) {
+  // Debt drains at the tenant's own refill rate: a tenant that stops
+  // over-sending earns its way back to fair standing in the same time it
+  // would take to refill the tokens it over-asked for.
+  const int64_t now = clock_->NowMicros();
+  if (now <= t->last_decay_micros) return;
+  const double elapsed_sec = (now - t->last_decay_micros) * 1e-6;
+  const double rate = config_.tenant.rate_per_sec > 0
+                          ? config_.tenant.rate_per_sec
+                          : 1.0;
+  t->debt = std::max(0.0, t->debt - elapsed_sec * rate);
+  t->last_decay_micros = now;
+}
+
+core::AdmissionDecision AdmissionController::Deny(TenantState* t,
+                                                  const char* level,
+                                                  int64_t raw_retry_millis,
+                                                  Counter* counter) {
+  core::AdmissionDecision d;
+  d.level = level;
+  int64_t retry = raw_retry_millis;
+  if (config_.fair_share && t != nullptr) {
+    const double rate = config_.tenant.rate_per_sec > 0
+                            ? config_.tenant.rate_per_sec
+                            : 1.0;
+    retry += static_cast<int64_t>(t->debt * 1000.0 / rate);
+    if (retry >= config_.shed_after_millis) {
+      d.outcome = core::AdmissionDecision::Outcome::kShed;
+      d.retry_after_millis =
+          std::min(retry, config_.max_retry_after_millis);
+      shed_->Increment();
+      return d;
+    }
+  }
+  d.outcome = core::AdmissionDecision::Outcome::kThrottle;
+  d.retry_after_millis = std::min(retry, config_.max_retry_after_millis);
+  counter->Increment();
+  return d;
+}
+
+core::AdmissionDecision AdmissionController::AdmitEnqueue(
+    const ck::DatabaseId& db_id, const std::string& cluster, int64_t cost) {
+  core::AdmissionDecision admit;
+  if (!config_.enabled) return admit;
+  const double n = static_cast<double>(std::max<int64_t>(1, cost));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState* tenant = Tenant(db_id.ToString());
+  DecayDebt(tenant);
+
+  // 1. Tenant bucket. A refusal here charges debt and stops — the shared
+  //    app/cluster buckets are untouched, so a refused hot tenant cannot
+  //    eat its neighbors' capacity.
+  if (!tenant->bucket.TryAcquire(n)) {
+    if (config_.fair_share) tenant->debt += n;
+    return Deny(tenant, "tenant", tenant->bucket.RetryAfterMillis(n),
+                throttled_tenant_);
+  }
+
+  // 2. App bucket; roll the tenant charge back on refusal.
+  TokenBucket* app = Shared(&apps_, db_id.app, config_.app);
+  if (!app->TryAcquire(n)) {
+    tenant->bucket.Return(n);
+    return Deny(config_.fair_share && tenant->debt > 0 ? tenant : nullptr,
+                "app", app->RetryAfterMillis(n), throttled_app_);
+  }
+
+  // 3. Cluster bucket; roll tenant + app back on refusal.
+  TokenBucket* cl = Shared(&clusters_, cluster, config_.cluster);
+  if (!cl->TryAcquire(n)) {
+    tenant->bucket.Return(n);
+    app->Return(n);
+    return Deny(config_.fair_share && tenant->debt > 0 ? tenant : nullptr,
+                "cluster", cl->RetryAfterMillis(n), throttled_cluster_);
+  }
+
+  admitted_->Increment();
+  return admit;
+}
+
+core::AdmissionDecision AdmissionController::AdmitDispatch(
+    const ck::DatabaseId& db_id, const std::string& cluster, int64_t cost) {
+  (void)cluster;
+  core::AdmissionDecision admit;
+  if (!config_.enabled || config_.dispatch_tenant.rate_per_sec <= 0) {
+    return admit;
+  }
+  const double n = static_cast<double>(std::max<int64_t>(1, cost));
+
+  std::lock_guard<std::mutex> lock(mu_);
+  TenantState* tenant = Tenant(db_id.ToString());
+  if (!tenant->dispatch_bucket.TryAcquire(n)) {
+    core::AdmissionDecision d;
+    // Dispatch refusals always throttle (the item requeues); shedding
+    // dequeued work would drop it.
+    d.outcome = core::AdmissionDecision::Outcome::kThrottle;
+    d.level = "tenant";
+    d.retry_after_millis =
+        std::min(tenant->dispatch_bucket.RetryAfterMillis(n),
+                 config_.max_retry_after_millis);
+    dispatch_throttled_->Increment();
+    return d;
+  }
+  dispatch_admitted_->Increment();
+  return admit;
+}
+
+double AdmissionController::DebtOf(const std::string& tenant_key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant_key);
+  return it == tenants_.end() ? 0.0 : it->second.debt;
+}
+
+}  // namespace quick::control

@@ -1,0 +1,115 @@
+#ifndef QUICK_CONTROL_ADMISSION_H_
+#define QUICK_CONTROL_ADMISSION_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "common/clock.h"
+#include "common/metrics.h"
+#include "common/token_bucket.h"
+#include "quick/admission_gate.h"
+
+namespace quick::control {
+
+/// Rate/burst pair for one hierarchy level. rate_per_sec <= 0 disables
+/// the level (unlimited).
+struct AdmissionLimits {
+  double rate_per_sec = 0;
+  double burst = 0;
+};
+
+struct AdmissionConfig {
+  bool enabled = true;
+  /// Enqueue-side hierarchy: tenant -> app -> cluster. A request must pass
+  /// all three; outer refusals refund the inner tokens already taken.
+  AdmissionLimits tenant{100, 200};
+  AdmissionLimits app{1000, 2000};
+  AdmissionLimits cluster{5000, 10000};
+  /// Dispatch-side per-tenant limit (consumer worker-pool share). Disabled
+  /// by default: dispatch gating pushes already-queued work back, which
+  /// only helps when one tenant floods the pool.
+  AdmissionLimits dispatch_tenant{0, 0};
+  /// Debt-based fair share: a refused tenant accrues debt that (a) extends
+  /// its retry-after hint, so persistent over-senders wait longer than
+  /// polite ones, and (b) escalates its refusals to shed once the raw
+  /// retry-after passes shed_after_millis — the noisy tenant degrades
+  /// itself, never its neighbors.
+  bool fair_share = true;
+  int64_t shed_after_millis = 5000;
+  /// Clamp on the retry-after hint surfaced to clients.
+  int64_t max_retry_after_millis = 30000;
+};
+
+/// Hierarchical token-bucket admission controller (the enqueue- and
+/// dispatch-path gate of the control plane). Decision order and neighbor
+/// isolation:
+///
+///   1. The TENANT bucket is charged first. A tenant-level refusal never
+///      touches the app or cluster buckets — a hot tenant cannot consume
+///      shared capacity by being refused.
+///   2. The APP bucket next; on refusal the tenant's tokens are returned.
+///   3. The CLUSTER bucket last; on refusal tenant+app tokens return.
+///
+/// Every decision is counted under quick.admission.*; DebtOf() exposes a
+/// tenant's current debt for tests and operators.
+///
+/// Thread-safe: one mutex serializes decisions, so the hierarchy is
+/// charged atomically. Buckets and debt state are created lazily per
+/// tenant/app/cluster key.
+class AdmissionController : public core::AdmissionGate {
+ public:
+  AdmissionController(AdmissionConfig config, Clock* clock,
+                      MetricsRegistry* registry = MetricsRegistry::Default());
+
+  core::AdmissionDecision AdmitEnqueue(const ck::DatabaseId& db_id,
+                                       const std::string& cluster,
+                                       int64_t cost) override;
+  core::AdmissionDecision AdmitDispatch(const ck::DatabaseId& db_id,
+                                        const std::string& cluster,
+                                        int64_t cost) override;
+
+  /// Current fair-share debt of a tenant (keyed by DatabaseId::ToString()).
+  double DebtOf(const std::string& tenant_key) const;
+
+  const AdmissionConfig& config() const { return config_; }
+
+ private:
+  struct TenantState {
+    TokenBucket bucket;
+    TokenBucket dispatch_bucket;
+    double debt = 0;
+    int64_t last_decay_micros = 0;
+  };
+
+  TenantState* Tenant(const std::string& key);        // caller holds mu_
+  TokenBucket* Shared(std::unordered_map<std::string, TokenBucket>* map,
+                      const std::string& key,
+                      const AdmissionLimits& limits);  // caller holds mu_
+  void DecayDebt(TenantState* t);                      // caller holds mu_
+  core::AdmissionDecision Deny(TenantState* t, const char* level,
+                               int64_t raw_retry_millis, Counter* counter);
+
+  AdmissionConfig config_;
+  Clock* clock_;
+  MetricsRegistry* registry_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, TenantState> tenants_;
+  std::unordered_map<std::string, TokenBucket> apps_;
+  std::unordered_map<std::string, TokenBucket> clusters_;
+
+  // quick.admission.* decision counters, resolved once.
+  Counter* admitted_;
+  Counter* throttled_tenant_;
+  Counter* throttled_app_;
+  Counter* throttled_cluster_;
+  Counter* shed_;
+  Counter* dispatch_admitted_;
+  Counter* dispatch_throttled_;
+};
+
+}  // namespace quick::control
+
+#endif  // QUICK_CONTROL_ADMISSION_H_

@@ -1,0 +1,192 @@
+#include "control/load_monitor.h"
+
+#include <algorithm>
+
+#include "quick/tenant_metrics.h"
+
+namespace quick::control {
+
+namespace {
+
+bool ConsumePrefix(const std::string& s, const char* prefix,
+                   std::string* rest) {
+  const size_t n = std::string(prefix).size();
+  if (s.compare(0, n, prefix) != 0) return false;
+  *rest = s.substr(n);
+  return true;
+}
+
+}  // namespace
+
+std::optional<ck::DatabaseId> ParseTenantKey(const std::string& key) {
+  const size_t slash = key.find('/');
+  if (slash == std::string::npos || slash == 0) return std::nullopt;
+  const std::string app = key.substr(0, slash);
+  const std::string rest = key.substr(slash + 1);
+  if (rest == "public") return ck::DatabaseId::Public(app);
+  if (rest.compare(0, 8, "private/") == 0) {
+    return ck::DatabaseId::Private(app, rest.substr(8));
+  }
+  if (rest.compare(0, 8, "cluster/") == 0) {
+    ck::DatabaseId id;
+    id.app = app;
+    id.user = rest.substr(8);
+    id.kind = ck::DatabaseKind::kCluster;
+    return id;
+  }
+  return std::nullopt;
+}
+
+LoadMonitor::LoadMonitor(ck::CloudKitService* ck, LoadMonitorConfig config,
+                         Clock* clock, MetricsRegistry* registry)
+    : ck_(ck), config_(config), clock_(clock), registry_(registry) {}
+
+double LoadMonitor::Delta(const std::string& counter_name, int64_t value) {
+  auto it = last_values_.find(counter_name);
+  const int64_t prev = it == last_values_.end() ? 0 : it->second;
+  last_values_[counter_name] = value;
+  // A brand-new counter's whole value counts as this interval's delta only
+  // once a baseline exists; the first Tick just records.
+  if (!have_baseline_ && it == last_values_.end()) return 0;
+  return static_cast<double>(value - prev);
+}
+
+void LoadMonitor::Tick() {
+  const int64_t now = clock_->NowMicros();
+  const double elapsed_sec =
+      last_tick_micros_ > 0 ? (now - last_tick_micros_) * 1e-6 : 0.0;
+  const MetricsSnapshot snap = registry_->Snapshot();
+
+  // Per-tenant deltas keyed by the ck.tenant.* name suffix.
+  struct Deltas {
+    double enq = 0, deq = 0, err = 0;
+  };
+  std::map<std::string, Deltas> by_tenant;
+  std::map<std::string, int64_t> breaker_by_cluster;
+  for (const auto& [name, value] : snap.counters) {
+    std::string rest;
+    if (ConsumePrefix(name, core::TenantMetrics::kEnqueuedPrefix, &rest)) {
+      by_tenant[rest].enq = Delta(name, value);
+    } else if (ConsumePrefix(name, core::TenantMetrics::kDequeuedPrefix,
+                             &rest)) {
+      by_tenant[rest].deq = Delta(name, value);
+    } else if (ConsumePrefix(name, core::TenantMetrics::kErrorsPrefix,
+                             &rest)) {
+      by_tenant[rest].err = Delta(name, value);
+    } else if (ConsumePrefix(name, "quick.breaker.", &rest)) {
+      // quick.breaker.<cluster>.{opened,reopened,...}: opened/reopened
+      // deltas flag a cluster in trouble this interval.
+      const size_t dot = rest.rfind('.');
+      if (dot == std::string::npos) continue;
+      const std::string event = rest.substr(dot + 1);
+      if (event != "opened" && event != "reopened") continue;
+      breaker_by_cluster[rest.substr(0, dot)] +=
+          static_cast<int64_t>(Delta(name, value));
+    }
+  }
+
+  // Fold tenant rates into clusters via current placement.
+  tenants_.clear();
+  std::map<std::string, ClusterLoad> fresh;
+  for (const std::string& cluster : ck_->clusters()->names()) {
+    fresh[cluster].cluster = cluster;
+  }
+  const double div = elapsed_sec > 0 ? elapsed_sec : 1.0;
+  for (const auto& [key, d] : by_tenant) {
+    std::optional<ck::DatabaseId> id = ParseTenantKey(key);
+    if (!id.has_value()) continue;
+    TenantLoad t;
+    t.db_id = *id;
+    t.cluster = id->kind == ck::DatabaseKind::kCluster
+                    ? id->user
+                    : ck_->placement()->Get(*id).value_or("");
+    t.enqueue_rate = d.enq / div;
+    t.dequeue_rate = d.deq / div;
+    t.error_rate = d.err / div;
+    ClusterLoad& c = fresh[t.cluster];
+    c.cluster = t.cluster;
+    c.enqueue_rate += t.enqueue_rate;
+    c.dequeue_rate += t.dequeue_rate;
+    tenants_.push_back(std::move(t));
+  }
+  for (const auto& [cluster, events] : breaker_by_cluster) {
+    ClusterLoad& c = fresh[cluster];
+    c.cluster = cluster;
+    c.breaker_events += events;
+  }
+
+  // EWMA the instantaneous sample into the running score and publish.
+  for (auto& [name, c] : fresh) {
+    const double sample =
+        config_.rate_weight * c.enqueue_rate +
+        config_.backlog_weight *
+            std::max(0.0, c.enqueue_rate - c.dequeue_rate) +
+        config_.breaker_weight * static_cast<double>(c.breaker_events);
+    auto prev = clusters_.find(name);
+    const double prev_score =
+        prev == clusters_.end() ? 0.0 : prev->second.score;
+    c.score = have_baseline_
+                  ? config_.ewma_alpha * sample +
+                        (1.0 - config_.ewma_alpha) * prev_score
+                  : sample;
+    registry_->GetGauge("quick.load.score." + name)
+        ->Set(static_cast<int64_t>(c.score * 1000.0));
+  }
+  clusters_ = std::move(fresh);
+
+  last_tick_micros_ = now;
+  have_baseline_ = true;
+}
+
+std::vector<ClusterLoad> LoadMonitor::ClusterLoads() const {
+  std::vector<ClusterLoad> out;
+  out.reserve(clusters_.size());
+  for (const auto& [name, c] : clusters_) out.push_back(c);
+  std::sort(out.begin(), out.end(),
+            [](const ClusterLoad& a, const ClusterLoad& b) {
+              return a.score > b.score;
+            });
+  return out;
+}
+
+std::vector<TenantLoad> LoadMonitor::HotTenants() const {
+  std::vector<TenantLoad> out;
+  for (const TenantLoad& t : tenants_) {
+    if (t.db_id.kind == ck::DatabaseKind::kCluster) continue;
+    // Quiet this interval (e.g. the baseline tick) is not hot.
+    if (t.enqueue_rate <= 0 && t.dequeue_rate <= 0 && t.error_rate <= 0) {
+      continue;
+    }
+    out.push_back(t);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const TenantLoad& a, const TenantLoad& b) {
+              return a.enqueue_rate > b.enqueue_rate;
+            });
+  if (static_cast<int>(out.size()) > config_.top_k) {
+    out.resize(static_cast<size_t>(config_.top_k));
+  }
+  return out;
+}
+
+std::optional<RebalancePlan> LoadMonitor::SuggestRebalance() const {
+  const std::vector<ClusterLoad> loads = ClusterLoads();
+  if (loads.size() < 2) return std::nullopt;
+  const ClusterLoad& hottest = loads.front();
+  const ClusterLoad& coolest = loads.back();
+  const double gap = hottest.score - coolest.score;
+  if (gap < config_.rebalance_min_gap) return std::nullopt;
+  // The hottest movable tenant currently homed on the hottest cluster.
+  for (const TenantLoad& t : HotTenants()) {
+    if (t.cluster != hottest.cluster) continue;
+    RebalancePlan plan;
+    plan.db_id = t.db_id;
+    plan.source_cluster = hottest.cluster;
+    plan.dest_cluster = coolest.cluster;
+    plan.score_gap = gap;
+    return plan;
+  }
+  return std::nullopt;
+}
+
+}  // namespace quick::control

@@ -1,0 +1,114 @@
+#ifndef QUICK_CONTROL_LOAD_MONITOR_H_
+#define QUICK_CONTROL_LOAD_MONITOR_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cloudkit/service.h"
+#include "common/clock.h"
+#include "common/metrics.h"
+
+namespace quick::control {
+
+struct LoadMonitorConfig {
+  /// How many hot tenants HotTenants() reports.
+  int top_k = 5;
+  /// EWMA smoothing for cluster load scores (1.0 = latest sample only).
+  double ewma_alpha = 0.5;
+  /// Load-score formula weights (see ClusterLoad::score):
+  ///   score = ewma(rate_weight * enqueue_rate
+  ///               + backlog_weight * max(0, enqueue_rate - dequeue_rate)
+  ///               + breaker_weight * breaker_trouble)
+  double backlog_weight = 1.0;
+  double rate_weight = 1.0;
+  double breaker_weight = 100.0;
+  /// SuggestRebalance() proposes a move only when the hottest and coolest
+  /// clusters' scores differ by at least this much.
+  double rebalance_min_gap = 50.0;
+};
+
+/// Per-tenant activity over the last Tick interval.
+struct TenantLoad {
+  ck::DatabaseId db_id;
+  std::string cluster;
+  double enqueue_rate = 0;  // items/sec
+  double dequeue_rate = 0;
+  double error_rate = 0;
+};
+
+/// Per-cluster folded load.
+struct ClusterLoad {
+  std::string cluster;
+  double enqueue_rate = 0;
+  double dequeue_rate = 0;
+  /// Circuit-breaker opened/reopened events observed this interval.
+  int64_t breaker_events = 0;
+  /// EWMA load score (see LoadMonitorConfig for the formula).
+  double score = 0;
+};
+
+/// A proposed tenant move (hot tenant off the hottest cluster onto the
+/// coolest one).
+struct RebalancePlan {
+  ck::DatabaseId db_id;
+  std::string source_cluster;
+  std::string dest_cluster;
+  double score_gap = 0;
+};
+
+/// Folds MetricsRegistry snapshots — the per-tenant ck.tenant.* counters,
+/// circuit-breaker quick.breaker.* events — and placement into cluster
+/// load scores and a top-K hot-tenant list. Call Tick() periodically; the
+/// first call establishes the baseline. Reads are non-destructive: the
+/// monitor keeps its own last-value map and never resets the registry.
+///
+/// Not thread-safe; drive from one control thread.
+class LoadMonitor {
+ public:
+  LoadMonitor(ck::CloudKitService* ck, LoadMonitorConfig config,
+              Clock* clock,
+              MetricsRegistry* registry = MetricsRegistry::Default());
+
+  /// Ingests one snapshot: computes per-tenant rates over the interval
+  /// since the previous Tick, refreshes cluster scores, and publishes
+  /// them as quick.load.score.<cluster> gauges (scaled x1000).
+  void Tick();
+
+  /// Cluster loads after the latest Tick, sorted by descending score.
+  std::vector<ClusterLoad> ClusterLoads() const;
+
+  /// Top-K tenants by enqueue rate over the last interval (ClusterDBs
+  /// excluded — local work is pinned and cannot rebalance).
+  std::vector<TenantLoad> HotTenants() const;
+
+  /// Proposes moving the hottest tenant of the hottest cluster to the
+  /// coolest cluster, when the score gap warrants it; nullopt otherwise.
+  std::optional<RebalancePlan> SuggestRebalance() const;
+
+  const LoadMonitorConfig& config() const { return config_; }
+
+ private:
+  double Delta(const std::string& counter_name, int64_t value);
+
+  ck::CloudKitService* ck_;
+  LoadMonitorConfig config_;
+  Clock* clock_;
+  MetricsRegistry* registry_;
+
+  int64_t last_tick_micros_ = 0;
+  bool have_baseline_ = false;
+  std::map<std::string, int64_t> last_values_;
+  std::vector<TenantLoad> tenants_;
+  std::map<std::string, ClusterLoad> clusters_;
+};
+
+/// Parses a DatabaseId back out of its ToString() form
+/// ("app/private/user" | "app/public" | "app/cluster/name"); nullopt for
+/// anything else. Exposed for tests.
+std::optional<ck::DatabaseId> ParseTenantKey(const std::string& key);
+
+}  // namespace quick::control
+
+#endif  // QUICK_CONTROL_LOAD_MONITOR_H_

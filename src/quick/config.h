@@ -26,6 +26,11 @@ struct QuickConfig {
   /// pointer's vesting time when it exceeds the new item's vesting by more
   /// than this slack.
   int64_t pointer_vesting_slack_millis = 1000;
+  /// Enqueue retries when a tenant is fenced mid-migration (kTenantMoving):
+  /// each attempt re-resolves placement, so once the move's flip lands the
+  /// enqueue proceeds at the destination.
+  int move_retry_attempts = 10;
+  int64_t move_retry_delay_millis = 20;
 };
 
 /// Per-cluster circuit breaker (closed → open → half-open) guarding the

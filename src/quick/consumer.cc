@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "cloudkit/migration_state.h"
 #include "common/logging.h"
 #include "fdb/retry.h"
 
@@ -324,6 +325,7 @@ Status Consumer::ProcessTopItemImpl(const std::string& cluster_name,
         quick_->clock()->NowMillis() - before.enqueue_time;
     stats_.item_latency_micros.Record(latency_ms * 1000);
     stats_.items_dequeued.Increment();
+    quick_->tenant_metrics()->OnDequeued(cluster_db.id, 1);
     DispatchWorkerJob(std::move(job), inline_processing);
     return Status::OK();
   }();
@@ -383,9 +385,23 @@ Status Consumer::HandlePointer(const std::string& cluster_name,
   std::optional<int64_t> min_vesting;
   const int64_t deq_start = quick_->clock()->NowMicros();
   Status st = fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
+    items.clear();
+    min_vesting = std::nullopt;
+    // Migration fence, mirror of the enqueue-side read: when the tenant
+    // is sealed mid-move, dequeue nothing. The strong read means a dequeue
+    // racing the seal transaction conflicts with its write and retries
+    // into seeing the fence — so after the seal commits, no dequeue can
+    // take items out of the source zone (the balancer's final copy relies
+    // on this quiescence).
+    QUICK_ASSIGN_OR_RETURN(
+        std::optional<std::string> fence,
+        txn.Get(ck::MoveState::Key(pointer->db_id)));
+    if (fence.has_value()) {
+      std::optional<ck::MoveState> state = ck::MoveState::Decode(*fence);
+      if (state.has_value() && state->FencesEnqueues()) return Status::OK();
+    }
     ck::QueueZone zone(&txn, zone_subspace, quick_->clock(),
                        config_.fifo_tenant_zones);
-    items.clear();
     if (config_.fifo_tenant_zones) {
       QUICK_ASSIGN_OR_RETURN(items,
                              zone.DequeueFifo(config_.dequeue_max,
@@ -407,6 +423,10 @@ Status Consumer::HandlePointer(const std::string& cluster_name,
   if (crashed_.load()) return Status::OK();
 
   const int64_t now = quick_->clock()->NowMillis();
+  if (!items.empty()) {
+    quick_->tenant_metrics()->OnDequeued(pointer->db_id,
+                                         static_cast<int64_t>(items.size()));
+  }
   for (ck::LeasedItem& li : items) {
     stats_.items_dequeued.Increment();
     stats_.item_latency_micros.Record((now - li.item.enqueue_time) * 1000);
@@ -523,6 +543,14 @@ Status Consumer::HandlePointerItemLevel(const std::string& cluster_name,
   {
     stats_.pointer_lease_attempts.Increment();
     fdb::Transaction txn = cluster->CreateTransaction(PeekOptions());
+    // Same migration fence as HandlePointer's dequeue transaction.
+    Result<std::optional<std::string>> fence =
+        txn.Get(ck::MoveState::Key(pointer->db_id));
+    QUICK_RETURN_IF_ERROR(fence.status());
+    if (fence->has_value()) {
+      std::optional<ck::MoveState> state = ck::MoveState::Decode(**fence);
+      if (state.has_value() && state->FencesEnqueues()) return Status::OK();
+    }
     ck::QueueZone zone(&txn, zone_subspace, quick_->clock(),
                        config_.fifo_tenant_zones);
     Result<std::vector<ck::LeasedItem>> deq =
@@ -546,6 +574,10 @@ Status Consumer::HandlePointerItemLevel(const std::string& cluster_name,
 
   const int64_t now = quick_->clock()->NowMillis();
   const int64_t deq_end = quick_->clock()->NowMicros();
+  if (!items.empty()) {
+    quick_->tenant_metrics()->OnDequeued(pointer->db_id,
+                                         static_cast<int64_t>(items.size()));
+  }
   for (ck::LeasedItem& li : items) {
     stats_.items_dequeued.Increment();
     stats_.item_latency_micros.Record((now - li.item.enqueue_time) * 1000);
@@ -573,6 +605,35 @@ Status Consumer::HandlePointerItemLevel(const std::string& cluster_name,
 void Consumer::DispatchWorkerJob(WorkerJob job, bool inline_processing) {
   job.entry = registry_->Find(job.leased.item.job_type);
   job.lease_lost = std::make_shared<std::atomic<bool>>(false);
+
+  // Admission gate on dispatch: a hot tenant's already-dequeued items can
+  // be pushed back instead of monopolizing the worker pool. Work is never
+  // dropped here — a shed verdict also requeues (the item exists; only a
+  // producer-side shed refuses outright) — so the item re-vests after the
+  // gate's retry-after hint and any consumer picks it up again.
+  if (quick_->admission() != nullptr) {
+    const AdmissionDecision d =
+        quick_->admission()->AdmitDispatch(job.db_id, job.cluster, 1);
+    if (!d.admitted()) {
+      stats_.items_dispatch_throttled.Increment();
+      const int64_t delay = std::max<int64_t>(0, d.retry_after_millis);
+      fdb::Database* cluster = Cluster(job.cluster);
+      Status st = fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
+        ck::QueueZone zone(&txn, job.zone_subspace, quick_->clock(),
+                           job.fifo_zone);
+        Status s = zone.Requeue(job.leased.item.id, delay,
+                                /*increment_error_count=*/false,
+                                job.leased.lease_id);
+        return s.IsNotFound() || s.IsLeaseLost() ? Status::OK() : s;
+      });
+      if (st.ok()) {
+        hooks_.Mark(job.leased.item.id, stage::kRequeued,
+                    std::string("admission level=") + d.level +
+                        " delay_ms=" + std::to_string(delay));
+      }
+      return;
+    }
+  }
 
   // Per-type throttling (§7: dynamic allocation with per-topic bounds).
   if (job.entry != nullptr && job.entry->policy.max_concurrent > 0) {
@@ -681,6 +742,9 @@ Status Consumer::FinishItem(const WorkerJob& job, const Status& final_status) {
   // Crash chaos: completion never lands; the item's lease expires and
   // another consumer re-executes it (at-least-once, §5).
   if (crashed_.load()) return Status::OK();
+  if (!final_status.ok()) {
+    quick_->tenant_metrics()->OnError(job.db_id, 1);
+  }
   fdb::Database* cluster = Cluster(job.cluster);
   const bool is_local =
       StartsWith(job.zone_name, quick_->config().top_zone_name);

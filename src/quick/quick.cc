@@ -1,5 +1,6 @@
 #include "quick/quick.h"
 
+#include "cloudkit/migration_state.h"
 #include "common/random.h"
 #include "fdb/retry.h"
 #include "quick/trace_hooks.h"
@@ -11,6 +12,25 @@ Result<std::string> Quick::EnqueueInTransaction(fdb::Transaction* txn,
                                                 const WorkItem& item,
                                                 int64_t vesting_delay_millis,
                                                 EnqueueFollowUp* follow_up) {
+  // Migration fence: a strong read of the tenant's MoveState key. When a
+  // move has sealed the tenant, back off (kTenantMoving — non-retryable,
+  // so it escapes the FDB retry loop; Enqueue's outer loop re-resolves
+  // placement). When no fence is up, the read makes this enqueue conflict
+  // with a racing seal transaction's write — any enqueue serialized after
+  // the seal is guaranteed to have seen it, which is what makes the
+  // balancer's post-seal final copy exact.
+  if (db.id.kind != ck::DatabaseKind::kCluster) {
+    QUICK_ASSIGN_OR_RETURN(std::optional<std::string> fence,
+                           txn->Get(ck::MoveState::Key(db.id)));
+    if (fence.has_value()) {
+      std::optional<ck::MoveState> state = ck::MoveState::Decode(*fence);
+      if (state.has_value() && state->FencesEnqueues()) {
+        return Status::TenantMoving("tenant " + db.id.ToString() +
+                                    " is moving to " + state->dest_cluster);
+      }
+    }
+  }
+
   // Add the work item to the tenant's queue zone Q_DB.
   ck::QueueZone tenant_zone = OpenTenantZone(db, txn);
 
@@ -103,22 +123,54 @@ void Quick::ExecuteFollowUp(const ck::DatabaseRef& db,
   (void)txn.Commit();  // ignore failures: optimization only
 }
 
+Status Quick::AdmitEnqueue(const ck::DatabaseId& db_id, int64_t cost) {
+  if (admission_ == nullptr) return Status::OK();
+  const std::string cluster = ck_->placement()->AssignOrGet(db_id);
+  const AdmissionDecision d = admission_->AdmitEnqueue(db_id, cluster, cost);
+  if (d.admitted()) return Status::OK();
+  const TraceHooks hooks(tracer_, clock(), "producer");
+  if (hooks.enabled()) {
+    const char* name = d.outcome == AdmissionDecision::Outcome::kShed
+                           ? stage::kAdmissionShed
+                           : stage::kAdmissionThrottled;
+    // Pre-birth denial: no item id exists, so the span chain is keyed by
+    // the tenant.
+    hooks.Mark(db_id.ToString(), name,
+               std::string("level=") + d.level + " retry_after_ms=" +
+                   std::to_string(d.retry_after_millis));
+  }
+  return ThrottledStatus(d);
+}
+
 Result<std::string> Quick::Enqueue(const ck::DatabaseId& db_id,
                                    const WorkItem& item,
                                    int64_t vesting_delay_millis) {
-  const ck::DatabaseRef db = ck_->OpenDatabase(db_id);
+  // Admission is checked once per client request, before any transaction
+  // work; kTenantMoving retries below never re-charge the buckets.
+  QUICK_RETURN_IF_ERROR(AdmitEnqueue(db_id, /*cost=*/1));
   const TraceHooks hooks(tracer_, clock(), "producer");
   const int64_t start_micros = hooks.enabled() ? hooks.NowMicros() : 0;
   std::string item_id;
   EnqueueFollowUp follow_up;
-  Status st = fdb::RunTransaction(db.cluster, [&](fdb::Transaction& txn) {
-    Result<std::string> r =
-        EnqueueInTransaction(&txn, db, item, vesting_delay_millis, &follow_up);
-    QUICK_RETURN_IF_ERROR(r.status());
-    item_id = *r;
-    return Status::OK();
-  });
+  ck::DatabaseRef db;
+  Status st;
+  for (int attempt = 0;; ++attempt) {
+    // Re-resolve placement each attempt: after a move's flip the tenant's
+    // new home admits the enqueue.
+    db = ck_->OpenDatabase(db_id);
+    st = fdb::RunTransaction(db.cluster, [&](fdb::Transaction& txn) {
+      Result<std::string> r = EnqueueInTransaction(&txn, db, item,
+                                                   vesting_delay_millis,
+                                                   &follow_up);
+      QUICK_RETURN_IF_ERROR(r.status());
+      item_id = *r;
+      return Status::OK();
+    });
+    if (!st.IsTenantMoving() || attempt >= config_.move_retry_attempts) break;
+    clock()->SleepMillis(config_.move_retry_delay_millis);
+  }
   QUICK_RETURN_IF_ERROR(st);
+  tenant_metrics_.OnEnqueued(db_id, 1);
   // Enqueue-commit span: the trace id is the item id EnqueueInTransaction
   // assigned; spans are recorded only for committed enqueues (an aborted
   // client transaction never produced an item).
@@ -139,26 +191,35 @@ Result<std::string> Quick::Enqueue(const ck::DatabaseId& db_id,
 Result<std::vector<std::string>> Quick::EnqueueBatch(
     const ck::DatabaseId& db_id, const std::vector<WorkItem>& items,
     int64_t vesting_delay_millis) {
-  const ck::DatabaseRef db = ck_->OpenDatabase(db_id);
+  QUICK_RETURN_IF_ERROR(
+      AdmitEnqueue(db_id, static_cast<int64_t>(items.size())));
   const TraceHooks hooks(tracer_, clock(), "producer");
   const int64_t start_micros = hooks.enabled() ? hooks.NowMicros() : 0;
   std::vector<std::string> ids;
   EnqueueFollowUp follow_up;
-  Status st = fdb::RunTransaction(db.cluster, [&](fdb::Transaction& txn) {
-    ids.clear();
-    for (const WorkItem& item : items) {
-      // Only the first item can create the pointer; later ones see the
-      // buffered index entry through read-your-writes.
-      EnqueueFollowUp item_follow_up;
-      Result<std::string> r = EnqueueInTransaction(
-          &txn, db, item, vesting_delay_millis, &item_follow_up);
-      QUICK_RETURN_IF_ERROR(r.status());
-      ids.push_back(*r);
-      if (ids.size() == 1) follow_up = item_follow_up;
-    }
-    return Status::OK();
-  });
+  ck::DatabaseRef db;
+  Status st;
+  for (int attempt = 0;; ++attempt) {
+    db = ck_->OpenDatabase(db_id);
+    st = fdb::RunTransaction(db.cluster, [&](fdb::Transaction& txn) {
+      ids.clear();
+      for (const WorkItem& item : items) {
+        // Only the first item can create the pointer; later ones see the
+        // buffered index entry through read-your-writes.
+        EnqueueFollowUp item_follow_up;
+        Result<std::string> r = EnqueueInTransaction(
+            &txn, db, item, vesting_delay_millis, &item_follow_up);
+        QUICK_RETURN_IF_ERROR(r.status());
+        ids.push_back(*r);
+        if (ids.size() == 1) follow_up = item_follow_up;
+      }
+      return Status::OK();
+    });
+    if (!st.IsTenantMoving() || attempt >= config_.move_retry_attempts) break;
+    clock()->SleepMillis(config_.move_retry_delay_millis);
+  }
   QUICK_RETURN_IF_ERROR(st);
+  tenant_metrics_.OnEnqueued(db_id, static_cast<int64_t>(ids.size()));
   if (hooks.enabled()) {
     const int64_t end_micros = hooks.NowMicros();
     for (const std::string& id : ids) {
@@ -205,6 +266,7 @@ Result<std::string> Quick::EnqueueLocal(const std::string& cluster_name,
         return Status::OK();
       });
   QUICK_RETURN_IF_ERROR(st);
+  tenant_metrics_.OnEnqueued(cluster_db.id, 1);
   if (hooks.enabled()) {
     hooks.Record(item_id, stage::kEnqueued, start_micros, hooks.NowMicros(),
                  "local cluster=" + cluster_name +
@@ -257,22 +319,43 @@ Status Quick::MoveTenant(const ck::DatabaseId& db_id,
   if (dst == nullptr) {
     return Status::InvalidArgument("unknown cluster " + dest_cluster);
   }
-
-  // 1. Copy the database — including its queue zone and queued items.
-  QUICK_RETURN_IF_ERROR(ck_->CopyDatabaseData(db_id, dest_cluster));
-
-  // 2. Copy the pointer to the destination's top-level queue, after the
-  //    data so a destination consumer finding it early sees a non-empty
-  //    queue rather than GC'ing it (§6).
-  const Pointer pointer{db_id, config_.queue_zone_name};
   fdb::Database* src = ck_->clusters()->Get(*src_cluster);
+  const std::string state_key = ck::MoveState::Key(db_id);
+  const Pointer pointer{db_id, config_.queue_zone_name};
+
+  // 1. Seal the tenant and take its pointer off the source's top-level
+  //    queue, in ONE transaction. From this commit on, every enqueue and
+  //    every consumer dequeue for the tenant reads the fence and backs
+  //    off — and with the pointer gone, source consumers stop finding the
+  //    queue at all. Racing writers that miss the fence conflict with this
+  //    write and retry into seeing it.
+  ck::MoveState seal;
+  seal.phase = ck::MoveState::kSealed;
+  seal.dest_cluster = dest_cluster;
   std::optional<ck::QueuedItem> src_pointer;
   QUICK_RETURN_IF_ERROR(fdb::RunTransaction(src, [&](fdb::Transaction& txn) {
+    txn.Set(state_key, seal.Encode());
     const ck::DatabaseRef src_cluster_db = ck_->OpenClusterDb(*src_cluster);
-    ck::QueueZone top_zone = OpenTopZoneFor(src_cluster_db, pointer.Key(), &txn);
+    ck::QueueZone top_zone =
+        OpenTopZoneFor(src_cluster_db, pointer.Key(), &txn);
     QUICK_ASSIGN_OR_RETURN(src_pointer, top_zone.Load(pointer.Key()));
+    if (src_pointer.has_value()) {
+      Status st = top_zone.Complete(pointer.Key());
+      if (!st.ok() && !st.IsNotFound()) return st;
+    }
     return Status::OK();
   }));
+
+  // 2. Copy the database — including its queue zone and queued items —
+  //    with the source frozen. (This simple path does not drain live item
+  //    leases first; moves under active consumers go through
+  //    control::TenantBalancer, which adds catch-up rounds and lease
+  //    draining around the same fence.)
+  QUICK_RETURN_IF_ERROR(ck_->CopyDatabaseData(db_id, dest_cluster));
+
+  // 3. Re-create the pointer on the destination's top-level queue, after
+  //    the data so a destination consumer finding it early sees a
+  //    non-empty queue rather than GC'ing it (§6).
   if (src_pointer.has_value()) {
     QUICK_RETURN_IF_ERROR(
         fdb::RunTransaction(dst, [&](fdb::Transaction& txn) {
@@ -287,21 +370,19 @@ Status Quick::MoveTenant(const ck::DatabaseId& db_id,
         }));
   }
 
-  // 3. Flip placement so new enqueues land at the destination.
-  ck_->CommitMove(db_id, dest_cluster);
+  // 4. Flip placement so new enqueues land at the destination. The sealed
+  //    fence satisfies CommitMove's queued-work guard.
+  QUICK_RETURN_IF_ERROR(
+      ck_->CommitMove(db_id, dest_cluster, config_.queue_zone_name));
 
-  // 4. Delete the source data FIRST, then the source pointer. This order
-  //    is crash-safe: a failure in between leaves a pointer to an empty
-  //    zone, which consumers garbage-collect — whereas the reverse order
-  //    could strand still-present items with no pointer, breaking the
-  //    findability invariant.
+  // 5. Delete the source data (the pointer went with the seal), then
+  //    lower the fence. A crash in between leaves the fence up on the
+  //    source — harmless, since placement already points elsewhere and
+  //    the fence key lives outside the database subspace.
   QUICK_RETURN_IF_ERROR(ck_->DeleteDatabaseData(db_id, *src_cluster));
   return fdb::RunTransaction(src, [&](fdb::Transaction& txn) {
-    const ck::DatabaseRef src_cluster_db = ck_->OpenClusterDb(*src_cluster);
-    ck::QueueZone top_zone = OpenTopZoneFor(src_cluster_db, pointer.Key(), &txn);
-    Status st = top_zone.Complete(pointer.Key());
-    if (st.IsNotFound()) return Status::OK();
-    return st;
+    txn.Clear(state_key);
+    return Status::OK();
   });
 }
 

@@ -8,8 +8,10 @@
 
 #include "cloudkit/service.h"
 #include "common/trace.h"
+#include "quick/admission_gate.h"
 #include "quick/config.h"
 #include "quick/pointer.h"
+#include "quick/tenant_metrics.h"
 
 namespace quick::core {
 
@@ -104,9 +106,12 @@ class Quick {
   Result<int64_t> TopLevelCount(const std::string& cluster_name);
 
   /// Moves a tenant database to another cluster with its queued work
-  /// (§6 "User-move and local work items"): copy data, copy the pointer
-  /// (after the data so destination consumers don't GC it prematurely),
-  /// flip placement, then delete the source data and source pointer.
+  /// (§6 "User-move and local work items"): seal the tenant behind the
+  /// migration fence (all enqueues and dequeues back off), copy data with
+  /// the queue frozen, carry the Q_C pointer over, flip placement, then
+  /// delete the source data and clear the fence. Stop-the-world for the
+  /// one tenant being moved; control::TenantBalancer layers catch-up
+  /// rounds and lease draining on top for moves under live consumers.
   Status MoveTenant(const ck::DatabaseId& db_id,
                     const std::string& dest_cluster);
 
@@ -165,11 +170,25 @@ class Quick {
   /// capture the tracer at construction).
   void set_tracer(Tracer* tracer) { tracer_ = tracer; }
 
+  /// Admission gate consulted by Enqueue/EnqueueBatch and by consumer
+  /// dispatch. Null (the default) admits everything. Not thread-safe;
+  /// call during setup.
+  AdmissionGate* admission() const { return admission_; }
+  void set_admission(AdmissionGate* gate) { admission_ = gate; }
+
+  /// Per-tenant ck.tenant.* counters (shared with consumers).
+  TenantMetrics* tenant_metrics() { return &tenant_metrics_; }
+
  private:
+  /// Producer-side admission check; OK or the client-visible refusal.
+  Status AdmitEnqueue(const ck::DatabaseId& db_id, int64_t cost);
+
   ck::CloudKitService* ck_;
   QuickConfig config_;
   FrontOfQueueNotifier notifier_;
   Tracer* tracer_ = Tracer::Default();
+  AdmissionGate* admission_ = nullptr;
+  TenantMetrics tenant_metrics_;
 };
 
 }  // namespace quick::core

@@ -27,6 +27,9 @@ struct ConsumerStats {
   /// already gone — the zombie-consumer safety net.
   Counter terminal_fenced;
   Counter items_throttled;
+  /// Dispatches refused by the admission gate; the item requeues with the
+  /// gate's retry-after hint instead of entering the worker pool.
+  Counter items_dispatch_throttled;
   Counter local_items_processed;
 
   // Pointers.
@@ -80,6 +83,7 @@ struct ConsumerStats {
     line("items_quarantined", items_quarantined.Value());
     line("terminal_fenced", terminal_fenced.Value());
     line("items_throttled", items_throttled.Value());
+    line("items_dispatch_throttled", items_dispatch_throttled.Value());
     line("local_items_processed", local_items_processed.Value());
     line("pointer_lease_attempts", pointer_lease_attempts.Value());
     line("pointer_leases_acquired", pointer_leases_acquired.Value());
@@ -119,6 +123,7 @@ struct ConsumerStats {
     gauge("items_quarantined", items_quarantined);
     gauge("terminal_fenced", terminal_fenced);
     gauge("items_throttled", items_throttled);
+    gauge("items_dispatch_throttled", items_dispatch_throttled);
     gauge("local_items_processed", local_items_processed);
     gauge("pointer_lease_attempts", pointer_lease_attempts);
     gauge("pointer_leases_acquired", pointer_leases_acquired);

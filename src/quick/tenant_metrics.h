@@ -1,0 +1,68 @@
+#ifndef QUICK_QUICK_TENANT_METRICS_H_
+#define QUICK_QUICK_TENANT_METRICS_H_
+
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "cloudkit/database_id.h"
+#include "common/metrics.h"
+
+namespace quick::core {
+
+/// Per-tenant enqueue/dequeue/error counters published to a
+/// MetricsRegistry under "ck.tenant.<signal>.<tenant>", where <tenant> is
+/// DatabaseId::ToString() ("app/private/user", "app/public",
+/// "app/cluster/name" — no control characters, so JSON/Prometheus export
+/// stays clean). These are the real signals control::LoadMonitor folds
+/// into load scores, instead of scraping stats structs.
+///
+/// Counter pointers are cached per tenant behind one mutex; the counters
+/// themselves are atomics, so the steady-state cost is one map lookup.
+class TenantMetrics {
+ public:
+  static constexpr const char* kEnqueuedPrefix = "ck.tenant.enqueued.";
+  static constexpr const char* kDequeuedPrefix = "ck.tenant.dequeued.";
+  static constexpr const char* kErrorsPrefix = "ck.tenant.errors.";
+
+  explicit TenantMetrics(MetricsRegistry* registry = MetricsRegistry::Default())
+      : registry_(registry) {}
+
+  void OnEnqueued(const ck::DatabaseId& id, int64_t n) {
+    Cells(id)->enqueued->Increment(n);
+  }
+  void OnDequeued(const ck::DatabaseId& id, int64_t n) {
+    Cells(id)->dequeued->Increment(n);
+  }
+  void OnError(const ck::DatabaseId& id, int64_t n) {
+    Cells(id)->errors->Increment(n);
+  }
+
+ private:
+  struct Cell {
+    Counter* enqueued;
+    Counter* dequeued;
+    Counter* errors;
+  };
+
+  const Cell* Cells(const ck::DatabaseId& id) {
+    const std::string key = id.ToString();
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cells_.find(key);
+    if (it == cells_.end()) {
+      Cell cell{registry_->GetCounter(kEnqueuedPrefix + key),
+                registry_->GetCounter(kDequeuedPrefix + key),
+                registry_->GetCounter(kErrorsPrefix + key)};
+      it = cells_.emplace(key, cell).first;
+    }
+    return &it->second;
+  }
+
+  MetricsRegistry* registry_;
+  std::mutex mu_;
+  std::unordered_map<std::string, Cell> cells_;
+};
+
+}  // namespace quick::core
+
+#endif  // QUICK_QUICK_TENANT_METRICS_H_

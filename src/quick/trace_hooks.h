@@ -30,6 +30,11 @@ inline constexpr const char* kDequeued = "dequeued";
 inline constexpr const char* kExecute = "execute";
 /// Non-terminal transition: the item re-vests and will be retried.
 inline constexpr const char* kRequeued = "requeued";
+/// Admission-control denials. Pre-birth on the enqueue path (the item was
+/// never stored, so no incarnation opens); on the dispatch path the item
+/// requeues, so neither is terminal.
+inline constexpr const char* kAdmissionThrottled = "admission_throttled";
+inline constexpr const char* kAdmissionShed = "admission_shed";
 /// Terminal transitions — exactly one per incarnation commits.
 inline constexpr const char* kCompleted = "completed";
 inline constexpr const char* kQuarantined = "quarantined";

@@ -54,6 +54,7 @@ Status Harness::EnqueueSim(int client, int items,
   });
   QUICK_RETURN_IF_ERROR(st);
   quick_->ExecuteFollowUp(db, follow_up);
+  quick_->tenant_metrics()->OnEnqueued(db_id, items);
   return Status::OK();
 }
 

@@ -144,8 +144,40 @@ TEST_F(ServiceTest, CopyDatabaseDataMovesAllKeys) {
   });
   ASSERT_TRUE(st.ok());
 
-  service_->CommitMove(id, dst_cluster);
+  ASSERT_TRUE(service_->CommitMove(id, dst_cluster).ok());
   EXPECT_EQ(service_->OpenDatabase(id).cluster, dst);
+}
+
+TEST_F(ServiceTest, CommitMoveRefusedWhileQueueHasWork) {
+  const DatabaseId id = DatabaseId::Private("app", "queued");
+  const DatabaseRef src = service_->OpenDatabase(id);
+  const std::string src_cluster = src.cluster->name();
+  const std::string dst_cluster = src_cluster == "east" ? "west" : "east";
+
+  // One queued item in the default zone: a bare flip would strand it.
+  Status st = fdb::RunTransaction(src.cluster, [&](fdb::Transaction& txn) {
+    QueueZone zone = service_->OpenQueueZone(src, "_queue", &txn);
+    QueuedItem item;
+    item.job_type = "job";
+    return zone.Enqueue(std::move(item), 0).status();
+  });
+  ASSERT_TRUE(st.ok());
+
+  EXPECT_EQ(service_->CommitMove(id, dst_cluster).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(service_->OpenDatabase(id).cluster, src.cluster);
+
+  // Draining the queue clears the refusal.
+  st = fdb::RunTransaction(src.cluster, [&](fdb::Transaction& txn) {
+    QueueZone zone = service_->OpenQueueZone(src, "_queue", &txn);
+    QUICK_ASSIGN_OR_RETURN(std::vector<QueuedItem> items, zone.Peek(10));
+    for (const QueuedItem& item : items) {
+      QUICK_RETURN_IF_ERROR(zone.Complete(item.id));
+    }
+    return Status::OK();
+  });
+  ASSERT_TRUE(st.ok());
+  EXPECT_TRUE(service_->CommitMove(id, dst_cluster).ok());
 }
 
 TEST_F(ServiceTest, CopyUnplacedDatabaseFails) {

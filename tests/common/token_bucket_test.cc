@@ -1,0 +1,72 @@
+#include "common/token_bucket.h"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.h"
+
+namespace quick {
+namespace {
+
+TEST(TokenBucketTest, StartsFullAndDrains) {
+  ManualClock clock(1000);
+  TokenBucket bucket(/*burst=*/3, /*rate_per_sec=*/1, &clock);
+  EXPECT_TRUE(bucket.TryAcquire());
+  EXPECT_TRUE(bucket.TryAcquire());
+  EXPECT_TRUE(bucket.TryAcquire());
+  EXPECT_FALSE(bucket.TryAcquire());
+}
+
+TEST(TokenBucketTest, RefillsAtRate) {
+  ManualClock clock(1000);
+  TokenBucket bucket(/*burst=*/10, /*rate_per_sec=*/10, &clock);
+  ASSERT_TRUE(bucket.TryAcquire(10));
+  EXPECT_FALSE(bucket.TryAcquire());
+  clock.AdvanceMillis(100);  // 10/sec * 0.1s = 1 token
+  EXPECT_TRUE(bucket.TryAcquire());
+  EXPECT_FALSE(bucket.TryAcquire());
+  clock.AdvanceMillis(550);  // 5.5 tokens
+  EXPECT_TRUE(bucket.TryAcquire(5));
+  EXPECT_FALSE(bucket.TryAcquire(1));
+}
+
+TEST(TokenBucketTest, RefillCapsAtBurst) {
+  ManualClock clock(1000);
+  TokenBucket bucket(/*burst=*/5, /*rate_per_sec=*/100, &clock);
+  clock.AdvanceMillis(60000);  // would refill 6000 tokens
+  EXPECT_TRUE(bucket.TryAcquire(5));
+  EXPECT_FALSE(bucket.TryAcquire(1));
+}
+
+TEST(TokenBucketTest, RetryAfterPredictsRefill) {
+  ManualClock clock(1000);
+  TokenBucket bucket(/*burst=*/2, /*rate_per_sec=*/2, &clock);
+  ASSERT_TRUE(bucket.TryAcquire(2));
+  // Missing 1 token at 2/sec -> 500ms (+1 rounding).
+  const int64_t wait = bucket.RetryAfterMillis(1);
+  EXPECT_GE(wait, 500);
+  EXPECT_LE(wait, 501);
+  clock.AdvanceMillis(wait);
+  EXPECT_TRUE(bucket.TryAcquire(1));
+  EXPECT_EQ(bucket.RetryAfterMillis(0), 0);
+}
+
+TEST(TokenBucketTest, ReturnRestoresUpToBurst) {
+  ManualClock clock(1000);
+  TokenBucket bucket(/*burst=*/4, /*rate_per_sec=*/1, &clock);
+  ASSERT_TRUE(bucket.TryAcquire(3));
+  bucket.Return(3);
+  EXPECT_TRUE(bucket.TryAcquire(4));
+  bucket.Return(100);  // capped at burst
+  EXPECT_TRUE(bucket.TryAcquire(4));
+  EXPECT_FALSE(bucket.TryAcquire(1));
+}
+
+TEST(TokenBucketTest, NonPositiveRateDisables) {
+  ManualClock clock(1000);
+  TokenBucket bucket(/*burst=*/0, /*rate_per_sec=*/0, &clock);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(bucket.TryAcquire(1000));
+  EXPECT_EQ(bucket.RetryAfterMillis(1000), 0);
+}
+
+}  // namespace
+}  // namespace quick

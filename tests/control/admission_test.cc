@@ -1,0 +1,225 @@
+#include "control/admission.h"
+
+#include <gtest/gtest.h>
+
+#include "fdb/cluster_set.h"
+#include "quick/quick.h"
+
+namespace quick::control {
+namespace {
+
+using core::AdmissionDecision;
+
+class AdmissionTest : public ::testing::Test {
+ protected:
+  AdmissionController Make(AdmissionConfig config) {
+    return AdmissionController(config, &clock_, &registry_);
+  }
+
+  int64_t Count(const std::string& name) {
+    return registry_.GetCounter(name)->Value();
+  }
+
+  ManualClock clock_{1000};
+  MetricsRegistry registry_;
+  const ck::DatabaseId alice_ = ck::DatabaseId::Private("app", "alice");
+  const ck::DatabaseId bob_ = ck::DatabaseId::Private("app", "bob");
+};
+
+TEST_F(AdmissionTest, AdmitsWithinBudgetAndRefillsOnManualClock) {
+  AdmissionConfig config;
+  config.tenant = {10, 10};  // 10/sec, burst 10
+  config.app = {0, 0};       // unlimited
+  config.cluster = {0, 0};
+  AdmissionController ac = Make(config);
+
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(ac.AdmitEnqueue(alice_, "c0", 1).admitted()) << i;
+  }
+  AdmissionDecision d = ac.AdmitEnqueue(alice_, "c0", 1);
+  EXPECT_FALSE(d.admitted());
+  EXPECT_EQ(d.outcome, AdmissionDecision::Outcome::kThrottle);
+  EXPECT_STREQ(d.level, "tenant");
+  EXPECT_GT(d.retry_after_millis, 0);
+
+  // Honoring the hint earns admission again.
+  clock_.AdvanceMillis(d.retry_after_millis);
+  EXPECT_TRUE(ac.AdmitEnqueue(alice_, "c0", 1).admitted());
+  EXPECT_EQ(Count("quick.admission.admitted"), 11);
+  EXPECT_EQ(Count("quick.admission.throttled.tenant"), 1);
+}
+
+TEST_F(AdmissionTest, HierarchyPrecedenceTenantFirst) {
+  AdmissionConfig config;
+  config.tenant = {10, 5};
+  config.app = {10, 8};
+  config.cluster = {10, 100};
+  config.fair_share = false;
+  AdmissionController ac = Make(config);
+
+  // The tenant bucket (burst 5) trips before the app bucket (burst 8).
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ac.AdmitEnqueue(alice_, "c0", 1).admitted());
+  }
+  AdmissionDecision d = ac.AdmitEnqueue(alice_, "c0", 1);
+  EXPECT_STREQ(d.level, "tenant");
+
+  // A tenant-level refusal charged nothing shared: bob still has the
+  // app bucket's remaining 3 tokens available.
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(ac.AdmitEnqueue(bob_, "c0", 1).admitted()) << i;
+  }
+  AdmissionDecision app_refusal = ac.AdmitEnqueue(bob_, "c0", 1);
+  EXPECT_FALSE(app_refusal.admitted());
+  EXPECT_STREQ(app_refusal.level, "app");
+  EXPECT_EQ(Count("quick.admission.throttled.app"), 1);
+}
+
+TEST_F(AdmissionTest, OuterRefusalRefundsInnerTokens) {
+  AdmissionConfig config;
+  config.tenant = {10, 10};
+  config.app = {10, 3};
+  config.cluster = {0, 0};
+  config.fair_share = false;
+  AdmissionController ac = Make(config);
+
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(ac.AdmitEnqueue(alice_, "c0", 1).admitted());
+  }
+  // App refuses; alice's tenant tokens must be returned each time. With
+  // only 7 tenant tokens left, 20 refusals charging the tenant bucket
+  // would flip the refusal level to "tenant" — every one staying "app"
+  // proves the refund.
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_STREQ(ac.AdmitEnqueue(alice_, "c0", 1).level, "app");
+  }
+  clock_.AdvanceMillis(700);  // app refills to its burst cap of 3
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_TRUE(ac.AdmitEnqueue(alice_, "c0", 1).admitted()) << i;
+  }
+  EXPECT_STREQ(ac.AdmitEnqueue(alice_, "c0", 1).level, "app");
+}
+
+TEST_F(AdmissionTest, ClusterLevelRefusalNamesCluster) {
+  AdmissionConfig config;
+  config.tenant = {0, 0};
+  config.app = {0, 0};
+  config.cluster = {10, 2};
+  config.fair_share = false;
+  AdmissionController ac = Make(config);
+  ASSERT_TRUE(ac.AdmitEnqueue(alice_, "c0", 2).admitted());
+  AdmissionDecision d = ac.AdmitEnqueue(bob_, "c0", 1);
+  EXPECT_STREQ(d.level, "cluster");
+  // Another cluster is unaffected.
+  EXPECT_TRUE(ac.AdmitEnqueue(bob_, "c1", 1).admitted());
+}
+
+TEST_F(AdmissionTest, DebtExtendsRetryAfterAndEscalatesToShed) {
+  AdmissionConfig config;
+  config.tenant = {10, 10};
+  config.app = {0, 0};
+  config.cluster = {0, 0};
+  config.fair_share = true;
+  config.shed_after_millis = 2000;
+  AdmissionController ac = Make(config);
+
+  ASSERT_TRUE(ac.AdmitEnqueue(alice_, "c0", 10).admitted());
+  // Keep hammering: each refusal adds debt, stretching retry-after until
+  // the refusals escalate to shed.
+  int64_t last_retry = 0;
+  bool shed = false;
+  for (int i = 0; i < 100 && !shed; ++i) {
+    AdmissionDecision d = ac.AdmitEnqueue(alice_, "c0", 1);
+    ASSERT_FALSE(d.admitted());
+    EXPECT_GE(d.retry_after_millis, last_retry);
+    last_retry = d.retry_after_millis;
+    shed = d.outcome == AdmissionDecision::Outcome::kShed;
+  }
+  EXPECT_TRUE(shed);
+  EXPECT_GT(ac.DebtOf(alice_.ToString()), 0.0);
+  EXPECT_GE(Count("quick.admission.shed"), 1);
+
+  // The noisy tenant degraded only itself: bob is untouched.
+  EXPECT_TRUE(ac.AdmitEnqueue(bob_, "c0", 1).admitted());
+
+  // Going quiet decays the debt back to zero at the tenant rate.
+  clock_.AdvanceMillis(60000);
+  EXPECT_TRUE(ac.AdmitEnqueue(alice_, "c0", 1).admitted());
+  EXPECT_EQ(ac.DebtOf(alice_.ToString()), 0.0);
+}
+
+TEST_F(AdmissionTest, RetryAfterClampedToMax) {
+  AdmissionConfig config;
+  config.tenant = {0.001, 1};  // pathological: ~1000s to refill a token
+  config.app = {0, 0};
+  config.cluster = {0, 0};
+  config.fair_share = false;
+  config.max_retry_after_millis = 1234;
+  AdmissionController ac = Make(config);
+  ASSERT_TRUE(ac.AdmitEnqueue(alice_, "c0", 1).admitted());
+  AdmissionDecision d = ac.AdmitEnqueue(alice_, "c0", 1);
+  EXPECT_EQ(d.retry_after_millis, 1234);
+}
+
+TEST_F(AdmissionTest, DispatchGateDisabledByDefaultThenThrottles) {
+  AdmissionConfig config;
+  AdmissionController off = Make(config);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(off.AdmitDispatch(alice_, "c0", 1).admitted());
+  }
+
+  config.dispatch_tenant = {10, 2};
+  AdmissionController on = Make(config);
+  EXPECT_TRUE(on.AdmitDispatch(alice_, "c0", 1).admitted());
+  EXPECT_TRUE(on.AdmitDispatch(alice_, "c0", 1).admitted());
+  AdmissionDecision d = on.AdmitDispatch(alice_, "c0", 1);
+  EXPECT_FALSE(d.admitted());
+  // Dispatch refusals never shed — the item is already queued.
+  EXPECT_EQ(d.outcome, AdmissionDecision::Outcome::kThrottle);
+  EXPECT_GT(d.retry_after_millis, 0);
+  EXPECT_TRUE(on.AdmitDispatch(bob_, "c0", 1).admitted());
+}
+
+TEST_F(AdmissionTest, DisabledControllerAdmitsEverything) {
+  AdmissionConfig config;
+  config.enabled = false;
+  config.tenant = {1, 1};
+  AdmissionController ac = Make(config);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(ac.AdmitEnqueue(alice_, "c0", 10).admitted());
+  }
+}
+
+// End-to-end: a gated Quick surfaces kThrottled with a parseable
+// retry-after hint, and honoring the hint lets the enqueue through.
+TEST_F(AdmissionTest, EnqueueHonorsRetryAfterEndToEnd) {
+  fdb::Database::Options opts;
+  opts.clock = &clock_;
+  fdb::ClusterSet clusters(opts);
+  clusters.AddCluster("east");
+  ck::CloudKitService ck(&clusters, &clock_);
+  core::Quick quick(&ck);
+
+  AdmissionConfig config;
+  config.tenant = {10, 2};
+  config.app = {0, 0};
+  config.cluster = {0, 0};
+  config.fair_share = false;
+  AdmissionController ac = Make(config);
+  quick.set_admission(&ac);
+
+  core::WorkItem item;
+  item.job_type = "job";
+  ASSERT_TRUE(quick.Enqueue(alice_, item, 0).ok());
+  ASSERT_TRUE(quick.Enqueue(alice_, item, 0).ok());
+  Result<std::string> refused = quick.Enqueue(alice_, item, 0);
+  ASSERT_TRUE(refused.status().IsThrottled());
+  const int64_t wait = core::RetryAfterMillis(refused.status());
+  ASSERT_GT(wait, 0);
+  clock_.AdvanceMillis(wait);
+  EXPECT_TRUE(quick.Enqueue(alice_, item, 0).ok());
+  EXPECT_EQ(quick.PendingCount(alice_).value(), 3);
+}
+
+}  // namespace
+}  // namespace quick::control

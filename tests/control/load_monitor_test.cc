@@ -1,0 +1,197 @@
+#include "control/load_monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "fdb/cluster_set.h"
+#include "quick/tenant_metrics.h"
+
+namespace quick::control {
+namespace {
+
+TEST(ParseTenantKeyTest, RoundTripsToStringForms) {
+  const ck::DatabaseId pub = ck::DatabaseId::Public("news");
+  const ck::DatabaseId priv = ck::DatabaseId::Private("mail", "alice");
+  const ck::DatabaseId cluster = ck::DatabaseId::Cluster("east");
+  EXPECT_EQ(ParseTenantKey(pub.ToString()), pub);
+  EXPECT_EQ(ParseTenantKey(priv.ToString()), priv);
+  EXPECT_EQ(ParseTenantKey(cluster.ToString()), cluster);
+  EXPECT_FALSE(ParseTenantKey("").has_value());
+  EXPECT_FALSE(ParseTenantKey("no-slash").has_value());
+  EXPECT_FALSE(ParseTenantKey("/leading").has_value());
+  EXPECT_FALSE(ParseTenantKey("app/unknown").has_value());
+}
+
+class LoadMonitorTest : public ::testing::Test {
+ protected:
+  LoadMonitorTest() {
+    fdb::Database::Options opts;
+    opts.clock = &clock_;
+    clusters_ = std::make_unique<fdb::ClusterSet>(opts);
+    clusters_->AddCluster("hot");
+    clusters_->AddCluster("cool");
+    ck_ = std::make_unique<ck::CloudKitService>(clusters_.get(), &clock_);
+  }
+
+  LoadMonitor Make(LoadMonitorConfig config = {}) {
+    return LoadMonitor(ck_.get(), config, &clock_, &registry_);
+  }
+
+  ManualClock clock_{1000};
+  MetricsRegistry registry_;
+  core::TenantMetrics tenant_metrics_{&registry_};
+  std::unique_ptr<fdb::ClusterSet> clusters_;
+  std::unique_ptr<ck::CloudKitService> ck_;
+};
+
+TEST_F(LoadMonitorTest, FirstTickIsBaselineOnly) {
+  const ck::DatabaseId alice = ck::DatabaseId::Private("app", "alice");
+  ck_->placement()->Set(alice, "hot");
+  tenant_metrics_.OnEnqueued(alice, 500);
+
+  LoadMonitor monitor = Make();
+  monitor.Tick();
+  // Pre-existing counter values are the baseline, not an interval's worth
+  // of traffic.
+  for (const ClusterLoad& c : monitor.ClusterLoads()) {
+    EXPECT_EQ(c.score, 0.0) << c.cluster;
+  }
+  EXPECT_TRUE(monitor.HotTenants().empty());
+}
+
+TEST_F(LoadMonitorTest, FoldsTenantRatesIntoClusterScores) {
+  const ck::DatabaseId alice = ck::DatabaseId::Private("app", "alice");
+  const ck::DatabaseId bob = ck::DatabaseId::Private("app", "bob");
+  ck_->placement()->Set(alice, "hot");
+  ck_->placement()->Set(bob, "cool");
+
+  LoadMonitorConfig config;
+  config.ewma_alpha = 1.0;  // no smoothing: score == sample
+  LoadMonitor monitor = Make(config);
+  monitor.Tick();  // baseline
+
+  tenant_metrics_.OnEnqueued(alice, 100);
+  tenant_metrics_.OnDequeued(alice, 40);
+  tenant_metrics_.OnEnqueued(bob, 10);
+  tenant_metrics_.OnDequeued(bob, 10);
+  clock_.AdvanceMillis(1000);
+  monitor.Tick();
+
+  const std::vector<ClusterLoad> loads = monitor.ClusterLoads();
+  ASSERT_EQ(loads.size(), 2u);
+  EXPECT_EQ(loads[0].cluster, "hot");
+  EXPECT_DOUBLE_EQ(loads[0].enqueue_rate, 100.0);
+  EXPECT_DOUBLE_EQ(loads[0].dequeue_rate, 40.0);
+  // score = rate_weight*100 + backlog_weight*(100-40) = 160
+  EXPECT_DOUBLE_EQ(loads[0].score, 160.0);
+  EXPECT_EQ(loads[1].cluster, "cool");
+  EXPECT_DOUBLE_EQ(loads[1].score, 10.0);  // no backlog
+
+  // Published as x1000 gauges.
+  EXPECT_EQ(registry_.GetGauge("quick.load.score.hot")->Value(), 160000);
+  EXPECT_EQ(registry_.GetGauge("quick.load.score.cool")->Value(), 10000);
+
+  const std::vector<TenantLoad> hot = monitor.HotTenants();
+  ASSERT_GE(hot.size(), 1u);
+  EXPECT_EQ(hot[0].db_id, alice);
+  EXPECT_EQ(hot[0].cluster, "hot");
+  EXPECT_DOUBLE_EQ(hot[0].enqueue_rate, 100.0);
+}
+
+TEST_F(LoadMonitorTest, BreakerEventsRaiseTheScore) {
+  LoadMonitorConfig config;
+  config.ewma_alpha = 1.0;
+  config.breaker_weight = 100.0;
+  LoadMonitor monitor = Make(config);
+  monitor.Tick();
+
+  registry_.GetCounter("quick.breaker.hot.opened")->Increment(2);
+  registry_.GetCounter("quick.breaker.hot.reopened")->Increment();
+  registry_.GetCounter("quick.breaker.hot.closed")->Increment();  // ignored
+  clock_.AdvanceMillis(1000);
+  monitor.Tick();
+
+  const std::vector<ClusterLoad> loads = monitor.ClusterLoads();
+  ASSERT_EQ(loads.size(), 2u);
+  EXPECT_EQ(loads[0].cluster, "hot");
+  EXPECT_EQ(loads[0].breaker_events, 3);
+  EXPECT_DOUBLE_EQ(loads[0].score, 300.0);
+}
+
+TEST_F(LoadMonitorTest, EwmaSmoothsAcrossIntervals) {
+  const ck::DatabaseId alice = ck::DatabaseId::Private("app", "alice");
+  ck_->placement()->Set(alice, "hot");
+  LoadMonitorConfig config;
+  config.ewma_alpha = 0.5;
+  LoadMonitor monitor = Make(config);
+  monitor.Tick();
+
+  tenant_metrics_.OnEnqueued(alice, 100);
+  clock_.AdvanceMillis(1000);
+  monitor.Tick();
+  const double first = monitor.ClusterLoads().front().score;
+  EXPECT_GT(first, 0.0);
+
+  // Silence: the score decays by alpha each interval instead of dropping
+  // straight to zero.
+  clock_.AdvanceMillis(1000);
+  monitor.Tick();
+  const double second = monitor.ClusterLoads().front().score;
+  EXPECT_DOUBLE_EQ(second, first * 0.5);
+}
+
+TEST_F(LoadMonitorTest, HotTenantsExcludesClusterDbsAndCapsAtTopK) {
+  LoadMonitorConfig config;
+  config.top_k = 2;
+  config.ewma_alpha = 1.0;
+  LoadMonitor monitor = Make(config);
+  monitor.Tick();
+
+  for (int i = 0; i < 4; ++i) {
+    const ck::DatabaseId id =
+        ck::DatabaseId::Private("app", "u" + std::to_string(i));
+    ck_->placement()->Set(id, "hot");
+    tenant_metrics_.OnEnqueued(id, 10 * (i + 1));
+  }
+  tenant_metrics_.OnEnqueued(ck::DatabaseId::Cluster("hot"), 1000);
+  clock_.AdvanceMillis(1000);
+  monitor.Tick();
+
+  const std::vector<TenantLoad> hot = monitor.HotTenants();
+  ASSERT_EQ(hot.size(), 2u);
+  EXPECT_EQ(hot[0].db_id, ck::DatabaseId::Private("app", "u3"));
+  EXPECT_EQ(hot[1].db_id, ck::DatabaseId::Private("app", "u2"));
+}
+
+TEST_F(LoadMonitorTest, SuggestsMovingTheHottestTenantOffTheHottestCluster) {
+  const ck::DatabaseId noisy = ck::DatabaseId::Private("app", "noisy");
+  const ck::DatabaseId quiet = ck::DatabaseId::Private("app", "quiet");
+  ck_->placement()->Set(noisy, "hot");
+  ck_->placement()->Set(quiet, "cool");
+
+  LoadMonitorConfig config;
+  config.ewma_alpha = 1.0;
+  config.rebalance_min_gap = 50.0;
+  LoadMonitor monitor = Make(config);
+  monitor.Tick();
+
+  // Below the gap: no plan.
+  tenant_metrics_.OnEnqueued(noisy, 20);
+  tenant_metrics_.OnDequeued(noisy, 20);
+  clock_.AdvanceMillis(1000);
+  monitor.Tick();
+  EXPECT_FALSE(monitor.SuggestRebalance().has_value());
+
+  // A sustained hot tenant opens the gap.
+  tenant_metrics_.OnEnqueued(noisy, 200);
+  clock_.AdvanceMillis(1000);
+  monitor.Tick();
+  const std::optional<RebalancePlan> plan = monitor.SuggestRebalance();
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->db_id, noisy);
+  EXPECT_EQ(plan->source_cluster, "hot");
+  EXPECT_EQ(plan->dest_cluster, "cool");
+  EXPECT_GE(plan->score_gap, 50.0);
+}
+
+}  // namespace
+}  // namespace quick::control
