@@ -1,0 +1,164 @@
+// Durability-path benchmarks: what the WAL costs on the ack path, and what
+// cold-start recovery costs with and without a checkpoint in front of the
+// log tail. Not a paper figure — the paper's CloudKit substrate is durable
+// by construction; this pins the simulator's own durability overheads.
+//
+// Counter naming is deliberate: only the in-memory `commits_per_sec` of
+// the wal_off run uses a baseline-gated THROUGHPUT_KEYS name. Everything
+// fsync-bound (`ack_commits_per_sec`, `replay_records_per_sec`,
+// `coldstart_per_sec`) varies with the CI host's disk and is reported
+// ungated, for trend-watching rather than thresholds.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+
+#include "bench_report.h"
+
+#include "common/histogram.h"
+#include "fdb/database.h"
+
+namespace quick {
+namespace {
+
+std::string FreshDir(const std::string& tag) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / ("quick_bench_recovery_" + tag))
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+fdb::Database::Options WalOptions(const std::string& dir) {
+  fdb::Database::Options opts;
+  opts.durability.enable_wal = true;
+  opts.durability.dir = dir;
+  // Manual checkpoints only: the benches control exactly what recovery
+  // has to replay.
+  opts.durability.checkpoint_interval_bytes = 0;
+  return opts;
+}
+
+// Single-writer acked-commit path, WAL off vs on. The delta is the whole
+// durability tax: framing, CRC, the write syscall, and the fsync before
+// the ack (invariant 15 — no ack before fsync).
+void BM_AckedCommit(benchmark::State& state) {
+  const bool wal = state.range(0) != 0;
+  const std::string dir = FreshDir(wal ? "ack_on" : "ack_off");
+  fdb::Database::Options opts;
+  if (wal) opts = WalOptions(dir);
+  fdb::Database db("bench", opts);
+
+  Histogram ack_micros;
+  int64_t i = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    const auto c0 = std::chrono::steady_clock::now();
+    fdb::Transaction txn = db.CreateTransaction();
+    txn.Set("key" + std::to_string(i % 512), "payload-" + std::to_string(i));
+    benchmark::DoNotOptimize(txn.Commit());
+    ack_micros.Record(std::chrono::duration_cast<std::chrono::microseconds>(
+                          std::chrono::steady_clock::now() - c0)
+                          .count());
+    ++i;
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const fdb::Database::Stats stats = db.GetStats();
+  state.SetItemsProcessed(state.iterations());
+  state.counters["wal"] = wal ? 1 : 0;
+  const double per_sec = static_cast<double>(state.iterations()) / secs;
+  if (wal) {
+    // fsync-bound: ungated name.
+    state.counters["ack_commits_per_sec"] = per_sec;
+    state.counters["wal_appended_bytes"] =
+        static_cast<double>(stats.wal_appended_bytes);
+    state.counters["syncs_per_commit"] =
+        state.iterations() > 0
+            ? static_cast<double>(stats.wal_syncs) / state.iterations()
+            : 0.0;
+  } else {
+    // Pure in-memory commit path: stable enough to gate against baseline.
+    state.counters["commits_per_sec"] = per_sec;
+  }
+  bench::BenchReportCollector::Global()->ReportRun(
+      std::string("BM_AckedCommit/") + (wal ? "wal_on" : "wal_off"), state,
+      {{"ack_us", &ack_micros}});
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_AckedCommit)
+    ->ArgNames({"wal"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+// Cold-start cost: construct a Database over a populated durability
+// directory. log_only replays the full WAL; checkpoint_tail loads the
+// snapshot and replays only the commits after it (the recovery protocol's
+// whole point).
+void BM_ColdStartReplay(benchmark::State& state) {
+  const bool checkpointed = state.range(0) != 0;
+  constexpr int kCommits = 600;
+  constexpr int kTail = 120;  // commits after the checkpoint
+  const std::string dir =
+      FreshDir(checkpointed ? "cold_ckpt" : "cold_log");
+  {
+    fdb::Database db("bench", WalOptions(dir));
+    for (int i = 0; i < kCommits; ++i) {
+      if (checkpointed && i == kCommits - kTail) {
+        benchmark::DoNotOptimize(db.Checkpoint());
+      }
+      fdb::Transaction txn = db.CreateTransaction();
+      txn.Set("key" + std::to_string(i % 200), "payload-" + std::to_string(i));
+      (void)txn.Commit();
+    }
+  }
+
+  fdb::RecoveryInfo last_info;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    fdb::Database db("bench", WalOptions(dir));
+    last_info = db.GetRecoveryInfo();
+    benchmark::DoNotOptimize(last_info.last_durable_version);
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  state.SetItemsProcessed(state.iterations() * last_info.replayed_records);
+  state.counters["checkpointed"] = checkpointed ? 1 : 0;
+  state.counters["replayed_records"] =
+      static_cast<double>(last_info.replayed_records);
+  state.counters["checkpoint_version"] =
+      static_cast<double>(last_info.checkpoint_version);
+  state.counters["last_durable_version"] =
+      static_cast<double>(last_info.last_durable_version);
+  // Disk-bound: ungated names.
+  state.counters["coldstart_per_sec"] =
+      static_cast<double>(state.iterations()) / secs;
+  state.counters["replay_records_per_sec"] =
+      static_cast<double>(state.iterations() * last_info.replayed_records) /
+      secs;
+  bench::BenchReportCollector::Global()->ReportRun(
+      std::string("BM_ColdStartReplay/") +
+          (checkpointed ? "checkpoint_tail" : "log_only"),
+      state);
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_ColdStartReplay)
+    ->ArgNames({"ckpt"})
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace quick
+
+QUICK_BENCH_MAIN("recovery_replay")

@@ -14,6 +14,17 @@
 #include "common/histogram.h"
 #include "common/metrics.h"
 
+/// Build provenance baked into every report so an uploaded BENCH_*.json
+/// artifact identifies the exact tree and build flavor that produced it.
+/// The bench CMakeLists injects both; standalone compiles fall back to
+/// "unknown".
+#ifndef QUICK_GIT_SHA
+#define QUICK_GIT_SHA "unknown"
+#endif
+#ifndef QUICK_BUILD_CONFIG
+#define QUICK_BUILD_CONFIG "unknown"
+#endif
+
 namespace quick::bench {
 
 /// One benchmark run, captured for the machine-readable report: the
@@ -56,12 +67,15 @@ class BenchReportCollector {
   }
 
   /// The whole report as one JSON object:
-  /// {"bench": <name>, "runs": [{"name", "counters": {..}, "latencies":
+  /// {"bench": <name>, "git_sha": <sha>, "build_config": <flavor>,
+  /// "runs": [{"name", "counters": {..}, "latencies":
   /// {series: {count,sum,mean,min,max,p50,p95,p99,p999}}}]}.
   std::string ToJson(const std::string& bench_name) const {
     std::lock_guard<std::mutex> lock(mu_);
     std::string out = "{\"bench\":\"" + JsonEscape(bench_name) +
-                      "\",\"runs\":[";
+                      "\",\"git_sha\":\"" + JsonEscape(QUICK_GIT_SHA) +
+                      "\",\"build_config\":\"" +
+                      JsonEscape(QUICK_BUILD_CONFIG) + "\",\"runs\":[";
     for (size_t i = 0; i < runs_.size(); ++i) {
       const BenchRun& run = runs_[i];
       if (i > 0) out += ",";

@@ -1,0 +1,48 @@
+#include "common/crc32.h"
+
+#include <array>
+
+namespace quick {
+
+namespace {
+
+// CRC-32C (Castagnoli) reflected polynomial.
+constexpr uint32_t kPoly = 0x82F63B78u;
+
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = MakeTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32cInit() { return 0xFFFFFFFFu; }
+
+uint32_t Crc32cExtend(uint32_t state, std::string_view data) {
+  const std::array<uint32_t, 256>& table = Table();
+  for (const char c : data) {
+    state = table[(state ^ static_cast<unsigned char>(c)) & 0xFF] ^
+            (state >> 8);
+  }
+  return state;
+}
+
+uint32_t Crc32cFinish(uint32_t state) { return state ^ 0xFFFFFFFFu; }
+
+uint32_t Crc32c(std::string_view data) {
+  return Crc32cFinish(Crc32cExtend(Crc32cInit(), data));
+}
+
+}  // namespace quick

@@ -1,0 +1,26 @@
+#ifndef QUICK_COMMON_CRC32_H_
+#define QUICK_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace quick {
+
+/// CRC-32C (Castagnoli, the polynomial used by iSCSI, ext4, and LevelDB's
+/// log format). Software table implementation — fast enough for the WAL's
+/// per-batch records, and portable.
+///
+/// Incremental use: crc = Crc32cExtend(crc, chunk) over successive chunks,
+/// starting from Crc32cInit() and finishing with Crc32cFinish(crc).
+/// One-shot use: Crc32c(data).
+
+uint32_t Crc32cInit();
+uint32_t Crc32cExtend(uint32_t state, std::string_view data);
+uint32_t Crc32cFinish(uint32_t state);
+
+/// One-shot CRC-32C of `data`.
+uint32_t Crc32c(std::string_view data);
+
+}  // namespace quick
+
+#endif  // QUICK_COMMON_CRC32_H_

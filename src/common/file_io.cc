@@ -1,0 +1,211 @@
+#include "common/file_io.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace quick {
+
+namespace {
+
+Status Errno(const std::string& op, const std::string& path) {
+  const int err = errno;
+  if (err == ENOENT) {
+    return Status::NotFound(op + " " + path + ": " + std::strerror(err));
+  }
+  return Status::Internal(op + " " + path + ": " + std::strerror(err));
+}
+
+Status WriteAll(int fd, std::string_view data, const std::string& path) {
+  size_t written = 0;
+  while (written < data.size()) {
+    const ssize_t n =
+        ::write(fd, data.data() + written, data.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write", path);
+    }
+    written += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+AppendFile::~AppendFile() { (void)Close(); }
+
+AppendFile::AppendFile(AppendFile&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)),
+      size_(std::exchange(other.size_, 0)),
+      path_(std::move(other.path_)) {}
+
+AppendFile& AppendFile::operator=(AppendFile&& other) noexcept {
+  if (this != &other) {
+    (void)Close();
+    fd_ = std::exchange(other.fd_, -1);
+    size_ = std::exchange(other.size_, 0);
+    path_ = std::move(other.path_);
+  }
+  return *this;
+}
+
+Status AppendFile::Open(const std::string& path) {
+  QUICK_RETURN_IF_ERROR(Close());
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) return Errno("open", path);
+  const off_t end = ::lseek(fd, 0, SEEK_END);
+  if (end < 0) {
+    ::close(fd);
+    return Errno("lseek", path);
+  }
+  fd_ = fd;
+  size_ = end;
+  path_ = path;
+  return Status::OK();
+}
+
+Status AppendFile::Append(std::string_view data) {
+  if (fd_ < 0) return Status::FailedPrecondition("append on closed file");
+  QUICK_RETURN_IF_ERROR(WriteAll(fd_, data, path_));
+  size_ += static_cast<int64_t>(data.size());
+  return Status::OK();
+}
+
+Status AppendFile::Sync() {
+  if (fd_ < 0) return Status::FailedPrecondition("sync on closed file");
+  if (::fsync(fd_) != 0) return Errno("fsync", path_);
+  return Status::OK();
+}
+
+Status AppendFile::Close() {
+  if (fd_ < 0) return Status::OK();
+  const int rc = ::close(fd_);
+  fd_ = -1;
+  size_ = 0;
+  if (rc != 0) return Errno("close", path_);
+  return Status::OK();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Errno("open", path);
+  std::string out;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status st = Errno("read", path);
+      ::close(fd);
+      return st;
+    }
+    if (n == 0) break;
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(fd);
+  return out;
+}
+
+Status AtomicWriteFile(const std::string& path, std::string_view data) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("open", tmp);
+  Status st = WriteAll(fd, data, tmp);
+  if (st.ok() && ::fsync(fd) != 0) st = Errno("fsync", tmp);
+  if (::close(fd) != 0 && st.ok()) st = Errno("close", tmp);
+  if (!st.ok()) {
+    (void)::unlink(tmp.c_str());
+    return st;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status rn = Errno("rename", path);
+    (void)::unlink(tmp.c_str());
+    return rn;
+  }
+  const size_t slash = path.find_last_of('/');
+  if (slash != std::string::npos) {
+    (void)SyncDir(path.substr(0, slash));
+  }
+  return Status::OK();
+}
+
+Status CreateDirs(const std::string& path) {
+  if (path.empty()) return Status::InvalidArgument("empty directory path");
+  std::string prefix;
+  size_t pos = 0;
+  while (pos <= path.size()) {
+    const size_t slash = path.find('/', pos);
+    prefix = slash == std::string::npos ? path : path.substr(0, slash);
+    pos = slash == std::string::npos ? path.size() + 1 : slash + 1;
+    if (prefix.empty()) continue;  // leading '/'
+    if (::mkdir(prefix.c_str(), 0755) != 0 && errno != EEXIST) {
+      return Errno("mkdir", prefix);
+    }
+  }
+  return Status::OK();
+}
+
+Result<std::vector<std::string>> ListDir(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return Errno("opendir", dir);
+  std::vector<std::string> names;
+  while (struct dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    names.push_back(name);
+  }
+  ::closedir(d);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status TruncateFile(const std::string& path, int64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0) {
+    return Errno("truncate", path);
+  }
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return Errno("open", path);
+  Status st = Status::OK();
+  if (::fsync(fd) != 0) st = Errno("fsync", path);
+  ::close(fd);
+  return st;
+}
+
+Status RemoveFile(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) return Errno("unlink", path);
+  return Status::OK();
+}
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Result<int64_t> FileSize(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) return Errno("stat", path);
+  return static_cast<int64_t>(st.st_size);
+}
+
+Status SyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return Errno("open", dir);
+  // Some filesystems reject fsync on directories (EINVAL); the rename is
+  // still ordered on the journals that matter, so treat that as success.
+  if (::fsync(fd) != 0 && errno != EINVAL) {
+    const Status st = Errno("fsync", dir);
+    ::close(fd);
+    return st;
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+}  // namespace quick

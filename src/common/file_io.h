@@ -1,0 +1,86 @@
+#ifndef QUICK_COMMON_FILE_IO_H_
+#define QUICK_COMMON_FILE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace quick {
+
+/// Thin POSIX file shim behind the durability layer (WAL segments and
+/// checkpoints). Everything returns Status so injected and real disk
+/// failures flow through the same error channel as the rest of the
+/// library; no exceptions, no iostream buffering surprises on the fsync
+/// path.
+
+/// An append-only file with explicit durability. Writes buffer in the
+/// kernel; Sync() fsyncs. Not thread-safe — the WAL serializes appends.
+class AppendFile {
+ public:
+  AppendFile() = default;
+  ~AppendFile();
+
+  AppendFile(const AppendFile&) = delete;
+  AppendFile& operator=(const AppendFile&) = delete;
+  AppendFile(AppendFile&& other) noexcept;
+  AppendFile& operator=(AppendFile&& other) noexcept;
+
+  /// Opens `path` for appending, creating it when absent.
+  Status Open(const std::string& path);
+
+  bool is_open() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  /// Appends `data` at the end of the file (no durability implied).
+  Status Append(std::string_view data);
+
+  /// Forces written data to stable storage (fsync).
+  Status Sync();
+
+  /// Current file size in bytes (append offset).
+  int64_t Size() const { return size_; }
+
+  Status Close();
+
+ private:
+  int fd_ = -1;
+  int64_t size_ = 0;
+  std::string path_;
+};
+
+/// Reads the whole file into a string; kNotFound when absent.
+Result<std::string> ReadFile(const std::string& path);
+
+/// Writes `data` to `path` atomically: write to `path.tmp`, fsync, rename,
+/// then fsync the containing directory so the rename itself is durable.
+Status AtomicWriteFile(const std::string& path, std::string_view data);
+
+/// Creates `path` (and parents) like `mkdir -p`; OK when it already exists.
+Status CreateDirs(const std::string& path);
+
+/// Sorted names (not paths) of regular files directly under `dir`;
+/// kNotFound when the directory does not exist.
+Result<std::vector<std::string>> ListDir(const std::string& dir);
+
+/// Truncates the file to `size` bytes and fsyncs it (recovery chops torn
+/// or corrupt log suffixes with this).
+Status TruncateFile(const std::string& path, int64_t size);
+
+Status RemoveFile(const std::string& path);
+
+bool FileExists(const std::string& path);
+
+/// Size in bytes; kNotFound when absent.
+Result<int64_t> FileSize(const std::string& path);
+
+/// fsyncs directory `dir` so that renames/creates/unlinks inside it are
+/// durable (best effort on filesystems that reject directory fsync).
+Status SyncDir(const std::string& dir);
+
+}  // namespace quick
+
+#endif  // QUICK_COMMON_FILE_IO_H_

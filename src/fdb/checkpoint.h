@@ -1,0 +1,84 @@
+#ifndef QUICK_FDB_CHECKPOINT_H_
+#define QUICK_FDB_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "fdb/types.h"
+
+namespace quick::fdb {
+
+/// Checkpoint files snapshot the VersionedStore's live contents at a
+/// single durable version, so recovery replays only the log tail above it
+/// (DESIGN.md §9). Format:
+///
+///   header:  u32 magic 'QCKP' | u32 format (1) | u64 version | u64 keys
+///   records: (u32 key_size | u32 value_size | key | value) * keys
+///   footer:  u32 crc    CRC-32C of header + records
+///
+/// A checkpoint is written to a temp file, fsynced, and renamed into
+/// place (`CHECKPOINT-<version>.ckpt`), so a crash mid-write leaves at
+/// worst a stray temp file; a checkpoint either exists whole or not at
+/// all. Validation re-walks the whole file against the footer CRC —
+/// recovery discards invalid checkpoints and falls back to the newest
+/// valid one (or an empty store plus full log replay).
+
+inline constexpr uint32_t kCheckpointMagic = 0x51434B50u;  // 'QCKP'
+inline constexpr uint32_t kCheckpointFormat = 1;
+
+std::string CheckpointFileName(Version version);
+bool ParseCheckpointFileName(const std::string& name, Version* version);
+
+/// Streams key-value pairs (in key order) into the serialized checkpoint
+/// blob; Finish() seals the header counts and footer CRC.
+class CheckpointBuilder {
+ public:
+  explicit CheckpointBuilder(Version version);
+
+  void Add(std::string_view key, std::string_view value);
+
+  /// Returns the complete serialized checkpoint. The builder is spent.
+  std::string Finish();
+
+  int64_t key_count() const { return key_count_; }
+
+ private:
+  std::string body_;
+  int64_t key_count_ = 0;
+};
+
+struct LoadedCheckpoint {
+  Version version = 0;
+  std::vector<KeyValue> entries;
+};
+
+/// Parses and validates a serialized checkpoint (magic, format, counts,
+/// footer CRC); kInvalidArgument on any mismatch.
+Result<LoadedCheckpoint> ParseCheckpoint(std::string_view data);
+
+/// Reads and validates the checkpoint file at `path`.
+Result<LoadedCheckpoint> LoadCheckpointFile(const std::string& path);
+
+struct CheckpointScan {
+  /// 0 when no valid checkpoint exists under the directory.
+  Version version = 0;
+  std::string path;
+  /// Checkpoint files that failed validation and were skipped (newest
+  /// first is tried first, so bit rot on the latest falls back).
+  int64_t invalid_skipped = 0;
+};
+
+/// Finds the newest checkpoint under `dir` that validates, trying newer
+/// versions first. A missing directory scans as "none".
+Result<CheckpointScan> FindLatestValidCheckpoint(const std::string& dir);
+
+/// Deletes checkpoint files under `dir` older than `keep_version`, and
+/// stray temp files from interrupted writes.
+void RetireOldCheckpoints(const std::string& dir, Version keep_version);
+
+}  // namespace quick::fdb
+
+#endif  // QUICK_FDB_CHECKPOINT_H_

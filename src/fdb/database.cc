@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <iterator>
+#include <limits>
 #include <thread>
 
+#include "common/file_io.h"
+#include "fdb/checkpoint.h"
 #include "fdb/conflict_tracker.h"
 #include "fdb/interval_resolver.h"
+#include "fdb/wal.h"
 
 namespace quick::fdb {
 
@@ -35,7 +39,50 @@ Database::Database(std::string name, Options options)
       read_ranges_checked_counter_(MetricsRegistry::Default()->GetCounter(
           "fdb.resolver.read_ranges_checked")),
       resolver_conflicts_counter_(
-          MetricsRegistry::Default()->GetCounter("fdb.resolver.conflicts")) {}
+          MetricsRegistry::Default()->GetCounter("fdb.resolver.conflicts")) {
+  if (options_.durability.enable_wal) {
+    InitDurability();
+  }
+}
+
+Database::~Database() = default;
+
+void Database::InitDurability() {
+  const std::string& dir = options_.durability.dir;
+  if (dir.empty() || !CreateDirs(dir).ok()) {
+    halted_.store(true, std::memory_order_release);
+    return;
+  }
+  Result<RecoveryInfo> recovered = RecoverVersionedStore(dir, &store_);
+  if (!recovered.ok()) {
+    halted_.store(true, std::memory_order_release);
+    return;
+  }
+  recovery_info_ = std::move(*recovered);
+  // Resume exactly at the last durable commit version (invariant 14):
+  // allocation, publication, and the GRV floor all restart from it.
+  applied_version_.store(recovery_info_.last_durable_version,
+                         std::memory_order_relaxed);
+  last_version_.store(recovery_info_.last_durable_version,
+                      std::memory_order_release);
+  durable_checkpoint_version_.store(recovery_info_.checkpoint_version,
+                                    std::memory_order_release);
+  // Checkpoint entries exist only at the checkpoint version; reads below
+  // it would see a hole, so the read floor starts there.
+  min_read_version_.store(recovery_info_.checkpoint_version,
+                          std::memory_order_release);
+  wal_ = std::make_unique<Wal>(dir, recovery_info_.next_wal_seq, &faults_,
+                               options_.clock,
+                               recovery_info_.segment_max_versions);
+  if (!wal_->Open().ok()) {
+    halted_.store(true, std::memory_order_release);
+  }
+}
+
+bool Database::DurabilityDead() const {
+  if (halted_.load(std::memory_order_acquire)) return true;
+  return wal_ != nullptr && wal_->dead();
+}
 
 void Database::InjectLatency(int64_t micros) {
   if (micros > 0) {
@@ -51,6 +98,9 @@ void Database::InjectLatency(int64_t micros) {
 }
 
 Result<Version> Database::AcquireReadVersion(const TransactionOptions& topts) {
+  if (options_.durability.enable_wal && DurabilityDead()) {
+    return Status::Unavailable("durable log dead; restart required");
+  }
   if (topts.use_cached_read_version) {
     std::lock_guard<std::mutex> lock(grv_cache_mu_);
     if (cached_grv_ != kInvalidVersion &&
@@ -78,6 +128,9 @@ Result<Version> Database::AcquireReadVersion(const TransactionOptions& topts) {
 
 Result<std::optional<std::string>> Database::ReadAt(const std::string& key,
                                                     Version version) {
+  if (options_.durability.enable_wal && DurabilityDead()) {
+    return Status::Unavailable("durable log dead; restart required");
+  }
   InjectLatency(latency_.read_micros);
   QUICK_RETURN_IF_ERROR(faults_.NextReadFault());
   if (version < min_read_version_.load(std::memory_order_acquire)) {
@@ -90,6 +143,9 @@ Result<std::optional<std::string>> Database::ReadAt(const std::string& key,
 
 Result<std::vector<KeyValue>> Database::ReadRangeAt(
     const KeyRange& range, Version version, const RangeOptions& options) {
+  if (options_.durability.enable_wal && DurabilityDead()) {
+    return Status::Unavailable("durable log dead; restart required");
+  }
   InjectLatency(latency_.read_micros);
   QUICK_RETURN_IF_ERROR(faults_.NextReadFault());
   if (version < min_read_version_.load(std::memory_order_acquire)) {
@@ -103,6 +159,9 @@ Result<std::vector<KeyValue>> Database::ReadRangeAt(
 Status Database::ScanRangeAt(const KeyRange& range, Version version,
                              const RangeOptions& options,
                              const RangeSink& sink) {
+  if (options_.durability.enable_wal && DurabilityDead()) {
+    return Status::Unavailable("durable log dead; restart required");
+  }
   InjectLatency(latency_.read_micros);
   QUICK_RETURN_IF_ERROR(faults_.NextReadFault());
   if (version < min_read_version_.load(std::memory_order_acquire)) {
@@ -115,6 +174,9 @@ Status Database::ScanRangeAt(const KeyRange& range, Version version,
 }
 
 Result<Database::CommitOutcome> Database::CommitAt(CommitRequest&& request) {
+  if (options_.durability.enable_wal && DurabilityDead()) {
+    return Status::Unavailable("durable log dead; restart required");
+  }
   stats_.commits_attempted.fetch_add(1, std::memory_order_relaxed);
 
   PendingCommit pc;
@@ -170,6 +232,12 @@ Result<Database::CommitOutcome> Database::CommitAt(CommitRequest&& request) {
       std::unique_lock<std::shared_mutex> lock(mu_);
       ProcessBatchLocked(batch);
     }
+    // Durability point: the whole batch is framed as one WAL record,
+    // appended, and fsynced before any member's `done` flips below —
+    // no commit is acknowledged before it is on stable storage. The
+    // baton serializes appends, so the log sees batches in version
+    // order without holding mu_ across the fsync.
+    if (wal_ != nullptr) AppendBatchDurable(batch);
     qlock.lock();
     // Once `done` flips and the queue mutex is released a follower may
     // return and destroy its PendingCommit — no touching batch members
@@ -183,12 +251,157 @@ Result<Database::CommitOutcome> Database::CommitAt(CommitRequest&& request) {
   }
   qlock.unlock();
 
+  MaybeAutoCheckpoint();
+
   if (!pc.status.ok()) return pc.status;
   return pc.outcome;
 }
 
+void Database::AppendBatchDurable(const std::vector<PendingCommit*>& batch) {
+  WalBatchRef ref;
+  for (PendingCommit* pc : batch) {
+    if (pc->outcome.version == kInvalidVersion) continue;  // not applied
+    ref.version = pc->outcome.version;
+    ref.members.emplace_back(pc->outcome.batch_order, &pc->request.mutations);
+  }
+  if (ref.members.empty()) return;
+  const Status st = wal_->AppendBatchAndSync(ref);
+  if (st.ok()) {
+    last_version_.store(ref.version, std::memory_order_release);
+    return;
+  }
+  // The batch applied in memory but never became durable; the version was
+  // never published, so no reader saw it. Each accepted member's outcome
+  // is genuinely unknown — the WAL is dead and a restart will recover to
+  // the state before this batch.
+  for (PendingCommit* pc : batch) {
+    if (pc->outcome.version == kInvalidVersion) continue;
+    if (pc->status.ok()) {
+      stats_.unknown_results.fetch_add(1, std::memory_order_relaxed);
+    }
+    pc->status = Status::CommitUnknownResult(
+        "applied in memory but not durable: " + st.message());
+  }
+}
+
+void Database::MaybeAutoCheckpoint() {
+  if (wal_ == nullptr) return;
+  const int64_t interval = options_.durability.checkpoint_interval_bytes;
+  if (interval <= 0 || DurabilityDead()) return;
+  if (wal_->CurrentSegmentBytes() < interval) return;
+  // Best effort: a concurrent checkpoint (or a fault inside this one)
+  // surfaces through Checkpoint()'s own status; commits never fail on it.
+  (void)Checkpoint();
+}
+
+Result<Version> Database::Checkpoint() {
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition("durability is disabled");
+  }
+  if (DurabilityDead()) {
+    return Status::Unavailable("durable log dead; restart required");
+  }
+  bool expected = false;
+  if (!checkpoint_in_progress_.compare_exchange_strong(
+          expected, true, std::memory_order_acq_rel)) {
+    return Status::FailedPrecondition("checkpoint already in progress");
+  }
+  struct ClearFlag {
+    std::atomic<bool>* flag;
+    ~ClearFlag() { flag->store(false, std::memory_order_release); }
+  } clear_flag{&checkpoint_in_progress_};
+
+  // Snapshot at the published (== durable) version. The prune floor is
+  // clamped at the previous checkpoint version, which cannot advance
+  // while this checkpoint is in flight, so `snapshot` stays readable
+  // across the shared-lock gaps between chunks.
+  const Version snapshot = last_version_.load(std::memory_order_acquire);
+  // Nothing committed since the last checkpoint: writing again would
+  // target the same CHECKPOINT-<version> file, and a write fault there
+  // would clobber the only valid checkpoint after its WAL coverage has
+  // been retired. The existing file already covers `snapshot` exactly.
+  if (snapshot == durable_checkpoint_version_.load(std::memory_order_acquire)) {
+    return snapshot;
+  }
+  CheckpointBuilder builder(snapshot);
+  std::string resume_key;
+  std::vector<KeyValue> chunk;
+  bool exhausted = false;
+  while (!exhausted) {
+    chunk.clear();
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      exhausted = store_.CollectSnapshotChunk(
+          snapshot, &resume_key, options_.durability.checkpoint_chunk_keys,
+          &chunk);
+    }
+    for (const KeyValue& kv : chunk) builder.Add(kv.key, kv.value);
+  }
+  const int64_t keys = builder.key_count();
+  std::string blob = builder.Finish();
+  const std::string path =
+      options_.durability.dir + "/" + CheckpointFileName(snapshot);
+
+  // Scheduled checkpoint-write faults model the process dying mid-
+  // checkpoint. Crucially the WAL is NOT rolled and nothing is retired:
+  // recovery skips the invalid file, falls back to the previous
+  // checkpoint, and replays the intact log.
+  if (std::optional<DiskFault> fault =
+          faults_.NextDiskFault(DiskFault::Op::kCheckpointWrite)) {
+    switch (fault->kind) {
+      case DiskFault::Kind::kFsyncStall:
+        options_.clock->SleepMillis(fault->stall_millis);
+        break;
+      case DiskFault::Kind::kTornWrite: {
+        const size_t keep =
+            fault->torn_bytes >= 0
+                ? std::min<size_t>(static_cast<size_t>(fault->torn_bytes),
+                                   blob.size())
+                : blob.size() / 2;
+        (void)AtomicWriteFile(path, std::string_view(blob).substr(0, keep));
+        halted_.store(true, std::memory_order_release);
+        return Status::Unavailable("injected torn checkpoint write");
+      }
+      case DiskFault::Kind::kChecksumCorruption: {
+        if (!blob.empty()) {
+          const size_t at = std::min<size_t>(
+              static_cast<size_t>(std::max<int64_t>(fault->corrupt_offset, 0)),
+              blob.size() - 1);
+          blob[at] = static_cast<char>(blob[at] ^ 1);
+        }
+        (void)AtomicWriteFile(path, blob);
+        halted_.store(true, std::memory_order_release);
+        return Status::Unavailable("injected corrupt checkpoint write");
+      }
+    }
+  }
+
+  Status st = AtomicWriteFile(path, blob);
+  if (!st.ok()) {
+    halted_.store(true, std::memory_order_release);
+    return st;
+  }
+  // The checkpoint is durable: roll to a fresh segment and retire every
+  // closed segment (and older checkpoint) it fully covers.
+  st = wal_->RollSegment(snapshot);
+  if (!st.ok()) {
+    halted_.store(true, std::memory_order_release);
+    return st;
+  }
+  durable_checkpoint_version_.store(snapshot, std::memory_order_release);
+  RetireOldCheckpoints(options_.durability.dir, snapshot);
+  checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
+  checkpoint_keys_written_.fetch_add(keys, std::memory_order_relaxed);
+  return snapshot;
+}
+
 void Database::ProcessBatchLocked(const std::vector<PendingCommit*>& batch) {
-  const Version version = last_version_.load(std::memory_order_relaxed) + 1;
+  // Allocation runs on applied_version_, not the published last_version_:
+  // with the WAL on, the batch applies in memory here but last_version_
+  // (what GRVs hand out) only advances after the record is fsynced, so
+  // no reader ever observes a not-yet-durable version.
+  const Version version =
+      applied_version_.load(std::memory_order_relaxed) + 1;
   // Write ranges of members already accepted in this batch: a later
   // arrival whose reads overlap them must conflict (its read version
   // necessarily predates the shared batch version).
@@ -243,7 +456,12 @@ void Database::ProcessBatchLocked(const std::vector<PendingCommit*>& batch) {
   if (order > 0) {
     resolver_->AddCommit(version, std::move(combined_writes));
     version_times_.emplace_back(version, options_.clock->NowMillis());
-    last_version_.store(version, std::memory_order_release);
+    applied_version_.store(version, std::memory_order_relaxed);
+    if (wal_ == nullptr) {
+      // In-memory mode acknowledges immediately; with the WAL the leader
+      // publishes after the fsync (AppendBatchDurable).
+      last_version_.store(version, std::memory_order_release);
+    }
     tracked_commits_gauge_->Set(
         static_cast<int64_t>(resolver_->TrackedCount()));
   }
@@ -265,8 +483,18 @@ void Database::MaybePruneLocked() {
     return;
   }
   last_prune_sweep_millis_ = now;
+  // With the WAL on, the floor never passes the last durable checkpoint:
+  // the chunked checkpoint writer reads at a snapshot version above it
+  // between shared-lock chunks, and pruning past that snapshot would
+  // erase entries the snapshot still needs. Entries beyond the clamp stay
+  // queued in version_times_ for the sweep after the next checkpoint.
+  const Version prune_limit =
+      wal_ == nullptr
+          ? std::numeric_limits<Version>::max()
+          : durable_checkpoint_version_.load(std::memory_order_acquire);
   Version pruned = min_read_version_.load(std::memory_order_relaxed);
-  while (!version_times_.empty() && version_times_.front().second < cutoff) {
+  while (!version_times_.empty() && version_times_.front().second < cutoff &&
+         version_times_.front().first <= prune_limit) {
     pruned = version_times_.front().first;
     version_times_.pop_front();
   }
@@ -293,6 +521,18 @@ Database::Stats Database::GetStats() const {
   out.unknown_results =
       stats_.unknown_results.load(std::memory_order_relaxed);
   out.reads = stats_.reads.load(std::memory_order_relaxed);
+  if (wal_ != nullptr) {
+    const Wal::Stats ws = wal_->GetStats();
+    out.wal_appends = ws.appends;
+    out.wal_appended_bytes = ws.appended_bytes;
+    out.wal_syncs = ws.syncs;
+    out.wal_segments_created = ws.segments_created;
+    out.wal_segments_deleted = ws.segments_deleted;
+  }
+  out.checkpoints_written =
+      checkpoints_written_.load(std::memory_order_relaxed);
+  out.checkpoint_keys_written =
+      checkpoint_keys_written_.load(std::memory_order_relaxed);
   return out;
 }
 

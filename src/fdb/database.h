@@ -15,12 +15,15 @@
 #include "common/metrics.h"
 #include "common/result.h"
 #include "fdb/fault_injector.h"
+#include "fdb/recovery.h"
 #include "fdb/resolver.h"
 #include "fdb/transaction.h"
 #include "fdb/types.h"
 #include "fdb/versioned_store.h"
 
 namespace quick::fdb {
+
+class Wal;
 
 /// One simulated FoundationDB cluster: MVCC storage + resolver + version
 /// authority. Thread-safe; any number of threads may run transactions
@@ -66,6 +69,22 @@ class Database {
     /// Scheduled fault windows (outages, failure-rate spikes, latency
     /// spikes) layered on the probabilistic config; see fault_plan.h.
     FaultPlan fault_plan;
+    /// Durable write-ahead log + checkpointing (DESIGN.md §9). Off by
+    /// default: the cluster is purely in-memory, exactly as before.
+    struct Durability {
+      bool enable_wal = false;
+      /// Directory for WAL segments and checkpoint files; required (and
+      /// created) when enable_wal is set. A restart is modelled by
+      /// constructing a new Database over the same directory.
+      std::string dir;
+      /// Auto-checkpoint once the current WAL segment exceeds this many
+      /// bytes; 0 disables the trigger (Checkpoint() is still callable).
+      int64_t checkpoint_interval_bytes = 4 << 20;
+      /// Keys visited per shared-lock acquisition while the checkpoint
+      /// writer streams the store — commits interleave between chunks.
+      size_t checkpoint_chunk_keys = 1024;
+    };
+    Durability durability;
   };
 
   /// Cumulative cluster statistics (observability; Figure 7's collision
@@ -82,6 +101,14 @@ class Database {
     int64_t too_old = 0;
     int64_t unknown_results = 0;
     int64_t reads = 0;
+    // Durability pipeline (all zero when the WAL is disabled).
+    int64_t wal_appends = 0;
+    int64_t wal_appended_bytes = 0;
+    int64_t wal_syncs = 0;
+    int64_t wal_segments_created = 0;
+    int64_t wal_segments_deleted = 0;
+    int64_t checkpoints_written = 0;
+    int64_t checkpoint_keys_written = 0;
   };
 
   /// Replaces the injected-latency model. NOT thread-safe: call only while
@@ -91,6 +118,7 @@ class Database {
 
   explicit Database(std::string name);
   Database(std::string name, Options options);
+  ~Database();
 
   Database(const Database&) = delete;
   Database& operator=(const Database&) = delete;
@@ -121,6 +149,32 @@ class Database {
   /// Commit records / interval nodes currently retained by the resolver
   /// (diagnostics; also exported as fdb.resolver.tracked_commits).
   size_t ResolverTrackedCount() const;
+
+  /// Snapshots the store at the latest durable version into a checkpoint
+  /// file, rolls the WAL to a fresh segment, and retires segments and
+  /// checkpoints wholly covered by the new one. Streams the store in
+  /// chunks, so commits and reads proceed concurrently. Returns the
+  /// checkpoint version; kFailedPrecondition when the WAL is disabled or
+  /// another checkpoint is in flight, kUnavailable after a fatal disk
+  /// fault. Also fired automatically by segment growth
+  /// (durability.checkpoint_interval_bytes).
+  Result<Version> Checkpoint();
+
+  /// What cold-start recovery found in durability.dir (all-defaults when
+  /// the WAL is disabled). `recovered` distinguishes a resumed store from
+  /// a genuinely fresh directory.
+  const RecoveryInfo& GetRecoveryInfo() const { return recovery_info_; }
+
+  /// Version of the newest durable checkpoint (0 before the first). The
+  /// MVCC prune floor never passes this while the WAL is on.
+  Version DurableCheckpointVersion() const {
+    return durable_checkpoint_version_.load(std::memory_order_acquire);
+  }
+
+  /// True after a fatal disk fault (torn write, corruption, I/O error):
+  /// the simulated process is dead and every operation returns
+  /// kUnavailable. Recover by constructing a new Database over the dir.
+  bool DurabilityDead() const;
 
  private:
   friend class Transaction;
@@ -173,8 +227,27 @@ class Database {
 
   /// Drops MVCC state older than the retention window: an O(1) staleness
   /// probe on every batch, with the sweep itself rate-limited. Caller holds
-  /// the exclusive lock.
+  /// the exclusive lock. With the WAL on, the floor is additionally
+  /// clamped at the last durable checkpoint version so the chunked
+  /// checkpoint writer's snapshot version stays readable between chunks.
   void MaybePruneLocked();
+
+  /// Frames the batch's accepted members as one WAL record, appends, and
+  /// fsyncs; publishes the batch version only on success (invariant 15:
+  /// no ack before fsync). On failure every accepted member is demoted to
+  /// kCommitUnknownResult. Called by the commit leader after the apply
+  /// pass, outside mu_ — the baton serializes appends.
+  void AppendBatchDurable(const std::vector<PendingCommit*>& batch);
+
+  /// Runs Checkpoint() when the current WAL segment outgrew the
+  /// configured interval; one trigger wins, concurrent ones no-op.
+  void MaybeAutoCheckpoint();
+
+  /// Cold-start path when durability.enable_wal is set: recover the store
+  /// from the directory, seed the version counters, open the WAL. A
+  /// recovery failure halts the database (every operation returns
+  /// kUnavailable) rather than serving an inconsistent store.
+  void InitDurability();
 
   void InjectLatency(int64_t micros);
 
@@ -197,6 +270,22 @@ class Database {
 
   std::atomic<Version> last_version_{0};
   std::atomic<Version> min_read_version_{0};
+
+  // Durability pipeline; wal_ stays null when durability.enable_wal is
+  // off and every path below reduces to today's in-memory behaviour.
+  // applied_version_ is the allocation counter: with the WAL on it runs
+  // ahead of the published last_version_ between apply and fsync, so
+  // readers and GRVs never observe a version that is not yet durable.
+  std::unique_ptr<Wal> wal_;
+  RecoveryInfo recovery_info_;
+  std::atomic<Version> applied_version_{0};
+  std::atomic<Version> durable_checkpoint_version_{0};
+  std::atomic<bool> checkpoint_in_progress_{false};
+  /// Fatal durability failure outside the Wal itself (checkpoint-write
+  /// faults): the simulated process is dead.
+  std::atomic<bool> halted_{false};
+  std::atomic<int64_t> checkpoints_written_{0};
+  std::atomic<int64_t> checkpoint_keys_written_{0};
 
   std::mutex grv_cache_mu_;
   Version cached_grv_ = kInvalidVersion;

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <utility>
 
 #include "common/clock.h"
@@ -49,6 +50,9 @@ class FaultInjector {
     int64_t read_faults = 0;
     int64_t forced_too_old = 0;
     int64_t latency_spike_millis = 0;
+    int64_t torn_writes = 0;
+    int64_t corrupted_writes = 0;
+    int64_t fsync_stall_millis = 0;
   };
 
   FaultInjector() : FaultInjector(Config{}) {}
@@ -147,6 +151,37 @@ class FaultInjector {
     return extra;
   }
 
+  /// Advances the ordinal counter for `op` and returns the scheduled disk
+  /// fault firing at the new ordinal, if any (at most one fires per
+  /// operation; when several are scheduled on the same ordinal the first
+  /// added wins). Thread-safe. The WAL / checkpoint writer consumes the
+  /// fault; counters here record what was handed out.
+  std::optional<DiskFault> NextDiskFault(DiskFault::Op op) {
+    if (plan_.disk_faults().empty()) return std::nullopt;
+    int64_t ordinal;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ordinal = ++disk_op_counts_[static_cast<size_t>(op)];
+    }
+    for (const DiskFault& f : plan_.disk_faults()) {
+      if (f.op != op || f.at_op != ordinal) continue;
+      switch (f.kind) {
+        case DiskFault::Kind::kTornWrite:
+          torn_writes_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case DiskFault::Kind::kChecksumCorruption:
+          corrupted_writes_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case DiskFault::Kind::kFsyncStall:
+          fsync_stall_millis_.fetch_add(f.stall_millis,
+                                        std::memory_order_relaxed);
+          break;
+      }
+      return f;
+    }
+    return std::nullopt;
+  }
+
   const Config& config() const { return config_; }
   const FaultPlan& plan() const { return plan_; }
 
@@ -158,6 +193,10 @@ class FaultInjector {
     out.forced_too_old = forced_too_old_.load(std::memory_order_relaxed);
     out.latency_spike_millis =
         latency_spike_millis_.load(std::memory_order_relaxed);
+    out.torn_writes = torn_writes_.load(std::memory_order_relaxed);
+    out.corrupted_writes = corrupted_writes_.load(std::memory_order_relaxed);
+    out.fsync_stall_millis =
+        fsync_stall_millis_.load(std::memory_order_relaxed);
     return out;
   }
 
@@ -179,6 +218,11 @@ class FaultInjector {
   std::atomic<int64_t> read_faults_{0};
   std::atomic<int64_t> forced_too_old_{0};
   std::atomic<int64_t> latency_spike_millis_{0};
+  std::atomic<int64_t> torn_writes_{0};
+  std::atomic<int64_t> corrupted_writes_{0};
+  std::atomic<int64_t> fsync_stall_millis_{0};
+  /// Per-Op ordinal counters for scheduled disk faults (guarded by mu_).
+  int64_t disk_op_counts_[2] = {0, 0};
 };
 
 }  // namespace quick::fdb

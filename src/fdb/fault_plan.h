@@ -61,6 +61,76 @@ struct FaultWindow {
   }
 };
 
+/// One scheduled disk fault against a durable storage backend (today the
+/// fdb WAL and its checkpoints; reusable by any future on-disk backend).
+/// Unlike FaultWindow these are keyed by operation *ordinal*, not clock
+/// time: "tear the 7th log append" is the crash geometry recovery tests
+/// need to hit exactly, and append counts are deterministic where wall
+/// time is not. A torn write or checksum corruption is fatal — it models
+/// the process dying mid-write, so the backend goes dark (every later
+/// operation fails kUnavailable) until a fresh process recovers from disk.
+struct DiskFault {
+  enum class Kind {
+    /// Only a prefix of the record reaches the platter; the process dies.
+    kTornWrite,
+    /// fsync blocks for `stall_millis` of the cluster Clock, then succeeds
+    /// (a hung device that comes back; non-fatal).
+    kFsyncStall,
+    /// The record is written full-length but a payload byte is flipped on
+    /// the way down (bit rot at write time); the process dies unacked.
+    kChecksumCorruption,
+  };
+
+  /// Which durable operation stream the ordinal counts.
+  enum class Op {
+    kWalAppend,
+    kCheckpointWrite,
+  };
+
+  Kind kind = Kind::kTornWrite;
+  Op op = Op::kWalAppend;
+  /// Fires on the `at_op`-th operation of `op` (1-based).
+  int64_t at_op = 1;
+  /// kTornWrite: bytes of the record actually written; -1 = half of it.
+  int64_t torn_bytes = -1;
+  /// kFsyncStall: stall duration, paid on the cluster's Clock.
+  int64_t stall_millis = 0;
+  /// kChecksumCorruption: record offset whose low bit is flipped (clamped
+  /// to the record length).
+  int64_t corrupt_offset = 0;
+
+  static DiskFault TornWrite(int64_t at_op, int64_t torn_bytes = -1) {
+    DiskFault f;
+    f.kind = Kind::kTornWrite;
+    f.at_op = at_op;
+    f.torn_bytes = torn_bytes;
+    return f;
+  }
+
+  static DiskFault FsyncStall(int64_t at_op, int64_t stall_millis) {
+    DiskFault f;
+    f.kind = Kind::kFsyncStall;
+    f.at_op = at_op;
+    f.stall_millis = stall_millis;
+    return f;
+  }
+
+  static DiskFault Corruption(int64_t at_op, int64_t corrupt_offset = 0) {
+    DiskFault f;
+    f.kind = Kind::kChecksumCorruption;
+    f.at_op = at_op;
+    f.corrupt_offset = corrupt_offset;
+    return f;
+  }
+
+  /// Same fault scheduled against the checkpoint writer instead of the WAL.
+  DiskFault OnCheckpoint() const {
+    DiskFault f = *this;
+    f.op = Op::kCheckpointWrite;
+    return f;
+  }
+};
+
 /// A time-windowed fault schedule for one cluster. Immutable once handed to
 /// a Database; evaluation is a pure function of the clock, so a chaos run
 /// is fully deterministic given (plan, ManualClock, fault seed).
@@ -73,8 +143,17 @@ class FaultPlan {
     return *this;
   }
 
-  bool empty() const { return windows_.empty(); }
+  /// Schedules a disk fault (see DiskFault). Disk faults are keyed by
+  /// operation ordinal, so they compose with the time windows without
+  /// sharing their clock.
+  FaultPlan& AddDisk(DiskFault fault) {
+    disk_faults_.push_back(fault);
+    return *this;
+  }
+
+  bool empty() const { return windows_.empty() && disk_faults_.empty(); }
   const std::vector<FaultWindow>& windows() const { return windows_; }
+  const std::vector<DiskFault>& disk_faults() const { return disk_faults_; }
 
   /// The aggregate effect active at `now_millis`: probabilities of
   /// overlapping windows add, outages OR, latency spikes add. Returns a
@@ -111,6 +190,7 @@ class FaultPlan {
 
  private:
   std::vector<FaultWindow> windows_;
+  std::vector<DiskFault> disk_faults_;
 };
 
 }  // namespace quick::fdb

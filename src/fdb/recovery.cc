@@ -1,0 +1,49 @@
+#include "fdb/recovery.h"
+
+#include <algorithm>
+
+#include "fdb/checkpoint.h"
+#include "fdb/wal.h"
+
+namespace quick::fdb {
+
+Result<RecoveryInfo> RecoverVersionedStore(const std::string& dir,
+                                           VersionedStore* store) {
+  RecoveryInfo info;
+
+  Result<CheckpointScan> scan = FindLatestValidCheckpoint(dir);
+  if (!scan.ok()) return scan.status();
+  info.invalid_checkpoints = scan->invalid_skipped;
+  if (scan->version > 0) {
+    Result<LoadedCheckpoint> ckpt = LoadCheckpointFile(scan->path);
+    if (!ckpt.ok()) return ckpt.status();
+    for (KeyValue& kv : ckpt->entries) {
+      store->LoadSnapshotEntry(std::move(kv.key), ckpt->version,
+                               std::move(kv.value));
+    }
+    info.checkpoint_version = ckpt->version;
+    info.recovered = true;
+  }
+
+  Result<WalReplayResult> replay = ReplayWalDir(
+      dir, info.checkpoint_version, [&](const WalBatch& batch) {
+        for (const WalBatch::Member& member : batch.members) {
+          store->Apply(member.mutations, batch.version, member.batch_order);
+        }
+        return Status::OK();
+      });
+  if (!replay.ok()) return replay.status();
+
+  info.last_durable_version =
+      std::max(info.checkpoint_version, replay->last_version);
+  info.replayed_records = replay->records_applied;
+  info.skipped_records = replay->records_skipped;
+  info.truncated_bytes = replay->truncated_bytes;
+  info.truncated = replay->truncated;
+  info.next_wal_seq = replay->max_segment_seq + 1;
+  info.segment_max_versions = std::move(replay->segment_max_versions);
+  if (replay->segments_scanned > 0) info.recovered = true;
+  return info;
+}
+
+}  // namespace quick::fdb

@@ -1,0 +1,54 @@
+#ifndef QUICK_FDB_RECOVERY_H_
+#define QUICK_FDB_RECOVERY_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "fdb/types.h"
+#include "fdb/versioned_store.h"
+
+namespace quick::fdb {
+
+/// Outcome of a cold-start recovery pass (DESIGN.md §9): what was loaded,
+/// what was replayed, and what the recovered Database must seed its
+/// version counters and Wal with.
+struct RecoveryInfo {
+  /// False when the directory held neither a checkpoint nor any WAL
+  /// segment (a genuinely fresh store).
+  bool recovered = false;
+  /// Version of the checkpoint loaded into the store (0 = none).
+  Version checkpoint_version = 0;
+  /// The exact last durable commit version: max(checkpoint version,
+  /// highest replayed WAL version). The Database resumes allocating from
+  /// the next version (invariant 14).
+  Version last_durable_version = 0;
+  int64_t replayed_records = 0;
+  /// Records at or below the checkpoint version, skipped for idempotence.
+  int64_t skipped_records = 0;
+  /// Bytes removed truncating the torn/corrupt log suffix.
+  int64_t truncated_bytes = 0;
+  bool truncated = false;
+  /// Checkpoint files that failed validation and were skipped.
+  int64_t invalid_checkpoints = 0;
+  /// First unused WAL segment sequence number (max seen + 1).
+  uint64_t next_wal_seq = 1;
+  /// Last version per surviving WAL segment, handed to the Wal so a later
+  /// checkpoint can retire them.
+  std::vector<std::pair<uint64_t, Version>> segment_max_versions;
+};
+
+/// Rebuilds `store` from the durable state under `dir`: loads the newest
+/// valid checkpoint (falling back past corrupt ones), replays the WAL tail
+/// above it in sequence order, and truncates the first torn or corrupt
+/// record onward so the recovered state is exactly the durable prefix.
+/// `store` must be empty. Safe to re-run: a second recovery over the same
+/// directory reproduces the same state.
+Result<RecoveryInfo> RecoverVersionedStore(const std::string& dir,
+                                           VersionedStore* store);
+
+}  // namespace quick::fdb
+
+#endif  // QUICK_FDB_RECOVERY_H_

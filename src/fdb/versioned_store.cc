@@ -35,7 +35,9 @@ std::string ApplyAtomicOp(AtomicOp op, const std::optional<std::string>& base,
       return EncodeLE(a + b, std::min<size_t>(operand.size(), 8));
     }
     case AtomicOp::kMin: {
-      if (!base.has_value()) return EncodeLE(0, std::min<size_t>(operand.size(), 8));
+      if (!base.has_value()) {
+        return EncodeLE(0, std::min<size_t>(operand.size(), 8));
+      }
       const uint64_t a = DecodeLEPadded(*base);
       const uint64_t b = DecodeLEPadded(operand);
       return EncodeLE(std::min(a, b), std::min<size_t>(operand.size(), 8));
@@ -166,9 +168,9 @@ void VersionedStore::ScanRange(const KeyRange& range, Version version,
   }
 }
 
-std::vector<KeyValue> VersionedStore::GetRange(const KeyRange& range,
-                                               Version version,
-                                               const RangeOptions& options) const {
+std::vector<KeyValue> VersionedStore::GetRange(
+    const KeyRange& range, Version version,
+    const RangeOptions& options) const {
   std::vector<KeyValue> out;
   ScanRange(range, version, options,
             [&out](std::string_view key, std::string_view value) {
@@ -203,6 +205,34 @@ void VersionedStore::Prune(Version min_version) {
       ++it;
     }
   }
+}
+
+void VersionedStore::LoadSnapshotEntry(std::string key, Version version,
+                                       std::string value) {
+  Chain& chain = data_[std::move(key)];
+  chain.clear();
+  chain.push_back({version, std::move(value)});
+}
+
+bool VersionedStore::CollectSnapshotChunk(Version version,
+                                          std::string* resume_key,
+                                          size_t max_keys,
+                                          std::vector<KeyValue>* out) const {
+  auto it = resume_key->empty() ? data_.begin()
+                                : data_.upper_bound(*resume_key);
+  size_t visited = 0;
+  for (; it != data_.end(); ++it) {
+    if (visited >= max_keys) {
+      // resume_key already names the last visited key.
+      return false;
+    }
+    ++visited;
+    *resume_key = it->first;
+    const std::optional<std::string>* v = GetInChain(it->second, version);
+    if (v == nullptr || !v->has_value()) continue;  // dead at the snapshot
+    out->push_back({it->first, **v});
+  }
+  return true;
 }
 
 size_t VersionedStore::LiveKeyCount() const {

@@ -96,6 +96,20 @@ class VersionedStore {
   /// become incorrect; the Database enforces the floor before reading.
   void Prune(Version min_version);
 
+  /// Bulk-loads one checkpointed key-value pair as a single-entry chain at
+  /// `version`. Recovery only: the store must not contain `key` yet, and
+  /// checkpoint entries arrive in key order.
+  void LoadSnapshotEntry(std::string key, Version version, std::string value);
+
+  /// Copies live key-value pairs as of `version` into `out`, visiting at
+  /// most `max_keys` keys starting after `*resume_key` (empty = from the
+  /// start). Returns true when the key space is exhausted; otherwise
+  /// updates `*resume_key` so the next call continues where this one
+  /// stopped. The checkpoint writer streams the store through this in
+  /// chunks so commits interleave with the snapshot.
+  bool CollectSnapshotChunk(Version version, std::string* resume_key,
+                            size_t max_keys, std::vector<KeyValue>* out) const;
+
   /// Number of live keys at the latest version (for tests/stats).
   size_t LiveKeyCount() const;
 

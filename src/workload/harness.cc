@@ -8,22 +8,7 @@ namespace quick::wl {
 
 Harness::Harness(const HarnessOptions& options)
     : options_(options), election_(SystemClock::Default()) {
-  fdb::Database::Options db_opts;
-  db_opts.clock = SystemClock::Default();
-  db_opts.latency = options.latency;
-  db_opts.grv_cache_staleness_millis = options.grv_cache_staleness_millis;
-  db_opts.enable_group_commit = options.enable_group_commit;
-  clusters_ = std::make_unique<fdb::ClusterSet>(db_opts);
-  for (int i = 0; i < options.num_clusters; ++i) {
-    const std::string name = "cluster" + std::to_string(i);
-    clusters_->AddCluster(name);
-    names_.push_back(name);
-  }
-  ck_ = std::make_unique<ck::CloudKitService>(clusters_.get(),
-                                              SystemClock::Default());
-  core::QuickConfig qconfig;
-  qconfig.pointer_vesting_slack_millis = options.pointer_vesting_slack_millis;
-  quick_ = std::make_unique<core::Quick>(ck_.get(), qconfig);
+  Build();
 
   const int64_t work_millis = options.work_millis;
   registry_.Register(kSimJobType, [this, work_millis](core::WorkContext&) {
@@ -33,6 +18,46 @@ Harness::Harness(const HarnessOptions& options)
     work_executed_.fetch_add(1, std::memory_order_relaxed);
     return Status::OK();
   });
+}
+
+void Harness::Build() {
+  fdb::Database::Options db_opts;
+  db_opts.clock = SystemClock::Default();
+  db_opts.latency = options_.latency;
+  db_opts.grv_cache_staleness_millis = options_.grv_cache_staleness_millis;
+  db_opts.enable_group_commit = options_.enable_group_commit;
+  db_opts.fault_plan = options_.fault_plan;
+  clusters_ = std::make_unique<fdb::ClusterSet>(db_opts);
+  for (int i = 0; i < options_.num_clusters; ++i) {
+    const std::string name = "cluster" + std::to_string(i);
+    if (options_.enable_wal) {
+      fdb::Database::Options opts = db_opts;
+      opts.durability.enable_wal = true;
+      opts.durability.dir = options_.wal_dir + "/" + name;
+      opts.durability.checkpoint_interval_bytes =
+          options_.checkpoint_interval_bytes;
+      clusters_->AddCluster(name, opts);
+    } else {
+      clusters_->AddCluster(name);
+    }
+    names_.push_back(name);
+  }
+  ck_ = std::make_unique<ck::CloudKitService>(clusters_.get(),
+                                              SystemClock::Default());
+  core::QuickConfig qconfig;
+  qconfig.pointer_vesting_slack_millis = options_.pointer_vesting_slack_millis;
+  quick_ = std::make_unique<core::Quick>(ck_.get(), qconfig);
+}
+
+void Harness::Restart() {
+  // Teardown order mirrors construction (QuiCK holds the CloudKit pointer,
+  // CloudKit holds the clusters); Build() then recovers each cluster from
+  // its durability directory.
+  quick_.reset();
+  ck_.reset();
+  clusters_.reset();
+  names_.clear();
+  Build();
 }
 
 Status Harness::EnqueueSim(int client, int items,

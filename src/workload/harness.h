@@ -32,6 +32,15 @@ struct HarnessOptions {
   int64_t pointer_vesting_slack_millis = 50;
   uint64_t seed = 42;
   std::string app = "bench";
+  /// Durable WAL + checkpointing on every cluster (cluster `i` logs to
+  /// `<wal_dir>/cluster<i>`). Off by default — benches and tests that do
+  /// not exercise durability keep today's purely in-memory clusters.
+  bool enable_wal = false;
+  std::string wal_dir;
+  int64_t checkpoint_interval_bytes = 4 << 20;
+  /// Per-cluster fault schedule (disk faults drive the crash-recovery
+  /// suites; time windows compose as before).
+  fdb::FaultPlan fault_plan;
 };
 
 /// Owns a full QuiCK deployment — clusters, CloudKit, QuiCK, job registry
@@ -70,7 +79,19 @@ class Harness {
   /// Total simulated work items executed so far.
   int64_t WorkExecuted() const { return work_executed_.load(); }
 
+  /// Simulated process restart: tears down QuiCK, CloudKit, and every
+  /// cluster, then rebuilds them from the same options. With the WAL
+  /// enabled the clusters recover from their directories — leases, dead
+  /// letters, and queue state resume from the last durable commit. Any
+  /// consumers built before the restart must be discarded first; the
+  /// executed-work counter deliberately survives (it models the client's
+  /// side of the ledger).
+  void Restart();
+
  private:
+  /// Constructs clusters/CloudKit/QuiCK from options_ (ctor and Restart).
+  void Build();
+
   HarnessOptions options_;
   std::unique_ptr<fdb::ClusterSet> clusters_;
   std::vector<std::string> names_;

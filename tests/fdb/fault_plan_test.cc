@@ -163,6 +163,92 @@ TEST(FaultPlanTest, LongSpikeAgesTransactionsPastLifetime) {
   EXPECT_EQ(t.Get("k3").status().code(), StatusCode::kTransactionTooOld);
 }
 
+TEST(FaultPlanTest, DiskFaultFactoriesEncodeKindAndStream) {
+  const DiskFault torn = DiskFault::TornWrite(3, 17);
+  EXPECT_EQ(torn.kind, DiskFault::Kind::kTornWrite);
+  EXPECT_EQ(torn.op, DiskFault::Op::kWalAppend);
+  EXPECT_EQ(torn.at_op, 3);
+  EXPECT_EQ(torn.torn_bytes, 17);
+
+  const DiskFault stall = DiskFault::FsyncStall(5, 750);
+  EXPECT_EQ(stall.kind, DiskFault::Kind::kFsyncStall);
+  EXPECT_EQ(stall.stall_millis, 750);
+
+  // OnCheckpoint retargets the stream and keeps everything else.
+  const DiskFault rot = DiskFault::Corruption(2, 9).OnCheckpoint();
+  EXPECT_EQ(rot.kind, DiskFault::Kind::kChecksumCorruption);
+  EXPECT_EQ(rot.op, DiskFault::Op::kCheckpointWrite);
+  EXPECT_EQ(rot.at_op, 2);
+  EXPECT_EQ(rot.corrupt_offset, 9);
+
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  plan.AddDisk(torn);
+  EXPECT_FALSE(plan.empty());
+  ASSERT_EQ(plan.disk_faults().size(), 1u);
+}
+
+TEST(FaultPlanTest, DiskFaultsFireOnTheirOrdinalPerStream) {
+  FaultPlan plan;
+  plan.AddDisk(DiskFault::TornWrite(2))
+      .AddDisk(DiskFault::FsyncStall(3, 40))
+      .AddDisk(DiskFault::Corruption(1, 8).OnCheckpoint());
+  FaultInjector injector(FaultInjector::Config{}, plan);
+
+  // WAL-append stream: ordinals 1..4 → none, torn, stall, none.
+  EXPECT_FALSE(injector.NextDiskFault(DiskFault::Op::kWalAppend).has_value());
+  auto second = injector.NextDiskFault(DiskFault::Op::kWalAppend);
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->kind, DiskFault::Kind::kTornWrite);
+  auto third = injector.NextDiskFault(DiskFault::Op::kWalAppend);
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(third->kind, DiskFault::Kind::kFsyncStall);
+  EXPECT_FALSE(injector.NextDiskFault(DiskFault::Op::kWalAppend).has_value());
+
+  // The checkpoint stream counts its own ordinals: its first write rots
+  // even though the WAL stream is already past ordinal 1.
+  auto ckpt = injector.NextDiskFault(DiskFault::Op::kCheckpointWrite);
+  ASSERT_TRUE(ckpt.has_value());
+  EXPECT_EQ(ckpt->kind, DiskFault::Kind::kChecksumCorruption);
+  EXPECT_EQ(ckpt->corrupt_offset, 8);
+
+  const FaultInjector::Counts counts = injector.counts();
+  EXPECT_EQ(counts.torn_writes, 1);
+  EXPECT_EQ(counts.corrupted_writes, 1);
+  EXPECT_EQ(counts.fsync_stall_millis, 40);
+}
+
+TEST(FaultPlanTest, FirstScheduledDiskFaultWinsASharedOrdinal) {
+  FaultPlan plan;
+  plan.AddDisk(DiskFault::FsyncStall(1, 10)).AddDisk(DiskFault::TornWrite(1));
+  FaultInjector injector(FaultInjector::Config{}, plan);
+
+  auto fault = injector.NextDiskFault(DiskFault::Op::kWalAppend);
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->kind, DiskFault::Kind::kFsyncStall);
+  // The ordinal is consumed; the loser never fires.
+  EXPECT_FALSE(injector.NextDiskFault(DiskFault::Op::kWalAppend).has_value());
+  EXPECT_EQ(injector.counts().torn_writes, 0);
+}
+
+TEST(FaultPlanTest, DiskFaultsComposeWithTimeWindows) {
+  // Disk faults are keyed by operation ordinal, not the clock, so a plan
+  // can carry both without the streams interfering.
+  ManualClock clock(1000);
+  FaultPlan plan;
+  plan.Add(FaultWindow::Outage(5000, 6000))
+      .AddDisk(DiskFault::TornWrite(1));
+  FaultInjector injector(FaultInjector::Config{}, plan, &clock);
+
+  EXPECT_EQ(injector.NextCommitFault(), FaultInjector::CommitFault::kNone);
+  EXPECT_TRUE(injector.NextDiskFault(DiskFault::Op::kWalAppend).has_value());
+
+  clock.AdvanceMillis(4500);  // now = 5500: inside the outage window
+  EXPECT_EQ(injector.NextCommitFault(),
+            FaultInjector::CommitFault::kUnavailable);
+  EXPECT_FALSE(injector.NextDiskFault(DiskFault::Op::kWalAppend).has_value());
+}
+
 TEST(FaultPlanTest, DeterministicUnderSameSeed) {
   FaultWindow w;
   w.start_millis = 0;

@@ -1,0 +1,370 @@
+#include "fdb/wal.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/file_io.h"
+
+namespace quick::fdb {
+namespace {
+
+std::string MakeTempDir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "quick_wal_" + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::vector<Mutation> SampleMutations() {
+  std::vector<Mutation> muts;
+  Mutation set;
+  set.type = Mutation::Type::kSet;
+  set.key = "alpha";
+  set.value = "one";
+  muts.push_back(set);
+
+  Mutation clear;
+  clear.type = Mutation::Type::kClear;
+  clear.key = "beta";
+  muts.push_back(clear);
+
+  Mutation clear_range;
+  clear_range.type = Mutation::Type::kClearRange;
+  clear_range.key = "c";
+  clear_range.end_key = "d";
+  muts.push_back(clear_range);
+
+  Mutation atomic;
+  atomic.type = Mutation::Type::kAtomic;
+  atomic.key = "counter";
+  atomic.value = std::string("\x05\x00\x00\x00", 4);
+  atomic.op = AtomicOp::kAdd;
+  atomic.base_cleared = true;
+  muts.push_back(atomic);
+
+  Mutation vs_key;
+  vs_key.type = Mutation::Type::kSetVersionstampedKey;
+  vs_key.key = "prefix/";
+  vs_key.end_key = "/suffix";
+  vs_key.value = "payload";
+  muts.push_back(vs_key);
+
+  Mutation vs_value;
+  vs_value.type = Mutation::Type::kSetVersionstampedValue;
+  vs_value.key = "stamped";
+  vs_value.value = "vp";
+  muts.push_back(vs_value);
+  return muts;
+}
+
+void ExpectMutationsEqual(const std::vector<Mutation>& a,
+                          const std::vector<Mutation>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].type, b[i].type) << "mutation " << i;
+    EXPECT_EQ(a[i].key, b[i].key) << "mutation " << i;
+    EXPECT_EQ(a[i].end_key, b[i].end_key) << "mutation " << i;
+    EXPECT_EQ(a[i].value, b[i].value) << "mutation " << i;
+    EXPECT_EQ(a[i].op, b[i].op) << "mutation " << i;
+    EXPECT_EQ(a[i].base_cleared, b[i].base_cleared) << "mutation " << i;
+  }
+}
+
+TEST(WalRecordTest, EncodeDecodeRoundtrip) {
+  const std::vector<Mutation> m0 = SampleMutations();
+  std::vector<Mutation> m1;
+  Mutation set;
+  set.type = Mutation::Type::kSet;
+  set.key = "k";
+  set.value = std::string(1000, 'x');
+  m1.push_back(set);
+
+  WalBatchRef ref;
+  ref.version = 42;
+  ref.members.emplace_back(0, &m0);
+  ref.members.emplace_back(3, &m1);
+  const std::string record = EncodeWalRecord(ref, 128);
+
+  size_t offset = 0;
+  Result<WalBatch> decoded = DecodeWalRecord(record, &offset);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(offset, record.size());
+  EXPECT_EQ(decoded->version, 42);
+  ASSERT_EQ(decoded->members.size(), 2u);
+  EXPECT_EQ(decoded->members[0].batch_order, 0);
+  EXPECT_EQ(decoded->members[1].batch_order, 3);
+  ExpectMutationsEqual(decoded->members[0].mutations, m0);
+  ExpectMutationsEqual(decoded->members[1].mutations, m1);
+}
+
+TEST(WalRecordTest, TombstoneOnlyFlagSetForAllClearBatch) {
+  std::vector<Mutation> clears;
+  Mutation c;
+  c.type = Mutation::Type::kClear;
+  c.key = "gone";
+  clears.push_back(c);
+  Mutation cr;
+  cr.type = Mutation::Type::kClearRange;
+  cr.key = "a";
+  cr.end_key = "b";
+  clears.push_back(cr);
+
+  WalBatchRef ref;
+  ref.version = 7;
+  ref.members.emplace_back(0, &clears);
+  const std::string record = EncodeWalRecord(ref, kNoPrevOffset);
+  // flags live at header offset 28 (u16 LE).
+  const uint16_t flags =
+      static_cast<uint16_t>(static_cast<unsigned char>(record[28])) |
+      (static_cast<uint16_t>(static_cast<unsigned char>(record[29])) << 8);
+  EXPECT_EQ(flags & kWalFlagTombstoneOnly, kWalFlagTombstoneOnly);
+
+  const std::vector<Mutation> mixed = SampleMutations();
+  WalBatchRef ref2;
+  ref2.version = 8;
+  ref2.members.emplace_back(0, &mixed);
+  const std::string record2 = EncodeWalRecord(ref2, kNoPrevOffset);
+  const uint16_t flags2 =
+      static_cast<uint16_t>(static_cast<unsigned char>(record2[28])) |
+      (static_cast<uint16_t>(static_cast<unsigned char>(record2[29])) << 8);
+  EXPECT_EQ(flags2 & kWalFlagTombstoneOnly, 0);
+}
+
+TEST(WalRecordTest, DecodeRejectsFlippedByte) {
+  const std::vector<Mutation> muts = SampleMutations();
+  WalBatchRef ref;
+  ref.version = 9;
+  ref.members.emplace_back(0, &muts);
+  std::string record = EncodeWalRecord(ref, kNoPrevOffset);
+  // Flip one payload byte: the CRC must catch it.
+  record[kWalHeaderSize + 5] =
+      static_cast<char>(record[kWalHeaderSize + 5] ^ 1);
+  size_t offset = 0;
+  EXPECT_FALSE(DecodeWalRecord(record, &offset).ok());
+}
+
+TEST(WalRecordTest, DecodeRejectsTornPrefix) {
+  const std::vector<Mutation> muts = SampleMutations();
+  WalBatchRef ref;
+  ref.version = 9;
+  ref.members.emplace_back(0, &muts);
+  const std::string record = EncodeWalRecord(ref, kNoPrevOffset);
+  for (const size_t keep :
+       {size_t{0}, size_t{7}, kWalHeaderSize - 1, kWalHeaderSize,
+        record.size() - 1}) {
+    size_t offset = 0;
+    EXPECT_FALSE(DecodeWalRecord(record.substr(0, keep), &offset).ok())
+        << "torn at " << keep << " bytes decoded";
+  }
+}
+
+TEST(WalRecordTest, SegmentNameRoundtrip) {
+  const std::string name = WalSegmentName(0x1Bu);
+  uint64_t seq = 0;
+  ASSERT_TRUE(ParseWalSegmentName(name, &seq));
+  EXPECT_EQ(seq, 0x1Bu);
+  EXPECT_FALSE(ParseWalSegmentName("CHECKPOINT-0000.ckpt", &seq));
+  EXPECT_FALSE(ParseWalSegmentName("WAL-zzz.log", &seq));
+}
+
+TEST(WalTest, AppendAndReplayRoundtrip) {
+  const std::string dir = MakeTempDir("append_replay");
+  FaultInjector faults;
+  ManualClock clock;
+  Wal wal(dir, 1, &faults, &clock);
+  ASSERT_TRUE(wal.Open().ok());
+
+  const std::vector<Mutation> muts = SampleMutations();
+  for (Version v = 1; v <= 3; ++v) {
+    WalBatchRef ref;
+    ref.version = v;
+    ref.members.emplace_back(0, &muts);
+    ASSERT_TRUE(wal.AppendBatchAndSync(ref).ok());
+  }
+  EXPECT_FALSE(wal.dead());
+  EXPECT_EQ(wal.GetStats().appends, 3);
+  EXPECT_EQ(wal.GetStats().syncs, 3);
+
+  std::vector<Version> seen;
+  Result<WalReplayResult> replay =
+      ReplayWalDir(dir, 0, [&](const WalBatch& batch) {
+        seen.push_back(batch.version);
+        EXPECT_EQ(batch.members.size(), 1u);
+        ExpectMutationsEqual(batch.members[0].mutations, muts);
+        return Status::OK();
+      });
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_EQ(seen, (std::vector<Version>{1, 2, 3}));
+  EXPECT_EQ(replay->last_version, 3);
+  EXPECT_EQ(replay->records_applied, 3);
+  EXPECT_EQ(replay->records_skipped, 0);
+  EXPECT_FALSE(replay->truncated);
+
+  // from_version skips covered records (checkpoint idempotence).
+  seen.clear();
+  replay = ReplayWalDir(dir, 2, [&](const WalBatch& batch) {
+    seen.push_back(batch.version);
+    return Status::OK();
+  });
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(seen, (std::vector<Version>{3}));
+  EXPECT_EQ(replay->records_skipped, 2);
+}
+
+TEST(WalTest, RollSegmentRetiresCoveredSegments) {
+  const std::string dir = MakeTempDir("roll");
+  FaultInjector faults;
+  ManualClock clock;
+  Wal wal(dir, 1, &faults, &clock);
+  ASSERT_TRUE(wal.Open().ok());
+
+  std::vector<Mutation> muts;
+  Mutation set;
+  set.type = Mutation::Type::kSet;
+  set.key = "k";
+  set.value = "v";
+  muts.push_back(set);
+  for (Version v = 1; v <= 3; ++v) {
+    WalBatchRef ref;
+    ref.version = v;
+    ref.members.emplace_back(0, &muts);
+    ASSERT_TRUE(wal.AppendBatchAndSync(ref).ok());
+  }
+  EXPECT_GT(wal.CurrentSegmentBytes(), 0);
+  // Checkpoint at version 3 covers segment 1 entirely: it is deleted.
+  ASSERT_TRUE(wal.RollSegment(3).ok());
+  EXPECT_EQ(wal.CurrentSegmentBytes(), 0);
+  EXPECT_FALSE(FileExists(dir + "/" + WalSegmentName(1)));
+  EXPECT_TRUE(FileExists(dir + "/" + WalSegmentName(2)));
+  EXPECT_EQ(wal.GetStats().segments_deleted, 1);
+
+  WalBatchRef ref;
+  ref.version = 4;
+  ref.members.emplace_back(0, &muts);
+  ASSERT_TRUE(wal.AppendBatchAndSync(ref).ok());
+
+  std::vector<Version> seen;
+  Result<WalReplayResult> replay =
+      ReplayWalDir(dir, 3, [&](const WalBatch& batch) {
+        seen.push_back(batch.version);
+        return Status::OK();
+      });
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(seen, (std::vector<Version>{4}));
+  EXPECT_EQ(replay->max_segment_seq, 2u);
+}
+
+TEST(WalTest, TornWriteKillsWalAndReplayTruncates) {
+  const std::string dir = MakeTempDir("torn");
+  FaultPlan plan;
+  plan.AddDisk(DiskFault::TornWrite(/*at_op=*/2));
+  ManualClock clock;
+  FaultInjector faults(FaultInjector::Config{}, plan, &clock);
+  Wal wal(dir, 1, &faults, &clock);
+  ASSERT_TRUE(wal.Open().ok());
+
+  std::vector<Mutation> muts;
+  Mutation set;
+  set.type = Mutation::Type::kSet;
+  set.key = "key";
+  set.value = "value";
+  muts.push_back(set);
+
+  WalBatchRef ref;
+  ref.version = 1;
+  ref.members.emplace_back(0, &muts);
+  ASSERT_TRUE(wal.AppendBatchAndSync(ref).ok());
+  ref.version = 2;
+  EXPECT_FALSE(wal.AppendBatchAndSync(ref).ok());
+  EXPECT_TRUE(wal.dead());
+  EXPECT_EQ(faults.counts().torn_writes, 1);
+  // Dead WAL rejects everything.
+  ref.version = 3;
+  EXPECT_FALSE(wal.AppendBatchAndSync(ref).ok());
+
+  std::vector<Version> seen;
+  Result<WalReplayResult> replay =
+      ReplayWalDir(dir, 0, [&](const WalBatch& batch) {
+        seen.push_back(batch.version);
+        return Status::OK();
+      });
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(seen, (std::vector<Version>{1}));
+  EXPECT_TRUE(replay->truncated);
+  EXPECT_GT(replay->truncated_bytes, 0);
+
+  // Truncation is idempotent: a second replay sees a clean log.
+  replay = ReplayWalDir(dir, 0, [&](const WalBatch&) { return Status::OK(); });
+  ASSERT_TRUE(replay.ok());
+  EXPECT_FALSE(replay->truncated);
+  EXPECT_EQ(replay->records_applied, 1);
+}
+
+TEST(WalTest, CorruptionKillsWalAndReplayTruncates) {
+  const std::string dir = MakeTempDir("corrupt");
+  FaultPlan plan;
+  plan.AddDisk(DiskFault::Corruption(/*at_op=*/1, /*corrupt_offset=*/40));
+  ManualClock clock;
+  FaultInjector faults(FaultInjector::Config{}, plan, &clock);
+  Wal wal(dir, 1, &faults, &clock);
+  ASSERT_TRUE(wal.Open().ok());
+
+  std::vector<Mutation> muts;
+  Mutation set;
+  set.type = Mutation::Type::kSet;
+  set.key = "key";
+  set.value = "value";
+  muts.push_back(set);
+  WalBatchRef ref;
+  ref.version = 1;
+  ref.members.emplace_back(0, &muts);
+  EXPECT_FALSE(wal.AppendBatchAndSync(ref).ok());
+  EXPECT_TRUE(wal.dead());
+  EXPECT_EQ(faults.counts().corrupted_writes, 1);
+
+  Result<WalReplayResult> replay =
+      ReplayWalDir(dir, 0, [&](const WalBatch&) { return Status::OK(); });
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->records_applied, 0);
+  EXPECT_TRUE(replay->truncated);
+}
+
+TEST(WalTest, FsyncStallSleepsOnClusterClockAndSurvives) {
+  const std::string dir = MakeTempDir("stall");
+  FaultPlan plan;
+  plan.AddDisk(DiskFault::FsyncStall(/*at_op=*/1, /*stall_millis=*/750));
+  ManualClock clock(1000);
+  FaultInjector faults(FaultInjector::Config{}, plan, &clock);
+  Wal wal(dir, 1, &faults, &clock);
+  ASSERT_TRUE(wal.Open().ok());
+
+  std::vector<Mutation> muts;
+  Mutation set;
+  set.type = Mutation::Type::kSet;
+  set.key = "k";
+  set.value = "v";
+  muts.push_back(set);
+  WalBatchRef ref;
+  ref.version = 1;
+  ref.members.emplace_back(0, &muts);
+  ASSERT_TRUE(wal.AppendBatchAndSync(ref).ok());
+  EXPECT_FALSE(wal.dead());
+  EXPECT_EQ(clock.NowMillis(), 1750);
+  EXPECT_EQ(faults.counts().fsync_stall_millis, 750);
+}
+
+TEST(WalTest, ReplayMissingDirIsEmpty) {
+  Result<WalReplayResult> replay = ReplayWalDir(
+      ::testing::TempDir() + "quick_wal_does_not_exist",
+      0, [&](const WalBatch&) { return Status::OK(); });
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay->records_applied, 0);
+  EXPECT_EQ(replay->segments_scanned, 0);
+  EXPECT_EQ(replay->max_segment_seq, 0u);
+}
+
+}  // namespace
+}  // namespace quick::fdb
