@@ -1,0 +1,182 @@
+// Replication-path benchmarks: what warm-standby log shipping costs at
+// steady state (how far a pumped replica trails the primary, and how fast
+// frames move over the link), and how long a fenced region failover takes
+// end to end — from the kill to the first item dequeued on the promoted
+// primary. Not a paper figure; pins the simulator's DESIGN.md §10 layer.
+//
+// Counter naming is deliberate: everything here is fsync- and
+// recovery-bound, so every counter uses an ungated name (not in
+// compare_bench.py THROUGHPUT_KEYS) — trend-watching, not thresholds.
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <filesystem>
+#include <string>
+#include <thread>
+
+#include "bench_report.h"
+
+#include "common/histogram.h"
+#include "fdb/replication.h"
+#include "quick/consumer.h"
+#include "workload/harness.h"
+
+namespace quick {
+namespace {
+
+std::string FreshDir(const std::string& tag) {
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("quick_bench_replication_" + tag))
+          .string();
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// Steady-state shipping: one primary + one warm standby, the shipper
+// pumped after every acked commit (the tightest cadence the harness's
+// background thread approximates). Replica lag is sampled after each
+// pump; with a healthy link it should sit at zero — the pump drains the
+// whole published log — so the histogram doubles as a regression tripwire
+// for the shipper ever falling behind a single-writer primary.
+void BM_SteadyStateShipping(benchmark::State& state) {
+  const std::string dir = FreshDir("steady");
+  fdb::ReplicationGroupOptions opts;
+  opts.num_replicas = 1;
+  opts.dir = dir;
+  // Manual checkpoints only: steady state ships frames, never snapshots.
+  opts.db_options.durability.checkpoint_interval_bytes = 0;
+  fdb::ReplicationGroup group("bench", opts);
+  if (!group.Start().ok()) {
+    state.SkipWithError("replication group failed to start");
+    return;
+  }
+  const std::string standby = fdb::ReplicationGroup::RegionName(1);
+
+  Histogram lag_versions;
+  int64_t i = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    fdb::Transaction txn = group.primary()->CreateTransaction();
+    txn.Set("key" + std::to_string(i % 512), "payload-" + std::to_string(i));
+    benchmark::DoNotOptimize(txn.Commit());
+    benchmark::DoNotOptimize(group.PumpOnce());
+    lag_versions.Record(
+        static_cast<int64_t>(group.primary()->LastCommittedVersion() -
+                             group.ReplicaAppliedVersion(standby)));
+    ++i;
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const fdb::LogShipper::Stats ship = group.ShipperStats(standby);
+  const fdb::ReplicaApplier::Stats apply = group.ApplierStats(standby);
+  state.SetItemsProcessed(state.iterations());
+  // fsync-bound on both sides of the link: ungated names.
+  state.counters["ship_frames_per_sec"] =
+      secs > 0 ? static_cast<double>(ship.frames_shipped) / secs : 0.0;
+  state.counters["replicated_commits_per_sec"] =
+      secs > 0 ? static_cast<double>(state.iterations()) / secs : 0.0;
+  state.counters["frames_shipped"] = static_cast<double>(ship.frames_shipped);
+  state.counters["frames_applied"] = static_cast<double>(apply.frames_applied);
+  state.counters["replica_lag_versions_max"] =
+      static_cast<double>(lag_versions.Stats().max);
+  bench::BenchReportCollector::Global()->ReportRun(
+      "BM_SteadyStateShipping/1_standby", state,
+      {{"lag_versions", &lag_versions}});
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_SteadyStateShipping)->Unit(benchmark::kMicrosecond)
+    ->UseRealTime();
+
+// Failover end to end, through the full stack: a replicated harness takes
+// a batch of enqueues, the primary region is killed, and the clock runs
+// from the kill until (a) Failover() returns — seal, drain, promote,
+// recover — and (b) the first item is dequeued and executed on the
+// promoted primary. Each iteration is one flip; the old region rejoins as
+// a follower so the group always has a standby for the next one.
+void BM_FailoverToFirstDequeue(benchmark::State& state) {
+  const std::string dir = FreshDir("failover");
+  wl::HarnessOptions hopts;
+  hopts.num_clusters = 1;
+  hopts.work_millis = 0;
+  hopts.pointer_vesting_slack_millis = 0;
+  hopts.enable_wal = true;
+  hopts.wal_dir = dir;
+  // Bound what each promotion has to replay: flips accumulate log.
+  hopts.checkpoint_interval_bytes = 256 << 10;
+  hopts.replicas_per_cluster = 1;
+  hopts.replication_pump_interval_millis = 1;
+  wl::Harness harness(hopts);
+  const std::string cluster = harness.cluster_names()[0];
+
+  core::ConsumerConfig config;
+  config.sequential = true;
+  config.relaxed_reads_for_peek = false;
+  config.dequeue_max = 4;
+  auto consumer = harness.MakeConsumer(config, "bench-failover");
+
+  constexpr int kItemsPerFlip = 24;
+  Histogram failover_micros;
+  Histogram first_dequeue_micros;
+  for (auto _ : state) {
+    for (int i = 0; i < kItemsPerFlip; ++i) {
+      if (!harness.EnqueueSim(i % 4, 1).ok()) {
+        state.SkipWithError("enqueue failed against a healthy primary");
+        return;
+      }
+    }
+    const int64_t executed_before = harness.WorkExecuted();
+    fdb::ReplicationGroup* group = harness.replication(cluster);
+    const std::string old_region = group->primary_region();
+    harness.KillRegion(cluster);
+
+    const auto k0 = std::chrono::steady_clock::now();
+    auto promoted = harness.Failover(cluster);
+    const auto k1 = std::chrono::steady_clock::now();
+    if (!promoted.ok()) {
+      state.SkipWithError("failover refused");
+      return;
+    }
+    while (harness.WorkExecuted() == executed_before) {
+      (void)consumer->RunOnePass(cluster);
+    }
+    const auto k2 = std::chrono::steady_clock::now();
+
+    failover_micros.Record(
+        std::chrono::duration_cast<std::chrono::microseconds>(k1 - k0)
+            .count());
+    first_dequeue_micros.Record(
+        std::chrono::duration_cast<std::chrono::microseconds>(k2 - k0)
+            .count());
+    if (!group->RejoinAsFollower(old_region).ok()) {
+      state.SkipWithError("dead region failed to rejoin as follower");
+      return;
+    }
+  }
+
+  state.SetItemsProcessed(state.iterations());
+  // Recovery- and disk-bound: ungated names (milliseconds, mean of the
+  // per-flip histograms).
+  state.counters["failover_ms"] = failover_micros.Stats().mean / 1000.0;
+  state.counters["first_dequeue_ms"] =
+      first_dequeue_micros.Stats().mean / 1000.0;
+  state.counters["flips"] = static_cast<double>(state.iterations());
+  bench::BenchReportCollector::Global()->ReportRun(
+      "BM_FailoverToFirstDequeue/1_standby", state,
+      {{"failover_us", &failover_micros},
+       {"first_dequeue_us", &first_dequeue_micros}});
+  std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_FailoverToFirstDequeue)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(6);
+
+}  // namespace
+}  // namespace quick
+
+QUICK_BENCH_MAIN("replication")

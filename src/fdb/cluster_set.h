@@ -3,6 +3,8 @@
 
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -35,10 +37,40 @@ class ClusterSet {
     return raw;
   }
 
-  /// nullptr when no such cluster exists.
+  /// Registers a non-owned cluster under `name` (a ReplicationGroup's
+  /// primary — the group keeps ownership and must outlive this set);
+  /// later Retarget calls follow failovers.
+  Database* AddExternal(const std::string& name, Database* db) {
+    Retarget(name, db);
+    names_.push_back(name);
+    return db;
+  }
+
+  /// nullptr when no such cluster exists. A retargeted name (region
+  /// failover) resolves to its override — every caller that re-resolves
+  /// per operation (cloudkit::Container does) follows the new primary on
+  /// its next call.
   Database* Get(const std::string& name) const {
+    {
+      std::shared_lock<std::shared_mutex> lock(overrides_mu_);
+      auto it = overrides_.find(name);
+      if (it != overrides_.end()) return it->second;
+    }
     auto it = clusters_.find(name);
     return it == clusters_.end() ? nullptr : it->second.get();
+  }
+
+  /// Repoints `name` at `db` (NOT owned — a ReplicationGroup's promoted
+  /// primary) without touching the owned cluster; nullptr removes the
+  /// override. Thread-safe against concurrent Get; the map of owned
+  /// clusters itself must still be built before traffic starts.
+  void Retarget(const std::string& name, Database* db) {
+    std::unique_lock<std::shared_mutex> lock(overrides_mu_);
+    if (db == nullptr) {
+      overrides_.erase(name);
+    } else {
+      overrides_[name] = db;
+    }
   }
 
   const std::vector<std::string>& names() const { return names_; }
@@ -48,6 +80,10 @@ class ClusterSet {
   Database::Options default_options_;
   std::map<std::string, std::unique_ptr<Database>> clusters_;
   std::vector<std::string> names_;
+  /// Failover overrides, consulted before the owned clusters (guarded
+  /// separately so hot Get paths stay a shared lock).
+  mutable std::shared_mutex overrides_mu_;
+  std::map<std::string, Database*> overrides_;
 };
 
 }  // namespace quick::fdb

@@ -207,11 +207,14 @@ Result<Database::CommitOutcome> Database::CommitAt(CommitRequest&& request) {
   std::unique_lock<std::mutex> qlock(commit_queue_mu_);
   commit_queue_.push_back(&pc);
   while (!pc.done) {
-    if (commit_leader_active_) {
-      // A leader is mid-round; wait to be resolved by it (or to inherit
-      // the baton if it retires before reaching this commit).
-      commit_cv_.wait(
-          qlock, [&] { return pc.done || !commit_leader_active_; });
+    if (commit_leader_active_ || pc.claimed) {
+      // A leader is mid-round (or this commit is already in an in-flight
+      // batch whose leader released the baton before the fsync); wait to
+      // be resolved, or to inherit the baton if the leader retires before
+      // reaching this commit.
+      commit_cv_.wait(qlock, [&] {
+        return pc.done || (!commit_leader_active_ && !pc.claimed);
+      });
       continue;
     }
     // Lead one round: pay the replication latency with the queue
@@ -226,27 +229,42 @@ Result<Database::CommitOutcome> Database::CommitAt(CommitRequest&& request) {
     for (size_t i = 0; i < n; ++i) {
       batch.push_back(commit_queue_.front());
       commit_queue_.pop_front();
+      batch.back()->claimed = true;
     }
     qlock.unlock();
     {
       std::unique_lock<std::shared_mutex> lock(mu_);
       ProcessBatchLocked(batch);
     }
-    // Durability point: the whole batch is framed as one WAL record,
-    // appended, and fsynced before any member's `done` flips below —
-    // no commit is acknowledged before it is on stable storage. The
-    // baton serializes appends, so the log sees batches in version
-    // order without holding mu_ across the fsync.
-    if (wal_ != nullptr) AppendBatchDurable(batch);
+    if (wal_ == nullptr) {
+      // In-memory mode: the apply pass is the commit point.
+      qlock.lock();
+      for (PendingCommit* p : batch) p->done = true;
+      commit_leader_active_ = false;
+      commit_cv_.notify_all();
+      continue;
+    }
+    // Pipelined durability: the batch is framed as one WAL record and
+    // appended while this thread still holds the baton — the baton
+    // serializes appends, so the log sees batches in version order —
+    // but the baton is released BEFORE the fsync, so the next leader's
+    // append overlaps this batch's sync and one group fsync covers every
+    // batch appended behind it. No member's `done` flips before its
+    // record is on stable storage and the replication fence has acked
+    // (invariant 15: no ack before fsync).
+    WalBatchRef ref;
+    uint64_t log_end = 0;
+    const Status append_st = AppendBatchToWal(batch, &ref, &log_end);
+    qlock.lock();
+    commit_leader_active_ = false;
+    commit_cv_.notify_all();
+    qlock.unlock();
+    FinishBatchDurable(batch, ref, log_end, append_st);
     qlock.lock();
     // Once `done` flips and the queue mutex is released a follower may
     // return and destroy its PendingCommit — no touching batch members
-    // beyond this point. Retiring after a single batch passes the baton:
-    // a still-undone waiter wakes on !commit_leader_active_ and leads the
-    // next round, so no thread is stuck serving others after its own
-    // commit completed.
+    // beyond this point.
     for (PendingCommit* p : batch) p->done = true;
-    commit_leader_active_ = false;
     commit_cv_.notify_all();
   }
   qlock.unlock();
@@ -257,30 +275,60 @@ Result<Database::CommitOutcome> Database::CommitAt(CommitRequest&& request) {
   return pc.outcome;
 }
 
-void Database::AppendBatchDurable(const std::vector<PendingCommit*>& batch) {
-  WalBatchRef ref;
+Status Database::AppendBatchToWal(const std::vector<PendingCommit*>& batch,
+                                  WalBatchRef* ref, uint64_t* log_end) {
   for (PendingCommit* pc : batch) {
     if (pc->outcome.version == kInvalidVersion) continue;  // not applied
-    ref.version = pc->outcome.version;
-    ref.members.emplace_back(pc->outcome.batch_order, &pc->request.mutations);
+    ref->version = pc->outcome.version;
+    ref->members.emplace_back(pc->outcome.batch_order, &pc->request.mutations);
   }
+  if (ref->members.empty()) return Status::OK();
+  Result<uint64_t> end = wal_->AppendBatch(*ref);
+  if (!end.ok()) return end.status();
+  *log_end = *end;
+  return Status::OK();
+}
+
+void Database::FinishBatchDurable(const std::vector<PendingCommit*>& batch,
+                                  const WalBatchRef& ref, uint64_t log_end,
+                                  Status append_status) {
   if (ref.members.empty()) return;
-  const Status st = wal_->AppendBatchAndSync(ref);
+  Status st = std::move(append_status);
+  if (st.ok()) st = wal_->SyncTo(log_end);
+  if (st.ok() && options_.durability.commit_fence) {
+    // Replication fence (invariant 17): the control plane must confirm
+    // this region still owns the current epoch before the batch is acked
+    // or its version published. A sealed epoch means a failover happened
+    // while the batch was in flight — halt, fencing the zombie primary
+    // for good; a mere control-plane partition only demotes the batch
+    // (the zombie keeps serving, its acks withheld).
+    st = options_.durability.commit_fence(ref.version);
+    if (st.code() == StatusCode::kFailedPrecondition) {
+      halted_.store(true, std::memory_order_release);
+    }
+  }
   if (st.ok()) {
-    last_version_.store(ref.version, std::memory_order_release);
+    // Publish with a fetch-max: pipelined group fsyncs complete out of
+    // order across leaders, and publication must never move backwards.
+    Version cur = last_version_.load(std::memory_order_relaxed);
+    while (cur < ref.version &&
+           !last_version_.compare_exchange_weak(cur, ref.version,
+                                                std::memory_order_release,
+                                                std::memory_order_relaxed)) {
+    }
     return;
   }
-  // The batch applied in memory but never became durable; the version was
-  // never published, so no reader saw it. Each accepted member's outcome
-  // is genuinely unknown — the WAL is dead and a restart will recover to
-  // the state before this batch.
+  // The batch applied in memory but its durability or fence failed; the
+  // version was never published, so no reader saw it. Each accepted
+  // member's outcome is genuinely unknown — recovery (or the promoted
+  // replica) may or may not surface it.
   for (PendingCommit* pc : batch) {
     if (pc->outcome.version == kInvalidVersion) continue;
     if (pc->status.ok()) {
       stats_.unknown_results.fetch_add(1, std::memory_order_relaxed);
     }
     pc->status = Status::CommitUnknownResult(
-        "applied in memory but not durable: " + st.message());
+        "applied in memory but not confirmed: " + st.message());
   }
 }
 
@@ -526,6 +574,7 @@ Database::Stats Database::GetStats() const {
     out.wal_appends = ws.appends;
     out.wal_appended_bytes = ws.appended_bytes;
     out.wal_syncs = ws.syncs;
+    out.wal_fsyncs_coalesced = ws.fsyncs_coalesced;
     out.wal_segments_created = ws.segments_created;
     out.wal_segments_deleted = ws.segments_deleted;
   }

@@ -5,6 +5,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
@@ -24,6 +25,7 @@
 namespace quick::fdb {
 
 class Wal;
+struct WalBatchRef;
 
 /// One simulated FoundationDB cluster: MVCC storage + resolver + version
 /// authority. Thread-safe; any number of threads may run transactions
@@ -83,6 +85,14 @@ class Database {
       /// Keys visited per shared-lock acquisition while the checkpoint
       /// writer streams the store — commits interleave between chunks.
       size_t checkpoint_chunk_keys = 1024;
+      /// Replication commit fence (DESIGN.md §10): invoked by the commit
+      /// leader after the batch's WAL fsync and before any member is
+      /// acknowledged or the version published. Non-OK demotes the whole
+      /// batch to kCommitUnknownResult and keeps the version unpublished;
+      /// kFailedPrecondition (the epoch is sealed — this region has been
+      /// failed away from) additionally halts the database, fencing the
+      /// zombie primary for good. Null = no fence (single-region).
+      std::function<Status(Version)> commit_fence;
     };
     Durability durability;
   };
@@ -105,6 +115,7 @@ class Database {
     int64_t wal_appends = 0;
     int64_t wal_appended_bytes = 0;
     int64_t wal_syncs = 0;
+    int64_t wal_fsyncs_coalesced = 0;
     int64_t wal_segments_created = 0;
     int64_t wal_segments_deleted = 0;
     int64_t checkpoints_written = 0;
@@ -176,6 +187,12 @@ class Database {
   /// kUnavailable. Recover by constructing a new Database over the dir.
   bool DurabilityDead() const;
 
+  /// Kills the simulated process (region-kill in failover chaos): every
+  /// subsequent operation fails kUnavailable until a new Database
+  /// recovers from the directory. Also how a sealed epoch's zombie
+  /// primary is fenced off after its ack is refused.
+  void Halt() { halted_.store(true, std::memory_order_release); }
+
  private:
   friend class Transaction;
 
@@ -203,6 +220,10 @@ class Database {
     Status status = Status::OK();
     CommitOutcome outcome;
     bool done = false;
+    /// Drained into an in-flight batch: its leader releases the baton
+    /// before the fsync, so a claimed commit must wait for `done` rather
+    /// than become leader itself.
+    bool claimed = false;
   };
 
   /// getReadVersion with latency, fault injection, and the version cache.
@@ -232,12 +253,22 @@ class Database {
   /// checkpoint writer's snapshot version stays readable between chunks.
   void MaybePruneLocked();
 
-  /// Frames the batch's accepted members as one WAL record, appends, and
-  /// fsyncs; publishes the batch version only on success (invariant 15:
-  /// no ack before fsync). On failure every accepted member is demoted to
-  /// kCommitUnknownResult. Called by the commit leader after the apply
-  /// pass, outside mu_ — the baton serializes appends.
-  void AppendBatchDurable(const std::vector<PendingCommit*>& batch);
+  /// Frames the batch's accepted members as one WAL record and appends it
+  /// WITHOUT fsyncing; `*ref` and `*log_end` feed FinishBatchDurable.
+  /// Called by the commit leader while it still holds the baton — the
+  /// baton serializes appends, so records land in version order.
+  Status AppendBatchToWal(const std::vector<PendingCommit*>& batch,
+                          WalBatchRef* ref, uint64_t* log_end);
+
+  /// Fsyncs the batch's record (group fsync: one fsync covers every batch
+  /// appended behind it), runs the replication commit fence, and publishes
+  /// the batch version only when both succeed (invariant 15: no ack before
+  /// fsync; invariant 17: no ack past a sealed epoch). On failure every
+  /// accepted member is demoted to kCommitUnknownResult. Called after the
+  /// baton is released, so the next leader's append overlaps this fsync.
+  void FinishBatchDurable(const std::vector<PendingCommit*>& batch,
+                          const WalBatchRef& ref, uint64_t log_end,
+                          Status append_status);
 
   /// Runs Checkpoint() when the current WAL segment outgrew the
   /// configured interval; one trigger wins, concurrent ones no-op.

@@ -53,6 +53,10 @@ class FaultInjector {
     int64_t torn_writes = 0;
     int64_t corrupted_writes = 0;
     int64_t fsync_stall_millis = 0;
+    int64_t link_drops = 0;
+    int64_t link_duplicates = 0;
+    int64_t link_delay_millis = 0;
+    int64_t link_partitions = 0;
   };
 
   FaultInjector() : FaultInjector(Config{}) {}
@@ -182,6 +186,39 @@ class FaultInjector {
     return std::nullopt;
   }
 
+  /// Advances the replication-link send ordinal and returns the scheduled
+  /// link fault firing at the new ordinal, if any (first added wins on a
+  /// shared ordinal). Thread-safe. The ReplicationLink consumes the fault;
+  /// counters here record what was handed out.
+  std::optional<LinkFault> NextLinkFault() {
+    if (plan_.link_faults().empty()) return std::nullopt;
+    int64_t ordinal;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ordinal = ++link_op_count_;
+    }
+    for (const LinkFault& f : plan_.link_faults()) {
+      if (f.at_op != ordinal) continue;
+      switch (f.kind) {
+        case LinkFault::Kind::kDrop:
+          link_drops_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case LinkFault::Kind::kDuplicate:
+          link_duplicates_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case LinkFault::Kind::kDelay:
+          link_delay_millis_.fetch_add(f.delay_millis,
+                                       std::memory_order_relaxed);
+          break;
+        case LinkFault::Kind::kPartition:
+          link_partitions_.fetch_add(1, std::memory_order_relaxed);
+          break;
+      }
+      return f;
+    }
+    return std::nullopt;
+  }
+
   const Config& config() const { return config_; }
   const FaultPlan& plan() const { return plan_; }
 
@@ -197,6 +234,11 @@ class FaultInjector {
     out.corrupted_writes = corrupted_writes_.load(std::memory_order_relaxed);
     out.fsync_stall_millis =
         fsync_stall_millis_.load(std::memory_order_relaxed);
+    out.link_drops = link_drops_.load(std::memory_order_relaxed);
+    out.link_duplicates = link_duplicates_.load(std::memory_order_relaxed);
+    out.link_delay_millis =
+        link_delay_millis_.load(std::memory_order_relaxed);
+    out.link_partitions = link_partitions_.load(std::memory_order_relaxed);
     return out;
   }
 
@@ -221,8 +263,14 @@ class FaultInjector {
   std::atomic<int64_t> torn_writes_{0};
   std::atomic<int64_t> corrupted_writes_{0};
   std::atomic<int64_t> fsync_stall_millis_{0};
+  std::atomic<int64_t> link_drops_{0};
+  std::atomic<int64_t> link_duplicates_{0};
+  std::atomic<int64_t> link_delay_millis_{0};
+  std::atomic<int64_t> link_partitions_{0};
   /// Per-Op ordinal counters for scheduled disk faults (guarded by mu_).
   int64_t disk_op_counts_[2] = {0, 0};
+  /// Replication-link send ordinal (guarded by mu_).
+  int64_t link_op_count_ = 0;
 };
 
 }  // namespace quick::fdb

@@ -131,6 +131,61 @@ struct DiskFault {
   }
 };
 
+/// One scheduled fault on the replication link — the channel shipping WAL
+/// frames from a primary to its warm standbys (replication.h). Keyed by
+/// send ordinal like DiskFault: "drop the 3rd frame" is the deterministic
+/// geometry replication tests need, where wall time is not. A partition
+/// downs the link from that send onward until it is explicitly healed
+/// (ReplicationGroup::SetLinkPartitioned) — the fenced-zombie failover
+/// scenario's network half.
+struct LinkFault {
+  enum class Kind {
+    /// The frame vanishes in flight; the shipper re-ships it next pump.
+    kDrop,
+    /// Delivered after `delay_millis` of the cluster Clock.
+    kDelay,
+    /// Delivered twice back-to-back (the applier must be idempotent).
+    kDuplicate,
+    /// Link down from this send until healed; every send meanwhile drops.
+    kPartition,
+  };
+
+  Kind kind = Kind::kDrop;
+  /// Fires on the `at_op`-th link send (1-based).
+  int64_t at_op = 1;
+  /// kDelay: extra delivery latency, paid on the cluster's Clock.
+  int64_t delay_millis = 0;
+
+  static LinkFault Drop(int64_t at_op) {
+    LinkFault f;
+    f.kind = Kind::kDrop;
+    f.at_op = at_op;
+    return f;
+  }
+
+  static LinkFault Delay(int64_t at_op, int64_t delay_millis) {
+    LinkFault f;
+    f.kind = Kind::kDelay;
+    f.at_op = at_op;
+    f.delay_millis = delay_millis;
+    return f;
+  }
+
+  static LinkFault Duplicate(int64_t at_op) {
+    LinkFault f;
+    f.kind = Kind::kDuplicate;
+    f.at_op = at_op;
+    return f;
+  }
+
+  static LinkFault Partition(int64_t at_op) {
+    LinkFault f;
+    f.kind = Kind::kPartition;
+    f.at_op = at_op;
+    return f;
+  }
+};
+
 /// A time-windowed fault schedule for one cluster. Immutable once handed to
 /// a Database; evaluation is a pure function of the clock, so a chaos run
 /// is fully deterministic given (plan, ManualClock, fault seed).
@@ -151,9 +206,19 @@ class FaultPlan {
     return *this;
   }
 
-  bool empty() const { return windows_.empty() && disk_faults_.empty(); }
+  /// Schedules a replication-link fault (see LinkFault); ordinal-keyed
+  /// like disk faults.
+  FaultPlan& AddLink(LinkFault fault) {
+    link_faults_.push_back(fault);
+    return *this;
+  }
+
+  bool empty() const {
+    return windows_.empty() && disk_faults_.empty() && link_faults_.empty();
+  }
   const std::vector<FaultWindow>& windows() const { return windows_; }
   const std::vector<DiskFault>& disk_faults() const { return disk_faults_; }
+  const std::vector<LinkFault>& link_faults() const { return link_faults_; }
 
   /// The aggregate effect active at `now_millis`: probabilities of
   /// overlapping windows add, outages OR, latency spikes add. Returns a
@@ -191,6 +256,7 @@ class FaultPlan {
  private:
   std::vector<FaultWindow> windows_;
   std::vector<DiskFault> disk_faults_;
+  std::vector<LinkFault> link_faults_;
 };
 
 }  // namespace quick::fdb

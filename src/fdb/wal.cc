@@ -193,6 +193,22 @@ Result<WalBatch> DecodeWalRecord(std::string_view data, size_t* offset) {
   return batch;
 }
 
+bool SegmentReader::Next(Record* out) {
+  if (!status_.ok() || offset_ >= data_.size()) return false;
+  const size_t start = offset_;
+  size_t end = start;
+  Result<WalBatch> batch = DecodeWalRecord(data_, &end);
+  if (!batch.ok()) {
+    status_ = batch.status();
+    return false;
+  }
+  out->batch = *std::move(batch);
+  out->offset = start;
+  out->raw = data_.substr(start, end - start);
+  offset_ = end;
+  return true;
+}
+
 std::string WalSegmentName(uint64_t seq) {
   char buf[32];
   std::snprintf(buf, sizeof(buf), "WAL-%016" PRIx64 ".log", seq);
@@ -214,7 +230,12 @@ bool ParseWalSegmentName(const std::string& name, uint64_t* seq) {
 Wal::Wal(std::string dir, uint64_t start_seq, FaultInjector* faults,
          Clock* clock,
          std::vector<std::pair<uint64_t, Version>> segment_max_versions)
-    : dir_(std::move(dir)), faults_(faults), clock_(clock), seq_(start_seq) {
+    : dir_(std::move(dir)),
+      faults_(faults),
+      clock_(clock),
+      coalesced_counter_(MetricsRegistry::Default()->GetCounter(
+          "fdb.wal.fsyncs_coalesced")),
+      seq_(start_seq) {
   for (const auto& [seq, max_version] : segment_max_versions) {
     closed_segments_[seq] = max_version;
   }
@@ -234,7 +255,7 @@ Status Wal::Open() {
   return OpenSegmentLocked();
 }
 
-Status Wal::AppendBatchAndSync(const WalBatchRef& batch) {
+Result<uint64_t> Wal::AppendBatch(const WalBatchRef& batch) {
   if (dead()) return Status::Unavailable("wal is dead (crashed)");
   std::lock_guard<std::mutex> lock(mu_);
   std::string record = EncodeWalRecord(batch, prev_offset_);
@@ -256,6 +277,7 @@ Status Wal::AppendBatchAndSync(const WalBatchRef& batch) {
         std::string_view(record).substr(0, static_cast<size_t>(n)));
     (void)file_.Sync();
     dead_.store(true, std::memory_order_release);
+    sync_cv_.notify_all();
     return Status::Unavailable("injected torn write; wal crashed mid-append");
   }
   if (fault.has_value() &&
@@ -266,20 +288,20 @@ Status Wal::AppendBatchAndSync(const WalBatchRef& batch) {
     (void)file_.Append(record);
     (void)file_.Sync();
     dead_.store(true, std::memory_order_release);
+    sync_cv_.notify_all();
     return Status::Unavailable(
         "injected checksum corruption; wal crashed on append");
   }
+  if (fault.has_value() && fault->kind == DiskFault::Kind::kFsyncStall) {
+    // The stall is keyed to this append's ordinal but is a property of
+    // the device: the sync that covers this record pays it.
+    pending_stall_millis_ += fault->stall_millis;
+  }
 
   Status st = file_.Append(record);
-  if (st.ok()) {
-    if (fault.has_value() && fault->kind == DiskFault::Kind::kFsyncStall &&
-        clock_ != nullptr) {
-      clock_->SleepMillis(fault->stall_millis);
-    }
-    st = file_.Sync();
-  }
   if (!st.ok()) {
     dead_.store(true, std::memory_order_release);
+    sync_cv_.notify_all();
     return st;
   }
 
@@ -290,13 +312,86 @@ Status Wal::AppendBatchAndSync(const WalBatchRef& batch) {
   appends_.fetch_add(1, std::memory_order_relaxed);
   appended_bytes_.fetch_add(static_cast<int64_t>(record.size()),
                             std::memory_order_relaxed);
-  syncs_.fetch_add(1, std::memory_order_relaxed);
-  return Status::OK();
+  appended_end_ += record.size();
+  return appended_end_;
+}
+
+Status Wal::SyncTo(uint64_t end) {
+  std::unique_lock<std::mutex> lock(mu_);
+  bool did_sync = false;
+  for (;;) {
+    if (dead_.load(std::memory_order_acquire)) {
+      return Status::Unavailable("wal is dead (crashed)");
+    }
+    if (synced_end_ >= end) {
+      if (!did_sync) {
+        fsyncs_coalesced_.fetch_add(1, std::memory_order_relaxed);
+        coalesced_counter_->Increment();
+      }
+      return Status::OK();
+    }
+    if (syncing_) {
+      sync_cv_.wait(lock);
+      continue;
+    }
+    syncing_ = true;
+    const int64_t stall = pending_stall_millis_;
+    pending_stall_millis_ = 0;
+    if (stall > 0 && clock_ != nullptr) {
+      // Injected device hang, paid with the lock released: appends pile
+      // in behind the stalled sync and ride along under it.
+      lock.unlock();
+      clock_->SleepMillis(stall);
+      lock.lock();
+    }
+    // Grab the target AFTER any stall and immediately before the fsync:
+    // everything appended so far is covered by this one syscall.
+    const uint64_t target = appended_end_;
+    lock.unlock();
+    Status st = file_.Sync();
+    lock.lock();
+    syncing_ = false;
+    sync_cv_.notify_all();
+    if (!st.ok()) {
+      dead_.store(true, std::memory_order_release);
+      return st;
+    }
+    synced_end_ = std::max(synced_end_, target);
+    syncs_.fetch_add(1, std::memory_order_relaxed);
+    did_sync = true;
+  }
+}
+
+Status Wal::AppendBatchAndSync(const WalBatchRef& batch) {
+  Result<uint64_t> end = AppendBatch(batch);
+  if (!end.ok()) return end.status();
+  return SyncTo(*end);
 }
 
 Status Wal::RollSegment(Version checkpoint_version) {
   if (dead()) return Status::Unavailable("wal is dead (crashed)");
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  // Wait out any fsync in flight, then cover the remaining appended bytes
+  // ourselves: the segment must be fully durable before its fd closes,
+  // and a SyncTo waiter must never fsync the next segment's fd expecting
+  // it to cover bytes in this one.
+  sync_cv_.wait(lock, [&] {
+    return !syncing_ || dead_.load(std::memory_order_acquire);
+  });
+  if (dead_.load(std::memory_order_acquire)) {
+    return Status::Unavailable("wal is dead (crashed)");
+  }
+  if (synced_end_ < appended_end_) {
+    Status st = file_.Sync();
+    if (!st.ok()) {
+      dead_.store(true, std::memory_order_release);
+      sync_cv_.notify_all();
+      return st;
+    }
+    synced_end_ = appended_end_;
+    syncs_.fetch_add(1, std::memory_order_relaxed);
+    sync_cv_.notify_all();
+  }
   closed_segments_[seq_] = current_max_version_;
   QUICK_RETURN_IF_ERROR(file_.Close());
   ++seq_;
@@ -319,6 +414,7 @@ Wal::Stats Wal::GetStats() const {
   out.appends = appends_.load(std::memory_order_relaxed);
   out.appended_bytes = appended_bytes_.load(std::memory_order_relaxed);
   out.syncs = syncs_.load(std::memory_order_relaxed);
+  out.fsyncs_coalesced = fsyncs_coalesced_.load(std::memory_order_relaxed);
   out.segments_created = segments_created_.load(std::memory_order_relaxed);
   out.segments_deleted = segments_deleted_.load(std::memory_order_relaxed);
   return out;
@@ -348,37 +444,36 @@ Result<WalReplayResult> ReplayWalDir(
     if (!data.ok()) return data.status();
     ++result.segments_scanned;
 
-    size_t offset = 0;
+    SegmentReader reader(*data);
+    SegmentReader::Record record;
     Version segment_max = 0;
-    while (offset < data->size()) {
-      const size_t record_start = offset;
-      Result<WalBatch> batch = DecodeWalRecord(*data, &offset);
-      if (!batch.ok()) {
-        // Torn or corrupt suffix: chop it (and everything after it) so
-        // the recovered prefix is exactly the durable prefix and a
-        // second recovery converges to the same state.
-        result.truncated = true;
-        result.truncated_bytes +=
-            static_cast<int64_t>(data->size() - record_start);
-        QUICK_RETURN_IF_ERROR(
-            TruncateFile(path, static_cast<int64_t>(record_start)));
-        for (size_t j = i + 1; j < segments.size(); ++j) {
-          const std::string later = dir + "/" + segments[j].second;
-          result.max_segment_seq =
-              std::max(result.max_segment_seq, segments[j].first);
-          Result<int64_t> size = FileSize(later);
-          if (size.ok()) result.truncated_bytes += *size;
-          QUICK_RETURN_IF_ERROR(RemoveFile(later));
-        }
-        break;
-      }
-      segment_max = std::max(segment_max, batch->version);
-      if (batch->version <= from_version) {
+    while (reader.Next(&record)) {
+      segment_max = std::max(segment_max, record.batch.version);
+      if (record.batch.version <= from_version) {
         ++result.records_skipped;
       } else {
-        QUICK_RETURN_IF_ERROR(apply(*batch));
+        QUICK_RETURN_IF_ERROR(apply(record.batch));
         ++result.records_applied;
-        result.last_version = std::max(result.last_version, batch->version);
+        result.last_version =
+            std::max(result.last_version, record.batch.version);
+      }
+    }
+    if (!reader.status().ok()) {
+      // Torn or corrupt suffix: chop it (and everything after it) so the
+      // recovered prefix is exactly the durable prefix and a second
+      // recovery converges to the same state.
+      result.truncated = true;
+      result.truncated_bytes +=
+          static_cast<int64_t>(data->size() - reader.offset());
+      QUICK_RETURN_IF_ERROR(
+          TruncateFile(path, static_cast<int64_t>(reader.offset())));
+      for (size_t j = i + 1; j < segments.size(); ++j) {
+        const std::string later = dir + "/" + segments[j].second;
+        result.max_segment_seq =
+            std::max(result.max_segment_seq, segments[j].first);
+        Result<int64_t> size = FileSize(later);
+        if (size.ok()) result.truncated_bytes += *size;
+        QUICK_RETURN_IF_ERROR(RemoveFile(later));
       }
     }
     result.segment_max_versions.emplace_back(seq, segment_max);

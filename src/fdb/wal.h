@@ -2,16 +2,19 @@
 #define QUICK_FDB_WAL_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "common/clock.h"
 #include "common/file_io.h"
+#include "common/metrics.h"
 #include "common/result.h"
 #include "fdb/fault_injector.h"
 #include "fdb/types.h"
@@ -89,12 +92,51 @@ Result<WalBatch> DecodeWalRecord(std::string_view data, size_t* offset);
 std::string WalSegmentName(uint64_t seq);
 bool ParseWalSegmentName(const std::string& name, uint64_t* seq);
 
+/// Sequential decoder over one WAL segment's bytes: the single framing
+/// reader shared by recovery replay (ReplayWalDir) and the replication
+/// log shipper. Next() yields each CRC-valid record together with its raw
+/// framed bytes (what the shipper forwards verbatim) and header offset;
+/// decoding stops at the first invalid record — a torn tail, checksum
+/// mismatch, or bad magic — which status() reports and offset() locates.
+class SegmentReader {
+ public:
+  struct Record {
+    WalBatch batch;
+    /// Header offset within the segment bytes.
+    uint64_t offset = 0;
+    /// The complete framed record (header + payload), CRC-valid as-is.
+    std::string_view raw;
+  };
+
+  explicit SegmentReader(std::string_view data) : data_(data) {}
+
+  /// Decodes the next record into `out`. False at a clean end of data or
+  /// at the first invalid record; status() distinguishes the two.
+  bool Next(Record* out);
+
+  /// OK while every byte so far framed cleanly (including a clean end);
+  /// otherwise the decode error of the record that stopped the reader.
+  const Status& status() const { return status_; }
+
+  /// Offset of the first undecoded byte (the invalid record's start after
+  /// a failed Next — the truncation point recovery chops at).
+  size_t offset() const { return offset_; }
+
+ private:
+  std::string_view data_;
+  size_t offset_ = 0;
+  Status status_ = Status::OK();
+};
+
 class Wal {
  public:
   struct Stats {
     int64_t appends = 0;
     int64_t appended_bytes = 0;
     int64_t syncs = 0;
+    /// SyncTo calls satisfied by another caller's fsync (group fsync
+    /// coalescing: one fsync covers every batch appended behind it).
+    int64_t fsyncs_coalesced = 0;
     int64_t segments_created = 0;
     int64_t segments_deleted = 0;
   };
@@ -113,10 +155,26 @@ class Wal {
   /// Opens the initial segment.
   Status Open();
 
-  /// Appends `batch` as one framed record and fsyncs before returning —
-  /// the durability point of the whole commit batch. A fatal injected
-  /// fault (torn write, corruption) or a real I/O error marks the WAL
-  /// dead and returns non-OK: the batch must NOT be acknowledged.
+  /// Appends `batch` as one framed record WITHOUT forcing it to stable
+  /// storage; returns the log end position to hand to SyncTo. Callers are
+  /// serialized by the group-commit baton, so records land in version
+  /// order. Fatal injected faults (torn write, corruption) fire here and
+  /// mark the WAL dead; an injected fsync stall is stashed for the sync
+  /// that covers this append.
+  Result<uint64_t> AppendBatch(const WalBatchRef& batch);
+
+  /// Blocks until every byte appended at or below `end` is fsynced — the
+  /// durability point of the batch. One fsync covers all batches queued
+  /// behind it: the syncing caller grabs the log end immediately before
+  /// the fsync, so concurrent appends ride along, and a caller whose
+  /// `end` is already covered returns without issuing its own fsync
+  /// (counted in Stats::fsyncs_coalesced and the
+  /// `fdb.wal.fsyncs_coalesced` metric). Non-OK means the WAL died; the
+  /// batch must NOT be acknowledged.
+  Status SyncTo(uint64_t end);
+
+  /// AppendBatch + SyncTo in one call (the unpipelined path; tests and
+  /// single-writer callers).
   Status AppendBatchAndSync(const WalBatchRef& batch);
 
   /// Starts a new segment and deletes every closed segment whose records
@@ -143,6 +201,7 @@ class Wal {
   const std::string dir_;
   FaultInjector* const faults_;
   Clock* const clock_;
+  Counter* const coalesced_counter_;
 
   mutable std::mutex mu_;
   AppendFile file_;
@@ -152,12 +211,25 @@ class Wal {
   /// Closed segments (seq -> last version framed in them).
   std::map<uint64_t, Version> closed_segments_;
 
+  /// Group-fsync coordination (guarded by mu_): appended/synced ends are
+  /// cumulative over the WAL's lifetime so they stay monotonic across
+  /// segment rolls; `syncing_` marks the one fsync in flight (issued with
+  /// mu_ released so appends pipeline behind it).
+  std::condition_variable sync_cv_;
+  bool syncing_ = false;
+  uint64_t appended_end_ = 0;
+  uint64_t synced_end_ = 0;
+  /// Injected fsync-stall milliseconds consumed at append time, paid by
+  /// the next sync (so stalled batches coalesce deterministically).
+  int64_t pending_stall_millis_ = 0;
+
   std::atomic<bool> dead_{false};
   std::atomic<int64_t> current_segment_bytes_{0};
 
   std::atomic<int64_t> appends_{0};
   std::atomic<int64_t> appended_bytes_{0};
   std::atomic<int64_t> syncs_{0};
+  std::atomic<int64_t> fsyncs_coalesced_{0};
   std::atomic<int64_t> segments_created_{0};
   std::atomic<int64_t> segments_deleted_{0};
 };

@@ -21,6 +21,12 @@ const char* KindName(Alert::Kind kind) {
       return "BREAKER_OPENED";
     case Alert::Kind::kBreakerClosed:
       return "BREAKER_CLOSED";
+    case Alert::Kind::kReplicaDivergence:
+      return "REPLICA_DIVERGENCE";
+    case Alert::Kind::kReplicaPromoted:
+      return "REPLICA_PROMOTED";
+    case Alert::Kind::kPromotionRefused:
+      return "PROMOTION_REFUSED";
   }
   return "UNKNOWN";
 }

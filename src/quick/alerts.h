@@ -32,6 +32,14 @@ struct Alert {
     kBreakerOpened,
     /// A cluster's circuit breaker closed again (cluster recovered).
     kBreakerClosed,
+    /// A warm-standby replica detected a version gap or CRC divergence
+    /// and halted itself rather than serve a forked history.
+    kReplicaDivergence,
+    /// A standby was promoted to primary during a region failover.
+    kReplicaPromoted,
+    /// A failover refused to promote a standby that lacked acknowledged
+    /// history (it was behind the sealed epoch's acked version).
+    kPromotionRefused,
   };
 
   Kind kind;

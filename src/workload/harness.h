@@ -2,10 +2,14 @@
 #define QUICK_WORKLOAD_HARNESS_H_
 
 #include <atomic>
+#include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "fdb/replication.h"
+#include "quick/alerts.h"
 #include "quick/consumer.h"
 #include "quick/quick.h"
 
@@ -41,6 +45,17 @@ struct HarnessOptions {
   /// Per-cluster fault schedule (disk faults drive the crash-recovery
   /// suites; time windows compose as before).
   fdb::FaultPlan fault_plan;
+  /// Warm standbys per cluster (DESIGN.md §10). Requires enable_wal;
+  /// each cluster becomes a ReplicationGroup under `<wal_dir>/<name>`
+  /// with the primary in region0 and standbys in region1..N. 0 keeps
+  /// plain unreplicated clusters.
+  int replicas_per_cluster = 0;
+  /// Background log-shipping cadence; <= 0 disables the pump thread
+  /// (tests then drive PumpReplication() by hand for determinism).
+  int64_t replication_pump_interval_millis = 2;
+  /// Receives replication alerts (divergence halts, promotions, refused
+  /// promotions) on top of consumer alerts. Not owned; may be null.
+  core::AlertSink* alert_sink = nullptr;
 };
 
 /// Owns a full QuiCK deployment — clusters, CloudKit, QuiCK, job registry
@@ -49,6 +64,7 @@ struct HarnessOptions {
 class Harness {
  public:
   explicit Harness(const HarnessOptions& options);
+  ~Harness();
 
   core::Quick* quick() { return quick_.get(); }
   ck::CloudKitService* cloudkit() { return ck_.get(); }
@@ -79,6 +95,27 @@ class Harness {
   /// Total simulated work items executed so far.
   int64_t WorkExecuted() const { return work_executed_.load(); }
 
+  /// The replication group behind `cluster` (nullptr when
+  /// replicas_per_cluster is 0 or the name is unknown).
+  fdb::ReplicationGroup* replication(const std::string& cluster);
+
+  /// Fails `cluster` over to a standby region and repoints the cluster
+  /// name at the new primary — in-flight client operations on the old
+  /// one surface kUnavailable / kCommitUnknownResult, and every
+  /// re-resolved operation lands on the promoted region. Returns the new
+  /// primary's region name.
+  Result<std::string> Failover(
+      const std::string& cluster,
+      const fdb::ReplicationGroup::FailoverOptions& options = {});
+
+  /// Kills `cluster`'s current primary region (its disk survives for a
+  /// later Failover drain).
+  void KillRegion(const std::string& cluster);
+
+  /// Ships one pump of log to every standby of every cluster (the manual
+  /// path when the background pump is disabled).
+  void PumpReplication();
+
   /// Simulated process restart: tears down QuiCK, CloudKit, and every
   /// cluster, then rebuilds them from the same options. With the WAL
   /// enabled the clusters recover from their directories — leases, dead
@@ -91,8 +128,16 @@ class Harness {
  private:
   /// Constructs clusters/CloudKit/QuiCK from options_ (ctor and Restart).
   void Build();
+  void StartPump();
+  void StopPump();
+  /// Maps a replication event to an operator alert on alert_sink.
+  void OnReplicationEvent(const std::string& cluster,
+                          const fdb::ReplicationEvent& event);
 
   HarnessOptions options_;
+  /// Replication groups, declared before clusters_ so the ClusterSet's
+  /// non-owned overrides never outlive the primaries they point at.
+  std::map<std::string, std::unique_ptr<fdb::ReplicationGroup>> groups_;
   std::unique_ptr<fdb::ClusterSet> clusters_;
   std::vector<std::string> names_;
   std::unique_ptr<ck::CloudKitService> ck_;
@@ -100,6 +145,8 @@ class Harness {
   core::JobRegistry registry_;
   core::LeaseCache election_;
   std::atomic<int64_t> work_executed_{0};
+  std::thread pump_thread_;
+  std::atomic<bool> pump_stop_{false};
 };
 
 }  // namespace quick::wl

@@ -249,6 +249,82 @@ TEST(FaultPlanTest, DiskFaultsComposeWithTimeWindows) {
   EXPECT_FALSE(injector.NextDiskFault(DiskFault::Op::kWalAppend).has_value());
 }
 
+TEST(FaultPlanTest, LinkFaultFactoriesEncodeKind) {
+  const LinkFault drop = LinkFault::Drop(2);
+  EXPECT_EQ(drop.kind, LinkFault::Kind::kDrop);
+  EXPECT_EQ(drop.at_op, 2);
+
+  const LinkFault delay = LinkFault::Delay(3, 20);
+  EXPECT_EQ(delay.kind, LinkFault::Kind::kDelay);
+  EXPECT_EQ(delay.delay_millis, 20);
+
+  const LinkFault dup = LinkFault::Duplicate(4);
+  EXPECT_EQ(dup.kind, LinkFault::Kind::kDuplicate);
+
+  const LinkFault cut = LinkFault::Partition(5);
+  EXPECT_EQ(cut.kind, LinkFault::Kind::kPartition);
+
+  FaultPlan plan;
+  EXPECT_TRUE(plan.empty());
+  plan.AddLink(drop);
+  EXPECT_FALSE(plan.empty());
+  ASSERT_EQ(plan.link_faults().size(), 1u);
+}
+
+TEST(FaultPlanTest, LinkFaultsFireOnTheirOrdinal) {
+  ManualClock clock(1000);
+  FaultPlan plan;
+  plan.AddLink(LinkFault::Drop(1))
+      .AddLink(LinkFault::Delay(3, 20))
+      .AddLink(LinkFault::Duplicate(4))
+      .AddLink(LinkFault::Partition(5));
+  FaultInjector injector(FaultInjector::Config{}, plan, &clock);
+
+  auto first = injector.NextLinkFault();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->kind, LinkFault::Kind::kDrop);
+  EXPECT_FALSE(injector.NextLinkFault().has_value());
+  auto third = injector.NextLinkFault();
+  ASSERT_TRUE(third.has_value());
+  EXPECT_EQ(third->kind, LinkFault::Kind::kDelay);
+  auto fourth = injector.NextLinkFault();
+  ASSERT_TRUE(fourth.has_value());
+  EXPECT_EQ(fourth->kind, LinkFault::Kind::kDuplicate);
+  auto fifth = injector.NextLinkFault();
+  ASSERT_TRUE(fifth.has_value());
+  EXPECT_EQ(fifth->kind, LinkFault::Kind::kPartition);
+  EXPECT_FALSE(injector.NextLinkFault().has_value());
+
+  const FaultInjector::Counts counts = injector.counts();
+  EXPECT_EQ(counts.link_drops, 1);
+  EXPECT_EQ(counts.link_duplicates, 1);
+  EXPECT_EQ(counts.link_delay_millis, 20);
+  EXPECT_EQ(counts.link_partitions, 1);
+}
+
+TEST(FaultPlanTest, LinkFaultsShareOrdinalFirstWins) {
+  FaultPlan plan;
+  plan.AddLink(LinkFault::Duplicate(1)).AddLink(LinkFault::Drop(1));
+  FaultInjector injector(FaultInjector::Config{}, plan);
+
+  auto fault = injector.NextLinkFault();
+  ASSERT_TRUE(fault.has_value());
+  EXPECT_EQ(fault->kind, LinkFault::Kind::kDuplicate);
+  EXPECT_FALSE(injector.NextLinkFault().has_value());
+  EXPECT_EQ(injector.counts().link_drops, 0);
+}
+
+TEST(FaultPlanTest, LinkAndDiskStreamsAreIndependent) {
+  FaultPlan plan;
+  plan.AddDisk(DiskFault::TornWrite(1)).AddLink(LinkFault::Drop(1));
+  FaultInjector injector(FaultInjector::Config{}, plan);
+
+  // Consuming the disk stream's ordinal 1 leaves the link stream's
+  // ordinal 1 untouched, and vice versa.
+  EXPECT_TRUE(injector.NextDiskFault(DiskFault::Op::kWalAppend).has_value());
+  EXPECT_TRUE(injector.NextLinkFault().has_value());
+}
+
 TEST(FaultPlanTest, DeterministicUnderSameSeed) {
   FaultWindow w;
   w.start_millis = 0;

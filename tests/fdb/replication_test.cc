@@ -1,0 +1,669 @@
+#include "fdb/replication.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/file_io.h"
+#include "fdb/database.h"
+#include "fdb/fault_injector.h"
+#include "fdb/fault_plan.h"
+#include "fdb/wal.h"
+
+namespace quick::fdb {
+namespace {
+
+std::string MakeTempDir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "quick_replication_" + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+std::vector<Mutation> OneSet(const std::string& key, const std::string& value) {
+  Mutation m;
+  m.type = Mutation::Type::kSet;
+  m.key = key;
+  m.value = value;
+  return {m};
+}
+
+/// A framed WAL record at `version` — what a log shipper would forward.
+std::string MakeFrame(Version version, const std::vector<Mutation>& muts) {
+  WalBatchRef ref;
+  ref.version = version;
+  ref.members.emplace_back(0, &muts);
+  return EncodeWalRecord(ref, kNoPrevOffset);
+}
+
+// ---------------------------------------------------------------------------
+// FencingService
+
+TEST(FencingServiceTest, EpochLifecyclePersistsAcrossReload) {
+  const std::string dir = MakeTempDir("fencing");
+  const std::string path = dir + "/MANIFEST";
+  {
+    FencingService fencing(path);
+    ASSERT_TRUE(fencing.Load().ok());  // missing manifest = fresh group
+    EXPECT_EQ(fencing.current_epoch(), 0u);
+
+    Result<uint64_t> epoch = fencing.BeginEpoch("region0");
+    ASSERT_TRUE(epoch.ok());
+    EXPECT_EQ(*epoch, 1u);
+    EXPECT_EQ(fencing.primary_region(), "region0");
+    EXPECT_FALSE(fencing.sealed());
+
+    // Only the owning region under the current epoch may ack.
+    EXPECT_TRUE(fencing.AckFence(1, "region0", 5).ok());
+    EXPECT_TRUE(fencing.AckFence(1, "region0", 3).ok());  // max, no regress
+    EXPECT_EQ(fencing.acked_version(), 5);
+    EXPECT_EQ(fencing.AckFence(1, "region1", 6).code(),
+              StatusCode::kFailedPrecondition);
+    EXPECT_EQ(fencing.AckFence(2, "region0", 6).code(),
+              StatusCode::kFailedPrecondition);
+
+    // An unsealed epoch blocks the next one.
+    EXPECT_EQ(fencing.BeginEpoch("region1").status().code(),
+              StatusCode::kFailedPrecondition);
+
+    ASSERT_TRUE(fencing.SealEpoch().ok());
+    ASSERT_TRUE(fencing.SealEpoch().ok());  // idempotent
+    EXPECT_TRUE(fencing.sealed());
+    EXPECT_EQ(fencing.SealedAckedVersion(1), 5);
+    // Invariant 17: nothing is acknowledged under a sealed epoch.
+    EXPECT_EQ(fencing.AckFence(1, "region0", 7).code(),
+              StatusCode::kFailedPrecondition);
+
+    Result<uint64_t> next = fencing.BeginEpoch("region1");
+    ASSERT_TRUE(next.ok());
+    EXPECT_EQ(*next, 2u);
+    // The acked floor carries over: acked history never regresses.
+    EXPECT_EQ(fencing.acked_version(), 5);
+  }
+
+  FencingService reloaded(path);
+  ASSERT_TRUE(reloaded.Load().ok());
+  EXPECT_EQ(reloaded.current_epoch(), 2u);
+  EXPECT_EQ(reloaded.primary_region(), "region1");
+  EXPECT_FALSE(reloaded.sealed());
+  EXPECT_EQ(reloaded.acked_version(), 5);
+  EXPECT_EQ(reloaded.SealedAckedVersion(1), 5);
+}
+
+TEST(FencingServiceTest, ControlPartitionMakesAcksUnavailable) {
+  const std::string dir = MakeTempDir("fencing_partition");
+  FencingService fencing(dir + "/MANIFEST");
+  ASSERT_TRUE(fencing.Load().ok());
+  ASSERT_TRUE(fencing.BeginEpoch("region0").ok());
+
+  fencing.SetPartitioned("region0", true);
+  EXPECT_TRUE(fencing.IsPartitioned("region0"));
+  // kUnavailable, not kFailedPrecondition: the region still owns the
+  // epoch, it just cannot prove it — the primary demotes the batch but
+  // keeps serving.
+  EXPECT_EQ(fencing.AckFence(1, "region0", 1).code(),
+            StatusCode::kUnavailable);
+  EXPECT_EQ(fencing.acked_version(), 0);
+
+  fencing.SetPartitioned("region0", false);
+  EXPECT_TRUE(fencing.AckFence(1, "region0", 1).ok());
+  EXPECT_EQ(fencing.acked_version(), 1);
+}
+
+TEST(FencingServiceTest, CorruptManifestRefusesToLoad) {
+  const std::string dir = MakeTempDir("fencing_corrupt");
+  const std::string path = dir + "/MANIFEST";
+  ASSERT_TRUE(AtomicWriteFile(path, "not a manifest").ok());
+  FencingService fencing(path);
+  EXPECT_EQ(fencing.Load().code(), StatusCode::kInternal);
+}
+
+// ---------------------------------------------------------------------------
+// ReplicationLink
+
+TEST(ReplicationLinkTest, ScheduledFaultsShapeDelivery) {
+  ManualClock clock(1000);
+  FaultPlan plan;
+  plan.AddLink(LinkFault::Drop(1))
+      .AddLink(LinkFault::Duplicate(2))
+      .AddLink(LinkFault::Delay(3, 25))
+      .AddLink(LinkFault::Partition(4));
+  FaultInjector faults(FaultInjector::Config{}, plan, &clock);
+  ReplicationLink link(&faults, &clock);
+
+  EXPECT_EQ(link.Transfer(100), 0);  // dropped
+  EXPECT_EQ(link.Transfer(100), 2);  // duplicated
+  const int64_t before = clock.NowMillis();
+  EXPECT_EQ(link.Transfer(100), 1);  // delayed but delivered
+  EXPECT_GE(clock.NowMillis(), before + 25);
+  EXPECT_EQ(link.Transfer(100), 0);  // partition fires...
+  EXPECT_TRUE(link.partitioned());
+  EXPECT_EQ(link.Transfer(100), 0);  // ...and is sticky
+  link.SetPartitioned(false);
+  EXPECT_EQ(link.Transfer(100), 1);
+
+  const ReplicationLink::Stats stats = link.stats();
+  EXPECT_EQ(stats.sends, 6);
+  EXPECT_EQ(stats.dropped, 3);
+  EXPECT_EQ(stats.duplicated, 1);
+  EXPECT_EQ(stats.delivered, 4);  // 2 (duplicate) + delayed + healed
+}
+
+// ---------------------------------------------------------------------------
+// ReplicaApplier
+
+TEST(ReplicaApplierTest, AppliesInOrderSkipsDuplicatesRecoversOnRestart) {
+  const std::string dir = MakeTempDir("applier_order");
+  ReplicaApplier::Options opts;
+  opts.dir = dir;
+  opts.region = "region1";
+  const std::string f1 = MakeFrame(1, OneSet("a", "1"));
+  const std::string f2 = MakeFrame(2, OneSet("b", "2"));
+  {
+    ReplicaApplier applier(opts);
+    ASSERT_TRUE(applier.Open().ok());
+    EXPECT_EQ(applier.applied_version(), 0);
+
+    ASSERT_TRUE(applier.ApplyFrame(1, f1).ok());
+    EXPECT_EQ(applier.applied_version(), 1);
+    // A byte-identical duplicate (re-ship after a dropped ack) is verified
+    // and skipped.
+    ASSERT_TRUE(applier.ApplyFrame(1, f1).ok());
+    EXPECT_EQ(applier.applied_version(), 1);
+    ASSERT_TRUE(applier.ApplyFrame(1, f2).ok());
+    EXPECT_EQ(applier.applied_version(), 2);
+    EXPECT_FALSE(applier.halted());
+
+    const ReplicaApplier::Stats stats = applier.stats();
+    EXPECT_EQ(stats.frames_applied, 2);
+    EXPECT_EQ(stats.frames_skipped, 1);
+    ASSERT_TRUE(applier.Sync().ok());
+    ASSERT_TRUE(applier.Close().ok());
+  }
+
+  // A replica restart recovers its applied position from its own log.
+  ReplicaApplier revived(opts);
+  ASSERT_TRUE(revived.Open().ok());
+  EXPECT_EQ(revived.applied_version(), 2);
+  ASSERT_TRUE(revived.ApplyFrame(1, MakeFrame(3, OneSet("c", "3"))).ok());
+  EXPECT_EQ(revived.applied_version(), 3);
+}
+
+TEST(ReplicaApplierTest, VersionGapHaltsWithDivergenceEvent) {
+  const std::string dir = MakeTempDir("applier_gap");
+  std::vector<ReplicationEvent> events;
+  ReplicaApplier::Options opts;
+  opts.dir = dir;
+  opts.region = "region1";
+  opts.on_event = [&](const ReplicationEvent& e) { events.push_back(e); };
+  ReplicaApplier applier(opts);
+  ASSERT_TRUE(applier.Open().ok());
+
+  ASSERT_TRUE(applier.ApplyFrame(1, MakeFrame(1, OneSet("a", "1"))).ok());
+  // Version 3 without 2: invariant 16 says halt, never fork.
+  const Status st = applier.ApplyFrame(1, MakeFrame(3, OneSet("c", "3")));
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_TRUE(applier.halted());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, ReplicationEvent::Kind::kReplicaDivergence);
+  EXPECT_EQ(events[0].region, "region1");
+
+  // A halted replica refuses everything afterwards.
+  EXPECT_EQ(applier.ApplyFrame(1, MakeFrame(2, OneSet("b", "2"))).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(applier.applied_version(), 1);
+}
+
+TEST(ReplicaApplierTest, ByteDivergenceAtKnownVersionHalts) {
+  const std::string dir = MakeTempDir("applier_fork");
+  std::vector<ReplicationEvent> events;
+  ReplicaApplier::Options opts;
+  opts.dir = dir;
+  opts.region = "region2";
+  opts.on_event = [&](const ReplicationEvent& e) { events.push_back(e); };
+  ReplicaApplier applier(opts);
+  ASSERT_TRUE(applier.Open().ok());
+
+  ASSERT_TRUE(applier.ApplyFrame(1, MakeFrame(1, OneSet("a", "1"))).ok());
+  // The same version re-shipped with different (but CRC-valid) bytes is a
+  // forked history, not a duplicate.
+  const Status st =
+      applier.ApplyFrame(1, MakeFrame(1, OneSet("a", "DIFFERENT")));
+  EXPECT_EQ(st.code(), StatusCode::kInternal);
+  EXPECT_TRUE(applier.halted());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].kind, ReplicationEvent::Kind::kReplicaDivergence);
+}
+
+TEST(ReplicaApplierTest, CorruptFrameHalts) {
+  const std::string dir = MakeTempDir("applier_corrupt");
+  ReplicaApplier::Options opts;
+  opts.dir = dir;
+  opts.region = "region1";
+  ReplicaApplier applier(opts);
+  ASSERT_TRUE(applier.Open().ok());
+
+  std::string frame = MakeFrame(1, OneSet("a", "1"));
+  frame[kWalHeaderSize + 1] = static_cast<char>(frame[kWalHeaderSize + 1] ^ 1);
+  EXPECT_EQ(applier.ApplyFrame(1, frame).code(), StatusCode::kInternal);
+  EXPECT_TRUE(applier.halted());
+}
+
+TEST(ReplicaApplierTest, StaleEpochRefusedWithoutHalting) {
+  const std::string dir = MakeTempDir("applier_stale");
+  ReplicaApplier::Options opts;
+  opts.dir = dir;
+  opts.region = "region1";
+  ReplicaApplier applier(opts);
+  ASSERT_TRUE(applier.Open().ok());
+
+  ASSERT_TRUE(applier.ApplyFrame(2, MakeFrame(1, OneSet("a", "1"))).ok());
+  // A zombie primary shipping under the sealed epoch is refused — but the
+  // replica stays healthy for the real primary.
+  EXPECT_EQ(applier.ApplyFrame(1, MakeFrame(2, OneSet("b", "2"))).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_FALSE(applier.halted());
+  ASSERT_TRUE(applier.ApplyFrame(2, MakeFrame(2, OneSet("b", "2"))).ok());
+  EXPECT_EQ(applier.applied_version(), 2);
+}
+
+TEST(ReplicaApplierTest, CheckpointInstallJumpsApplied) {
+  const std::string dir = MakeTempDir("applier_ckpt");
+  ReplicaApplier::Options opts;
+  opts.dir = dir;
+  opts.region = "region1";
+  ReplicaApplier applier(opts);
+  ASSERT_TRUE(applier.Open().ok());
+
+  ASSERT_TRUE(applier.InstallCheckpoint(1, 10, "checkpoint-bytes").ok());
+  EXPECT_EQ(applier.applied_version(), 10);
+  EXPECT_EQ(applier.stats().checkpoints_installed, 1);
+  // Applying resumes right after the checkpoint version.
+  ASSERT_TRUE(applier.ApplyFrame(1, MakeFrame(11, OneSet("k", "v"))).ok());
+  EXPECT_EQ(applier.applied_version(), 11);
+  // An older checkpoint is a no-op, not a rollback.
+  ASSERT_TRUE(applier.InstallCheckpoint(1, 5, "stale").ok());
+  EXPECT_EQ(applier.applied_version(), 11);
+}
+
+// ---------------------------------------------------------------------------
+// LogShipper
+
+struct ShipperRig {
+  explicit ShipperRig(const std::string& tag, FaultPlan link_plan = {},
+                      int64_t checkpoint_interval_bytes = 0,
+                      std::function<Status(Version)> fence = nullptr)
+      : clock(1000),
+        link_faults(FaultInjector::Config{}, link_plan, &clock),
+        link(&link_faults, &clock) {
+    const std::string root = MakeTempDir("shipper_" + tag);
+    Database::Options opts;
+    opts.clock = &clock;
+    opts.durability.enable_wal = true;
+    opts.durability.dir = root + "/primary";
+    opts.durability.checkpoint_interval_bytes = checkpoint_interval_bytes;
+    opts.durability.commit_fence = std::move(fence);
+    primary = std::make_unique<Database>("primary", opts);
+
+    ReplicaApplier::Options aopts;
+    aopts.dir = root + "/follower";
+    aopts.region = "region1";
+    follower = std::make_unique<ReplicaApplier>(std::move(aopts));
+    EXPECT_TRUE(follower->Open().ok());
+    shipper = std::make_unique<LogShipper>(primary.get(), follower.get(),
+                                           &link, /*epoch=*/1);
+  }
+
+  void Commit(const std::string& key, const std::string& value) {
+    Transaction t = primary->CreateTransaction();
+    t.Set(key, value);
+    ASSERT_TRUE(t.Commit().ok());
+  }
+
+  ManualClock clock;
+  FaultInjector link_faults;
+  ReplicationLink link;
+  std::unique_ptr<Database> primary;
+  std::unique_ptr<ReplicaApplier> follower;
+  std::unique_ptr<LogShipper> shipper;
+};
+
+TEST(LogShipperTest, ShipsThePublishedLogInOrder) {
+  ShipperRig rig("basic");
+  rig.Commit("a", "1");
+  rig.Commit("b", "2");
+  rig.Commit("c", "3");
+  ASSERT_EQ(rig.primary->LastCommittedVersion(), 3);
+
+  ASSERT_TRUE(rig.shipper->PumpOnce().ok());
+  EXPECT_EQ(rig.follower->applied_version(), 3);
+  EXPECT_EQ(rig.shipper->stats().frames_shipped, 3);
+  // An idle pump ships nothing.
+  ASSERT_TRUE(rig.shipper->PumpOnce().ok());
+  EXPECT_EQ(rig.shipper->stats().frames_shipped, 3);
+  // New traffic resumes from the remembered position.
+  rig.Commit("d", "4");
+  ASSERT_TRUE(rig.shipper->PumpOnce().ok());
+  EXPECT_EQ(rig.follower->applied_version(), 4);
+}
+
+TEST(LogShipperTest, DropStallsTheStreamThenResumes) {
+  FaultPlan plan;
+  plan.AddLink(LinkFault::Drop(2));
+  ShipperRig rig("drop", plan);
+  rig.Commit("a", "1");
+  rig.Commit("b", "2");
+  rig.Commit("c", "3");
+
+  // Frame 2 is dropped: the shipper must stall there — shipping 3 before
+  // 2 would be a version gap at the replica.
+  ASSERT_TRUE(rig.shipper->PumpOnce().ok());
+  EXPECT_EQ(rig.follower->applied_version(), 1);
+  EXPECT_FALSE(rig.follower->halted());
+  // The retry re-ships from the same position.
+  ASSERT_TRUE(rig.shipper->PumpOnce().ok());
+  EXPECT_EQ(rig.follower->applied_version(), 3);
+  EXPECT_FALSE(rig.follower->halted());
+}
+
+TEST(LogShipperTest, DuplicateDeliveryIsIdempotent) {
+  FaultPlan plan;
+  plan.AddLink(LinkFault::Duplicate(1));
+  ShipperRig rig("duplicate", plan);
+  rig.Commit("a", "1");
+  rig.Commit("b", "2");
+
+  ASSERT_TRUE(rig.shipper->PumpOnce().ok());
+  EXPECT_EQ(rig.follower->applied_version(), 2);
+  EXPECT_FALSE(rig.follower->halted());
+  EXPECT_EQ(rig.follower->stats().frames_skipped, 1);
+}
+
+TEST(LogShipperTest, PartitionStallsUntilHealed) {
+  ShipperRig rig("partition");
+  rig.Commit("a", "1");
+  rig.link.SetPartitioned(true);
+  ASSERT_TRUE(rig.shipper->PumpOnce().ok());
+  EXPECT_EQ(rig.follower->applied_version(), 0);
+  rig.link.SetPartitioned(false);
+  ASSERT_TRUE(rig.shipper->PumpOnce().ok());
+  EXPECT_EQ(rig.follower->applied_version(), 1);
+}
+
+TEST(LogShipperTest, CheckpointCatchUpWhenPrimaryCompacted) {
+  // A 1-byte auto-checkpoint interval: every commit checkpoints and
+  // retires its segments, so a fresh follower can only catch up via the
+  // shipped checkpoint.
+  ShipperRig rig("ckpt", FaultPlan{}, /*checkpoint_interval_bytes=*/1);
+  rig.Commit("a", "1");
+  rig.Commit("b", "2");
+  rig.Commit("c", "3");
+
+  ASSERT_TRUE(rig.shipper->PumpOnce().ok());
+  EXPECT_GE(rig.follower->stats().checkpoints_installed, 1);
+  EXPECT_EQ(rig.follower->applied_version(),
+            rig.primary->LastCommittedVersion());
+}
+
+TEST(LogShipperTest, UnacknowledgedCommitsNeverShip) {
+  // The primary's fence is unreachable: every commit is demoted to
+  // kCommitUnknownResult and never published — the zombie's appends are
+  // durable on its own disk but must not reach a standby.
+  ShipperRig rig("zombie", FaultPlan{}, 0,
+                 [](Version) { return Status::Unavailable("partitioned"); });
+  {
+    Transaction t = rig.primary->CreateTransaction();
+    t.Set("phantom", "w");
+    EXPECT_EQ(t.Commit().code(), StatusCode::kCommitUnknownResult);
+  }
+  EXPECT_EQ(rig.primary->LastCommittedVersion(), 0);
+
+  ASSERT_TRUE(rig.shipper->PumpOnce().ok());
+  EXPECT_EQ(rig.follower->applied_version(), 0);
+  EXPECT_EQ(rig.shipper->stats().frames_shipped, 0);
+}
+
+// ---------------------------------------------------------------------------
+// ReplicationGroup
+
+TEST(ReplicationGroupTest, FailoverPromotesCaughtUpStandby) {
+  ManualClock clock(1000);
+  std::vector<ReplicationEvent> events;
+  ReplicationGroupOptions gopts;
+  gopts.num_replicas = 2;
+  gopts.dir = MakeTempDir("group_failover");
+  gopts.db_options.clock = &clock;
+  gopts.on_event = [&](const ReplicationEvent& e) { events.push_back(e); };
+  ReplicationGroup group("c0", gopts);
+  ASSERT_TRUE(group.Start().ok());
+  EXPECT_EQ(group.epoch(), 1u);
+  EXPECT_EQ(group.primary_region(), "region0");
+
+  Database* old_primary = group.primary();
+  for (int i = 0; i < 5; ++i) {
+    Transaction t = old_primary->CreateTransaction();
+    t.Set("k" + std::to_string(i), "v" + std::to_string(i));
+    ASSERT_TRUE(t.Commit().ok());
+  }
+  ASSERT_TRUE(group.PumpOnce().ok());
+  EXPECT_EQ(group.ReplicaAppliedVersion("region1"), 5);
+  EXPECT_EQ(group.ReplicaAppliedVersion("region2"), 5);
+  EXPECT_EQ(group.fencing()->acked_version(), 5);
+
+  group.KillPrimary();
+  {
+    Transaction t = old_primary->CreateTransaction();
+    t.Set("dead", "w");
+    EXPECT_EQ(t.Commit().code(), StatusCode::kUnavailable);
+  }
+
+  Result<std::string> promoted = group.Failover();
+  ASSERT_TRUE(promoted.ok()) << promoted.status();
+  EXPECT_EQ(group.epoch(), 2u);
+  EXPECT_EQ(group.primary_region(), *promoted);
+  Database* new_primary = group.primary();
+  ASSERT_NE(new_primary, nullptr);
+  ASSERT_NE(new_primary, old_primary);
+
+  // The promoted standby holds every acknowledged commit.
+  EXPECT_EQ(new_primary->LastCommittedVersion(), 5);
+  {
+    Transaction t = new_primary->CreateTransaction();
+    EXPECT_EQ(t.Get("k4").value().value_or(""), "v4");
+  }
+  // The retired zombie pointer stays valid and keeps refusing.
+  {
+    Transaction t = old_primary->CreateTransaction();
+    t.Set("late", "w");
+    EXPECT_EQ(t.Commit().code(), StatusCode::kUnavailable);
+  }
+  // New traffic replicates to the remaining standby under the new epoch.
+  {
+    Transaction t = new_primary->CreateTransaction();
+    t.Set("k5", "v5");
+    ASSERT_TRUE(t.Commit().ok());
+  }
+  ASSERT_TRUE(group.PumpOnce().ok());
+  const std::string other = *promoted == "region1" ? "region2" : "region1";
+  EXPECT_EQ(group.ReplicaAppliedVersion(other), 6);
+
+  bool saw_promoted = false;
+  for (const ReplicationEvent& e : events) {
+    saw_promoted |= e.kind == ReplicationEvent::Kind::kPromoted;
+  }
+  EXPECT_TRUE(saw_promoted);
+}
+
+TEST(ReplicationGroupTest, StalePromotionRefusedUntilDrained) {
+  ManualClock clock(1000);
+  std::vector<ReplicationEvent> events;
+  ReplicationGroupOptions gopts;
+  gopts.num_replicas = 1;
+  gopts.dir = MakeTempDir("group_refuse");
+  gopts.db_options.clock = &clock;
+  gopts.on_event = [&](const ReplicationEvent& e) { events.push_back(e); };
+  ReplicationGroup group("c0", gopts);
+  ASSERT_TRUE(group.Start().ok());
+
+  // The standby never hears a byte; three commits get acked regardless.
+  group.SetLinkPartitioned("region1", true);
+  for (int i = 0; i < 3; ++i) {
+    Transaction t = group.primary()->CreateTransaction();
+    t.Set("k" + std::to_string(i), "v");
+    ASSERT_TRUE(t.Commit().ok());
+  }
+  (void)group.PumpOnce();
+  EXPECT_EQ(group.ReplicaAppliedVersion("region1"), 0);
+  EXPECT_EQ(group.fencing()->acked_version(), 3);
+
+  // Without the drain, promoting the stale standby would lose the three
+  // acknowledged commits — refused (invariant 17's guard).
+  ReplicationGroup::FailoverOptions no_drain;
+  no_drain.drain_from_old_region = false;
+  Result<std::string> refused = group.Failover(no_drain);
+  EXPECT_EQ(refused.status().code(), StatusCode::kFailedPrecondition);
+  bool saw_refused = false;
+  for (const ReplicationEvent& e : events) {
+    saw_refused |= e.kind == ReplicationEvent::Kind::kPromotionRefused;
+  }
+  EXPECT_TRUE(saw_refused);
+
+  // The default drain reads the failed region's durable store directly
+  // and catches the target up to the sealed acked version.
+  Result<std::string> promoted = group.Failover();
+  ASSERT_TRUE(promoted.ok()) << promoted.status();
+  EXPECT_EQ(*promoted, "region1");
+  EXPECT_EQ(group.primary()->LastCommittedVersion(), 3);
+  Transaction t = group.primary()->CreateTransaction();
+  EXPECT_EQ(t.Get("k2").value().value_or(""), "v");
+}
+
+TEST(ReplicationGroupTest, PartitionedZombieIsFencedAndCanRejoin) {
+  ManualClock clock(1000);
+  ReplicationGroupOptions gopts;
+  gopts.num_replicas = 1;
+  gopts.dir = MakeTempDir("group_zombie");
+  gopts.db_options.clock = &clock;
+  ReplicationGroup group("c0", gopts);
+  ASSERT_TRUE(group.Start().ok());
+
+  Database* zombie = group.primary();
+  for (int i = 0; i < 3; ++i) {
+    Transaction t = zombie->CreateTransaction();
+    t.Set("k" + std::to_string(i), "v");
+    ASSERT_TRUE(t.Commit().ok());
+  }
+  ASSERT_TRUE(group.PumpOnce().ok());
+  ASSERT_EQ(group.ReplicaAppliedVersion("region1"), 3);
+
+  // Control partition: the primary keeps serving but no ack can land.
+  group.SetControlPartitioned("region0", true);
+  {
+    Transaction t = zombie->CreateTransaction();
+    t.Set("phantom1", "w");
+    EXPECT_EQ(t.Commit().code(), StatusCode::kCommitUnknownResult);
+  }
+  {
+    Transaction t = zombie->CreateTransaction();
+    t.Set("phantom2", "w");
+    EXPECT_EQ(t.Commit().code(), StatusCode::kCommitUnknownResult);
+  }
+  EXPECT_EQ(zombie->LastCommittedVersion(), 3);  // unpublished
+  (void)group.PumpOnce();
+  EXPECT_EQ(group.ReplicaAppliedVersion("region1"), 3);  // never shipped
+
+  Result<std::string> promoted = group.Failover();
+  ASSERT_TRUE(promoted.ok()) << promoted.status();
+  EXPECT_EQ(*promoted, "region1");
+  Database* new_primary = group.primary();
+  // Exactly the acknowledged history survives; the phantoms' clients
+  // only ever saw kCommitUnknownResult, never success.
+  EXPECT_EQ(new_primary->LastCommittedVersion(), 3);
+  {
+    Transaction t = new_primary->CreateTransaction();
+    EXPECT_EQ(t.Get("phantom1").value().has_value(), false);
+    EXPECT_EQ(t.Get("k2").value().value_or(""), "v");
+  }
+
+  // The zombie is still partitioned and still taking traffic — every
+  // commit stays unconfirmed.
+  {
+    Transaction t = zombie->CreateTransaction();
+    t.Set("phantom3", "w");
+    EXPECT_EQ(t.Commit().code(), StatusCode::kCommitUnknownResult);
+  }
+  // The partition heals; the zombie's next ack hits the sealed epoch,
+  // which refuses it and fences the region for good.
+  group.SetControlPartitioned("region0", false);
+  {
+    Transaction t = zombie->CreateTransaction();
+    t.Set("phantom4", "w");
+    EXPECT_EQ(t.Commit().code(), StatusCode::kCommitUnknownResult);
+  }
+  {
+    Transaction t = zombie->CreateTransaction();
+    t.Set("after-fence", "w");
+    EXPECT_EQ(t.Commit().code(), StatusCode::kUnavailable);
+  }
+
+  // The fenced region re-enrols as an empty standby and catches up.
+  ASSERT_TRUE(group.RejoinAsFollower("region0").ok());
+  {
+    Transaction t = new_primary->CreateTransaction();
+    t.Set("k3", "v");
+    ASSERT_TRUE(t.Commit().ok());
+  }
+  for (int i = 0; i < 3 && group.ReplicaAppliedVersion("region0") <
+                               new_primary->LastCommittedVersion();
+       ++i) {
+    ASSERT_TRUE(group.PumpOnce().ok());
+  }
+  EXPECT_EQ(group.ReplicaAppliedVersion("region0"),
+            new_primary->LastCommittedVersion());
+  EXPECT_FALSE(group.ReplicaHalted("region0"));
+}
+
+TEST(ReplicationGroupTest, RestartResumesEpochAndState) {
+  ManualClock clock(1000);
+  ReplicationGroupOptions gopts;
+  gopts.num_replicas = 1;
+  gopts.dir = MakeTempDir("group_restart");
+  gopts.db_options.clock = &clock;
+  {
+    ReplicationGroup group("c0", gopts);
+    ASSERT_TRUE(group.Start().ok());
+    Transaction t = group.primary()->CreateTransaction();
+    t.Set("persisted", "yes");
+    ASSERT_TRUE(t.Commit().ok());
+    ASSERT_TRUE(group.PumpOnce().ok());
+  }
+  {
+    // A clean restart resumes the same epoch with the same primary.
+    ReplicationGroup group("c0", gopts);
+    ASSERT_TRUE(group.Start().ok());
+    EXPECT_EQ(group.epoch(), 1u);
+    EXPECT_EQ(group.primary_region(), "region0");
+    Transaction t = group.primary()->CreateTransaction();
+    EXPECT_EQ(t.Get("persisted").value().value_or(""), "yes");
+    // A seal with no completed promotion (crash mid-failover) re-opens a
+    // fresh epoch on the sealed region at the next restart.
+    ASSERT_TRUE(group.fencing()->SealEpoch().ok());
+  }
+  {
+    ReplicationGroup group("c0", gopts);
+    ASSERT_TRUE(group.Start().ok());
+    EXPECT_EQ(group.epoch(), 2u);
+    EXPECT_EQ(group.primary_region(), "region0");
+    Transaction t = group.primary()->CreateTransaction();
+    t.Set("post-reseal", "yes");
+    EXPECT_TRUE(t.Commit().ok());
+  }
+}
+
+}  // namespace
+}  // namespace quick::fdb

@@ -356,6 +356,159 @@ TEST(WalTest, FsyncStallSleepsOnClusterClockAndSurvives) {
   EXPECT_EQ(faults.counts().fsync_stall_millis, 750);
 }
 
+TEST(SegmentReaderTest, YieldsRecordsWithRawBytesAndOffsets) {
+  const std::vector<Mutation> muts = SampleMutations();
+  std::string data;
+  std::vector<std::string> encoded;
+  uint64_t prev = kNoPrevOffset;
+  for (Version v = 1; v <= 3; ++v) {
+    WalBatchRef ref;
+    ref.version = v;
+    ref.members.emplace_back(0, &muts);
+    const uint64_t at = data.size();
+    encoded.push_back(EncodeWalRecord(ref, prev));
+    data += encoded.back();
+    prev = at;
+  }
+
+  SegmentReader reader(data);
+  SegmentReader::Record rec;
+  uint64_t expected_offset = 0;
+  for (Version v = 1; v <= 3; ++v) {
+    ASSERT_TRUE(reader.Next(&rec)) << "record " << v;
+    EXPECT_EQ(rec.batch.version, v);
+    EXPECT_EQ(rec.offset, expected_offset);
+    // The raw view is the exact framed bytes — what the log shipper
+    // forwards verbatim to a standby.
+    EXPECT_EQ(rec.raw, encoded[static_cast<size_t>(v - 1)]);
+    expected_offset += rec.raw.size();
+  }
+  EXPECT_FALSE(reader.Next(&rec));
+  EXPECT_TRUE(reader.status().ok());
+  EXPECT_EQ(reader.offset(), data.size());
+}
+
+TEST(SegmentReaderTest, StopsAtFirstInvalidRecordAndReportsOffset) {
+  const std::vector<Mutation> muts = SampleMutations();
+  WalBatchRef ref;
+  ref.version = 1;
+  ref.members.emplace_back(0, &muts);
+  std::string data = EncodeWalRecord(ref, kNoPrevOffset);
+  const size_t second_at = data.size();
+  ref.version = 2;
+  data += EncodeWalRecord(ref, 0);
+  // Flip a payload byte of the second record: the reader yields the first
+  // and stops exactly at the second's header (the truncation point).
+  data[second_at + kWalHeaderSize + 3] =
+      static_cast<char>(data[second_at + kWalHeaderSize + 3] ^ 1);
+
+  SegmentReader reader(data);
+  SegmentReader::Record rec;
+  ASSERT_TRUE(reader.Next(&rec));
+  EXPECT_EQ(rec.batch.version, 1);
+  EXPECT_FALSE(reader.Next(&rec));
+  EXPECT_FALSE(reader.status().ok());
+  EXPECT_EQ(reader.offset(), second_at);
+}
+
+TEST(WalTest, SyncToCoalescesCoveredSyncs) {
+  const std::string dir = MakeTempDir("coalesce");
+  FaultInjector faults;
+  ManualClock clock;
+  Wal wal(dir, 1, &faults, &clock);
+  ASSERT_TRUE(wal.Open().ok());
+
+  std::vector<Mutation> muts;
+  Mutation set;
+  set.type = Mutation::Type::kSet;
+  set.key = "k";
+  set.value = "v";
+  muts.push_back(set);
+
+  WalBatchRef r1;
+  r1.version = 1;
+  r1.members.emplace_back(0, &muts);
+  Result<uint64_t> end1 = wal.AppendBatch(r1);
+  ASSERT_TRUE(end1.ok());
+  WalBatchRef r2;
+  r2.version = 2;
+  r2.members.emplace_back(0, &muts);
+  Result<uint64_t> end2 = wal.AppendBatch(r2);
+  ASSERT_TRUE(end2.ok());
+  EXPECT_GT(*end2, *end1);
+  // Appending alone fsyncs nothing.
+  EXPECT_EQ(wal.GetStats().syncs, 0);
+
+  // One fsync covers both batches; the narrower SyncTo afterwards is
+  // already durable and issues no fsync of its own.
+  ASSERT_TRUE(wal.SyncTo(*end2).ok());
+  EXPECT_EQ(wal.GetStats().syncs, 1);
+  EXPECT_EQ(wal.GetStats().fsyncs_coalesced, 0);
+  ASSERT_TRUE(wal.SyncTo(*end1).ok());
+  EXPECT_EQ(wal.GetStats().syncs, 1);
+  EXPECT_EQ(wal.GetStats().fsyncs_coalesced, 1);
+
+  std::vector<Version> seen;
+  Result<WalReplayResult> replay =
+      ReplayWalDir(dir, 0, [&](const WalBatch& batch) {
+        seen.push_back(batch.version);
+        return Status::OK();
+      });
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(seen, (std::vector<Version>{1, 2}));
+}
+
+TEST(WalTest, ConcurrentAppendsRideAlongOneStalledFsync) {
+  const std::string dir = MakeTempDir("coalesce_stall");
+  FaultPlan plan;
+  plan.AddDisk(DiskFault::FsyncStall(/*at_op=*/1, /*stall_millis=*/150));
+  // SystemClock so the stall genuinely blocks the syncing thread while
+  // the second append slips in behind it (ManualClock would advance
+  // instantly and close the window).
+  FaultInjector faults(FaultInjector::Config{}, plan,
+                       SystemClock::Default());
+  Wal wal(dir, 1, &faults, SystemClock::Default());
+  ASSERT_TRUE(wal.Open().ok());
+
+  std::vector<Mutation> muts;
+  Mutation set;
+  set.type = Mutation::Type::kSet;
+  set.key = "k";
+  set.value = "v";
+  muts.push_back(set);
+
+  WalBatchRef r1;
+  r1.version = 1;
+  r1.members.emplace_back(0, &muts);
+  Result<uint64_t> end1 = wal.AppendBatch(r1);
+  ASSERT_TRUE(end1.ok());
+  std::thread syncer([&] { ASSERT_TRUE(wal.SyncTo(*end1).ok()); });
+  // Append batch 2 while the stalled fsync is (very likely) in flight,
+  // then wait for durability: whoever's fsync covers it, both batches
+  // must replay, and at most two real fsyncs ever happen.
+  WalBatchRef r2;
+  r2.version = 2;
+  r2.members.emplace_back(0, &muts);
+  Result<uint64_t> end2 = wal.AppendBatch(r2);
+  ASSERT_TRUE(end2.ok());
+  ASSERT_TRUE(wal.SyncTo(*end2).ok());
+  syncer.join();
+
+  const Wal::Stats stats = wal.GetStats();
+  EXPECT_GE(stats.syncs, 1);
+  EXPECT_LE(stats.syncs, 2);
+  EXPECT_EQ(stats.syncs == 1, stats.fsyncs_coalesced == 1);
+
+  std::vector<Version> seen;
+  Result<WalReplayResult> replay =
+      ReplayWalDir(dir, 0, [&](const WalBatch& batch) {
+        seen.push_back(batch.version);
+        return Status::OK();
+      });
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(seen, (std::vector<Version>{1, 2}));
+}
+
 TEST(WalTest, ReplayMissingDirIsEmpty) {
   Result<WalReplayResult> replay = ReplayWalDir(
       ::testing::TempDir() + "quick_wal_does_not_exist",

@@ -1,0 +1,214 @@
+// Multi-seed region-failover chaos: a replicated single-cluster
+// deployment (primary + 2 warm standbys) takes enqueues and consumer
+// passes while regions die and fail over repeatedly — a clean region
+// kill, a partitioned zombie primary that keeps taking traffic while
+// fenced, and a flip back. After every storm the ledger must balance:
+// each client-confirmed enqueue ends executed or dead-lettered (never
+// both, never lost), the zombie's unacknowledged commits die with its
+// region (their clients only ever saw kCommitUnknownResult), and the
+// queues drain to zero on the promoted primary.
+//
+// Component-level failover mechanics (fencing, shipping, divergence
+// halts, promotion refusal) live in fdb_replication_test; this suite
+// pins the end-to-end queue-system accounting invariant across flips.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fdb/database.h"
+#include "quick/admin.h"
+#include "quick/alerts.h"
+#include "quick/consumer.h"
+#include "workload/harness.h"
+
+namespace quick::wl {
+namespace {
+
+std::string MakeTempDir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "quick_failover_" + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+class FailoverChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FailoverChaosTest, LedgerBalancesAcrossRegionFlips) {
+  const uint64_t seed = GetParam();
+  constexpr int kTenants = 3;
+  constexpr const char* kCluster = "cluster0";
+
+  core::CollectingAlertSink alerts;
+  HarnessOptions hopts;
+  hopts.num_clusters = 1;
+  hopts.work_millis = 0;
+  hopts.pointer_vesting_slack_millis = 0;
+  hopts.enable_wal = true;
+  hopts.wal_dir = MakeTempDir("seed" + std::to_string(seed));
+  hopts.replicas_per_cluster = 2;
+  hopts.replication_pump_interval_millis = 1;
+  hopts.alert_sink = &alerts;
+  hopts.seed = seed;
+  Harness harness(hopts);
+
+  std::set<std::string> executed;
+  std::mutex executed_mu;
+  harness.registry()->Register("track", [&](core::WorkContext& ctx) {
+    std::lock_guard<std::mutex> lock(executed_mu);
+    executed.insert(ctx.item.id);
+    return Status::OK();
+  });
+  harness.registry()->Register("poison", [&](core::WorkContext&) {
+    return Status::Permanent("poison handler bug");
+  });
+
+  core::ConsumerConfig config;
+  config.sequential = true;
+  config.relaxed_reads_for_peek = false;
+  config.dequeue_max = 2;
+  config.pointer_lease_millis = 200;
+  config.item_lease_millis = 200;
+  auto consumer = harness.MakeConsumer(config, "chaos-consumer");
+
+  std::set<std::string> confirmed;
+  // Seed-varied traffic: which steps carry poison and how the storm's
+  // step counts skew differ per seed without changing the invariant.
+  auto pump_traffic = [&](int steps) {
+    for (int step = 0; step < steps; ++step) {
+      core::WorkItem item;
+      item.job_type = (step + static_cast<int>(seed)) % 7 == 0 ? "poison"
+                                                               : "track";
+      auto id =
+          harness.quick()->Enqueue(harness.ClientDb(step % kTenants), item);
+      ASSERT_TRUE(id.ok()) << id.status();
+      confirmed.insert(*id);
+      if (step % 3 == 0) (void)consumer->RunOnePass(kCluster);
+    }
+  };
+  // Client traffic still hitting a dead or fenced region: raw commits on
+  // the region's cached Database pointer, which must fail with
+  // kUnavailable (dead) or kCommitUnknownResult (fenced zombie) — never
+  // confirm — so the ledger owes them nothing. Raw transactions skip the
+  // enqueue path's 25-attempt backoff loop, which would otherwise spend
+  // ~18s per call retrying into a region that can never answer.
+  auto pump_doomed = [&](fdb::Database* region, int writes) {
+    int64_t unknown = 0, unavailable = 0;
+    for (int i = 0; i < writes; ++i) {
+      fdb::Transaction t = region->CreateTransaction();
+      t.Set("doomed" + std::to_string(i), "w");
+      const StatusCode code = t.Commit().code();
+      unknown += code == StatusCode::kCommitUnknownResult;
+      unavailable += code == StatusCode::kUnavailable;
+    }
+    EXPECT_EQ(unknown + unavailable, writes)
+        << "a doomed region confirmed a commit (seed " << seed << ")";
+    return unknown;
+  };
+
+  // --- Storm: three region flips with traffic throughout. ---
+  pump_traffic(30 + static_cast<int>(seed % 5));
+
+  // Flip 1: the primary region dies outright; failover drains its durable
+  // store and promotes the most caught-up standby.
+  fdb::ReplicationGroup* group = harness.replication(kCluster);
+  ASSERT_NE(group, nullptr);
+  fdb::Database* dead_primary = group->primary();
+  harness.KillRegion(kCluster);
+  pump_doomed(dead_primary, 5);
+  auto flip1 = harness.Failover(kCluster);
+  ASSERT_TRUE(flip1.ok()) << flip1.status();
+  pump_traffic(25);
+
+  // Flip 2: the new primary is partitioned from the control plane but
+  // keeps taking traffic — the zombie scenario. Every commit it accepts
+  // is applied on its disk but demoted to kCommitUnknownResult (acks
+  // withheld), never shipped, and dies with the region at failover.
+  const std::string zombie_region = group->primary_region();
+  fdb::Database* zombie = group->primary();
+  group->SetControlPartitioned(zombie_region, true);
+  EXPECT_GT(pump_doomed(zombie, 10), 0)
+      << "the partitioned zombie stopped taking traffic (seed " << seed
+      << ")";
+  auto flip2 = harness.Failover(kCluster);
+  ASSERT_TRUE(flip2.ok()) << flip2.status();
+  ASSERT_NE(*flip2, zombie_region);
+  pump_doomed(zombie, 5);  // stale clients still hit the old pointer
+  group->SetControlPartitioned(zombie_region, false);
+  ASSERT_TRUE(group->RejoinAsFollower(zombie_region).ok());
+  pump_traffic(20);
+
+  // Flip 3: one more clean flip, proving the group survives repeated
+  // failovers (the rejoined region is a promotion candidate again).
+  harness.KillRegion(kCluster);
+  auto flip3 = harness.Failover(kCluster);
+  ASSERT_TRUE(flip3.ok()) << flip3.status();
+  pump_traffic(15);
+
+  EXPECT_GT(confirmed.size(), 0u) << "storm confirmed no traffic at all";
+
+  // --- Drain: leases held across the flips expire, then the consumer
+  // finishes everything that survived. ---
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  core::QuickAdmin admin(harness.quick());
+  auto dead_lettered = [&]() -> std::set<std::string> {
+    std::set<std::string> dl;
+    for (int i = 0; i < kTenants; ++i) {
+      auto items = admin.ListDeadLetters(harness.ClientDb(i));
+      if (!items.ok()) continue;
+      for (const ck::DeadLetterItem& item : *items) dl.insert(item.id);
+    }
+    return dl;
+  };
+  auto all_accounted = [&] {
+    const std::set<std::string> dl = dead_lettered();
+    std::lock_guard<std::mutex> lock(executed_mu);
+    for (const std::string& id : confirmed) {
+      if (!executed.count(id) && !dl.count(id)) return false;
+    }
+    return true;
+  };
+  for (int round = 0; round < 400 && !all_accounted(); ++round) {
+    (void)consumer->RunOnePass(kCluster);
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  // The ⊎ accounting: executed and dead-lettered partition the confirmed
+  // set — nothing lost across three failovers, nothing double-counted.
+  const std::set<std::string> quarantined = dead_lettered();
+  {
+    std::lock_guard<std::mutex> lock(executed_mu);
+    for (const std::string& id : confirmed) {
+      EXPECT_TRUE(executed.count(id) || quarantined.count(id))
+          << "item " << id << " lost across failover (seed " << seed << ")";
+      EXPECT_FALSE(executed.count(id) && quarantined.count(id))
+          << "item " << id << " both executed and dead-lettered (seed "
+          << seed << ")";
+    }
+  }
+  int64_t pending = 0;
+  for (int i = 0; i < kTenants; ++i) {
+    auto count = harness.quick()->PendingCount(harness.ClientDb(i));
+    ASSERT_TRUE(count.ok()) << count.status();
+    pending += *count;
+  }
+  EXPECT_EQ(pending, 0) << "queues did not drain after the storm";
+
+  // Standbys shipped byte-identical logs throughout: any divergence halt
+  // would have surfaced as an operator alert.
+  for (const core::Alert& alert : alerts.Drain()) {
+    EXPECT_NE(alert.kind, core::Alert::Kind::kReplicaDivergence)
+        << alert.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FailoverChaosTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 20260808u));
+
+}  // namespace
+}  // namespace quick::wl
