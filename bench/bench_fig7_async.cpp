@@ -1,0 +1,148 @@
+// Figure 7 companion: throughput of the async pipelined consumer core
+// (DESIGN.md §11) against the synchronous thread-per-transaction pipeline,
+// on an in-flight-window axis at a fixed total thread budget.
+//
+// One consumer drains a prefilled backlog of single-item tenant queues
+// under the fig7 latency model (2 ms commits, 0.5 ms GRV). The w=0 point
+// is the synchronous pipeline (scanner + 2 managers + 8 workers + extender
+// = 12 threads); w>0 points run the async state machine with a window of w
+// in-flight transaction chains and the same 12-thread budget (scanner + 4
+// executor + 6 workers + extender). Every lease/dequeue/finish commit in
+// async mode rides the cluster's group-commit pipeline instead of parking
+// a thread for the commit RTT, so throughput should scale with the window
+// until the worker pool saturates — the per-stage histograms in the report
+// pin where the remaining time goes.
+//
+// compare_bench.py gates BM_Fig7_Async/w256 >= 10x BM_Fig7_Async/w0 on
+// throughput_items_per_sec (the ISSUE acceptance bar).
+
+#include "bench_common.h"
+
+namespace quick::bench {
+namespace {
+
+void BM_Fig7_Async(benchmark::State& state) {
+  QuietLogs();
+  const int window = static_cast<int>(state.range(0));
+
+  wl::HarnessOptions hopts;
+  hopts.num_clusters = 1;
+  hopts.work_millis = 1;
+  hopts.pointer_vesting_slack_millis = 0;
+  // The fig7 latency model with commits priced as cross-zone replicated
+  // writes (QuiCK commits ride CloudKit's multi-zone Paxos; reads hit the
+  // local replica). Commit RTTs dominate every transaction, which is
+  // exactly what the async window is built to overlap: the synchronous
+  // pipeline parks a thread for each 20 ms commit, the async pipeline
+  // keeps hundreds of them in the group-commit pump at once.
+  hopts.latency.grv_micros = 500;
+  hopts.latency.grv_causal_read_risky_micros = 100;
+  hopts.latency.read_micros = 100;
+  hopts.latency.commit_micros = 20000;
+  hopts.grv_cache_staleness_millis = 5;
+  wl::Harness harness(hopts);
+
+  // Prefill a backlog large enough that neither arm runs dry inside the
+  // measurement window (latencies zeroed during the fill, restored after).
+  constexpr int kClients = 3000;
+  constexpr int kItemsPerClient = 5;
+  fdb::Database* cluster = harness.clusters()->Get(harness.cluster_names()[0]);
+  cluster->set_latency(fdb::LatencyModel{});
+  for (int c = 0; c < kClients; ++c) {
+    Status st = harness.EnqueueSim(c, kItemsPerClient);
+    if (!st.ok()) state.SkipWithError(st.ToString().c_str());
+  }
+  cluster->set_latency(hopts.latency);
+
+  core::ConsumerConfig config = BenchConsumerConfig();
+  config.sequential = true;
+  config.dequeue_max = 4;
+  config.processing_bound = 100000;
+  // Leases must outlive a pipelined chain's full latency (several 20 ms
+  // commits plus executor queueing at deep windows); both arms get the
+  // same generous leases so expiry churn never pollutes the comparison.
+  config.pointer_lease_millis = 10000;
+  config.item_lease_millis = 20000;
+  if (window == 0) {
+    // Synchronous pipeline: 1 scanner + 2 managers + 8 workers + 1
+    // extender = 12 threads, each lease/dequeue/finish commit blocking its
+    // thread for the full RTT.
+    config.async_pipeline = false;
+    config.num_manager_threads = 2;
+    config.num_worker_threads = 8;
+  } else {
+    // Same 12-thread budget: 1 scanner + 4 executor + 6 workers + 1
+    // extender, with `window` transaction chains in flight.
+    config.async_pipeline = true;
+    config.max_inflight_txns = window;
+    config.lease_batch_size = 8;
+    config.async_executor_threads = 4;
+    config.num_worker_threads = 6;
+  }
+
+  for (auto _ : state) {
+    auto consumer = harness.MakeConsumer(
+        config, "fig7-async-w" + std::to_string(window));
+    consumer->Start();
+    SleepMs(300);  // warmup: window fills, batches form
+    const int64_t before = harness.WorkExecuted();
+    const fdb::Database::Stats fdb_before = cluster->GetStats();
+    const auto t0 = std::chrono::steady_clock::now();
+    SleepMs(2500);
+    const int64_t after = harness.WorkExecuted();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const fdb::Database::Stats fdb_after = cluster->GetStats();
+    core::ConsumerStats& stats = consumer->stats();
+
+    const int64_t window_commits =
+        fdb_after.commits_succeeded - fdb_before.commits_succeeded;
+    const int64_t window_batches =
+        fdb_after.commit_batches - fdb_before.commit_batches;
+    state.counters["window"] = window;
+    state.counters["throughput_items_per_sec"] = (after - before) / secs;
+    state.counters["commits_per_sec"] = window_commits / secs;
+    state.counters["avg_batch_size"] =
+        window_batches > 0
+            ? static_cast<double>(window_commits) / window_batches
+            : 0.0;
+    state.counters["lease_batches"] =
+        static_cast<double>(stats.lease_batches.Value());
+    state.counters["lease_batch_fallbacks"] =
+        static_cast<double>(stats.lease_batch_fallbacks.Value());
+    state.counters["backpressure_waits"] =
+        static_cast<double>(stats.backpressure_waits.Value());
+    state.counters["pointer_p50_ms"] =
+        stats.pointer_latency_micros.Percentile(0.50) / 1000.0;
+    // Per-stage latency series: with overlapping enabled the wall-clock
+    // drain rate rises while each stage's own latency stays commit-bound —
+    // the signature of overlapped RTTs rather than faster transactions.
+    BenchReportCollector::Global()->ReportRun(
+        "BM_Fig7_Async/w" + std::to_string(window), state,
+        {{"scan_us", &stats.scan_micros},
+         {"lease_txn_us", &stats.lease_txn_micros},
+         {"dequeue_txn_us", &stats.dequeue_txn_micros},
+         {"finish_txn_us", &stats.finish_txn_micros},
+         {"pointer_latency_us", &stats.pointer_latency_micros},
+         {"item_latency_us", &stats.item_latency_micros}});
+    consumer->Stop();
+  }
+}
+
+BENCHMARK(BM_Fig7_Async)
+    // In-flight window: 0 = synchronous baseline pipeline; 16/64/256 =
+    // async window sizes at the same 12-thread budget.
+    ->ArgNames({"w"})
+    ->Args({0})
+    ->Args({16})
+    ->Args({64})
+    ->Args({256})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace quick::bench
+
+QUICK_BENCH_MAIN("fig7_async")

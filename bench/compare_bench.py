@@ -23,6 +23,12 @@ Two kinds of checks:
      QUICK_BENCH_REPORT_DIR=bench/baseline ./build/bench/bench_micro_resolver
      ... (see bench/README.md)
 
+When $GITHUB_STEP_SUMMARY is set (any GitHub Actions job), a compact
+markdown bench-delta table — one row per gated ratio and per compared
+throughput counter, current vs committed baseline — is appended to it so
+the run's perf picture is readable from the job page without digging
+through logs.
+
 Exit status is non-zero when any check fails.
 """
 
@@ -41,6 +47,10 @@ THROUGHPUT_KEYS = (
 )
 
 failures = []
+
+# Rows for the $GITHUB_STEP_SUMMARY table, filled as checks run:
+# (kind, bench, subject, baseline_text, current_text, delta_text, ok).
+summary_rows = []
 
 
 def fail(msg):
@@ -84,7 +94,10 @@ def check_ratio(runs, bench, numer_substr, denom_substr, counter, min_ratio):
         fail(f"{bench}: {d_name} has non-positive {counter} ({denom})")
         return
     ratio = numer / denom
-    if ratio < min_ratio:
+    ok = ratio >= min_ratio
+    summary_rows.append(("ratio", bench, f"{n_name} / {d_name} ({counter})",
+                         f">= {min_ratio}x", f"{ratio:.1f}x", "", ok))
+    if not ok:
         fail(f"{bench}: {n_name} / {d_name} {counter} ratio {ratio:.2f} "
              f"< required {min_ratio}x")
     else:
@@ -108,6 +121,14 @@ def ratio_invariants(current):
                     "BM_Fig7_SelectionFrac/500/group",
                     "BM_Fig7_SelectionFrac/500/single",
                     "throughput_items_per_sec", 1.2)
+    if "fig7_async" in current:
+        # The async pipelined consumer core (DESIGN.md §11): a 256-deep
+        # in-flight window must beat the synchronous pipeline by >= 10x on
+        # drain throughput at the same 12-thread budget.
+        check_ratio(current["fig7_async"], "fig7_async",
+                    "BM_Fig7_Async/w256",
+                    "BM_Fig7_Async/w0",
+                    "throughput_items_per_sec", 10.0)
     if "admission_noisy_neighbor" in current:
         check_ratio(current["admission_noisy_neighbor"],
                     "admission_noisy_neighbor",
@@ -137,7 +158,11 @@ def baseline_regressions(baseline, current, threshold):
                     continue
                 compared += 1
                 drop = 1.0 - cur / base
-                if drop > threshold:
+                ok = drop <= threshold
+                summary_rows.append(
+                    ("baseline", bench, f"{run_name} ({key})",
+                     f"{base:.6g}", f"{cur:.6g}", f"{-100 * drop:+.1f}%", ok))
+                if not ok:
                     fail(f"{bench}: {run_name} {key} regressed "
                          f"{100 * drop:.1f}% ({base:.6g} -> {cur:.6g}, "
                          f"limit {100 * threshold:.0f}%)")
@@ -146,6 +171,37 @@ def baseline_regressions(baseline, current, threshold):
                          f"{cur:.6g} ({-100 * drop:+.1f}%)")
     if compared == 0:
         fail("baseline comparison matched zero throughput counters")
+
+
+def write_step_summary(threshold):
+    """Appends the bench-delta table to $GITHUB_STEP_SUMMARY, if set."""
+    path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if not path or not summary_rows:
+        return
+    lines = ["## Bench deltas", ""]
+    ratios = [r for r in summary_rows if r[0] == "ratio"]
+    deltas = [r for r in summary_rows if r[0] == "baseline"]
+    if ratios:
+        lines += ["### Ratio invariants", "",
+                  "| bench | ratio | required | measured | |",
+                  "|---|---|---|---|---|"]
+        for _, bench, subject, required, measured, _, ok in ratios:
+            mark = "✅" if ok else "❌"
+            lines.append(f"| {bench} | {subject} | {required} | {measured} "
+                         f"| {mark} |")
+        lines.append("")
+    if deltas:
+        lines += [f"### Current vs committed baseline "
+                  f"(limit -{100 * threshold:.0f}%)", "",
+                  "| bench | counter | baseline | current | delta | |",
+                  "|---|---|---|---|---|---|"]
+        for _, bench, subject, base, cur, delta, ok in deltas:
+            mark = "✅" if ok else "❌"
+            lines.append(f"| {bench} | {subject} | {base} | {cur} | {delta} "
+                         f"| {mark} |")
+        lines.append("")
+    with open(path, "a") as f:
+        f.write("\n".join(lines) + "\n")
 
 
 def main():
@@ -174,6 +230,7 @@ def main():
         else:
             baseline_regressions(baseline, current, args.threshold)
 
+    write_step_summary(args.threshold)
     if failures:
         print(f"\n{len(failures)} bench check(s) failed")
         return 1

@@ -30,6 +30,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "THROTTLED";
     case StatusCode::kTenantMoving:
       return "TENANT_MOVING";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
     case StatusCode::kNotCommitted:
       return "NOT_COMMITTED";
     case StatusCode::kTransactionTooOld:

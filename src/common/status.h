@@ -28,6 +28,8 @@ enum class StatusCode : int {
                              // delay (message carries "retry_after_ms=N")
   kTenantMoving = 12,        // tenant fenced mid-migration; re-resolve
                              // placement and retry at the new home
+  kCancelled = 13,           // caller cancelled the operation (e.g. an async
+                             // transaction chain torn down by Consumer::Stop)
   // FoundationDB transaction errors.
   kNotCommitted = 20,        // optimistic-concurrency conflict
   kTransactionTooOld = 21,   // read version fell out of the MVCC window
@@ -83,6 +85,9 @@ class Status {
   static Status TenantMoving(std::string m = "tenant moving") {
     return Status(StatusCode::kTenantMoving, std::move(m));
   }
+  static Status Cancelled(std::string m = "cancelled") {
+    return Status(StatusCode::kCancelled, std::move(m));
+  }
   static Status NotCommitted(std::string m = "transaction conflict") {
     return Status(StatusCode::kNotCommitted, std::move(m));
   }
@@ -104,6 +109,7 @@ class Status {
   bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
   bool IsThrottled() const { return code_ == StatusCode::kThrottled; }
   bool IsTenantMoving() const { return code_ == StatusCode::kTenantMoving; }
+  bool IsCancelled() const { return code_ == StatusCode::kCancelled; }
   bool IsNotCommitted() const { return code_ == StatusCode::kNotCommitted; }
   bool IsLeaseLost() const { return code_ == StatusCode::kLeaseLost; }
   bool IsPermanent() const { return code_ == StatusCode::kPermanent; }

@@ -45,7 +45,16 @@ Database::Database(std::string name, Options options)
   }
 }
 
-Database::~Database() = default;
+Database::~Database() {
+  std::thread pump;
+  {
+    std::lock_guard<std::mutex> lock(commit_queue_mu_);
+    commit_pump_stop_ = true;
+    pump = std::move(commit_pump_);
+  }
+  commit_cv_.notify_all();
+  if (pump.joinable()) pump.join();
+}
 
 void Database::InitDurability() {
   const std::string& dir = options_.durability.dir;
@@ -173,7 +182,23 @@ Status Database::ScanRangeAt(const KeyRange& range, Version version,
   return Status::OK();
 }
 
-Result<Database::CommitOutcome> Database::CommitAt(CommitRequest&& request) {
+size_t Database::MaxCommitBatch() const {
+  // Every commit flows through the log pipeline: the replication /
+  // log-force round (latency.commit_micros) is a SERIALIZED resource —
+  // one round is in flight at a time, led by whichever committer holds
+  // the baton. With group commit the leader's round doubles as the
+  // batching window: commits arriving during it pile into the queue and
+  // are resolved and applied together at one version, so the round is
+  // amortized across the batch. With group commit disabled the pipeline
+  // degrades to batches of exactly one — every commit pays its own
+  // round, which is what a commit log without batching costs.
+  return options_.enable_group_commit
+             ? static_cast<size_t>(
+                   std::clamp(options_.max_commit_batch, 1, 65535))
+             : 1;
+}
+
+Result<CommitOutcome> Database::CommitAt(CommitRequest&& request) {
   if (options_.durability.enable_wal && DurabilityDead()) {
     return Status::Unavailable("durable log dead; restart required");
   }
@@ -190,20 +215,7 @@ Result<Database::CommitOutcome> Database::CommitAt(CommitRequest&& request) {
     return Status::TransactionTooOld("injected transaction_too_old");
   }
 
-  // Every commit flows through the log pipeline: the replication /
-  // log-force round (latency.commit_micros) is a SERIALIZED resource —
-  // one round is in flight at a time, led by whichever committer holds
-  // the baton. With group commit the leader's round doubles as the
-  // batching window: commits arriving during it pile into the queue and
-  // are resolved and applied together at one version, so the round is
-  // amortized across the batch. With group commit disabled the pipeline
-  // degrades to batches of exactly one — every commit pays its own
-  // round, which is what a commit log without batching costs.
-  const size_t max_batch =
-      options_.enable_group_commit
-          ? static_cast<size_t>(std::clamp(options_.max_commit_batch, 1, 65535))
-          : 1;
-
+  const size_t max_batch = MaxCommitBatch();
   std::unique_lock<std::mutex> qlock(commit_queue_mu_);
   commit_queue_.push_back(&pc);
   while (!pc.done) {
@@ -217,55 +229,8 @@ Result<Database::CommitOutcome> Database::CommitAt(CommitRequest&& request) {
       });
       continue;
     }
-    // Lead one round: pay the replication latency with the queue
-    // unlocked (the batching window), then drain and process one batch.
     commit_leader_active_ = true;
-    qlock.unlock();
-    InjectLatency(latency_.commit_micros);
-    qlock.lock();
-    std::vector<PendingCommit*> batch;
-    const size_t n = std::min(commit_queue_.size(), max_batch);
-    batch.reserve(n);
-    for (size_t i = 0; i < n; ++i) {
-      batch.push_back(commit_queue_.front());
-      commit_queue_.pop_front();
-      batch.back()->claimed = true;
-    }
-    qlock.unlock();
-    {
-      std::unique_lock<std::shared_mutex> lock(mu_);
-      ProcessBatchLocked(batch);
-    }
-    if (wal_ == nullptr) {
-      // In-memory mode: the apply pass is the commit point.
-      qlock.lock();
-      for (PendingCommit* p : batch) p->done = true;
-      commit_leader_active_ = false;
-      commit_cv_.notify_all();
-      continue;
-    }
-    // Pipelined durability: the batch is framed as one WAL record and
-    // appended while this thread still holds the baton — the baton
-    // serializes appends, so the log sees batches in version order —
-    // but the baton is released BEFORE the fsync, so the next leader's
-    // append overlaps this batch's sync and one group fsync covers every
-    // batch appended behind it. No member's `done` flips before its
-    // record is on stable storage and the replication fence has acked
-    // (invariant 15: no ack before fsync).
-    WalBatchRef ref;
-    uint64_t log_end = 0;
-    const Status append_st = AppendBatchToWal(batch, &ref, &log_end);
-    qlock.lock();
-    commit_leader_active_ = false;
-    commit_cv_.notify_all();
-    qlock.unlock();
-    FinishBatchDurable(batch, ref, log_end, append_st);
-    qlock.lock();
-    // Once `done` flips and the queue mutex is released a follower may
-    // return and destroy its PendingCommit — no touching batch members
-    // beyond this point.
-    for (PendingCommit* p : batch) p->done = true;
-    commit_cv_.notify_all();
+    LeadOneRound(qlock, max_batch);
   }
   qlock.unlock();
 
@@ -273,6 +238,162 @@ Result<Database::CommitOutcome> Database::CommitAt(CommitRequest&& request) {
 
   if (!pc.status.ok()) return pc.status;
   return pc.outcome;
+}
+
+void Database::CommitAsync(CommitRequest&& request, CommitCallback done) {
+  if (options_.durability.enable_wal && DurabilityDead()) {
+    done(Status::Unavailable("durable log dead; restart required"));
+    return;
+  }
+  stats_.commits_attempted.fetch_add(1, std::memory_order_relaxed);
+
+  const FaultInjector::CommitFault fault = faults_.NextCommitFault();
+  if (fault == FaultInjector::CommitFault::kUnavailable) {
+    done(Status::Unavailable("injected commit failure"));
+    return;
+  }
+  if (fault == FaultInjector::CommitFault::kTooOld) {
+    stats_.too_old.fetch_add(1, std::memory_order_relaxed);
+    done(Status::TransactionTooOld("injected transaction_too_old"));
+    return;
+  }
+
+  auto* pc = new PendingCommit();
+  pc->request = std::move(request);
+  pc->fault = fault;
+  pc->on_done = std::move(done);
+  {
+    std::lock_guard<std::mutex> lock(commit_queue_mu_);
+    commit_queue_.push_back(pc);
+    EnsureCommitPumpLocked();
+  }
+  // Wake the pump (or a parked blocking committer that can inherit the
+  // baton and drain this commit into its own batch).
+  commit_cv_.notify_all();
+}
+
+void Database::LeadOneRound(std::unique_lock<std::mutex>& qlock,
+                            size_t max_batch) {
+  // Pay the replication latency with the queue unlocked (the batching
+  // window), then drain and process one batch.
+  qlock.unlock();
+  InjectLatency(latency_.commit_micros);
+  qlock.lock();
+  std::vector<PendingCommit*> batch;
+  const size_t n = std::min(commit_queue_.size(), max_batch);
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    batch.push_back(commit_queue_.front());
+    commit_queue_.pop_front();
+    batch.back()->claimed = true;
+  }
+  qlock.unlock();
+  {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    ProcessBatchLocked(batch);
+  }
+  std::vector<PendingCommit*> async_done;
+  if (wal_ == nullptr) {
+    // In-memory mode: the apply pass is the commit point.
+    qlock.lock();
+    FinishMembersLocked(batch, &async_done);
+    commit_leader_active_ = false;
+    commit_cv_.notify_all();
+    qlock.unlock();
+    FireCallbacks(&async_done);
+    qlock.lock();
+    return;
+  }
+  // Pipelined durability: the batch is framed as one WAL record and
+  // appended while this thread still holds the baton — the baton
+  // serializes appends, so the log sees batches in version order —
+  // but the baton is released BEFORE the fsync, so the next leader's
+  // append overlaps this batch's sync and one group fsync covers every
+  // batch appended behind it. No member is acked before its record is on
+  // stable storage and the replication fence has acked (invariant 15: no
+  // ack before fsync).
+  WalBatchRef ref;
+  uint64_t log_end = 0;
+  const Status append_st = AppendBatchToWal(batch, &ref, &log_end);
+  qlock.lock();
+  commit_leader_active_ = false;
+  commit_cv_.notify_all();
+  qlock.unlock();
+  FinishBatchDurable(batch, ref, log_end, append_st);
+  qlock.lock();
+  // Once `done` flips and the queue mutex is released a follower may
+  // return and destroy its PendingCommit — no touching sync batch
+  // members beyond this point.
+  FinishMembersLocked(batch, &async_done);
+  commit_cv_.notify_all();
+  qlock.unlock();
+  FireCallbacks(&async_done);
+  qlock.lock();
+}
+
+void Database::FinishMembersLocked(const std::vector<PendingCommit*>& batch,
+                                   std::vector<PendingCommit*>* async_done) {
+  for (PendingCommit* pc : batch) {
+    if (pc->on_done) {
+      async_done->push_back(pc);
+    } else {
+      pc->done = true;
+    }
+  }
+}
+
+void Database::FireCallbacks(std::vector<PendingCommit*>* async_done) {
+  for (PendingCommit* pc : *async_done) {
+    CommitCallback cb = std::move(pc->on_done);
+    Result<CommitOutcome> result =
+        pc->status.ok() ? Result<CommitOutcome>(pc->outcome)
+                        : Result<CommitOutcome>(pc->status);
+    delete pc;
+    cb(std::move(result));
+  }
+  async_done->clear();
+}
+
+void Database::EnsureCommitPumpLocked() {
+  if (commit_pump_started_ || commit_pump_stop_) return;
+  commit_pump_started_ = true;
+  commit_pump_ = std::thread([this] { CommitPumpLoop(); });
+}
+
+void Database::CommitPumpLoop() {
+  const size_t max_batch = MaxCommitBatch();
+  std::unique_lock<std::mutex> qlock(commit_queue_mu_);
+  for (;;) {
+    commit_cv_.wait(qlock, [&] {
+      return commit_pump_stop_ ||
+             (!commit_queue_.empty() && !commit_leader_active_);
+    });
+    if (commit_pump_stop_) break;
+    commit_leader_active_ = true;
+    LeadOneRound(qlock, max_batch);
+    qlock.unlock();
+    MaybeAutoCheckpoint();
+    qlock.lock();
+  }
+  // Shutdown: fail whatever async commits are still queued so their
+  // callbacks (and the state they own) are released. Blocking commits
+  // left in the queue belong to live threads inside CommitAt, which will
+  // inherit the baton once commit_leader_active_ clears.
+  std::vector<PendingCommit*> orphaned;
+  for (auto it = commit_queue_.begin(); it != commit_queue_.end();) {
+    if ((*it)->on_done && !(*it)->claimed) {
+      orphaned.push_back(*it);
+      it = commit_queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  qlock.unlock();
+  for (PendingCommit* pc : orphaned) {
+    CommitCallback cb = std::move(pc->on_done);
+    delete pc;
+    cb(Status::Unavailable("database shutting down"));
+  }
 }
 
 Status Database::AppendBatchToWal(const std::vector<PendingCommit*>& batch,

@@ -10,6 +10,7 @@
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/clock.h"
@@ -196,24 +197,15 @@ class Database {
  private:
   friend class Transaction;
 
-  struct CommitRequest {
-    Version read_version;
-    std::vector<KeyRange> read_conflicts;
-    std::vector<KeyRange> write_conflicts;
-    std::vector<Mutation> mutations;
-  };
-
-  /// What a successful commit learns: the storage version shared by the
-  /// whole commit batch plus this transaction's order within it — together
-  /// the transaction's versionstamp.
-  struct CommitOutcome {
-    Version version = kInvalidVersion;
-    uint16_t batch_order = 0;
-  };
+  /// Completion hook for CommitAsync. Runs exactly once, off the commit
+  /// queue lock, on whichever thread finishes the batch (usually the
+  /// cluster's commit-pump thread).
+  using CommitCallback = std::function<void(Result<CommitOutcome>)>;
 
   /// One commit waiting in (or being processed from) the group-commit
-  /// queue. Owned by the committing thread's stack; the leader fills in the
-  /// outcome and flips `done` under commit_queue_mu_.
+  /// queue. Blocking commits own theirs on the committing thread's stack
+  /// (`on_done` empty; the leader flips `done` under commit_queue_mu_);
+  /// async commits are heap-allocated and deleted after `on_done` fires.
   struct PendingCommit {
     CommitRequest request;
     FaultInjector::CommitFault fault;
@@ -224,6 +216,7 @@ class Database {
     /// before the fsync, so a claimed commit must wait for `done` rather
     /// than become leader itself.
     bool claimed = false;
+    CommitCallback on_done;
   };
 
   /// getReadVersion with latency, fault injection, and the version cache.
@@ -241,6 +234,44 @@ class Database {
                      const RangeOptions& options, const RangeSink& sink);
 
   Result<CommitOutcome> CommitAt(CommitRequest&& request);
+
+  /// Fire-and-notify commit: enqueues the request into the same group-
+  /// commit pipeline as CommitAt and returns immediately; `done` runs with
+  /// the outcome once the batch leader acks (after the WAL fsync and
+  /// replication fence, exactly as a blocking commit would unblock). An
+  /// in-flight commit therefore no longer owns a thread — hundreds can
+  /// ride one pump round. Precheck failures (durability dead, injected
+  /// unavailable/too-old) invoke `done` inline before returning.
+  void CommitAsync(CommitRequest&& request, CommitCallback done);
+
+  /// Leads one group-commit round. Precondition: `qlock` holds
+  /// commit_queue_mu_ and commit_leader_active_ was just set by the
+  /// caller. Pays the replication latency (the batching window) with the
+  /// queue unlocked, drains one batch, resolves + applies it, runs the
+  /// durability pipeline, acks sync members (done flag) and async members
+  /// (callbacks, fired outside the lock). Returns with `qlock` re-held and
+  /// the baton released.
+  void LeadOneRound(std::unique_lock<std::mutex>& qlock, size_t max_batch);
+
+  /// Splits a finished batch under commit_queue_mu_: sync members get
+  /// `done = true` (their committer wakes and reads status/outcome); async
+  /// members are collected for FireCallbacks.
+  void FinishMembersLocked(const std::vector<PendingCommit*>& batch,
+                           std::vector<PendingCommit*>* async_done);
+
+  /// Invokes and frees async members' callbacks. Caller must NOT hold
+  /// commit_queue_mu_ — callbacks may re-enter the database (retry
+  /// re-arms, chained transactions).
+  void FireCallbacks(std::vector<PendingCommit*>* async_done);
+
+  /// Lazily starts the commit-pump thread that leads rounds on behalf of
+  /// async commits (a blocking commit leads its own round; an async commit
+  /// has no thread parked in CommitAt to inherit the baton). Caller holds
+  /// commit_queue_mu_.
+  void EnsureCommitPumpLocked();
+  void CommitPumpLoop();
+
+  size_t MaxCommitBatch() const;
 
   /// Resolves and applies one batch at a single new version. Caller holds
   /// the exclusive lock.
@@ -298,6 +329,12 @@ class Database {
   std::condition_variable commit_cv_;
   std::deque<PendingCommit*> commit_queue_;
   bool commit_leader_active_ = false;
+
+  /// Commit pump (async path): started on the first CommitAsync, joined in
+  /// the destructor. Guarded by commit_queue_mu_.
+  std::thread commit_pump_;
+  bool commit_pump_started_ = false;
+  bool commit_pump_stop_ = false;
 
   std::atomic<Version> last_version_{0};
   std::atomic<Version> min_read_version_{0};

@@ -1,0 +1,193 @@
+#ifndef QUICK_FDB_FUTURE_H_
+#define QUICK_FDB_FUTURE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace quick::fdb {
+
+template <typename T>
+class Future;
+
+template <typename T>
+class Promise;
+
+namespace internal {
+
+/// Shared completion cell behind a Promise/Future pair. Callbacks added
+/// before completion run inline on the completing thread; callbacks added
+/// after run inline on the adding thread. The value is stored once and
+/// handed to every callback by const reference.
+template <typename T>
+struct FutureState {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::optional<T> value;
+  std::vector<std::function<void(const T&)>> callbacks;
+};
+
+template <typename U>
+struct IsFuture : std::false_type {};
+template <typename U>
+struct IsFuture<Future<U>> : std::true_type {};
+
+}  // namespace internal
+
+/// The read side of an asynchronous result. Copyable (copies share the
+/// completion cell); cheap to pass by value. A default-constructed Future
+/// is invalid until assigned from a Promise.
+template <typename T>
+class Future {
+ public:
+  using value_type = T;
+
+  Future() = default;
+
+  bool valid() const { return state_ != nullptr; }
+
+  bool IsReady() const {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->value.has_value();
+  }
+
+  /// Blocks until the future completes (sync wrappers and tests only; the
+  /// async pipeline uses OnReady/Then).
+  void Wait() const {
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->value.has_value(); });
+  }
+
+  /// Blocking read of the completed value. The reference lives as long as
+  /// this future (or any copy of it).
+  const T& Get() const {
+    Wait();
+    return *state_->value;
+  }
+
+  /// Runs `cb` with the value: immediately on this thread if already
+  /// complete, otherwise inline on whichever thread completes the promise.
+  /// Continuations that must not run on the completing thread should
+  /// re-post themselves onto an Executor.
+  void OnReady(std::function<void(const T&)> cb) const {
+    {
+      std::unique_lock<std::mutex> lock(state_->mu);
+      if (!state_->value.has_value()) {
+        state_->callbacks.push_back(std::move(cb));
+        return;
+      }
+    }
+    cb(*state_->value);
+  }
+
+  /// Monadic chain: returns a future for fn(value). When fn itself returns
+  /// a Future the result is flattened (no Future<Future<U>>).
+  template <typename F>
+  auto Then(F fn) const {
+    using R = std::invoke_result_t<F, const T&>;
+    if constexpr (internal::IsFuture<R>::value) {
+      using U = typename R::value_type;
+      Promise<U> promise;
+      OnReady([fn = std::move(fn), promise](const T& v) mutable {
+        fn(v).OnReady([promise](const U& u) mutable { promise.Set(u); });
+      });
+      return promise.GetFuture();
+    } else {
+      Promise<R> promise;
+      OnReady([fn = std::move(fn), promise](const T& v) mutable {
+        promise.Set(fn(v));
+      });
+      return promise.GetFuture();
+    }
+  }
+
+ private:
+  friend class Promise<T>;
+  explicit Future(std::shared_ptr<internal::FutureState<T>> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<internal::FutureState<T>> state_;
+};
+
+/// The write side. Copyable so continuations can capture it by value; all
+/// copies complete the same future. Completing twice is a no-op (first
+/// value wins), which lets racing completers (e.g. cancellation vs the
+/// commit ack) resolve without coordination.
+template <typename T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<internal::FutureState<T>>()) {}
+
+  Future<T> GetFuture() const { return Future<T>(state_); }
+
+  void Set(T value) {
+    std::vector<std::function<void(const T&)>> cbs;
+    {
+      std::lock_guard<std::mutex> lock(state_->mu);
+      if (state_->value.has_value()) return;  // first completion wins
+      state_->value.emplace(std::move(value));
+      cbs.swap(state_->callbacks);
+    }
+    state_->cv.notify_all();
+    for (auto& cb : cbs) cb(*state_->value);
+  }
+
+ private:
+  std::shared_ptr<internal::FutureState<T>> state_;
+};
+
+/// Completes when every input has: the classic fan-in barrier. Result order
+/// matches input order. T must be default-constructible and copyable.
+template <typename T>
+Future<std::vector<T>> WhenAll(std::vector<Future<T>> futures) {
+  struct Ctx {
+    std::mutex mu;
+    std::vector<T> results;
+    size_t remaining;
+    Promise<std::vector<T>> promise;
+  };
+  auto ctx = std::make_shared<Ctx>();
+  ctx->results.resize(futures.size());
+  ctx->remaining = futures.size();
+  if (futures.empty()) {
+    ctx->promise.Set({});
+    return ctx->promise.GetFuture();
+  }
+  for (size_t i = 0; i < futures.size(); ++i) {
+    futures[i].OnReady([ctx, i](const T& v) {
+      bool last = false;
+      {
+        std::lock_guard<std::mutex> lock(ctx->mu);
+        ctx->results[i] = v;
+        last = --ctx->remaining == 0;
+      }
+      if (last) ctx->promise.Set(std::move(ctx->results));
+    });
+  }
+  return ctx->promise.GetFuture();
+}
+
+/// Cooperative cancellation flag shared across an async transaction chain.
+/// Copies observe the same flag; Cancel() is sticky. Checked at each step
+/// boundary — cancellation never interrupts a step mid-flight, it stops the
+/// chain from re-arming.
+class CancelToken {
+ public:
+  CancelToken() : flag_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void Cancel() { flag_->store(true, std::memory_order_release); }
+  bool Cancelled() const { return flag_->load(std::memory_order_acquire); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> flag_;
+};
+
+}  // namespace quick::fdb
+
+#endif  // QUICK_FDB_FUTURE_H_

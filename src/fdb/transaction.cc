@@ -388,7 +388,7 @@ void Transaction::AddWriteConflictKey(const std::string& key) {
   write_conflicts_.push_back(KeyRange::Single(key));
 }
 
-Status Transaction::Commit() {
+Result<bool> Transaction::BuildCommitRequest(CommitRequest* out) {
   QUICK_RETURN_IF_ERROR(CheckUsable());
 
   // A transaction with nothing to write and nothing declared is a no-op
@@ -397,7 +397,7 @@ Status Transaction::Commit() {
       versionstamped_.empty()) {
     committed_ = true;
     committed_version_ = read_version_;
-    return Status::OK();
+    return false;
   }
 
   const int64_t limit = options_.size_limit_bytes > 0
@@ -412,7 +412,7 @@ Status Transaction::Commit() {
     QUICK_RETURN_IF_ERROR(EnsureReadVersion().status());
   }
 
-  Database::CommitRequest request;
+  CommitRequest& request = *out;
   request.read_version = read_version_;
   request.read_conflicts = read_conflicts_;
   request.write_conflicts = write_conflicts_;
@@ -463,23 +463,66 @@ Status Transaction::Commit() {
     }
   }
 
-  Result<Database::CommitOutcome> result = db_->CommitAt(std::move(request));
-  if (!result.ok()) return result.status();
+  return true;
+}
+
+void Transaction::ApplyCommitOutcome(const CommitOutcome& outcome) {
   committed_ = true;
-  committed_version_ = result->version;
-  committed_batch_order_ = result->batch_order;
+  committed_version_ = outcome.version;
+  committed_batch_order_ = outcome.batch_order;
+}
+
+Status Transaction::Commit() {
+  CommitRequest request;
+  QUICK_ASSIGN_OR_RETURN(const bool submit, BuildCommitRequest(&request));
+  if (!submit) return Status::OK();  // read-only no-op
+  Result<CommitOutcome> result = db_->CommitAt(std::move(request));
+  if (!result.ok()) return result.status();
+  ApplyCommitOutcome(*result);
   return Status::OK();
 }
 
-Status Transaction::OnError(const Status& error) {
-  if (!error.retryable()) return error;
-  static const ExponentialBackoff kBackoff(/*initial_millis=*/2,
-                                           /*max_millis=*/1000);
+Future<Status> Transaction::CommitAsync() {
+  Promise<Status> promise;
+  Future<Status> future = promise.GetFuture();
+  CommitRequest request;
+  Result<bool> submit = BuildCommitRequest(&request);
+  if (!submit.ok()) {
+    promise.Set(submit.status());
+    return future;
+  }
+  if (!*submit) {
+    promise.Set(Status::OK());  // read-only no-op
+    return future;
+  }
+  db_->CommitAsync(std::move(request),
+                   [this, promise](const Result<CommitOutcome>& r) mutable {
+                     if (!r.ok()) {
+                       promise.Set(r.status());
+                       return;
+                     }
+                     ApplyCommitOutcome(*r);
+                     promise.Set(Status::OK());
+                   });
+  return future;
+}
+
+std::optional<int64_t> Transaction::PrepareRetry(const Status& error) {
+  if (!error.retryable()) return std::nullopt;
+  static const ExponentialBackoff kBackoff(kTxnBackoffInitialMillis,
+                                           kTxnBackoffMaxMillis);
   const int64_t delay = kBackoff.JitteredDelayForAttempt(
       retry_attempt_, &Random::ThreadLocal());
   ++retry_attempt_;
-  db_->clock()->SleepMillis(delay);
   Reset();
+  return delay;
+}
+
+Status Transaction::OnError(const Status& error) {
+  std::optional<int64_t> delay = PrepareRetry(error);
+  if (!delay.has_value()) return error;
+  db_->clock()->SleepMillis(*delay);
+  Reset();  // restart the lifetime clock after the backoff sleep
   return Status::OK();
 }
 

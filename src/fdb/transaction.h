@@ -10,12 +10,37 @@
 #include "common/bytes.h"
 #include "common/result.h"
 #include "common/status.h"
+#include "fdb/future.h"
 #include "fdb/types.h"
 #include "fdb/versioned_store.h"
 
 namespace quick::fdb {
 
 class Database;
+
+/// What a commit submits to the cluster's group-commit pipeline: the
+/// resolver inputs plus the mutations to apply. Built by the transaction
+/// layer (shared by the blocking and async commit paths).
+struct CommitRequest {
+  Version read_version = kInvalidVersion;
+  std::vector<KeyRange> read_conflicts;
+  std::vector<KeyRange> write_conflicts;
+  std::vector<Mutation> mutations;
+};
+
+/// What a successful commit learns: the storage version shared by the whole
+/// commit batch plus this transaction's order within it — together the
+/// transaction's versionstamp.
+struct CommitOutcome {
+  Version version = kInvalidVersion;
+  uint16_t batch_order = 0;
+};
+
+/// Backoff schedule for transaction retries, shared by the blocking
+/// Transaction::OnError sleep and the async runner's scheduled re-arm
+/// (RunTransactionAsync), so both paths pace identically.
+inline constexpr int64_t kTxnBackoffInitialMillis = 2;
+inline constexpr int64_t kTxnBackoffMaxMillis = 1000;
 
 /// A FoundationDB-style transaction: reads observe a snapshot at the
 /// transaction's read version (with read-your-writes over the local write
@@ -101,6 +126,16 @@ class Transaction {
   /// be Reset (normally via OnError) before reuse.
   Status Commit();
 
+  /// Non-blocking commit: builds the same request as Commit() and enqueues
+  /// it into the cluster's group-commit pipeline without parking this
+  /// thread for the replication round. The future completes — possibly on
+  /// the cluster's commit-pump thread — with OK or the same error codes
+  /// Commit() returns; continuations that do real work should re-post onto
+  /// an Executor. The transaction must outlive the future's completion.
+  /// Validation errors (too large, already committed) complete the future
+  /// immediately.
+  Future<Status> CommitAsync();
+
   /// Version assigned by a successful Commit; kInvalidVersion otherwise.
   Version GetCommittedVersion() const { return committed_version_; }
 
@@ -116,6 +151,13 @@ class Transaction {
   /// the transaction, returning OK so the caller loops; otherwise returns
   /// the error.
   Status OnError(const Status& error);
+
+  /// Non-blocking half of OnError for async retry loops: classifies
+  /// `error` and, when retryable, resets the transaction and returns the
+  /// jittered backoff delay (millis) the caller should wait — by
+  /// scheduling a re-arm, never by sleeping — before re-executing.
+  /// nullopt means not retryable (surface the error).
+  std::optional<int64_t> PrepareRetry(const Status& error);
 
   /// Clears all buffered state; the transaction can be reused.
   void Reset();
@@ -145,6 +187,13 @@ class Transaction {
   bool CoveredByClearedRange(const std::string& key) const;
   Status CheckUsable();
   Result<Version> EnsureReadVersion();
+
+  /// Shared by Commit and CommitAsync: validation plus mutation assembly.
+  /// Returns false for a read-only no-op commit (the transaction is marked
+  /// committed and `out` is untouched); true when `out` must be submitted.
+  Result<bool> BuildCommitRequest(CommitRequest* out);
+  /// Records a successful submission's versionstamp.
+  void ApplyCommitOutcome(const CommitOutcome& outcome);
 
   Database* db_;
   TransactionOptions options_;

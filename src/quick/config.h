@@ -102,6 +102,25 @@ struct ConsumerConfig {
   /// Per-cluster health tracking / circuit breaking (see
   /// CircuitBreakerConfig).
   CircuitBreakerConfig breaker;
+
+  // --- Async pipelined mode (DESIGN.md §11) ---
+  /// Drive the consumer as a pipelined state machine: lease / dequeue /
+  /// finish transactions commit through the cluster's async group-commit
+  /// pipeline, so an in-flight commit holds a window slot instead of a
+  /// thread and hundreds of transactions overlap one commit RTT. The
+  /// synchronous RunOnePass()/ProcessTopItem() paths are unaffected.
+  bool async_pipeline = false;
+  /// In-flight transaction window per consumer: the Scanner stops
+  /// admitting new pointer batches when this many async transaction
+  /// chains are outstanding (backpressure; see stats.backpressure_waits).
+  int max_inflight_txns = 256;
+  /// Q_C pointers leased per transaction in async mode: one commit RTT is
+  /// amortized across the batch; a conflicted batch falls back to
+  /// single-pointer leases so one contended pointer cannot poison it.
+  int lease_batch_size = 8;
+  /// Threads in the continuation executor that runs async transaction
+  /// bodies and completions.
+  int async_executor_threads = 4;
 };
 
 }  // namespace quick::core

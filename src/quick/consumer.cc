@@ -32,6 +32,33 @@ fdb::Database* Consumer::Cluster(const std::string& name) {
 void Consumer::Start() {
   bool expected = false;
   if (!running_.compare_exchange_strong(expected, true)) return;
+
+  if (config_.async_pipeline) {
+    // Pipelined mode (DESIGN.md §11): no Manager pool — lease, dequeue,
+    // and finish transactions live in the in-flight window and their
+    // continuations run on the executor; Workers still execute handler
+    // code on real threads (handlers are arbitrary blocking code). The
+    // worker queue is sized to the window so a burst of dequeues does not
+    // stall completions.
+    cancel_ = fdb::CancelToken();
+    exec_ = std::make_unique<fdb::ThreadPoolExecutor>(
+        std::max(config_.async_executor_threads, 1), quick_->clock());
+    worker_queue_ = std::make_unique<BlockingQueue<WorkerJob>>(
+        std::max<size_t>(static_cast<size_t>(config_.num_worker_threads) * 2,
+                         static_cast<size_t>(
+                             std::max(config_.max_inflight_txns, 1))));
+    threads_.emplace_back([this] { AsyncScannerLoop(); });
+    for (int i = 0; i < config_.num_worker_threads; ++i) {
+      threads_.emplace_back([this] {
+        while (auto job = worker_queue_->Pop()) {
+          ProcessWorkItem(*std::move(job));
+        }
+      });
+    }
+    threads_.emplace_back([this] { ExtenderLoop(); });
+    return;
+  }
+
   manager_queue_ = std::make_unique<BlockingQueue<TopJob>>(
       static_cast<size_t>(config_.num_manager_threads) * 2);
   worker_queue_ = std::make_unique<BlockingQueue<WorkerJob>>(
@@ -59,12 +86,26 @@ void Consumer::Start() {
 void Consumer::Stop() {
   bool expected = true;
   if (!running_.compare_exchange_strong(expected, false)) return;
+  // Stop chains from re-arming (retries, new steps); in-flight commits
+  // still resolve — a cancelled chain completes with kCancelled rather
+  // than vanishing, so the window below genuinely drains.
+  cancel_.Cancel();
   if (manager_queue_) manager_queue_->Close();
   if (worker_queue_) worker_queue_->Close();
   for (auto& t : threads_) {
     if (t.joinable()) t.join();
   }
   threads_.clear();
+  // Drain the in-flight window before tearing down the executor: every
+  // chain guarantees an EndTxn on every path (success, error, cancel), and
+  // SleepMillis advances a ManualClock so scheduled re-arms come due.
+  while (inflight_txns_.load(std::memory_order_acquire) > 0) {
+    quick_->clock()->SleepMillis(1);
+  }
+  if (exec_ != nullptr) {
+    exec_->Shutdown();
+    exec_.reset();
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -129,6 +170,28 @@ Result<int> Consumer::ScanClusterOnce(const std::string& cluster_name,
     if (!running_.load()) return 0;
   }
 
+  std::vector<std::string> selected = PeekAndSelect(cluster, cluster_name);
+
+  int dispatched = 0;
+  for (const std::string& id : selected) {
+    const std::string key = InFlightKey(cluster_name, id);
+    if (!MarkInFlight(key)) continue;
+    ++dispatched;
+    if (inline_processing) {
+      (void)ProcessTopItemImpl(cluster_name, id, true);
+    } else {
+      if (!manager_queue_->Push(TopJob{cluster_name, id})) {
+        UnmarkInFlight(key);
+        --dispatched;
+        break;  // shutting down
+      }
+    }
+  }
+  return dispatched;
+}
+
+std::vector<std::string> Consumer::PeekAndSelect(
+    fdb::Database* cluster, const std::string& cluster_name) {
   // Peek: snapshot scan of the vesting index only (ids, not records), with
   // relaxed read-version handling (§6 optimizations).
   const int64_t scan_start = quick_->clock()->NowMicros();
@@ -157,7 +220,7 @@ Result<int> Consumer::ScanClusterOnce(const std::string& cluster_name,
   }
   if (peeked.empty()) {
     stats_.scan_micros.Record(quick_->clock()->NowMicros() - scan_start);
-    return 0;
+    return {};
   }
 
   // Select pointers: the elected scanner takes them in queue order (no
@@ -182,27 +245,473 @@ Result<int> Consumer::ScanClusterOnce(const std::string& cluster_name,
   }
 
   stats_.scan_micros.Record(quick_->clock()->NowMicros() - scan_start);
-
-  int dispatched = 0;
-  for (size_t i = 0; i < n_select; ++i) {
-    const std::string key = InFlightKey(cluster_name, peeked[i]);
-    if (!MarkInFlight(key)) continue;
-    ++dispatched;
-    if (inline_processing) {
-      (void)ProcessTopItemImpl(cluster_name, peeked[i], true);
-    } else {
-      if (!manager_queue_->Push(TopJob{cluster_name, peeked[i]})) {
-        UnmarkInFlight(key);
-        --dispatched;
-        break;  // shutting down
-      }
-    }
-  }
-  return dispatched;
+  peeked.resize(n_select);
+  return peeked;
 }
 
 Result<int> Consumer::RunOnePass(const std::string& cluster_name) {
   return ScanClusterOnce(cluster_name, /*inline_processing=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Async pipelined mode (DESIGN.md §11). The Scanner admits work into a
+// bounded window of in-flight transaction chains; every commit rides the
+// cluster's async group-commit pipeline, so the commit RTTs that the
+// synchronous Manager pool pays one-at-a-time overlap here.
+// ---------------------------------------------------------------------------
+
+void Consumer::AsyncScannerLoop() {
+  std::vector<std::string> order = clusters_;
+  while (running_.load()) {
+    std::shuffle(order.begin(), order.end(), scanner_rng_.engine());
+    int dispatched_this_round = 0;
+    for (const std::string& cluster : order) {
+      if (!running_.load()) break;
+      int processed = 0;
+      while (running_.load() && processed < config_.processing_bound) {
+        Result<int> n = AsyncScanClusterOnce(cluster);
+        if (!n.ok() || *n == 0) break;
+        processed += *n;
+        dispatched_this_round += *n;
+      }
+    }
+    if (dispatched_this_round == 0) {
+      quick_->clock()->SleepMillis(config_.idle_sleep_millis);
+    }
+  }
+}
+
+bool Consumer::AcquireWindowSlot() {
+  int cur = inflight_txns_.load(std::memory_order_relaxed);
+  for (;;) {
+    if (cur >= config_.max_inflight_txns) {
+      stats_.backpressure_waits.Increment();
+      while (running_.load() && inflight_txns_.load(std::memory_order_acquire) >=
+                                    config_.max_inflight_txns) {
+        quick_->clock()->SleepMillis(1);
+      }
+      if (!running_.load()) return false;
+      cur = inflight_txns_.load(std::memory_order_relaxed);
+      continue;
+    }
+    if (inflight_txns_.compare_exchange_weak(cur, cur + 1,
+                                             std::memory_order_acq_rel)) {
+      return true;
+    }
+  }
+}
+
+Result<int> Consumer::AsyncScanClusterOnce(const std::string& cluster_name) {
+  if (crashed_.load()) return 0;
+  fdb::Database* cluster = Cluster(cluster_name);
+  if (cluster == nullptr) {
+    return Status::InvalidArgument("unknown cluster " + cluster_name);
+  }
+  if (health_.ShouldSkip(cluster_name)) {
+    stats_.scans_skipped_breaker.Increment();
+    return 0;
+  }
+  stats_.scans.Increment();
+
+  std::vector<std::string> selected = PeekAndSelect(cluster, cluster_name);
+  if (selected.empty()) return 0;
+
+  // Dispatch the selection as lease batches: each batch occupies one
+  // window slot (acquired here — the backpressure point) and amortizes one
+  // commit RTT over lease_batch_size pointers.
+  const size_t batch_max =
+      static_cast<size_t>(std::max(config_.lease_batch_size, 1));
+  int dispatched = 0;
+  std::vector<std::string> batch;
+  auto flush = [&]() -> bool {
+    if (batch.empty()) return true;
+    if (!AcquireWindowSlot()) {
+      for (const std::string& id : batch) {
+        UnmarkInFlight(InFlightKey(cluster_name, id));
+        --dispatched;
+      }
+      batch.clear();
+      return false;  // shutting down
+    }
+    AsyncLeaseBatch(cluster_name, std::move(batch));
+    batch.clear();
+    return true;
+  };
+  for (const std::string& id : selected) {
+    if (!MarkInFlight(InFlightKey(cluster_name, id))) continue;
+    batch.push_back(id);
+    ++dispatched;
+    if (batch.size() >= batch_max && !flush()) return dispatched;
+  }
+  flush();
+  return dispatched;
+}
+
+void Consumer::AsyncLeaseBatch(const std::string& cluster_name,
+                               std::vector<std::string> ids) {
+  // Caller holds one window slot and marked every id in flight; both are
+  // settled by the commit continuation (OnLeaseBatchCommitted).
+  fdb::Database* cluster = Cluster(cluster_name);
+  const ck::DatabaseRef cluster_db =
+      quick_->cloudkit()->OpenClusterDb(cluster_name);
+  const int64_t lease_start = quick_->clock()->NowMicros();
+
+  // Single attempt, like the synchronous LeaseTopItem: a conflict means
+  // another consumer has the pointer. Read collisions drop out of the
+  // batch before the commit; the survivors share one commit RTT.
+  auto txn = std::make_shared<fdb::Transaction>(
+      cluster->CreateTransaction(PeekOptions()));
+  std::vector<LeasedPointer> survivors;
+  survivors.reserve(ids.size());
+  for (const std::string& id : ids) {
+    stats_.pointer_lease_attempts.Increment();
+    ck::QueueZone top_zone = quick_->OpenTopZoneFor(cluster_db, id, txn.get());
+    Result<std::optional<ck::QueuedItem>> loaded = top_zone.Load(id);
+    if (!loaded.ok() || !loaded->has_value()) {
+      health_.Observe(cluster_name, loaded.status());
+      UnmarkInFlight(InFlightKey(cluster_name, id));
+      continue;  // transient read error, or GC'd meanwhile
+    }
+    Result<std::string> lease =
+        top_zone.ObtainLease(id, config_.pointer_lease_millis);
+    if (!lease.ok()) {
+      if (lease.status().IsLeaseLost()) {
+        stats_.lease_collisions_read.Increment();
+        hooks_.Record(id, stage::kLeaseCollision, lease_start,
+                      quick_->clock()->NowMicros(), "read");
+      } else {
+        health_.Observe(cluster_name, lease.status());
+      }
+      UnmarkInFlight(InFlightKey(cluster_name, id));
+      continue;
+    }
+    survivors.push_back(LeasedPointer{**std::move(loaded), *std::move(lease)});
+  }
+  if (survivors.empty()) {
+    stats_.lease_txn_micros.Record(quick_->clock()->NowMicros() - lease_start);
+    EndTxn();
+    return;
+  }
+  // The shared_ptr keeps the transaction alive until the ack lands (it may
+  // arrive on the cluster's commit-pump thread; the continuation re-posts
+  // onto the executor before doing real work).
+  txn->CommitAsync().OnReady(
+      [this, txn, cluster_name, lease_start,
+       survivors = std::move(survivors)](const Status& st) mutable {
+        exec_->Post([this, txn, cluster_name, lease_start,
+                     survivors = std::move(survivors), st]() mutable {
+          OnLeaseBatchCommitted(cluster_name, std::move(survivors),
+                                lease_start, st);
+          EndTxn();
+        });
+      });
+}
+
+void Consumer::OnLeaseBatchCommitted(const std::string& cluster_name,
+                                     std::vector<LeasedPointer> survivors,
+                                     int64_t lease_start,
+                                     const Status& commit) {
+  const int64_t lease_end = quick_->clock()->NowMicros();
+  stats_.lease_txn_micros.Record(lease_end - lease_start);
+  health_.Observe(cluster_name, commit);
+  if (crashed_.load() || !running_.load()) {
+    for (const LeasedPointer& s : survivors) {
+      UnmarkInFlight(InFlightKey(cluster_name, s.before.id));
+    }
+    return;
+  }
+  if (!commit.ok()) {
+    if (commit.IsNotCommitted() && survivors.size() > 1) {
+      // The batch lost a conflict on SOME member, but which one is
+      // unknowable from the commit status — retry each pointer in its own
+      // transaction so one contended pointer cannot poison the batch.
+      stats_.lease_batch_fallbacks.Increment();
+      for (const LeasedPointer& s : survivors) {
+        BeginTxn();
+        AsyncLeaseBatch(cluster_name, {s.before.id});
+      }
+      return;
+    }
+    if (commit.IsNotCommitted()) {
+      stats_.lease_collisions_commit.Increment();
+      hooks_.Record(survivors.front().before.id, stage::kLeaseCollision,
+                    lease_start, lease_end, "commit");
+    }
+    for (const LeasedPointer& s : survivors) {
+      UnmarkInFlight(InFlightKey(cluster_name, s.before.id));
+    }
+    return;
+  }
+
+  stats_.lease_batches.Increment();
+  const ck::DatabaseRef cluster_db =
+      quick_->cloudkit()->OpenClusterDb(cluster_name);
+  for (LeasedPointer& s : survivors) {
+    stats_.pointer_leases_acquired.Increment();
+    hooks_.Record(s.before.id, stage::kTopLeased, lease_start, lease_end);
+    const int64_t waited_ms =
+        quick_->clock()->NowMillis() - s.before.vesting_time;
+    if (waited_ms >= 0) {
+      stats_.pointer_latency_micros.Record(waited_ms * 1000);
+    }
+    if (s.before.job_type == ck::kPointerJobType) {
+      BeginTxn();
+      AsyncHandlePointer(cluster_name, s.before, s.lease_id);
+      continue;
+    }
+    // Local work item (§6): executed directly off the top-level queue.
+    WorkerJob job;
+    job.cluster = cluster_name;
+    job.db_id = cluster_db.id;
+    job.zone_name = quick_->TopZoneNameFor(s.before.id);
+    job.zone_subspace = cluster_db.ZoneSubspace(job.zone_name);
+    job.leased.item = s.before;
+    job.leased.item.lease_id = s.lease_id;
+    job.leased.item.vesting_time =
+        quick_->clock()->NowMillis() + config_.pointer_lease_millis;
+    job.leased.lease_id = s.lease_id;
+    job.async_finish = true;
+    const int64_t latency_ms =
+        quick_->clock()->NowMillis() - s.before.enqueue_time;
+    stats_.item_latency_micros.Record(latency_ms * 1000);
+    stats_.items_dequeued.Increment();
+    quick_->tenant_metrics()->OnDequeued(cluster_db.id, 1);
+    const std::string key = InFlightKey(cluster_name, s.before.id);
+    DispatchWorkerJob(std::move(job), /*inline_processing=*/false);
+    UnmarkInFlight(key);
+  }
+}
+
+void Consumer::AsyncHandlePointer(const std::string& cluster_name,
+                                  const ck::QueuedItem& pointer_item,
+                                  const std::string& lease_id) {
+  // Caller holds one window slot and the pointer's in-flight mark; every
+  // path below ends in UnmarkInFlight + EndTxn (via the requeue/GC step or
+  // an early finish).
+  fdb::Database* cluster = Cluster(cluster_name);
+  const std::string key = InFlightKey(cluster_name, pointer_item.id);
+  Result<Pointer> pointer = Pointer::FromItem(pointer_item);
+  if (!pointer.ok()) {
+    // Corrupt pointer: quarantine it (same contract as the sync path).
+    const ck::DatabaseRef cluster_db =
+        quick_->cloudkit()->OpenClusterDb(cluster_name);
+    auto fenced = std::make_shared<bool>(false);
+    const std::string item_id = pointer_item.id;
+    const std::string why = pointer.status().message();
+    fdb::RunTransactionAsync(
+        cluster,
+        [this, cluster_db, item_id, lease_id, why,
+         fenced](fdb::Transaction& txn) {
+          ck::QueueZone top_zone =
+              quick_->OpenTopZoneFor(cluster_db, item_id, &txn);
+          Status c =
+              top_zone.Quarantine(item_id, lease_id, "corrupt_pointer", why);
+          if (c.IsNotFound() || c.IsLeaseLost()) {
+            *fenced = true;
+            return Status::OK();
+          }
+          *fenced = false;
+          return c;
+        },
+        exec_.get(), cancel_)
+        .OnReady([this, item_id, fenced, key](const Status& st) {
+          if (st.ok()) {
+            if (*fenced) {
+              stats_.terminal_fenced.Increment();
+              hooks_.Mark(item_id, stage::kFenced, "corrupt_pointer");
+            } else {
+              stats_.items_quarantined.Increment();
+              MetricsRegistry::Default()
+                  ->GetCounter("quick.deadletter.quarantined")
+                  ->Increment();
+              hooks_.Mark(item_id, stage::kQuarantined, "corrupt_pointer");
+            }
+          }
+          UnmarkInFlight(key);
+          EndTxn();
+        });
+    return;
+  }
+
+  const tup::Subspace zone_subspace =
+      ck::CloudKitService::DatabaseSubspace(pointer->db_id)
+          .Sub("z")
+          .Sub(pointer->zone);
+  const ck::DatabaseId db_id = pointer->db_id;
+  const std::string zone_name = pointer->zone;
+
+  // Batch-dequeue transaction (Alg. 2 step ii), same body as the sync
+  // path — including the migration fence — but committed asynchronously;
+  // the chain's state lives on the heap across retries.
+  struct DequeueState {
+    std::vector<ck::LeasedItem> items;
+    std::optional<int64_t> min_vesting;
+  };
+  auto state = std::make_shared<DequeueState>();
+  const int64_t deq_start = quick_->clock()->NowMicros();
+  fdb::RunTransactionAsync(
+      cluster,
+      [this, state, db_id, zone_subspace](fdb::Transaction& txn) {
+        state->items.clear();
+        state->min_vesting = std::nullopt;
+        QUICK_ASSIGN_OR_RETURN(std::optional<std::string> fence,
+                               txn.Get(ck::MoveState::Key(db_id)));
+        if (fence.has_value()) {
+          std::optional<ck::MoveState> ms = ck::MoveState::Decode(*fence);
+          if (ms.has_value() && ms->FencesEnqueues()) return Status::OK();
+        }
+        ck::QueueZone zone(&txn, zone_subspace, quick_->clock(),
+                           config_.fifo_tenant_zones);
+        if (config_.fifo_tenant_zones) {
+          QUICK_ASSIGN_OR_RETURN(
+              state->items,
+              zone.DequeueFifo(config_.dequeue_max, config_.item_lease_millis));
+        } else {
+          QUICK_ASSIGN_OR_RETURN(
+              state->items,
+              zone.Dequeue(config_.dequeue_max, config_.item_lease_millis));
+        }
+        QUICK_ASSIGN_OR_RETURN(state->min_vesting, zone.MinVestingTime());
+        return Status::OK();
+      },
+      exec_.get(), cancel_)
+      .OnReady([this, state, cluster_name, pointer_item, lease_id,
+                zone_subspace, db_id, zone_name, deq_start,
+                key](const Status& st) {
+        const int64_t deq_end = quick_->clock()->NowMicros();
+        stats_.dequeue_txn_micros.Record(deq_end - deq_start);
+        health_.Observe(cluster_name, st);
+        if (!st.ok() || crashed_.load()) {
+          // Dequeue failed (or the process "died"): leases are abandoned
+          // and expire — another consumer takes over (§5).
+          UnmarkInFlight(key);
+          EndTxn();
+          return;
+        }
+        const int64_t now = quick_->clock()->NowMillis();
+        if (!state->items.empty()) {
+          quick_->tenant_metrics()->OnDequeued(
+              db_id, static_cast<int64_t>(state->items.size()));
+        }
+        for (ck::LeasedItem& li : state->items) {
+          stats_.items_dequeued.Increment();
+          stats_.item_latency_micros.Record((now - li.item.enqueue_time) *
+                                            1000);
+          hooks_.Record(li.item.id, stage::kDequeued, deq_start, deq_end,
+                        "batch=" + std::to_string(state->items.size()),
+                        /*parent=*/pointer_item.id);
+          WorkerJob job;
+          job.cluster = cluster_name;
+          job.db_id = db_id;
+          job.zone_name = zone_name;
+          job.zone_subspace = zone_subspace;
+          job.fifo_zone = config_.fifo_tenant_zones;
+          job.leased = std::move(li);
+          job.async_finish = true;
+          DispatchWorkerJob(std::move(job), /*inline_processing=*/false);
+        }
+        AsyncRequeueOrGcPointer(cluster_name, pointer_item, lease_id,
+                                !state->items.empty(), state->min_vesting,
+                                zone_subspace, key);
+      });
+}
+
+void Consumer::AsyncRequeueOrGcPointer(const std::string& cluster_name,
+                                       const ck::QueuedItem& pointer_item,
+                                       const std::string& lease_id,
+                                       bool found_items,
+                                       std::optional<int64_t> min_vesting,
+                                       const tup::Subspace& zone_subspace,
+                                       const std::string& inflight_key) {
+  // Final step of a pointer chain: every path releases the in-flight mark
+  // and the window slot.
+  auto finish = [this, inflight_key] {
+    UnmarkInFlight(inflight_key);
+    EndTxn();
+  };
+  if (crashed_.load()) {  // pointer lease abandoned
+    finish();
+    return;
+  }
+  fdb::Database* cluster = Cluster(cluster_name);
+  const ck::DatabaseRef cluster_db =
+      quick_->cloudkit()->OpenClusterDb(cluster_name);
+  const bool is_active = found_items || min_vesting.has_value();
+  const int64_t now = quick_->clock()->NowMillis();
+
+  if (is_active) {
+    const int64_t delay =
+        min_vesting.has_value() ? std::max<int64_t>(0, *min_vesting - now) : 0;
+    const std::string item_id = pointer_item.id;
+    fdb::RunTransactionAsync(
+        cluster,
+        [this, cluster_db, item_id, lease_id, delay](fdb::Transaction& txn) {
+          const int64_t tnow = quick_->clock()->NowMillis();
+          ck::QueueZone top_zone =
+              quick_->OpenTopZoneFor(cluster_db, item_id, &txn);
+          QUICK_ASSIGN_OR_RETURN(std::optional<ck::QueuedItem> loaded,
+                                 top_zone.Load(item_id));
+          if (!loaded.has_value()) return Status::OK();
+          if (loaded->lease_id != lease_id) return Status::OK();  // superseded
+          ck::QueuedItem updated = *std::move(loaded);
+          updated.vesting_time = tnow + delay;
+          updated.lease_id.clear();
+          updated.last_active_time = tnow;
+          return top_zone.SaveItem(updated);
+        },
+        exec_.get(), cancel_)
+        .OnReady([this, item_id, delay, finish](const Status& st) {
+          if (st.ok()) {
+            stats_.pointers_requeued.Increment();
+            hooks_.Mark(item_id, stage::kRequeued,
+                        "pointer delay_ms=" + std::to_string(delay));
+          }
+          finish();
+        });
+    return;
+  }
+
+  // Queue observed empty.
+  if (now - pointer_item.last_active_time < config_.min_inactive_millis) {
+    finish();
+    return;
+  }
+
+  // GC: transactional delete with a strong emptiness check, single attempt
+  // (same contract as the sync path: a racing enqueue aborts the commit).
+  auto txn = std::make_shared<fdb::Transaction>(cluster->CreateTransaction());
+  ck::QueueZone zone(txn.get(), zone_subspace, quick_->clock(),
+                     config_.fifo_tenant_zones);
+  Result<bool> empty = zone.IsEmpty();
+  if (!empty.ok()) {
+    finish();
+    return;
+  }
+  if (!*empty) {
+    stats_.pointer_gc_aborted.Increment();
+    finish();
+    return;
+  }
+  ck::QueueZone top_zone =
+      quick_->OpenTopZoneFor(cluster_db, pointer_item.id, txn.get());
+  Status st = top_zone.Complete(pointer_item.id, lease_id);
+  if (!st.ok()) {  // NotFound/LeaseLost: superseded — nothing to do
+    finish();
+    return;
+  }
+  const std::string item_id = pointer_item.id;
+  txn->CommitAsync().OnReady(
+      [this, txn, item_id, finish](const Status& commit) {
+        exec_->Post([this, txn, item_id, finish, commit] {
+          if (commit.IsNotCommitted()) {
+            stats_.pointer_gc_aborted.Increment();
+          } else if (commit.ok()) {
+            stats_.pointers_deleted.Increment();
+            hooks_.Mark(item_id, stage::kCompleted, "gc");
+          }
+          finish();
+        });
+      });
 }
 
 // ---------------------------------------------------------------------------
@@ -611,26 +1120,41 @@ void Consumer::DispatchWorkerJob(WorkerJob job, bool inline_processing) {
   // dropped here — a shed verdict also requeues (the item exists; only a
   // producer-side shed refuses outright) — so the item re-vests after the
   // gate's retry-after hint and any consumer picks it up again.
+  // Pushes an already-dequeued item back (admission / throttle verdicts):
+  // blocking in sync mode, a window transaction in async mode so the
+  // executor thread issuing the dispatch is never parked on a commit.
+  auto requeue_back = [this, &job](int64_t delay, std::string why) {
+    fdb::Database* cluster = Cluster(job.cluster);
+    auto body = [this, zone_subspace = job.zone_subspace,
+                 fifo = job.fifo_zone, item_id = job.leased.item.id,
+                 lease = job.leased.lease_id, delay](fdb::Transaction& txn) {
+      ck::QueueZone zone(&txn, zone_subspace, quick_->clock(), fifo);
+      Status s = zone.Requeue(item_id, delay,
+                              /*increment_error_count=*/false, lease);
+      return s.IsNotFound() || s.IsLeaseLost() ? Status::OK() : s;
+    };
+    if (job.async_finish && AsyncMode()) {
+      BeginTxn();
+      fdb::RunTransactionAsync(cluster, body, exec_.get(), cancel_)
+          .OnReady([this, item_id = job.leased.item.id,
+                    why = std::move(why)](const Status& st) {
+            if (st.ok()) hooks_.Mark(item_id, stage::kRequeued, why);
+            EndTxn();
+          });
+      return;
+    }
+    Status st = fdb::RunTransaction(cluster, body);
+    if (st.ok()) hooks_.Mark(job.leased.item.id, stage::kRequeued, why);
+  };
+
   if (quick_->admission() != nullptr) {
     const AdmissionDecision d =
         quick_->admission()->AdmitDispatch(job.db_id, job.cluster, 1);
     if (!d.admitted()) {
       stats_.items_dispatch_throttled.Increment();
       const int64_t delay = std::max<int64_t>(0, d.retry_after_millis);
-      fdb::Database* cluster = Cluster(job.cluster);
-      Status st = fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
-        ck::QueueZone zone(&txn, job.zone_subspace, quick_->clock(),
-                           job.fifo_zone);
-        Status s = zone.Requeue(job.leased.item.id, delay,
-                                /*increment_error_count=*/false,
-                                job.leased.lease_id);
-        return s.IsNotFound() || s.IsLeaseLost() ? Status::OK() : s;
-      });
-      if (st.ok()) {
-        hooks_.Mark(job.leased.item.id, stage::kRequeued,
-                    std::string("admission level=") + d.level +
-                        " delay_ms=" + std::to_string(delay));
-      }
+      requeue_back(delay, std::string("admission level=") + d.level +
+                              " delay_ms=" + std::to_string(delay));
       return;
     }
   }
@@ -641,18 +1165,7 @@ void Consumer::DispatchWorkerJob(WorkerJob job, bool inline_processing) {
                             job.entry->policy.max_concurrent)) {
       stats_.items_throttled.Increment();
       // Release the lease so any consumer can pick the item up again.
-      fdb::Database* cluster = Cluster(job.cluster);
-      Status st = fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
-        ck::QueueZone zone(&txn, job.zone_subspace, quick_->clock(),
-                           job.fifo_zone);
-        Status s = zone.Requeue(job.leased.item.id, 0,
-                                /*increment_error_count=*/false,
-                                job.leased.lease_id);
-        return s.IsNotFound() || s.IsLeaseLost() ? Status::OK() : s;
-      });
-      if (st.ok()) {
-        hooks_.Mark(job.leased.item.id, stage::kRequeued, "throttle");
-      }
+      requeue_back(0, "throttle");
       return;
     }
     job.throttle_held = true;
@@ -721,6 +1234,12 @@ void Consumer::ProcessWorkItem(WorkerJob job) {
   }
 
   if (job.throttle_held) ReleaseThrottle(job.leased.item.job_type);
+  if (job.async_finish && AsyncMode()) {
+    // Hand the finish commit to the in-flight window; this worker thread
+    // is free for the next item while the transition is in flight.
+    AsyncFinishItem(std::move(job), final_status);
+    return;
+  }
   (void)FinishItem(job, final_status);
 }
 
@@ -897,6 +1416,194 @@ Status Consumer::FinishTerminalFailure(const WorkerJob& job,
     RaiseAlert(legacy_kind, job, final_attempts, final_status.message());
   }
   return Status::OK();
+}
+
+void Consumer::AsyncFinishItem(WorkerJob job, const Status& final_status) {
+  // FinishItem's pipeline twin: same three transitions (complete, terminal
+  // failure, transient requeue), same lease fencing, but the commit holds
+  // a window slot instead of this thread.
+  if (crashed_.load()) return;  // completion never lands (§5)
+  if (!final_status.ok()) {
+    quick_->tenant_metrics()->OnError(job.db_id, 1);
+  }
+  fdb::Database* cluster = Cluster(job.cluster);
+  const bool is_local =
+      StartsWith(job.zone_name, quick_->config().top_zone_name);
+  auto jp = std::make_shared<WorkerJob>(std::move(job));
+  auto fenced = std::make_shared<bool>(false);
+  const int64_t fin_start = quick_->clock()->NowMicros();
+
+  if (final_status.ok()) {
+    BeginTxn();
+    fdb::RunTransactionAsync(
+        cluster,
+        [this, jp, fenced](fdb::Transaction& txn) {
+          ck::QueueZone zone(&txn, jp->zone_subspace, quick_->clock(),
+                             jp->fifo_zone);
+          Status c = zone.Complete(jp->leased.item.id, jp->leased.lease_id);
+          if (c.IsNotFound() || c.IsLeaseLost()) {
+            *fenced = true;
+            return Status::OK();
+          }
+          *fenced = false;
+          return c;
+        },
+        exec_.get(), cancel_)
+        .OnReady([this, jp, fenced, fin_start, is_local](const Status& st) {
+          const int64_t fin_end = quick_->clock()->NowMicros();
+          stats_.finish_txn_micros.Record(fin_end - fin_start);
+          health_.Observe(jp->cluster, st);
+          if (st.ok()) {
+            if (*fenced) {
+              stats_.leases_lost.Increment();
+              stats_.terminal_fenced.Increment();
+              hooks_.Record(jp->leased.item.id, stage::kFenced, fin_start,
+                            fin_end, "complete");
+            } else {
+              stats_.items_processed.Increment();
+              if (is_local) stats_.local_items_processed.Increment();
+              hooks_.Record(jp->leased.item.id, stage::kCompleted, fin_start,
+                            fin_end, is_local ? "local" : "");
+            }
+          }
+          EndTxn();
+        });
+    return;
+  }
+
+  const RetryPolicy policy =
+      jp->entry != nullptr ? jp->entry->policy : RetryPolicy{};
+  const int64_t next_error_count = jp->leased.item.error_count + 1;
+  const bool exhausted = policy.max_attempts > 0 &&
+                         next_error_count >= policy.max_attempts &&
+                         policy.drop_on_exhaust;
+  if (final_status.IsPermanent() || exhausted) {
+    AsyncFinishTerminalFailure(jp, final_status, policy);
+    return;
+  }
+
+  // Transient failure: fenced requeue with backoff.
+  if (policy.alert_after_errors > 0 &&
+      next_error_count >= policy.alert_after_errors) {
+    RaiseAlert(Alert::Kind::kRepeatedFailures, *jp, next_error_count,
+               final_status.message());
+  }
+  const int64_t delay =
+      policy.BackoffForErrorCount(jp->leased.item.error_count);
+  BeginTxn();
+  fdb::RunTransactionAsync(
+      cluster,
+      [this, jp, fenced, delay](fdb::Transaction& txn) {
+        ck::QueueZone zone(&txn, jp->zone_subspace, quick_->clock(),
+                           jp->fifo_zone);
+        Status c = zone.Requeue(jp->leased.item.id, delay,
+                                /*increment_error_count=*/true,
+                                jp->leased.lease_id);
+        if (c.IsNotFound() || c.IsLeaseLost()) {
+          *fenced = true;
+          return Status::OK();
+        }
+        *fenced = false;
+        return c;
+      },
+      exec_.get(), cancel_)
+      .OnReady([this, jp, fenced, fin_start, delay,
+                next_error_count](const Status& st) {
+        const int64_t fin_end = quick_->clock()->NowMicros();
+        stats_.finish_txn_micros.Record(fin_end - fin_start);
+        if (st.ok()) {
+          if (*fenced) {
+            stats_.leases_lost.Increment();
+            stats_.terminal_fenced.Increment();
+            hooks_.Record(jp->leased.item.id, stage::kFenced, fin_start,
+                          fin_end, "requeue");
+          } else {
+            stats_.items_requeued.Increment();
+            hooks_.Record(jp->leased.item.id, stage::kRequeued, fin_start,
+                          fin_end,
+                          "delay_ms=" + std::to_string(delay) +
+                              " errors=" + std::to_string(next_error_count));
+          }
+        }
+        EndTxn();
+      });
+}
+
+void Consumer::AsyncFinishTerminalFailure(std::shared_ptr<WorkerJob> jp,
+                                          const Status& final_status,
+                                          const RetryPolicy& policy) {
+  fdb::Database* cluster = Cluster(jp->cluster);
+  const int64_t final_attempts = jp->leased.item.error_count + 1;
+  const char* reason;
+  Alert::Kind legacy_kind;
+  if (!final_status.IsPermanent()) {
+    reason = "exhausted";
+    legacy_kind = Alert::Kind::kDroppedAfterExhaustion;
+  } else if (jp->entry == nullptr) {
+    reason = "unknown_job_type";
+    legacy_kind = Alert::Kind::kUnknownJobType;
+  } else {
+    reason = "permanent";
+    legacy_kind = Alert::Kind::kPermanentFailure;
+  }
+
+  auto fenced = std::make_shared<bool>(false);
+  const int64_t fin_start = quick_->clock()->NowMicros();
+  const std::string failure_msg = final_status.message();
+  const bool quarantine = policy.quarantine_on_failure;
+  BeginTxn();
+  fdb::RunTransactionAsync(
+      cluster,
+      [this, jp, fenced, quarantine, reason,
+       failure_msg](fdb::Transaction& txn) {
+        ck::QueueZone zone(&txn, jp->zone_subspace, quick_->clock(),
+                           jp->fifo_zone);
+        Status c = quarantine
+                       ? zone.Quarantine(jp->leased.item.id,
+                                         jp->leased.lease_id, reason,
+                                         failure_msg)
+                       : zone.Complete(jp->leased.item.id,
+                                       jp->leased.lease_id);
+        if (c.IsNotFound() || c.IsLeaseLost()) {
+          *fenced = true;
+          return Status::OK();
+        }
+        *fenced = false;
+        return c;
+      },
+      exec_.get(), cancel_)
+      .OnReady([this, jp, fenced, fin_start, quarantine, reason, legacy_kind,
+                final_attempts, failure_msg](const Status& st) {
+        const int64_t fin_end = quick_->clock()->NowMicros();
+        stats_.finish_txn_micros.Record(fin_end - fin_start);
+        health_.Observe(jp->cluster, st);
+        if (st.ok()) {
+          if (*fenced) {
+            stats_.leases_lost.Increment();
+            stats_.terminal_fenced.Increment();
+            hooks_.Record(jp->leased.item.id, stage::kFenced, fin_start,
+                          fin_end, reason);
+          } else if (quarantine) {
+            stats_.items_quarantined.Increment();
+            MetricsRegistry::Default()
+                ->GetCounter("quick.deadletter.quarantined")
+                ->Increment();
+            hooks_.Record(jp->leased.item.id, stage::kQuarantined, fin_start,
+                          fin_end, reason);
+            RaiseAlert(Alert::Kind::kQuarantined, *jp, final_attempts,
+                       std::string(reason) + ": " + failure_msg);
+          } else {
+            stats_.items_dropped_permanent.Increment();
+            MetricsRegistry::Default()
+                ->GetCounter("quick.deadletter.dropped_legacy")
+                ->Increment();
+            hooks_.Record(jp->leased.item.id, stage::kDropped, fin_start,
+                          fin_end, reason);
+            RaiseAlert(legacy_kind, *jp, final_attempts, failure_msg);
+          }
+        }
+        EndTxn();
+      });
 }
 
 // ---------------------------------------------------------------------------

@@ -12,6 +12,8 @@
 
 #include "common/blocking_queue.h"
 #include "common/random.h"
+#include "fdb/executor.h"
+#include "fdb/future.h"
 #include "quick/alerts.h"
 #include "quick/cluster_health.h"
 #include "quick/config.h"
@@ -30,11 +32,18 @@ namespace quick::core {
 /// lease extension and retry policies (Algorithm 3), and a lease-extender
 /// thread.
 ///
-/// Two driving modes:
+/// Three driving modes:
 ///  - Start()/Stop(): real threads, used by benchmarks and examples.
 ///  - RunOnePass()/ProcessTopItem(): synchronous, single-threaded steps for
 ///    deterministic tests (everything, including work items, runs inline on
 ///    the calling thread).
+///  - Start() with config.async_pipeline: the Manager pool is replaced by a
+///    pipelined state machine (DESIGN.md §11). Pointer leases are batched
+///    across Q_C pointers per transaction, commits ride the cluster's async
+///    group-commit pipeline (Database::CommitAsync), and a bounded window
+///    of in-flight transaction chains — hundreds per consumer — overlaps
+///    the commit RTTs that the synchronous pipeline serializes. The
+///    Scanner applies backpressure when the window fills.
 class Consumer {
  public:
   /// `election_cache` enables the dynamic election of one sequential
@@ -111,6 +120,15 @@ class Consumer {
     std::shared_ptr<std::atomic<bool>> lease_lost;
     std::shared_ptr<const JobRegistry::Entry> entry;  // may be null
     bool throttle_held = false;
+    /// Finish (complete/requeue/quarantine) through the async pipeline
+    /// instead of a blocking transaction on the worker thread.
+    bool async_finish = false;
+  };
+
+  /// One pointer surviving the read phase of a batched lease transaction.
+  struct LeasedPointer {
+    ck::QueuedItem before;
+    std::string lease_id;
   };
 
   // --- Algorithm 1 ---
@@ -118,6 +136,10 @@ class Consumer {
   /// One peek+select+dispatch round; returns number dispatched.
   Result<int> ScanClusterOnce(const std::string& cluster_name,
                               bool inline_processing);
+  /// Shared peek + in-flight filter + selection (Alg. 1 lines 6–9); the
+  /// returned ids are NOT yet marked in flight. Records scan_micros.
+  std::vector<std::string> PeekAndSelect(fdb::Database* cluster,
+                                         const std::string& cluster_name);
   bool IsSequential(const std::string& cluster_name);
 
   // --- Algorithm 2 ---
@@ -153,6 +175,48 @@ class Consumer {
   Status FinishTerminalFailure(const WorkerJob& job,
                                const Status& final_status,
                                const RetryPolicy& policy);
+
+  // --- Async pipelined mode (DESIGN.md §11) ---
+  bool AsyncMode() const { return config_.async_pipeline && exec_ != nullptr; }
+  void AsyncScannerLoop();
+  /// One async scan round: peek+select, then dispatch the selection as
+  /// batched lease transactions into the in-flight window (blocking for
+  /// window slots — the backpressure point). Returns pointers dispatched.
+  Result<int> AsyncScanClusterOnce(const std::string& cluster_name);
+  /// Issues one batched lease transaction over `ids` (all already marked
+  /// in flight; caller holds one window slot, released when the commit
+  /// resolves). Reads and lease writes for every pointer share the
+  /// transaction, so one commit RTT covers the whole batch.
+  void AsyncLeaseBatch(const std::string& cluster_name,
+                       std::vector<std::string> ids);
+  void OnLeaseBatchCommitted(const std::string& cluster_name,
+                             std::vector<LeasedPointer> survivors,
+                             int64_t lease_start, const Status& commit);
+  /// Async Algorithm 2 for one leased pointer. Caller holds one window
+  /// slot and the pointer's in-flight mark; the chain releases both when
+  /// the requeue/GC step resolves.
+  void AsyncHandlePointer(const std::string& cluster_name,
+                          const ck::QueuedItem& pointer_item,
+                          const std::string& lease_id);
+  void AsyncRequeueOrGcPointer(const std::string& cluster_name,
+                               const ck::QueuedItem& pointer_item,
+                               const std::string& lease_id, bool found_items,
+                               std::optional<int64_t> min_vesting,
+                               const tup::Subspace& zone_subspace,
+                               const std::string& inflight_key);
+  /// Async transition out of processing (FinishItem's pipeline twin): the
+  /// worker thread hands the commit to the window and moves on.
+  void AsyncFinishItem(WorkerJob job, const Status& final_status);
+  void AsyncFinishTerminalFailure(std::shared_ptr<WorkerJob> job,
+                                  const Status& final_status,
+                                  const RetryPolicy& policy);
+  /// Scanner-side window admission: blocks (counting backpressure stalls)
+  /// until a slot frees; false on shutdown.
+  bool AcquireWindowSlot();
+  /// Unconditional slot accounting for continuation transactions — a chain
+  /// mid-flight must never deadlock waiting on its own window.
+  void BeginTxn() { inflight_txns_.fetch_add(1, std::memory_order_relaxed); }
+  void EndTxn() { inflight_txns_.fetch_sub(1, std::memory_order_acq_rel); }
 
   // Lease extender.
   void ExtenderLoop();
@@ -200,6 +264,12 @@ class Consumer {
   std::vector<std::thread> threads_;
   std::unique_ptr<BlockingQueue<TopJob>> manager_queue_;
   std::unique_ptr<BlockingQueue<WorkerJob>> worker_queue_;
+
+  /// Async pipeline: continuation executor, chain cancellation (armed by
+  /// Stop()), and the in-flight transaction window counter.
+  std::unique_ptr<fdb::ThreadPoolExecutor> exec_;
+  fdb::CancelToken cancel_;
+  std::atomic<int> inflight_txns_{0};
 
   std::mutex inflight_mu_;
   std::set<std::string> in_flight_;

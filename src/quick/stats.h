@@ -50,6 +50,16 @@ struct ConsumerStats {
   Counter lease_extensions;
   Counter leases_lost;
 
+  // Async pipeline (DESIGN.md §11).
+  /// Multi-pointer lease transactions committed (async mode).
+  Counter lease_batches;
+  /// Batched lease commits that lost a conflict and fell back to
+  /// single-pointer lease transactions.
+  Counter lease_batch_fallbacks;
+  /// Scanner stalls because the in-flight transaction window was full —
+  /// the backpressure signal for sizing max_inflight_txns.
+  Counter backpressure_waits;
+
   /// Vested-pointer pickup latency: pointer became available -> its queue
   /// starts being processed (Figures 5/6 series (a)). Microseconds.
   Histogram pointer_latency_micros;
@@ -96,6 +106,9 @@ struct ConsumerStats {
     line("scans_skipped_breaker", scans_skipped_breaker.Value());
     line("lease_extensions", lease_extensions.Value());
     line("leases_lost", leases_lost.Value());
+    line("lease_batches", lease_batches.Value());
+    line("lease_batch_fallbacks", lease_batch_fallbacks.Value());
+    line("backpressure_waits", backpressure_waits.Value());
     out += "pointer_latency_us : " + pointer_latency_micros.Summary() + "\n";
     out += "item_latency_us : " + item_latency_micros.Summary() + "\n";
     out += "item_exec_us : " + item_exec_micros.Summary() + "\n";
@@ -136,6 +149,9 @@ struct ConsumerStats {
     gauge("scans_skipped_breaker", scans_skipped_breaker);
     gauge("lease_extensions", lease_extensions);
     gauge("leases_lost", leases_lost);
+    gauge("lease_batches", lease_batches);
+    gauge("lease_batch_fallbacks", lease_batch_fallbacks);
+    gauge("backpressure_waits", backpressure_waits);
     auto hist = [&](const char* name, const Histogram& h) {
       Histogram* out = registry->GetHistogram(prefix + "." + name);
       out->Reset();

@@ -1,0 +1,322 @@
+// The async commit pipeline: Database::CommitAsync must preserve the
+// blocking path's semantics (visibility, conflicts, read-only no-ops,
+// group batching) while completing on a future instead of owning a thread
+// — and RunTransactionAsync must preserve the canonical retry-loop
+// contract (retryable errors re-execute, non-retryable surface, budget
+// exhaustion carries the last error, cancellation stops the chain) with
+// the backoff as a scheduled re-arm rather than a sleeping thread.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <deque>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "fdb/database.h"
+#include "fdb/executor.h"
+#include "fdb/future.h"
+#include "fdb/retry.h"
+
+namespace quick::fdb {
+namespace {
+
+// Pumps a ManualExecutor (tasks + virtual-time timers) until the future
+// resolves. Commit acks arrive from the database's pump thread and re-post
+// onto the executor, so this polls with a short real-time yield.
+void PumpUntilReady(ManualExecutor* exec, const Future<Status>& future) {
+  for (int i = 0; i < 20000 && !future.IsReady(); ++i) {
+    exec->RunUntilIdle();
+    exec->AdvanceMillis(50);  // any pending backoff re-arm comes due
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+  ASSERT_TRUE(future.IsReady()) << "async chain never resolved";
+}
+
+TEST(AsyncCommitTest, CommittedWriteIsVisible) {
+  Database db("async-basic");
+  Transaction txn = db.CreateTransaction();
+  txn.Set("k", "v");
+  Future<Status> f = txn.CommitAsync();
+  f.Wait();
+  ASSERT_TRUE(f.Get().ok()) << f.Get();
+  EXPECT_GT(txn.GetCommittedVersion(), 0);
+
+  Transaction probe = db.CreateTransaction();
+  EXPECT_EQ(probe.Get("k").value().value(), "v");
+}
+
+TEST(AsyncCommitTest, ReadOnlyCommitCompletesImmediately) {
+  Database db("async-ro");
+  Transaction txn = db.CreateTransaction();
+  (void)txn.Get("missing");
+  Future<Status> f = txn.CommitAsync();
+  ASSERT_TRUE(f.IsReady());  // no mutations: resolved without the pipeline
+  EXPECT_TRUE(f.Get().ok());
+}
+
+TEST(AsyncCommitTest, ConflictSurfacesAsNotCommitted) {
+  Database db("async-conflict");
+  {
+    Transaction seed = db.CreateTransaction();
+    seed.Set("k", "0");
+    ASSERT_TRUE(seed.Commit().ok());
+  }
+  Transaction loser = db.CreateTransaction();
+  ASSERT_TRUE(loser.Get("k").ok());  // read conflict range on "k"
+  {
+    Transaction winner = db.CreateTransaction();
+    winner.Set("k", "interloper");
+    ASSERT_TRUE(winner.Commit().ok());
+  }
+  loser.Set("k", "stale");
+  Future<Status> f = loser.CommitAsync();
+  f.Wait();
+  EXPECT_EQ(f.Get().code(), StatusCode::kNotCommitted);
+
+  Transaction probe = db.CreateTransaction();
+  EXPECT_EQ(probe.Get("k").value().value(), "interloper");
+}
+
+// Hundreds of concurrent async commits from one thread: none of them may
+// block the submitter, every one must land, and the group-commit pipeline
+// must coalesce them into far fewer batches than commits — the whole point
+// of decoupling commit submission from thread ownership.
+TEST(AsyncCommitTest, ConcurrentAsyncCommitsShareBatches) {
+  Database::Options opts;
+  opts.latency.commit_micros = 2000;  // widen the pile-up window
+  Database db("async-batching", opts);
+
+  constexpr int kCommits = 300;
+  std::deque<Transaction> txns;  // stable addresses: commits resolve late
+  std::vector<Future<Status>> futures;
+  for (int i = 0; i < kCommits; ++i) {
+    txns.push_back(db.CreateTransaction());
+    txns.back().Set("k" + std::to_string(i), "v");
+    futures.push_back(txns.back().CommitAsync());
+  }
+  Future<std::vector<Status>> all = WhenAll(std::move(futures));
+  all.Wait();
+  for (const Status& st : all.Get()) ASSERT_TRUE(st.ok()) << st;
+
+  const Database::Stats stats = db.GetStats();
+  EXPECT_EQ(stats.commits_succeeded, kCommits);
+  EXPECT_LT(stats.commit_batches, kCommits)
+      << "async commits never formed a multi-member batch";
+
+  Transaction probe = db.CreateTransaction();
+  auto rows = probe.GetRange(KeyRange{"k", "k\xFF"});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), static_cast<size_t>(kCommits));
+}
+
+TEST(AsyncCommitTest, MixedSyncAndAsyncCommitsCoexist) {
+  Database db("async-mixed");
+  std::deque<Transaction> txns;
+  std::vector<Future<Status>> futures;
+  for (int i = 0; i < 20; ++i) {
+    txns.push_back(db.CreateTransaction());
+    txns.back().Set("a" + std::to_string(i), "v");
+    futures.push_back(txns.back().CommitAsync());
+    Transaction sync = db.CreateTransaction();
+    sync.Set("s" + std::to_string(i), "v");
+    ASSERT_TRUE(sync.Commit().ok());
+  }
+  for (auto& f : futures) {
+    f.Wait();
+    ASSERT_TRUE(f.Get().ok());
+  }
+  Transaction probe = db.CreateTransaction();
+  auto rows = probe.GetRange(KeyRange{"a", "t"});
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), 40u);
+}
+
+TEST(RunTransactionAsyncTest, SuccessfulBodyCommitsOnce) {
+  Database db("rta-ok");
+  ManualExecutor exec;
+  std::atomic<int> attempts{0};
+  Future<Status> f = RunTransactionAsync(
+      &db,
+      [&](Transaction& txn) {
+        attempts.fetch_add(1);
+        txn.Set("k", "v");
+        return Status::OK();
+      },
+      &exec);
+  PumpUntilReady(&exec, f);
+  EXPECT_TRUE(f.Get().ok()) << f.Get();
+  EXPECT_EQ(attempts.load(), 1);
+
+  Transaction probe = db.CreateTransaction();
+  EXPECT_EQ(probe.Get("k").value().value(), "v");
+}
+
+// A commit conflict on the first attempt must re-arm (via the executor's
+// timer queue, not a sleeping thread) and re-execute the body against a
+// reset transaction; the second attempt wins.
+TEST(RunTransactionAsyncTest, ConflictRetriesAndSucceeds) {
+  Database db("rta-retry");
+  {
+    Transaction seed = db.CreateTransaction();
+    seed.Set("k", "0");
+    ASSERT_TRUE(seed.Commit().ok());
+  }
+  Counter* retries =
+      MetricsRegistry::Default()->GetCounter(kRetryCounterName);
+  const int64_t retries_before = retries->Value();
+
+  ManualExecutor exec;
+  std::atomic<int> attempts{0};
+  Future<Status> f = RunTransactionAsync(
+      &db,
+      [&](Transaction& txn) {
+        const int attempt = attempts.fetch_add(1) + 1;
+        auto read = txn.Get("k");  // read conflict range on "k"
+        if (!read.ok()) return read.status();
+        if (attempt == 1) {
+          // Invalidate this attempt's read before its commit resolves.
+          Transaction winner = db.CreateTransaction();
+          winner.Set("k", "interloper");
+          Status st = winner.Commit();
+          if (!st.ok()) return st;
+        }
+        txn.Set("k", "attempt" + std::to_string(attempt));
+        return Status::OK();
+      },
+      &exec);
+  PumpUntilReady(&exec, f);
+  EXPECT_TRUE(f.Get().ok()) << f.Get();
+  EXPECT_EQ(attempts.load(), 2);
+  EXPECT_GE(retries->Value(), retries_before + 1);
+
+  Transaction probe = db.CreateTransaction();
+  EXPECT_EQ(probe.Get("k").value().value(), "attempt2");
+}
+
+TEST(RunTransactionAsyncTest, NonRetryableErrorSurfacesWithoutRetry) {
+  Database db("rta-permanent");
+  ManualExecutor exec;
+  std::atomic<int> attempts{0};
+  Future<Status> f = RunTransactionAsync(
+      &db,
+      [&](Transaction&) {
+        attempts.fetch_add(1);
+        return Status::Permanent("handler bug");
+      },
+      &exec);
+  PumpUntilReady(&exec, f);
+  EXPECT_EQ(f.Get().code(), StatusCode::kPermanent);
+  EXPECT_EQ(attempts.load(), 1);
+  EXPECT_EQ(exec.PendingTimers(), 0u);  // no backoff re-arm was scheduled
+}
+
+// Budget exhaustion surfaces kTimedOut carrying the last underlying error,
+// exactly like the blocking RunTransaction loop.
+TEST(RunTransactionAsyncTest, ExhaustionCarriesLastError) {
+  Database db("rta-exhaust");
+  Counter* exhausted =
+      MetricsRegistry::Default()->GetCounter(kRetryExhaustedCounterName);
+  const int64_t exhausted_before = exhausted->Value();
+
+  ManualExecutor exec;
+  std::atomic<int> attempts{0};
+  Future<Status> f = RunTransactionAsync(
+      &db, TransactionOptions{},
+      [&](Transaction&) {
+        attempts.fetch_add(1);
+        return Status::Unavailable("cluster down");
+      },
+      &exec, CancelToken{}, /*max_attempts=*/3);
+  PumpUntilReady(&exec, f);
+  EXPECT_EQ(f.Get().code(), StatusCode::kTimedOut);
+  EXPECT_NE(f.Get().message().find("cluster down"), std::string::npos)
+      << f.Get();
+  EXPECT_EQ(attempts.load(), 3);
+  EXPECT_EQ(exhausted->Value(), exhausted_before + 1);
+}
+
+TEST(RunTransactionAsyncTest, CancelBeforeFirstStepResolvesCancelled) {
+  Database db("rta-cancel-early");
+  ManualExecutor exec;
+  CancelToken cancel;
+  std::atomic<int> attempts{0};
+  Future<Status> f = RunTransactionAsync(
+      &db,
+      [&](Transaction&) {
+        attempts.fetch_add(1);
+        return Status::OK();
+      },
+      &exec, cancel);
+  cancel.Cancel();  // before the executor ever runs the first step
+  PumpUntilReady(&exec, f);
+  EXPECT_EQ(f.Get().code(), StatusCode::kCancelled);
+  EXPECT_EQ(attempts.load(), 0);
+}
+
+// Cancellation between attempts: a retryable failure whose chain has been
+// cancelled resolves kCancelled instead of re-arming — the future still
+// completes, so window-draining callers never hang.
+TEST(RunTransactionAsyncTest, CancelMidChainStopsTheReArm) {
+  Database db("rta-cancel-mid");
+  ManualExecutor exec;
+  CancelToken cancel;
+  std::atomic<int> attempts{0};
+  Future<Status> f = RunTransactionAsync(
+      &db,
+      [&](Transaction&) {
+        attempts.fetch_add(1);
+        cancel.Cancel();  // e.g. Stop() lands while the attempt is in flight
+        return Status::Unavailable("flap");
+      },
+      &exec, cancel);
+  PumpUntilReady(&exec, f);
+  EXPECT_EQ(f.Get().code(), StatusCode::kCancelled);
+  EXPECT_EQ(attempts.load(), 1);
+  EXPECT_EQ(exec.PendingTimers(), 0u);  // the chain did not re-arm
+}
+
+TEST(RunTransactionAsyncTest, CancelledIsNotRetryable) {
+  EXPECT_FALSE(Status::Cancelled("chain torn down").retryable());
+}
+
+// Integration smoke on a real thread pool: many chains in flight at once,
+// all resolving without the submitter blocking.
+TEST(RunTransactionAsyncTest, ManyChainsOnThreadPool) {
+  Database::Options opts;
+  opts.latency.commit_micros = 500;
+  Database db("rta-pool", opts);
+  ThreadPoolExecutor exec(4);
+
+  constexpr int kChains = 200;
+  std::vector<Future<Status>> futures;
+  futures.reserve(kChains);
+  for (int i = 0; i < kChains; ++i) {
+    futures.push_back(RunTransactionAsync(
+        &db,
+        [i](Transaction& txn) {
+          txn.Set("pool" + std::to_string(i), "v");
+          return Status::OK();
+        },
+        &exec));
+  }
+  Future<std::vector<Status>> all = WhenAll(std::move(futures));
+  all.Wait();
+  for (const Status& st : all.Get()) ASSERT_TRUE(st.ok()) << st;
+
+  Transaction probe = db.CreateTransaction();
+  auto rows = probe.GetRange(KeyRange::Prefix("pool"));
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows->size(), static_cast<size_t>(kChains));
+  const Database::Stats stats = db.GetStats();
+  EXPECT_LT(stats.commit_batches, stats.commits_succeeded)
+      << "no batching across concurrent async chains";
+  exec.Shutdown();
+}
+
+}  // namespace
+}  // namespace quick::fdb

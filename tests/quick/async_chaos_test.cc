@@ -1,0 +1,214 @@
+// Multi-seed chaos for the async pipelined consumer: two async consumers
+// (in-flight window of 256 transaction chains each, batched pointer
+// leases) share two clusters while one consumer crashes mid-lease, a
+// scheduled outage takes a cluster down, and probabilistic commit faults
+// fire throughout. After the storm drains, the ledger must balance:
+// every client-confirmed enqueue ends executed or dead-lettered — never
+// both, never silently lost — abandoned leases are recovered by the
+// surviving consumer, and pointer GC empties both top-level queues.
+// This is the §11 analogue of the synchronous crash/outage chaos suites:
+// the same invariants must survive hundreds of concurrently in-flight
+// lease/dequeue/finish chains instead of one blocking pass at a time.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+
+#include "common/clock.h"
+#include "common/random.h"
+#include "fdb/cluster_set.h"
+#include "fdb/fault_plan.h"
+#include "quick/admin.h"
+#include "quick/consumer.h"
+
+namespace quick::core {
+namespace {
+
+bool WaitUntil(const std::function<bool()>& pred, int64_t timeout_millis) {
+  for (int64_t waited = 0; waited < timeout_millis; waited += 5) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+class AsyncChaosTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AsyncChaosTest, LedgerBalancesAcrossCrashAndOutage) {
+  const uint64_t seed = GetParam();
+  Clock* clock = SystemClock::Default();
+  const int64_t t0 = clock->NowMillis();
+  const int64_t kOutageStart = t0 + 1500;
+  const int64_t kOutageEnd = t0 + 2500;
+
+  fdb::Database::Options base;
+  base.faults.commit_unavailable = 0.02;
+  base.faults.seed = seed;
+  fdb::ClusterSet clusters(base);
+  fdb::Database::Options c1_opts = base;
+  c1_opts.fault_plan.Add(fdb::FaultWindow::Outage(kOutageStart, kOutageEnd));
+  clusters.AddCluster("c1", c1_opts);
+  clusters.AddCluster("c2");
+  ck::CloudKitService cloudkit(&clusters, clock);
+  Quick quick(&cloudkit);
+
+  // Pin tenants: even on the cluster that will suffer the outage.
+  constexpr int kTenants = 6;
+  auto tenant = [&](int i) {
+    return ck::DatabaseId::Private("async-chaos", "user" + std::to_string(i));
+  };
+  for (int i = 0; i < kTenants; ++i) {
+    cloudkit.placement()->Set(tenant(i), i % 2 == 0 ? "c1" : "c2");
+  }
+
+  std::mutex mu;
+  std::set<std::string> executed;
+  RetryPolicy doom_policy;
+  doom_policy.max_inline_retries = 0;
+  doom_policy.max_attempts = 2;
+  doom_policy.drop_on_exhaust = true;
+  doom_policy.backoff_initial_millis = 10;
+
+  // Consumer A crashes from inside its own handler — mid-batch, holding a
+  // pointer lease, item leases, and a window full of in-flight chains.
+  Consumer* a_ptr = nullptr;
+  std::atomic<int> a_runs{0};
+  auto register_handlers = [&](JobRegistry* registry, bool crashes) {
+    registry->Register("chaos", [&, crashes](WorkContext& ctx) {
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        executed.insert(ctx.item.id);
+      }
+      if (crashes && a_runs.fetch_add(1) + 1 == 3 && a_ptr != nullptr) {
+        a_ptr->SimulateCrash();
+      }
+      return Status::OK();
+    });
+    registry->Register("poison",
+                       [](WorkContext&) { return Status::Permanent("bug"); });
+    registry->Register(
+        "doom", [](WorkContext&) { return Status::Unavailable("doomed"); },
+        doom_policy);
+  };
+  JobRegistry registry_a;
+  JobRegistry registry_b;
+  register_handlers(&registry_a, /*crashes=*/true);
+  register_handlers(&registry_b, /*crashes=*/false);
+
+  ConsumerConfig config;
+  config.sequential = true;
+  config.relaxed_reads_for_peek = false;
+  config.dequeue_max = 2;
+  config.pointer_lease_millis = 400;
+  config.item_lease_millis = 800;
+  config.min_inactive_millis = 300;
+  config.idle_sleep_millis = 2;
+  config.num_worker_threads = 4;
+  config.breaker.failure_threshold = 3;
+  config.breaker.success_threshold = 1;
+  config.breaker.open_initial_millis = 100;
+  config.breaker.open_max_millis = 400;
+  config.async_pipeline = true;
+  config.max_inflight_txns = 256;
+  config.lease_batch_size = 8;
+  config.async_executor_threads = 4;
+
+  Consumer a(&quick, {"c1", "c2"}, &registry_a, config, "async-chaos-a");
+  a_ptr = &a;
+  Consumer b(&quick, {"c1", "c2"}, &registry_b, config, "async-chaos-b");
+  a.Start();
+  b.Start();
+
+  // --- Phase 1: traffic to every tenant while both consumers race. ---
+  Random rng(seed);
+  std::set<std::string> confirmed;
+  for (int i = 0; i < 150; ++i) {
+    WorkItem item;
+    const uint64_t kind = rng.Uniform(100);
+    item.job_type = kind < 70 ? "chaos" : (kind < 85 ? "poison" : "doom");
+    auto id = quick.Enqueue(tenant(static_cast<int>(rng.Uniform(kTenants))),
+                            item, 0);
+    if (id.ok()) confirmed.insert(*id);
+  }
+  // A dies mid-flight (or is killed here if B won every chaos item).
+  WaitUntil([&] { return a.crashed(); }, 10000);
+  if (!a.crashed()) a.SimulateCrash();
+  a.Stop();  // join threads; its abandoned leases expire under B
+
+  // --- Phase 2: the outage takes c1 down; traffic continues on c2. ---
+  WaitUntil([&] { return clock->NowMillis() >= kOutageStart + 50; }, 5000);
+  for (int i = 0; i < 60; ++i) {
+    WorkItem item;
+    item.job_type = rng.Uniform(100) < 80 ? "chaos" : "doom";
+    const int t = 1 + 2 * static_cast<int>(rng.Uniform(kTenants / 2));
+    auto id = quick.Enqueue(tenant(t), item, 0);  // odd tenants live on c2
+    if (id.ok()) confirmed.insert(*id);
+  }
+  ASSERT_GT(confirmed.size(), 0u);
+  WaitUntil([&] { return clock->NowMillis() > kOutageEnd; }, 10000);
+
+  // --- Drain: executed ⊎ dead-lettered must cover every confirmation. ---
+  QuickAdmin admin(&quick);
+  auto dead_lettered = [&]() -> std::set<std::string> {
+    std::set<std::string> dl;
+    for (int i = 0; i < kTenants; ++i) {
+      for (int tries = 0; tries < 10; ++tries) {
+        auto items = admin.ListDeadLetters(tenant(i));
+        if (!items.ok()) continue;
+        for (const ck::DeadLetterItem& item : *items) dl.insert(item.id);
+        break;
+      }
+    }
+    return dl;
+  };
+  auto all_accounted = [&] {
+    const std::set<std::string> dl = dead_lettered();
+    std::lock_guard<std::mutex> lock(mu);
+    for (const std::string& id : confirmed) {
+      if (!executed.count(id) && !dl.count(id)) return false;
+    }
+    return true;
+  };
+  EXPECT_TRUE(WaitUntil(all_accounted, 60000))
+      << "items still unaccounted after the storm (seed " << seed << ")";
+
+  const std::set<std::string> quarantined = dead_lettered();
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    for (const std::string& id : confirmed) {
+      EXPECT_TRUE(executed.count(id) || quarantined.count(id))
+          << "item " << id << " silently lost (seed " << seed << ")";
+      EXPECT_FALSE(executed.count(id) && quarantined.count(id))
+          << "item " << id << " both executed and dead-lettered (seed "
+          << seed << ")";
+    }
+  }
+
+  // Pointer GC drains both top-level queues while B keeps running.
+  EXPECT_TRUE(WaitUntil(
+      [&] {
+        return quick.TopLevelCount("c1").value_or(-1) == 0 &&
+               quick.TopLevelCount("c2").value_or(-1) == 0;
+      },
+      20000))
+      << "top-level queues never drained (seed " << seed << ")";
+  b.Stop();
+
+  // The async machinery was actually exercised: pointer leases were
+  // batched, and the survivor picked up work the crashed consumer left.
+  EXPECT_GT(a.stats().lease_batches.Value() + b.stats().lease_batches.Value(),
+            0);
+  EXPECT_GT(b.stats().items_processed.Value(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AsyncChaosTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 20260808u));
+
+}  // namespace
+}  // namespace quick::core
