@@ -1,0 +1,164 @@
+// Sharded Q_C scale-out (DESIGN.md §12): drain throughput over a Zipf-
+// skewed many-tenant backlog, swept over top_zone_shards ∈ {1, 4, 16} ×
+// striped scanners on/off at an equal thread budget (same consumer count
+// and pool sizes in every run). The fig4-style methodology: prefill at
+// full simulator speed, switch injected FDB latencies on, and let the
+// consumer pool saturate against the backlog for a fixed window.
+//
+// Expected shape: with tens of thousands of vested pointers the scan pass
+// dominates — a 1-shard scanner must decode the full peek_max id set every
+// pass and every consumer repeats that same monolithic scan. Sharding
+// splits the vested set, and striping gives each consumer a disjoint slice
+// (1/n_consumers of the shards) peeked concurrently through the futures
+// layer, so per-consumer scan cost drops ~4x and pass rate — hence drain
+// throughput — rises. Striping also zeroes lease collisions (disjoint
+// domains, per-shard sequential election); with QuiCK's read-before-lease
+// that is a secondary effect here, visible in collision_pct. CI gates
+// shards16/striped >= 1.5x shards1/plain (compare_bench.py).
+
+#include "bench_common.h"
+
+#include <thread>
+
+#include "workload/zipf.h"
+
+namespace quick::bench {
+namespace {
+
+constexpr int kTenants = 20000;
+constexpr int kDraws = 80000;  // Zipf item draws over the tenant universe
+constexpr int kConsumers = 4;
+
+/// Zipf(0.9)-skewed prefill: kDraws items over kTenants queues, capped at
+/// 16 per tenant, enqueued in batches at full simulator speed.
+void PrefillZipf(wl::Harness* harness, int64_t* out_total) {
+  wl::ZipfSampler zipf(kTenants, 0.9);
+  Random rng(harness->options().seed);
+  std::vector<int> per_tenant(kTenants, 0);
+  for (int i = 0; i < kDraws; ++i) {
+    int& n = per_tenant[static_cast<size_t>(zipf.Sample(&rng))];
+    if (n < 16) ++n;
+  }
+  std::atomic<int64_t> total{0};
+  constexpr int kThreads = 16;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int c = t; c < kTenants; c += kThreads) {
+        int remaining = per_tenant[static_cast<size_t>(c)];
+        while (remaining > 0) {
+          const int batch = std::min(remaining, 8);
+          if (harness->EnqueueSim(c, batch).ok()) {
+            total.fetch_add(batch, std::memory_order_relaxed);
+          }
+          remaining -= batch;
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  *out_total = total.load();
+}
+
+void BM_ScaleTenants(benchmark::State& state) {
+  QuietLogs();
+  const int shards = static_cast<int>(state.range(0));
+  const bool striped = state.range(1) != 0;
+
+  wl::HarnessOptions hopts;
+  hopts.num_clusters = 1;
+  hopts.work_millis = 0;  // the queue machinery, not the work, is measured
+  hopts.grv_cache_staleness_millis = 5;
+  hopts.top_zone_shards = shards;
+  wl::Harness harness(hopts);
+
+  int64_t prefilled = 0;
+  PrefillZipf(&harness, &prefilled);
+  // Light injected FDB latencies after the prefill: enough that a
+  // transaction round-trip is not free, while keeping the scanner's peek
+  // decode — the thing sharding actually divides — the dominant cost.
+  fdb::LatencyModel latency;
+  latency.grv_micros = 100;
+  latency.grv_causal_read_risky_micros = 20;
+  latency.read_micros = 20;
+  latency.commit_micros = 200;
+  harness.cloudkit()->clusters()->Get("cluster0")->set_latency(latency);
+
+  core::ConsumerConfig config = BenchConsumerConfig();
+  config.dequeue_max = 2;
+  config.selection_frac = 0.1;
+  config.selection_max = 32;
+  config.striped_scanners = striped;
+  config.async_pipeline = true;
+  config.max_inflight_txns = 512;
+  config.lease_batch_size = 8;
+  config.async_executor_threads = 8;
+
+  for (auto _ : state) {
+    // MakeConsumer wires the harness election cache: per-(cluster, shard)
+    // sequential election in every mode; striping on top when enabled.
+    auto consumers = StartConsumers(&harness, kConsumers, config);
+    SleepMs(500);  // warm up: membership announced, stripes settled
+    const int64_t before = harness.WorkExecuted();
+    const int64_t steals_before = [&] {
+      int64_t total = 0;
+      for (auto& c : consumers) total += c->stats().steals.Value();
+      return total;
+    }();
+    const auto t0 = std::chrono::steady_clock::now();
+    SleepMs(3000);
+    const int64_t after = harness.WorkExecuted();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    PoolStats stats;
+    Collect(consumers, &stats);
+    int64_t steals = -steals_before;
+    int64_t shards_owned = 0;
+    int64_t scans = 0;
+    Histogram scan_micros;
+    for (auto& c : consumers) {
+      steals += c->stats().steals.Value();
+      shards_owned += c->stats().shards_owned.load();
+      scans += c->stats().scans.Value();
+      scan_micros.Merge(c->stats().scan_micros);
+    }
+    StopConsumers(consumers);
+
+    const double attempts =
+        std::max<double>(1.0, static_cast<double>(stats.lease_attempts));
+    state.counters["shards"] = shards;
+    state.counters["striped"] = striped ? 1 : 0;
+    state.counters["throughput_items_per_sec"] = (after - before) / secs;
+    state.counters["collision_pct"] =
+        100.0 * (stats.collisions_read + stats.collisions_commit) / attempts;
+    state.counters["steals_per_sec"] = steals / secs;
+    state.counters["shards_owned_total"] =
+        static_cast<double>(shards_owned);
+    state.counters["backlog_left"] =
+        static_cast<double>(prefilled - harness.WorkExecuted());
+    state.counters["scans_per_sec"] = scans / secs;
+    state.counters["scan_us_mean"] = scan_micros.Mean();
+    BenchReportCollector::Global()->ReportRun(
+        "BM_ScaleTenants/shards" + std::to_string(shards) +
+            (striped ? "/striped" : "/plain"),
+        state,
+        {{"pointer_latency_us", &stats.pointer_latency_micros},
+         {"item_latency_us", &stats.item_latency_micros}});
+  }
+}
+
+BENCHMARK(BM_ScaleTenants)
+    // top_zone_shards {1,4,16} × striped {off,on}; shards=1 ignores
+    // striping (a one-shard stripe would idle every consumer but one), so
+    // the 1/striped cell doubles as a no-op sanity point.
+    ->ArgNames({"shards", "striped"})
+    ->ArgsProduct({{1, 4, 16}, {0, 1}})
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace quick::bench
+
+QUICK_BENCH_MAIN("scale_tenants")

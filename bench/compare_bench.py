@@ -14,6 +14,9 @@ Two kinds of checks:
        (selection_frac 0.05) improves with group commit on vs off.
      - admission_noisy_neighbor: admission control halves (>= 2x) the
        victim tenant's p99 latency under a flooding neighbor.
+     - scale_tenants: a sharded (16) top-level queue with striped
+       scanners beats the 1-shard unstriped baseline by >= 1.5x on
+       drain throughput at an equal thread budget.
 
 2. Baseline regression (with --baseline): every throughput counter shared
    by a baseline run and the current run must not drop by more than
@@ -129,6 +132,14 @@ def ratio_invariants(current):
                     "BM_Fig7_Async/w256",
                     "BM_Fig7_Async/w0",
                     "throughput_items_per_sec", 10.0)
+    if "scale_tenants" in current:
+        # Sharded Q_C scale-out (DESIGN.md §12): 16 shards + striped
+        # scanners must beat the 1-shard unstriped baseline by >= 1.5x on
+        # drain throughput at an equal thread budget.
+        check_ratio(current["scale_tenants"], "scale_tenants",
+                    "BM_ScaleTenants/shards16/striped",
+                    "BM_ScaleTenants/shards1/plain",
+                    "throughput_items_per_sec", 1.5)
     if "admission_noisy_neighbor" in current:
         check_ratio(current["admission_noisy_neighbor"],
                     "admission_noisy_neighbor",

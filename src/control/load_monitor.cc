@@ -134,6 +134,33 @@ void LoadMonitor::Tick() {
   }
   clusters_ = std::move(fresh);
 
+  // Per-shard top-level backlog (DESIGN.md §12): publish the gauges and
+  // fold each cluster's max/mean into the stripe-skew view.
+  if (shard_probe_) {
+    struct Agg {
+      int64_t max = 0, total = 0;
+      int shards = 0;
+    };
+    std::map<std::string, Agg> agg;
+    for (const ShardBacklogSample& s : shard_probe_()) {
+      registry_
+          ->GetGauge("ck.zone.top_backlog." + s.cluster + "." +
+                     std::to_string(s.shard))
+          ->Set(s.entries);
+      Agg& a = agg[s.cluster];
+      a.max = std::max(a.max, s.entries);
+      a.total += s.entries;
+      ++a.shards;
+    }
+    imbalance_.clear();
+    for (const auto& [cluster, a] : agg) {
+      const double mean =
+          a.shards > 0 ? static_cast<double>(a.total) / a.shards : 0.0;
+      imbalance_[cluster] =
+          mean > 0.0 ? static_cast<double>(a.max) / mean : 1.0;
+    }
+  }
+
   last_tick_micros_ = now;
   have_baseline_ = true;
 }

@@ -1,6 +1,7 @@
 #ifndef QUICK_CONTROL_LOAD_MONITOR_H_
 #define QUICK_CONTROL_LOAD_MONITOR_H_
 
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -49,6 +50,13 @@ struct ClusterLoad {
   double score = 0;
 };
 
+/// One (cluster, shard) top-level backlog sample (DESIGN.md §12).
+struct ShardBacklogSample {
+  std::string cluster;
+  int shard = 0;
+  int64_t entries = 0;
+};
+
 /// A proposed tenant move (hot tenant off the hottest cluster onto the
 /// coolest one).
 struct RebalancePlan {
@@ -89,6 +97,20 @@ class LoadMonitor {
 
   const LoadMonitorConfig& config() const { return config_; }
 
+  /// Attaches a per-shard top-level backlog sampler (typically wrapping
+  /// QuickAdmin::PublishShardBacklog's underlying reads). When set, every
+  /// Tick() publishes ck.zone.top_backlog.<cluster>.<shard> gauges from
+  /// the sample and refreshes ShardImbalance(). Call during setup.
+  void SetShardBacklogProbe(
+      std::function<std::vector<ShardBacklogSample>()> probe) {
+    shard_probe_ = std::move(probe);
+  }
+
+  /// Per-cluster stripe skew from the last Tick: max shard backlog over
+  /// mean shard backlog (1.0 = perfectly balanced; empty clusters report
+  /// 1.0). Clusters absent from the last probe are absent here.
+  std::map<std::string, double> ShardImbalance() const { return imbalance_; }
+
  private:
   double Delta(const std::string& counter_name, int64_t value);
 
@@ -102,6 +124,8 @@ class LoadMonitor {
   std::map<std::string, int64_t> last_values_;
   std::vector<TenantLoad> tenants_;
   std::map<std::string, ClusterLoad> clusters_;
+  std::function<std::vector<ShardBacklogSample>()> shard_probe_;
+  std::map<std::string, double> imbalance_;
 };
 
 /// Parses a DatabaseId back out of its ToString() form

@@ -65,31 +65,38 @@ Result<QuickAdmin::ClusterQueueInfo> QuickAdmin::InspectCluster(
   ClusterQueueInfo info;
   info.cluster = cluster_name;
   Status st = fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
-    std::vector<rl::Record> all;
-    for (const std::string& shard : quick_->TopZoneNames()) {
+    // Per-shard pass (DESIGN.md §12): each shard is scanned and summarized
+    // on its own instead of collapsing every shard into one merged scan.
+    info.shards.clear();
+    const int64_t now = quick_->clock()->NowMillis();
+    for (const std::string& shard : quick_->TopZoneNames(cluster_name)) {
+      ShardQueueInfo row;
+      row.zone = shard;
       ck::QueueZone top =
           quick_->cloudkit()->OpenQueueZone(cluster_db, shard, &txn);
-      QUICK_ASSIGN_OR_RETURN(int64_t n, top.Count());
-      info.top_level_entries += n;
+      QUICK_ASSIGN_OR_RETURN(row.entries, top.Count());
+      info.top_level_entries += row.entries;
       QUICK_ASSIGN_OR_RETURN(std::vector<rl::Record> shard_records,
                              top.store()->ScanRecords());
-      for (rl::Record& rec : shard_records) all.push_back(std::move(rec));
-    }
-    const int64_t now = quick_->clock()->NowMillis();
-    for (const rl::Record& rec : all) {
-      QUICK_ASSIGN_OR_RETURN(ck::QueuedItem item,
-                             ck::QueuedItem::FromRecord(rec));
-      if (item.job_type == ck::kPointerJobType) {
-        ++info.pointers;
-        if (!info.oldest_pointer_last_active.has_value() ||
-            item.last_active_time < *info.oldest_pointer_last_active) {
-          info.oldest_pointer_last_active = item.last_active_time;
+      for (const rl::Record& rec : shard_records) {
+        QUICK_ASSIGN_OR_RETURN(ck::QueuedItem item,
+                               ck::QueuedItem::FromRecord(rec));
+        if (item.job_type == ck::kPointerJobType) {
+          ++row.pointers;
+          if (!info.oldest_pointer_last_active.has_value() ||
+              item.last_active_time < *info.oldest_pointer_last_active) {
+            info.oldest_pointer_last_active = item.last_active_time;
+          }
+        } else {
+          ++row.local_items;
         }
-      } else {
-        ++info.local_items;
+        if (item.vesting_time <= now) ++row.vested_now;
+        if (item.leased() && item.vesting_time > now) ++info.leased_now;
       }
-      if (item.vesting_time <= now) ++info.vested_now;
-      if (item.leased() && item.vesting_time > now) ++info.leased_now;
+      info.pointers += row.pointers;
+      info.local_items += row.local_items;
+      info.vested_now += row.vested_now;
+      info.shards.push_back(std::move(row));
     }
     return Status::OK();
   });
@@ -107,35 +114,37 @@ QuickAdmin::ListOutstandingQueues(const std::string& cluster_name, int limit) {
   const ck::DatabaseRef cluster_db = ck->OpenClusterDb(cluster_name);
   std::vector<OutstandingQueue> out;
   Status st = fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
-    std::vector<rl::Record> all;
-    for (const std::string& shard : quick_->TopZoneNames()) {
+    out.clear();
+    // Shard by shard, without merging the scans (DESIGN.md §12); the
+    // limit spans the whole cluster listing.
+    for (const std::string& shard : quick_->TopZoneNames(cluster_name)) {
       ck::QueueZone top =
           quick_->cloudkit()->OpenQueueZone(cluster_db, shard, &txn);
       QUICK_ASSIGN_OR_RETURN(std::vector<rl::Record> shard_records,
                              top.store()->ScanRecords());
-      for (rl::Record& rec : shard_records) all.push_back(std::move(rec));
-    }
-    out.clear();
-    for (const rl::Record& rec : all) {
-      QUICK_ASSIGN_OR_RETURN(ck::QueuedItem item,
-                             ck::QueuedItem::FromRecord(rec));
-      if (item.job_type != ck::kPointerJobType) continue;
-      Result<Pointer> pointer = Pointer::FromItem(item);
-      if (!pointer.ok()) continue;  // corrupt pointers are skipped here
-      OutstandingQueue row;
-      row.pointer = *pointer;
-      row.vesting_time = item.vesting_time;
-      row.leased =
-          item.leased() && item.vesting_time > quick_->clock()->NowMillis();
-      // Depth from the referenced zone's count index (same cluster).
-      const tup::Subspace zone_subspace =
-          ck::CloudKitService::DatabaseSubspace(pointer->db_id)
-              .Sub("z")
-              .Sub(pointer->zone);
-      ck::QueueZone zone(&txn, zone_subspace, quick_->clock());
-      QUICK_ASSIGN_OR_RETURN(row.depth, zone.Count());
-      out.push_back(std::move(row));
-      if (limit > 0 && static_cast<int>(out.size()) >= limit) break;
+      for (const rl::Record& rec : shard_records) {
+        QUICK_ASSIGN_OR_RETURN(ck::QueuedItem item,
+                               ck::QueuedItem::FromRecord(rec));
+        if (item.job_type != ck::kPointerJobType) continue;
+        Result<Pointer> pointer = Pointer::FromItem(item);
+        if (!pointer.ok()) continue;  // corrupt pointers are skipped here
+        OutstandingQueue row;
+        row.pointer = *pointer;
+        row.vesting_time = item.vesting_time;
+        row.leased =
+            item.leased() && item.vesting_time > quick_->clock()->NowMillis();
+        // Depth from the referenced zone's count index (same cluster).
+        const tup::Subspace zone_subspace =
+            ck::CloudKitService::DatabaseSubspace(pointer->db_id)
+                .Sub("z")
+                .Sub(pointer->zone);
+        ck::QueueZone zone(&txn, zone_subspace, quick_->clock());
+        QUICK_ASSIGN_OR_RETURN(row.depth, zone.Count());
+        out.push_back(std::move(row));
+        if (limit > 0 && static_cast<int>(out.size()) >= limit) {
+          return Status::OK();
+        }
+      }
     }
     return Status::OK();
   });
@@ -166,6 +175,30 @@ Result<std::string> QuickAdmin::RenderFleetReport() {
     }
   }
   return os.str();
+}
+
+Status QuickAdmin::PublishShardBacklog(MetricsRegistry* registry) {
+  ck::CloudKitService* ck = quick_->cloudkit();
+  for (const std::string& cluster_name : ck->clusters()->names()) {
+    fdb::Database* cluster = ck->clusters()->Get(cluster_name);
+    if (cluster == nullptr) continue;
+    const ck::DatabaseRef cluster_db = ck->OpenClusterDb(cluster_name);
+    const std::vector<std::string> shards =
+        quick_->TopZoneNames(cluster_name);
+    Status st = fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
+      for (size_t i = 0; i < shards.size(); ++i) {
+        ck::QueueZone top = ck->OpenQueueZone(cluster_db, shards[i], &txn);
+        QUICK_ASSIGN_OR_RETURN(int64_t entries, top.Count());
+        registry
+            ->GetGauge("ck.zone.top_backlog." + cluster_name + "." +
+                       std::to_string(i))
+            ->Set(entries);
+      }
+      return Status::OK();
+    });
+    QUICK_RETURN_IF_ERROR(st);
+  }
+  return Status::OK();
 }
 
 Result<std::vector<ck::DeadLetterItem>> QuickAdmin::ListDeadLetters(
@@ -265,7 +298,7 @@ Result<std::vector<ck::DeadLetterItem>> QuickAdmin::ListClusterDeadLetters(
   std::vector<ck::DeadLetterItem> out;
   Status st = fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
     out.clear();
-    for (const std::string& shard : quick_->TopZoneNames()) {
+    for (const std::string& shard : quick_->TopZoneNames(cluster_name)) {
       ck::QueueZone top = ck->OpenQueueZone(cluster_db, shard, &txn);
       QUICK_ASSIGN_OR_RETURN(std::vector<ck::DeadLetterItem> shard_items,
                              top.ListDeadLetters(limit));

@@ -4,6 +4,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "quick/quick.h"
 
 namespace quick::core {
@@ -45,6 +46,17 @@ class QuickAdmin {
     int64_t dead_letters = 0;
   };
 
+  /// Per-shard breakdown of a cluster's top-level queue (DESIGN.md §12):
+  /// one row per shard zone, in shard order, so operators see stripe skew
+  /// instead of one collapsed number.
+  struct ShardQueueInfo {
+    std::string zone;
+    int64_t entries = 0;
+    int64_t pointers = 0;
+    int64_t local_items = 0;
+    int64_t vested_now = 0;
+  };
+
   /// Per-cluster view of the top-level queue.
   struct ClusterQueueInfo {
     std::string cluster;
@@ -54,6 +66,8 @@ class QuickAdmin {
     int64_t vested_now = 0;
     int64_t leased_now = 0;
     std::optional<int64_t> oldest_pointer_last_active;
+    /// One entry per top-level shard (a single entry when unsharded).
+    std::vector<ShardQueueInfo> shards;
   };
 
   /// One row of the outstanding-work listing.
@@ -75,6 +89,12 @@ class QuickAdmin {
 
   /// Human-readable multi-line report over every cluster.
   Result<std::string> RenderFleetReport();
+
+  /// Samples every cluster's per-shard top-level backlog and publishes it
+  /// as ck.zone.top_backlog.<cluster>.<shard> gauges, the operator view
+  /// of stripe skew (DESIGN.md §12). Snapshot reads; never aborts
+  /// producers or consumers.
+  Status PublishShardBacklog(MetricsRegistry* registry);
 
   // --- Dead-letter quarantine (operator drain; "no item is ever silently
   // lost" — every terminal failure lands here, and leaves only through

@@ -2,6 +2,7 @@
 #define QUICK_QUICK_CONFIG_H_
 
 #include <cstdint>
+#include <map>
 #include <string>
 
 namespace quick::core {
@@ -22,6 +23,12 @@ struct QuickConfig {
   /// enqueuers, consumers, migration, admin — derives the shard
   /// independently. 1 reproduces the paper's deployed configuration.
   int top_zone_shards = 1;
+  /// Per-cluster overrides of `top_zone_shards`, keyed by cluster name.
+  /// Clusters absent from the map use the global value. Shard derivation
+  /// is always done against the cluster that owns the zone, so a tenant
+  /// migrating between clusters with different shard counts lands in the
+  /// shard derived at the *destination*.
+  std::map<std::string, int> cluster_top_zone_shards;
   /// Second-part enqueue optimization (§6 "Reducing contention"): lower the
   /// pointer's vesting time when it exceeds the new item's vesting by more
   /// than this slack.
@@ -102,6 +109,27 @@ struct ConsumerConfig {
   /// Per-cluster health tracking / circuit breaking (see
   /// CircuitBreakerConfig).
   CircuitBreakerConfig breaker;
+
+  // --- Shard-affine striped scanning (DESIGN.md §12) ---
+  /// Stripe the top-level shards of each cluster across the live consumers:
+  /// every scan the consumer announces itself to the LeaseCache membership
+  /// group and peeks only the shards that rendezvous-hashing assigns to it,
+  /// plus occasional work-stealing peeks of foreign shards (below). With
+  /// one consumer, or without a LeaseCache, the stripe is all shards.
+  /// Ignored when the cluster has a single shard — striping one shard
+  /// would idle every consumer but the owner.
+  bool striped_scanners = false;
+  /// Probability per (scan, cluster) that a striped scanner also peeks one
+  /// random foreign shard. This bounds starvation when a stripe's owner
+  /// dies: until membership TTL expiry re-assigns the stripe, foreign
+  /// shards are still visited at this rate. A consumer owning zero shards
+  /// always steals exactly one.
+  double steal_probability = 0.05;
+  /// TTL of the consumer's membership announcement; stripe assignment
+  /// rebalances when a consumer's announcement expires (crash) or a new
+  /// one appears. Defaults to the pointer-lease scale: 4 * idle_sleep
+  /// bounded below by 1s, same as the sequential-scanner election TTL.
+  int64_t membership_ttl_millis = 0;  // 0 = derive from idle_sleep_millis
 
   // --- Async pipelined mode (DESIGN.md §11) ---
   /// Drive the consumer as a pipelined state machine: lease / dequeue /

@@ -21,7 +21,11 @@ Consumer::Consumer(Quick* quick, std::vector<std::string> cluster_names,
       election_(election_cache),
       health_(config_.breaker, quick->clock(), id_),
       hooks_(quick->tracer(), quick->clock(), id_),
-      scanner_rng_(std::hash<std::string>{}(id_)) {}
+      scanner_rng_(std::hash<std::string>{}(id_)),
+      steals_metric_(
+          MetricsRegistry::Default()->GetCounter("quick.scanner.steals")),
+      shards_owned_gauge_(MetricsRegistry::Default()->GetGauge(
+          "quick.scanner.shards_owned." + id_)) {}
 
 Consumer::~Consumer() { Stop(); }
 
@@ -134,11 +138,87 @@ void Consumer::ScannerLoop() {
   }
 }
 
-bool Consumer::IsSequential(const std::string& cluster_name) {
+bool Consumer::IsSequential(const std::string& cluster_name,
+                            const std::string& shard_zone) {
   if (election_ == nullptr) return config_.sequential;
   const int64_t ttl =
       std::max<int64_t>(1000, 4 * config_.idle_sleep_millis);
-  return election_->TryAcquire("quick-seq|" + cluster_name, id_, ttl);
+  // Unsharded clusters keep the legacy per-cluster election key; sharded
+  // ones elect one sequential scanner per (cluster, shard) so every shard
+  // has its own no-starvation scanner (DESIGN.md §12).
+  const std::string key =
+      shard_zone == quick_->config().top_zone_name
+          ? "quick-seq|" + cluster_name
+          : "quick-seq|" + cluster_name + "|" + shard_zone;
+  return election_->TryAcquire(key, id_, ttl);
+}
+
+Consumer::ShardPlan Consumer::PlanShards(const std::string& cluster_name) {
+  ShardPlan plan;
+  std::vector<std::string> all = quick_->TopZoneNames(cluster_name);
+  const bool striped =
+      config_.striped_scanners && election_ != nullptr && all.size() > 1;
+  if (!striped) {
+    plan.owned = static_cast<int>(all.size());
+    plan.visit = std::move(all);
+  } else {
+    // Announce this consumer to the cluster's membership group, then split
+    // the shards by rendezvous (HRW) hashing over the live members: every
+    // consumer computes the same owner for every shard from the same
+    // membership view, with no coordinator. A member that crashes stops
+    // announcing and drops out at TTL expiry; its shards re-rendezvous to
+    // the survivors — until then, work-stealing keeps them from starving.
+    const std::string group = "quick-stripe|" + cluster_name;
+    election_->Announce(group, id_, MembershipTtlMillis());
+    const std::vector<std::string> members = election_->Members(group);
+    std::vector<std::string> foreign;
+    for (std::string& shard : all) {
+      const std::string* owner = nullptr;
+      size_t best = 0;
+      for (const std::string& m : members) {
+        const size_t h = std::hash<std::string>{}(m + "|" + shard);
+        if (owner == nullptr || h > best || (h == best && m < *owner)) {
+          best = h;
+          owner = &m;
+        }
+      }
+      if (owner != nullptr && *owner == id_) {
+        plan.visit.push_back(std::move(shard));
+      } else {
+        foreign.push_back(std::move(shard));
+      }
+    }
+    plan.owned = static_cast<int>(plan.visit.size());
+    // Work-stealing: a consumer with an empty stripe (more consumers than
+    // shards) always peeks one foreign shard; otherwise it steals with
+    // probability steal_probability, bounding how long a dead owner's
+    // shard waits at (steal_probability * scan rate) across the fleet.
+    if (!foreign.empty() &&
+        (plan.visit.empty() ||
+         scanner_rng_.NextDouble() < config_.steal_probability)) {
+      plan.visit.push_back(
+          std::move(foreign[scanner_rng_.Uniform(foreign.size())]));
+      plan.stolen = 1;
+      stats_.steals.Increment();
+      steals_metric_->Increment();
+    }
+  }
+  // Rotate the starting shard so no shard is systematically peeked (and
+  // thus selected) first when the peek budget runs out mid-pass.
+  if (plan.visit.size() > 1) {
+    std::rotate(plan.visit.begin(),
+                plan.visit.begin() + scanner_rng_.Uniform(plan.visit.size()),
+                plan.visit.end());
+  }
+  {
+    std::lock_guard<std::mutex> lock(stripe_mu_);
+    owned_shards_[cluster_name] = plan.owned;
+    int64_t total = 0;
+    for (const auto& [c, n] : owned_shards_) total += n;
+    stats_.shards_owned.store(total, std::memory_order_relaxed);
+    shards_owned_gauge_->Set(total);
+  }
+  return plan;
 }
 
 Result<int> Consumer::ScanClusterOnce(const std::string& cluster_name,
@@ -193,60 +273,87 @@ Result<int> Consumer::ScanClusterOnce(const std::string& cluster_name,
 std::vector<std::string> Consumer::PeekAndSelect(
     fdb::Database* cluster, const std::string& cluster_name) {
   // Peek: snapshot scan of the vesting index only (ids, not records), with
-  // relaxed read-version handling (§6 optimizations).
+  // relaxed read-version handling (§6 optimizations). With a sharded
+  // top-level queue, only the shards in this consumer's plan are peeked
+  // (its stripe plus at most one stolen shard; all shards when unstriped),
+  // each capped at an equal split of peek_max so no shard can crowd the
+  // others out of the peek budget, in rotated order.
   const int64_t scan_start = quick_->clock()->NowMicros();
   const ck::DatabaseRef cluster_db =
       quick_->cloudkit()->OpenClusterDb(cluster_name);
-  // With a sharded top-level queue, peek every shard and merge (the shard
-  // of any id is re-derivable from the id when processing it).
-  std::vector<std::string> peeked;
-  for (const std::string& shard : quick_->TopZoneNames()) {
-    fdb::Transaction txn = cluster->CreateTransaction(PeekOptions());
-    ck::QueueZone top_zone =
-        quick_->cloudkit()->OpenQueueZone(cluster_db, shard, &txn);
-    Result<std::vector<std::string>> ids = top_zone.PeekIds(config_.peek_max);
-    health_.Observe(cluster_name, ids.status());
-    if (!ids.ok()) continue;  // transient; next round will retry
-    peeked.insert(peeked.end(), ids->begin(), ids->end());
-    if (static_cast<int>(peeked.size()) >= config_.peek_max) break;
-  }
-
-  // Filter out entries already being processed by this consumer.
-  {
-    std::lock_guard<std::mutex> lock(inflight_mu_);
-    std::erase_if(peeked, [&](const std::string& id) {
-      return in_flight_.count(InFlightKey(cluster_name, id)) > 0;
-    });
-  }
-  if (peeked.empty()) {
+  const ShardPlan plan = PlanShards(cluster_name);
+  if (plan.visit.empty()) {
     stats_.scan_micros.Record(quick_->clock()->NowMicros() - scan_start);
     return {};
   }
+  const int per_shard = std::max<int>(
+      1, config_.peek_max / static_cast<int>(plan.visit.size()));
 
-  // Select pointers: the elected scanner takes them in queue order (no
-  // starvation, better tail latency); everyone else samples uniformly at
-  // random to avoid contention (§6).
-  const bool sequential = IsSequential(cluster_name);
-  size_t n_select;
-  if (sequential) {
-    n_select = std::min<size_t>(peeked.size(),
-                                static_cast<size_t>(config_.selection_max));
+  std::vector<std::vector<std::string>> shard_ids(plan.visit.size());
+  auto peek_shard = [&](const std::string& shard) -> std::vector<std::string> {
+    fdb::Transaction txn = cluster->CreateTransaction(PeekOptions());
+    ck::QueueZone top_zone =
+        quick_->cloudkit()->OpenQueueZone(cluster_db, shard, &txn);
+    Result<std::vector<std::string>> ids = top_zone.PeekIds(per_shard);
+    health_.Observe(cluster_name, ids.status());
+    if (!ids.ok()) return {};  // transient; next round will retry
+    return *std::move(ids);
+  };
+  if (AsyncMode() && plan.visit.size() > 1) {
+    // Async mode: one peek transaction per shard, issued concurrently
+    // through the futures layer — the scanner fans out and joins instead
+    // of paying the per-shard read latencies serially.
+    std::vector<fdb::Future<std::vector<std::string>>> peeks;
+    peeks.reserve(plan.visit.size());
+    for (const std::string& shard : plan.visit) {
+      fdb::Promise<std::vector<std::string>> promise;
+      peeks.push_back(promise.GetFuture());
+      exec_->Post([&peek_shard, &shard, promise]() mutable {
+        promise.Set(peek_shard(shard));
+      });
+    }
+    shard_ids = fdb::WhenAll(std::move(peeks)).Get();
   } else {
-    const size_t frac_count = static_cast<size_t>(std::ceil(
-        static_cast<double>(peeked.size()) * config_.selection_frac));
-    n_select = std::min<size_t>(
-        {peeked.size(), static_cast<size_t>(config_.selection_max),
-         std::max<size_t>(frac_count, 1)});
-    // Partial Fisher–Yates: move a random sample to the front.
-    for (size_t i = 0; i < n_select; ++i) {
-      const size_t j = i + scanner_rng_.Uniform(peeked.size() - i);
-      std::swap(peeked[i], peeked[j]);
+    for (size_t i = 0; i < plan.visit.size(); ++i) {
+      shard_ids[i] = peek_shard(plan.visit[i]);
     }
   }
 
+  // Per-shard in-flight filter and selection: the shard's elected scanner
+  // takes its ids in queue order (no starvation, better tail latency);
+  // everyone else samples uniformly at random to avoid contention (§6,
+  // per shard since DESIGN.md §12). One selection_max budget spans the
+  // whole cluster pass; the rotation above moves which shard draws first.
+  std::vector<std::string> selected;
+  size_t budget = static_cast<size_t>(std::max(config_.selection_max, 1));
+  for (size_t i = 0; i < plan.visit.size() && budget > 0; ++i) {
+    std::vector<std::string>& ids = shard_ids[i];
+    {
+      std::lock_guard<std::mutex> lock(inflight_mu_);
+      std::erase_if(ids, [&](const std::string& id) {
+        return in_flight_.count(InFlightKey(cluster_name, id)) > 0;
+      });
+    }
+    if (ids.empty()) continue;
+    size_t n_select;
+    if (IsSequential(cluster_name, plan.visit[i])) {
+      n_select = std::min(ids.size(), budget);
+    } else {
+      const size_t frac_count = static_cast<size_t>(std::ceil(
+          static_cast<double>(ids.size()) * config_.selection_frac));
+      n_select = std::min({ids.size(), budget, std::max<size_t>(frac_count, 1)});
+      // Partial Fisher–Yates: move a random sample to the front.
+      for (size_t k = 0; k < n_select; ++k) {
+        const size_t j = k + scanner_rng_.Uniform(ids.size() - k);
+        std::swap(ids[k], ids[j]);
+      }
+    }
+    selected.insert(selected.end(), ids.begin(), ids.begin() + n_select);
+    budget -= n_select;
+  }
+
   stats_.scan_micros.Record(quick_->clock()->NowMicros() - scan_start);
-  peeked.resize(n_select);
-  return peeked;
+  return selected;
 }
 
 Result<int> Consumer::RunOnePass(const std::string& cluster_name) {
@@ -463,7 +570,7 @@ void Consumer::OnLeaseBatchCommitted(const std::string& cluster_name,
     WorkerJob job;
     job.cluster = cluster_name;
     job.db_id = cluster_db.id;
-    job.zone_name = quick_->TopZoneNameFor(s.before.id);
+    job.zone_name = quick_->TopZoneNameFor(cluster_name, s.before.id);
     job.zone_subspace = cluster_db.ZoneSubspace(job.zone_name);
     job.leased.item = s.before;
     job.leased.item.lease_id = s.lease_id;
@@ -823,7 +930,7 @@ Status Consumer::ProcessTopItemImpl(const std::string& cluster_name,
     WorkerJob job;
     job.cluster = cluster_name;
     job.db_id = cluster_db.id;
-    job.zone_name = quick_->TopZoneNameFor(before.id);
+    job.zone_name = quick_->TopZoneNameFor(cluster_name, before.id);
     job.zone_subspace = cluster_db.ZoneSubspace(job.zone_name);
     job.leased.item = before;
     job.leased.item.lease_id = lease_id;

@@ -1,6 +1,7 @@
 #ifndef QUICK_QUICK_CONSUMER_H_
 #define QUICK_QUICK_CONSUMER_H_
 
+#include <algorithm>
 #include <atomic>
 #include <map>
 #include <memory>
@@ -140,7 +141,27 @@ class Consumer {
   /// returned ids are NOT yet marked in flight. Records scan_micros.
   std::vector<std::string> PeekAndSelect(fdb::Database* cluster,
                                          const std::string& cluster_name);
-  bool IsSequential(const std::string& cluster_name);
+  /// Per-(cluster, shard) sequential-scanner election (§6, DESIGN.md §12).
+  /// `shard_zone` is the top-level shard's zone name; unsharded clusters
+  /// keep the legacy per-cluster key.
+  bool IsSequential(const std::string& cluster_name,
+                    const std::string& shard_zone);
+
+  /// The shards of `cluster_name` this consumer visits this scan
+  /// (DESIGN.md §12): with striping, the stripe rendezvous hashing assigns
+  /// to this consumer given the current LeaseCache membership, plus at
+  /// most one stolen foreign shard; otherwise every shard. Visit order is
+  /// rotated by a random offset so no shard is systematically first.
+  struct ShardPlan {
+    std::vector<std::string> visit;
+    int owned = 0;   // stripe size (visit minus stolen)
+    int stolen = 0;  // 1 when a foreign shard was added this scan
+  };
+  ShardPlan PlanShards(const std::string& cluster_name);
+  int64_t MembershipTtlMillis() const {
+    if (config_.membership_ttl_millis > 0) return config_.membership_ttl_millis;
+    return std::max<int64_t>(1000, 4 * config_.idle_sleep_millis);
+  }
 
   // --- Algorithm 2 ---
   Status ProcessTopItemImpl(const std::string& cluster_name,
@@ -273,6 +294,14 @@ class Consumer {
 
   std::mutex inflight_mu_;
   std::set<std::string> in_flight_;
+
+  /// Last computed stripe size per cluster, for the shards_owned gauge.
+  std::mutex stripe_mu_;
+  std::map<std::string, int> owned_shards_;
+  /// Process-wide scanner metrics (quick.scanner.*): the steals counter is
+  /// shared across consumers; the stripe-size gauge is per consumer.
+  Counter* steals_metric_;
+  Gauge* shards_owned_gauge_;
 
   std::mutex throttle_mu_;
   std::map<std::string, int> throttle_counts_;

@@ -4,6 +4,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "common/clock.h"
 
@@ -52,6 +53,36 @@ class LeaseCache {
     return it->second.owner;
   }
 
+  /// Announces `member` as live in `group` for `ttl_millis` — the
+  /// membership view striped scanners use to split a cluster's top-level
+  /// shards among themselves (DESIGN.md §12). Refreshing is idempotent;
+  /// a member that stops announcing drops out at TTL expiry.
+  void Announce(const std::string& group, const std::string& member,
+                int64_t ttl_millis) {
+    std::lock_guard<std::mutex> lock(mu_);
+    members_[group][member] = clock_->NowMillis() + ttl_millis;
+  }
+
+  /// Live (unexpired) members of `group`, sorted by name so every caller
+  /// sees the same view and rendezvous hashing is deterministic. Expired
+  /// entries are pruned as a side effect.
+  std::vector<std::string> Members(const std::string& group) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::string> live;
+    auto git = members_.find(group);
+    if (git == members_.end()) return live;
+    const int64_t now = clock_->NowMillis();
+    for (auto it = git->second.begin(); it != git->second.end();) {
+      if (it->second <= now) {
+        it = git->second.erase(it);
+      } else {
+        live.push_back(it->first);
+        ++it;
+      }
+    }
+    return live;
+  }
+
  private:
   struct Lease {
     std::string owner;
@@ -61,6 +92,8 @@ class LeaseCache {
   Clock* clock_;
   mutable std::mutex mu_;
   std::map<std::string, Lease> leases_;
+  /// group -> member -> expiry.
+  mutable std::map<std::string, std::map<std::string, int64_t>> members_;
 };
 
 }  // namespace quick::core

@@ -295,7 +295,7 @@ Result<int64_t> Quick::TopLevelCount(const std::string& cluster_name) {
       cluster_db.cluster, fdb::TransactionOptions{},
       [&](fdb::Transaction& txn, int64_t* out) {
         *out = 0;
-        for (const std::string& shard : TopZoneNames()) {
+        for (const std::string& shard : TopZoneNames(cluster_name)) {
           ck::QueueZone zone = ck_->OpenQueueZone(cluster_db, shard, &txn);
           QUICK_ASSIGN_OR_RETURN(int64_t n, zone.Count());
           *out += n;

@@ -115,32 +115,63 @@ class Quick {
   Status MoveTenant(const ck::DatabaseId& db_id,
                     const std::string& dest_cluster);
 
-  /// Name of the top-level queue shard holding `item_id` (a pointer key or
-  /// local-item id). With one shard this is just top_zone_name.
+  /// Number of top-level shards for `cluster_name`: the per-cluster
+  /// override when present, else the global `top_zone_shards`.
+  int TopZoneShards(const std::string& cluster_name) const {
+    auto it = config_.cluster_top_zone_shards.find(cluster_name);
+    const int n = it != config_.cluster_top_zone_shards.end()
+                      ? it->second
+                      : config_.top_zone_shards;
+    return n < 1 ? 1 : n;
+  }
+
+  /// Shard index `item_id` hashes to under `n_shards` shards. Exposed so
+  /// tests and admin tooling can derive placement independently.
+  static size_t ShardIndexFor(const std::string& item_id, int n_shards) {
+    if (n_shards <= 1) return 0;
+    return std::hash<std::string>{}(item_id) % static_cast<size_t>(n_shards);
+  }
+
+  /// Name of the top-level queue shard of `cluster_name` holding
+  /// `item_id` (a pointer key or local-item id). With one shard this is
+  /// just top_zone_name.
+  std::string TopZoneNameFor(const std::string& cluster_name,
+                             const std::string& item_id) const {
+    const int n = TopZoneShards(cluster_name);
+    if (n <= 1) return config_.top_zone_name;
+    return config_.top_zone_name + "/" +
+           std::to_string(ShardIndexFor(item_id, n));
+  }
+
+  /// Shard name under the *global* shard count (clusters without a
+  /// per-cluster override).
   std::string TopZoneNameFor(const std::string& item_id) const {
     if (config_.top_zone_shards <= 1) return config_.top_zone_name;
-    const size_t shard =
-        std::hash<std::string>{}(item_id) %
-        static_cast<size_t>(config_.top_zone_shards);
-    return config_.top_zone_name + "/" + std::to_string(shard);
+    return config_.top_zone_name + "/" +
+           std::to_string(ShardIndexFor(item_id, config_.top_zone_shards));
   }
 
-  /// All top-level shard zone names a consumer must scan.
+  /// All top-level shard zone names a consumer must scan on
+  /// `cluster_name`, in shard order.
+  std::vector<std::string> TopZoneNames(const std::string& cluster_name) const {
+    return ShardNames(TopZoneShards(cluster_name));
+  }
+
+  /// Shard names under the global shard count.
   std::vector<std::string> TopZoneNames() const {
-    if (config_.top_zone_shards <= 1) return {config_.top_zone_name};
-    std::vector<std::string> names;
-    names.reserve(config_.top_zone_shards);
-    for (int i = 0; i < config_.top_zone_shards; ++i) {
-      names.push_back(config_.top_zone_name + "/" + std::to_string(i));
-    }
-    return names;
+    return ShardNames(config_.top_zone_shards < 1 ? 1
+                                                  : config_.top_zone_shards);
   }
 
-  /// Opens the top-level queue shard that holds `item_id`.
+  /// Opens the top-level queue shard that holds `item_id`. The shard is
+  /// derived against the cluster the zone lives on (`cluster_db`), so
+  /// migration between clusters with different shard counts re-derives
+  /// placement at the destination.
   ck::QueueZone OpenTopZoneFor(const ck::DatabaseRef& cluster_db,
                                const std::string& item_id,
                                fdb::Transaction* txn) {
-    return ck_->OpenQueueZone(cluster_db, TopZoneNameFor(item_id), txn);
+    return ck_->OpenQueueZone(
+        cluster_db, TopZoneNameFor(cluster_db.cluster->name(), item_id), txn);
   }
 
   /// Opens the top-level queue zone Q_C of a cluster within `txn`
@@ -182,6 +213,16 @@ class Quick {
  private:
   /// Producer-side admission check; OK or the client-visible refusal.
   Status AdmitEnqueue(const ck::DatabaseId& db_id, int64_t cost);
+
+  std::vector<std::string> ShardNames(int n) const {
+    if (n <= 1) return {config_.top_zone_name};
+    std::vector<std::string> names;
+    names.reserve(n);
+    for (int i = 0; i < n; ++i) {
+      names.push_back(config_.top_zone_name + "/" + std::to_string(i));
+    }
+    return names;
+  }
 
   ck::CloudKitService* ck_;
   QuickConfig config_;

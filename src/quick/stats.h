@@ -1,6 +1,7 @@
 #ifndef QUICK_QUICK_STATS_H_
 #define QUICK_QUICK_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -47,6 +48,14 @@ struct ConsumerStats {
   Counter scans;
   /// Scans short-circuited because the cluster's circuit breaker was open.
   Counter scans_skipped_breaker;
+  /// Work-stealing peeks of foreign shards by a striped scanner
+  /// (DESIGN.md §12): each steal visits one shard outside this consumer's
+  /// stripe, bounding starvation when a stripe's owner dies.
+  Counter steals;
+  /// Current stripe size: top-level shards this consumer owns, summed over
+  /// its assigned clusters. A level (gauge semantics), not a monotone
+  /// count — it shrinks when new consumers join the membership group.
+  std::atomic<int64_t> shards_owned{0};
   Counter lease_extensions;
   Counter leases_lost;
 
@@ -104,6 +113,8 @@ struct ConsumerStats {
     line("pointer_gc_aborted", pointer_gc_aborted.Value());
     line("scans", scans.Value());
     line("scans_skipped_breaker", scans_skipped_breaker.Value());
+    line("steals", steals.Value());
+    line("shards_owned", shards_owned.load(std::memory_order_relaxed));
     line("lease_extensions", lease_extensions.Value());
     line("leases_lost", leases_lost.Value());
     line("lease_batches", lease_batches.Value());
@@ -147,6 +158,9 @@ struct ConsumerStats {
     gauge("pointer_gc_aborted", pointer_gc_aborted);
     gauge("scans", scans);
     gauge("scans_skipped_breaker", scans_skipped_breaker);
+    gauge("steals", steals);
+    registry->GetGauge(prefix + ".shards_owned")
+        ->Set(shards_owned.load(std::memory_order_relaxed));
     gauge("lease_extensions", lease_extensions);
     gauge("leases_lost", leases_lost);
     gauge("lease_batches", lease_batches);

@@ -92,6 +92,7 @@ void Harness::Build() {
                                               SystemClock::Default());
   core::QuickConfig qconfig;
   qconfig.pointer_vesting_slack_millis = options_.pointer_vesting_slack_millis;
+  qconfig.top_zone_shards = options_.top_zone_shards;
   quick_ = std::make_unique<core::Quick>(ck_.get(), qconfig);
   StartPump();
 }

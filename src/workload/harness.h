@@ -36,6 +36,9 @@ struct HarnessOptions {
   int64_t pointer_vesting_slack_millis = 50;
   uint64_t seed = 42;
   std::string app = "bench";
+  /// Top-level queue shards per cluster (QuickConfig::top_zone_shards);
+  /// the scale harness sweeps this axis (DESIGN.md §12).
+  int top_zone_shards = 1;
   /// Durable WAL + checkpointing on every cluster (cluster `i` logs to
   /// `<wal_dir>/cluster<i>`). Off by default — benches and tests that do
   /// not exercise durability keep today's purely in-memory clusters.

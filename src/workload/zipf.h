@@ -1,0 +1,47 @@
+#ifndef QUICK_WORKLOAD_ZIPF_H_
+#define QUICK_WORKLOAD_ZIPF_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+
+namespace quick::wl {
+
+/// Zipf(s) sampler over ranks [0, n): P(rank k) ∝ 1 / (k+1)^s. Built once
+/// (O(n) CDF precompute), sampled in O(log n) by binary search — cheap
+/// enough for the million-tenant scale harness to draw per-item tenant
+/// ids from a 100k+ universe (DESIGN.md §12). s = 0 degenerates to
+/// uniform; s ≈ 1 is the classic web-traffic skew.
+class ZipfSampler {
+ public:
+  ZipfSampler(int64_t n, double s) : cdf_(static_cast<size_t>(n)) {
+    double total = 0.0;
+    for (int64_t k = 0; k < n; ++k) {
+      total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+      cdf_[static_cast<size_t>(k)] = total;
+    }
+    // Normalize so the last bucket is exactly 1.0 and NextDouble() < 1
+    // can never fall past the end.
+    for (double& c : cdf_) c /= total;
+    cdf_.back() = 1.0;
+  }
+
+  /// One rank draw; rank 0 is the hottest tenant.
+  int64_t Sample(Random* rng) const {
+    const double u = rng->NextDouble();
+    return static_cast<int64_t>(
+        std::lower_bound(cdf_.begin(), cdf_.end(), u) - cdf_.begin());
+  }
+
+  int64_t n() const { return static_cast<int64_t>(cdf_.size()); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace quick::wl
+
+#endif  // QUICK_WORKLOAD_ZIPF_H_

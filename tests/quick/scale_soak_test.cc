@@ -1,0 +1,262 @@
+// Scale soak (DESIGN.md §12): many clusters × 100k+ tenants under Zipf
+// skew, drained by striped async consumers. Asserts the invariants that
+// matter at scale:
+//   - exact accounting: executed ⊎ dead-lettered covers every confirmed
+//     enqueue (nothing lost, nothing duplicated);
+//   - the top-level queues drain to zero, including per-shard pointer GC;
+//   - memory stays bounded: once idle past the MVCC window, every
+//     cluster's version store collapses back to its live keys and the
+//     resolver forgets old commits;
+//   - per-cluster load scores and per-shard backlogs stay in balance.
+//
+// The tenant count scales down under sanitizers; QUICK_SCALE_TENANTS /
+// QUICK_SCALE_CLUSTERS / QUICK_SCALE_SHARDS override for bigger runs.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+#include "control/load_monitor.h"
+#include "fdb/retry.h"
+#include "quick/admin.h"
+#include "workload/harness.h"
+#include "workload/zipf.h"
+
+namespace quick::wl {
+namespace {
+
+#if defined(__SANITIZE_THREAD__) || defined(__SANITIZE_ADDRESS__)
+constexpr bool kSanitized = true;
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer) || __has_feature(address_sanitizer)
+constexpr bool kSanitized = true;
+#else
+constexpr bool kSanitized = false;
+#endif
+#else
+constexpr bool kSanitized = false;
+#endif
+
+int64_t EnvInt(const char* name, int64_t fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr ? std::strtoll(v, nullptr, 10) : fallback;
+}
+
+int64_t NowMillis() { return SystemClock::Default()->NowMillis(); }
+
+TEST(ScaleSoakTest, ZipfTenantsDrainExactlyAndStayBounded) {
+  const int tenants =
+      static_cast<int>(EnvInt("QUICK_SCALE_TENANTS", kSanitized ? 6000 : 100000));
+  const int n_clusters =
+      static_cast<int>(EnvInt("QUICK_SCALE_CLUSTERS", kSanitized ? 4 : 16));
+  const int n_shards =
+      static_cast<int>(EnvInt("QUICK_SCALE_SHARDS", kSanitized ? 4 : 16));
+
+  HarnessOptions options;
+  options.num_clusters = n_clusters;
+  options.top_zone_shards = n_shards;
+  options.work_millis = 0;
+  options.pointer_vesting_slack_millis = 10;
+  options.seed = 7;
+  Harness harness(options);
+
+  // A poison job type that fails terminally on its first attempt: its
+  // items must all land in dead-letter quarantine, never be lost, and
+  // never count as executed.
+  core::RetryPolicy poison_policy;
+  poison_policy.max_inline_retries = 0;
+  poison_policy.max_attempts = 1;
+  poison_policy.backoff_initial_millis = 1;
+  harness.registry()->Register(
+      "poison", [](core::WorkContext&) { return Status::Internal("poison"); },
+      poison_policy);
+
+  // Load-score baseline before any traffic.
+  MetricsRegistry* registry = MetricsRegistry::Default();
+  control::LoadMonitor monitor(harness.cloudkit(), {}, SystemClock::Default(),
+                               registry);
+  core::QuickAdmin admin(harness.quick());
+  monitor.SetShardBacklogProbe([&] {
+    std::vector<control::ShardBacklogSample> out;
+    for (const std::string& cluster : harness.cluster_names()) {
+      auto info = admin.InspectCluster(cluster);
+      if (!info.ok()) continue;
+      for (size_t i = 0; i < info->shards.size(); ++i) {
+        control::ShardBacklogSample s;
+        s.cluster = cluster;
+        s.shard = static_cast<int>(i);
+        s.entries = info->shards[i].entries;
+        out.push_back(s);
+      }
+    }
+    return out;
+  });
+  monitor.Tick();
+
+  // Zipf(0.9) offered load over the tenant universe — ~1.5 draws per
+  // tenant, capped per tenant so the hottest queue enqueues in a handful
+  // of batch transactions (the cap models per-tenant admission control,
+  // not the sampler).
+  ZipfSampler zipf(tenants, 0.9);
+  Random rng(options.seed);
+  std::vector<int> items_per_tenant(static_cast<size_t>(tenants), 0);
+  const int64_t draws = static_cast<int64_t>(tenants) * 3 / 2;
+  for (int64_t i = 0; i < draws; ++i) {
+    int& n = items_per_tenant[static_cast<size_t>(zipf.Sample(&rng))];
+    if (n < 64) ++n;
+  }
+
+  std::atomic<int64_t> enqueued{0};
+  std::atomic<int64_t> poison{0};
+  std::atomic<int64_t> enqueue_errors{0};
+  const int loader_threads = 8;
+  std::vector<std::thread> loaders;
+  loaders.reserve(loader_threads);
+  for (int t = 0; t < loader_threads; ++t) {
+    loaders.emplace_back([&, t] {
+      for (int client = t; client < tenants; client += loader_threads) {
+        int remaining = items_per_tenant[static_cast<size_t>(client)];
+        while (remaining > 0) {
+          const int batch = std::min(remaining, 8);
+          if (harness.EnqueueSim(client, batch).ok()) {
+            enqueued.fetch_add(batch, std::memory_order_relaxed);
+          } else {
+            enqueue_errors.fetch_add(1, std::memory_order_relaxed);
+          }
+          remaining -= batch;
+        }
+        if (client % 997 == 0) {
+          core::WorkItem item;
+          item.job_type = "poison";
+          if (harness.quick()->Enqueue(harness.ClientDb(client), item, 0).ok()) {
+            poison.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            enqueue_errors.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& th : loaders) th.join();
+  ASSERT_EQ(enqueue_errors.load(), 0);
+  ASSERT_GT(enqueued.load(), tenants / 2);
+  ASSERT_GT(poison.load(), 0);
+
+  // Mid-load snapshot: per-cluster enqueue rates and per-shard backlogs
+  // while every queue is full.
+  monitor.Tick();
+  {
+    const std::vector<control::ClusterLoad> loads = monitor.ClusterLoads();
+    ASSERT_EQ(loads.size(), static_cast<size_t>(n_clusters));
+    double total = 0;
+    for (const control::ClusterLoad& c : loads) total += c.score;
+    const double mean = total / n_clusters;
+    ASSERT_GT(mean, 0.0);
+    // Hash placement spreads the (capped) Zipf skew: no cluster should
+    // carry more than 4x the mean load score.
+    EXPECT_LE(loads.front().score, 4.0 * mean)
+        << loads.front().cluster << " score " << loads.front().score
+        << " vs mean " << mean;
+    // Per-shard pointer backlogs inside each cluster stay balanced too.
+    for (const auto& [cluster, ratio] : monitor.ShardImbalance()) {
+      EXPECT_LE(ratio, 2.5) << cluster;
+    }
+    // The per-shard gauges were exported.
+    int64_t cluster0_backlog = 0;
+    for (int i = 0; i < n_shards; ++i) {
+      cluster0_backlog +=
+          registry->GetGauge("ck.zone.top_backlog.cluster0." + std::to_string(i))
+              ->Value();
+    }
+    EXPECT_GT(cluster0_backlog, 0);
+  }
+
+  // Drain with striped async consumers (the tentpole configuration).
+  core::ConsumerConfig cc;
+  cc.striped_scanners = true;
+  cc.async_pipeline = true;
+  cc.dequeue_max = 8;
+  cc.pointer_lease_millis = 2000;
+  cc.min_inactive_millis = 200;
+  cc.idle_sleep_millis = 5;
+  cc.num_worker_threads = 4;
+  cc.async_executor_threads = 4;
+  cc.max_inflight_txns = 128;
+  const int n_consumers = 4;
+  std::vector<std::unique_ptr<core::Consumer>> consumers;
+  for (int i = 0; i < n_consumers; ++i) {
+    consumers.push_back(
+        harness.MakeConsumer(cc, "soak-" + std::to_string(i)));
+    consumers.back()->Start();
+  }
+
+  const int64_t expected_total = enqueued.load() + poison.load();
+  auto quarantined = [&] {
+    int64_t total = 0;
+    for (const auto& c : consumers) {
+      total += c->stats().items_quarantined.Value();
+    }
+    return total;
+  };
+  auto accounted = [&] { return harness.WorkExecuted() + quarantined(); };
+  const int64_t drain_deadline = NowMillis() + (kSanitized ? 600000 : 300000);
+  while (accounted() < expected_total && NowMillis() < drain_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  // Exact partition: every confirmed enqueue was either executed or
+  // dead-lettered — and the two sides match their own ledgers exactly.
+  ASSERT_EQ(accounted(), expected_total) << "drain timed out";
+  EXPECT_EQ(harness.WorkExecuted(), enqueued.load());
+  EXPECT_EQ(quarantined(), poison.load());
+
+  // Every top-level shard drains to zero: executed items leave their
+  // queues and per-shard pointer GC reclaims the pointers.
+  auto top_total = [&] {
+    int64_t total = 0;
+    for (const std::string& cluster : harness.cluster_names()) {
+      total += harness.quick()->TopLevelCount(cluster).value_or(-1);
+    }
+    return total;
+  };
+  const int64_t gc_deadline = NowMillis() + 120000;
+  while (top_total() > 0 && NowMillis() < gc_deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  EXPECT_EQ(top_total(), 0);
+
+  for (const auto& c : consumers) c->Stop();
+
+  // Bounded memory: idle past the MVCC window, then one write per cluster
+  // to trigger the prune sweep. Version chains must collapse back to the
+  // live keys and the resolver must forget the soak's commits.
+  std::this_thread::sleep_for(std::chrono::milliseconds(6000));
+  for (const std::string& cluster : harness.cluster_names()) {
+    fdb::Database* db = harness.clusters()->Get(cluster);
+    ASSERT_NE(db, nullptr);
+    Status st = fdb::RunTransaction(db, [&](fdb::Transaction& txn) {
+      txn.Set("soak/settle", "1");
+      return Status::OK();
+    });
+    ASSERT_TRUE(st.ok()) << cluster << ": " << st;
+    EXPECT_LE(db->TotalEntryCount(), db->LiveKeyCount() + 64) << cluster;
+    EXPECT_LT(db->ResolverTrackedCount(), 1000u) << cluster;
+  }
+
+  // Final tick publishes the drained state; shard gauges fall back to 0.
+  monitor.Tick();
+  int64_t residual = 0;
+  for (int i = 0; i < n_shards; ++i) {
+    residual +=
+        registry->GetGauge("ck.zone.top_backlog.cluster0." + std::to_string(i))
+            ->Value();
+  }
+  EXPECT_EQ(residual, 0);
+}
+
+}  // namespace
+}  // namespace quick::wl
