@@ -1,0 +1,219 @@
+// Workflow-engine benchmarks: what the queued-transaction saga machinery
+// costs on top of plain enqueues, and how fast the outbox relay drains.
+//
+//  - BM_SagaChain/N: one N-step saga end to end — Start, then consumer
+//    passes until the record is terminal. Every step's finish carries a
+//    continuation, a WorkflowRecord update, and one outbox row, so this
+//    prices the full Gray queued-transaction protocol per step.
+//    Steps/sec is the gated throughput counter.
+//  - BM_IndependentEnqueues/N: the control — the same N items as plain,
+//    unchained enqueues through the same harness and consumer. The gap
+//    between this and BM_SagaChain is the workflow tax.
+//  - BM_OutboxRelayDrain: sagas fill the transactional outbox, then the
+//    relay drains it into a SimEffectStore. Relay-side numbers are
+//    ungated (trend-watching): apply throughput and the pre-drain lag.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+
+#include "bench_report.h"
+
+#include "external/outbox_relay.h"
+#include "quick/consumer.h"
+#include "workflow/workflow.h"
+#include "workload/harness.h"
+
+namespace quick {
+namespace {
+
+wl::HarnessOptions BenchHarnessOptions() {
+  wl::HarnessOptions hopts;
+  hopts.num_clusters = 1;
+  hopts.work_millis = 0;
+  hopts.pointer_vesting_slack_millis = 0;
+  return hopts;
+}
+
+core::ConsumerConfig BenchConsumerConfig() {
+  core::ConsumerConfig config;
+  config.sequential = true;
+  config.relaxed_reads_for_peek = false;
+  config.dequeue_max = 4;
+  return config;
+}
+
+/// An N-step saga whose steps do no work but each intend one outbox
+/// effect — the protocol cost, not the handler cost.
+wf::SagaSpec MakeBenchSaga(int steps) {
+  wf::SagaSpec saga;
+  saga.name = "bench";
+  for (int i = 0; i < steps; ++i) {
+    wf::StepSpec s;
+    s.name = "s" + std::to_string(i);
+    s.run = [i](core::WorkContext& ctx, wf::StepContext& sctx) {
+      core::OutboxEffect e;
+      e.target = "bench";
+      e.idempotency_key = ctx.item.id + ".e" + std::to_string(i);
+      e.payload = "x";
+      sctx.effects.push_back(std::move(e));
+      return Status::OK();
+    };
+    saga.steps.push_back(std::move(s));
+  }
+  return saga;
+}
+
+void BM_SagaChain(benchmark::State& state) {
+  const int steps = static_cast<int>(state.range(0));
+  wl::Harness harness(BenchHarnessOptions());
+  wf::WorkflowEngine engine(harness.quick(), harness.registry());
+  if (!engine.RegisterSaga(MakeBenchSaga(steps)).ok()) {
+    state.SkipWithError("saga registration failed");
+    return;
+  }
+  auto consumer = harness.MakeConsumer(BenchConsumerConfig(), "bench-saga");
+  const ck::DatabaseId db = harness.ClientDb(0);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  for (auto _ : state) {
+    auto id = engine.Start(db, "bench", "p");
+    if (!id.ok()) {
+      state.SkipWithError("saga start failed");
+      return;
+    }
+    for (;;) {
+      auto r = engine.Load(db, *id);
+      if (r.ok() && r->has_value() && (*r)->Terminal()) break;
+      (void)consumer->RunOnePass("cluster0");
+    }
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const double total_steps =
+      static_cast<double>(state.iterations()) * steps;
+  state.SetItemsProcessed(static_cast<int64_t>(total_steps));
+  // Gated: saga steps are work items; regressions here are protocol cost.
+  state.counters["throughput_items_per_sec"] =
+      secs > 0 ? total_steps / secs : 0.0;
+  state.counters["saga_completions_per_sec"] =
+      secs > 0 ? static_cast<double>(state.iterations()) / secs : 0.0;
+  state.counters["continuations_enqueued"] = static_cast<double>(
+      consumer->stats().continuations_enqueued.Value());
+  state.counters["outbox_effects_recorded"] = static_cast<double>(
+      consumer->stats().outbox_effects_recorded.Value());
+  bench::BenchReportCollector::Global()->ReportRun(
+      "BM_SagaChain/" + std::to_string(steps) + "_steps", state, {});
+}
+// Fixed iteration counts: the benchmark body runs exactly once (no
+// auto-tuning re-invocations), so each run reports once into the
+// BENCH_*.json artifact.
+BENCHMARK(BM_SagaChain)->Unit(benchmark::kMillisecond)->UseRealTime()
+    ->Arg(3)->Arg(8)->Iterations(200);
+
+void BM_IndependentEnqueues(benchmark::State& state) {
+  const int steps = static_cast<int>(state.range(0));
+  wl::Harness harness(BenchHarnessOptions());
+  auto consumer = harness.MakeConsumer(BenchConsumerConfig(), "bench-plain");
+
+  const auto t0 = std::chrono::steady_clock::now();
+  int64_t target = 0;
+  for (auto _ : state) {
+    if (!harness.EnqueueSim(0, steps).ok()) {
+      state.SkipWithError("enqueue failed");
+      return;
+    }
+    target += steps;
+    while (harness.WorkExecuted() < target) {
+      (void)consumer->RunOnePass("cluster0");
+    }
+  }
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  const double total = static_cast<double>(target);
+  state.SetItemsProcessed(target);
+  state.counters["throughput_items_per_sec"] =
+      secs > 0 ? total / secs : 0.0;
+  bench::BenchReportCollector::Global()->ReportRun(
+      "BM_IndependentEnqueues/" + std::to_string(steps) + "_items", state,
+      {});
+}
+BENCHMARK(BM_IndependentEnqueues)->Unit(benchmark::kMillisecond)
+    ->UseRealTime()->Arg(3)->Iterations(300);
+
+void BM_OutboxRelayDrain(benchmark::State& state) {
+  constexpr int kSagasPerRound = 8;
+  constexpr int kSteps = 3;
+  wl::Harness harness(BenchHarnessOptions());
+  wf::WorkflowEngine engine(harness.quick(), harness.registry());
+  if (!engine.RegisterSaga(MakeBenchSaga(kSteps)).ok()) {
+    state.SkipWithError("saga registration failed");
+    return;
+  }
+  auto consumer = harness.MakeConsumer(BenchConsumerConfig(), "bench-fill");
+  ext::SimEffectStore store;
+  ext::OutboxRelay relay(harness.cloudkit(), &store);
+  const ck::DatabaseId db = harness.ClientDb(0);
+
+  int64_t lag_max = 0;
+  double drain_secs = 0.0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (int i = 0; i < kSagasPerRound; ++i) {
+      auto id = engine.Start(db, "bench", "p");
+      if (!id.ok()) {
+        state.SkipWithError("saga start failed");
+        return;
+      }
+      for (;;) {
+        auto r = engine.Load(db, *id);
+        if (r.ok() && r->has_value() && (*r)->Terminal()) break;
+        (void)consumer->RunOnePass("cluster0");
+      }
+    }
+    lag_max = std::max(lag_max, relay.Lag("cluster0").value_or(0));
+    state.ResumeTiming();
+
+    const auto d0 = std::chrono::steady_clock::now();
+    for (;;) {
+      auto visited = relay.RunOnePass("cluster0");
+      if (!visited.ok()) {
+        state.SkipWithError("relay pass failed");
+        return;
+      }
+      if (*visited == 0) break;
+    }
+    drain_secs +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - d0)
+            .count();
+  }
+
+  state.SetItemsProcessed(store.TotalApplied());
+  // Relay-side: ungated, trend-watching (apply + ack are extra
+  // transactions per row, not the queue's commit path).
+  state.counters["outbox_effects_per_sec"] =
+      drain_secs > 0
+          ? static_cast<double>(relay.stats().effects_applied.Value()) /
+                drain_secs
+          : 0.0;
+  state.counters["outbox_lag_rows_max"] = static_cast<double>(lag_max);
+  state.counters["outbox_rows_acked"] =
+      static_cast<double>(relay.stats().rows_acked.Value());
+  state.counters["outbox_effects_deduped"] =
+      static_cast<double>(relay.stats().effects_deduped.Value());
+  bench::BenchReportCollector::Global()->ReportRun(
+      "BM_OutboxRelayDrain/8x3", state, {});
+}
+BENCHMARK(BM_OutboxRelayDrain)->Unit(benchmark::kMillisecond)
+    ->UseRealTime()->Iterations(30);
+
+}  // namespace
+}  // namespace quick
+
+QUICK_BENCH_MAIN("workflow_saga")

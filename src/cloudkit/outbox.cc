@@ -1,0 +1,106 @@
+#include "cloudkit/outbox.h"
+
+#include "cloudkit/database_id.h"
+#include "cloudkit/service.h"
+#include "fdb/transaction.h"
+#include "tuple/tuple.h"
+
+namespace quick::ck {
+
+namespace {
+constexpr const char* kOutboxTag = "_quick_outbox";
+}  // namespace
+
+std::string OutboxEntry::Encode() const {
+  return tup::Tuple()
+      .AddString(target)
+      .AddString(idempotency_key)
+      .AddString(payload)
+      .AddString(origin_item)
+      .AddInt(created_millis)
+      .Encode();
+}
+
+std::optional<OutboxEntry> OutboxEntry::Decode(std::string_view encoded) {
+  Result<tup::Tuple> t = tup::Tuple::Decode(encoded);
+  if (!t.ok() || t->size() != 5) return std::nullopt;
+  auto target = t->GetString(0);
+  auto key = t->GetString(1);
+  auto payload = t->GetString(2);
+  auto origin = t->GetString(3);
+  auto created = t->GetInt(4);
+  if (!target.ok() || !key.ok() || !payload.ok() || !origin.ok() ||
+      !created.ok()) {
+    return std::nullopt;
+  }
+  OutboxEntry e;
+  e.target = *std::move(target);
+  e.idempotency_key = *std::move(key);
+  e.payload = *std::move(payload);
+  e.origin_item = *std::move(origin);
+  e.created_millis = *created;
+  return e;
+}
+
+tup::Subspace Outbox::SubspaceFor(const std::string& cluster_name) {
+  return CloudKitService::DatabaseSubspace(DatabaseId::Cluster(cluster_name))
+      .Sub(kOutboxTag);
+}
+
+std::string Outbox::KeyFor(const std::string& cluster_name,
+                           const std::string& idempotency_key) {
+  return SubspaceFor(cluster_name)
+      .Pack(tup::Tuple().AddString(idempotency_key));
+}
+
+Status Outbox::Append(fdb::Transaction& txn, const std::string& cluster_name,
+                      const OutboxEntry& entry) {
+  if (entry.idempotency_key.empty()) {
+    return Status::InvalidArgument("outbox effect needs an idempotency key");
+  }
+  txn.Set(KeyFor(cluster_name, entry.idempotency_key), entry.Encode());
+  return Status::OK();
+}
+
+Result<std::vector<OutboxEntry>> Outbox::List(fdb::Transaction& txn,
+                                              const std::string& cluster_name,
+                                              int limit) {
+  fdb::RangeOptions opts;
+  opts.limit = limit;
+  QUICK_ASSIGN_OR_RETURN(
+      std::vector<fdb::KeyValue> rows,
+      txn.GetRange(SubspaceFor(cluster_name).Range(), opts));
+  std::vector<OutboxEntry> entries;
+  entries.reserve(rows.size());
+  for (const fdb::KeyValue& kv : rows) {
+    std::optional<OutboxEntry> e = OutboxEntry::Decode(kv.value);
+    if (!e.has_value()) {
+      return Status::Internal("corrupt outbox row at " + kv.key);
+    }
+    entries.push_back(*std::move(e));
+  }
+  return entries;
+}
+
+Status Outbox::Ack(fdb::Transaction& txn, const std::string& cluster_name,
+                   const std::string& idempotency_key) {
+  const std::string key = KeyFor(cluster_name, idempotency_key);
+  // The read makes the delete conflict-checked: if a finish transaction
+  // re-appends the row concurrently, one of the two aborts and the effect
+  // is either re-relayed or kept pending — never silently dropped.
+  QUICK_ASSIGN_OR_RETURN(std::optional<std::string> row, txn.Get(key));
+  if (!row.has_value()) {
+    return Status::NotFound("outbox row already acknowledged");
+  }
+  txn.Clear(key);
+  return Status::OK();
+}
+
+Result<int64_t> Outbox::Count(fdb::Transaction& txn,
+                              const std::string& cluster_name) {
+  QUICK_ASSIGN_OR_RETURN(std::vector<fdb::KeyValue> rows,
+                         txn.GetRange(SubspaceFor(cluster_name).Range()));
+  return static_cast<int64_t>(rows.size());
+}
+
+}  // namespace quick::ck

@@ -1,0 +1,68 @@
+#ifndef QUICK_CLOUDKIT_OUTBOX_H_
+#define QUICK_CLOUDKIT_OUTBOX_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "tuple/subspace.h"
+
+namespace quick::fdb {
+class Transaction;
+}  // namespace quick::fdb
+
+namespace quick::ck {
+
+/// One intended external side-effect, written by the consumer finish path in
+/// the SAME FoundationDB transaction as the work item's Complete/Quarantine
+/// (the transactional-outbox pattern). Rows are keyed by idempotency key, so
+/// a handler re-executed after a lost lease overwrites its own row instead of
+/// duplicating the effect.
+struct OutboxEntry {
+  std::string target;           // external destination (free-form)
+  std::string idempotency_key;  // globally unique per intended effect
+  std::string payload;
+  std::string origin_item;  // work-item id whose finish recorded the effect
+  int64_t created_millis = 0;
+
+  std::string Encode() const;
+  static std::optional<OutboxEntry> Decode(std::string_view encoded);
+};
+
+/// Static helpers over the per-cluster outbox subspace
+/// (`ck/_quick/<cluster>/_quick_outbox`). All mutations run inside a caller-
+/// provided transaction: Append rides the finish transaction, Ack rides the
+/// relay's conflict-checked delete transaction.
+class Outbox {
+ public:
+  static tup::Subspace SubspaceFor(const std::string& cluster_name);
+  static std::string KeyFor(const std::string& cluster_name,
+                            const std::string& idempotency_key);
+
+  /// Records (or overwrites — same idempotency key, same intended effect)
+  /// one row in `txn`.
+  static Status Append(fdb::Transaction& txn, const std::string& cluster_name,
+                       const OutboxEntry& entry);
+
+  /// Oldest-first scan (keys are idempotency-key ordered; relays drain the
+  /// whole prefix, so ordering is a detail). `limit` 0 means unlimited.
+  static Result<std::vector<OutboxEntry>> List(fdb::Transaction& txn,
+                                               const std::string& cluster_name,
+                                               int limit = 0);
+
+  /// Deletes the row after the relay applied the effect. Reads the key first
+  /// so the delete conflicts with any concurrent re-append, and returns
+  /// NotFound when another relay already acknowledged it.
+  static Status Ack(fdb::Transaction& txn, const std::string& cluster_name,
+                    const std::string& idempotency_key);
+
+  /// Rows currently pending — the relay lag, in effects.
+  static Result<int64_t> Count(fdb::Transaction& txn,
+                               const std::string& cluster_name);
+};
+
+}  // namespace quick::ck
+
+#endif  // QUICK_CLOUDKIT_OUTBOX_H_

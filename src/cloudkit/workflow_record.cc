@@ -1,0 +1,83 @@
+#include "cloudkit/workflow_record.h"
+
+#include "cloudkit/service.h"
+#include "tuple/tuple.h"
+
+namespace quick::ck {
+
+namespace {
+constexpr const char* kWorkflowTag = "_quick_wf";
+}  // namespace
+
+std::string WorkflowRecord::Encode() const {
+  return tup::Tuple()
+      .AddString(id)
+      .AddString(saga)
+      .AddInt(static_cast<int64_t>(state))
+      .AddInt(current_step)
+      .AddInt(total_steps)
+      .AddString(step_status)
+      .AddString(failure)
+      .AddInt(created_millis)
+      .AddInt(updated_millis)
+      .Encode();
+}
+
+std::optional<WorkflowRecord> WorkflowRecord::Decode(std::string_view encoded) {
+  Result<tup::Tuple> t = tup::Tuple::Decode(encoded);
+  if (!t.ok() || t->size() != 9) return std::nullopt;
+  WorkflowRecord r;
+  auto id = t->GetString(0);
+  auto saga = t->GetString(1);
+  auto state = t->GetInt(2);
+  auto current = t->GetInt(3);
+  auto total = t->GetInt(4);
+  auto statuses = t->GetString(5);
+  auto failure = t->GetString(6);
+  auto created = t->GetInt(7);
+  auto updated = t->GetInt(8);
+  if (!id.ok() || !saga.ok() || !state.ok() || !current.ok() || !total.ok() ||
+      !statuses.ok() || !failure.ok() || !created.ok() || !updated.ok()) {
+    return std::nullopt;
+  }
+  if (*state < 0 || *state > static_cast<int64_t>(State::kFailed)) {
+    return std::nullopt;
+  }
+  r.id = *std::move(id);
+  r.saga = *std::move(saga);
+  r.state = static_cast<State>(*state);
+  r.current_step = *current;
+  r.total_steps = *total;
+  r.step_status = *std::move(statuses);
+  r.failure = *std::move(failure);
+  r.created_millis = *created;
+  r.updated_millis = *updated;
+  return r;
+}
+
+std::string WorkflowRecord::Key(const DatabaseId& db_id,
+                                const std::string& workflow_id) {
+  return SubspaceFor(db_id).Pack(tup::Tuple().AddString(workflow_id));
+}
+
+tup::Subspace WorkflowRecord::SubspaceFor(const DatabaseId& db_id) {
+  return CloudKitService::DatabaseSubspace(db_id).Sub(kWorkflowTag);
+}
+
+const char* WorkflowRecord::StateName(State state) {
+  switch (state) {
+    case State::kRunning:
+      return "running";
+    case State::kCompensating:
+      return "compensating";
+    case State::kCompleted:
+      return "completed";
+    case State::kCompensated:
+      return "compensated";
+    case State::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+}  // namespace quick::ck

@@ -1,0 +1,74 @@
+#ifndef QUICK_CLOUDKIT_WORKFLOW_RECORD_H_
+#define QUICK_CLOUDKIT_WORKFLOW_RECORD_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "cloudkit/database_id.h"
+#include "tuple/subspace.h"
+
+namespace quick::ck {
+
+/// Durable state of one saga instance, stored in the tenant's `_quick_wf`
+/// subspace — inside the database's keyspace prefix, so it migrates with
+/// the tenant like its queue zone. The record is updated in the SAME
+/// FoundationDB transaction as each step item's terminal transition
+/// (complete or quarantine), which is what makes every state transition
+/// exactly-once even though step handlers themselves run at-least-once.
+///
+/// `step_status` holds one char per forward step:
+///   'P' pending  — not reached yet
+///   'X' executed — the step's finish committed
+///   'D' dead-lettered — the step failed terminally (its item is in the
+///       zone's quarantine)
+///   'C' compensated — the step's compensation finished after a later
+///       (or its own) failure
+/// The chaos suites assert the executed ⊎ dead-lettered ⊎ compensated
+/// partition of these statuses stays exact under crashes and outages.
+struct WorkflowRecord {
+  enum class State : int64_t {
+    kRunning = 0,       // forward chain in flight
+    kCompensating = 1,  // a step dead-lettered; rollback chain in flight
+    kCompleted = 2,     // every step executed
+    kCompensated = 3,   // rollback finished (in reverse step order)
+    kFailed = 4,        // a compensation itself failed terminally
+  };
+
+  std::string id;    // workflow instance id
+  std::string saga;  // saga spec name (resolves the step functions)
+  State state = State::kRunning;
+  /// Next forward step to run (kRunning) or the compensation cursor —
+  /// the step whose compensation runs next (kCompensating).
+  int64_t current_step = 0;
+  int64_t total_steps = 0;
+  std::string step_status;  // one char per step, see above
+  /// Message of the failure that triggered compensation / kFailed.
+  std::string failure;
+  int64_t created_millis = 0;
+  int64_t updated_millis = 0;
+
+  bool Terminal() const {
+    return state == State::kCompleted || state == State::kCompensated ||
+           state == State::kFailed;
+  }
+
+  /// Tuple-layer serialization (order-preserving encode is irrelevant here;
+  /// the tuple codec is simply a robust length-prefixed format that round-
+  /// trips arbitrary strings, unlike delimiter schemes).
+  std::string Encode() const;
+  static std::optional<WorkflowRecord> Decode(std::string_view encoded);
+
+  /// Key of workflow `workflow_id` in `db_id`'s `_quick_wf` subspace.
+  static std::string Key(const DatabaseId& db_id,
+                         const std::string& workflow_id);
+
+  /// The tenant's workflow subspace (admin scans).
+  static tup::Subspace SubspaceFor(const DatabaseId& db_id);
+
+  static const char* StateName(State state);
+};
+
+}  // namespace quick::ck
+
+#endif  // QUICK_CLOUDKIT_WORKFLOW_RECORD_H_

@@ -135,7 +135,9 @@ Status ExternalQueue::ProcessPointer(const std::string& cluster_name,
       ctx.zone = options_.top_zone_name;
       ctx.clock = cloudkit_->clock();
       ctx.deadline_millis = now + entry->policy.execution_bound_millis;
-      result = entry->handler(ctx);
+      // External-store items are plain Status jobs: continuations/effects
+      // would need an fdb finish transaction this path does not have.
+      result = entry->handler(ctx).status;
     }
     if (result.ok() || result.IsPermanent()) {
       // Done (or unretryable): remove from the external store. NotFound is

@@ -1,0 +1,125 @@
+#include "external/outbox_relay.h"
+
+#include "fdb/retry.h"
+
+namespace quick::ext {
+
+Result<bool> SimEffectStore::Apply(const std::string& target,
+                                   const std::string& idempotency_key,
+                                   const std::string& payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = applications_.try_emplace(idempotency_key, 0);
+  if (!inserted) {
+    ++duplicate_attempts_;
+    return false;
+  }
+  ++it->second;
+  payloads_[idempotency_key] = target + "|" + payload;
+  return true;
+}
+
+int64_t SimEffectStore::MaxApplications() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  int64_t max = 0;
+  for (const auto& [key, n] : applications_) max = std::max(max, n);
+  return max;
+}
+
+int64_t SimEffectStore::TotalApplied() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(applications_.size());
+}
+
+int64_t SimEffectStore::DuplicateAttempts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return duplicate_attempts_;
+}
+
+std::string SimEffectStore::PayloadFor(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = payloads_.find(key);
+  return it == payloads_.end() ? std::string() : it->second;
+}
+
+OutboxRelay::OutboxRelay(ck::CloudKitService* cloudkit, EffectStore* store)
+    : OutboxRelay(cloudkit, store, Options{}) {}
+
+OutboxRelay::OutboxRelay(ck::CloudKitService* cloudkit, EffectStore* store,
+                         Options options)
+    : cloudkit_(cloudkit),
+      store_(store),
+      options_(options),
+      hooks_(options.tracer != nullptr ? options.tracer : Tracer::Default(),
+             cloudkit->clock(), "outbox-relay") {}
+
+Result<int> OutboxRelay::RunOnePass(const std::string& cluster_name) {
+  fdb::Database* cluster = cloudkit_->clusters()->Get(cluster_name);
+  if (cluster == nullptr) {
+    return Status::InvalidArgument("unknown cluster " + cluster_name);
+  }
+
+  // Strong read of a batch of pending rows. The scan is its own
+  // transaction; each ack is another — the protocol tolerates any
+  // interleaving with finish transactions appending new rows.
+  std::vector<ck::OutboxEntry> entries;
+  {
+    fdb::Transaction txn = cluster->CreateTransaction();
+    QUICK_ASSIGN_OR_RETURN(
+        entries, ck::Outbox::List(txn, cluster_name, options_.batch_limit));
+  }
+
+  int visited = 0;
+  for (const ck::OutboxEntry& e : entries) {
+    const int64_t start = hooks_.NowMicros();
+    Result<bool> applied =
+        store_->Apply(e.target, e.idempotency_key, e.payload);
+    if (!applied.ok()) {
+      // Store unavailable: leave the row; a later pass retries the attempt.
+      stats_.apply_failures.Increment();
+      continue;
+    }
+    if (*applied) {
+      stats_.effects_applied.Increment();
+    } else {
+      stats_.effects_deduped.Increment();
+    }
+    ++visited;
+    hooks_.Record(e.origin_item, core::stage::kOutboxRelay, start,
+                  hooks_.NowMicros(),
+                  "target=" + e.target + " key=" + e.idempotency_key +
+                      (*applied ? " applied" : " deduped"));
+    if (!options_.ack_enabled) continue;  // chaos: crash before any ack
+
+    // Ack: conflict-checked delete of the row. A NotFound means a racing
+    // relay acknowledged first — its Apply was deduped by the store, so
+    // the effect still happened exactly once.
+    bool conflict = false;
+    Status ack = fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
+      Status a = ck::Outbox::Ack(txn, cluster_name, e.idempotency_key);
+      if (a.IsNotFound()) {
+        conflict = true;
+        return Status::OK();
+      }
+      conflict = false;
+      return a;
+    });
+    QUICK_RETURN_IF_ERROR(ack);
+    if (conflict) {
+      stats_.ack_conflicts.Increment();
+    } else {
+      stats_.rows_acked.Increment();
+    }
+  }
+  return visited;
+}
+
+Result<int64_t> OutboxRelay::Lag(const std::string& cluster_name) {
+  fdb::Database* cluster = cloudkit_->clusters()->Get(cluster_name);
+  if (cluster == nullptr) {
+    return Status::InvalidArgument("unknown cluster " + cluster_name);
+  }
+  fdb::Transaction txn = cluster->CreateTransaction();
+  return ck::Outbox::Count(txn, cluster_name);
+}
+
+}  // namespace quick::ext

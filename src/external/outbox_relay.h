@@ -1,0 +1,113 @@
+#ifndef QUICK_EXTERNAL_OUTBOX_RELAY_H_
+#define QUICK_EXTERNAL_OUTBOX_RELAY_H_
+
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "cloudkit/outbox.h"
+#include "cloudkit/service.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/status.h"
+#include "common/trace.h"
+#include "quick/trace_hooks.h"
+
+namespace quick::ext {
+
+/// The external system an outbox effect lands in. Apply must be idempotent
+/// per idempotency key — the relay guarantees at-least-once *attempts*
+/// (a crash between Apply and the row's Ack re-delivers), the store's
+/// dedupe turns that into exactly-once *effects*. This is the usual
+/// transactional-outbox contract: think a payment API with idempotency
+/// keys, or a mail gateway with message ids.
+class EffectStore {
+ public:
+  virtual ~EffectStore() = default;
+
+  /// Applies (target, payload) under `idempotency_key`. Returns true when
+  /// the effect was newly applied, false when this key was seen before
+  /// (a deduplicated redelivery). Errors are retried on a later pass.
+  virtual Result<bool> Apply(const std::string& target,
+                             const std::string& idempotency_key,
+                             const std::string& payload) = 0;
+};
+
+/// In-memory effect store for tests and chaos suites: counts how many times
+/// each key was *applied* (must stay ≤ 1 for the exactly-once property) and
+/// how many redeliveries were deduplicated. Thread-safe.
+class SimEffectStore : public EffectStore {
+ public:
+  Result<bool> Apply(const std::string& target,
+                     const std::string& idempotency_key,
+                     const std::string& payload) override;
+
+  /// Highest per-key application count — the exactly-once assertion is
+  /// MaxApplications() <= 1.
+  int64_t MaxApplications() const;
+  /// Keys ever applied.
+  int64_t TotalApplied() const;
+  /// Redeliveries the dedupe absorbed (crash-between-effect-and-ack).
+  int64_t DuplicateAttempts() const;
+  /// Payload last applied under `key` (empty when never applied).
+  std::string PayloadFor(const std::string& key) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, int64_t> applications_;
+  std::map<std::string, std::string> payloads_;
+  int64_t duplicate_attempts_ = 0;
+};
+
+/// Drains a cluster's transactional outbox (ck::Outbox) into an
+/// EffectStore. One pass: strong-read a batch of rows, Apply each, then
+/// acknowledge each applied row by deleting it in its own conflict-checked
+/// transaction. Crash-safe at every point:
+///  - crash before Apply: the row survives, a later pass retries;
+///  - crash between Apply and Ack: the row survives, the next pass
+///    re-Applies and the store dedupes (duplicate attempt, no duplicate
+///    effect);
+///  - a concurrent relay's Ack raced ours: NotFound, counted, harmless.
+class OutboxRelay {
+ public:
+  struct Options {
+    /// Rows per pass; 0 drains everything visible in one read.
+    int batch_limit = 0;
+    /// Chaos hook: false simulates a relay that crashes after applying
+    /// effects but before acknowledging any row.
+    bool ack_enabled = true;
+    /// Span store for outbox_relay spans; Tracer::Default() when null.
+    Tracer* tracer = nullptr;
+  };
+
+  struct Stats {
+    Counter effects_applied;   // newly applied by the store
+    Counter effects_deduped;   // redeliveries the store absorbed
+    Counter rows_acked;        // outbox rows deleted
+    Counter ack_conflicts;     // row already gone (racing relay)
+    Counter apply_failures;    // store errors, retried next pass
+  };
+
+  OutboxRelay(ck::CloudKitService* cloudkit, EffectStore* store);
+  OutboxRelay(ck::CloudKitService* cloudkit, EffectStore* store,
+              Options options);
+
+  /// Returns the number of rows visited (applied or deduped).
+  Result<int> RunOnePass(const std::string& cluster_name);
+
+  /// Rows still pending — the relay lag, in effects.
+  Result<int64_t> Lag(const std::string& cluster_name);
+
+  Stats& stats() { return stats_; }
+
+ private:
+  ck::CloudKitService* cloudkit_;
+  EffectStore* store_;
+  Options options_;
+  Stats stats_;
+  core::TraceHooks hooks_;
+};
+
+}  // namespace quick::ext
+
+#endif  // QUICK_EXTERNAL_OUTBOX_RELAY_H_

@@ -1,7 +1,9 @@
 #include "quick/admin.h"
 
+#include <algorithm>
 #include <sstream>
 
+#include "cloudkit/workflow_record.h"
 #include "common/metrics.h"
 #include "fdb/retry.h"
 #include "quick/trace_hooks.h"
@@ -366,6 +368,70 @@ std::vector<Span> QuickAdmin::ItemTrace(const std::string& item_id) const {
   Tracer* tracer = quick_->tracer();
   if (tracer == nullptr) return {};
   return tracer->TraceOf(item_id);
+}
+
+std::vector<Span> QuickAdmin::WorkflowTrace(
+    const std::string& workflow_id) const {
+  Tracer* tracer = quick_->tracer();
+  if (tracer == nullptr) return {};
+  return tracer->TraceOf(workflow_id);
+}
+
+std::string QuickAdmin::RenderWorkflowTrace(
+    const ck::DatabaseId& db_id, const std::string& workflow_id) const {
+  std::ostringstream os;
+  os << "workflow " << workflow_id;
+
+  // Durable state first: the record survives tracer eviction and process
+  // restarts, so this line is authoritative even when the spans are gone.
+  const ck::DatabaseRef db = quick_->cloudkit()->OpenDatabase(db_id);
+  const std::string key = ck::WorkflowRecord::Key(db_id, workflow_id);
+  std::optional<ck::WorkflowRecord> record;
+  Status st = fdb::RunTransaction(db.cluster, [&](fdb::Transaction& txn) {
+    record.reset();
+    QUICK_ASSIGN_OR_RETURN(std::optional<std::string> raw, txn.Get(key));
+    if (raw.has_value()) record = ck::WorkflowRecord::Decode(*raw);
+    return Status::OK();
+  });
+  if (st.ok() && record.has_value()) {
+    os << " state=" << ck::WorkflowRecord::StateName(record->state)
+       << " saga=" << record->saga << " steps=" << record->step_status;
+    if (!record->failure.empty()) os << " failure=\"" << record->failure
+                                    << "\"";
+  } else {
+    os << " (no record)";
+  }
+  os << "\n";
+
+  const std::vector<Span> spans = WorkflowTrace(workflow_id);
+  if (spans.empty()) {
+    os << "  (no spans — tracing off or evicted)\n";
+    return os.str();
+  }
+  const int64_t t0 = spans.front().start_micros;
+  std::vector<std::string> step_items;
+  for (const Span& s : spans) {
+    os << "  +" << (s.start_micros - t0) << "us " << s.name << " ["
+       << s.actor << "]";
+    const int64_t dur = s.end_micros - s.start_micros;
+    if (dur > 0) os << " dur=" << dur << "us";
+    if (!s.detail.empty()) os << " " << s.detail;
+    if (!s.parent_trace.empty()) {
+      os << " item=" << s.parent_trace;
+      if (std::find(step_items.begin(), step_items.end(), s.parent_trace) ==
+          step_items.end()) {
+        step_items.push_back(s.parent_trace);
+      }
+    }
+    os << "\n";
+  }
+  // The queue-level story of every step item the chain touched.
+  for (const std::string& item_id : step_items) {
+    std::istringstream item_trace(RenderTrace(item_id));
+    std::string line;
+    while (std::getline(item_trace, line)) os << "  | " << line << "\n";
+  }
+  return os.str();
 }
 
 std::string QuickAdmin::RenderTrace(const std::string& item_id) const {

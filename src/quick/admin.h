@@ -148,6 +148,19 @@ class QuickAdmin {
   /// relative timestamps, durations, actors, and details.
   std::string RenderTrace(const std::string& item_id) const;
 
+  /// A whole saga's chain: the workflow-lifecycle spans recorded on the
+  /// workflow id (wf_started / wf_step_start / wf_step_finish /
+  /// wf_compensate / wf_done), in recording order. Each span's
+  /// parent_trace names the step item that carried it — follow with
+  /// ItemTrace(parent) for the queue-level story of that step.
+  std::vector<Span> WorkflowTrace(const std::string& workflow_id) const;
+
+  /// Renders WorkflowTrace plus the durable WorkflowRecord (state, step
+  /// statuses, failure) and, per step item referenced by the chain, its
+  /// own item trace — the "where did my saga go" query across items.
+  std::string RenderWorkflowTrace(const ck::DatabaseId& db_id,
+                                  const std::string& workflow_id) const;
+
   // --- Tenant placement. ---
 
   /// Registers the orchestrated move driver. Not thread-safe; call during

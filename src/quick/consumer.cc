@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "cloudkit/migration_state.h"
+#include "cloudkit/outbox.h"
 #include "common/logging.h"
 #include "fdb/retry.h"
 
@@ -747,12 +748,14 @@ void Consumer::AsyncRequeueOrGcPointer(const std::string& cluster_name,
   const int64_t now = quick_->clock()->NowMillis();
 
   if (is_active) {
-    const int64_t delay =
-        min_vesting.has_value() ? std::max<int64_t>(0, *min_vesting - now) : 0;
     const std::string item_id = pointer_item.id;
+    // Shared so the trace hook below reports the delay the committed
+    // attempt actually chose.
+    auto delay = std::make_shared<int64_t>(0);
     fdb::RunTransactionAsync(
         cluster,
-        [this, cluster_db, item_id, lease_id, delay](fdb::Transaction& txn) {
+        [this, cluster_db, item_id, lease_id, min_vesting, zone_subspace,
+         delay](fdb::Transaction& txn) {
           const int64_t tnow = quick_->clock()->NowMillis();
           ck::QueueZone top_zone =
               quick_->OpenTopZoneFor(cluster_db, item_id, &txn);
@@ -760,8 +763,20 @@ void Consumer::AsyncRequeueOrGcPointer(const std::string& cluster_name,
                                  top_zone.Load(item_id));
           if (!loaded.has_value()) return Status::OK();
           if (loaded->lease_id != lease_id) return Status::OK();  // superseded
+          // Same fresh re-read as the sync path: continuations committed by
+          // finish transactions after the dequeue snapshot must not wait a
+          // full item lease behind a stale min-vesting.
+          ck::QueueZone zone(&txn, zone_subspace, quick_->clock(),
+                             config_.fifo_tenant_zones);
+          QUICK_ASSIGN_OR_RETURN(std::optional<int64_t> fresh,
+                                 zone.MinVestingTime());
+          const std::optional<int64_t>& effective =
+              fresh.has_value() ? fresh : min_vesting;
+          *delay = effective.has_value()
+                       ? std::max<int64_t>(0, *effective - tnow)
+                       : 0;
           ck::QueuedItem updated = *std::move(loaded);
-          updated.vesting_time = tnow + delay;
+          updated.vesting_time = tnow + *delay;
           updated.lease_id.clear();
           updated.last_active_time = tnow;
           return top_zone.SaveItem(updated);
@@ -771,7 +786,7 @@ void Consumer::AsyncRequeueOrGcPointer(const std::string& cluster_name,
           if (st.ok()) {
             stats_.pointers_requeued.Increment();
             hooks_.Mark(item_id, stage::kRequeued,
-                        "pointer delay_ms=" + std::to_string(delay));
+                        "pointer delay_ms=" + std::to_string(*delay));
           }
           finish();
         });
@@ -1079,8 +1094,7 @@ Status Consumer::RequeueOrGcPointer(const std::string& cluster_name,
   if (is_active) {
     // Requeue so the pointer reappears when the earliest remaining item
     // vests (water-filling: long queues come back immediately).
-    const int64_t delay =
-        min_vesting.has_value() ? std::max<int64_t>(0, *min_vesting - now) : 0;
+    int64_t delay = 0;
     Status st = fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
       ck::QueueZone top_zone =
           quick_->OpenTopZoneFor(cluster_db, pointer_item.id, &txn);
@@ -1088,10 +1102,25 @@ Status Consumer::RequeueOrGcPointer(const std::string& cluster_name,
                              top_zone.Load(pointer_item.id));
       if (!loaded.has_value()) return Status::OK();
       if (loaded->lease_id != lease_id) return Status::OK();  // superseded
+      // Re-read the earliest vesting time here rather than trusting the
+      // dequeue-time snapshot: finish transactions enqueue continuations
+      // into this zone after that snapshot, and the enqueue-side pointer
+      // fix-up skips leased pointers — this consumer holds the lease — so
+      // the stale value would park an already-vested continuation behind
+      // a full item lease.
+      ck::QueueZone zone(&txn, zone_subspace, quick_->clock(),
+                         config_.fifo_tenant_zones);
+      QUICK_ASSIGN_OR_RETURN(std::optional<int64_t> fresh,
+                             zone.MinVestingTime());
+      const std::optional<int64_t>& effective =
+          fresh.has_value() ? fresh : min_vesting;
+      const int64_t tnow = quick_->clock()->NowMillis();
+      delay = effective.has_value() ? std::max<int64_t>(0, *effective - tnow)
+                                    : 0;
       ck::QueuedItem updated = *std::move(loaded);
-      updated.vesting_time = now + delay;
+      updated.vesting_time = tnow + delay;
       updated.lease_id.clear();
-      updated.last_active_time = now;
+      updated.last_active_time = tnow;
       return top_zone.SaveItem(updated);
     });
     if (st.ok()) {
@@ -1324,7 +1353,8 @@ void Consumer::ProcessWorkItem(WorkerJob job) {
       ctx.deadline_millis =
           quick_->clock()->NowMillis() + policy.execution_bound_millis;
       const int64_t start = quick_->clock()->NowMicros();
-      final_status = job.entry->handler(ctx);
+      job.result = job.entry->handler(ctx);
+      final_status = job.result.status;
       const int64_t end = quick_->clock()->NowMicros();
       stats_.item_exec_micros.Record(end - start);
       hooks_.Record(job.leased.item.id, stage::kExecute, start, end,
@@ -1333,6 +1363,18 @@ void Consumer::ProcessWorkItem(WorkerJob job) {
       if (final_status.ok() || final_status.IsPermanent()) break;
       stats_.items_failed_attempts.Increment();
       if (job.lease_lost->load()) break;  // processing interrupted
+    }
+    // Heading for a terminal failure? Give the type's TerminalHandler the
+    // chance to produce extras (compensation continuations, cleanup
+    // effects) that will commit atomically with the quarantine/drop.
+    if (!final_status.ok() && job.entry->on_terminal != nullptr) {
+      const int64_t next_error_count = job.leased.item.error_count + 1;
+      const bool exhausted = policy.max_attempts > 0 &&
+                             next_error_count >= policy.max_attempts &&
+                             policy.drop_on_exhaust;
+      if (final_status.IsPermanent() || exhausted) {
+        job.terminal_result = job.entry->on_terminal(ctx, final_status);
+      }
     }
     {
       std::lock_guard<std::mutex> lock(ext_mu_);
@@ -1364,6 +1406,96 @@ void Consumer::RaiseAlert(Alert::Kind kind, const WorkerJob& job,
   alert_sink_->Raise(alert);
 }
 
+Status Consumer::ApplyResultExtras(fdb::Transaction& txn, const WorkerJob& job,
+                                   const WorkResult& result,
+                                   std::vector<EnqueueFollowUp>* follow_ups,
+                                   std::vector<std::string>* continuation_ids) {
+  // Transaction bodies re-run on conflict; start every attempt clean.
+  follow_ups->clear();
+  continuation_ids->clear();
+  if (result.txn_hook != nullptr) {
+    QUICK_RETURN_IF_ERROR(result.txn_hook(txn));
+  }
+  if (!result.continuations.empty()) {
+    if (job.db_id.kind == ck::DatabaseKind::kCluster) {
+      // Local items continue as local items: straight into the cluster's
+      // top-level queue (no tenant zone, no pointer, no migration fence).
+      const ck::DatabaseRef cluster_db =
+          quick_->cloudkit()->OpenClusterDb(job.cluster);
+      for (const ContinuationEnqueue& c : result.continuations) {
+        ck::QueuedItem queued;
+        queued.id = c.id.empty() ? Random::ThreadLocal().NextUuid() : c.id;
+        queued.job_type = c.job_type;
+        queued.priority = c.priority;
+        queued.payload = c.payload;
+        ck::QueueZone top_zone =
+            quick_->OpenTopZoneFor(cluster_db, queued.id, &txn);
+        QUICK_ASSIGN_OR_RETURN(
+            std::string id,
+            top_zone.Enqueue(std::move(queued), c.vesting_delay_millis));
+        continuation_ids->push_back(std::move(id));
+      }
+    } else {
+      // Tenant items go through the full two-part enqueue protocol inside
+      // this very transaction. A migration fence (kTenantMoving) fails the
+      // whole finish: the item's lease then expires and a consumer at the
+      // tenant's new home re-executes it — atomicity over latency.
+      const ck::DatabaseRef db = quick_->cloudkit()->OpenDatabase(job.db_id);
+      for (const ContinuationEnqueue& c : result.continuations) {
+        WorkItem item;
+        item.job_type = c.job_type;
+        item.payload = c.payload;
+        item.priority = c.priority;
+        item.id = c.id;
+        EnqueueFollowUp follow_up;
+        QUICK_ASSIGN_OR_RETURN(
+            std::string id,
+            quick_->EnqueueInTransaction(&txn, db, item,
+                                         c.vesting_delay_millis, &follow_up));
+        continuation_ids->push_back(std::move(id));
+        follow_ups->push_back(follow_up);
+      }
+    }
+  }
+  for (const OutboxEffect& e : result.effects) {
+    ck::OutboxEntry row;
+    row.target = e.target;
+    row.idempotency_key = e.idempotency_key;
+    row.payload = e.payload;
+    row.origin_item = job.leased.item.id;
+    row.created_millis = quick_->clock()->NowMillis();
+    QUICK_RETURN_IF_ERROR(ck::Outbox::Append(txn, job.cluster, row));
+  }
+  return Status::OK();
+}
+
+void Consumer::AfterResultExtras(
+    const WorkerJob& job, const WorkResult& result,
+    const std::vector<EnqueueFollowUp>& follow_ups,
+    const std::vector<std::string>& continuation_ids) {
+  if (!continuation_ids.empty()) {
+    stats_.continuations_enqueued.Increment(
+        static_cast<int64_t>(continuation_ids.size()));
+    quick_->tenant_metrics()->OnEnqueued(
+        job.db_id, static_cast<int64_t>(continuation_ids.size()));
+    for (const std::string& id : continuation_ids) {
+      hooks_.Mark(id, stage::kEnqueued,
+                  "continuation of=" + job.leased.item.id,
+                  /*parent=*/job.leased.item.id);
+    }
+  }
+  if (!result.effects.empty()) {
+    stats_.outbox_effects_recorded.Increment(
+        static_cast<int64_t>(result.effects.size()));
+  }
+  if (!follow_ups.empty()) {
+    const ck::DatabaseRef db = quick_->cloudkit()->OpenDatabase(job.db_id);
+    for (const EnqueueFollowUp& follow_up : follow_ups) {
+      quick_->ExecuteFollowUp(db, follow_up);
+    }
+  }
+}
+
 Status Consumer::FinishItem(const WorkerJob& job, const Status& final_status) {
   // Crash chaos: completion never lands; the item's lease expires and
   // another consumer re-executes it (at-least-once, §5).
@@ -1377,6 +1509,8 @@ Status Consumer::FinishItem(const WorkerJob& job, const Status& final_status) {
 
   if (final_status.ok()) {
     bool fenced = false;
+    std::vector<EnqueueFollowUp> follow_ups;
+    std::vector<std::string> continuation_ids;
     const int64_t fin_start = quick_->clock()->NowMicros();
     Status st = fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
       ck::QueueZone zone(&txn, job.zone_subspace, quick_->clock(),
@@ -1387,7 +1521,16 @@ Status Consumer::FinishItem(const WorkerJob& job, const Status& final_status) {
         return Status::OK();
       }
       fenced = false;
-      return c;
+      QUICK_RETURN_IF_ERROR(c);
+      // Gray's queued-transaction pattern: continuation enqueues, outbox
+      // rows, and the handler's hook commit WITH the Complete — a fenced
+      // transition applies none of them (the retaking consumer's finish
+      // will).
+      if (HasExtras(job.result)) {
+        return ApplyResultExtras(txn, job, job.result, &follow_ups,
+                                 &continuation_ids);
+      }
+      return Status::OK();
     });
     const int64_t fin_end = quick_->clock()->NowMicros();
     stats_.finish_txn_micros.Record(fin_end - fin_start);
@@ -1404,6 +1547,7 @@ Status Consumer::FinishItem(const WorkerJob& job, const Status& final_status) {
     if (is_local) stats_.local_items_processed.Increment();
     hooks_.Record(job.leased.item.id, stage::kCompleted, fin_start, fin_end,
                   is_local ? "local" : "");
+    AfterResultExtras(job, job.result, follow_ups, continuation_ids);
     return st;
   }
 
@@ -1480,6 +1624,8 @@ Status Consumer::FinishTerminalFailure(const WorkerJob& job,
   }
 
   bool fenced = false;
+  std::vector<EnqueueFollowUp> follow_ups;
+  std::vector<std::string> continuation_ids;
   const int64_t fin_start = quick_->clock()->NowMicros();
   Status st = fdb::RunTransaction(cluster, [&](fdb::Transaction& txn) {
     ck::QueueZone zone(&txn, job.zone_subspace, quick_->clock(),
@@ -1493,7 +1639,14 @@ Status Consumer::FinishTerminalFailure(const WorkerJob& job,
       return Status::OK();
     }
     fenced = false;
-    return c;
+    QUICK_RETURN_IF_ERROR(c);
+    // The TerminalHandler's extras (compensation chain, record update)
+    // commit WITH the dead-lettering — the saga-rollback launch point.
+    if (HasExtras(job.terminal_result)) {
+      return ApplyResultExtras(txn, job, job.terminal_result, &follow_ups,
+                               &continuation_ids);
+    }
+    return Status::OK();
   });
   const int64_t fin_end = quick_->clock()->NowMicros();
   stats_.finish_txn_micros.Record(fin_end - fin_start);
@@ -1506,6 +1659,7 @@ Status Consumer::FinishTerminalFailure(const WorkerJob& job,
                   reason);
     return Status::OK();
   }
+  AfterResultExtras(job, job.terminal_result, follow_ups, continuation_ids);
   if (policy.quarantine_on_failure) {
     stats_.items_quarantined.Increment();
     MetricsRegistry::Default()->GetCounter("quick.deadletter.quarantined")
@@ -1541,10 +1695,12 @@ void Consumer::AsyncFinishItem(WorkerJob job, const Status& final_status) {
   const int64_t fin_start = quick_->clock()->NowMicros();
 
   if (final_status.ok()) {
+    auto follow_ups = std::make_shared<std::vector<EnqueueFollowUp>>();
+    auto cont_ids = std::make_shared<std::vector<std::string>>();
     BeginTxn();
     fdb::RunTransactionAsync(
         cluster,
-        [this, jp, fenced](fdb::Transaction& txn) {
+        [this, jp, fenced, follow_ups, cont_ids](fdb::Transaction& txn) {
           ck::QueueZone zone(&txn, jp->zone_subspace, quick_->clock(),
                              jp->fifo_zone);
           Status c = zone.Complete(jp->leased.item.id, jp->leased.lease_id);
@@ -1553,10 +1709,16 @@ void Consumer::AsyncFinishItem(WorkerJob job, const Status& final_status) {
             return Status::OK();
           }
           *fenced = false;
-          return c;
+          QUICK_RETURN_IF_ERROR(c);
+          if (HasExtras(jp->result)) {
+            return ApplyResultExtras(txn, *jp, jp->result, follow_ups.get(),
+                                     cont_ids.get());
+          }
+          return Status::OK();
         },
         exec_.get(), cancel_)
-        .OnReady([this, jp, fenced, fin_start, is_local](const Status& st) {
+        .OnReady([this, jp, fenced, follow_ups, cont_ids, fin_start,
+                  is_local](const Status& st) {
           const int64_t fin_end = quick_->clock()->NowMicros();
           stats_.finish_txn_micros.Record(fin_end - fin_start);
           health_.Observe(jp->cluster, st);
@@ -1571,6 +1733,7 @@ void Consumer::AsyncFinishItem(WorkerJob job, const Status& final_status) {
               if (is_local) stats_.local_items_processed.Increment();
               hooks_.Record(jp->leased.item.id, stage::kCompleted, fin_start,
                             fin_end, is_local ? "local" : "");
+              AfterResultExtras(*jp, jp->result, *follow_ups, *cont_ids);
             }
           }
           EndTxn();
@@ -1655,13 +1818,15 @@ void Consumer::AsyncFinishTerminalFailure(std::shared_ptr<WorkerJob> jp,
   }
 
   auto fenced = std::make_shared<bool>(false);
+  auto follow_ups = std::make_shared<std::vector<EnqueueFollowUp>>();
+  auto cont_ids = std::make_shared<std::vector<std::string>>();
   const int64_t fin_start = quick_->clock()->NowMicros();
   const std::string failure_msg = final_status.message();
   const bool quarantine = policy.quarantine_on_failure;
   BeginTxn();
   fdb::RunTransactionAsync(
       cluster,
-      [this, jp, fenced, quarantine, reason,
+      [this, jp, fenced, follow_ups, cont_ids, quarantine, reason,
        failure_msg](fdb::Transaction& txn) {
         ck::QueueZone zone(&txn, jp->zone_subspace, quick_->clock(),
                            jp->fifo_zone);
@@ -1676,11 +1841,17 @@ void Consumer::AsyncFinishTerminalFailure(std::shared_ptr<WorkerJob> jp,
           return Status::OK();
         }
         *fenced = false;
-        return c;
+        QUICK_RETURN_IF_ERROR(c);
+        if (HasExtras(jp->terminal_result)) {
+          return ApplyResultExtras(txn, *jp, jp->terminal_result,
+                                   follow_ups.get(), cont_ids.get());
+        }
+        return Status::OK();
       },
       exec_.get(), cancel_)
-      .OnReady([this, jp, fenced, fin_start, quarantine, reason, legacy_kind,
-                final_attempts, failure_msg](const Status& st) {
+      .OnReady([this, jp, fenced, follow_ups, cont_ids, fin_start, quarantine,
+                reason, legacy_kind, final_attempts,
+                failure_msg](const Status& st) {
         const int64_t fin_end = quick_->clock()->NowMicros();
         stats_.finish_txn_micros.Record(fin_end - fin_start);
         health_.Observe(jp->cluster, st);
@@ -1691,6 +1862,8 @@ void Consumer::AsyncFinishTerminalFailure(std::shared_ptr<WorkerJob> jp,
             hooks_.Record(jp->leased.item.id, stage::kFenced, fin_start,
                           fin_end, reason);
           } else if (quarantine) {
+            AfterResultExtras(*jp, jp->terminal_result, *follow_ups,
+                              *cont_ids);
             stats_.items_quarantined.Increment();
             MetricsRegistry::Default()
                 ->GetCounter("quick.deadletter.quarantined")
@@ -1700,6 +1873,8 @@ void Consumer::AsyncFinishTerminalFailure(std::shared_ptr<WorkerJob> jp,
             RaiseAlert(Alert::Kind::kQuarantined, *jp, final_attempts,
                        std::string(reason) + ": " + failure_msg);
           } else {
+            AfterResultExtras(*jp, jp->terminal_result, *follow_ups,
+                              *cont_ids);
             stats_.items_dropped_permanent.Increment();
             MetricsRegistry::Default()
                 ->GetCounter("quick.deadletter.dropped_legacy")

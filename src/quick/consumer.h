@@ -124,6 +124,14 @@ class Consumer {
     /// Finish (complete/requeue/quarantine) through the async pipeline
     /// instead of a blocking transaction on the worker thread.
     bool async_finish = false;
+    /// What the handler produced on its final attempt: continuations,
+    /// outbox effects, and the same-transaction hook ride the successful
+    /// Complete (Gray's queued-transaction pattern).
+    WorkResult result;
+    /// Produced by the entry's TerminalHandler when the item is headed for
+    /// a terminal failure; its extras ride the quarantine/drop transaction
+    /// (saga compensation launch).
+    WorkResult terminal_result;
   };
 
   /// One pointer surviving the read phase of a batched lease transaction.
@@ -196,6 +204,26 @@ class Consumer {
   Status FinishTerminalFailure(const WorkerJob& job,
                                const Status& final_status,
                                const RetryPolicy& policy);
+  /// True when `result` carries anything the finish transaction must apply.
+  static bool HasExtras(const WorkResult& result) {
+    return result.txn_hook != nullptr || !result.continuations.empty() ||
+           !result.effects.empty();
+  }
+  /// Applies a WorkResult's extras inside the finish transaction `txn`,
+  /// after the (non-fenced) queue transition: runs the txn_hook, enqueues
+  /// every continuation — through the full two-part enqueue protocol for
+  /// tenant items, directly into the top-level queue for local items — and
+  /// appends the outbox rows. Out-params are reset on entry (transaction
+  /// bodies re-run on conflict).
+  Status ApplyResultExtras(fdb::Transaction& txn, const WorkerJob& job,
+                           const WorkResult& result,
+                           std::vector<EnqueueFollowUp>* follow_ups,
+                           std::vector<std::string>* continuation_ids);
+  /// Post-commit bookkeeping for applied extras: stats, continuation birth
+  /// spans, tenant metrics, and the enqueues' best-effort follow-ups.
+  void AfterResultExtras(const WorkerJob& job, const WorkResult& result,
+                         const std::vector<EnqueueFollowUp>& follow_ups,
+                         const std::vector<std::string>& continuation_ids);
 
   // --- Async pipelined mode (DESIGN.md §11) ---
   bool AsyncMode() const { return config_.async_pipeline && exec_ != nullptr; }

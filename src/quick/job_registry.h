@@ -14,6 +14,10 @@
 #include "common/clock.h"
 #include "common/status.h"
 
+namespace quick::fdb {
+class Transaction;
+}  // namespace quick::fdb
+
 namespace quick::core {
 
 /// Execution context handed to a work-item handler. Handlers should poll
@@ -41,6 +45,69 @@ struct WorkContext {
 };
 
 using Handler = std::function<Status(WorkContext&)>;
+
+/// A work item the finishing handler asks QuiCK to enqueue atomically with
+/// its own Complete — Gray's queued-transaction pattern ("Queues Are
+/// Databases"): the dequeue of step N and the enqueue of step N+1 commit in
+/// the same FoundationDB transaction, so a crash at any point leaves either
+/// both or neither. The continuation targets the finished item's own
+/// database (same cluster by construction); local items continue into their
+/// cluster's top-level queue.
+struct ContinuationEnqueue {
+  std::string job_type;
+  std::string payload;
+  int64_t priority = 0;
+  /// Optional idempotency id; random when empty. Workflow steps use
+  /// deterministic ids so a re-executed finish cannot fork the chain.
+  std::string id;
+  int64_t vesting_delay_millis = 0;
+};
+
+/// An intended external side-effect, recorded as a transactional-outbox row
+/// in the same transaction as the item's finish. The OutboxRelay later
+/// applies it to the external store under `idempotency_key` — a crash
+/// between the external write and the row's deletion can duplicate the
+/// *attempt*, never the *effect*.
+struct OutboxEffect {
+  /// External system / destination key (free-form; the relay passes it
+  /// through to the effect store).
+  std::string target;
+  /// Globally unique per intended effect; the dedupe handle.
+  std::string idempotency_key;
+  std::string payload;
+};
+
+/// What a handler produced: the final status plus everything that must
+/// commit atomically with the item's successful Complete. Continuations,
+/// effects, and the hook are applied only when `status` is OK and the
+/// terminal transition is not fenced; a requeued (transient-failure) item
+/// applies nothing.
+struct WorkResult {
+  Status status;
+  std::vector<ContinuationEnqueue> continuations;
+  std::vector<OutboxEffect> effects;
+  /// Runs inside the finish transaction after the queue transition, for
+  /// arbitrary same-transaction state (e.g. the workflow record). May be
+  /// re-executed on transaction retry — must be idempotent within the
+  /// transaction, like every QuiCK transaction body.
+  std::function<Status(fdb::Transaction&)> txn_hook;
+
+  WorkResult() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): Status-only results keep
+  // plain handlers a one-line return.
+  WorkResult(Status s) : status(std::move(s)) {}
+};
+
+using WorkHandler = std::function<WorkResult(WorkContext&)>;
+
+/// Invoked when the item leaves the queue through a terminal *failure*
+/// (permanent error or retry exhaustion): the returned result's
+/// continuations/effects/hook commit in the same transaction as the
+/// quarantine (or legacy drop) — this is how a saga launches its
+/// compensation chain atomically with the failing step's dead-lettering.
+/// The returned status is ignored; the transition itself is the outcome.
+using TerminalHandler =
+    std::function<WorkResult(WorkContext&, const Status& final_status)>;
 
 /// Per-job-type retry/throttle policy (§6: "each type of queued items can
 /// set its own retry policy").
@@ -88,15 +155,31 @@ struct RetryPolicy {
 class JobRegistry {
  public:
   struct Entry {
-    Handler handler;
+    WorkHandler handler;
     RetryPolicy policy;
+    /// May be null; see TerminalHandler.
+    TerminalHandler on_terminal;
   };
 
+  /// Plain handlers: the Status is the whole result (no continuations).
   void Register(const std::string& job_type, Handler handler,
                 RetryPolicy policy = {}) {
+    RegisterWork(
+        job_type,
+        [handler = std::move(handler)](WorkContext& ctx) {
+          return WorkResult(handler(ctx));
+        },
+        policy);
+  }
+
+  /// Full-result handlers (transactional continuations, outbox effects,
+  /// same-transaction hooks), with an optional terminal-failure handler.
+  void RegisterWork(const std::string& job_type, WorkHandler handler,
+                    RetryPolicy policy = {},
+                    TerminalHandler on_terminal = nullptr) {
     std::lock_guard<std::mutex> lock(mu_);
     entries_[job_type] = std::make_shared<Entry>(
-        Entry{std::move(handler), policy});
+        Entry{std::move(handler), policy, std::move(on_terminal)});
   }
 
   /// nullptr when no handler is registered for `job_type`.

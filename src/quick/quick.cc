@@ -188,6 +188,85 @@ Result<std::string> Quick::Enqueue(const ck::DatabaseId& db_id,
   return item_id;
 }
 
+fdb::Future<Status> Quick::EnqueueAsync(const ck::DatabaseId& db_id,
+                                        const WorkItem& item,
+                                        int64_t vesting_delay_millis,
+                                        std::string* item_id_out,
+                                        fdb::Executor* exec,
+                                        fdb::CancelToken cancel) {
+  auto promise = std::make_shared<fdb::Promise<Status>>();
+  Status admit = AdmitEnqueue(db_id, /*cost=*/1);
+  if (!admit.ok()) {
+    if (item_id_out != nullptr) item_id_out->clear();
+    promise->Set(admit);
+    return promise->GetFuture();
+  }
+  // The id is picked up front so the caller (and a workflow's deterministic
+  // id scheme) knows it before the commit resolves; Q_DB's Enqueue is
+  // idempotent on a set id.
+  WorkItem fixed = item;
+  if (fixed.id.empty()) fixed.id = Random::ThreadLocal().NextUuid();
+  if (item_id_out != nullptr) *item_id_out = fixed.id;
+
+  struct AsyncState {
+    ck::DatabaseRef db;
+    EnqueueFollowUp follow_up;
+    int attempt = 0;
+  };
+  auto state = std::make_shared<AsyncState>();
+  const int64_t start_micros = clock()->NowMicros();
+  // Self-referencing attempt closure: the shared function re-arms itself
+  // through PostAfter on a migration fence, mirroring Enqueue's placement
+  // re-resolution loop without parking a thread. The terminal path clears
+  // *attempt_fn to break the ownership cycle.
+  auto attempt_fn = std::make_shared<std::function<void()>>();
+  *attempt_fn = [this, db_id, fixed, vesting_delay_millis, exec, cancel,
+                 promise, state, attempt_fn, start_micros]() {
+    state->db = ck_->OpenDatabase(db_id);
+    fdb::RunTransactionAsync(
+        state->db.cluster,
+        [this, state, fixed, vesting_delay_millis](fdb::Transaction& txn) {
+          return EnqueueInTransaction(&txn, state->db, fixed,
+                                      vesting_delay_millis, &state->follow_up)
+              .status();
+        },
+        exec, cancel)
+        .OnReady([this, db_id, fixed, vesting_delay_millis, exec, promise,
+                  state, attempt_fn, start_micros](const Status& st) {
+          if (st.IsTenantMoving() &&
+              state->attempt < config_.move_retry_attempts) {
+            ++state->attempt;
+            exec->PostAfter(config_.move_retry_delay_millis,
+                            [attempt_fn]() { (*attempt_fn)(); });
+            return;
+          }
+          if (st.ok()) {
+            tenant_metrics_.OnEnqueued(db_id, 1);
+            const TraceHooks hooks(tracer_, clock(), "producer");
+            if (hooks.enabled()) {
+              hooks.Record(fixed.id, stage::kEnqueued, start_micros,
+                           hooks.NowMicros(),
+                           "db=" + db_id.ToString() + " async delay_ms=" +
+                               std::to_string(vesting_delay_millis));
+              if (!state->follow_up.pointer_existed) {
+                hooks.Record(state->follow_up.pointer.Key(),
+                             stage::kPointerCreated, start_micros,
+                             hooks.NowMicros(), std::string(),
+                             /*parent=*/fixed.id);
+              }
+            }
+            ExecuteFollowUp(state->db, state->follow_up);
+          }
+          promise->Set(st);
+          // No attempt is mid-execution here (this is the OnReady
+          // continuation); dropping the function frees the cycle.
+          *attempt_fn = nullptr;
+        });
+  };
+  (*attempt_fn)();
+  return promise->GetFuture();
+}
+
 Result<std::vector<std::string>> Quick::EnqueueBatch(
     const ck::DatabaseId& db_id, const std::vector<WorkItem>& items,
     int64_t vesting_delay_millis) {

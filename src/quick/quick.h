@@ -8,6 +8,8 @@
 
 #include "cloudkit/service.h"
 #include "common/trace.h"
+#include "fdb/executor.h"
+#include "fdb/future.h"
 #include "quick/admission_gate.h"
 #include "quick/config.h"
 #include "quick/pointer.h"
@@ -77,6 +79,23 @@ class Quick {
   /// Returns the enqueued item id.
   Result<std::string> Enqueue(const ck::DatabaseId& db_id, const WorkItem& item,
                               int64_t vesting_delay_millis = 0);
+
+  /// Enqueue's pipelined twin (DESIGN.md §11 applied to the producer
+  /// path): part one rides the cluster's async group-commit pipeline via
+  /// RunTransactionAsync, so the calling thread never blocks on a commit
+  /// RTT. The item id is picked up front and written to *item_id_out (when
+  /// non-null) before the future resolves — the id is only meaningful once
+  /// the future resolves OK. Admission is checked synchronously; a
+  /// migration fence re-arms the attempt on `exec` after
+  /// move_retry_delay_millis, up to move_retry_attempts times. Metrics,
+  /// spans, and the best-effort follow-up run on the executor after the
+  /// commit. `exec` and this Quick must outlive the returned future.
+  fdb::Future<Status> EnqueueAsync(const ck::DatabaseId& db_id,
+                                   const WorkItem& item,
+                                   int64_t vesting_delay_millis,
+                                   std::string* item_id_out,
+                                   fdb::Executor* exec,
+                                   fdb::CancelToken cancel = {});
 
   /// Atomically enqueues several items for one tenant in a single
   /// transaction (the queue-zone transactional batch §7 contrasts with

@@ -32,6 +32,11 @@ struct ConsumerStats {
   /// gate's retry-after hint instead of entering the worker pool.
   Counter items_dispatch_throttled;
   Counter local_items_processed;
+  /// Continuation items enqueued atomically with a finish transaction
+  /// (Gray's queued-transaction pattern — workflow step chaining).
+  Counter continuations_enqueued;
+  /// Outbox rows written atomically with a finish transaction.
+  Counter outbox_effects_recorded;
 
   // Pointers.
   Counter pointer_lease_attempts;
@@ -104,6 +109,8 @@ struct ConsumerStats {
     line("items_throttled", items_throttled.Value());
     line("items_dispatch_throttled", items_dispatch_throttled.Value());
     line("local_items_processed", local_items_processed.Value());
+    line("continuations_enqueued", continuations_enqueued.Value());
+    line("outbox_effects_recorded", outbox_effects_recorded.Value());
     line("pointer_lease_attempts", pointer_lease_attempts.Value());
     line("pointer_leases_acquired", pointer_leases_acquired.Value());
     line("lease_collisions_read", lease_collisions_read.Value());
@@ -149,6 +156,8 @@ struct ConsumerStats {
     gauge("items_throttled", items_throttled);
     gauge("items_dispatch_throttled", items_dispatch_throttled);
     gauge("local_items_processed", local_items_processed);
+    gauge("continuations_enqueued", continuations_enqueued);
+    gauge("outbox_effects_recorded", outbox_effects_recorded);
     gauge("pointer_lease_attempts", pointer_lease_attempts);
     gauge("pointer_leases_acquired", pointer_leases_acquired);
     gauge("lease_collisions_read", lease_collisions_read);

@@ -45,6 +45,17 @@ inline constexpr const char* kDropped = "dropped";
 /// end on a fence when the fenced consumer's own commit actually landed
 /// under an unknown-result fault (the "fenced-then-retaken" resolution).
 inline constexpr const char* kFenced = "fenced";
+/// Workflow lifecycle stages. These live on the *workflow's* trace id (the
+/// saga instance id), parented to the step item's chain — so a whole saga
+/// renders as one chain across many queue items without adding spans to the
+/// per-item taxonomy above.
+inline constexpr const char* kWorkflowStarted = "wf_started";
+inline constexpr const char* kWorkflowStepStart = "wf_step_start";
+inline constexpr const char* kWorkflowStepFinish = "wf_step_finish";
+inline constexpr const char* kWorkflowCompensate = "wf_compensate";
+inline constexpr const char* kWorkflowDone = "wf_done";
+/// Outbox relay applied (or deduped) one external effect.
+inline constexpr const char* kOutboxRelay = "outbox_relay";
 }  // namespace stage
 
 /// True for the stages that remove an item from its queue for good.

@@ -1,0 +1,334 @@
+// Crash/outage chaos for the workflow engine, over the WAL-backed
+// workload harness:
+//
+//  - CrashAfterEveryStepResumesExactlyOnce: a 3-step saga is killed and
+//    restarted after EVERY step's finish commit; each restart rebuilds
+//    QuiCK from the durable log, a fresh engine re-registers the saga,
+//    and the run completes with every step executed exactly once and
+//    every outbox effect applied exactly once.
+//
+//  - SagaLedgerExactAcrossCrashRestart (5 seeds): a fleet of sagas —
+//    some healthy, some with a permanently failing last step — takes a
+//    kill-the-process crash mid-traffic while a crash-prone relay
+//    (applies effects, never acks) drains the outbox. After recovery the
+//    ledger must be exact: every workflow record terminal with the
+//    executed ⊎ dead-lettered ⊎ compensated partition of its steps,
+//    compensations in reverse step order, the quarantine holding exactly
+//    the failed step items, and the external store having applied every
+//    effect exactly once (duplicate *attempts* are fine and expected).
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "external/outbox_relay.h"
+#include "fdb/database.h"
+#include "quick/admin.h"
+#include "quick/consumer.h"
+#include "workflow/workflow.h"
+#include "workload/harness.h"
+
+namespace quick::wf {
+namespace {
+
+std::string MakeTempDir(const std::string& tag) {
+  const std::string dir = ::testing::TempDir() + "quick_wf_chaos_" + tag;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+core::ConsumerConfig ChaosConsumerConfig() {
+  core::ConsumerConfig config;
+  config.sequential = true;
+  config.relaxed_reads_for_peek = false;
+  config.dequeue_max = 2;
+  config.pointer_lease_millis = 1000;
+  config.item_lease_millis = 1000;
+  return config;
+}
+
+/// Shared across harness restarts: the handlers' side of the ledger.
+struct Ledger {
+  std::mutex mu;
+  /// workflow id -> step -> forward executions (at-least-once).
+  std::map<std::string, std::map<int, int>> forward_runs;
+  /// workflow id -> compensated steps, in execution order.
+  std::map<std::string, std::vector<int>> comp_order;
+};
+
+/// The chaos saga: 3 steps, every step compensable, every forward step and
+/// every compensation intending one outbox effect. A payload containing
+/// "doom" makes the last step fail permanently, triggering rollback.
+SagaSpec MakeChaosSaga(Ledger* ledger) {
+  SagaSpec saga;
+  saga.name = "order";
+  saga.policy.max_inline_retries = 0;
+  saga.policy.backoff_initial_millis = 10;
+  for (int i = 0; i < 3; ++i) {
+    StepSpec s;
+    s.name = "step" + std::to_string(i);
+    s.run = [ledger, i](core::WorkContext& ctx, StepContext& sctx) {
+      // Step item ids are deterministic ("<wf>.f<i>"): recover the
+      // workflow id for the ledger.
+      const std::string wf =
+          ctx.item.id.substr(0, ctx.item.id.rfind(".f"));
+      {
+        std::lock_guard<std::mutex> lock(ledger->mu);
+        ++ledger->forward_runs[wf][i];
+      }
+      if (i == 2 && sctx.payload.find("doom") != std::string::npos) {
+        return Status::Permanent("doomed step");
+      }
+      core::OutboxEffect e;
+      e.target = "ext";
+      e.idempotency_key = wf + ".e" + std::to_string(i);
+      e.payload = "fwd" + std::to_string(i);
+      sctx.effects.push_back(std::move(e));
+      return Status::OK();
+    };
+    s.compensate = [ledger, i](core::WorkContext& ctx, StepContext& sctx) {
+      const std::string wf =
+          ctx.item.id.substr(0, ctx.item.id.rfind(".c"));
+      {
+        std::lock_guard<std::mutex> lock(ledger->mu);
+        ledger->comp_order[wf].push_back(i);
+      }
+      core::OutboxEffect e;
+      e.target = "ext";
+      e.idempotency_key = wf + ".u" + std::to_string(i);
+      e.payload = "undo" + std::to_string(i);
+      sctx.effects.push_back(std::move(e));
+      return Status::OK();
+    };
+    saga.steps.push_back(std::move(s));
+  }
+  return saga;
+}
+
+TEST(WorkflowChaosTest, CrashAfterEveryStepResumesExactlyOnce) {
+  wl::HarnessOptions hopts;
+  hopts.num_clusters = 1;
+  hopts.work_millis = 0;
+  hopts.pointer_vesting_slack_millis = 0;
+  hopts.enable_wal = true;
+  hopts.wal_dir = MakeTempDir("every_step");
+  wl::Harness harness(hopts);
+
+  Ledger ledger;
+  auto engine = std::make_unique<WorkflowEngine>(harness.quick(),
+                                                 harness.registry());
+  ASSERT_TRUE(engine->RegisterSaga(MakeChaosSaga(&ledger)).ok());
+  const ck::DatabaseId db = harness.ClientDb(0);
+  auto wf = engine->Start(db, "order", "ok");
+  ASSERT_TRUE(wf.ok()) << wf.status();
+
+  auto consumer = harness.MakeConsumer(ChaosConsumerConfig(), "wf-stepper");
+  // After each step's finish commits, kill the process and recover from
+  // the durable log: the continuation item, the outbox rows, and the
+  // record update all survive (they committed atomically), and nothing
+  // re-executes.
+  for (int step = 0; step < 3; ++step) {
+    auto reached = [&]() {
+      auto r = engine->Load(db, *wf);
+      return r.ok() && r->has_value() && (*r)->current_step >= step + 1;
+    };
+    for (int round = 0; round < 400 && !reached(); ++round) {
+      (void)consumer->RunOnePass("cluster0");
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    ASSERT_TRUE(reached()) << "step " << step << " never committed";
+
+    consumer.reset();
+    engine.reset();
+    harness.Restart();
+    ASSERT_TRUE(
+        harness.clusters()->Get("cluster0")->GetRecoveryInfo().recovered);
+    engine = std::make_unique<WorkflowEngine>(harness.quick(),
+                                              harness.registry());
+    ASSERT_TRUE(engine->RegisterSaga(MakeChaosSaga(&ledger)).ok());
+    consumer = harness.MakeConsumer(ChaosConsumerConfig(),
+                                    "wf-stepper-" + std::to_string(step));
+    // Pre-crash leases are durable state; wait them out.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1100));
+  }
+
+  auto record = engine->Load(db, *wf);
+  ASSERT_TRUE(record.ok()) << record.status();
+  ASSERT_TRUE(record->has_value()) << "workflow record lost across crashes";
+  EXPECT_EQ((*record)->state, ck::WorkflowRecord::State::kCompleted);
+  EXPECT_EQ((*record)->step_status, "XXX");
+  {
+    std::lock_guard<std::mutex> lock(ledger.mu);
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_EQ(ledger.forward_runs[*wf][i], 1)
+          << "step " << i << " did not execute exactly once";
+    }
+    EXPECT_TRUE(ledger.comp_order.empty());
+  }
+
+  // Drain the outbox: three rows, each effect applied exactly once.
+  ext::SimEffectStore store;
+  ext::OutboxRelay relay(harness.cloudkit(), &store);
+  auto visited = relay.RunOnePass("cluster0");
+  ASSERT_TRUE(visited.ok()) << visited.status();
+  EXPECT_EQ(*visited, 3);
+  EXPECT_EQ(store.TotalApplied(), 3);
+  EXPECT_LE(store.MaxApplications(), 1);
+  EXPECT_EQ(relay.Lag("cluster0").value_or(-1), 0);
+}
+
+class WorkflowChaosSeedTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WorkflowChaosSeedTest, SagaLedgerExactAcrossCrashRestart) {
+  const uint64_t seed = GetParam();
+  constexpr int kTenants = 4;
+  constexpr int kWorkflows = 12;
+
+  wl::HarnessOptions hopts;
+  hopts.num_clusters = 1;
+  hopts.work_millis = 0;
+  hopts.pointer_vesting_slack_millis = 0;
+  hopts.enable_wal = true;
+  hopts.wal_dir = MakeTempDir("seed" + std::to_string(seed));
+  hopts.seed = seed;
+  // The explicit Checkpoint() below is the kill: its first write tears.
+  hopts.fault_plan.AddDisk(
+      fdb::DiskFault::TornWrite(/*at_op=*/1).OnCheckpoint());
+  wl::Harness harness(hopts);
+
+  Ledger ledger;
+  ext::SimEffectStore store;  // the external system outlives the process
+  auto engine = std::make_unique<WorkflowEngine>(harness.quick(),
+                                                 harness.registry());
+  ASSERT_TRUE(engine->RegisterSaga(MakeChaosSaga(&ledger)).ok());
+  auto consumer = harness.MakeConsumer(ChaosConsumerConfig(), "wf-chaos");
+  // A relay that applies effects but never acknowledges rows — the
+  // crash-prone half of the protocol; recovery redelivers its rows.
+  ext::OutboxRelay::Options crashy_opts;
+  crashy_opts.ack_enabled = false;
+  auto crashy = std::make_unique<ext::OutboxRelay>(harness.cloudkit(),
+                                                   &store, crashy_opts);
+
+  // --- Phase 1: starts, consumer passes, and no-ack relay passes race
+  // until the process dies mid-traffic. ---
+  struct Started {
+    std::string id;
+    int tenant;
+    bool doomed;
+  };
+  Random rng(seed);
+  std::vector<Started> started;
+  for (int i = 0; i < kWorkflows; ++i) {
+    const int tenant = static_cast<int>(rng.Uniform(kTenants));
+    const bool doomed = rng.Uniform(100) < 35;
+    auto wf = engine->Start(harness.ClientDb(tenant), "order",
+                            doomed ? "doom" : "ok");
+    ASSERT_TRUE(wf.ok()) << wf.status();
+    started.push_back({*wf, tenant, doomed});
+    for (uint64_t p = rng.Uniform(3); p > 0; --p) {
+      (void)consumer->RunOnePass("cluster0");
+    }
+    if (rng.Uniform(100) < 30) (void)crashy->RunOnePass("cluster0");
+  }
+
+  // --- Kill the process mid-checkpoint; its durable log survives. ---
+  fdb::Database* dying = harness.clusters()->Get("cluster0");
+  ASSERT_NE(dying, nullptr);
+  EXPECT_FALSE(dying->Checkpoint().ok());
+  ASSERT_TRUE(dying->DurabilityDead());
+
+  // --- Restart: rebuild QuiCK from disk, fresh engine + consumer +
+  // (now acknowledging) relay. ---
+  consumer.reset();
+  crashy.reset();
+  engine.reset();
+  harness.Restart();
+  ASSERT_TRUE(
+      harness.clusters()->Get("cluster0")->GetRecoveryInfo().recovered);
+  engine = std::make_unique<WorkflowEngine>(harness.quick(),
+                                            harness.registry());
+  ASSERT_TRUE(engine->RegisterSaga(MakeChaosSaga(&ledger)).ok());
+  consumer = harness.MakeConsumer(ChaosConsumerConfig(), "wf-chaos-revived");
+  ext::OutboxRelay relay(harness.cloudkit(), &store);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1100));
+
+  auto all_terminal = [&] {
+    for (const Started& s : started) {
+      auto r = engine->Load(harness.ClientDb(s.tenant), s.id);
+      if (!r.ok() || !r->has_value() || !(*r)->Terminal()) return false;
+    }
+    return relay.Lag("cluster0").value_or(-1) == 0;
+  };
+  for (int round = 0; round < 600 && !all_terminal(); ++round) {
+    (void)consumer->RunOnePass("cluster0");
+    if (round % 3 == 0) (void)relay.RunOnePass("cluster0");
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(all_terminal())
+      << "workflows never drained to terminal states (seed " << seed << ")";
+
+  // --- The exact ledger. ---
+  core::QuickAdmin admin(harness.quick());
+  std::set<std::string> quarantined;
+  for (int t = 0; t < kTenants; ++t) {
+    auto items = admin.ListDeadLetters(harness.ClientDb(t));
+    ASSERT_TRUE(items.ok()) << items.status();
+    for (const ck::DeadLetterItem& item : *items) quarantined.insert(item.id);
+  }
+
+  int expected_effects = 0;
+  std::set<std::string> expected_quarantine;
+  std::lock_guard<std::mutex> lock(ledger.mu);
+  for (const Started& s : started) {
+    auto r = engine->Load(harness.ClientDb(s.tenant), s.id);
+    ASSERT_TRUE(r.ok() && r->has_value())
+        << "record lost for " << s.id << " (seed " << seed << ")";
+    const ck::WorkflowRecord& record = **r;
+    if (s.doomed) {
+      // Steps 0/1 executed then compensated, step 2 dead-lettered; the
+      // rollback ran strictly in reverse order.
+      EXPECT_EQ(record.state, ck::WorkflowRecord::State::kCompensated)
+          << s.id << " (seed " << seed << ")";
+      EXPECT_EQ(record.step_status, "CCD") << s.id;
+      const std::vector<int> reverse = {1, 0};
+      EXPECT_EQ(ledger.comp_order[s.id], reverse) << s.id;
+      expected_quarantine.insert(WorkflowEngine::ForwardItemId(s.id, 2));
+      expected_effects += 4;  // e0, e1, u1, u0
+    } else {
+      EXPECT_EQ(record.state, ck::WorkflowRecord::State::kCompleted)
+          << s.id << " (seed " << seed << ")";
+      EXPECT_EQ(record.step_status, "XXX") << s.id;
+      EXPECT_EQ(ledger.comp_order.count(s.id), 0u) << s.id;
+      expected_effects += 3;  // e0, e1, e2
+    }
+    for (int i = 0; i < 3; ++i) {
+      EXPECT_GE(ledger.forward_runs[s.id][i], 1)
+          << s.id << " step " << i << " never ran";
+    }
+  }
+  // The quarantine holds exactly the failed step items — dead-lettered ⊎
+  // executed ⊎ compensated, nothing lost, nothing duplicated.
+  EXPECT_EQ(quarantined, expected_quarantine) << "(seed " << seed << ")";
+
+  // Zero duplicate external effects: every intended effect applied exactly
+  // once, even though the no-ack relay forced redeliveries.
+  EXPECT_EQ(store.TotalApplied(), expected_effects);
+  EXPECT_LE(store.MaxApplications(), 1);
+  EXPECT_EQ(relay.Lag("cluster0").value_or(-1), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkflowChaosSeedTest,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 20260808u));
+
+}  // namespace
+}  // namespace quick::wf

@@ -1,0 +1,497 @@
+// The saga/workflow engine's queued-transaction semantics, driven
+// deterministically over a ManualClock:
+//  - a multi-step saga chains step payloads through transactional
+//    continuations and lands kCompleted with every step executed once;
+//  - a consumer crash between handler execution and finish commit leaves
+//    NEITHER the Complete nor the continuation nor the record update
+//    (atomicity of the finish transaction), and recovery completes the
+//    saga exactly once at the record level;
+//  - a fenced (zombie) finish applies no extras at all;
+//  - a permanently failing step launches compensations in reverse step
+//    order, atomically with its own dead-lettering;
+//  - outbox effects survive a relay that crashes before acking: the
+//    attempt duplicates, the effect never does;
+//  - Start is idempotent on the workflow id; EnqueueAsync / StartAsync
+//    ride the async commit pipeline; the admin can render the whole
+//    saga's story from the workflow trace chain.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/trace.h"
+#include "external/outbox_relay.h"
+#include "fdb/cluster_set.h"
+#include "fdb/executor.h"
+#include "quick/admin.h"
+#include "quick/consumer.h"
+#include "workflow/workflow.h"
+
+namespace quick::wf {
+namespace {
+
+bool Contains(const std::string& haystack, const std::string& needle) {
+  return haystack.find(needle) != std::string::npos;
+}
+
+class WorkflowTest : public ::testing::Test {
+ protected:
+  WorkflowTest() {
+    fdb::Database::Options opts;
+    opts.clock = &clock_;
+    clusters_ = std::make_unique<fdb::ClusterSet>(opts);
+    clusters_->AddCluster("c1");
+    ck_ = std::make_unique<ck::CloudKitService>(clusters_.get(), &clock_);
+    quick_ = std::make_unique<core::Quick>(ck_.get());
+    quick_->set_tracer(&tracer_);  // before the engine/consumers capture it
+    engine_ = std::make_unique<WorkflowEngine>(quick_.get(), &registry_);
+  }
+
+  core::ConsumerConfig TestConfig() {
+    core::ConsumerConfig config;
+    config.sequential = true;
+    config.relaxed_reads_for_peek = false;
+    return config;
+  }
+
+  std::unique_ptr<core::Consumer> MakeConsumer(const std::string& id) {
+    return std::make_unique<core::Consumer>(quick_.get(),
+                                            std::vector<std::string>{"c1"},
+                                            &registry_, TestConfig(), id);
+  }
+
+  /// Runs consumer passes with lease-expiring clock advances in between
+  /// until the queue drains (or `passes` runs out).
+  void Drain(core::Consumer* consumer, int passes = 40) {
+    for (int i = 0; i < passes; ++i) {
+      (void)consumer->RunOnePass("c1");
+      clock_.AdvanceMillis(6000);
+      if (quick_->PendingCount(db_).value_or(-1) == 0) return;
+    }
+  }
+
+  ck::WorkflowRecord MustLoad(const std::string& workflow_id) {
+    auto r = engine_->Load(db_, workflow_id);
+    EXPECT_TRUE(r.ok()) << r.status();
+    EXPECT_TRUE(r.ok() && r->has_value()) << "no record for " << workflow_id;
+    return r.ok() && r->has_value() ? **r : ck::WorkflowRecord{};
+  }
+
+  /// Pumps a ManualExecutor (and both virtual clocks) until the async
+  /// chain resolves; commit acks arrive from the cluster's pump thread.
+  void Pump(fdb::ManualExecutor* exec, const fdb::Future<Status>& future) {
+    for (int i = 0; i < 20000 && !future.IsReady(); ++i) {
+      exec->RunUntilIdle();
+      exec->AdvanceMillis(50);
+      clock_.AdvanceMillis(2);
+      std::this_thread::sleep_for(std::chrono::microseconds(100));
+    }
+    ASSERT_TRUE(future.IsReady()) << "async chain never resolved";
+  }
+
+  const ck::DatabaseId db_ = ck::DatabaseId::Private("wfapp", "alice");
+  ManualClock clock_{60000};
+  Tracer tracer_;
+  std::unique_ptr<fdb::ClusterSet> clusters_;
+  std::unique_ptr<ck::CloudKitService> ck_;
+  std::unique_ptr<core::Quick> quick_;
+  core::JobRegistry registry_;
+  std::unique_ptr<WorkflowEngine> engine_;
+};
+
+TEST_F(WorkflowTest, ThreeStepSagaCompletesWithPayloadChaining) {
+  std::vector<std::string> log;
+  SagaSpec saga;
+  saga.name = "ship";
+  for (int i = 0; i < 3; ++i) {
+    StepSpec s;
+    s.name = "step" + std::to_string(i);
+    s.run = [&log, i](core::WorkContext&, StepContext& sctx) {
+      log.push_back("run" + std::to_string(i) + ":" + sctx.payload);
+      sctx.next_payload = sctx.payload + ">" + std::to_string(i);
+      return Status::OK();
+    };
+    saga.steps.push_back(std::move(s));
+  }
+  ASSERT_TRUE(engine_->RegisterSaga(saga).ok());
+
+  auto wf = engine_->Start(db_, "ship", "p0");
+  ASSERT_TRUE(wf.ok()) << wf.status();
+
+  auto consumer = MakeConsumer("wf-consumer");
+  Drain(consumer.get());
+
+  const ck::WorkflowRecord r = MustLoad(*wf);
+  EXPECT_EQ(r.state, ck::WorkflowRecord::State::kCompleted);
+  EXPECT_EQ(r.step_status, "XXX");
+  EXPECT_EQ(r.current_step, 3);
+  EXPECT_EQ(r.total_steps, 3);
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], "run0:p0");
+  EXPECT_EQ(log[1], "run1:p0>0");
+  EXPECT_EQ(log[2], "run2:p0>0>1");
+  // Steps 1 and 2 arrived as transactional continuations of their
+  // predecessors' finish transactions.
+  EXPECT_EQ(consumer->stats().continuations_enqueued.Value(), 2);
+  EXPECT_EQ(quick_->PendingCount(db_).value_or(-1), 0);
+}
+
+TEST_F(WorkflowTest, CrashBeforeFinishCommitsNeitherCompleteNorContinuation) {
+  std::map<int, int> runs;
+  core::Consumer* doomed = nullptr;
+  bool crash_armed = true;
+  SagaSpec saga;
+  saga.name = "atomic";
+  for (int i = 0; i < 3; ++i) {
+    StepSpec s;
+    s.name = "step" + std::to_string(i);
+    s.run = [&, i](core::WorkContext&, StepContext&) {
+      ++runs[i];
+      if (i == 0 && crash_armed) {
+        crash_armed = false;
+        doomed->SimulateCrash();  // dies after executing, before finishing
+      }
+      return Status::OK();
+    };
+    saga.steps.push_back(std::move(s));
+  }
+  ASSERT_TRUE(engine_->RegisterSaga(saga).ok());
+  auto wf = engine_->Start(db_, "atomic", "p");
+  ASSERT_TRUE(wf.ok()) << wf.status();
+
+  auto crasher = MakeConsumer("crasher");
+  doomed = crasher.get();
+  (void)crasher->RunOnePass("c1");
+
+  // The handler ran once, but the dead consumer never committed the finish
+  // transaction: the step item is still queued (leased to a corpse), the
+  // record untouched, and no step-1 continuation exists. All-or-nothing.
+  EXPECT_EQ(runs[0], 1);
+  EXPECT_EQ(runs.count(1), 0u);
+  ck::WorkflowRecord r = MustLoad(*wf);
+  EXPECT_EQ(r.state, ck::WorkflowRecord::State::kRunning);
+  EXPECT_EQ(r.step_status, "PPP");
+  EXPECT_EQ(r.current_step, 0);
+  EXPECT_EQ(quick_->PendingCount(db_).value_or(-1), 1);
+
+  // The abandoned lease expires; a healthy consumer re-executes step 0
+  // (at-least-once handlers) and the saga completes — the record and the
+  // continuation chain transition exactly once.
+  clock_.AdvanceMillis(6000);
+  auto healthy = MakeConsumer("healthy");
+  Drain(healthy.get());
+  r = MustLoad(*wf);
+  EXPECT_EQ(r.state, ck::WorkflowRecord::State::kCompleted);
+  EXPECT_EQ(r.step_status, "XXX");
+  EXPECT_EQ(runs[0], 2);
+  EXPECT_EQ(runs[1], 1);
+  EXPECT_EQ(runs[2], 1);
+  EXPECT_EQ(healthy->stats().continuations_enqueued.Value(), 2);
+}
+
+TEST_F(WorkflowTest, FencedZombieFinishAppliesNoExtras) {
+  std::atomic<int> step0_runs{0};
+  std::atomic<int> step1_runs{0};
+  core::Consumer* takeover = nullptr;
+  SagaSpec saga;
+  saga.name = "fence";
+  StepSpec s0;
+  s0.name = "stall";
+  s0.run = [&](core::WorkContext&, StepContext&) {
+    if (step0_runs.fetch_add(1) == 0) {
+      // The zombie incarnation: stall past the item lease, let the
+      // takeover consumer retake and finish the step inline.
+      clock_.AdvanceMillis(6000);
+      (void)takeover->RunOnePass("c1");
+    }
+    return Status::OK();
+  };
+  StepSpec s1;
+  s1.name = "after";
+  s1.run = [&](core::WorkContext&, StepContext&) {
+    ++step1_runs;
+    return Status::OK();
+  };
+  saga.steps.push_back(std::move(s0));
+  saga.steps.push_back(std::move(s1));
+  ASSERT_TRUE(engine_->RegisterSaga(saga).ok());
+  auto wf = engine_->Start(db_, "fence", "p");
+  ASSERT_TRUE(wf.ok()) << wf.status();
+
+  auto zombie = MakeConsumer("zombie");
+  auto fresh = MakeConsumer("takeover");
+  takeover = fresh.get();
+  (void)zombie->RunOnePass("c1");
+
+  // The zombie's finish hit the lease fence: no Complete, no continuation,
+  // no record write from it — the takeover's finish carried the extras.
+  EXPECT_EQ(zombie->stats().leases_lost.Value(), 1);
+  EXPECT_EQ(zombie->stats().continuations_enqueued.Value(), 0);
+  Drain(fresh.get());
+  const ck::WorkflowRecord r = MustLoad(*wf);
+  EXPECT_EQ(r.state, ck::WorkflowRecord::State::kCompleted);
+  EXPECT_EQ(r.step_status, "XX");
+  EXPECT_EQ(step0_runs.load(), 2);  // zombie + takeover incarnations
+  EXPECT_EQ(step1_runs.load(), 1);  // the chain never forked
+  EXPECT_EQ(fresh->stats().continuations_enqueued.Value(), 1);
+}
+
+TEST_F(WorkflowTest, CompensationsRunInReverseOrderAfterPermanentFailure) {
+  std::vector<std::string> events;
+  SagaSpec saga;
+  saga.name = "book";
+  saga.policy.max_inline_retries = 0;
+  const bool compensable[] = {true, true, false};
+  for (int i = 0; i < 3; ++i) {
+    StepSpec s;
+    s.name = "step" + std::to_string(i);
+    s.run = [&events, i](core::WorkContext&, StepContext&) {
+      events.push_back("run" + std::to_string(i));
+      return Status::OK();
+    };
+    if (compensable[i]) {
+      s.compensate = [&events, i](core::WorkContext&, StepContext&) {
+        events.push_back("comp" + std::to_string(i));
+        return Status::OK();
+      };
+    }
+    saga.steps.push_back(std::move(s));
+  }
+  StepSpec doomed;
+  doomed.name = "charge";
+  doomed.run = [&events](core::WorkContext&, StepContext&) {
+    events.push_back("run3");
+    return Status::Permanent("card declined");
+  };
+  saga.steps.push_back(std::move(doomed));
+  ASSERT_TRUE(engine_->RegisterSaga(saga).ok());
+
+  auto wf = engine_->Start(db_, "book", "p");
+  ASSERT_TRUE(wf.ok()) << wf.status();
+  auto consumer = MakeConsumer("comp-consumer");
+  Drain(consumer.get());
+
+  // Forward 0..3, then compensations strictly in reverse step order,
+  // skipping step 2 (no compensate function).
+  const std::vector<std::string> expected = {"run0", "run1", "run2", "run3",
+                                             "comp1", "comp0"};
+  EXPECT_EQ(events, expected);
+
+  // The ⊎ ledger in miniature: steps 0/1 compensated, step 2 executed
+  // (uncompensable), step 3 dead-lettered — and the failing item sits in
+  // the zone's quarantine under its deterministic id.
+  const ck::WorkflowRecord r = MustLoad(*wf);
+  EXPECT_EQ(r.state, ck::WorkflowRecord::State::kCompensated);
+  EXPECT_EQ(r.step_status, "CCXD");
+  EXPECT_TRUE(Contains(r.failure, "card declined")) << r.failure;
+  core::QuickAdmin admin(quick_.get());
+  auto dead = admin.ListDeadLetters(db_);
+  ASSERT_TRUE(dead.ok()) << dead.status();
+  ASSERT_EQ(dead->size(), 1u);
+  EXPECT_EQ((*dead)[0].id, WorkflowEngine::ForwardItemId(*wf, 3));
+}
+
+TEST_F(WorkflowTest, FailedCompensationMarksTheWorkflowFailed) {
+  SagaSpec saga;
+  saga.name = "fragile";
+  saga.policy.max_inline_retries = 0;
+  StepSpec s0;
+  s0.name = "reserve";
+  s0.run = [](core::WorkContext&, StepContext&) { return Status::OK(); };
+  s0.compensate = [](core::WorkContext&, StepContext&) {
+    return Status::Permanent("release failed");
+  };
+  StepSpec s1;
+  s1.name = "doom";
+  s1.run = [](core::WorkContext&, StepContext&) {
+    return Status::Permanent("step bug");
+  };
+  saga.steps.push_back(std::move(s0));
+  saga.steps.push_back(std::move(s1));
+  ASSERT_TRUE(engine_->RegisterSaga(saga).ok());
+
+  auto wf = engine_->Start(db_, "fragile", "p");
+  ASSERT_TRUE(wf.ok()) << wf.status();
+  auto consumer = MakeConsumer("fragile-consumer");
+  Drain(consumer.get());
+
+  const ck::WorkflowRecord r = MustLoad(*wf);
+  EXPECT_EQ(r.state, ck::WorkflowRecord::State::kFailed);
+  EXPECT_TRUE(Contains(r.failure, "release failed")) << r.failure;
+  // Both the failed step item and the failed compensation item are in the
+  // quarantine — nothing is silently lost.
+  core::QuickAdmin admin(quick_.get());
+  EXPECT_EQ(admin.DeadLetterCount(db_).value_or(-1), 2);
+}
+
+TEST_F(WorkflowTest, OutboxEffectsApplyExactlyOnceAcrossRelayCrash) {
+  SagaSpec saga;
+  saga.name = "email";
+  for (int i = 0; i < 2; ++i) {
+    StepSpec s;
+    s.name = "send" + std::to_string(i);
+    s.run = [i](core::WorkContext&, StepContext& sctx) {
+      core::OutboxEffect e;
+      e.target = "mailer";
+      e.idempotency_key = "msg" + std::to_string(i);
+      e.payload = "body" + std::to_string(i);
+      sctx.effects.push_back(std::move(e));
+      return Status::OK();
+    };
+    saga.steps.push_back(std::move(s));
+  }
+  ASSERT_TRUE(engine_->RegisterSaga(saga).ok());
+  auto wf = engine_->Start(db_, "email", "p");
+  ASSERT_TRUE(wf.ok()) << wf.status();
+  auto consumer = MakeConsumer("fx-consumer");
+  Drain(consumer.get());
+  EXPECT_EQ(consumer->stats().outbox_effects_recorded.Value(), 2);
+
+  // First relay applies both effects, then "crashes" before acking any
+  // row (ack_enabled=false): the rows survive.
+  ext::SimEffectStore store;
+  ext::OutboxRelay::Options crash_opts;
+  crash_opts.ack_enabled = false;
+  ext::OutboxRelay crashy(ck_.get(), &store, crash_opts);
+  auto visited = crashy.RunOnePass("c1");
+  ASSERT_TRUE(visited.ok()) << visited.status();
+  EXPECT_EQ(*visited, 2);
+  EXPECT_EQ(store.TotalApplied(), 2);
+  EXPECT_EQ(crashy.Lag("c1").value_or(-1), 2);
+
+  // The recovery relay re-delivers both attempts; the store's idempotency
+  // keys dedupe them — duplicate attempts, zero duplicate effects — and
+  // the rows are acked away.
+  ext::OutboxRelay relay(ck_.get(), &store);
+  visited = relay.RunOnePass("c1");
+  ASSERT_TRUE(visited.ok()) << visited.status();
+  EXPECT_EQ(*visited, 2);
+  EXPECT_EQ(store.MaxApplications(), 1);
+  EXPECT_EQ(store.TotalApplied(), 2);
+  EXPECT_EQ(store.DuplicateAttempts(), 2);
+  EXPECT_EQ(relay.stats().effects_deduped.Value(), 2);
+  EXPECT_EQ(relay.stats().rows_acked.Value(), 2);
+  EXPECT_EQ(relay.Lag("c1").value_or(-1), 0);
+  EXPECT_EQ(store.PayloadFor("msg0"), "mailer|body0");
+}
+
+TEST_F(WorkflowTest, StartIsIdempotentOnTheWorkflowId) {
+  SagaSpec saga;
+  saga.name = "noop";
+  StepSpec s;
+  s.name = "only";
+  s.run = [](core::WorkContext&, StepContext&) { return Status::OK(); };
+  saga.steps.push_back(std::move(s));
+  ASSERT_TRUE(engine_->RegisterSaga(saga).ok());
+
+  auto first = engine_->Start(db_, "noop", "p", "wf-dup");
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_EQ(*first, "wf-dup");
+  auto second = engine_->Start(db_, "noop", "p", "wf-dup");
+  EXPECT_EQ(second.status().code(), StatusCode::kAlreadyExists);
+  // The duplicate Start enqueued nothing: still exactly one step item.
+  EXPECT_EQ(quick_->PendingCount(db_).value_or(-1), 1);
+
+  auto unknown = engine_->Start(db_, "no-such-saga", "p");
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(WorkflowTest, EnqueueAsyncDeliversThroughThePipeline) {
+  std::atomic<int> ran{0};
+  registry_.Register("async_job", [&](core::WorkContext&) {
+    ++ran;
+    return Status::OK();
+  });
+  fdb::ManualExecutor exec;
+  std::string id;
+  core::WorkItem item;
+  item.job_type = "async_job";
+  fdb::Future<Status> f = quick_->EnqueueAsync(db_, item, 0, &id, &exec);
+  Pump(&exec, f);
+  ASSERT_TRUE(f.Get().ok()) << f.Get();
+  EXPECT_FALSE(id.empty());
+  EXPECT_EQ(quick_->PendingCount(db_).value_or(-1), 1);
+
+  auto consumer = MakeConsumer("async-drainer");
+  Drain(consumer.get());
+  EXPECT_EQ(ran.load(), 1);
+}
+
+TEST_F(WorkflowTest, StartAsyncRunsTheSagaEndToEnd) {
+  std::atomic<int> steps_run{0};
+  SagaSpec saga;
+  saga.name = "asaga";
+  for (int i = 0; i < 2; ++i) {
+    StepSpec s;
+    s.name = "step" + std::to_string(i);
+    s.run = [&](core::WorkContext&, StepContext&) {
+      ++steps_run;
+      return Status::OK();
+    };
+    saga.steps.push_back(std::move(s));
+  }
+  ASSERT_TRUE(engine_->RegisterSaga(saga).ok());
+
+  fdb::ManualExecutor exec;
+  std::string wf;
+  fdb::Future<Status> f = engine_->StartAsync(db_, "asaga", "p", &wf, &exec);
+  Pump(&exec, f);
+  ASSERT_TRUE(f.Get().ok()) << f.Get();
+  ASSERT_FALSE(wf.empty());
+
+  auto consumer = MakeConsumer("async-saga-drainer");
+  Drain(consumer.get());
+  const ck::WorkflowRecord r = MustLoad(wf);
+  EXPECT_EQ(r.state, ck::WorkflowRecord::State::kCompleted);
+  EXPECT_EQ(r.step_status, "XX");
+  EXPECT_EQ(steps_run.load(), 2);
+}
+
+TEST_F(WorkflowTest, WorkflowTraceAndRenderingTellTheSagaStory) {
+  SagaSpec saga;
+  saga.name = "traced";
+  for (int i = 0; i < 2; ++i) {
+    StepSpec s;
+    s.name = "step" + std::to_string(i);
+    s.run = [](core::WorkContext&, StepContext&) { return Status::OK(); };
+    saga.steps.push_back(std::move(s));
+  }
+  ASSERT_TRUE(engine_->RegisterSaga(saga).ok());
+  auto wf = engine_->Start(db_, "traced", "p", "wf-trace");
+  ASSERT_TRUE(wf.ok()) << wf.status();
+  auto consumer = MakeConsumer("trace-consumer");
+  Drain(consumer.get());
+
+  core::QuickAdmin admin(quick_.get());
+  std::vector<std::string> names;
+  std::vector<std::string> step_items;
+  for (const Span& span : admin.WorkflowTrace("wf-trace")) {
+    names.push_back(span.name);
+    step_items.push_back(span.parent_trace);
+  }
+  const std::vector<std::string> expected = {
+      core::stage::kWorkflowStarted,    core::stage::kWorkflowStepStart,
+      core::stage::kWorkflowStepFinish, core::stage::kWorkflowStepStart,
+      core::stage::kWorkflowStepFinish, core::stage::kWorkflowDone};
+  EXPECT_EQ(names, expected);
+  // Every workflow span is parented to the step item that carried it.
+  ASSERT_EQ(step_items.size(), 6u);
+  EXPECT_EQ(step_items[1], WorkflowEngine::ForwardItemId("wf-trace", 0));
+  EXPECT_EQ(step_items[3], WorkflowEngine::ForwardItemId("wf-trace", 1));
+
+  const std::string render = admin.RenderWorkflowTrace(db_, "wf-trace");
+  EXPECT_TRUE(Contains(render, "workflow wf-trace")) << render;
+  EXPECT_TRUE(Contains(render, "state=completed")) << render;
+  EXPECT_TRUE(Contains(render, "saga=traced")) << render;
+  EXPECT_TRUE(Contains(render, "steps=XX")) << render;
+  EXPECT_TRUE(Contains(render, core::stage::kWorkflowDone)) << render;
+  EXPECT_TRUE(Contains(render, WorkflowEngine::ForwardItemId("wf-trace", 1))) << render;
+}
+
+}  // namespace
+}  // namespace quick::wf
